@@ -1,0 +1,145 @@
+// EXP-F2 — paper Fig. 2 + §5: the gate path for Max-Cut on the 4-cycle.
+//
+// Report: the counts table at 4096 shots with the ring coupling context,
+// the expected cut (paper: 3.0-3.2), and a QAOA depth sweep p = 1..4
+// showing the approximation ratio climbing toward 1 (paper future-work
+// territory: "the minimal core can evolve").
+//
+// Benchmarks: end-to-end gate-path execution versus shots, layers, and
+// problem size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/variational.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::Context fig2_context(std::int64_t samples = 4096) {
+  core::Context ctx;
+  ctx.exec.engine = "gate.aer_simulator";
+  ctx.exec.samples = samples;
+  ctx.exec.seed = 42;
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  ctx.exec.target.coupling_map = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  ctx.exec.options.set("optimization_level", json::Value(std::int64_t{2}));
+  return ctx;
+}
+
+core::ExecutionResult run_qaoa(const algolib::Graph& graph, const algolib::QaoaAngles& angles,
+                               const core::Context& ctx) {
+  const core::QuantumDataType reg =
+      algolib::make_ising_register("ising_vars", static_cast<unsigned>(graph.n));
+  core::RegisterSet regs;
+  regs.add(reg);
+  return core::submit(core::JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(reg, graph, angles), ctx, "fig2"));
+}
+
+double expected_cut(const core::ExecutionResult& result, const algolib::Graph& graph) {
+  return result.counts.expectation(
+      [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+}
+
+/// Optimizes p-layer angles by coordinate ascent on the sampled expected cut.
+algolib::QaoaAngles optimized_angles(const algolib::Graph& graph, std::size_t p,
+                                     const core::Context& ctx) {
+  std::vector<double> initial(2 * p, 0.3);
+  const algolib::OptimResult opt = algolib::maximize(
+      [&](const std::vector<double>& params) {
+        algolib::QaoaAngles angles;
+        angles.gammas.assign(params.begin(), params.begin() + static_cast<long>(p));
+        angles.betas.assign(params.begin() + static_cast<long>(p), params.end());
+        return expected_cut(run_qaoa(graph, angles, ctx), graph);
+      },
+      initial);
+  algolib::QaoaAngles best;
+  best.gammas.assign(opt.best_params.begin(), opt.best_params.begin() + static_cast<long>(p));
+  best.betas.assign(opt.best_params.begin() + static_cast<long>(p), opt.best_params.end());
+  return best;
+}
+
+void report() {
+  std::printf("=== EXP-F2: Max-Cut 4-cycle, QAOA gate path (paper Fig. 2, §5) ===\n");
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  const core::ExecutionResult result =
+      run_qaoa(graph, algolib::ring_p1_angles(), fig2_context());
+
+  std::printf("%-8s %-8s %-8s %s\n", "bits", "shots", "prob", "cut");
+  for (const auto& outcome : result.decoded)
+    std::printf("%-8s %-8lld %-8.3f %.0f\n", outcome.bitstring.c_str(),
+                static_cast<long long>(outcome.count),
+                result.counts.probability(outcome.bitstring),
+                graph.cut_value_bits(outcome.bitstring));
+  std::printf("expected cut = %.3f (paper: 3.0-3.2; p=1 ring optimum = 3.0; max cut = 4)\n\n",
+              expected_cut(result, graph));
+
+  std::printf("QAOA depth sweep (optimized angles, sampled objective):\n");
+  std::printf("%-4s %-14s %-14s\n", "p", "expected cut", "approx ratio");
+  core::Context opt_ctx = fig2_context(2048);
+  for (std::size_t p = 1; p <= 4; ++p) {
+    const algolib::QaoaAngles angles = optimized_angles(graph, p, opt_ctx);
+    const double cut = expected_cut(run_qaoa(graph, angles, fig2_context(8192)), graph);
+    std::printf("%-4zu %-14.3f %-14.3f\n", p, cut, cut / 4.0);
+  }
+  std::printf("\n");
+}
+
+void BM_QaoaEndToEnd_Shots(benchmark::State& state) {
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  const core::Context ctx = fig2_context(state.range(0));
+  for (auto _ : state) {
+    const auto result = run_qaoa(graph, algolib::ring_p1_angles(), ctx);
+    benchmark::DoNotOptimize(result.counts.total());
+  }
+  state.counters["shots"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QaoaEndToEnd_Shots)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+void BM_QaoaEndToEnd_Layers(benchmark::State& state) {
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  const core::Context ctx = fig2_context();
+  algolib::QaoaAngles angles;
+  for (int p = 0; p < state.range(0); ++p) {
+    angles.gammas.push_back(0.4);
+    angles.betas.push_back(0.3);
+  }
+  for (auto _ : state) {
+    const auto result = run_qaoa(graph, angles, ctx);
+    benchmark::DoNotOptimize(result.counts.total());
+  }
+}
+BENCHMARK(BM_QaoaEndToEnd_Layers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_QaoaEndToEnd_GraphSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const algolib::Graph graph = algolib::Graph::cycle(n);
+  core::Context ctx;  // all-to-all, no basis constraint: isolate simulation cost
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 4096;
+  ctx.exec.seed = 42;
+  for (auto _ : state) {
+    const auto result = run_qaoa(graph, algolib::ring_p1_angles(), ctx);
+    benchmark::DoNotOptimize(result.counts.total());
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_QaoaEndToEnd_GraphSize)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  backend::register_builtin_backends();
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// EXP-L1 — paper §2, Listing 1 + Listing 3: the 10-qubit QFT motivational
+// example through the middle layer.
+//
+// Report: descriptor cost hint (twoq = n(n-1)/2 = 45, depth ~ n^2 = 100 for
+// n = 10 exact) against measured post-transpile metrics on the Listing-4
+// target (sx/rz/cx basis, linear coupling, optimization_level 2), plus the
+// 10 000-shot execution the paper's snippet performs.
+//
+// Benchmarks: lowering, transpilation and sampling cost versus register
+// width and optimization level.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "backend/lowering.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "sim/engine.hpp"
+#include "transpile/transpiler.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::Context listing4_context(unsigned width, int opt_level) {
+  core::Context ctx;
+  ctx.exec.engine = "gate.aer_simulator";
+  ctx.exec.samples = 10000;
+  ctx.exec.seed = 42;
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  for (unsigned q = 0; q + 1 < width; ++q)
+    ctx.exec.target.coupling_map.emplace_back(static_cast<int>(q), static_cast<int>(q + 1));
+  ctx.exec.options.set("optimization_level", json::Value(static_cast<std::int64_t>(opt_level)));
+  return ctx;
+}
+
+core::JobBundle qft_bundle(unsigned width, const core::Context& ctx) {
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "listing1");
+}
+
+void report() {
+  std::printf("=== EXP-L1: 10-qubit QFT (paper Listing 1 / Listing 3) ===\n");
+  const core::CostHint hint = algolib::qft_cost_hint(10, {});
+  std::printf("descriptor cost hint  : twoq=%lld depth=%lld (paper Listing 3: twoq=45, depth=100)\n",
+              static_cast<long long>(*hint.twoq), static_cast<long long>(*hint.depth));
+
+  std::printf("%-22s %-8s %-8s %-8s %-8s\n", "target", "level", "depth", "twoq", "swaps");
+  for (const bool linear : {false, true}) {
+    for (const int level : {0, 1, 2, 3}) {
+      core::Context ctx = listing4_context(linear ? 10 : 0, level);
+      const core::JobBundle bundle = qft_bundle(10, ctx);
+      const core::ExecutionResult result = core::submit(bundle);
+      const json::Value& tmeta = result.metadata.at("transpile");
+      std::printf("%-22s %-8d %-8lld %-8lld %-8lld\n", linear ? "linear 0-1-...-9" : "all-to-all",
+                  level, static_cast<long long>(tmeta.get_int("depth_after", 0)),
+                  static_cast<long long>(tmeta.get_int("twoq_after", 0)),
+                  static_cast<long long>(tmeta.get_int("swaps_inserted", 0)));
+    }
+  }
+
+  // The Listing-1 execution: 10 000 shots on |0...0> -> QFT -> uniform counts.
+  const core::ExecutionResult result = core::submit(qft_bundle(10, listing4_context(10, 2)));
+  std::printf("10000-shot run: %zu distinct outcomes (uniform over 1024 expected)\n\n",
+              result.counts.map().size());
+}
+
+void BM_LowerQft(benchmark::State& state) {
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  const core::OperatorDescriptor op = algolib::qft_descriptor(reg, {});
+  for (auto _ : state) {
+    sim::Circuit circuit(static_cast<int>(width), 0);
+    backend::LoweringRegistry::instance().lower(op, resolver, circuit);
+    benchmark::DoNotOptimize(circuit.instructions().data());
+  }
+  state.counters["gates"] = static_cast<double>(width * (width - 1) / 2 + width + width / 2);
+}
+BENCHMARK(BM_LowerQft)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_TranspileQft(benchmark::State& state) {
+  const unsigned width = 10;
+  const int level = static_cast<int>(state.range(0));
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  sim::Circuit circuit(static_cast<int>(width), 0);
+  backend::LoweringRegistry::instance().lower(algolib::qft_descriptor(reg, {}), resolver, circuit);
+  transpile::TranspileOptions opts;
+  opts.basis = transpile::BasisSet({"sx", "rz", "cx"});
+  opts.coupling = transpile::CouplingMap::linear(static_cast<int>(width));
+  opts.optimization_level = level;
+  for (auto _ : state) {
+    const transpile::TranspileResult result = transpile::transpile(circuit, opts);
+    benchmark::DoNotOptimize(result.circuit.instructions().data());
+  }
+}
+BENCHMARK(BM_TranspileQft)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EndToEndQft(benchmark::State& state) {
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  const core::Context ctx = listing4_context(width, 2);
+  for (auto _ : state) {
+    const core::ExecutionResult result = core::submit(qft_bundle(width, ctx));
+    benchmark::DoNotOptimize(result.counts.total());
+  }
+  state.counters["shots"] = 10000;
+}
+BENCHMARK(BM_EndToEndQft)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  backend::register_builtin_backends();
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

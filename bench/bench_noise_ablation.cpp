@@ -1,0 +1,96 @@
+// EXP-NOISE — ablation connecting two context blocks: the `noise` block
+// degrades QAOA solution quality with the physical error rate, and the
+// `qec` block's surface-code model prices what it costs to win it back.
+// This is the quantitative story behind the paper's Listing 5: error
+// correction as swappable execution policy.
+//
+// Report: expected cut and optimal-probability vs two-qubit depolarizing
+// strength; side table of the QEC distance (and physical qubits) needed to
+// push the *logical* error rate below each noise level.
+//
+// Benchmarks: trajectory-sampling throughput vs shots and noise.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "qec/surface.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::ExecutionResult run_noisy_qaoa(double p2, std::int64_t shots) {
+  const core::QuantumDataType reg = algolib::make_ising_register("ising_vars", 4);
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = shots;
+  ctx.exec.seed = 42;
+  if (p2 > 0.0) {
+    core::NoisePolicy noise;
+    noise.enabled = true;
+    noise.depolarizing_2q = p2;
+    noise.depolarizing_1q = p2 / 10.0;
+    ctx.noise = noise;
+  }
+  core::RegisterSet regs;
+  regs.add(reg);
+  return core::submit(core::JobBundle::package(
+      std::move(regs),
+      algolib::qaoa_sequence(reg, algolib::Graph::cycle(4), algolib::ring_p1_angles()), ctx,
+      "noise"));
+}
+
+void report() {
+  std::printf("=== EXP-NOISE: noise context vs QEC context (Listing 5 motivation) ===\n");
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  const qec::SurfaceCodeModel model;
+  std::printf("%-12s %-12s %-14s | %-14s %-16s\n", "p(2q)", "E[cut]", "P(opt)",
+              "QEC distance*", "phys qubits/patch");
+  for (const double p2 : {0.0, 0.001, 0.005, 0.02, 0.05, 0.2}) {
+    const core::ExecutionResult result = run_noisy_qaoa(p2, 16384);
+    const double cut = result.counts.expectation(
+        [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+    const double p_opt =
+        result.counts.probability("1010") + result.counts.probability("0101");
+    if (p2 > 0.0 && p2 < model.p_threshold) {
+      const int d = model.choose_distance(p2, 100, 4, p2 / 100.0);
+      std::printf("%-12.3f %-12.3f %-14.3f | %-14d %-16lld\n", p2, cut, p_opt, d,
+                  static_cast<long long>(qec::SurfaceCodeModel::physical_qubits_per_patch(d)));
+    } else {
+      std::printf("%-12.3f %-12.3f %-14.3f | %-14s %-16s\n", p2, cut, p_opt,
+                  p2 == 0.0 ? "-" : "above threshold", "-");
+    }
+  }
+  std::printf("(*smallest odd distance pushing the logical rate 100x below the physical\n"
+              "  rate over a 100-round, 4-patch program; '-' where no code helps)\n\n");
+}
+
+void BM_NoisyQaoa_Shots(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_noisy_qaoa(0.01, state.range(0)).counts.total());
+  state.counters["shots"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_NoisyQaoa_Shots)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyVsIdeal(benchmark::State& state) {
+  const double p2 = state.range(0) == 0 ? 0.0 : 0.01;
+  for (auto _ : state) benchmark::DoNotOptimize(run_noisy_qaoa(p2, 4096).counts.total());
+  state.SetLabel(state.range(0) == 0 ? "ideal fast path" : "trajectory sampling");
+}
+BENCHMARK(BM_NoisyVsIdeal)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  backend::register_builtin_backends();
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

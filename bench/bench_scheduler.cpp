@@ -1,0 +1,135 @@
+// EXP-SCHED — paper §2: "without this information, a scheduler cannot
+// choose an appropriate backend and topology, or estimate queue and
+// runtime".
+//
+// Report: makespan of a mixed job batch under the cost-hint-aware policy vs
+// hint-blind round robin on a heterogeneous two-device fleet, plus the
+// per-job decision table.  Shape: hints buy a strictly better makespan as
+// job heterogeneity grows.
+//
+// Benchmarks: estimate / choose / queue-simulation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::JobBundle qft_job(unsigned width) {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.samples = 1024;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                  "qft" + std::to_string(width));
+}
+
+core::JobBundle qaoa_job(int n) {
+  const auto reg = algolib::make_ising_register("s", static_cast<unsigned>(n));
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::Context ctx;
+  ctx.exec.samples = 4096;
+  return core::JobBundle::package(
+      std::move(regs),
+      algolib::qaoa_sequence(reg, algolib::Graph::cycle(n), algolib::ring_p1_angles()), ctx,
+      "qaoa" + std::to_string(n));
+}
+
+std::vector<sched::BackendCapability> fleet() {
+  sched::BackendCapability fast;
+  fast.name = "fast_gate";
+  fast.kind = "gate";
+  fast.num_qubits = 26;
+  fast.twoq_time_us = 0.1;
+  fast.twoq_error = 2e-3;
+  sched::BackendCapability accurate;
+  accurate.name = "accurate_gate";
+  accurate.kind = "gate";
+  accurate.num_qubits = 26;
+  accurate.twoq_time_us = 1.0;
+  accurate.twoq_error = 1e-4;
+  return {fast, accurate};
+}
+
+std::vector<core::JobBundle> job_mix(int scale) {
+  std::vector<core::JobBundle> jobs;
+  for (int i = 0; i < scale; ++i) {
+    jobs.push_back(qft_job(14));  // heavy
+    jobs.push_back(qaoa_job(4));  // light
+    jobs.push_back(qaoa_job(8));
+    jobs.push_back(qft_job(6));
+  }
+  return jobs;
+}
+
+void report() {
+  std::printf("=== EXP-SCHED: cost hints as the scheduler's FLOP counts (paper §2) ===\n");
+  const auto backends = fleet();
+  const auto jobs = job_mix(4);
+
+  std::printf("%-10s %-8s %-10s -> %s\n", "job", "twoq", "depth", "choice");
+  for (std::size_t j = 0; j < 4; ++j) {
+    const core::CostHint cost = jobs[j].operators.accumulated_cost();
+    const sched::Decision d = sched::choose_backend(jobs[j], backends);
+    std::printf("%-10s %-8lld %-10lld -> %s\n", jobs[j].job_id.c_str(),
+                static_cast<long long>(cost.twoq.value_or(0)),
+                static_cast<long long>(cost.depth.value_or(0)), d.backend.c_str());
+  }
+
+  std::printf("\nqueue simulation (%zu jobs, 2 devices):\n", jobs.size());
+  const sched::QueueReport aware =
+      sched::simulate_queue(jobs, backends, sched::Policy::CostHintAware);
+  const sched::QueueReport blind =
+      sched::simulate_queue(jobs, backends, sched::Policy::RoundRobin);
+  std::printf("%-22s %-14s %-14s\n", "policy", "makespan us", "busy (per dev)");
+  std::printf("%-22s %-14.0f %.0f / %.0f\n", "cost-hint aware", aware.makespan_us,
+              aware.backend_busy_us[0], aware.backend_busy_us[1]);
+  std::printf("%-22s %-14.0f %.0f / %.0f\n", "round robin (no hints)", blind.makespan_us,
+              blind.backend_busy_us[0], blind.backend_busy_us[1]);
+  std::printf("speedup from hints: %.2fx\n\n", blind.makespan_us / aware.makespan_us);
+}
+
+void BM_Estimate(benchmark::State& state) {
+  const core::JobBundle job = qft_job(12);
+  const auto backends = fleet();
+  for (auto _ : state) benchmark::DoNotOptimize(sched::estimate(job, backends[0]).duration_us);
+}
+BENCHMARK(BM_Estimate);
+
+void BM_ChooseBackend(benchmark::State& state) {
+  const core::JobBundle job = qft_job(12);
+  const auto backends = fleet();
+  for (auto _ : state) benchmark::DoNotOptimize(sched::choose_backend(job, backends).score);
+}
+BENCHMARK(BM_ChooseBackend);
+
+void BM_QueueSimulation(benchmark::State& state) {
+  const auto jobs = job_mix(static_cast<int>(state.range(0)));
+  const auto backends = fleet();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::simulate_queue(jobs, backends, sched::Policy::CostHintAware).makespan_us);
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_QueueSimulation)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

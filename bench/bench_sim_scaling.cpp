@@ -1,0 +1,126 @@
+// EXP-SIM — the gate substrate itself (the Aer substitute): state-vector
+// kernel scaling with register width and OpenMP thread count.  This is the
+// HPC baseline every gate-path experiment rests on; the report prints
+// gate-application rates so regressions are visible at a glance.
+//
+// Benchmarks: H layer, CX chain, QFT, and sampling across widths/threads.
+
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <cstdio>
+
+#include "algolib/qft.hpp"
+#include "backend/lowering.hpp"
+#include "sim/engine.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace quml;
+
+namespace {
+
+sim::Circuit layered_circuit(int n, int layers) {
+  sim::Circuit c(n, 0);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  }
+  return c;
+}
+
+void report() {
+  std::printf("=== EXP-SIM: state-vector substrate scaling ===\n");
+  std::printf("%-8s %-10s %-14s %-14s %s\n", "qubits", "threads", "wall ms", "gates/s",
+              "amplitudes");
+  for (const int n : {16, 20, 22}) {
+    for (const int threads : {1, 8, 24}) {
+      omp_set_num_threads(threads);
+      const sim::Circuit c = layered_circuit(n, 4);
+      Stopwatch timer;
+      const sim::Statevector sv = sim::Engine().run_statevector(c);
+      const double ms = timer.milliseconds();
+      std::printf("%-8d %-10d %-14.1f %-14.0f %llu\n", n, threads, ms,
+                  static_cast<double>(c.size()) / (ms / 1000.0),
+                  static_cast<unsigned long long>(sv.dim()));
+    }
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  std::printf("\n");
+}
+
+void BM_HLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  const sim::Mat2 h = sim::gate_matrix_1q(sim::Gate::H, nullptr);
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv.apply_1q(q, h);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["amps/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(1ull << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_HLayer)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_CxChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
+  for (auto _ : state) {
+    for (int q = 0; q + 1 < n; ++q) {
+      const sim::Instruction cx{sim::Gate::CX, {q, q + 1}, {}, {}};
+      sv.apply(cx);
+    }
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_CxChain)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Unit(benchmark::kMillisecond);
+
+void BM_QftSim(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Circuit c(n, 0);
+  std::vector<int> qubits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) qubits[static_cast<std::size_t>(i)] = i;
+  backend::append_qft(c, qubits, 0, true, false);
+  for (auto _ : state) {
+    const sim::Statevector sv = sim::Engine().run_statevector(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_QftSim)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_Sampling(benchmark::State& state) {
+  const int n = 16;
+  sim::Circuit c(n, n);
+  for (int q = 0; q < n; ++q) c.h(q);
+  c.measure_all();
+  const std::int64_t shots = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::Engine().run_counts(c, shots, 42).size());
+  state.counters["shots/s"] =
+      benchmark::Counter(static_cast<double>(shots), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Sampling)->Arg(1024)->Arg(16384)->Arg(131072)->Unit(benchmark::kMillisecond);
+
+void BM_Threads(benchmark::State& state) {
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+  sim::Statevector sv(22);
+  const sim::Mat2 h = sim::gate_matrix_1q(sim::Gate::H, nullptr);
+  for (auto _ : state) {
+    for (int q = 0; q < 22; ++q) sv.apply_1q(q, h);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

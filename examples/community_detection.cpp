@@ -1,0 +1,116 @@
+// Community detection via Max-Cut — one of the application domains the
+// paper's §5 motivates ("clustering and community detection").
+//
+// A planted two-community graph (dense inside, sparse across) is declared
+// once as a typed Ising problem; the annealing path recovers the planted
+// partition, and the decoded AS_BOOL labels *are* the community assignment —
+// no manual bit handling anywhere.  The same bundle is then re-run with a
+// noisy gate context to show a degraded-but-recognizable partition, the
+// realistic NISQ contrast.
+//
+// Build & run:  ./build/examples/community_detection
+
+#include <cstdio>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "util/rng.hpp"
+
+using namespace quml;
+
+namespace {
+
+/// Planted bipartition: nodes [0, half) vs [half, n); cross edges dense,
+/// intra edges sparse — Max-Cut recovers the plant.
+algolib::Graph planted_graph(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  algolib::Graph g;
+  g.n = n;
+  const int half = n / 2;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const bool cross = (i < half) != (j < half);
+      const double p = cross ? 0.9 : 0.15;
+      if (rng.next_double() < p) g.edges.push_back({i, j, 1.0});
+    }
+  return g;
+}
+
+std::string plant_string(int n) {
+  // Readout convention: MSB-first, node i at character n-1-i.
+  std::string s(static_cast<std::size_t>(n), '0');
+  for (int i = 0; i < n / 2; ++i) s[static_cast<std::size_t>(n - 1 - i)] = '1';
+  return s;
+}
+
+int label_disagreement(const std::string& bits, const std::string& plant) {
+  int direct = 0, flipped = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != plant[i]) ++direct;
+    if (bits[i] == plant[i]) ++flipped;
+  }
+  return std::min(direct, flipped);  // community labels are symmetric
+}
+
+}  // namespace
+
+int main() {
+  backend::register_builtin_backends();
+  const int n = 12;
+  const algolib::Graph graph = planted_graph(n, 2026);
+  const std::string plant = plant_string(n);
+  std::printf("planted communities: %s vs complement (%d nodes, %zu edges)\n\n", plant.c_str(),
+              n, graph.edges.size());
+
+  const core::QuantumDataType qdt =
+      algolib::make_ising_register("communities", static_cast<unsigned>(n));
+
+  // Path 1: annealer.
+  {
+    core::RegisterSet regs;
+    regs.add(qdt);
+    core::OperatorSequence seq;
+    seq.ops.push_back(algolib::maxcut_ising_descriptor(qdt, graph));
+    core::Context ctx;
+    ctx.exec.engine = "anneal.neal_simulator";
+    ctx.exec.seed = 42;
+    core::AnnealPolicy policy;
+    policy.num_reads = 500;
+    policy.num_sweeps = 500;
+    ctx.anneal = policy;
+    const auto result =
+        core::submit(core::JobBundle::package(std::move(regs), std::move(seq), ctx, "comm"));
+    const std::string found = result.counts.most_frequent();
+    std::printf("annealer partition : %s  (cut %.0f, %d/%d labels off the plant)\n",
+                found.c_str(), graph.cut_value_bits(found), label_disagreement(found, plant), n);
+    const auto [best, _] = graph.max_cut_exact();
+    std::printf("exact optimum      : cut %.0f -> %s\n\n", best,
+                graph.cut_value_bits(found) >= best - 1e-9 ? "annealer found an optimal cut"
+                                                           : "annealer is near-optimal");
+  }
+
+  // Path 2: noisy gate device, same typed problem in QAOA form.
+  {
+    core::RegisterSet regs;
+    regs.add(qdt);
+    core::Context ctx;
+    ctx.exec.engine = "gate.statevector_simulator";
+    ctx.exec.samples = 8192;
+    ctx.exec.seed = 42;
+    core::NoisePolicy noise;
+    noise.enabled = true;
+    noise.depolarizing_2q = 0.01;
+    ctx.noise = noise;
+    const auto result = core::submit(core::JobBundle::package(
+        std::move(regs), algolib::qaoa_sequence(qdt, graph, algolib::ring_p1_angles()), ctx,
+        "comm-noisy"));
+    const std::string found = result.counts.most_frequent();
+    const double e_cut = result.counts.expectation(
+        [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+    std::printf("noisy QAOA p=1     : top %s (cut %.0f), E[cut] %.2f — NISQ-realistic contrast\n",
+                found.c_str(), graph.cut_value_bits(found), e_cut);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// The paper's headline demonstration (§5, §7): one typed problem, two
+// quantum technologies.  The Max-Cut instance is declared ONCE as a QDT;
+// the gate path receives the QAOA operator formulation plus a gate context,
+// the annealing path receives the Ising formulation plus an anneal context.
+// Both return decoded counts through the same interface, and both find the
+// optimal cuts 1010 / 0101.
+//
+// The demo also runs the variational loop (paper §4.4 "expectation/
+// estimation helpers"): starting from deliberately bad angles, the
+// coordinate-ascent optimizer recovers the ring-optimal expected cut by
+// resubmitting bundles — the middle layer as the inner loop of a hybrid
+// workflow.
+//
+// Build & run:  ./build/examples/portability_demo
+
+#include <cstdio>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/variational.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace quml;
+
+namespace {
+
+double expected_cut(const core::ExecutionResult& result, const algolib::Graph& graph) {
+  return result.counts.expectation(
+      [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+}
+
+core::ExecutionResult run_gate_path(const core::QuantumDataType& qdt,
+                                    const algolib::Graph& graph,
+                                    const algolib::QaoaAngles& angles) {
+  core::Context ctx;
+  ctx.exec.engine = "gate.aer_simulator";
+  ctx.exec.samples = 4096;
+  ctx.exec.seed = 42;
+  core::RegisterSet regs;
+  regs.add(qdt);
+  return core::submit(core::JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(qdt, graph, angles), ctx, "gate-path"));
+}
+
+core::ExecutionResult run_anneal_path(const core::QuantumDataType& qdt,
+                                      const algolib::Graph& graph) {
+  core::Context ctx;
+  ctx.exec.engine = "anneal.neal_simulator";
+  ctx.exec.seed = 42;
+  core::AnnealPolicy policy;
+  policy.num_reads = 1000;
+  ctx.anneal = policy;
+  core::RegisterSet regs;
+  regs.add(qdt);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::maxcut_ising_descriptor(qdt, graph));
+  return core::submit(
+      core::JobBundle::package(std::move(regs), std::move(seq), ctx, "anneal-path"));
+}
+
+}  // namespace
+
+int main() {
+  backend::register_builtin_backends();
+  const algolib::Graph graph = algolib::Graph::cycle(4);
+  const core::QuantumDataType qdt = algolib::make_ising_register("ising_vars", 4);
+
+  std::printf("shared QDT (identical artifact for both backends):\n%s\n\n",
+              json::dump_pretty(qdt.to_json()).c_str());
+
+  std::printf("%-28s %-10s %-12s %-14s %s\n", "backend", "samples", "expected cut",
+              "P(1010)+P(0101)", "top outcome");
+  Stopwatch timer;
+  const core::ExecutionResult gate = run_gate_path(qdt, graph, algolib::ring_p1_angles());
+  std::printf("%-28s %-10lld %-12.3f %-14.3f %s   (%.1f ms)\n", "gate.aer_simulator",
+              static_cast<long long>(gate.counts.total()), expected_cut(gate, graph),
+              gate.counts.probability("1010") + gate.counts.probability("0101"),
+              gate.counts.most_frequent().c_str(), timer.milliseconds());
+
+  timer.reset();
+  const core::ExecutionResult anneal = run_anneal_path(qdt, graph);
+  std::printf("%-28s %-10lld %-12.3f %-14.3f %s   (%.1f ms)\n", "anneal.neal_simulator",
+              static_cast<long long>(anneal.counts.total()), expected_cut(anneal, graph),
+              anneal.counts.probability("1010") + anneal.counts.probability("0101"),
+              anneal.counts.most_frequent().c_str(), timer.milliseconds());
+
+  // Hybrid loop: recover good angles from a cold start by resubmitting.
+  std::printf("\nvariational angle recovery (gate path, starting from (0.1, 0.1)):\n");
+  int iteration = 0;
+  const algolib::OptimResult opt = algolib::maximize(
+      [&](const std::vector<double>& params) {
+        algolib::QaoaAngles angles;
+        angles.gammas = {params[0]};
+        angles.betas = {params[1]};
+        const double value = expected_cut(run_gate_path(qdt, graph, angles), graph);
+        if (++iteration % 8 == 1)
+          std::printf("  eval %3d: gamma=%.3f beta=%.3f -> cut %.3f\n", iteration, params[0],
+                      params[1], value);
+        return value;
+      },
+      {0.1, 0.1});
+  std::printf("best: gamma=%.4f beta=%.4f expected cut=%.3f after %d evaluations\n",
+              opt.best_params[0], opt.best_params[1], opt.best_value, opt.evaluations);
+  std::printf("(ring-optimal analytic angles: gamma=pi/4=0.7854, beta=pi/8=0.3927, cut=3.0)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quantum phase estimation through the middle layer (paper §4.4 names "QPE
+// scaffolding" among the algorithmic-library primitives).
+//
+// A QPE_TEMPLATE descriptor estimates the eigenphase of a diagonal phase
+// oracle U|1> = e^{2 pi i phi}|1> into a typed PHASE_REGISTER.  Because the
+// counting register carries phase_scale = 1/2^t, decoding to "turns" is
+// automatic — no manual bit fiddling, the paper's §2 complaint about
+// implicit readout conventions.
+//
+// Build & run:  ./build/examples/qpe_demo
+
+#include <cstdio>
+
+#include "algolib/arithmetic.hpp"
+#include "algolib/phase.hpp"
+#include "algolib/qft.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+
+int main() {
+  using namespace quml;
+  backend::register_builtin_backends();
+
+  const unsigned t = 5;  // counting precision: 5 bits -> resolution 1/32
+  const core::QuantumDataType counting = algolib::make_phase_register("count", t);
+  const core::QuantumDataType eigen = algolib::make_flag_register("eigen");
+
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 4096;
+  ctx.exec.seed = 7;
+
+  std::printf("estimating eigenphases with a %u-bit counting register (resolution 1/%u)\n\n", t,
+              1u << t);
+  std::printf("%-12s %-12s %-10s %s\n", "true phase", "estimate", "P(mode)", "exact?");
+
+  for (const double true_phase : {0.25, 0.15625 /* 5/32 */, 0.3, 0.7123}) {
+    core::RegisterSet regs;
+    regs.add(counting);
+    regs.add(eigen);
+    core::OperatorSequence seq;
+    seq.ops.push_back(algolib::qpe_descriptor(counting, eigen, true_phase));
+    seq.ops.push_back(algolib::measurement_descriptor(counting));
+    const core::ExecutionResult result = core::submit(
+        core::JobBundle::package(std::move(regs), std::move(seq), ctx, "qpe"));
+
+    // Modal decoded estimate.
+    const std::string mode = result.counts.most_frequent();
+    double estimate = 0.0;
+    for (const auto& outcome : result.decoded)
+      if (outcome.bitstring == mode) estimate = outcome.value.real_value;
+    const bool exact =
+        std::abs(true_phase * (1u << t) - static_cast<double>(static_cast<int>(
+                                              true_phase * (1u << t)))) < 1e-12;
+    std::printf("%-12.5f %-12.5f %-10.3f %s\n", true_phase, estimate,
+                result.counts.probability(mode), exact ? "yes (deterministic)" : "no (modal)");
+  }
+
+  std::printf("\nexact multiples of 1/32 are recovered with probability 1; other phases\n"
+              "concentrate on the two neighbouring grid points (standard QPE behaviour).\n");
+  return 0;
+}

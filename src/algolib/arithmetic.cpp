@@ -1,0 +1,158 @@
+#include "algolib/arithmetic.hpp"
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::QuantumDataType make_uint_register(const std::string& id, unsigned width,
+                                         const std::string& name) {
+  core::QuantumDataType qdt;
+  qdt.id = id;
+  qdt.name = name;
+  qdt.width = width;
+  qdt.encoding = core::EncodingKind::UintRegister;
+  qdt.bit_order = core::BitOrder::Lsb0;
+  qdt.semantics = core::MeasurementSemantics::AsUint;
+  qdt.validate();
+  return qdt;
+}
+
+core::QuantumDataType make_flag_register(const std::string& id, const std::string& name) {
+  core::QuantumDataType qdt;
+  qdt.id = id;
+  qdt.name = name;
+  qdt.width = 1;
+  qdt.encoding = core::EncodingKind::BoolRegister;
+  qdt.bit_order = core::BitOrder::Lsb0;
+  qdt.semantics = core::MeasurementSemantics::AsBool;
+  qdt.validate();
+  return qdt;
+}
+
+namespace {
+
+/// Draper adders bracket phase kicks between a QFT/IQFT pair.
+core::CostHint draper_cost(unsigned width, int num_adders) {
+  core::CostHint hint;
+  const std::int64_t n = width;
+  hint.twoq = num_adders * n * (n - 1);  // two QFT halves of n(n-1)/2 CPs each
+  hint.oneq = num_adders * 3 * n;        // 2n Hadamard + n phase kicks
+  hint.depth = num_adders * 2 * n * n;
+  return hint;
+}
+
+void check_flag_register(const core::QuantumDataType& reg, const char* role) {
+  if (reg.width != 1)
+    throw ValidationError(std::string(role) + " register '" + reg.id + "' must have width 1");
+}
+
+}  // namespace
+
+core::OperatorDescriptor adder_const_descriptor(const core::QuantumDataType& reg,
+                                                std::int64_t addend, bool subtract) {
+  if (reg.encoding != core::EncodingKind::UintRegister &&
+      reg.encoding != core::EncodingKind::IntRegister)
+    throw ValidationError("adder requires an integer register");
+  core::OperatorDescriptor op;
+  op.name = subtract ? "SUB_CONST" : "ADD_CONST";
+  op.rep_kind = core::rep::kAdderTemplate;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("addend", json::Value(addend));
+  op.params.set("subtract", json::Value(subtract));
+  op.cost_hint = draper_cost(reg.width, 1);
+  return op;
+}
+
+core::OperatorDescriptor adder_register_descriptor(const core::QuantumDataType& target,
+                                                   const core::QuantumDataType& source,
+                                                   bool subtract) {
+  if (target.encoding != core::EncodingKind::UintRegister ||
+      source.encoding != core::EncodingKind::UintRegister)
+    throw ValidationError("register adder requires UINT registers");
+  if (target.id == source.id)
+    throw ValidationError("register adder needs two distinct registers");
+  if (source.width > target.width)
+    throw ValidationError("source register wider than target");
+  core::OperatorDescriptor op;
+  op.name = subtract ? "SUB_REG" : "ADD_REG";
+  op.rep_kind = core::rep::kRegisterAdderTemplate;
+  op.domain_qdt = target.id;
+  op.codomain_qdt = target.id;
+  op.params.set("source_qdt", json::Value(source.id));
+  op.params.set("subtract", json::Value(subtract));
+  core::CostHint hint;
+  const std::int64_t n = target.width;
+  const std::int64_t m = source.width;
+  hint.twoq = n * (n - 1) + n * m;  // QFT/IQFT halves + pairwise phase kicks
+  hint.oneq = 2 * n;
+  hint.depth = 2 * n * n + n * m;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor modular_adder_const_descriptor(const core::QuantumDataType& reg,
+                                                        const core::QuantumDataType& scratch,
+                                                        const core::QuantumDataType& flag,
+                                                        std::int64_t addend, std::int64_t modulus,
+                                                        bool subtract) {
+  if (reg.encoding != core::EncodingKind::UintRegister)
+    throw ValidationError("modular adder requires a UINT register");
+  check_flag_register(scratch, "scratch");
+  check_flag_register(flag, "flag");
+  if (modulus <= 1) throw ValidationError("modulus must be > 1");
+  if (reg.width >= 63 || modulus > static_cast<std::int64_t>(1ull << reg.width))
+    throw ValidationError("modulus does not fit the register");
+  if (addend < 0 || addend >= modulus)
+    throw ValidationError("addend must satisfy 0 <= addend < modulus");
+  core::OperatorDescriptor op;
+  op.name = subtract ? "MOD_SUB_CONST" : "MOD_ADD_CONST";
+  op.rep_kind = core::rep::kModularAdderTemplate;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("addend", json::Value(addend));
+  op.params.set("modulus", json::Value(modulus));
+  op.params.set("subtract", json::Value(subtract));
+  op.params.set("scratch_qdt", json::Value(scratch.id));
+  op.params.set("flag_qdt", json::Value(flag.id));
+  // Beauregard: five Draper adders on width+1 wires plus two CX and two X.
+  core::CostHint hint = draper_cost(reg.width + 1, 5);
+  hint.twoq = hint.twoq.value() + 2;
+  hint.ancillas = 2;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor comparator_const_descriptor(const core::QuantumDataType& reg,
+                                                     const core::QuantumDataType& scratch,
+                                                     const core::QuantumDataType& flag,
+                                                     std::int64_t threshold) {
+  if (reg.encoding != core::EncodingKind::UintRegister)
+    throw ValidationError("comparator requires a UINT register");
+  check_flag_register(scratch, "scratch");
+  check_flag_register(flag, "flag");
+  if (threshold < 0 || (reg.width < 63 && threshold > static_cast<std::int64_t>(1ull << reg.width)))
+    throw ValidationError("threshold out of register range");
+  core::OperatorDescriptor op;
+  op.name = "CMP_LT_CONST";
+  op.rep_kind = core::rep::kComparatorTemplate;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = flag.id;  // the semantic output lands in the flag
+  op.params.set("threshold", json::Value(threshold));
+  op.params.set("scratch_qdt", json::Value(scratch.id));
+  op.params.set("flag_qdt", json::Value(flag.id));
+  core::CostHint hint = draper_cost(reg.width + 1, 2);
+  hint.twoq = hint.twoq.value() + 1;
+  hint.ancillas = 2;
+  op.cost_hint = hint;
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = core::MeasurementSemantics::AsBool;
+  schema.bit_significance = core::BitOrder::Lsb0;
+  schema.clbit_order.push_back({flag.id, 0});
+  op.result_schema = schema;
+  return op;
+}
+
+}  // namespace quml::algolib

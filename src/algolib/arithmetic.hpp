@@ -1,0 +1,51 @@
+#pragma once
+// Arithmetic operator descriptors (paper §4.2/§4.4: "a modular adder that is
+// a primitive to add two qubit integers modulo a prime modulus, which is a
+// main component of the Shor algorithm").
+//
+// Realizations target the Draper (QFT-space) adder family:
+//  * ADDER_CONST_TEMPLATE      |a> -> |a + c mod 2^n>
+//  * MODULAR_ADDER_CONST_TEMPLATE |a> -> |a + c mod M>  (Beauregard gadget;
+//    needs a 1-carrier scratch register and a 1-carrier flag register)
+//  * COMPARATOR_CONST_TEMPLATE  flag ^= (a < c)  (domain preserved)
+//
+// Descriptors reference the auxiliary registers by QDT id in params; the
+// backend resolves them through the bundle's register set at lowering time.
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// Unsigned integer register with AS_UINT readout.
+core::QuantumDataType make_uint_register(const std::string& id, unsigned width,
+                                         const std::string& name = "x");
+
+/// One-carrier Boolean register (scratch / flags).
+core::QuantumDataType make_flag_register(const std::string& id, const std::string& name = "flag");
+
+/// |a> -> |a + addend mod 2^width>; set subtract for the inverse.
+core::OperatorDescriptor adder_const_descriptor(const core::QuantumDataType& reg,
+                                                std::int64_t addend, bool subtract = false);
+
+/// Two-register Draper adder: |a>|b> -> |a>|b + a mod 2^width(b)>.
+/// `source` may be narrower than `target`; it is never modified.
+core::OperatorDescriptor adder_register_descriptor(const core::QuantumDataType& target,
+                                                   const core::QuantumDataType& source,
+                                                   bool subtract = false);
+
+/// |a> -> |a + addend mod modulus>, valid for inputs a < modulus and
+/// 0 <= addend < modulus.  `scratch` and `flag` must be width-1 registers.
+core::OperatorDescriptor modular_adder_const_descriptor(const core::QuantumDataType& reg,
+                                                        const core::QuantumDataType& scratch,
+                                                        const core::QuantumDataType& flag,
+                                                        std::int64_t addend, std::int64_t modulus,
+                                                        bool subtract = false);
+
+/// flag ^= (a < threshold); the data register is restored.
+core::OperatorDescriptor comparator_const_descriptor(const core::QuantumDataType& reg,
+                                                     const core::QuantumDataType& scratch,
+                                                     const core::QuantumDataType& flag,
+                                                     std::int64_t threshold);
+
+}  // namespace quml::algolib

@@ -1,0 +1,57 @@
+#include "algolib/booleans.hpp"
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::OperatorDescriptor controlled_swap_descriptor(const core::QuantumDataType& reg,
+                                                    const core::QuantumDataType& control,
+                                                    unsigned target_a, unsigned target_b) {
+  if (control.width != 1) throw ValidationError("control register must have width 1");
+  if (target_a >= reg.width || target_b >= reg.width || target_a == target_b)
+    throw ValidationError("invalid CONTROLLED_SWAP targets");
+  core::OperatorDescriptor op;
+  op.name = "CONTROLLED_SWAP";
+  op.rep_kind = core::rep::kControlledSwap;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("control_qdt", json::Value(control.id));
+  op.params.set("target_a", json::Value(static_cast<std::int64_t>(target_a)));
+  op.params.set("target_b", json::Value(static_cast<std::int64_t>(target_b)));
+  core::CostHint hint;
+  hint.twoq = 8;  // CSWAP = 2 CX + CCX(6 CX)
+  hint.depth = 12;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor swap_test_descriptor(const core::QuantumDataType& a,
+                                              const core::QuantumDataType& b,
+                                              const core::QuantumDataType& flag) {
+  if (a.width != b.width) throw ValidationError("SWAP_TEST registers must have equal width");
+  if (flag.width != 1) throw ValidationError("SWAP_TEST flag must have width 1");
+  if (a.id == b.id) throw ValidationError("SWAP_TEST needs two distinct registers");
+  core::OperatorDescriptor op;
+  op.name = "SWAP_TEST";
+  op.rep_kind = core::rep::kSwapTest;
+  op.domain_qdt = a.id;
+  op.codomain_qdt = flag.id;
+  op.params.set("other_qdt", json::Value(b.id));
+  op.params.set("flag_qdt", json::Value(flag.id));
+  core::CostHint hint;
+  hint.twoq = 8 * static_cast<std::int64_t>(a.width);
+  hint.oneq = 2;
+  hint.depth = 12 * static_cast<std::int64_t>(a.width) + 2;
+  hint.ancillas = 1;
+  op.cost_hint = hint;
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = core::MeasurementSemantics::AsBool;
+  schema.bit_significance = core::BitOrder::Lsb0;
+  schema.clbit_order.push_back({flag.id, 0});
+  op.result_schema = schema;
+  return op;
+}
+
+}  // namespace quml::algolib

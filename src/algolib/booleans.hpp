@@ -1,0 +1,23 @@
+#pragma once
+// Boolean / conditional operator descriptors (paper §4.4: "controls,
+// predicates, multiplexers, controlled-Swap").
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// CONTROLLED_SWAP: swaps carriers `target_a` and `target_b` of `reg` under
+/// the 1-carrier `control` register (a Fredkin gate at the logical level).
+core::OperatorDescriptor controlled_swap_descriptor(const core::QuantumDataType& reg,
+                                                    const core::QuantumDataType& control,
+                                                    unsigned target_a, unsigned target_b);
+
+/// SWAP_TEST between equal-width registers `a` and `b`, writing the overlap
+/// witness into the 1-carrier `flag` register: P(flag = 0) =
+/// (1 + |<a|b>|^2) / 2.  The result schema reads the flag AS_BOOL.
+core::OperatorDescriptor swap_test_descriptor(const core::QuantumDataType& a,
+                                              const core::QuantumDataType& b,
+                                              const core::QuantumDataType& flag);
+
+}  // namespace quml::algolib

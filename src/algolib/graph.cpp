@@ -1,0 +1,169 @@
+#include "algolib/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace quml::algolib {
+
+Graph Graph::cycle(int n, double weight) {
+  if (n < 3) throw ValidationError("cycle needs >= 3 nodes");
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i) g.edges.push_back({i, (i + 1) % n, weight});
+  return g;
+}
+
+Graph Graph::complete(int n, double weight) {
+  if (n < 2) throw ValidationError("complete graph needs >= 2 nodes");
+  Graph g;
+  g.n = n;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g.edges.push_back({i, j, weight});
+  return g;
+}
+
+Graph Graph::path(int n, double weight) {
+  if (n < 2) throw ValidationError("path needs >= 2 nodes");
+  Graph g;
+  g.n = n;
+  for (int i = 0; i + 1 < n; ++i) g.edges.push_back({i, i + 1, weight});
+  return g;
+}
+
+Graph Graph::grid(int rows, int cols, double weight) {
+  if (rows < 1 || cols < 1) throw ValidationError("grid needs positive dimensions");
+  Graph g;
+  g.n = rows * cols;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const int q = r * cols + c;
+      if (c + 1 < cols) g.edges.push_back({q, q + 1, weight});
+      if (r + 1 < rows) g.edges.push_back({q, q + cols, weight});
+    }
+  return g;
+}
+
+Graph Graph::random_gnp(int n, double p, std::uint64_t seed, double w_min, double w_max) {
+  if (n < 2) throw ValidationError("random graph needs >= 2 nodes");
+  if (p < 0.0 || p > 1.0) throw ValidationError("edge probability must be in [0,1]");
+  Graph g;
+  g.n = n;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.next_double() < p)
+        g.edges.push_back({i, j, w_min + (w_max - w_min) * rng.next_double()});
+  return g;
+}
+
+Graph Graph::random_cubic(int n, std::uint64_t seed) {
+  if (n < 4 || n % 2 != 0) throw ValidationError("cubic graph needs even n >= 4");
+  Graph g;
+  g.n = n;
+  Rng rng(seed);
+  // Three perfect matchings over a shuffled ring; retry shuffles that would
+  // duplicate an edge.  Simple and sufficient for benchmark instances.
+  auto has_edge = [&](int a, int b) {
+    for (const auto& e : g.edges)
+      if ((e.u == a && e.v == b) || (e.u == b && e.v == a)) return true;
+    return false;
+  };
+  for (int m = 0; m < 3; ++m) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    int attempts = 0;
+    while (true) {
+      if (++attempts > 200) throw ValidationError("could not sample a cubic graph");
+      for (int i = n - 1; i > 0; --i)
+        std::swap(perm[static_cast<std::size_t>(i)],
+                  perm[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i + 1)))]);
+      bool ok = true;
+      for (int i = 0; i < n && ok; i += 2)
+        if (has_edge(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(i + 1)])) ok = false;
+      if (!ok) continue;
+      for (int i = 0; i < n; i += 2)
+        g.edges.push_back({perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(i + 1)], 1.0});
+      break;
+    }
+  }
+  return g;
+}
+
+double Graph::total_weight() const {
+  double total = 0.0;
+  for (const auto& e : edges) total += e.w;
+  return total;
+}
+
+double Graph::cut_value(std::uint64_t mask) const {
+  double cut = 0.0;
+  for (const auto& e : edges) {
+    const int su = static_cast<int>((mask >> e.u) & 1ull);
+    const int sv = static_cast<int>((mask >> e.v) & 1ull);
+    if (su != sv) cut += e.w;
+  }
+  return cut;
+}
+
+double Graph::cut_value_bits(const std::string& bitstring) const {
+  if (static_cast<int>(bitstring.size()) != n)
+    throw ValidationError("bitstring length does not match node count");
+  return cut_value(from_bitstring(bitstring));
+}
+
+std::pair<double, std::vector<std::uint64_t>> Graph::max_cut_exact() const {
+  if (n < 1 || n > 24) throw ValidationError("exact Max-Cut supports 1..24 nodes");
+  double best = -1.0;
+  std::vector<std::uint64_t> argmax;
+  const std::uint64_t dim = 1ull << n;
+  for (std::uint64_t mask = 0; mask < dim; ++mask) {
+    const double value = cut_value(mask);
+    if (value > best + 1e-12) {
+      best = value;
+      argmax.assign(1, mask);
+    } else if (std::abs(value - best) <= 1e-12) {
+      argmax.push_back(mask);
+    }
+  }
+  return {best, argmax};
+}
+
+json::Value Graph::to_json() const {
+  json::Object o;
+  o.emplace_back("nodes", json::Value(static_cast<std::int64_t>(n)));
+  json::Array edge_list;
+  for (const auto& e : edges) {
+    json::Array entry;
+    entry.emplace_back(static_cast<std::int64_t>(e.u));
+    entry.emplace_back(static_cast<std::int64_t>(e.v));
+    entry.emplace_back(e.w);
+    edge_list.emplace_back(std::move(entry));
+  }
+  o.emplace_back("edges", json::Value(std::move(edge_list)));
+  return json::Value(std::move(o));
+}
+
+Graph Graph::from_json(const json::Value& doc) {
+  Graph g;
+  g.n = static_cast<int>(doc.at("nodes").as_int());
+  for (const auto& entry : doc.at("edges").as_array())
+    g.edges.push_back({static_cast<int>(entry[0].as_int()), static_cast<int>(entry[1].as_int()),
+                       entry[2].as_double()});
+  g.validate();
+  return g;
+}
+
+void Graph::validate() const {
+  if (n < 1) throw ValidationError("graph must have nodes");
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n)
+      throw ValidationError("edge endpoint out of range");
+    if (e.u == e.v) throw ValidationError("self-loop");
+  }
+}
+
+}  // namespace quml::algolib

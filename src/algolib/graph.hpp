@@ -1,0 +1,56 @@
+#pragma once
+// Problem graphs and Max-Cut utilities.
+//
+// The paper's proof-of-concept workload is Max-Cut on the 4-node cycle with
+// uniform weights (paper §5); this module provides that instance, generator
+// families for wider benchmarks, and the exact brute-force optimum used as
+// ground truth.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace quml::algolib {
+
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double w = 1.0;
+};
+
+struct Graph {
+  int n = 0;
+  std::vector<Edge> edges;
+
+  // --- generators -----------------------------------------------------------
+  static Graph cycle(int n, double weight = 1.0);
+  static Graph complete(int n, double weight = 1.0);
+  static Graph path(int n, double weight = 1.0);
+  static Graph grid(int rows, int cols, double weight = 1.0);
+  /// Erdős–Rényi G(n, p) with uniform weights in [w_min, w_max].
+  static Graph random_gnp(int n, double p, std::uint64_t seed, double w_min = 1.0,
+                          double w_max = 1.0);
+  /// 3-regular graph via random perfect matchings (n even).
+  static Graph random_cubic(int n, std::uint64_t seed);
+
+  double total_weight() const;
+
+  /// Cut weight of the partition encoded in `mask` (node i on side bit i).
+  double cut_value(std::uint64_t mask) const;
+  /// Cut weight of an MSB-first readout bitstring (character j = node n-1-j,
+  /// the counts-key convention).
+  double cut_value_bits(const std::string& bitstring) const;
+
+  /// Exhaustive maximum cut (n <= 24): value and all optimal masks.
+  std::pair<double, std::vector<std::uint64_t>> max_cut_exact() const;
+
+  json::Value to_json() const;
+  static Graph from_json(const json::Value& doc);
+
+  void validate() const;
+};
+
+}  // namespace quml::algolib

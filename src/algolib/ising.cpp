@@ -1,0 +1,94 @@
+#include "algolib/ising.hpp"
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::QuantumDataType make_ising_register(const std::string& id, unsigned width,
+                                          const std::string& name) {
+  core::QuantumDataType qdt;
+  qdt.id = id;
+  qdt.name = name;
+  qdt.width = width;
+  qdt.encoding = core::EncodingKind::IsingSpin;
+  qdt.bit_order = core::BitOrder::Lsb0;
+  qdt.semantics = core::MeasurementSemantics::AsBool;
+  qdt.validate();
+  return qdt;
+}
+
+core::OperatorDescriptor ising_problem_descriptor(
+    const core::QuantumDataType& reg, const std::vector<double>& h,
+    const std::vector<std::tuple<int, int, double>>& J) {
+  if (h.size() != reg.width) throw ValidationError("h length must equal register width");
+  for (const auto& [i, j, v] : J) {
+    (void)v;
+    if (i < 0 || j < 0 || i >= static_cast<int>(reg.width) || j >= static_cast<int>(reg.width) ||
+        i == j)
+      throw ValidationError("invalid coupling indices in ISING_PROBLEM");
+  }
+  core::OperatorDescriptor op;
+  op.name = "ISING";
+  op.rep_kind = core::rep::kIsingProblem;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array h_list;
+  for (const double v : h) h_list.emplace_back(v);
+  op.params.set("h", json::Value(std::move(h_list)));
+  json::Array j_list;
+  for (const auto& [i, j, v] : J) {
+    json::Array entry;
+    entry.emplace_back(static_cast<std::int64_t>(i));
+    entry.emplace_back(static_cast<std::int64_t>(j));
+    entry.emplace_back(v);
+    j_list.emplace_back(std::move(entry));
+  }
+  op.params.set("J", json::Value(std::move(j_list)));
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = core::MeasurementSemantics::AsBool;
+  schema.bit_significance = reg.bit_order;
+  for (unsigned i = 0; i < reg.width; ++i) schema.clbit_order.push_back({reg.id, i});
+  op.result_schema = schema;
+  return op;
+}
+
+core::OperatorDescriptor maxcut_ising_descriptor(const core::QuantumDataType& reg,
+                                                 const Graph& graph) {
+  graph.validate();
+  if (static_cast<unsigned>(graph.n) != reg.width)
+    throw ValidationError("graph order must equal register width");
+  std::vector<double> h(reg.width, 0.0);
+  std::vector<std::tuple<int, int, double>> J;
+  for (const auto& e : graph.edges) J.emplace_back(e.u, e.v, e.w);
+  core::OperatorDescriptor op = ising_problem_descriptor(reg, h, J);
+  op.provenance = json::Value::object();
+  op.provenance.set("problem", json::Value("max_cut"));
+  op.provenance.set("graph", graph.to_json());
+  return op;
+}
+
+anneal::IsingModel ising_model_from_descriptor(const core::OperatorDescriptor& op,
+                                               unsigned width) {
+  if (op.rep_kind != core::rep::kIsingProblem)
+    throw ValidationError("descriptor is not an ISING_PROBLEM");
+  anneal::IsingModel model(static_cast<int>(width));
+  if (const json::Value* h = op.params.find("h")) {
+    const json::Array& fields = h->as_array();
+    if (fields.size() != width) throw ValidationError("ISING_PROBLEM h length mismatch");
+    for (unsigned i = 0; i < width; ++i) model.set_field(static_cast<int>(i), fields[i].as_double());
+  }
+  if (const json::Value* j = op.params.find("J")) {
+    for (const auto& entry : j->as_array())
+      model.add_coupling(static_cast<int>(entry[0].as_int()), static_cast<int>(entry[1].as_int()),
+                         entry[2].as_double());
+  }
+  return model;
+}
+
+double cut_from_ising_energy(const Graph& graph, double energy) {
+  return (graph.total_weight() - energy) / 2.0;
+}
+
+}  // namespace quml::algolib

@@ -1,0 +1,39 @@
+#pragma once
+// Ising problem descriptor builders (paper §5, Fig. 3).
+//
+// The annealing path consumes a single ISING_PROBLEM descriptor declaring
+// the energy E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j over the logical
+// ISING_SPIN register.  For Max-Cut the mapping is h = 0, J_ij = +w_ij:
+// minimizing E anti-aligns coupled spins, so ground states are maximum cuts
+// (cut = (W - E)/2 with W the total edge weight).
+
+#include "algolib/graph.hpp"
+#include "anneal/ising.hpp"
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// The paper's shared Max-Cut QDT: `ising_vars`, ISING_SPIN encoding,
+/// AS_BOOL readout, LSB_0 (paper §5).
+core::QuantumDataType make_ising_register(const std::string& id, unsigned width,
+                                          const std::string& name = "s");
+
+/// ISING_PROBLEM descriptor from explicit (h, J).
+core::OperatorDescriptor ising_problem_descriptor(const core::QuantumDataType& reg,
+                                                  const std::vector<double>& h,
+                                                  const std::vector<std::tuple<int, int, double>>& J);
+
+/// ISING_PROBLEM descriptor for Max-Cut on `graph` (h = 0, J = +w).
+core::OperatorDescriptor maxcut_ising_descriptor(const core::QuantumDataType& reg,
+                                                 const Graph& graph);
+
+/// Reconstructs the annealing substrate's model from a descriptor
+/// (the realization hook the anneal backend uses).
+anneal::IsingModel ising_model_from_descriptor(const core::OperatorDescriptor& op,
+                                               unsigned width);
+
+/// cut = (W - E)/2 for the h=0 Max-Cut encoding.
+double cut_from_ising_energy(const Graph& graph, double energy);
+
+}  // namespace quml::algolib

@@ -1,0 +1,64 @@
+#include "algolib/phase.hpp"
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::OperatorDescriptor qpe_descriptor(const core::QuantumDataType& counting,
+                                        const core::QuantumDataType& eigen,
+                                        double phase_turns) {
+  if (counting.encoding != core::EncodingKind::PhaseRegister)
+    throw ValidationError("QPE counting register must be a PHASE_REGISTER");
+  if (eigen.width != 1) throw ValidationError("QPE eigen register must have width 1");
+  core::OperatorDescriptor op;
+  op.name = "QPE";
+  op.rep_kind = core::rep::kQpeTemplate;
+  op.domain_qdt = counting.id;
+  op.codomain_qdt = counting.id;
+  op.params.set("phase_turns", json::Value(phase_turns));
+  op.params.set("eigen_qdt", json::Value(eigen.id));
+  const std::int64_t t = counting.width;
+  core::CostHint hint;
+  hint.twoq = t + t * (t - 1) / 2;  // t controlled-phase kicks + inverse QFT
+  hint.oneq = 2 * t + 1;
+  hint.depth = t * t + 2 * t;
+  hint.ancillas = 1;
+  op.cost_hint = hint;
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = core::MeasurementSemantics::AsPhase;
+  schema.bit_significance = counting.bit_order;
+  for (unsigned i = 0; i < counting.width; ++i) schema.clbit_order.push_back({counting.id, i});
+  op.result_schema = schema;
+  return op;
+}
+
+core::OperatorDescriptor phase_gadget_descriptor(const core::QuantumDataType& reg,
+                                                 const std::vector<unsigned>& carriers,
+                                                 double angle) {
+  if (carriers.empty()) throw ValidationError("phase gadget needs at least one carrier");
+  for (std::size_t i = 0; i < carriers.size(); ++i) {
+    if (carriers[i] >= reg.width) throw ValidationError("phase gadget carrier out of range");
+    for (std::size_t j = i + 1; j < carriers.size(); ++j)
+      if (carriers[i] == carriers[j]) throw ValidationError("duplicate phase gadget carrier");
+  }
+  core::OperatorDescriptor op;
+  op.name = "PHASE_GADGET";
+  op.rep_kind = core::rep::kPhaseGadget;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("angle", json::Value(angle));
+  json::Array list;
+  for (const unsigned c : carriers) list.emplace_back(static_cast<std::int64_t>(c));
+  op.params.set("carriers", json::Value(std::move(list)));
+  core::CostHint hint;
+  const std::int64_t k = static_cast<std::int64_t>(carriers.size());
+  hint.twoq = 2 * (k - 1);
+  hint.oneq = 1;
+  hint.depth = 2 * (k - 1) + 1;
+  op.cost_hint = hint;
+  return op;
+}
+
+}  // namespace quml::algolib

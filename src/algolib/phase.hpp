@@ -1,0 +1,26 @@
+#pragma once
+// Phase / measurement scaffolding descriptors (paper §4.4: "QFT, controlled-
+// phase/kickback gadgets, SWAP test, QPE scaffolding").
+
+#include <vector>
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// QPE_TEMPLATE: estimates the eigenphase of a diagonal phase oracle
+/// U|1> = e^{2 pi i phase_turns}|1> into the counting register.  The
+/// 1-carrier eigen register is prepared in |1>; the counting register ends
+/// holding round(phase_turns * 2^t) with AS_PHASE readout.
+core::OperatorDescriptor qpe_descriptor(const core::QuantumDataType& counting,
+                                        const core::QuantumDataType& eigen,
+                                        double phase_turns);
+
+/// PHASE_GADGET: exp(-i angle/2 * Z x Z x ... x Z) over the listed carriers
+/// of `reg` (CX ladder + RZ + inverse ladder).
+core::OperatorDescriptor phase_gadget_descriptor(const core::QuantumDataType& reg,
+                                                 const std::vector<unsigned>& carriers,
+                                                 double angle);
+
+}  // namespace quml::algolib

@@ -1,0 +1,76 @@
+#include "algolib/qaoa.hpp"
+
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+QaoaAngles ring_p1_angles() {
+  QaoaAngles a;
+  a.gammas = {kPi / 4.0};
+  a.betas = {kPi / 8.0};
+  return a;
+}
+
+core::OperatorDescriptor cost_phase_descriptor(const core::QuantumDataType& reg,
+                                               const Graph& graph, double gamma) {
+  graph.validate();
+  if (static_cast<unsigned>(graph.n) != reg.width)
+    throw ValidationError("graph order must equal register width");
+  core::OperatorDescriptor op;
+  op.name = "ISING_COST_PHASE";
+  op.rep_kind = core::rep::kIsingCostPhase;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("gamma", json::Value(gamma));
+  json::Array edges;
+  for (const auto& e : graph.edges) {
+    json::Array entry;
+    entry.emplace_back(static_cast<std::int64_t>(e.u));
+    entry.emplace_back(static_cast<std::int64_t>(e.v));
+    entry.emplace_back(e.w);
+    edges.emplace_back(std::move(entry));
+  }
+  op.params.set("edges", json::Value(std::move(edges)));
+  core::CostHint hint;
+  hint.twoq = 2 * static_cast<std::int64_t>(graph.edges.size());  // CX-RZ-CX per edge
+  hint.oneq = static_cast<std::int64_t>(graph.edges.size());
+  hint.depth = 3 * static_cast<std::int64_t>(graph.edges.size());
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor mixer_descriptor(const core::QuantumDataType& reg, double beta) {
+  core::OperatorDescriptor op;
+  op.name = "MIXER_RX";
+  op.rep_kind = core::rep::kMixerRx;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("beta", json::Value(beta));
+  core::CostHint hint;
+  hint.oneq = reg.width;
+  hint.depth = 1;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorSequence qaoa_sequence(const core::QuantumDataType& reg, const Graph& graph,
+                                     const QaoaAngles& angles) {
+  if (angles.gammas.empty() || angles.gammas.size() != angles.betas.size())
+    throw ValidationError("QAOA needs equal, nonzero numbers of gammas and betas");
+  core::OperatorSequence seq;
+  seq.ops.push_back(prep_uniform_descriptor(reg));
+  for (std::size_t layer = 0; layer < angles.layers(); ++layer) {
+    seq.ops.push_back(cost_phase_descriptor(reg, graph, angles.gammas[layer]));
+    seq.ops.push_back(mixer_descriptor(reg, angles.betas[layer]));
+  }
+  seq.ops.push_back(measurement_descriptor(reg));
+  return seq;
+}
+
+}  // namespace quml::algolib

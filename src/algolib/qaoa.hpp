@@ -1,0 +1,42 @@
+#pragma once
+// QAOA descriptor stack builders (paper §5, Fig. 2).
+//
+// The gate path consumes a QAOA operator sequence: PREP_UNIFORM, then p
+// alternating layers of ISING_COST_PHASE(gamma) and MIXER_RX(beta), then a
+// MEASUREMENT with an explicit result schema.  Descriptors carry the problem
+// graph and the angles; no gates.
+
+#include <vector>
+
+#include "algolib/graph.hpp"
+#include "core/qdt.hpp"
+#include "core/sequence.hpp"
+
+namespace quml::algolib {
+
+struct QaoaAngles {
+  std::vector<double> gammas;  ///< cost-layer angles, one per layer
+  std::vector<double> betas;   ///< mixer angles, one per layer
+
+  std::size_t layers() const { return gammas.size(); }
+};
+
+/// Known-optimal p=1 angles for uniform-weight rings: (gamma, beta) =
+/// (pi/4, pi/8) gives an expected per-edge cut of 3/4 — hence an expected
+/// cut of exactly 3.0 on the paper's 4-cycle (paper reports 3.0-3.2).
+QaoaAngles ring_p1_angles();
+
+/// ISING_COST_PHASE layer: exp(-i gamma sum_{ij} w_ij Z_i Z_j) (+ linear
+/// terms when h is nonzero).  Carries the graph in params.
+core::OperatorDescriptor cost_phase_descriptor(const core::QuantumDataType& reg,
+                                               const Graph& graph, double gamma);
+
+/// MIXER_RX layer: RX(2*beta) on every carrier.
+core::OperatorDescriptor mixer_descriptor(const core::QuantumDataType& reg, double beta);
+
+/// Full QAOA stack (PREP_UNIFORM + p layers + MEASUREMENT).  Throws unless
+/// gammas and betas have equal, nonzero length.
+core::OperatorSequence qaoa_sequence(const core::QuantumDataType& reg, const Graph& graph,
+                                     const QaoaAngles& angles);
+
+}  // namespace quml::algolib

@@ -1,0 +1,72 @@
+#include "algolib/qft.hpp"
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::QuantumDataType make_phase_register(const std::string& id, unsigned width,
+                                          const std::string& name) {
+  core::QuantumDataType qdt;
+  qdt.id = id;
+  qdt.name = name;
+  qdt.width = width;
+  qdt.encoding = core::EncodingKind::PhaseRegister;
+  qdt.bit_order = core::BitOrder::Lsb0;
+  qdt.semantics = core::MeasurementSemantics::AsPhase;
+  if (width >= 63) throw ValidationError("phase register too wide");
+  qdt.phase_scale = Rational(1, static_cast<std::int64_t>(1ull << width));
+  qdt.validate();
+  return qdt;
+}
+
+core::CostHint qft_cost_hint(unsigned width, const QftParams& params) {
+  const std::int64_t n = static_cast<std::int64_t>(width);
+  const std::int64_t a = params.approx_degree;
+  core::CostHint hint;
+  const std::int64_t full_cp = n * (n - 1) / 2;
+  const std::int64_t dropped = a > 0 ? std::min(full_cp, a * (a + 1) / 2) : 0;
+  hint.twoq = full_cp - dropped;
+  hint.oneq = n;  // one Hadamard per carrier
+  hint.depth = n * n;  // post-decomposition estimate ("depth near 100" at n=10)
+  return hint;
+}
+
+core::OperatorDescriptor qft_descriptor(const core::QuantumDataType& reg,
+                                        const QftParams& params) {
+  if (params.approx_degree < 0 || params.approx_degree >= static_cast<int>(reg.width))
+    throw ValidationError("approx_degree must be in [0, width)");
+  core::OperatorDescriptor op;
+  op.name = "QFT";
+  op.rep_kind = core::rep::kQftTemplate;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("approx_degree", json::Value(static_cast<std::int64_t>(params.approx_degree)));
+  op.params.set("do_swaps", json::Value(params.do_swaps));
+  op.params.set("inverse", json::Value(params.inverse));
+  op.cost_hint = qft_cost_hint(reg.width, params);
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = core::MeasurementSemantics::AsPhase;
+  schema.bit_significance = reg.bit_order;
+  for (unsigned i = 0; i < reg.width; ++i) schema.clbit_order.push_back({reg.id, i});
+  op.result_schema = schema;
+  return op;
+}
+
+core::OperatorDescriptor measurement_descriptor(const core::QuantumDataType& reg) {
+  core::OperatorDescriptor op;
+  op.name = "MEASURE_" + reg.id;
+  op.rep_kind = core::rep::kMeasurement;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  core::ResultSchema schema;
+  schema.basis = core::Basis::Z;
+  schema.datatype = reg.effective_semantics();
+  schema.bit_significance = reg.bit_order;
+  for (unsigned i = 0; i < reg.width; ++i) schema.clbit_order.push_back({reg.id, i});
+  op.result_schema = schema;
+  return op;
+}
+
+}  // namespace quml::algolib

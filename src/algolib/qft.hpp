@@ -1,0 +1,39 @@
+#pragma once
+// QFT descriptor builders (paper §2 motivational example, Listings 2-3).
+//
+// Builders are *pure constructors*: they emit operator descriptors with
+// semantic checks, analytic cost hints and result schemas — never circuits.
+// The backend lowers QFT_TEMPLATE once the context is known.
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// The Listing-2 register: a phase register of `width` carriers with scale
+/// 1/2^width and LSB_0 significance.
+core::QuantumDataType make_phase_register(const std::string& id, unsigned width,
+                                          const std::string& name = "phase");
+
+struct QftParams {
+  int approx_degree = 0;  ///< 0 = exact; k drops the k smallest-angle layers
+  bool do_swaps = true;   ///< final wire-reversal swaps
+  bool inverse = false;   ///< forward vs inverse transform
+};
+
+/// Analytic device-independent cost model.  Matches the paper's Listing 3
+/// numbers for width 10 exact: twoq = n(n-1)/2 = 45 (controlled-phase count,
+/// excluding reversal swaps), depth ~= n^2 = 100 (post-decomposition
+/// estimate).
+core::CostHint qft_cost_hint(unsigned width, const QftParams& params);
+
+/// Builds a QFT_TEMPLATE descriptor over `reg` (in-place), including the
+/// Listing-3 result schema (Z basis, AS_PHASE, LSB_0, full clbit order).
+core::OperatorDescriptor qft_descriptor(const core::QuantumDataType& reg,
+                                        const QftParams& params = {});
+
+/// MEASUREMENT descriptor reading out every carrier of `reg` per its own
+/// semantics (attachable after any sequence).
+core::OperatorDescriptor measurement_descriptor(const core::QuantumDataType& reg);
+
+}  // namespace quml::algolib

@@ -1,0 +1,120 @@
+#include "algolib/stateprep.hpp"
+
+#include <cmath>
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+core::OperatorDescriptor prep_uniform_descriptor(const core::QuantumDataType& reg) {
+  core::OperatorDescriptor op;
+  op.name = "PREP_UNIFORM";
+  op.rep_kind = core::rep::kPrepUniform;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  core::CostHint hint;
+  hint.oneq = reg.width;
+  hint.depth = 1;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor basis_state_prep_descriptor(const core::QuantumDataType& reg,
+                                                     const core::TypedValue& value) {
+  const std::uint64_t basis = reg.encode(value);  // validates range/width
+  core::OperatorDescriptor op;
+  op.name = "BASIS_STATE_PREP";
+  op.rep_kind = core::rep::kBasisStatePrep;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  op.params.set("basis_index", json::Value(static_cast<std::int64_t>(basis)));
+  core::CostHint hint;
+  std::int64_t flips = 0;
+  for (unsigned i = 0; i < reg.width; ++i)
+    if ((basis >> i) & 1ull) ++flips;
+  hint.oneq = flips;
+  hint.depth = flips > 0 ? 1 : 0;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor amplitude_encoding_descriptor(const core::QuantumDataType& reg,
+                                                       const std::vector<double>& amplitudes) {
+  if (reg.width > 16) throw ValidationError("amplitude encoding limited to width 16");
+  if (amplitudes.size() != (1ull << reg.width))
+    throw ValidationError("amplitude encoding needs 2^width values");
+  double norm_sq = 0.0;
+  for (const double v : amplitudes) {
+    if (v < 0.0) throw ValidationError("amplitude encoding requires non-negative amplitudes");
+    norm_sq += v * v;
+  }
+  if (norm_sq <= 0.0) throw ValidationError("amplitude vector must not be all zero");
+  core::OperatorDescriptor op;
+  op.name = "AMPLITUDE_ENCODING";
+  op.rep_kind = core::rep::kAmplitudeEncoding;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array list;
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+  for (const double v : amplitudes) list.emplace_back(v * inv_norm);
+  op.params.set("amplitudes", json::Value(std::move(list)));
+  core::CostHint hint;
+  const std::int64_t dim = static_cast<std::int64_t>(1) << reg.width;
+  hint.oneq = dim - 1;       // one RY per multiplexer slot
+  hint.twoq = dim - reg.width;  // CX count of the multiplexer cascade
+  hint.depth = 2 * dim;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor ghz_prep_descriptor(const core::QuantumDataType& reg) {
+  if (reg.width < 2) throw ValidationError("GHZ needs at least two carriers");
+  core::OperatorDescriptor op;
+  op.name = "GHZ_PREP";
+  op.rep_kind = core::rep::kGhzPrep;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  core::CostHint hint;
+  hint.oneq = 1;
+  hint.twoq = reg.width - 1;
+  hint.depth = reg.width;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor w_prep_descriptor(const core::QuantumDataType& reg) {
+  if (reg.width < 2) throw ValidationError("W state needs at least two carriers");
+  core::OperatorDescriptor op;
+  op.name = "W_PREP";
+  op.rep_kind = core::rep::kWPrep;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  core::CostHint hint;
+  hint.oneq = 1 + 2 * (reg.width - 1);   // X + per-step RY pair
+  hint.twoq = 3 * (reg.width - 1);        // CRY(2 CX) + CX per step
+  hint.depth = 4 * (reg.width - 1) + 1;
+  op.cost_hint = hint;
+  return op;
+}
+
+core::OperatorDescriptor angle_encoding_descriptor(const core::QuantumDataType& reg,
+                                                   const std::vector<double>& angles) {
+  if (angles.size() != reg.width)
+    throw ValidationError("angle encoding needs one angle per carrier");
+  core::OperatorDescriptor op;
+  op.name = "ANGLE_ENCODING";
+  op.rep_kind = core::rep::kAngleEncoding;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array list;
+  for (const double a : angles) list.emplace_back(a);
+  op.params.set("angles", json::Value(std::move(list)));
+  core::CostHint hint;
+  hint.oneq = static_cast<std::int64_t>(angles.size());
+  hint.depth = 1;
+  op.cost_hint = hint;
+  return op;
+}
+
+}  // namespace quml::algolib

@@ -1,0 +1,40 @@
+#pragma once
+// Quantum state preparation builders (paper §4.4: "Hadamard gates, amplitude
+// encoding, angle encoding").
+
+#include <vector>
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::algolib {
+
+/// PREP_UNIFORM: Hadamard on every carrier (the QAOA initial layer).
+core::OperatorDescriptor prep_uniform_descriptor(const core::QuantumDataType& reg);
+
+/// BASIS_STATE_PREP: prepares |encode(value)> from |0...0> (X gates on the
+/// set carriers).  Value must fit the register's typed encoding.
+core::OperatorDescriptor basis_state_prep_descriptor(const core::QuantumDataType& reg,
+                                                     const core::TypedValue& value);
+
+/// ANGLE_ENCODING: RY(angle_i) on carrier i — one classical feature per
+/// carrier, the standard angle-encoding feature map.
+core::OperatorDescriptor angle_encoding_descriptor(const core::QuantumDataType& reg,
+                                                   const std::vector<double>& angles);
+
+/// AMPLITUDE_ENCODING: prepares sum_k v_k |k> from |0...0> for a
+/// non-negative real vector v of length 2^width (normalized internally;
+/// all-zero vectors are rejected).  Realized with multiplexed RY rotations
+/// — O(2^width) CX gates, the standard Mottonen-style construction.
+core::OperatorDescriptor amplitude_encoding_descriptor(const core::QuantumDataType& reg,
+                                                       const std::vector<double>& amplitudes);
+
+/// GHZ_PREP: (|0...0> + |1...1>)/sqrt(2) — maximal entanglement witness,
+/// the canonical multi-carrier state-prep primitive.
+core::OperatorDescriptor ghz_prep_descriptor(const core::QuantumDataType& reg);
+
+/// W_PREP: the equal superposition of one-hot basis states
+/// (|10...0> + |01...0> + ... + |00...1>)/sqrt(width).
+core::OperatorDescriptor w_prep_descriptor(const core::QuantumDataType& reg);
+
+}  // namespace quml::algolib

@@ -1,0 +1,51 @@
+#include "algolib/variational.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+
+OptimResult maximize(const Objective& objective, std::vector<double> initial,
+                     const OptimOptions& options) {
+  if (initial.empty()) throw ValidationError("optimizer needs at least one parameter");
+  if (options.initial_step <= 0.0 || options.min_step <= 0.0)
+    throw ValidationError("optimizer steps must be positive");
+
+  OptimResult result;
+  result.best_params = std::move(initial);
+  result.best_value = objective(result.best_params);
+  result.evaluations = 1;
+
+  double step = options.initial_step;
+  for (int sweep = 0; sweep < options.max_sweeps && step >= options.min_step; ++sweep) {
+    bool improved = false;
+    for (std::size_t i = 0; i < result.best_params.size(); ++i) {
+      for (const double direction : {+1.0, -1.0}) {
+        std::vector<double> candidate = result.best_params;
+        candidate[i] += direction * step;
+        const double value = objective(candidate);
+        ++result.evaluations;
+        if (value > result.best_value + 1e-12) {
+          result.best_value = value;
+          result.best_params = std::move(candidate);
+          improved = true;
+          break;  // keep moving this coordinate next sweep
+        }
+      }
+    }
+    result.history.push_back(result.best_value);
+    if (!improved) step /= 2.0;
+  }
+  return result;
+}
+
+OptimResult minimize(const Objective& objective, std::vector<double> initial,
+                     const OptimOptions& options) {
+  OptimResult result =
+      maximize([&](const std::vector<double>& p) { return -objective(p); }, std::move(initial),
+               options);
+  result.best_value = -result.best_value;
+  for (auto& v : result.history) v = -v;
+  return result;
+}
+
+}  // namespace quml::algolib

@@ -1,0 +1,38 @@
+#pragma once
+// Variational angle optimization helpers (paper §4.4: "expectation/estimation
+// helpers").
+//
+// Backend-free: the objective is a caller-supplied callback (typically a
+// closure that packages a QAOA bundle, submits it, and scores the counts),
+// so the optimizer composes with any engine the context selects.
+
+#include <functional>
+#include <vector>
+
+namespace quml::algolib {
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct OptimResult {
+  std::vector<double> best_params;
+  double best_value = 0.0;
+  int evaluations = 0;
+  std::vector<double> history;  ///< best value after each sweep
+};
+
+struct OptimOptions {
+  double initial_step = 0.3;
+  double min_step = 1e-3;
+  int max_sweeps = 25;
+};
+
+/// Derivative-free coordinate ascent with step halving: deterministic,
+/// robust for the low-dimensional angle landscapes of shallow QAOA.
+OptimResult maximize(const Objective& objective, std::vector<double> initial,
+                     const OptimOptions& options = {});
+
+/// Convenience wrapper for minimization.
+OptimResult minimize(const Objective& objective, std::vector<double> initial,
+                     const OptimOptions& options = {});
+
+}  // namespace quml::algolib

@@ -1,0 +1,69 @@
+#pragma once
+// Ising and QUBO problem models (the annealing substrate's "circuit IR").
+//
+// An ISING_PROBLEM descriptor (paper §5, Fig. 3) lowers to an IsingModel:
+// E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j over spins s_i in {-1,+1}.
+// QUBO is the equivalent binary form E(x) = sum_{i<=j} Q_ij x_i x_j over
+// x in {0,1}; conversions are exact up to a constant offset.
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace quml::anneal {
+
+using Spins = std::vector<std::int8_t>;  ///< entries in {-1,+1}
+
+struct QuboModel;
+
+struct IsingModel {
+  explicit IsingModel(int num_spins = 0);
+
+  int num_spins() const noexcept { return static_cast<int>(h.size()); }
+
+  /// Accumulates a coupling J_ij (order-insensitive; i != j required).
+  void add_coupling(int i, int j, double value);
+  void set_field(int i, double value);
+
+  double energy(const Spins& spins) const;
+
+  /// Change in energy if spin i flips (O(degree) via adjacency).
+  double flip_delta(const Spins& spins, int i) const;
+
+  /// Largest / smallest-nonzero total local field magnitude across spins,
+  /// used for automatic temperature-range selection.
+  double max_abs_field() const;
+  double min_nonzero_field() const;
+
+  /// Exact binary-to-spin conversion; `offset` receives the constant term so
+  /// that E_ising(s) + offset == E_qubo(x(s)).
+  static IsingModel from_qubo(const QuboModel& qubo, double* offset = nullptr);
+
+  json::Value to_json() const;
+  static IsingModel from_json(const json::Value& doc);
+
+  std::vector<double> h;                                ///< linear terms
+  std::vector<std::tuple<int, int, double>> couplings;  ///< i<j, deduplicated
+  std::vector<std::vector<std::pair<int, double>>> adjacency;
+};
+
+struct QuboModel {
+  explicit QuboModel(int num_vars = 0);
+
+  int num_vars() const noexcept { return n; }
+
+  /// Accumulates Q_ij (diagonal i==j holds the linear coefficient).
+  void add(int i, int j, double value);
+
+  double energy(const std::vector<std::int8_t>& x) const;
+
+  /// Exact spin-to-binary conversion (inverse of IsingModel::from_qubo).
+  static QuboModel from_ising(const IsingModel& ising, double* offset = nullptr);
+
+  int n = 0;
+  std::vector<std::tuple<int, int, double>> terms;  ///< i<=j, deduplicated
+};
+
+}  // namespace quml::anneal

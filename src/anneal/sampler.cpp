@@ -1,0 +1,186 @@
+#include "anneal/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/errors.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace quml::anneal {
+
+std::string Sample::bitstring() const {
+  std::string s(spins.size(), '0');
+  for (std::size_t i = 0; i < spins.size(); ++i)
+    if (spins[i] < 0) s[spins.size() - 1 - i] = '1';
+  return s;
+}
+
+void SampleSet::insert(const Spins& spins, double energy) {
+  samples_.push_back({spins, energy, 1});
+  finalized_ = false;
+}
+
+void SampleSet::finalize() {
+  std::sort(samples_.begin(), samples_.end(), [](const Sample& a, const Sample& b) {
+    if (a.energy != b.energy) return a.energy < b.energy;
+    return a.spins < b.spins;
+  });
+  std::vector<Sample> merged;
+  for (auto& s : samples_) {
+    if (!merged.empty() && merged.back().spins == s.spins)
+      merged.back().occurrences += s.occurrences;
+    else
+      merged.push_back(std::move(s));
+  }
+  samples_ = std::move(merged);
+  finalized_ = true;
+}
+
+const Sample& SampleSet::lowest() const {
+  if (samples_.empty()) throw BackendError("empty sample set");
+  if (!finalized_) throw BackendError("sample set not finalized");
+  return samples_.front();
+}
+
+std::int64_t SampleSet::total_reads() const {
+  std::int64_t total = 0;
+  for (const auto& s : samples_) total += s.occurrences;
+  return total;
+}
+
+double SampleSet::mean_energy() const {
+  const std::int64_t total = total_reads();
+  if (total == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += s.energy * static_cast<double>(s.occurrences);
+  return acc / static_cast<double>(total);
+}
+
+double SampleSet::ground_fraction() const {
+  if (samples_.empty()) return 0.0;
+  const double ground = lowest().energy;
+  std::int64_t hits = 0;
+  for (const auto& s : samples_)
+    if (s.energy == ground) hits += s.occurrences;
+  return static_cast<double>(hits) / static_cast<double>(total_reads());
+}
+
+std::vector<double> SimulatedAnnealer::beta_schedule(const IsingModel& model,
+                                                     const AnnealParams& params) {
+  if (params.num_sweeps <= 0) throw ValidationError("num_sweeps must be positive");
+  const double hot = params.beta_min.value_or(std::log(2.0) / std::max(model.max_abs_field(), 1e-9));
+  const double cold = params.beta_max.value_or(std::log(100.0) / std::max(model.min_nonzero_field(), 1e-9));
+  if (hot <= 0.0 || cold < hot)
+    throw ValidationError("invalid beta range: need 0 < beta_min <= beta_max");
+  std::vector<double> betas(static_cast<std::size_t>(params.num_sweeps));
+  const auto steps = static_cast<double>(std::max<std::int64_t>(params.num_sweeps - 1, 1));
+  for (std::int64_t s = 0; s < params.num_sweeps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    betas[static_cast<std::size_t>(s)] =
+        params.schedule == Schedule::Geometric ? hot * std::pow(cold / hot, t)
+                                               : hot + (cold - hot) * t;
+  }
+  return betas;
+}
+
+SampleSet SimulatedAnnealer::sample(const IsingModel& model, const AnnealParams& params) const {
+  if (params.num_reads <= 0) throw ValidationError("num_reads must be positive");
+  const int n = model.num_spins();
+  if (n == 0) throw ValidationError("empty Ising model");
+  const std::vector<double> betas = beta_schedule(model, params);
+  const Rng base(params.seed);
+
+  std::vector<Spins> results(static_cast<std::size_t>(params.num_reads));
+  std::vector<double> energies(static_cast<std::size_t>(params.num_reads));
+
+  parallel_for(0, params.num_reads, 2, [&](std::int64_t read) {
+    Rng rng = base.split(static_cast<std::uint64_t>(read));
+    Spins spins(static_cast<std::size_t>(n));
+    for (auto& s : spins) s = rng.next_double() < 0.5 ? std::int8_t{-1} : std::int8_t{1};
+    for (const double beta : betas) {
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.flip_delta(spins, i);
+        // Lazy Metropolis: zero-cost moves are accepted with probability 1/2.
+        // Always accepting them would let sequential sweeps drag domain
+        // walls deterministically around loops, so walls chase each other
+        // forever instead of diffusing and annihilating.
+        const bool accept = delta < 0.0 ||
+                            (delta == 0.0 ? rng.next_double() < 0.5
+                                          : rng.next_double() < std::exp(-beta * delta));
+        if (accept)
+          spins[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(-spins[static_cast<std::size_t>(i)]);
+      }
+    }
+    results[static_cast<std::size_t>(read)] = std::move(spins);
+    energies[static_cast<std::size_t>(read)] = model.energy(results[static_cast<std::size_t>(read)]);
+  });
+
+  SampleSet set;
+  for (std::int64_t read = 0; read < params.num_reads; ++read)
+    set.insert(results[static_cast<std::size_t>(read)], energies[static_cast<std::size_t>(read)]);
+  set.finalize();
+  return set;
+}
+
+SampleSet greedy_descent(const IsingModel& model, std::int64_t num_reads, std::uint64_t seed) {
+  if (num_reads <= 0) throw ValidationError("num_reads must be positive");
+  const int n = model.num_spins();
+  const Rng base(seed);
+  SampleSet set;
+  for (std::int64_t read = 0; read < num_reads; ++read) {
+    Rng rng = base.split(static_cast<std::uint64_t>(read));
+    Spins spins(static_cast<std::size_t>(n));
+    for (auto& s : spins) s = rng.next_double() < 0.5 ? std::int8_t{-1} : std::int8_t{1};
+    // Steepest descent: flip the best-improving spin until local minimum.
+    while (true) {
+      int best = -1;
+      double best_delta = -1e-12;
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.flip_delta(spins, i);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = i;
+        }
+      }
+      if (best < 0) break;
+      spins[static_cast<std::size_t>(best)] = static_cast<std::int8_t>(-spins[static_cast<std::size_t>(best)]);
+    }
+    set.insert(spins, model.energy(spins));
+  }
+  set.finalize();
+  return set;
+}
+
+SampleSet exact_ground_states(const IsingModel& model) {
+  const int n = model.num_spins();
+  if (n <= 0 || n > 24) throw ValidationError("exact solver supports 1..24 spins");
+  const std::uint64_t dim = 1ull << n;
+  double best = 0.0;
+  bool first = true;
+  std::vector<std::uint64_t> argmin;
+  Spins spins(static_cast<std::size_t>(n));
+  for (std::uint64_t word = 0; word < dim; ++word) {
+    for (int i = 0; i < n; ++i)
+      spins[static_cast<std::size_t>(i)] = (word >> i) & 1ull ? std::int8_t{-1} : std::int8_t{1};
+    const double e = model.energy(spins);
+    if (first || e < best - 1e-12) {
+      best = e;
+      argmin.assign(1, word);
+      first = false;
+    } else if (std::abs(e - best) <= 1e-12) {
+      argmin.push_back(word);
+    }
+  }
+  SampleSet set;
+  for (const std::uint64_t word : argmin) {
+    for (int i = 0; i < n; ++i)
+      spins[static_cast<std::size_t>(i)] = (word >> i) & 1ull ? std::int8_t{-1} : std::int8_t{1};
+    set.insert(spins, best);
+  }
+  set.finalize();
+  return set;
+}
+
+}  // namespace quml::anneal

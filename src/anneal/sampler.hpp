@@ -1,0 +1,82 @@
+#pragma once
+// Simulated annealing sampler (the D-Wave Ocean `neal` substitute), plus a
+// greedy-descent baseline and an exact brute-force solver for validation.
+//
+// The sampler runs `num_reads` independent Metropolis anneals, each sweeping
+// all spins `num_sweeps` times along an inverse-temperature schedule.  Reads
+// are OpenMP-parallel and bit-reproducible: read r draws from an RNG stream
+// split on (seed, r), so the result is independent of the thread count.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/ising.hpp"
+
+namespace quml::anneal {
+
+enum class Schedule { Geometric, Linear };
+
+struct AnnealParams {
+  std::int64_t num_reads = 1000;
+  std::int64_t num_sweeps = 1000;
+  /// Absent bounds select an automatic range from the problem's energy
+  /// scales (neal's heuristic): beta_min = ln(2)/max_field — the hottest
+  /// temperature still accepts the worst uphill move with probability 1/2 —
+  /// and beta_max = ln(100)/min_field — the coldest accepts the smallest
+  /// uphill move with probability 1/100.
+  std::optional<double> beta_min;
+  std::optional<double> beta_max;
+  Schedule schedule = Schedule::Geometric;
+  std::uint64_t seed = 42;
+};
+
+/// One distinct configuration in a sample set.
+struct Sample {
+  Spins spins;
+  double energy = 0.0;
+  std::int64_t occurrences = 0;
+
+  /// MSB-first bitstring with spin +1 -> '0', spin -1 -> '1' (the AS_BOOL
+  /// readout convention shared with the gate path).
+  std::string bitstring() const;
+};
+
+/// Aggregated, energy-sorted sampling results.
+class SampleSet {
+ public:
+  void insert(const Spins& spins, double energy);
+  /// Sorts ascending by energy and merges duplicates; called by producers.
+  void finalize();
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+  const Sample& lowest() const;
+  std::int64_t total_reads() const;
+  double mean_energy() const;
+  /// Fraction of reads that landed on the lowest observed energy.
+  double ground_fraction() const;
+
+ private:
+  std::vector<Sample> samples_;
+  bool finalized_ = false;
+};
+
+/// Metropolis simulated annealer.
+class SimulatedAnnealer {
+ public:
+  SampleSet sample(const IsingModel& model, const AnnealParams& params) const;
+
+  /// The beta ladder actually used for a problem (exposed for tests/benches).
+  static std::vector<double> beta_schedule(const IsingModel& model, const AnnealParams& params);
+};
+
+/// Steepest-descent to a local minimum from random starts (baseline).
+SampleSet greedy_descent(const IsingModel& model, std::int64_t num_reads, std::uint64_t seed);
+
+/// Exhaustive ground-state search; n <= 24.  Returns all optimal spin
+/// configurations with occurrences = 1.
+SampleSet exact_ground_states(const IsingModel& model);
+
+}  // namespace quml::anneal

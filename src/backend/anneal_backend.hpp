@@ -1,0 +1,22 @@
+#pragma once
+// Annealing backend: the "anneal.simulated_annealer" engine (registered with
+// alias "anneal.neal_simulator", the paper's D-Wave Ocean neal path).
+//
+// Consumes a bundle whose operator sequence contains one ISING_PROBLEM
+// descriptor (paper Fig. 3), realizes it on the Metropolis annealer with the
+// context's anneal policy, and returns samples decoded per the result
+// schema — the same Counts/decoded interface the gate path produces, which
+// is what makes the two paths swappable.
+
+#include "core/registry.hpp"
+
+namespace quml::backend {
+
+class AnnealBackend final : public core::Backend {
+ public:
+  std::string name() const override { return "anneal.simulated_annealer"; }
+  core::ExecutionResult run(const core::JobBundle& bundle) override;
+  json::Value capabilities() const override;
+};
+
+}  // namespace quml::backend

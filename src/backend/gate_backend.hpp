@@ -1,0 +1,26 @@
+#pragma once
+// Gate-model backend: the "gate.statevector_simulator" engine (registered
+// with alias "gate.aer_simulator", the paper's Listing 4 engine).
+//
+// run() performs the full late-bound realization (paper Fig. 2):
+//   1. lower the descriptor sequence into a circuit (realization hooks);
+//   2. transpile per the context target (basis gates, coupling map,
+//      optimization level) — the context *constrains compilation* without
+//      touching descriptor semantics;
+//   3. consult orthogonal services named by the context (QEC resource
+//      binding, pulse schedule timing) and attach their reports as metadata;
+//   4. execute exec.samples shots at exec.seed and decode per the result
+//      schema.
+
+#include "core/registry.hpp"
+
+namespace quml::backend {
+
+class GateBackend final : public core::Backend {
+ public:
+  std::string name() const override { return "gate.statevector_simulator"; }
+  core::ExecutionResult run(const core::JobBundle& bundle) override;
+  json::Value capabilities() const override;
+};
+
+}  // namespace quml::backend

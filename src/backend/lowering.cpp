@@ -1,0 +1,418 @@
+#include "backend/lowering.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace quml::backend {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTau = 2.0 * kPi;
+}  // namespace
+
+int QubitResolver::qubit(const std::string& reg_id, unsigned carrier) const {
+  const core::QuantumDataType& reg = regs_->at(reg_id);
+  if (carrier >= reg.width)
+    throw LoweringError("carrier " + std::to_string(carrier) + " out of range for register '" +
+                        reg_id + "'");
+  return static_cast<int>(regs_->offset_of(reg_id) + carrier);
+}
+
+std::vector<int> QubitResolver::qubits(const std::string& reg_id) const {
+  const core::QuantumDataType& reg = regs_->at(reg_id);
+  std::vector<int> out(reg.width);
+  const unsigned base = regs_->offset_of(reg_id);
+  for (unsigned i = 0; i < reg.width; ++i) out[i] = static_cast<int>(base + i);
+  return out;
+}
+
+void append_qft(sim::Circuit& circuit, const std::vector<int>& qubits, int approx_degree,
+                bool do_swaps, bool inverse) {
+  const int n = static_cast<int>(qubits.size());
+  if (n == 0) throw LoweringError("QFT on empty register");
+  if (approx_degree < 0 || approx_degree >= n)
+    throw LoweringError("QFT approx_degree out of range");
+
+  sim::Circuit forward(circuit.num_qubits(), 0);
+  for (int i = n - 1; i >= 0; --i) {
+    forward.h(qubits[static_cast<std::size_t>(i)]);
+    for (int j = i - 1; j >= 0; --j) {
+      const int k = i - j;  // rotation angle pi / 2^k
+      if (approx_degree > 0 && k >= n - approx_degree) continue;
+      forward.cp(kPi / std::pow(2.0, k), qubits[static_cast<std::size_t>(j)],
+                 qubits[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (do_swaps)
+    for (int i = 0; i < n / 2; ++i)
+      forward.swap(qubits[static_cast<std::size_t>(i)], qubits[static_cast<std::size_t>(n - 1 - i)]);
+
+  const sim::Circuit& chosen = forward;
+  if (inverse) {
+    const sim::Circuit inv = chosen.inverse();
+    for (const auto& inst : inv.instructions()) circuit.add(inst.gate, inst.qubits, inst.params);
+  } else {
+    for (const auto& inst : chosen.instructions()) circuit.add(inst.gate, inst.qubits, inst.params);
+  }
+}
+
+void append_add_const(sim::Circuit& circuit, const std::vector<int>& qubits, std::uint64_t addend,
+                      bool subtract, int control) {
+  const unsigned n = static_cast<unsigned>(qubits.size());
+  if (n == 0) throw LoweringError("adder on empty register");
+  const std::uint64_t mask = n >= 64 ? ~0ull : (1ull << n) - 1ull;
+  std::uint64_t c = addend & mask;
+  if (subtract) c = (mask + 1ull - c) & mask;  // add 2^n - c
+
+  append_qft(circuit, qubits, 0, true, false);
+  // In Fourier space |phi(a)>, adding c multiplies basis |j> by
+  // exp(2 pi i c j / 2^n); bit t of j contributes exp(2 pi i c / 2^{n-t}).
+  for (unsigned t = 0; t < n; ++t) {
+    const double angle = kTau * static_cast<double>(c) / std::pow(2.0, static_cast<double>(n - t));
+    if (std::abs(std::remainder(angle, kTau)) < 1e-15) continue;
+    if (control >= 0)
+      circuit.cp(angle, control, qubits[t]);
+    else
+      circuit.p(angle, qubits[t]);
+  }
+  append_qft(circuit, qubits, 0, true, true);
+}
+
+namespace {
+
+using core::OperatorDescriptor;
+using sim::Circuit;
+
+const json::Value& require_param(const OperatorDescriptor& op, const std::string& key) {
+  const json::Value* v = op.params.is_object() ? op.params.find(key) : nullptr;
+  if (!v)
+    throw LoweringError("descriptor '" + op.name + "' (" + op.rep_kind + ") missing param '" +
+                        key + "'");
+  return *v;
+}
+
+void lower_prep_uniform(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  for (const int q : r.qubits(op.domain_qdt)) c.h(q);
+}
+
+void lower_basis_state_prep(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const auto basis = static_cast<std::uint64_t>(require_param(op, "basis_index").as_int());
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    if ((basis >> i) & 1ull) c.x(qs[i]);
+}
+
+void lower_angle_encoding(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const json::Array& angles = require_param(op, "angles").as_array();
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  if (angles.size() != qs.size()) throw LoweringError("angle count mismatch in ANGLE_ENCODING");
+  for (std::size_t i = 0; i < qs.size(); ++i) c.ry(angles[i].as_double(), qs[i]);
+}
+
+void lower_qft(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  append_qft(c, r.qubits(op.domain_qdt), static_cast<int>(op.param_int("approx_degree", 0)),
+             op.param_bool("do_swaps", true), op.param_bool("inverse", false));
+}
+
+void lower_ising_cost_phase(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const double gamma = require_param(op, "gamma").as_double();
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  // e^{-i gamma C} with C = sum_e w_e (1 - Z Z)/2: per edge, e^{+i gamma w/2 ZZ}
+  // = RZZ(-gamma w) up to global phase.
+  for (const auto& entry : require_param(op, "edges").as_array()) {
+    const int u = static_cast<int>(entry[0].as_int());
+    const int v = static_cast<int>(entry[1].as_int());
+    const double w = entry.size() > 2 ? entry[2].as_double() : 1.0;
+    if (u < 0 || v < 0 || u >= static_cast<int>(qs.size()) || v >= static_cast<int>(qs.size()))
+      throw LoweringError("ISING_COST_PHASE edge endpoint out of range");
+    c.rzz(-gamma * w, qs[static_cast<std::size_t>(u)], qs[static_cast<std::size_t>(v)]);
+  }
+  if (const json::Value* h = op.params.find("h")) {
+    const json::Array& fields = h->as_array();
+    if (fields.size() != qs.size()) throw LoweringError("ISING_COST_PHASE h length mismatch");
+    // Linear term h_i s_i enters the cost as -gamma * h_i Z_i -> RZ(-2 gamma h_i)?
+    // e^{+i gamma h Z} = RZ(-2 gamma h) up to convention; sign matches the ZZ term.
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const double hi = fields[i].as_double();
+      if (hi != 0.0) c.rz(-2.0 * gamma * hi, qs[i]);
+    }
+  }
+}
+
+void lower_mixer_rx(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const double beta = require_param(op, "beta").as_double();
+  for (const int q : r.qubits(op.domain_qdt)) c.rx(2.0 * beta, q);
+}
+
+void lower_reset(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  for (const int q : r.qubits(op.domain_qdt)) c.reset(q);
+}
+
+void lower_adder(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  append_add_const(c, r.qubits(op.domain_qdt),
+                   static_cast<std::uint64_t>(require_param(op, "addend").as_int()),
+                   op.param_bool("subtract", false));
+}
+
+/// Extended wires for Beauregard-style gadgets: domain carriers + scratch
+/// carrier as the most significant bit.
+std::vector<int> extended_wires(const OperatorDescriptor& op, const QubitResolver& r) {
+  std::vector<int> wires = r.qubits(op.domain_qdt);
+  const std::string scratch = require_param(op, "scratch_qdt").as_string();
+  wires.push_back(r.qubit(scratch, 0));
+  return wires;
+}
+
+void lower_register_adder(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const std::vector<int> target = r.qubits(op.domain_qdt);
+  const std::vector<int> source = r.qubits(require_param(op, "source_qdt").as_string());
+  if (source.size() > target.size())
+    throw LoweringError("register adder source wider than target");
+  const double sign = op.param_bool("subtract", false) ? -1.0 : 1.0;
+  const int n = static_cast<int>(target.size());
+  // In Fourier space, adding the source register means a controlled phase
+  // kick from every source bit i onto every target wire t with angle
+  // 2 pi 2^{i+t} / 2^n (trivial once i + t >= n).
+  append_qft(c, target, 0, true, false);
+  for (int i = 0; i < static_cast<int>(source.size()); ++i) {
+    for (int t = 0; t < n; ++t) {
+      const int k = n - i - t;
+      if (k < 1) continue;
+      c.cp(sign * kTau / std::pow(2.0, k), source[static_cast<std::size_t>(i)],
+           target[static_cast<std::size_t>(t)]);
+    }
+  }
+  append_qft(c, target, 0, true, true);
+}
+
+/// Uniformly controlled RY: applies RY(angles[p]) to `target` for each bit
+/// pattern p of `controls` (controls[0] is the most significant index bit).
+/// Standard recursion: UCRy(θ) = UCRy'((a+b)/2) CX UCRy'((a-b)/2) CX, since
+/// X RY(φ) X = RY(-φ).
+void append_ucry(Circuit& c, const std::vector<int>& controls, int target,
+                 const std::vector<double>& angles) {
+  if (controls.empty()) {
+    if (std::abs(angles.at(0)) > 1e-14) c.ry(angles[0], target);
+    return;
+  }
+  const std::size_t half = angles.size() / 2;
+  std::vector<double> sum_half(half), diff_half(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    sum_half[i] = (angles[i] + angles[i + half]) / 2.0;
+    diff_half[i] = (angles[i] - angles[i + half]) / 2.0;
+  }
+  const std::vector<int> rest(controls.begin() + 1, controls.end());
+  bool diff_trivial = true;
+  for (const double a : diff_half)
+    if (std::abs(a) > 1e-14) diff_trivial = false;
+  append_ucry(c, rest, target, sum_half);
+  if (diff_trivial) return;  // both branches equal: no conditioning needed
+  c.cx(controls[0], target);
+  append_ucry(c, rest, target, diff_half);
+  c.cx(controls[0], target);
+}
+
+void lower_amplitude_encoding(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const json::Array& raw = require_param(op, "amplitudes").as_array();
+  std::vector<double> v(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) v[i] = raw[i].as_double();
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  const int n = static_cast<int>(qs.size());
+  if (v.size() != (1ull << n)) throw LoweringError("amplitude vector length != 2^width");
+
+  // Binary tree of branch norms, most significant qubit first: at level d
+  // the multiplexed RY on qubit n-1-d rotates by theta_p = 2 atan2(|hi|,|lo|)
+  // within each already-fixed top-bit branch p.
+  for (int level = 0; level < n; ++level) {
+    const int target_bit = n - 1 - level;
+    const std::size_t branches = 1ull << level;
+    const std::size_t branch_len = 1ull << (n - level);
+    std::vector<double> angles(branches);
+    for (std::size_t p = 0; p < branches; ++p) {
+      double lo = 0.0, hi = 0.0;
+      const std::size_t base = p * branch_len;
+      for (std::size_t k = 0; k < branch_len / 2; ++k) {
+        lo += v[base + k] * v[base + k];
+        hi += v[base + branch_len / 2 + k] * v[base + branch_len / 2 + k];
+      }
+      angles[p] = (lo + hi) > 0.0 ? 2.0 * std::atan2(std::sqrt(hi), std::sqrt(lo)) : 0.0;
+    }
+    std::vector<int> controls;
+    for (int d = 0; d < level; ++d) controls.push_back(qs[static_cast<std::size_t>(n - 1 - d)]);
+    append_ucry(c, controls, qs[static_cast<std::size_t>(target_bit)], angles);
+  }
+}
+
+void lower_ghz_prep(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  if (qs.size() < 2) throw LoweringError("GHZ_PREP needs at least two carriers");
+  c.h(qs[0]);
+  for (std::size_t i = 0; i + 1 < qs.size(); ++i) c.cx(qs[i], qs[i + 1]);
+}
+
+/// CRY(theta) from {RY, CX}: RY(theta/2) CX RY(-theta/2) CX on the target.
+void append_cry(Circuit& c, double theta, int control, int target) {
+  c.ry(theta / 2.0, target);
+  c.cx(control, target);
+  c.ry(-theta / 2.0, target);
+  c.cx(control, target);
+}
+
+void lower_w_prep(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  const int n = static_cast<int>(qs.size());
+  if (n < 2) throw LoweringError("W_PREP needs at least two carriers");
+  // Amplitude-peeling cascade: carrier i keeps 1/sqrt(n) of the excitation
+  // and hands the rest to carrier i+1.
+  c.x(qs[0]);
+  for (int i = 0; i + 1 < n; ++i) {
+    const double theta = 2.0 * std::acos(1.0 / std::sqrt(static_cast<double>(n - i)));
+    append_cry(c, theta, qs[static_cast<std::size_t>(i)], qs[static_cast<std::size_t>(i + 1)]);
+    c.cx(qs[static_cast<std::size_t>(i + 1)], qs[static_cast<std::size_t>(i)]);
+  }
+}
+
+void lower_modular_adder(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const auto addend = static_cast<std::uint64_t>(require_param(op, "addend").as_int());
+  const auto modulus = static_cast<std::uint64_t>(require_param(op, "modulus").as_int());
+  const std::vector<int> ext = extended_wires(op, r);
+  const int msb = ext.back();
+  const int flag = r.qubit(require_param(op, "flag_qdt").as_string(), 0);
+
+  // Beauregard's modular adder (quant-ph/0205095 Fig. 5), constant variant.
+  Circuit gadget(c.num_qubits(), 0);
+  append_add_const(gadget, ext, addend, false);
+  append_add_const(gadget, ext, modulus, true);
+  gadget.cx(msb, flag);
+  append_add_const(gadget, ext, modulus, false, flag);
+  append_add_const(gadget, ext, addend, true);
+  gadget.x(msb);
+  gadget.cx(msb, flag);
+  gadget.x(msb);
+  append_add_const(gadget, ext, addend, false);
+
+  if (op.param_bool("subtract", false)) {
+    const Circuit inv = gadget.inverse();
+    for (const auto& inst : inv.instructions()) c.add(inst.gate, inst.qubits, inst.params);
+  } else {
+    for (const auto& inst : gadget.instructions()) c.add(inst.gate, inst.qubits, inst.params);
+  }
+}
+
+void lower_comparator(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const auto threshold = static_cast<std::uint64_t>(require_param(op, "threshold").as_int());
+  const std::vector<int> ext = extended_wires(op, r);
+  const int msb = ext.back();
+  const int flag = r.qubit(require_param(op, "flag_qdt").as_string(), 0);
+  append_add_const(c, ext, threshold, true);  // a - threshold; MSB = borrow
+  c.cx(msb, flag);                            // flag ^= (a < threshold)
+  append_add_const(c, ext, threshold, false); // restore
+}
+
+void lower_controlled_swap(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const int control = r.qubit(require_param(op, "control_qdt").as_string(), 0);
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  const auto a = static_cast<std::size_t>(require_param(op, "target_a").as_int());
+  const auto b = static_cast<std::size_t>(require_param(op, "target_b").as_int());
+  if (a >= qs.size() || b >= qs.size()) throw LoweringError("CONTROLLED_SWAP target out of range");
+  c.cswap(control, qs[a], qs[b]);
+}
+
+void lower_swap_test(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const std::vector<int> a = r.qubits(op.domain_qdt);
+  const std::vector<int> b = r.qubits(require_param(op, "other_qdt").as_string());
+  if (a.size() != b.size()) throw LoweringError("SWAP_TEST register width mismatch");
+  const int flag = r.qubit(require_param(op, "flag_qdt").as_string(), 0);
+  c.h(flag);
+  for (std::size_t i = 0; i < a.size(); ++i) c.cswap(flag, a[i], b[i]);
+  c.h(flag);
+}
+
+void lower_qpe(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const double phase_turns = require_param(op, "phase_turns").as_double();
+  const std::vector<int> counting = r.qubits(op.domain_qdt);
+  const int eigen = r.qubit(require_param(op, "eigen_qdt").as_string(), 0);
+  c.x(eigen);  // prepare the |1> eigenstate of the phase oracle
+  for (const int q : counting) c.h(q);
+  // Counting qubit j controls U^{2^j} = P(2 pi * phase * 2^j).
+  for (std::size_t j = 0; j < counting.size(); ++j)
+    c.cp(kTau * phase_turns * std::pow(2.0, static_cast<double>(j)), counting[j], eigen);
+  append_qft(c, counting, 0, true, true);  // inverse QFT
+}
+
+void lower_phase_gadget(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const double angle = require_param(op, "angle").as_double();
+  const std::vector<int> qs = r.qubits(op.domain_qdt);
+  std::vector<int> chain;
+  for (const auto& entry : require_param(op, "carriers").as_array()) {
+    const auto idx = static_cast<std::size_t>(entry.as_int());
+    if (idx >= qs.size()) throw LoweringError("phase gadget carrier out of range");
+    chain.push_back(qs[idx]);
+  }
+  if (chain.empty()) throw LoweringError("phase gadget needs carriers");
+  if (chain.size() == 1) {
+    c.rz(angle, chain[0]);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) c.cx(chain[i], chain[i + 1]);
+  c.rz(angle, chain.back());
+  for (std::size_t i = chain.size() - 1; i > 0; --i) c.cx(chain[i - 1], chain[i]);
+}
+
+}  // namespace
+
+LoweringRegistry::LoweringRegistry() {
+  register_lowering(core::rep::kPrepUniform, lower_prep_uniform);
+  register_lowering(core::rep::kBasisStatePrep, lower_basis_state_prep);
+  register_lowering(core::rep::kAngleEncoding, lower_angle_encoding);
+  register_lowering(core::rep::kAmplitudeEncoding, lower_amplitude_encoding);
+  register_lowering(core::rep::kQftTemplate, lower_qft);
+  register_lowering(core::rep::kIsingCostPhase, lower_ising_cost_phase);
+  register_lowering(core::rep::kMixerRx, lower_mixer_rx);
+  register_lowering(core::rep::kReset, lower_reset);
+  register_lowering(core::rep::kAdderTemplate, lower_adder);
+  register_lowering(core::rep::kRegisterAdderTemplate, lower_register_adder);
+  register_lowering(core::rep::kGhzPrep, lower_ghz_prep);
+  register_lowering(core::rep::kWPrep, lower_w_prep);
+  register_lowering(core::rep::kModularAdderTemplate, lower_modular_adder);
+  register_lowering(core::rep::kComparatorTemplate, lower_comparator);
+  register_lowering(core::rep::kControlledSwap, lower_controlled_swap);
+  register_lowering(core::rep::kSwapTest, lower_swap_test);
+  register_lowering(core::rep::kQpeTemplate, lower_qpe);
+  register_lowering(core::rep::kPhaseGadget, lower_phase_gadget);
+}
+
+LoweringRegistry& LoweringRegistry::instance() {
+  static LoweringRegistry registry;
+  return registry;
+}
+
+void LoweringRegistry::register_lowering(const std::string& rep_kind, LoweringFn fn) {
+  for (auto& [kind, existing] : entries_) {
+    if (kind == rep_kind) {
+      existing = std::move(fn);
+      return;
+    }
+  }
+  entries_.emplace_back(rep_kind, std::move(fn));
+}
+
+bool LoweringRegistry::has(const std::string& rep_kind) const {
+  for (const auto& [kind, _] : entries_)
+    if (kind == rep_kind) return true;
+  return false;
+}
+
+void LoweringRegistry::lower(const core::OperatorDescriptor& op, const QubitResolver& resolver,
+                             sim::Circuit& circuit) const {
+  for (const auto& [kind, fn] : entries_) {
+    if (kind == op.rep_kind) {
+      fn(op, resolver, circuit);
+      return;
+    }
+  }
+  throw LoweringError("no realization hook for rep_kind '" + op.rep_kind + "'");
+}
+
+}  // namespace quml::backend

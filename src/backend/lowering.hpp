@@ -1,0 +1,67 @@
+#pragma once
+// Realization hooks: rep_kind -> circuit fragments (paper §4.4: "realization
+// hooks are provided [...] that lower a quantum operator descriptor to a
+// target-specific form [...] when the caller supplies a backend/context").
+//
+// Lowering is the *late-binding* step: it runs inside the gate backend, after
+// the context is known, and is the only place descriptors meet gates.  The
+// registry is open — embedders can add rep_kinds without touching the core.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/qod.hpp"
+#include "core/sequence.hpp"
+#include "sim/circuit.hpp"
+
+namespace quml::backend {
+
+/// Resolves descriptor registers to flat qubit indices of the program
+/// circuit: carrier i of register `id` lives at offset(id) + i.
+class QubitResolver {
+ public:
+  explicit QubitResolver(const core::RegisterSet& regs) : regs_(&regs) {}
+
+  int qubit(const std::string& reg_id, unsigned carrier) const;
+  /// All carriers of a register, in carrier order.
+  std::vector<int> qubits(const std::string& reg_id) const;
+  const core::RegisterSet& registers() const { return *regs_; }
+
+ private:
+  const core::RegisterSet* regs_;
+};
+
+using LoweringFn = std::function<void(const core::OperatorDescriptor&, const QubitResolver&,
+                                      sim::Circuit&)>;
+
+class LoweringRegistry {
+ public:
+  /// Singleton preloaded with every built-in rep_kind.
+  static LoweringRegistry& instance();
+
+  void register_lowering(const std::string& rep_kind, LoweringFn fn);
+  bool has(const std::string& rep_kind) const;
+  /// Lowers one descriptor into `circuit`; throws LoweringError for unknown
+  /// kinds.  MEASUREMENT is *not* handled here (the backend owns readout).
+  void lower(const core::OperatorDescriptor& op, const QubitResolver& resolver,
+             sim::Circuit& circuit) const;
+
+ private:
+  LoweringRegistry();
+  std::vector<std::pair<std::string, LoweringFn>> entries_;
+};
+
+/// Appends a textbook QFT on `qubits` (LSB first): |k> -> N^{-1/2} sum_j
+/// exp(2 pi i k j / N) |j>, with the wire-reversal swaps when `do_swaps`.
+/// `approx_degree` drops the smallest-angle controlled-phase layers.
+void append_qft(sim::Circuit& circuit, const std::vector<int>& qubits, int approx_degree,
+                bool do_swaps, bool inverse);
+
+/// Appends a Draper constant adder: |a> -> |a + addend mod 2^qubits.size()>.
+/// When `control` >= 0 the phase kicks are controlled on that qubit
+/// (the QFT/IQFT pair needs no control).
+void append_add_const(sim::Circuit& circuit, const std::vector<int>& qubits, std::uint64_t addend,
+                      bool subtract, int control = -1);
+
+}  // namespace quml::backend

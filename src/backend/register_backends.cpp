@@ -1,0 +1,25 @@
+#include "backend/register_backends.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "backend/anneal_backend.hpp"
+#include "backend/gate_backend.hpp"
+#include "core/registry.hpp"
+
+namespace quml::backend {
+
+void register_builtin_backends() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    auto& registry = core::BackendRegistry::instance();
+    registry.register_backend(
+        "gate.statevector_simulator", [] { return std::make_unique<GateBackend>(); },
+        {"gate.aer_simulator"});
+    registry.register_backend(
+        "anneal.simulated_annealer", [] { return std::make_unique<AnnealBackend>(); },
+        {"anneal.neal_simulator", "anneal.ocean_neal"});
+  });
+}
+
+}  // namespace quml::backend

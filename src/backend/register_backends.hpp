@@ -1,0 +1,13 @@
+#pragma once
+// Built-in engine registration.
+
+namespace quml::backend {
+
+/// Registers the built-in engines with the core registry (idempotent):
+///   gate.statevector_simulator   (alias: gate.aer_simulator)
+///   anneal.simulated_annealer    (aliases: anneal.neal_simulator,
+///                                 anneal.ocean_neal)
+/// Call once before core::submit / BackendRegistry::create.
+void register_builtin_backends();
+
+}  // namespace quml::backend

@@ -1,0 +1,113 @@
+#include "comm/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace quml::comm {
+
+std::vector<QpuSpec> qpus_from_policy(const core::CommPolicy& policy) {
+  std::vector<QpuSpec> out;
+  if (!policy.qpus.is_array()) return out;
+  for (const auto& entry : policy.qpus.as_array()) {
+    QpuSpec spec;
+    spec.name = entry.get_string("name", "qpu" + std::to_string(out.size()));
+    spec.qubits = static_cast<int>(entry.get_int("qubits", 0));
+    if (spec.qubits <= 0) throw ValidationError("QPU '" + spec.name + "' needs positive capacity");
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+json::Value PartitionPlan::to_json() const {
+  json::Object o;
+  json::Array placement;
+  for (const int q : qpu_of_qubit) placement.emplace_back(static_cast<std::int64_t>(q));
+  o.emplace_back("qpu_of_qubit", json::Value(std::move(placement)));
+  o.emplace_back("local_2q", json::Value(local_2q));
+  o.emplace_back("nonlocal_2q", json::Value(nonlocal_2q));
+  o.emplace_back("epr_pairs", json::Value(epr_pairs));
+  o.emplace_back("classical_bits", json::Value(classical_bits));
+  o.emplace_back("estimated_fidelity", json::Value(estimated_fidelity));
+  return json::Value(std::move(o));
+}
+
+PartitionPlan partition_circuit(const sim::Circuit& circuit, const std::vector<QpuSpec>& qpus,
+                                const core::CommPolicy& policy) {
+  if (qpus.empty()) throw BackendError("no QPUs in the communication policy");
+  const int n = circuit.num_qubits();
+  std::int64_t capacity = 0;
+  for (const auto& q : qpus) capacity += q.qubits;
+  if (capacity < n)
+    throw BackendError("QPU fleet capacity " + std::to_string(capacity) +
+                       " below circuit width " + std::to_string(n));
+  if (!policy.allow_teleportation) {
+    const bool fits_single =
+        std::any_of(qpus.begin(), qpus.end(), [&](const QpuSpec& q) { return q.qubits >= n; });
+    if (!fits_single)
+      throw BackendError("circuit spans multiple QPUs but teleportation is disabled");
+  }
+
+  // Interaction weights: w(a,b) = number of 2q gates between a and b.
+  std::vector<std::vector<std::int64_t>> weight(
+      static_cast<std::size_t>(n), std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  for (const auto& inst : circuit.instructions())
+    if (gate_is_unitary(inst.gate) && inst.qubits.size() == 2) {
+      ++weight[static_cast<std::size_t>(inst.qubits[0])][static_cast<std::size_t>(inst.qubits[1])];
+      ++weight[static_cast<std::size_t>(inst.qubits[1])][static_cast<std::size_t>(inst.qubits[0])];
+    }
+
+  // Greedy placement: qubits in decreasing total interaction; each goes to
+  // the QPU (with space) maximizing affinity to already-placed neighbours.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::vector<std::int64_t> strength(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) strength[static_cast<std::size_t>(i)] += weight[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (strength[static_cast<std::size_t>(a)] != strength[static_cast<std::size_t>(b)])
+      return strength[static_cast<std::size_t>(a)] > strength[static_cast<std::size_t>(b)];
+    return a < b;
+  });
+
+  PartitionPlan plan;
+  plan.qpu_of_qubit.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> used(qpus.size(), 0);
+  for (const int q : order) {
+    int best = -1;
+    std::int64_t best_affinity = -1;
+    for (std::size_t k = 0; k < qpus.size(); ++k) {
+      if (used[k] >= qpus[k].qubits) continue;
+      std::int64_t affinity = 0;
+      for (int other = 0; other < n; ++other)
+        if (plan.qpu_of_qubit[static_cast<std::size_t>(other)] == static_cast<int>(k))
+          affinity += weight[static_cast<std::size_t>(q)][static_cast<std::size_t>(other)];
+      if (affinity > best_affinity) {
+        best_affinity = affinity;
+        best = static_cast<int>(k);
+      }
+    }
+    plan.qpu_of_qubit[static_cast<std::size_t>(q)] = best;
+    ++used[static_cast<std::size_t>(best)];
+  }
+
+  for (const auto& inst : circuit.instructions())
+    if (gate_is_unitary(inst.gate) && inst.qubits.size() == 2) {
+      const int qa = plan.qpu_of_qubit[static_cast<std::size_t>(inst.qubits[0])];
+      const int qb = plan.qpu_of_qubit[static_cast<std::size_t>(inst.qubits[1])];
+      if (qa == qb)
+        ++plan.local_2q;
+      else
+        ++plan.nonlocal_2q;
+    }
+  if (plan.nonlocal_2q > 0 && !policy.allow_teleportation)
+    throw BackendError("placement requires " + std::to_string(plan.nonlocal_2q) +
+                       " teleported gates but teleportation is disabled");
+  plan.epr_pairs = plan.nonlocal_2q;
+  plan.classical_bits = 2 * plan.nonlocal_2q;
+  plan.estimated_fidelity = std::pow(policy.epr_fidelity, static_cast<double>(plan.epr_pairs));
+  return plan;
+}
+
+}  // namespace quml::comm

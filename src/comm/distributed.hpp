@@ -1,0 +1,46 @@
+#pragma once
+// Distributed-execution estimation — the orthogonal communication context
+// service (paper §4.3.1: "quantum communication with teleportation and
+// remote operations between devices").
+//
+// Given a circuit and a multi-QPU topology, the planner partitions qubits
+// across devices (greedy interaction-weight heuristic) and prices the cut:
+// every non-local two-qubit gate costs one EPR pair and two classical bits
+// under gate teleportation.  The resulting communication volume feeds the
+// `comm_bits` cost hint the scheduler consumes.
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "json/json.hpp"
+#include "sim/circuit.hpp"
+
+namespace quml::comm {
+
+struct QpuSpec {
+  std::string name;
+  int qubits = 0;
+};
+
+/// Parses the context's comm.qpus array ([{"name":..., "qubits": n}, ...]).
+std::vector<QpuSpec> qpus_from_policy(const core::CommPolicy& policy);
+
+struct PartitionPlan {
+  std::vector<int> qpu_of_qubit;    ///< circuit qubit -> QPU index
+  std::int64_t local_2q = 0;
+  std::int64_t nonlocal_2q = 0;
+  std::int64_t epr_pairs = 0;       ///< one per teleported gate
+  std::int64_t classical_bits = 0;  ///< two per teleported gate
+  double estimated_fidelity = 1.0;  ///< epr_fidelity^epr_pairs
+
+  json::Value to_json() const;
+};
+
+/// Plans a placement of circuit qubits onto `qpus`.  Throws BackendError
+/// when total capacity is insufficient or (teleportation disabled and the
+/// circuit does not fit a single QPU).
+PartitionPlan partition_circuit(const sim::Circuit& circuit, const std::vector<QpuSpec>& qpus,
+                                const core::CommPolicy& policy);
+
+}  // namespace quml::comm

@@ -1,0 +1,70 @@
+#include "core/bundle.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "schema/descriptor_schemas.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+JobBundle JobBundle::package(RegisterSet registers, OperatorSequence operators,
+                             std::optional<Context> context, std::string job_id) {
+  SequenceRules rules;
+  if (context) rules.allow_mid_circuit = context->allows_mid_circuit_measurement();
+  operators.validate(registers, rules);
+  JobBundle bundle;
+  bundle.job_id = std::move(job_id);
+  bundle.registers = std::move(registers);
+  bundle.operators = std::move(operators);
+  bundle.context = std::move(context);
+  bundle.provenance.set("producer", json::Value("quml"));
+  bundle.provenance.set("middle_layer_version", json::Value("0.1.0"));
+  return bundle;
+}
+
+ExecPolicy JobBundle::exec_policy() const {
+  return context ? context->exec : ExecPolicy{};
+}
+
+json::Value JobBundle::to_json() const {
+  json::Object o;
+  o.emplace_back("$schema", json::Value("job.schema.json"));
+  o.emplace_back("job_id", json::Value(job_id.empty() ? "job-0" : job_id));
+  json::Array qdts;
+  for (const auto& q : registers.all()) qdts.push_back(q.to_json());
+  o.emplace_back("qdts", json::Value(std::move(qdts)));
+  o.emplace_back("operators", operators.to_json());
+  if (context) o.emplace_back("context", context->to_json());
+  if (provenance.is_object() && provenance.size() > 0) o.emplace_back("provenance", provenance);
+  return json::Value(std::move(o));
+}
+
+JobBundle JobBundle::from_json(const json::Value& doc) {
+  schema::job_validator().validate_or_throw(doc);
+  RegisterSet regs;
+  for (const auto& q : doc.at("qdts").as_array()) regs.add(QuantumDataType::from_json(q));
+  OperatorSequence seq = OperatorSequence::from_json(doc.at("operators"));
+  std::optional<Context> ctx;
+  if (const json::Value* c = doc.find("context")) ctx = Context::from_json(*c);
+  JobBundle bundle = package(std::move(regs), std::move(seq), std::move(ctx),
+                             doc.get_string("job_id", "job-0"));
+  if (const json::Value* p = doc.find("provenance")) bundle.provenance = *p;
+  return bundle;
+}
+
+void JobBundle::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw BackendError("cannot open '" + path + "' for writing");
+  out << json::dump_pretty(to_json()) << "\n";
+}
+
+JobBundle JobBundle::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw BackendError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(json::parse(buffer.str()));
+}
+
+}  // namespace quml::core

@@ -1,0 +1,41 @@
+#pragma once
+// Submission bundles — the packaging step of the algorithmic libraries
+// (paper §4.4): "a packaging utility [...] combines the quantum data type,
+// operators, and optional context into a submission bundle (job.json)".
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/qdt.hpp"
+#include "core/sequence.hpp"
+
+namespace quml::core {
+
+struct JobBundle {
+  std::string job_id;
+  RegisterSet registers;
+  OperatorSequence operators;
+  std::optional<Context> context;
+  json::Value provenance = json::Value::object();
+
+  /// Packages and validates: per-descriptor schema shape is implied by
+  /// construction; semantic sequence validation runs here so an invalid
+  /// bundle can never be produced (fail-early, paper §4.1).
+  static JobBundle package(RegisterSet registers, OperatorSequence operators,
+                           std::optional<Context> context = std::nullopt,
+                           std::string job_id = "job-0");
+
+  /// Convenience: the context's exec policy, or defaults when absent.
+  ExecPolicy exec_policy() const;
+
+  json::Value to_json() const;
+  static JobBundle from_json(const json::Value& doc);
+
+  /// File I/O for artifact-based workflows (job.json on disk).
+  void save(const std::string& path) const;
+  static JobBundle load(const std::string& path);
+};
+
+}  // namespace quml::core

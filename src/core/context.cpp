@@ -1,0 +1,203 @@
+#include "core/context.hpp"
+
+#include "schema/descriptor_schemas.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+json::Value TargetSpec::to_json() const {
+  json::Object o;
+  if (num_qubits) o.emplace_back("num_qubits", json::Value(static_cast<std::int64_t>(*num_qubits)));
+  if (!basis_gates.empty()) {
+    json::Array gates;
+    for (const auto& g : basis_gates) gates.emplace_back(g);
+    o.emplace_back("basis_gates", json::Value(std::move(gates)));
+  }
+  if (!coupling_map.empty()) {
+    json::Array edges;
+    for (const auto& [a, b] : coupling_map) {
+      json::Array edge;
+      edge.emplace_back(static_cast<std::int64_t>(a));
+      edge.emplace_back(static_cast<std::int64_t>(b));
+      edges.emplace_back(std::move(edge));
+    }
+    o.emplace_back("coupling_map", json::Value(std::move(edges)));
+  }
+  return json::Value(std::move(o));
+}
+
+TargetSpec TargetSpec::from_json(const json::Value& doc) {
+  TargetSpec t;
+  if (const json::Value* v = doc.find("num_qubits")) t.num_qubits = static_cast<int>(v->as_int());
+  if (const json::Value* v = doc.find("basis_gates"))
+    for (const auto& g : v->as_array()) t.basis_gates.push_back(g.as_string());
+  if (const json::Value* v = doc.find("coupling_map"))
+    for (const auto& e : v->as_array())
+      t.coupling_map.emplace_back(static_cast<int>(e[0].as_int()), static_cast<int>(e[1].as_int()));
+  return t;
+}
+
+json::Value ExecPolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("engine", json::Value(engine));
+  o.emplace_back("samples", json::Value(samples));
+  o.emplace_back("seed", json::Value(static_cast<std::int64_t>(seed)));
+  if (max_parallel_threads)
+    o.emplace_back("max_parallel_threads", json::Value(static_cast<std::int64_t>(*max_parallel_threads)));
+  if (!target.empty()) o.emplace_back("target", target.to_json());
+  if (options.is_object() && options.size() > 0) o.emplace_back("options", options);
+  return json::Value(std::move(o));
+}
+
+ExecPolicy ExecPolicy::from_json(const json::Value& doc) {
+  ExecPolicy e;
+  e.engine = doc.get_string("engine", "");
+  e.samples = doc.get_int("samples", e.samples);
+  e.seed = static_cast<std::uint64_t>(doc.get_int("seed", static_cast<std::int64_t>(e.seed)));
+  if (const json::Value* v = doc.find("max_parallel_threads"))
+    e.max_parallel_threads = static_cast<int>(v->as_int());
+  if (const json::Value* v = doc.find("target")) e.target = TargetSpec::from_json(*v);
+  if (const json::Value* v = doc.find("options")) e.options = *v;
+  return e;
+}
+
+json::Value QecPolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("code_family", json::Value(code_family));
+  o.emplace_back("distance", json::Value(static_cast<std::int64_t>(distance)));
+  o.emplace_back("allocator", json::Value(allocator));
+  if (!logical_gate_set.empty()) {
+    json::Array gates;
+    for (const auto& g : logical_gate_set) gates.emplace_back(g);
+    o.emplace_back("logical_gate_set", json::Value(std::move(gates)));
+  }
+  o.emplace_back("physical_error_rate", json::Value(physical_error_rate));
+  if (target_logical_error_rate)
+    o.emplace_back("target_logical_error_rate", json::Value(*target_logical_error_rate));
+  o.emplace_back("decoder", json::Value(decoder));
+  return json::Value(std::move(o));
+}
+
+QecPolicy QecPolicy::from_json(const json::Value& doc) {
+  QecPolicy q;
+  q.code_family = doc.get_string("code_family", q.code_family);
+  q.distance = static_cast<int>(doc.get_int("distance", q.distance));
+  q.allocator = doc.get_string("allocator", q.allocator);
+  if (const json::Value* v = doc.find("logical_gate_set"))
+    for (const auto& g : v->as_array()) q.logical_gate_set.push_back(g.as_string());
+  q.physical_error_rate = doc.get_double("physical_error_rate", q.physical_error_rate);
+  if (const json::Value* v = doc.find("target_logical_error_rate"))
+    q.target_logical_error_rate = v->as_double();
+  q.decoder = doc.get_string("decoder", q.decoder);
+  return q;
+}
+
+json::Value AnnealPolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("num_reads", json::Value(num_reads));
+  o.emplace_back("num_sweeps", json::Value(num_sweeps));
+  if (beta_min) o.emplace_back("beta_min", json::Value(*beta_min));
+  if (beta_max) o.emplace_back("beta_max", json::Value(*beta_max));
+  o.emplace_back("schedule", json::Value(schedule));
+  if (seed) o.emplace_back("seed", json::Value(static_cast<std::int64_t>(*seed)));
+  return json::Value(std::move(o));
+}
+
+AnnealPolicy AnnealPolicy::from_json(const json::Value& doc) {
+  AnnealPolicy a;
+  a.num_reads = doc.get_int("num_reads", a.num_reads);
+  a.num_sweeps = doc.get_int("num_sweeps", a.num_sweeps);
+  if (const json::Value* v = doc.find("beta_min")) a.beta_min = v->as_double();
+  if (const json::Value* v = doc.find("beta_max")) a.beta_max = v->as_double();
+  a.schedule = doc.get_string("schedule", a.schedule);
+  if (const json::Value* v = doc.find("seed")) a.seed = static_cast<std::uint64_t>(v->as_int());
+  return a;
+}
+
+json::Value CommPolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("allow_teleportation", json::Value(allow_teleportation));
+  if (qpus.is_array() && qpus.size() > 0) o.emplace_back("qpus", qpus);
+  o.emplace_back("epr_fidelity", json::Value(epr_fidelity));
+  return json::Value(std::move(o));
+}
+
+CommPolicy CommPolicy::from_json(const json::Value& doc) {
+  CommPolicy c;
+  c.allow_teleportation = doc.get_bool("allow_teleportation", c.allow_teleportation);
+  if (const json::Value* v = doc.find("qpus")) c.qpus = *v;
+  c.epr_fidelity = doc.get_double("epr_fidelity", c.epr_fidelity);
+  return c;
+}
+
+json::Value NoisePolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("enabled", json::Value(enabled));
+  o.emplace_back("depolarizing_1q", json::Value(depolarizing_1q));
+  o.emplace_back("depolarizing_2q", json::Value(depolarizing_2q));
+  o.emplace_back("readout_flip", json::Value(readout_flip));
+  return json::Value(std::move(o));
+}
+
+NoisePolicy NoisePolicy::from_json(const json::Value& doc) {
+  NoisePolicy n;
+  n.enabled = doc.get_bool("enabled", n.enabled);
+  n.depolarizing_1q = doc.get_double("depolarizing_1q", n.depolarizing_1q);
+  n.depolarizing_2q = doc.get_double("depolarizing_2q", n.depolarizing_2q);
+  n.readout_flip = doc.get_double("readout_flip", n.readout_flip);
+  return n;
+}
+
+json::Value PulsePolicy::to_json() const {
+  json::Object o;
+  o.emplace_back("enabled", json::Value(enabled));
+  o.emplace_back("sx_duration_ns", json::Value(sx_duration_ns));
+  o.emplace_back("cx_duration_ns", json::Value(cx_duration_ns));
+  o.emplace_back("measure_duration_ns", json::Value(measure_duration_ns));
+  return json::Value(std::move(o));
+}
+
+PulsePolicy PulsePolicy::from_json(const json::Value& doc) {
+  PulsePolicy p;
+  p.enabled = doc.get_bool("enabled", p.enabled);
+  p.sx_duration_ns = doc.get_double("sx_duration_ns", p.sx_duration_ns);
+  p.cx_duration_ns = doc.get_double("cx_duration_ns", p.cx_duration_ns);
+  p.measure_duration_ns = doc.get_double("measure_duration_ns", p.measure_duration_ns);
+  return p;
+}
+
+json::Value Context::to_json() const {
+  json::Object o;
+  o.emplace_back("$schema", json::Value("ctx.schema.json"));
+  o.emplace_back("exec", exec.to_json());
+  if (qec) o.emplace_back("qec", qec->to_json());
+  if (anneal) o.emplace_back("anneal", anneal->to_json());
+  if (comm) o.emplace_back("comm", comm->to_json());
+  if (pulse) o.emplace_back("pulse", pulse->to_json());
+  if (noise) o.emplace_back("noise", noise->to_json());
+  if (extensions.is_object() && extensions.size() > 0) o.emplace_back("extensions", extensions);
+  return json::Value(std::move(o));
+}
+
+Context Context::from_json(const json::Value& doc) {
+  // Normalize the paper's `"contexts": {...}` wrapper into top-level blocks.
+  json::Value normalized = doc;
+  if (const json::Value* wrapper = normalized.find("contexts")) {
+    const json::Value blocks = *wrapper;  // copy before mutating the parent
+    normalized.erase("contexts");
+    for (const auto& [key, block] : blocks.as_object())
+      if (!normalized.contains(key)) normalized.set(key, block);
+  }
+  schema::ctx_validator().validate_or_throw(normalized);
+  Context c;
+  if (const json::Value* v = normalized.find("exec")) c.exec = ExecPolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("qec")) c.qec = QecPolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("anneal")) c.anneal = AnnealPolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("comm")) c.comm = CommPolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("pulse")) c.pulse = PulsePolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("noise")) c.noise = NoisePolicy::from_json(*v);
+  if (const json::Value* v = normalized.find("extensions")) c.extensions = *v;
+  return c;
+}
+
+}  // namespace quml::core

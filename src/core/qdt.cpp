@@ -1,0 +1,248 @@
+#include "core/qdt.hpp"
+
+#include <cmath>
+
+#include "schema/descriptor_schemas.hpp"
+#include "util/bits.hpp"
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace quml::core {
+
+TypedValue TypedValue::from_uint(std::uint64_t v) {
+  TypedValue t;
+  t.kind = Kind::Uint;
+  t.uint_value = v;
+  return t;
+}
+
+TypedValue TypedValue::from_int(std::int64_t v) {
+  TypedValue t;
+  t.kind = Kind::Int;
+  t.int_value = v;
+  return t;
+}
+
+TypedValue TypedValue::from_phase(double turns) {
+  TypedValue t;
+  t.kind = Kind::Phase;
+  t.real_value = turns;
+  return t;
+}
+
+TypedValue TypedValue::from_fixed(double value) {
+  TypedValue t;
+  t.kind = Kind::Fixed;
+  t.real_value = value;
+  return t;
+}
+
+TypedValue TypedValue::from_bools(std::vector<bool> v) {
+  TypedValue t;
+  t.kind = Kind::Bools;
+  t.bools = std::move(v);
+  return t;
+}
+
+TypedValue TypedValue::from_spins(std::vector<int> v) {
+  TypedValue t;
+  t.kind = Kind::Spins;
+  for (int s : v)
+    if (s != -1 && s != 1) throw ValidationError("spin values must be -1 or +1");
+  t.spins = std::move(v);
+  return t;
+}
+
+std::string TypedValue::str() const {
+  switch (kind) {
+    case Kind::Uint: return std::to_string(uint_value);
+    case Kind::Int: return std::to_string(int_value);
+    case Kind::Phase: return format_double(real_value) + " turn";
+    case Kind::Fixed: return format_double(real_value);
+    case Kind::Bools: {
+      std::string s;
+      for (bool b : bools) s.push_back(b ? '1' : '0');
+      return s;
+    }
+    case Kind::Spins: {
+      std::string s;
+      for (int v : spins) s.push_back(v > 0 ? '+' : '-');
+      return s;
+    }
+  }
+  return "?";
+}
+
+MeasurementSemantics QuantumDataType::effective_semantics() const {
+  return semantics.value_or(default_semantics(encoding));
+}
+
+Rational QuantumDataType::effective_phase_scale() const {
+  if (phase_scale) return *phase_scale;
+  if (width >= 63) throw ValidationError("phase register too wide for default scale");
+  return Rational(1, static_cast<std::int64_t>(1ull << width));
+}
+
+void QuantumDataType::validate() const {
+  if (id.empty()) throw ValidationError("QDT id must not be empty");
+  if (width == 0 || width > 64)
+    throw ValidationError("QDT '" + id + "' width must be in [1, 64]");
+  if (phase_scale && encoding != EncodingKind::PhaseRegister)
+    throw ValidationError("QDT '" + id + "': phase_scale requires PHASE_REGISTER");
+  if (fraction_bits && encoding != EncodingKind::FixedPointRegister)
+    throw ValidationError("QDT '" + id + "': fraction_bits requires FIXED_POINT_REGISTER");
+  if (fraction_bits && *fraction_bits > width)
+    throw ValidationError("QDT '" + id + "': fraction_bits exceeds width");
+  if (encoding == EncodingKind::PhaseRegister) {
+    const Rational scale = effective_phase_scale();
+    if (scale.num() <= 0) throw ValidationError("QDT '" + id + "': phase_scale must be positive");
+  }
+}
+
+namespace {
+
+/// Maps a raw basis index (bit i = carrier i) to the *significance-ordered*
+/// integer: with LSB_0 carrier i already has weight 2^i; with MSB_0 carrier 0
+/// is the most significant bit, so the bits must be reversed.
+std::uint64_t significance_value(const QuantumDataType& qdt, std::uint64_t basis_index) {
+  const std::uint64_t mask =
+      qdt.width >= 64 ? ~0ull : ((1ull << qdt.width) - 1ull);
+  basis_index &= mask;
+  return qdt.bit_order == BitOrder::Lsb0 ? basis_index
+                                         : reverse_bits(basis_index, qdt.width);
+}
+
+std::uint64_t basis_from_significance(const QuantumDataType& qdt, std::uint64_t value) {
+  return qdt.bit_order == BitOrder::Lsb0 ? value : reverse_bits(value, qdt.width);
+}
+
+}  // namespace
+
+TypedValue QuantumDataType::decode(std::uint64_t basis_index) const {
+  const std::uint64_t k = significance_value(*this, basis_index);
+  switch (effective_semantics()) {
+    case MeasurementSemantics::AsUint: return TypedValue::from_uint(k);
+    case MeasurementSemantics::AsInt: return TypedValue::from_int(sign_extend(k, width));
+    case MeasurementSemantics::AsBool: {
+      std::vector<bool> flags(width);
+      for (unsigned i = 0; i < width; ++i) flags[i] = bit_at(basis_index, i) != 0;
+      return TypedValue::from_bools(std::move(flags));
+    }
+    case MeasurementSemantics::AsPhase:
+      return TypedValue::from_phase(static_cast<double>(k) * effective_phase_scale().value());
+    case MeasurementSemantics::AsSpin: {
+      std::vector<int> spins(width);
+      // Convention: readout 0 -> spin +1, readout 1 -> spin -1 (|0> is the
+      // +1 eigenstate of Pauli Z).
+      for (unsigned i = 0; i < width; ++i) spins[i] = bit_at(basis_index, i) ? -1 : +1;
+      return TypedValue::from_spins(std::move(spins));
+    }
+    case MeasurementSemantics::AsFixedPoint: {
+      const unsigned frac = fraction_bits.value_or(0);
+      return TypedValue::from_fixed(static_cast<double>(k) / std::pow(2.0, frac));
+    }
+  }
+  throw ValidationError("unreachable semantics");
+}
+
+std::uint64_t QuantumDataType::encode(const TypedValue& value) const {
+  const std::uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1ull);
+  switch (value.kind) {
+    case TypedValue::Kind::Uint: {
+      if (width < 64 && value.uint_value > mask)
+        throw ValidationError("value does not fit in register '" + id + "'");
+      return basis_from_significance(*this, value.uint_value & mask);
+    }
+    case TypedValue::Kind::Int: {
+      const std::int64_t lo = width >= 64 ? INT64_MIN : -(static_cast<std::int64_t>(1) << (width - 1));
+      const std::int64_t hi = width >= 64 ? INT64_MAX : (static_cast<std::int64_t>(1) << (width - 1)) - 1;
+      if (value.int_value < lo || value.int_value > hi)
+        throw ValidationError("signed value does not fit in register '" + id + "'");
+      return basis_from_significance(*this, static_cast<std::uint64_t>(value.int_value) & mask);
+    }
+    case TypedValue::Kind::Phase: {
+      const double scale = effective_phase_scale().value();
+      const double steps = value.real_value / scale;
+      const auto k = static_cast<std::int64_t>(std::llround(steps));
+      if (std::abs(steps - static_cast<double>(k)) > 1e-9)
+        throw ValidationError("phase is not a multiple of phase_scale");
+      if (k < 0 || static_cast<std::uint64_t>(k) > mask)
+        throw ValidationError("phase out of register range");
+      return basis_from_significance(*this, static_cast<std::uint64_t>(k));
+    }
+    case TypedValue::Kind::Fixed: {
+      const unsigned frac = fraction_bits.value_or(0);
+      const double steps = value.real_value * std::pow(2.0, frac);
+      const auto k = static_cast<std::int64_t>(std::llround(steps));
+      if (k < 0 || static_cast<std::uint64_t>(k) > mask)
+        throw ValidationError("fixed-point value out of register range");
+      return basis_from_significance(*this, static_cast<std::uint64_t>(k));
+    }
+    case TypedValue::Kind::Bools: {
+      if (value.bools.size() != width)
+        throw ValidationError("boolean vector width mismatch for '" + id + "'");
+      std::uint64_t idx = 0;
+      for (unsigned i = 0; i < width; ++i)
+        if (value.bools[i]) idx |= 1ull << i;
+      return idx;
+    }
+    case TypedValue::Kind::Spins: {
+      if (value.spins.size() != width)
+        throw ValidationError("spin vector width mismatch for '" + id + "'");
+      std::uint64_t idx = 0;
+      for (unsigned i = 0; i < width; ++i)
+        if (value.spins[i] < 0) idx |= 1ull << i;
+      return idx;
+    }
+  }
+  throw ValidationError("unreachable TypedValue kind");
+}
+
+TypedValue QuantumDataType::decode_bitstring(const std::string& bits) const {
+  if (bits.size() != width)
+    throw ValidationError("bitstring width mismatch for register '" + id + "'");
+  return decode(from_bitstring(bits));
+}
+
+json::Value QuantumDataType::to_json() const {
+  json::Object o;
+  o.emplace_back("$schema", json::Value("qdt-core.schema.json"));
+  o.emplace_back("id", json::Value(id));
+  if (!name.empty()) o.emplace_back("name", json::Value(name));
+  o.emplace_back("width", json::Value(static_cast<std::int64_t>(width)));
+  o.emplace_back("encoding_kind", json::Value(to_string(encoding)));
+  o.emplace_back("bit_order", json::Value(to_string(bit_order)));
+  o.emplace_back("measurement_semantics", json::Value(to_string(effective_semantics())));
+  if (encoding == EncodingKind::PhaseRegister)
+    o.emplace_back("phase_scale", json::Value(effective_phase_scale().str()));
+  if (fraction_bits)
+    o.emplace_back("fraction_bits", json::Value(static_cast<std::int64_t>(*fraction_bits)));
+  if (metadata.is_object() && metadata.size() > 0) o.emplace_back("metadata", metadata);
+  return json::Value(std::move(o));
+}
+
+QuantumDataType QuantumDataType::from_json(const json::Value& doc) {
+  schema::qdt_validator().validate_or_throw(doc);
+  QuantumDataType q;
+  q.id = doc.at("id").as_string();
+  q.name = doc.get_string("name", "");
+  q.width = static_cast<unsigned>(doc.at("width").as_int());
+  q.encoding = encoding_kind_from_string(doc.at("encoding_kind").as_string());
+  if (const json::Value* v = doc.find("bit_order"))
+    q.bit_order = bit_order_from_string(v->as_string());
+  if (const json::Value* v = doc.find("measurement_semantics"))
+    q.semantics = semantics_from_string(v->as_string());
+  if (const json::Value* v = doc.find("phase_scale"))
+    q.phase_scale = Rational::parse(v->as_string());
+  if (const json::Value* v = doc.find("fraction_bits"))
+    q.fraction_bits = static_cast<unsigned>(v->as_int());
+  if (const json::Value* v = doc.find("metadata")) q.metadata = *v;
+  q.validate();
+  return q;
+}
+
+bool QuantumDataType::operator==(const QuantumDataType& other) const {
+  return to_json() == other.to_json();
+}
+
+}  // namespace quml::core

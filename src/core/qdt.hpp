@@ -1,0 +1,85 @@
+#pragma once
+// Quantum Data Type descriptors (paper §4.1, Listing 2).
+//
+// A QDT is the semantic contract of a register: what the basis states *mean*.
+// It is hardware-agnostic — width counts logical carriers (qubits on gate
+// backends, spins on annealers, qumodes on CV systems) — and everything a
+// decoder needs (significance order, interpretation, phase scale) is explicit
+// so independently written libraries agree on the meaning of every readout.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "json/json.hpp"
+#include "util/rational.hpp"
+
+namespace quml::core {
+
+/// A decoded (or to-be-encoded) typed register value.
+struct TypedValue {
+  enum class Kind { Uint, Int, Phase, Fixed, Bools, Spins };
+
+  Kind kind = Kind::Uint;
+  std::uint64_t uint_value = 0;       ///< Kind::Uint
+  std::int64_t int_value = 0;         ///< Kind::Int
+  double real_value = 0.0;            ///< Kind::Phase (fraction of a turn) / Kind::Fixed
+  std::vector<bool> bools;            ///< Kind::Bools, index = carrier index
+  std::vector<int> spins;             ///< Kind::Spins, entries in {-1,+1}
+
+  static TypedValue from_uint(std::uint64_t v);
+  static TypedValue from_int(std::int64_t v);
+  static TypedValue from_phase(double turns);
+  static TypedValue from_fixed(double value);
+  static TypedValue from_bools(std::vector<bool> v);
+  static TypedValue from_spins(std::vector<int> v);
+
+  /// Human-readable rendering ("7", "0.125 turn", "+--+", ...).
+  std::string str() const;
+};
+
+/// Quantum Data Type descriptor.
+struct QuantumDataType {
+  std::string id;                 ///< logical register identity ("ising_vars")
+  std::string name;               ///< display name ("s")
+  unsigned width = 1;             ///< number of logical carriers (1..64)
+  EncodingKind encoding = EncodingKind::UintRegister;
+  BitOrder bit_order = BitOrder::Lsb0;
+  std::optional<MeasurementSemantics> semantics;  ///< defaults per encoding
+  std::optional<Rational> phase_scale;            ///< PHASE_REGISTER only; default 1/2^width
+  std::optional<unsigned> fraction_bits;          ///< FIXED_POINT_REGISTER only
+  json::Value metadata;                           ///< free-form annotations
+
+  /// Effective measurement interpretation (explicit or encoding default).
+  MeasurementSemantics effective_semantics() const;
+
+  /// Effective phase scale (explicit or 1/2^width).
+  Rational effective_phase_scale() const;
+
+  /// Semantic self-checks beyond schema shape (width bounds, scale/encoding
+  /// agreement).  Throws ValidationError.
+  void validate() const;
+
+  // --- decoding / encoding --------------------------------------------------
+  // A "basis index" is the canonical integer whose bit i is the outcome of
+  // carrier i.  `decode` applies bit_order + semantics to produce the typed
+  // value; `encode` is its inverse (used for typed state preparation).
+
+  TypedValue decode(std::uint64_t basis_index) const;
+  std::uint64_t encode(const TypedValue& value) const;
+
+  /// Decodes a human-readable bitstring (MSB-first rendering of the carriers,
+  /// i.e. character j is carrier width-1-j, the Qiskit counts-key convention).
+  TypedValue decode_bitstring(const std::string& bits) const;
+
+  // --- JSON round trip -------------------------------------------------------
+  json::Value to_json() const;
+  /// Validates against qdt-core.schema.json, then parses.
+  static QuantumDataType from_json(const json::Value& doc);
+
+  bool operator==(const QuantumDataType& other) const;
+};
+
+}  // namespace quml::core

@@ -1,0 +1,137 @@
+#include "core/qod.hpp"
+
+#include <algorithm>
+
+#include "schema/descriptor_schemas.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+bool CostHint::empty() const {
+  return !oneq && !twoq && !depth && !ancillas && !comm_bits && !duration_us;
+}
+
+namespace {
+void add_opt(std::optional<std::int64_t>& into, const std::optional<std::int64_t>& from) {
+  if (!from) return;
+  into = into.value_or(0) + *from;
+}
+}  // namespace
+
+CostHint& CostHint::operator+=(const CostHint& other) {
+  add_opt(oneq, other.oneq);
+  add_opt(twoq, other.twoq);
+  add_opt(depth, other.depth);
+  add_opt(comm_bits, other.comm_bits);
+  if (other.ancillas) ancillas = std::max(ancillas.value_or(0), *other.ancillas);
+  if (other.duration_us) duration_us = duration_us.value_or(0.0) + *other.duration_us;
+  return *this;
+}
+
+json::Value CostHint::to_json() const {
+  json::Object o;
+  if (oneq) o.emplace_back("oneq", json::Value(*oneq));
+  if (twoq) o.emplace_back("twoq", json::Value(*twoq));
+  if (depth) o.emplace_back("depth", json::Value(*depth));
+  if (ancillas) o.emplace_back("ancillas", json::Value(*ancillas));
+  if (duration_us) o.emplace_back("duration_us", json::Value(*duration_us));
+  if (comm_bits) o.emplace_back("comm_bits", json::Value(*comm_bits));
+  return json::Value(std::move(o));
+}
+
+CostHint CostHint::from_json(const json::Value& doc) {
+  CostHint h;
+  if (const json::Value* v = doc.find("oneq")) h.oneq = v->as_int();
+  if (const json::Value* v = doc.find("twoq")) h.twoq = v->as_int();
+  if (const json::Value* v = doc.find("depth")) h.depth = v->as_int();
+  if (const json::Value* v = doc.find("ancillas")) h.ancillas = v->as_int();
+  if (const json::Value* v = doc.find("duration_us")) h.duration_us = v->as_double();
+  if (const json::Value* v = doc.find("comm_bits")) h.comm_bits = v->as_int();
+  return h;
+}
+
+ClbitRef ClbitRef::parse(const std::string& text) {
+  const auto open = text.find('[');
+  const auto close = text.rfind(']');
+  if (open == std::string::npos || close == std::string::npos || close != text.size() - 1 ||
+      open == 0 || close <= open + 1)
+    throw ValidationError("malformed clbit reference '" + text + "'");
+  ClbitRef ref;
+  ref.reg = text.substr(0, open);
+  try {
+    ref.index = static_cast<unsigned>(std::stoul(text.substr(open + 1, close - open - 1)));
+  } catch (const std::exception&) {
+    throw ValidationError("malformed clbit index in '" + text + "'");
+  }
+  return ref;
+}
+
+json::Value ResultSchema::to_json() const {
+  json::Object o;
+  o.emplace_back("basis", json::Value(to_string(basis)));
+  o.emplace_back("datatype", json::Value(to_string(datatype)));
+  o.emplace_back("bit_significance", json::Value(to_string(bit_significance)));
+  if (!clbit_order.empty()) {
+    json::Array order;
+    for (const auto& ref : clbit_order) order.emplace_back(ref.str());
+    o.emplace_back("clbit_order", json::Value(std::move(order)));
+  }
+  return json::Value(std::move(o));
+}
+
+ResultSchema ResultSchema::from_json(const json::Value& doc) {
+  ResultSchema rs;
+  rs.basis = basis_from_string(doc.at("basis").as_string());
+  rs.datatype = semantics_from_string(doc.at("datatype").as_string());
+  if (const json::Value* v = doc.find("bit_significance"))
+    rs.bit_significance = bit_order_from_string(v->as_string());
+  if (const json::Value* v = doc.find("clbit_order"))
+    for (const auto& item : v->as_array()) rs.clbit_order.push_back(ClbitRef::parse(item.as_string()));
+  return rs;
+}
+
+std::int64_t OperatorDescriptor::param_int(const std::string& key, std::int64_t fallback) const {
+  return params.is_object() ? params.get_int(key, fallback) : fallback;
+}
+
+double OperatorDescriptor::param_double(const std::string& key, double fallback) const {
+  return params.is_object() ? params.get_double(key, fallback) : fallback;
+}
+
+bool OperatorDescriptor::param_bool(const std::string& key, bool fallback) const {
+  return params.is_object() ? params.get_bool(key, fallback) : fallback;
+}
+
+json::Value OperatorDescriptor::to_json() const {
+  json::Object o;
+  o.emplace_back("$schema", json::Value("qod.schema.json"));
+  o.emplace_back("name", json::Value(name.empty() ? rep_kind : name));
+  o.emplace_back("rep_kind", json::Value(rep_kind));
+  o.emplace_back("domain_qdt", json::Value(domain_qdt));
+  if (!codomain_qdt.empty()) o.emplace_back("codomain_qdt", json::Value(codomain_qdt));
+  if (params.is_object() && params.size() > 0) o.emplace_back("params", params);
+  if (cost_hint && !cost_hint->empty()) o.emplace_back("cost_hint", cost_hint->to_json());
+  if (result_schema) o.emplace_back("result_schema", result_schema->to_json());
+  if (provenance.is_object() && provenance.size() > 0) o.emplace_back("provenance", provenance);
+  return json::Value(std::move(o));
+}
+
+OperatorDescriptor OperatorDescriptor::from_json(const json::Value& doc) {
+  schema::qod_validator().validate_or_throw(doc);
+  OperatorDescriptor op;
+  op.name = doc.at("name").as_string();
+  op.rep_kind = doc.at("rep_kind").as_string();
+  op.domain_qdt = doc.at("domain_qdt").as_string();
+  op.codomain_qdt = doc.get_string("codomain_qdt", "");
+  if (const json::Value* v = doc.find("params")) op.params = *v;
+  if (const json::Value* v = doc.find("cost_hint")) op.cost_hint = CostHint::from_json(*v);
+  if (const json::Value* v = doc.find("result_schema")) op.result_schema = ResultSchema::from_json(*v);
+  if (const json::Value* v = doc.find("provenance")) op.provenance = *v;
+  return op;
+}
+
+bool OperatorDescriptor::operator==(const OperatorDescriptor& other) const {
+  return to_json() == other.to_json();
+}
+
+}  // namespace quml::core

@@ -1,0 +1,91 @@
+#pragma once
+// Quantum Operator Descriptors (paper §4.2, Listing 3).
+//
+// A QOD names a *logical transformation* — a realizable template such as
+// QFT_TEMPLATE or ISING_PROBLEM — together with its parameters, the typed
+// registers it acts on, an optional device-independent cost hint, and an
+// explicit result schema for any readout it implies.  It deliberately carries
+// no gates, pulses, or device details: realization is late-bound inside a
+// backend once the execution context is known (paper §3).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "json/json.hpp"
+
+namespace quml::core {
+
+/// Device-independent cost estimate, the quantum analogue of the FLOP and
+/// message counts HPC schedulers consume (paper §2).  All members optional:
+/// a hint states only what its producer can estimate.
+struct CostHint {
+  std::optional<std::int64_t> oneq;        ///< single-carrier operations
+  std::optional<std::int64_t> twoq;        ///< two-carrier operations
+  std::optional<std::int64_t> depth;       ///< critical-path length
+  std::optional<std::int64_t> ancillas;    ///< scratch carriers required
+  std::optional<std::int64_t> comm_bits;   ///< inter-device classical traffic
+  std::optional<double> duration_us;       ///< expected execution time
+
+  bool empty() const;
+  /// Sequence accumulation: counts add, depth adds (serial composition),
+  /// ancillas take the max (scratch is reusable).
+  CostHint& operator+=(const CostHint& other);
+
+  json::Value to_json() const;
+  static CostHint from_json(const json::Value& doc);
+};
+
+/// Reference to one carrier of a named register, e.g. "reg_phase[3]".
+struct ClbitRef {
+  std::string reg;
+  unsigned index = 0;
+
+  static ClbitRef parse(const std::string& text);
+  std::string str() const { return reg + "[" + std::to_string(index) + "]"; }
+  bool operator==(const ClbitRef& o) const { return reg == o.reg && index == o.index; }
+};
+
+/// How a readout is produced and decoded (paper §4.2: "an important part of
+/// the quantum operator is to provide result_schema").
+struct ResultSchema {
+  Basis basis = Basis::Z;
+  MeasurementSemantics datatype = MeasurementSemantics::AsUint;
+  BitOrder bit_significance = BitOrder::Lsb0;
+  /// Logical carriers mapped to successive classical bits; empty means
+  /// "all carriers of the domain register in order".
+  std::vector<ClbitRef> clbit_order;
+
+  json::Value to_json() const;
+  static ResultSchema from_json(const json::Value& doc);
+};
+
+/// Quantum Operator Descriptor.
+struct OperatorDescriptor {
+  std::string name;           ///< human label ("QFT")
+  std::string rep_kind;       ///< logical transformation id ("QFT_TEMPLATE")
+  std::string domain_qdt;     ///< input register id
+  std::string codomain_qdt;   ///< output register id (== domain for in-place)
+  json::Value params = json::Value::object();
+  std::optional<CostHint> cost_hint;
+  std::optional<ResultSchema> result_schema;
+  json::Value provenance;     ///< free-form producer metadata
+
+  /// True when the transform is logically in-place on one register.
+  bool in_place() const { return codomain_qdt.empty() || codomain_qdt == domain_qdt; }
+
+  /// Parameter accessors with defaults (params is a JSON object).
+  std::int64_t param_int(const std::string& key, std::int64_t fallback) const;
+  double param_double(const std::string& key, double fallback) const;
+  bool param_bool(const std::string& key, bool fallback) const;
+
+  json::Value to_json() const;
+  /// Validates against qod.schema.json, then parses.
+  static OperatorDescriptor from_json(const json::Value& doc);
+
+  bool operator==(const OperatorDescriptor& other) const;
+};
+
+}  // namespace quml::core

@@ -1,0 +1,43 @@
+#include "core/registry.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name, BackendFactory factory,
+                                       const std::vector<std::string>& aliases) {
+  for (const auto& [key, _] : entries_)
+    if (key == name) throw BackendError("backend '" + name + "' already registered");
+  order_.push_back(name);
+  entries_.emplace_back(name, Entry{name, factory});
+  for (const auto& alias : aliases) entries_.emplace_back(alias, Entry{name, factory});
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(const std::string& engine) const {
+  for (const auto& [key, entry] : entries_)
+    if (key == engine) return entry.factory();
+  std::string known;
+  for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
+  throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
+}
+
+bool BackendRegistry::has(const std::string& engine) const {
+  for (const auto& [key, _] : entries_)
+    if (key == engine) return true;
+  return false;
+}
+
+std::vector<std::string> BackendRegistry::engines() const { return order_; }
+
+ExecutionResult submit(const JobBundle& bundle) {
+  if (!bundle.context || bundle.context->exec.engine.empty())
+    throw BackendError("bundle has no exec.engine to dispatch on");
+  return BackendRegistry::instance().create(bundle.context->exec.engine)->run(bundle);
+}
+
+}  // namespace quml::core

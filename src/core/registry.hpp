@@ -1,0 +1,68 @@
+#pragma once
+// Backend interface and engine registry.
+//
+// The middle layer stays backend-neutral: programs address engines by name
+// through the context ("exec.engine"), and the registry late-binds the name
+// to an implementation (paper §3's late-binding requirement).  Engine names
+// are dotted <family>.<implementation> strings; aliases let the paper's
+// engine names ("gate.aer_simulator", "anneal.neal_simulator") resolve to
+// this repository's substrates.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "core/result.hpp"
+
+namespace quml::core {
+
+/// A realization target: consumes a bundle, returns decoded results.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Canonical engine name ("gate.statevector_simulator").
+  virtual std::string name() const = 0;
+
+  /// Executes the bundle.  Implementations must honor exec.samples and
+  /// exec.seed, decode per the trailing result schema, and attach execution
+  /// metadata.  Throws LoweringError / BackendError.
+  virtual ExecutionResult run(const JobBundle& bundle) = 0;
+
+  /// Capability advertisement for schedulers (qubits, kinds, gate set...).
+  virtual json::Value capabilities() const = 0;
+};
+
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Registers a factory under its canonical name plus aliases.
+  void register_backend(const std::string& name, BackendFactory factory,
+                        const std::vector<std::string>& aliases = {});
+
+  /// Instantiates by canonical name or alias; throws BackendError if unknown.
+  std::unique_ptr<Backend> create(const std::string& engine) const;
+
+  bool has(const std::string& engine) const;
+  /// Canonical names, registration order.
+  std::vector<std::string> engines() const;
+
+ private:
+  struct Entry {
+    std::string canonical;
+    BackendFactory factory;
+  };
+  std::vector<std::string> order_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // name/alias -> entry
+};
+
+/// Creates the backend named by the bundle's context and runs the bundle
+/// (one-call convenience mirroring the paper's Fig. 2/3 workflow).
+ExecutionResult submit(const JobBundle& bundle);
+
+}  // namespace quml::core

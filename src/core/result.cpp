@@ -1,0 +1,124 @@
+#include "core/result.hpp"
+
+#include "util/bits.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+void Counts::add(const std::string& bitstring, std::int64_t n) {
+  counts_[bitstring] += n;
+}
+
+std::int64_t Counts::total() const {
+  std::int64_t sum = 0;
+  for (const auto& [_, n] : counts_) sum += n;
+  return sum;
+}
+
+std::int64_t Counts::at(const std::string& bitstring) const {
+  const auto it = counts_.find(bitstring);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Counts::probability(const std::string& bitstring) const {
+  const std::int64_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(at(bitstring)) / static_cast<double>(t);
+}
+
+std::string Counts::most_frequent() const {
+  std::string best;
+  std::int64_t best_count = -1;
+  for (const auto& [key, n] : counts_)
+    if (n > best_count) {
+      best = key;
+      best_count = n;
+    }
+  return best;
+}
+
+double Counts::expectation(const std::function<double(const std::string&)>& score) const {
+  const std::int64_t t = total();
+  if (t == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [key, n] : counts_) acc += score(key) * static_cast<double>(n);
+  return acc / static_cast<double>(t);
+}
+
+json::Value Counts::to_json() const {
+  json::Object o;
+  for (const auto& [key, n] : counts_) o.emplace_back(key, json::Value(n));
+  return json::Value(std::move(o));
+}
+
+Counts Counts::from_json(const json::Value& doc) {
+  Counts c;
+  for (const auto& [key, n] : doc.as_object()) c.add(key, n.as_int());
+  return c;
+}
+
+json::Value ExecutionResult::to_json() const {
+  json::Object o;
+  o.emplace_back("counts", counts.to_json());
+  json::Array outcomes;
+  for (const auto& d : decoded) {
+    json::Object entry;
+    entry.emplace_back("bitstring", json::Value(d.bitstring));
+    entry.emplace_back("value", json::Value(d.value.str()));
+    entry.emplace_back("count", json::Value(d.count));
+    if (d.energy != 0.0) entry.emplace_back("energy", json::Value(d.energy));
+    outcomes.emplace_back(std::move(entry));
+  }
+  o.emplace_back("decoded", json::Value(std::move(outcomes)));
+  o.emplace_back("metadata", metadata);
+  return json::Value(std::move(o));
+}
+
+std::vector<DecodedOutcome> decode_counts(const Counts& counts, const ResultSchema& schema,
+                                          const QuantumDataType& qdt) {
+  // Build the clbit -> register-carrier map.
+  std::vector<unsigned> carrier_of_clbit;
+  if (schema.clbit_order.empty()) {
+    carrier_of_clbit.resize(qdt.width);
+    for (unsigned i = 0; i < qdt.width; ++i) carrier_of_clbit[i] = i;
+  } else {
+    carrier_of_clbit.reserve(schema.clbit_order.size());
+    for (const ClbitRef& ref : schema.clbit_order) {
+      if (ref.reg != qdt.id)
+        throw ValidationError("result_schema references register '" + ref.reg +
+                              "' but decoding against '" + qdt.id + "'");
+      if (ref.index >= qdt.width)
+        throw ValidationError("result_schema reference " + ref.str() + " out of range");
+      carrier_of_clbit.push_back(ref.index);
+    }
+  }
+
+  // Decode with the schema's interpretation, which may deliberately override
+  // the QDT default (e.g. AS_BOOL readout of ISING_SPIN variables).
+  QuantumDataType view = qdt;
+  view.semantics = schema.datatype;
+  view.bit_order = schema.bit_significance;
+
+  std::vector<DecodedOutcome> out;
+  out.reserve(counts.map().size());
+  for (const auto& [bits, n] : counts.map()) {
+    if (bits.size() != carrier_of_clbit.size())
+      throw ValidationError("count key width " + std::to_string(bits.size()) +
+                            " does not match clbit_order size " +
+                            std::to_string(carrier_of_clbit.size()));
+    // Count keys are MSB-first renderings of the clbits: character j is
+    // clbit (size-1-j).  Reassemble the register basis index.
+    std::uint64_t basis = 0;
+    for (std::size_t clbit = 0; clbit < carrier_of_clbit.size(); ++clbit) {
+      const char c = bits[bits.size() - 1 - clbit];
+      if (c == '1') basis |= 1ull << carrier_of_clbit[clbit];
+    }
+    DecodedOutcome d;
+    d.bitstring = bits;
+    d.value = view.decode(basis);
+    d.count = n;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace quml::core

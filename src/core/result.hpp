@@ -1,0 +1,68 @@
+#pragma once
+// Execution results and typed decoding.
+//
+// Backends return counts over readout bitstrings plus engine metadata; the
+// middle layer decodes those counts into typed values using the result
+// schema + QDT — "results can be decoded automatically" (paper §4.1).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+#include "core/sequence.hpp"
+
+namespace quml::core {
+
+/// Shot histogram.  Keys are human-readable bitstrings, MSB-first (character
+/// j is clbit count-1-j, the Qiskit counts-key convention).
+class Counts {
+ public:
+  Counts() = default;
+
+  void add(const std::string& bitstring, std::int64_t n = 1);
+  const std::map<std::string, std::int64_t>& map() const { return counts_; }
+  std::int64_t total() const;
+  std::int64_t at(const std::string& bitstring) const;
+  double probability(const std::string& bitstring) const;
+  /// Key with the largest count (ties broken lexicographically smallest).
+  std::string most_frequent() const;
+  /// Shot-weighted average of `score` over all observed bitstrings.
+  double expectation(const std::function<double(const std::string&)>& score) const;
+
+  json::Value to_json() const;
+  static Counts from_json(const json::Value& doc);
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+};
+
+/// One distinct observed outcome, decoded per the result schema.
+struct DecodedOutcome {
+  std::string bitstring;   ///< raw readout key
+  TypedValue value;        ///< typed interpretation
+  std::int64_t count = 0;  ///< occurrences
+  double energy = 0.0;     ///< annealer path only (0 otherwise)
+};
+
+/// What a backend returns for a job.
+struct ExecutionResult {
+  Counts counts;
+  std::vector<DecodedOutcome> decoded;            ///< one entry per distinct key
+  json::Value metadata = json::Value::object();   ///< engine, timing, transpile metrics, ...
+
+  json::Value to_json() const;
+};
+
+/// Decodes counts into typed outcomes.  The result schema's clbit_order maps
+/// classical bit positions back to register carriers; `datatype` +
+/// `bit_significance` then fix the interpretation exactly as
+/// QuantumDataType::decode does.  When clbit_order is empty, all carriers of
+/// `qdt` in register order are assumed.
+std::vector<DecodedOutcome> decode_counts(const Counts& counts, const ResultSchema& schema,
+                                          const QuantumDataType& qdt);
+
+}  // namespace quml::core

@@ -1,0 +1,154 @@
+#include "core/sequence.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+RegisterSet::RegisterSet(std::vector<QuantumDataType> qdts) {
+  for (auto& q : qdts) add(std::move(q));
+}
+
+void RegisterSet::add(QuantumDataType qdt) {
+  qdt.validate();
+  if (index_.count(qdt.id))
+    throw ValidationError("duplicate QDT id '" + qdt.id + "'");
+  index_.emplace(qdt.id, qdts_.size());
+  qdts_.push_back(std::move(qdt));
+}
+
+const QuantumDataType& RegisterSet::at(const std::string& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end())
+    throw ValidationError("unknown QDT reference '" + id + "'");
+  return qdts_[it->second];
+}
+
+unsigned RegisterSet::total_width() const {
+  unsigned total = 0;
+  for (const auto& q : qdts_) total += q.width;
+  return total;
+}
+
+unsigned RegisterSet::offset_of(const std::string& id) const {
+  unsigned offset = 0;
+  for (const auto& q : qdts_) {
+    if (q.id == id) return offset;
+    offset += q.width;
+  }
+  throw ValidationError("unknown QDT reference '" + id + "'");
+}
+
+namespace {
+
+bool is_terminal_kind(const std::string& rep_kind) {
+  return rep_kind == rep::kMeasurement || rep_kind == rep::kReset;
+}
+
+bool is_width_changing(const std::string& rep_kind) {
+  // Comparator writes into a separate flag register; SWAP_TEST reads two
+  // registers and writes an ancilla flag.
+  return rep_kind == rep::kComparatorTemplate || rep_kind == rep::kSwapTest;
+}
+
+}  // namespace
+
+void OperatorSequence::validate(const RegisterSet& regs, const SequenceRules& rules) const {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OperatorDescriptor& op = ops[i];
+    if (op.rep_kind.empty())
+      throw ValidationError("operator " + std::to_string(i) + " has empty rep_kind");
+    const QuantumDataType& domain = regs.at(op.domain_qdt);
+    if (!op.codomain_qdt.empty()) {
+      const QuantumDataType& codomain = regs.at(op.codomain_qdt);
+      if (!is_width_changing(op.rep_kind) && codomain.width != domain.width)
+        throw ValidationError("operator '" + op.name + "' maps " + op.domain_qdt + " (width " +
+                              std::to_string(domain.width) + ") to " + op.codomain_qdt +
+                              " (width " + std::to_string(codomain.width) + ")");
+    }
+    if (!op.params.is_object() && !op.params.is_null())
+      throw ValidationError("operator '" + op.name + "' params must be an object");
+
+    // Non-interference: no hidden measurement or reset inside the program.
+    if (is_terminal_kind(op.rep_kind) && !rules.allow_mid_circuit && i + 1 != ops.size()) {
+      // A trailing block of terminal ops (measure several registers) is fine;
+      // anything followed by a non-terminal op is hidden interference.
+      for (std::size_t j = i + 1; j < ops.size(); ++j)
+        if (!is_terminal_kind(ops[j].rep_kind))
+          throw ValidationError("hidden " + op.rep_kind + " at position " + std::to_string(i) +
+                                ": mid-circuit measurement/reset requires explicit context opt-in");
+    }
+
+    if (op.result_schema) {
+      for (const ClbitRef& ref : op.result_schema->clbit_order) {
+        const QuantumDataType& reg = regs.at(ref.reg);
+        if (ref.index >= reg.width)
+          throw ValidationError("result_schema reference " + ref.str() + " exceeds register width " +
+                                std::to_string(reg.width));
+      }
+    }
+  }
+}
+
+CostHint OperatorSequence::accumulated_cost() const {
+  CostHint total;
+  for (const auto& op : ops)
+    if (op.cost_hint) total += *op.cost_hint;
+  return total;
+}
+
+OperatorDescriptor invert_operator(const OperatorDescriptor& op) {
+  OperatorDescriptor inv = op;
+  const std::string& kind = op.rep_kind;
+  if (kind == rep::kQftTemplate) {
+    inv.params.set("inverse", json::Value(!op.param_bool("inverse", false)));
+    return inv;
+  }
+  if (kind == rep::kMixerRx) {
+    inv.params.set("beta", json::Value(-op.param_double("beta", 0.0)));
+    return inv;
+  }
+  if (kind == rep::kIsingCostPhase) {
+    inv.params.set("gamma", json::Value(-op.param_double("gamma", 0.0)));
+    return inv;
+  }
+  if (kind == rep::kPhaseGadget || kind == rep::kPauliRotation) {
+    inv.params.set("angle", json::Value(-op.param_double("angle", 0.0)));
+    return inv;
+  }
+  if (kind == rep::kAdderTemplate || kind == rep::kModularAdderTemplate ||
+      kind == rep::kRegisterAdderTemplate) {
+    inv.params.set("subtract", json::Value(!op.param_bool("subtract", false)));
+    return inv;
+  }
+  if (kind == rep::kGhzPrep || kind == rep::kWPrep)
+    throw ValidationError("operator kind '" + kind + "' is not invertible");
+  if (kind == rep::kControlledSwap) return inv;  // self-inverse
+  if (kind == rep::kPrepUniform || kind == rep::kBasisStatePrep || kind == rep::kAngleEncoding ||
+      kind == rep::kMeasurement || kind == rep::kReset || kind == rep::kIsingProblem ||
+      kind == rep::kSwapTest || kind == rep::kComparatorTemplate)
+    throw ValidationError("operator kind '" + kind + "' is not invertible");
+  throw ValidationError("no inversion rule registered for rep_kind '" + kind + "'");
+}
+
+OperatorSequence OperatorSequence::inverted() const {
+  OperatorSequence out;
+  out.ops.reserve(ops.size());
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) out.ops.push_back(invert_operator(*it));
+  return out;
+}
+
+json::Value OperatorSequence::to_json() const {
+  json::Array items;
+  for (const auto& op : ops) items.push_back(op.to_json());
+  return json::Value(std::move(items));
+}
+
+OperatorSequence OperatorSequence::from_json(const json::Value& doc) {
+  OperatorSequence seq;
+  for (const auto& item : doc.as_array()) seq.ops.push_back(OperatorDescriptor::from_json(item));
+  return seq;
+}
+
+}  // namespace quml::core

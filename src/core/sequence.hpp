@@ -1,0 +1,105 @@
+#pragma once
+// Operator sequence composition and validation (paper §4.4).
+//
+// "Composition is just a list of descriptors with utilities to check quantum
+// data type compatibility and enforce no hidden measurement/reset."  The
+// checks here are the middle layer's *semantic* validation — they run after
+// per-descriptor schema validation and before packaging.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qdt.hpp"
+#include "core/qod.hpp"
+
+namespace quml::core {
+
+/// Well-known rep_kind identifiers used across the library.  rep_kind remains
+/// an open string set (backends may register more); these constants avoid
+/// typo drift in the built-in algorithmic libraries and backends.
+namespace rep {
+inline constexpr const char* kQftTemplate = "QFT_TEMPLATE";
+inline constexpr const char* kPrepUniform = "PREP_UNIFORM";
+inline constexpr const char* kBasisStatePrep = "BASIS_STATE_PREP";
+inline constexpr const char* kAngleEncoding = "ANGLE_ENCODING";
+inline constexpr const char* kAmplitudeEncoding = "AMPLITUDE_ENCODING";
+inline constexpr const char* kIsingCostPhase = "ISING_COST_PHASE";
+inline constexpr const char* kMixerRx = "MIXER_RX";
+inline constexpr const char* kIsingProblem = "ISING_PROBLEM";
+inline constexpr const char* kMeasurement = "MEASUREMENT";
+inline constexpr const char* kReset = "RESET";
+inline constexpr const char* kAdderTemplate = "ADDER_CONST_TEMPLATE";
+inline constexpr const char* kRegisterAdderTemplate = "ADDER_REG_TEMPLATE";
+inline constexpr const char* kGhzPrep = "GHZ_PREP";
+inline constexpr const char* kWPrep = "W_PREP";
+inline constexpr const char* kModularAdderTemplate = "MODULAR_ADDER_CONST_TEMPLATE";
+inline constexpr const char* kComparatorTemplate = "COMPARATOR_CONST_TEMPLATE";
+inline constexpr const char* kControlledSwap = "CONTROLLED_SWAP";
+inline constexpr const char* kSwapTest = "SWAP_TEST";
+inline constexpr const char* kQpeTemplate = "QPE_TEMPLATE";
+inline constexpr const char* kPhaseGadget = "PHASE_GADGET";
+inline constexpr const char* kPauliRotation = "PAULI_ROTATION";
+}  // namespace rep
+
+/// Registers addressed by a program, keyed by QDT id.
+class RegisterSet {
+ public:
+  RegisterSet() = default;
+  explicit RegisterSet(std::vector<QuantumDataType> qdts);
+
+  void add(QuantumDataType qdt);
+  bool contains(const std::string& id) const { return index_.count(id) != 0; }
+  const QuantumDataType& at(const std::string& id) const;
+  const std::vector<QuantumDataType>& all() const { return qdts_; }
+  std::size_t size() const { return qdts_.size(); }
+
+  /// Total carriers across all registers (= qubits a gate backend allocates).
+  unsigned total_width() const;
+
+  /// Base carrier offset of a register in the concatenated layout
+  /// (registers are laid out in insertion order).
+  unsigned offset_of(const std::string& id) const;
+
+ private:
+  std::vector<QuantumDataType> qdts_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Validation options for a sequence.
+struct SequenceRules {
+  /// Mid-circuit MEASUREMENT/RESET descriptors are rejected unless true
+  /// (the paper's "no hidden measurement/reset" non-interference rule).
+  bool allow_mid_circuit = false;
+};
+
+/// An ordered list of operator descriptors acting on a register set.
+struct OperatorSequence {
+  std::vector<OperatorDescriptor> ops;
+
+  /// Semantic validation (throws ValidationError):
+  ///  * every domain/codomain reference resolves in `regs`;
+  ///  * in-place templates keep domain width == codomain width;
+  ///  * MEASUREMENT/RESET appear only in trailing position unless allowed;
+  ///  * result_schema clbit references resolve and stay within width.
+  void validate(const RegisterSet& regs, const SequenceRules& rules = {}) const;
+
+  /// Sum of per-operator cost hints (operators without hints contribute
+  /// nothing; see CostHint::operator+= for the accumulation rules).
+  CostHint accumulated_cost() const;
+
+  /// Logical inverse: reversed order with each descriptor inverted.
+  /// Throws ValidationError for non-invertible kinds (MEASUREMENT, RESET,
+  /// state preparation).
+  OperatorSequence inverted() const;
+
+  json::Value to_json() const;
+  static OperatorSequence from_json(const json::Value& doc);
+};
+
+/// Inverts a single descriptor (used by OperatorSequence::inverted and
+/// exposed for algorithmic libraries).  Parameterized rotations negate their
+/// angles; QFT toggles its `inverse` flag; self-inverse kinds pass through.
+OperatorDescriptor invert_operator(const OperatorDescriptor& op);
+
+}  // namespace quml::core

@@ -1,0 +1,90 @@
+#include "core/types.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::core {
+
+std::string to_string(EncodingKind k) {
+  switch (k) {
+    case EncodingKind::UintRegister: return "UINT_REGISTER";
+    case EncodingKind::IntRegister: return "INT_REGISTER";
+    case EncodingKind::BoolRegister: return "BOOL_REGISTER";
+    case EncodingKind::PhaseRegister: return "PHASE_REGISTER";
+    case EncodingKind::IsingSpin: return "ISING_SPIN";
+    case EncodingKind::FixedPointRegister: return "FIXED_POINT_REGISTER";
+  }
+  throw ValidationError("unknown EncodingKind");
+}
+
+std::string to_string(MeasurementSemantics s) {
+  switch (s) {
+    case MeasurementSemantics::AsUint: return "AS_UINT";
+    case MeasurementSemantics::AsInt: return "AS_INT";
+    case MeasurementSemantics::AsBool: return "AS_BOOL";
+    case MeasurementSemantics::AsPhase: return "AS_PHASE";
+    case MeasurementSemantics::AsSpin: return "AS_SPIN";
+    case MeasurementSemantics::AsFixedPoint: return "AS_FIXED_POINT";
+  }
+  throw ValidationError("unknown MeasurementSemantics");
+}
+
+std::string to_string(BitOrder o) {
+  return o == BitOrder::Lsb0 ? "LSB_0" : "MSB_0";
+}
+
+std::string to_string(Basis b) {
+  switch (b) {
+    case Basis::Z: return "Z";
+    case Basis::X: return "X";
+    case Basis::Y: return "Y";
+  }
+  throw ValidationError("unknown Basis");
+}
+
+EncodingKind encoding_kind_from_string(const std::string& s) {
+  if (s == "UINT_REGISTER") return EncodingKind::UintRegister;
+  if (s == "INT_REGISTER") return EncodingKind::IntRegister;
+  if (s == "BOOL_REGISTER") return EncodingKind::BoolRegister;
+  if (s == "PHASE_REGISTER") return EncodingKind::PhaseRegister;
+  if (s == "ISING_SPIN") return EncodingKind::IsingSpin;
+  if (s == "FIXED_POINT_REGISTER") return EncodingKind::FixedPointRegister;
+  throw ValidationError("unknown encoding_kind '" + s + "'");
+}
+
+MeasurementSemantics semantics_from_string(const std::string& s) {
+  if (s == "AS_UINT") return MeasurementSemantics::AsUint;
+  if (s == "AS_INT") return MeasurementSemantics::AsInt;
+  if (s == "AS_BOOL") return MeasurementSemantics::AsBool;
+  if (s == "AS_PHASE") return MeasurementSemantics::AsPhase;
+  if (s == "AS_SPIN") return MeasurementSemantics::AsSpin;
+  if (s == "AS_FIXED_POINT") return MeasurementSemantics::AsFixedPoint;
+  throw ValidationError("unknown measurement_semantics '" + s + "'");
+}
+
+BitOrder bit_order_from_string(const std::string& s) {
+  if (s == "LSB_0") return BitOrder::Lsb0;
+  if (s == "MSB_0") return BitOrder::Msb0;
+  throw ValidationError("unknown bit_order '" + s + "'");
+}
+
+Basis basis_from_string(const std::string& s) {
+  if (s == "Z") return Basis::Z;
+  if (s == "X") return Basis::X;
+  if (s == "Y") return Basis::Y;
+  throw ValidationError("unknown basis '" + s + "'");
+}
+
+MeasurementSemantics default_semantics(EncodingKind k) {
+  switch (k) {
+    case EncodingKind::UintRegister: return MeasurementSemantics::AsUint;
+    case EncodingKind::IntRegister: return MeasurementSemantics::AsInt;
+    case EncodingKind::BoolRegister: return MeasurementSemantics::AsBool;
+    case EncodingKind::PhaseRegister: return MeasurementSemantics::AsPhase;
+    // The paper's Max-Cut QDT reads Ising spins out as {0,1} labels.
+    case EncodingKind::IsingSpin: return MeasurementSemantics::AsBool;
+    case EncodingKind::FixedPointRegister: return MeasurementSemantics::AsFixedPoint;
+  }
+  throw ValidationError("unknown EncodingKind");
+}
+
+}  // namespace quml::core

@@ -1,0 +1,46 @@
+#pragma once
+// Enumerations shared by all descriptor kinds, with canonical string forms.
+//
+// The string forms are the wire format (what appears in JSON artifacts) and
+// follow the paper's listings exactly: e.g. `PHASE_REGISTER`, `LSB_0`,
+// `AS_PHASE`.
+
+#include <string>
+
+namespace quml::core {
+
+/// What the amplitudes of a register's basis states *mean* (paper §4.1).
+enum class EncodingKind {
+  UintRegister,        ///< |k> decodes to the unsigned integer k.
+  IntRegister,         ///< two's-complement signed integer.
+  BoolRegister,        ///< independent {0,1} flags (QUBO variables, controls).
+  PhaseRegister,       ///< fixed-point phase accumulator; k -> k * phase_scale turns.
+  IsingSpin,           ///< logical spins s_i in {-1,+1}, read out as {0,1}.
+  FixedPointRegister,  ///< unsigned fixed point with `fraction_bits` fractional bits.
+};
+
+/// How Z-basis readout integers are to be interpreted downstream.
+enum class MeasurementSemantics { AsUint, AsInt, AsBool, AsPhase, AsSpin, AsFixedPoint };
+
+/// Significance order of register carriers: LSB_0 means carrier i has
+/// weight 2^i (little endian), MSB_0 the reverse.
+enum class BitOrder { Lsb0, Msb0 };
+
+/// Measurement basis named by a result schema.
+enum class Basis { Z, X, Y };
+
+std::string to_string(EncodingKind k);
+std::string to_string(MeasurementSemantics s);
+std::string to_string(BitOrder o);
+std::string to_string(Basis b);
+
+EncodingKind encoding_kind_from_string(const std::string& s);
+MeasurementSemantics semantics_from_string(const std::string& s);
+BitOrder bit_order_from_string(const std::string& s);
+Basis basis_from_string(const std::string& s);
+
+/// Natural readout interpretation for an encoding (used when a QDT omits
+/// `measurement_semantics`).
+MeasurementSemantics default_semantics(EncodingKind k);
+
+}  // namespace quml::core

@@ -1,0 +1,191 @@
+#include "json/json.hpp"
+
+#include <algorithm>
+
+namespace quml::json {
+
+const char* type_name(Type t) noexcept {
+  switch (t) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Int: return "int";
+    case Type::Double: return "double";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "unknown";
+}
+
+void Value::copy_from(const Value& other) {
+  type_ = other.type_;
+  bool_ = other.bool_;
+  int_ = other.int_;
+  double_ = other.double_;
+  if (other.string_) string_ = std::make_unique<std::string>(*other.string_);
+  if (other.array_) array_ = std::make_unique<Array>(*other.array_);
+  if (other.object_) object_ = std::make_unique<Object>(*other.object_);
+}
+
+namespace {
+[[noreturn]] void type_mismatch(const char* wanted, Type got) {
+  throw ValidationError(std::string("JSON type mismatch: wanted ") + wanted +
+                        ", got " + type_name(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_mismatch("bool", type_);
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) type_mismatch("int", type_);
+  return int_;
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(int_);
+  if (!is_double()) type_mismatch("number", type_);
+  return double_;
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_mismatch("string", type_);
+  return *string_;
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) type_mismatch("array", type_);
+  return *array_;
+}
+
+Array& Value::as_array() {
+  if (!is_array()) type_mismatch("array", type_);
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) type_mismatch("object", type_);
+  return *object_;
+}
+
+Object& Value::as_object() {
+  if (!is_object()) type_mismatch("object", type_);
+  return *object_;
+}
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : *object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Value* Value::find(const std::string& key) noexcept {
+  if (!is_object()) return nullptr;
+  for (auto& [k, v] : *object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw ValidationError("missing JSON member '" + key + "'");
+  return *v;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (!is_object()) type_mismatch("object", type_);
+  for (auto& [k, existing] : *object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_->emplace_back(key, std::move(v));
+  return object_->back().second;
+}
+
+bool Value::erase(const std::string& key) {
+  if (!is_object()) return false;
+  auto it = std::find_if(object_->begin(), object_->end(),
+                         [&](const Member& m) { return m.first == key; });
+  if (it == object_->end()) return false;
+  object_->erase(it);
+  return true;
+}
+
+std::int64_t Value::get_int(const std::string& key, std::int64_t fallback) const {
+  const Value* v = find(key);
+  return v && v->is_int() ? v->as_int() : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->as_double() : fallback;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string Value::get_string(const std::string& key, const std::string& fallback) const {
+  const Value* v = find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+std::size_t Value::size() const noexcept {
+  if (is_array()) return array_->size();
+  if (is_object()) return object_->size();
+  return 0;
+}
+
+const Value& Value::operator[](std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size()) throw ValidationError("JSON array index out of range");
+  return a[i];
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) {
+    type_ = Type::Array;
+    array_ = std::make_unique<Array>();
+  }
+  as_array().push_back(std::move(v));
+}
+
+bool Value::operator==(const Value& other) const noexcept {
+  if (is_number() && other.is_number()) {
+    if (is_int() && other.is_int()) return int_ == other.int_;
+    return as_double() == other.as_double();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Int:
+    case Type::Double: return true;  // handled above
+    case Type::String: return *string_ == *other.string_;
+    case Type::Array: {
+      if (array_->size() != other.array_->size()) return false;
+      for (std::size_t i = 0; i < array_->size(); ++i)
+        if ((*array_)[i] != (*other.array_)[i]) return false;
+      return true;
+    }
+    case Type::Object: {
+      if (object_->size() != other.object_->size()) return false;
+      // Order-insensitive member comparison: two descriptor files that list
+      // the same keys in different order describe the same intent.
+      for (const auto& [k, v] : *object_) {
+        const Value* ov = other.find(k);
+        if (!ov || *ov != v) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace quml::json

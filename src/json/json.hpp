@@ -1,0 +1,154 @@
+#pragma once
+// JSON document model.
+//
+// JSON is the canonical interchange format of the middle layer (paper §4:
+// "we use JSON files for the descriptors").  This is a complete, dependency-
+// free implementation:
+//   * ordered objects   — descriptors serialize in author order, so artifacts
+//                         diff cleanly against the paper's listings;
+//   * int64/double split — register widths and shot counts stay exact;
+//   * full string escapes including \uXXXX surrogate pairs;
+//   * strict parsing with line/column errors (see parser.cpp);
+//   * compact and pretty writers (see writer.cpp);
+//   * RFC 6901 JSON Pointers (see pointer.cpp).
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace quml::json {
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+/// Returns a stable lowercase name for diagnostics ("object", "int", ...).
+const char* type_name(Type t) noexcept;
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object; member lookup is linear, which is the right
+/// trade-off for descriptor-sized documents (tens of keys).
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+class Value {
+ public:
+  Value() noexcept : type_(Type::Null) {}
+  Value(std::nullptr_t) noexcept : type_(Type::Null) {}
+  Value(bool b) noexcept : type_(Type::Bool), bool_(b) {}
+  Value(int i) noexcept : type_(Type::Int), int_(i) {}
+  Value(unsigned i) noexcept : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) noexcept : type_(Type::Int), int_(i) {}
+  Value(std::uint64_t i) noexcept : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  Value(double d) noexcept : type_(Type::Double), double_(d) {}
+  Value(const char* s) : type_(Type::String), string_(std::make_unique<std::string>(s)) {}
+  Value(std::string s) : type_(Type::String), string_(std::make_unique<std::string>(std::move(s))) {}
+  Value(Array a) : type_(Type::Array), array_(std::make_unique<Array>(std::move(a))) {}
+  Value(Object o) : type_(Type::Object), object_(std::make_unique<Object>(std::move(o))) {}
+
+  Value(const Value& other) { copy_from(other); }
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+
+  /// Factory helpers for readable construction sites.
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_int() const noexcept { return type_ == Type::Int; }
+  bool is_double() const noexcept { return type_ == Type::Double; }
+  /// Either numeric representation.
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  // --- checked accessors; throw ValidationError on type mismatch ----------
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Accepts Int or Double.
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  // --- object helpers ------------------------------------------------------
+  /// Pointer to the member value, or nullptr if absent (or not an object).
+  const Value* find(const std::string& key) const noexcept;
+  Value* find(const std::string& key) noexcept;
+  bool contains(const std::string& key) const noexcept { return find(key) != nullptr; }
+  /// Checked member access; throws ValidationError if missing.
+  const Value& at(const std::string& key) const;
+  /// Inserts or replaces a member (object only).
+  Value& set(const std::string& key, Value v);
+  /// Removes a member if present; returns whether anything was removed.
+  bool erase(const std::string& key);
+
+  // --- convenience getters with defaults -----------------------------------
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+
+  // --- array helpers --------------------------------------------------------
+  std::size_t size() const noexcept;
+  const Value& operator[](std::size_t i) const;
+  void push_back(Value v);
+
+  /// Deep structural equality.  Int and Double compare equal when they
+  /// represent the same mathematical value (1 == 1.0), matching JSON
+  /// semantics where the distinction is an encoding artifact.
+  bool operator==(const Value& other) const noexcept;
+  bool operator!=(const Value& other) const noexcept { return !(*this == other); }
+
+ private:
+  void reset() noexcept {
+    string_.reset();
+    array_.reset();
+    object_.reset();
+    type_ = Type::Null;
+  }
+  void copy_from(const Value& other);
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::unique_ptr<std::string> string_;
+  std::unique_ptr<Array> array_;
+  std::unique_ptr<Object> object_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+/// Serializes without insignificant whitespace.
+std::string dump(const Value& v);
+
+/// Serializes with `indent` spaces per nesting level.
+std::string dump_pretty(const Value& v, int indent = 2);
+
+/// Resolves an RFC 6901 JSON Pointer ("/exec/target/basis_gates/0").
+/// Returns nullptr when any step fails to resolve.
+const Value* resolve_pointer(const Value& root, const std::string& pointer);
+
+/// Escapes a reference token for embedding in a pointer (~ -> ~0, / -> ~1).
+std::string escape_pointer_token(const std::string& token);
+
+}  // namespace quml::json

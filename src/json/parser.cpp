@@ -1,0 +1,259 @@
+// Strict recursive-descent JSON parser with line/column diagnostics.
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace quml::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, pos_ - line_start_ + 1);
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        advance();
+      else
+        break;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string("expected '") + c + "'");
+    advance();
+  }
+
+  bool consume_keyword(const char* kw) {
+    std::size_t len = 0;
+    while (kw[len]) ++len;
+    if (text_.compare(pos_, len, kw) != 0) return false;
+    for (std::size_t i = 0; i < len; ++i) advance();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("JSON nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_keyword("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_keyword("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_keyword("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      advance();
+      return Value(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Value v = parse_value(depth + 1);
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      const char sep = advance();
+      if (sep == '}') return Value(std::move(members));
+      if (sep != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      advance();
+      return Value(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = advance();
+      if (sep == ']') return Value(std::move(items));
+      if (sep != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape digit");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = advance();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned cp = parse_hex4();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate must be followed by \uDC00..\uDFFF.
+              if (advance() != '\\' || advance() != 'u') fail("unpaired surrogate");
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired low surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (!eof() && peek() == '-') advance();
+    if (eof()) fail("truncated number");
+    if (peek() == '0') {
+      advance();
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    } else {
+      fail("invalid number");
+    }
+    if (!eof() && peek() == '.') {
+      is_double = true;
+      advance();
+      if (eof() || peek() < '0' || peek() > '9') fail("digits required after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      if (eof() || peek() < '0' || peek() > '9') fail("digits required in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size())
+        return Value(static_cast<std::int64_t>(v));
+      // Integer literal outside int64 range: degrade to double like most
+      // JSON implementations rather than rejecting the document.
+    }
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (std::isinf(d)) fail("number out of range");
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace quml::json

@@ -1,0 +1,74 @@
+// RFC 6901 JSON Pointer resolution, used by the schema validator to address
+// validation errors and by tests to probe descriptor artifacts.
+
+#include <cstdlib>
+
+#include "json/json.hpp"
+#include "util/string_util.hpp"
+
+namespace quml::json {
+
+namespace {
+
+std::string unescape_token(const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] == '~' && i + 1 < token.size()) {
+      if (token[i + 1] == '0') {
+        out.push_back('~');
+        ++i;
+        continue;
+      }
+      if (token[i + 1] == '1') {
+        out.push_back('/');
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(token[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string escape_pointer_token(const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (const char c : token) {
+    if (c == '~')
+      out += "~0";
+    else if (c == '/')
+      out += "~1";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+const Value* resolve_pointer(const Value& root, const std::string& pointer) {
+  if (pointer.empty()) return &root;
+  if (pointer[0] != '/') return nullptr;
+  const Value* current = &root;
+  const auto tokens = split(pointer.substr(1), '/');
+  for (const auto& raw : tokens) {
+    const std::string token = unescape_token(raw);
+    if (current->is_object()) {
+      current = current->find(token);
+      if (!current) return nullptr;
+    } else if (current->is_array()) {
+      if (token.empty() || (token.size() > 1 && token[0] == '0')) return nullptr;
+      char* end = nullptr;
+      const unsigned long idx = std::strtoul(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) return nullptr;
+      if (idx >= current->as_array().size()) return nullptr;
+      current = &current->as_array()[idx];
+    } else {
+      return nullptr;
+    }
+  }
+  return current;
+}
+
+}  // namespace quml::json

@@ -1,0 +1,128 @@
+// Compact and pretty JSON serializers.
+//
+// Doubles are emitted with shortest-round-trip formatting (std::to_chars) and
+// always contain a '.' or exponent so they re-parse as Double, preserving the
+// Int/Double distinction across round trips.
+
+#include <algorithm>
+#include <charconv>
+
+#include "json/json.hpp"
+
+namespace quml::json {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double d) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  std::string token(buf, res.ptr);
+  if (token.find('.') == std::string::npos && token.find('e') == std::string::npos &&
+      token.find("inf") == std::string::npos && token.find("nan") == std::string::npos)
+    token += ".0";
+  out += token;
+}
+
+class Writer {
+ public:
+  Writer(int indent, bool pretty) : indent_(indent), pretty_(pretty) {}
+
+  std::string write(const Value& v) {
+    out_.clear();
+    emit(v, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void newline(int depth) {
+    if (!pretty_) return;
+    out_.push_back('\n');
+    out_.append(static_cast<std::size_t>(depth) * indent_, ' ');
+  }
+
+  void emit(const Value& v, int depth) {
+    switch (v.type()) {
+      case Type::Null: out_ += "null"; break;
+      case Type::Bool: out_ += v.as_bool() ? "true" : "false"; break;
+      case Type::Int: out_ += std::to_string(v.as_int()); break;
+      case Type::Double: append_double(out_, v.as_double()); break;
+      case Type::String: append_escaped(out_, v.as_string()); break;
+      case Type::Array: {
+        const Array& a = v.as_array();
+        if (a.empty()) {
+          out_ += "[]";
+          break;
+        }
+        out_.push_back('[');
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (i) out_.push_back(',');
+          newline(depth + 1);
+          emit(a[i], depth + 1);
+        }
+        newline(depth);
+        out_.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        const Object& o = v.as_object();
+        if (o.empty()) {
+          out_ += "{}";
+          break;
+        }
+        out_.push_back('{');
+        bool first = true;
+        for (const auto& [key, member] : o) {
+          if (!first) out_.push_back(',');
+          first = false;
+          newline(depth + 1);
+          append_escaped(out_, key);
+          out_.push_back(':');
+          if (pretty_) out_.push_back(' ');
+          emit(member, depth + 1);
+        }
+        newline(depth);
+        out_.push_back('}');
+        break;
+      }
+    }
+  }
+
+  int indent_;
+  bool pretty_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string dump(const Value& v) { return Writer(0, false).write(v); }
+
+std::string dump_pretty(const Value& v, int indent) {
+  return Writer(std::max(indent, 1), true).write(v);
+}
+
+}  // namespace quml::json

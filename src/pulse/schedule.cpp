@@ -1,0 +1,114 @@
+#include "pulse/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/errors.hpp"
+
+namespace quml::pulse {
+
+json::Value PulseSchedule::to_json() const {
+  json::Object o;
+  json::Array list;
+  for (const auto& inst : instructions) {
+    json::Object entry;
+    entry.emplace_back("channel", json::Value(inst.channel));
+    entry.emplace_back("start_ns", json::Value(inst.start_ns));
+    entry.emplace_back("duration_ns", json::Value(inst.duration_ns));
+    entry.emplace_back("amplitude", json::Value(inst.amplitude));
+    entry.emplace_back("phase", json::Value(inst.phase));
+    entry.emplace_back("label", json::Value(inst.label));
+    list.emplace_back(std::move(entry));
+  }
+  o.emplace_back("instructions", json::Value(std::move(list)));
+  o.emplace_back("total_duration_ns", json::Value(total_duration_ns));
+  o.emplace_back("num_channels", json::Value(static_cast<std::int64_t>(num_channels)));
+  return json::Value(std::move(o));
+}
+
+PulseSchedule lower_to_pulse(const sim::Circuit& circuit, const core::PulsePolicy& policy) {
+  PulseSchedule schedule;
+  // Per-qubit time cursors; channels inherit the owning qubit's cursor.
+  std::vector<double> cursor(static_cast<std::size_t>(circuit.num_qubits()), 0.0);
+  std::map<std::string, bool> channels;
+
+  auto emit = [&](const std::string& channel, double start, double duration, double amplitude,
+                  double phase, const std::string& label) {
+    schedule.instructions.push_back({channel, start, duration, amplitude, phase, label});
+    channels[channel] = true;
+  };
+
+  for (const auto& inst : circuit.instructions()) {
+    const char* name = sim::gate_name(inst.gate);
+    switch (inst.gate) {
+      case sim::Gate::Barrier: {
+        // Synchronize every qubit.
+        double latest = 0.0;
+        for (const double t : cursor) latest = std::max(latest, t);
+        std::fill(cursor.begin(), cursor.end(), latest);
+        break;
+      }
+      case sim::Gate::Measure:
+      case sim::Gate::Reset: {
+        const int q = inst.qubits[0];
+        const double start = cursor[static_cast<std::size_t>(q)];
+        emit("m" + std::to_string(q), start, policy.measure_duration_ns, 1.0, 0.0, name);
+        cursor[static_cast<std::size_t>(q)] = start + policy.measure_duration_ns;
+        break;
+      }
+      case sim::Gate::RZ:
+      case sim::Gate::P:
+      case sim::Gate::Z:
+      case sim::Gate::S:
+      case sim::Gate::Sdg:
+      case sim::Gate::T:
+      case sim::Gate::Tdg: {
+        // Virtual Z: a frame update, zero duration and zero amplitude.
+        const int q = inst.qubits[0];
+        const double phase = inst.params.empty() ? 0.0 : inst.params[0];
+        emit("d" + std::to_string(q), cursor[static_cast<std::size_t>(q)], 0.0, 0.0, phase, name);
+        break;
+      }
+      case sim::Gate::CX:
+      case sim::Gate::CZ:
+      case sim::Gate::CY:
+      case sim::Gate::CP:
+      case sim::Gate::CRZ:
+      case sim::Gate::SWAP:
+      case sim::Gate::RZZ: {
+        const int c = inst.qubits[0], t = inst.qubits[1];
+        const double start =
+            std::max(cursor[static_cast<std::size_t>(c)], cursor[static_cast<std::size_t>(t)]);
+        // Echoed cross-resonance: drive on the coupler channel plus echo
+        // pulses on both qubit drive channels at the halfway point.
+        emit("u" + std::to_string(c) + "_" + std::to_string(t), start, policy.cx_duration_ns, 0.7,
+             0.0, name);
+        emit("d" + std::to_string(c), start + policy.cx_duration_ns / 2.0 - policy.sx_duration_ns,
+             policy.sx_duration_ns, 1.0, 0.0, "echo");
+        emit("d" + std::to_string(t), start + policy.cx_duration_ns / 2.0 - policy.sx_duration_ns,
+             policy.sx_duration_ns, 1.0, 0.0, "echo");
+        cursor[static_cast<std::size_t>(c)] = start + policy.cx_duration_ns;
+        cursor[static_cast<std::size_t>(t)] = start + policy.cx_duration_ns;
+        break;
+      }
+      case sim::Gate::CCX:
+      case sim::Gate::CSWAP:
+        throw LoweringError("pulse lowering requires a <=2-qubit circuit; transpile first");
+      default: {
+        // Any other one-qubit gate is a single calibrated drive pulse.
+        const int q = inst.qubits[0];
+        const double start = cursor[static_cast<std::size_t>(q)];
+        const double phase = inst.params.empty() ? 0.0 : inst.params[0];
+        emit("d" + std::to_string(q), start, policy.sx_duration_ns, 0.5, phase, name);
+        cursor[static_cast<std::size_t>(q)] = start + policy.sx_duration_ns;
+        break;
+      }
+    }
+  }
+
+  for (const double t : cursor) schedule.total_duration_ns = std::max(schedule.total_duration_ns, t);
+  schedule.num_channels = static_cast<int>(channels.size());
+  return schedule;
+}
+
+}  // namespace quml::pulse

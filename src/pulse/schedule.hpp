@@ -1,0 +1,43 @@
+#pragma once
+// Pulse-level lowering — the orthogonal pulse/control context service
+// (paper §4.3.1: "pulse/control with optional pulse context and schedule
+// submission for calibrated, device-specific realizations").
+//
+// A transmon-like timing model turns a transpiled circuit into a pulse
+// schedule: RZ is a virtual frame update (0 ns), one-qubit drives take
+// `sx_duration_ns` on channel d<q>, CX is an echoed cross-resonance block of
+// `cx_duration_ns` on coupler channel u<c>_<t>, measurement runs on m<q>.
+// The schedule's total duration realizes the `duration_us` cost hint.
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "json/json.hpp"
+#include "sim/circuit.hpp"
+
+namespace quml::pulse {
+
+struct PulseInstruction {
+  std::string channel;    ///< "d0", "u0_1", "m3"
+  double start_ns = 0.0;
+  double duration_ns = 0.0;
+  double amplitude = 0.0;   ///< normalized drive amplitude (0 = virtual)
+  double phase = 0.0;       ///< frame phase in radians
+  std::string label;        ///< source gate name
+};
+
+struct PulseSchedule {
+  std::vector<PulseInstruction> instructions;
+  double total_duration_ns = 0.0;
+  int num_channels = 0;
+
+  json::Value to_json() const;
+};
+
+/// Lowers a circuit to a schedule under the context's pulse policy.
+/// Throws LoweringError on gates with no calibration rule (>2q gates:
+/// transpile first).
+PulseSchedule lower_to_pulse(const sim::Circuit& circuit, const core::PulsePolicy& policy);
+
+}  // namespace quml::pulse

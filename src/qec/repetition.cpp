@@ -1,0 +1,48 @@
+#include "qec/repetition.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace quml::qec {
+
+double repetition_logical_error_analytic(int distance, double p_flip) {
+  if (distance < 1 || distance % 2 == 0)
+    throw ValidationError("repetition distance must be odd and >= 1");
+  if (p_flip < 0.0 || p_flip > 1.0) throw ValidationError("flip probability must be in [0, 1]");
+  if (p_flip == 0.0) return 0.0;  // log-space terms below would hit log(0)
+  if (p_flip == 1.0) return 1.0;
+  // Binomial tail via log-space terms to stay stable for large d.
+  double total = 0.0;
+  for (int k = distance / 2 + 1; k <= distance; ++k) {
+    double log_term = 0.0;
+    for (int i = 0; i < k; ++i)
+      log_term += std::log(static_cast<double>(distance - i) / static_cast<double>(k - i));
+    log_term += static_cast<double>(k) * std::log(p_flip);
+    log_term += static_cast<double>(distance - k) * std::log1p(-p_flip);
+    total += std::exp(log_term);
+  }
+  return total;
+}
+
+double repetition_logical_error_mc(int distance, double p_flip, std::int64_t trials,
+                                   std::uint64_t seed) {
+  if (trials <= 0) throw ValidationError("trials must be positive");
+  if (distance < 1 || distance % 2 == 0)
+    throw ValidationError("repetition distance must be odd and >= 1");
+  const Rng base(seed);
+  std::int64_t failures = 0;
+#pragma omp parallel for schedule(static) reduction(+ : failures)
+  for (std::int64_t t = 0; t < trials; ++t) {
+    Rng rng = base.split(static_cast<std::uint64_t>(t));
+    int flips = 0;
+    for (int bit = 0; bit < distance; ++bit)
+      if (rng.next_double() < p_flip) ++flips;
+    if (flips > distance / 2) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace quml::qec

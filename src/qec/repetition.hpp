@@ -1,0 +1,22 @@
+#pragma once
+// Repetition-code Monte Carlo — empirical grounding for the surface-code
+// resource model's exponential-suppression assumption.
+//
+// A distance-d repetition code under iid bit-flip noise with majority-vote
+// decoding fails when more than d/2 bits flip.  The analytic rate is the
+// binomial tail; the Monte Carlo estimates it by sampling.  Tests check MC
+// against the analytic value, and the bench shows the exponential decay
+// with distance that motivates Listing 5's `distance` knob.
+
+#include <cstdint>
+
+namespace quml::qec {
+
+/// Exact majority-vote failure probability: sum_{k > d/2} C(d,k) p^k (1-p)^(d-k).
+double repetition_logical_error_analytic(int distance, double p_flip);
+
+/// Monte Carlo estimate over `trials` samples (deterministic in `seed`).
+double repetition_logical_error_mc(int distance, double p_flip, std::int64_t trials,
+                                   std::uint64_t seed);
+
+}  // namespace quml::qec

@@ -1,0 +1,184 @@
+#include "qec/surface.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace quml::qec {
+
+std::int64_t SurfaceCodeModel::physical_qubits_per_patch(int distance) {
+  if (distance < 3 || distance % 2 == 0)
+    throw ValidationError("surface code distance must be odd and >= 3");
+  const std::int64_t d = distance;
+  return 2 * d * d - 1;
+}
+
+double SurfaceCodeModel::logical_error_per_round(double p_physical, int distance) const {
+  if (p_physical <= 0.0 || p_physical >= 1.0)
+    throw ValidationError("physical error rate must be in (0, 1)");
+  if (distance < 3 || distance % 2 == 0)
+    throw ValidationError("surface code distance must be odd and >= 3");
+  return prefactor * std::pow(p_physical / p_threshold, (distance + 1) / 2);
+}
+
+int SurfaceCodeModel::choose_distance(double p_physical, std::int64_t rounds,
+                                      std::int64_t patches, double budget) const {
+  if (budget <= 0.0 || budget >= 1.0) throw ValidationError("failure budget must be in (0, 1)");
+  if (p_physical >= p_threshold)
+    throw BackendError("physical error rate " + std::to_string(p_physical) +
+                       " is at or above the surface-code threshold");
+  const double cycles = static_cast<double>(std::max<std::int64_t>(rounds, 1)) *
+                        static_cast<double>(std::max<std::int64_t>(patches, 1));
+  for (int d = 3; d <= 101; d += 2) {
+    if (logical_error_per_round(p_physical, d) * cycles < budget) return d;
+  }
+  throw BackendError("no distance <= 101 meets the failure budget");
+}
+
+json::Value PatchLayout::to_json() const {
+  json::Object o;
+  o.emplace_back("rows", json::Value(static_cast<std::int64_t>(rows)));
+  o.emplace_back("cols", json::Value(static_cast<std::int64_t>(cols)));
+  json::Array origins;
+  for (const auto& [r, c] : patch_origin) {
+    json::Array entry;
+    entry.emplace_back(static_cast<std::int64_t>(r));
+    entry.emplace_back(static_cast<std::int64_t>(c));
+    origins.emplace_back(std::move(entry));
+  }
+  o.emplace_back("patch_origin", json::Value(std::move(origins)));
+  o.emplace_back("total_physical_qubits", json::Value(total_physical_qubits));
+  return json::Value(std::move(o));
+}
+
+PatchLayout allocate_patches(int logical_qubits, int distance, const std::string& allocator) {
+  if (logical_qubits < 1) throw ValidationError("need at least one logical qubit");
+  const std::int64_t per_patch = SurfaceCodeModel::physical_qubits_per_patch(distance);
+  PatchLayout layout;
+
+  int cols = 0;
+  if (allocator == "linear") {
+    cols = logical_qubits;
+  } else if (allocator == "auto" || allocator == "grid") {
+    cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(logical_qubits))));
+  } else {
+    throw ValidationError("unknown patch allocator '" + allocator + "'");
+  }
+  const int rows = (logical_qubits + cols - 1) / cols;
+  layout.rows = rows;
+  layout.cols = cols;
+  // Patch footprint on the lattice is (d+1) x (d+1) sites; grid layouts keep
+  // one lattice-surgery routing lane of width d between patch rows.
+  for (int q = 0; q < logical_qubits; ++q)
+    layout.patch_origin.emplace_back((q / cols) * (distance + 1 + distance),
+                                     (q % cols) * (distance + 1));
+  const std::int64_t lane_qubits =
+      rows > 1 ? static_cast<std::int64_t>(rows - 1) * cols * distance * (distance + 1) : 0;
+  layout.total_physical_qubits = static_cast<std::int64_t>(logical_qubits) * per_patch + lane_qubits;
+  return layout;
+}
+
+json::Value QecResourceEstimate::to_json() const {
+  json::Object o;
+  o.emplace_back("distance", json::Value(static_cast<std::int64_t>(distance)));
+  o.emplace_back("patches", json::Value(static_cast<std::int64_t>(patches)));
+  o.emplace_back("physical_qubits", json::Value(physical_qubits));
+  o.emplace_back("syndrome_rounds", json::Value(syndrome_rounds));
+  o.emplace_back("logical_error_per_round", json::Value(logical_error_per_round));
+  o.emplace_back("total_failure_probability", json::Value(total_failure_probability));
+  o.emplace_back("runtime_us", json::Value(runtime_us));
+  o.emplace_back("t_count", json::Value(t_count));
+  o.emplace_back("t_factory_qubits", json::Value(t_factory_qubits));
+  o.emplace_back("layout", layout.to_json());
+  return json::Value(std::move(o));
+}
+
+namespace {
+
+/// T-gate price of one arbitrary-angle z rotation under gridsynth-style
+/// synthesis at precision eps = 1e-10: ~3 log2(1/eps).
+constexpr std::int64_t kTPerRotation = 100;
+
+bool is_clifford(const std::string& gate) {
+  return gate == "h" || gate == "s" || gate == "sdg" || gate == "x" || gate == "y" ||
+         gate == "z" || gate == "cx" || gate == "cz" || gate == "cy" || gate == "swap" ||
+         gate == "sx" || gate == "sxdg" || gate == "id" || gate == "measure" || gate == "reset";
+}
+
+bool is_t_like(const std::string& gate) { return gate == "t" || gate == "tdg"; }
+
+bool is_rotation(const std::string& gate) {
+  return gate == "rz" || gate == "rx" || gate == "ry" || gate == "p" || gate == "u3" ||
+         gate == "cp" || gate == "crz" || gate == "rzz";
+}
+
+}  // namespace
+
+QecResourceEstimate estimate_resources(const core::QecPolicy& policy, int logical_qubits,
+                                       std::int64_t logical_depth,
+                                       const std::map<std::string, std::int64_t>& gate_counts) {
+  if (policy.code_family != "surface")
+    throw BackendError("resource model implemented for the surface code family only (got '" +
+                       policy.code_family + "')");
+  SurfaceCodeModel model;
+  QecResourceEstimate est;
+  est.patches = logical_qubits;
+
+  // Magic-state demand.
+  for (const auto& [gate, count] : gate_counts) {
+    if (is_t_like(gate))
+      est.t_count += count;
+    else if (is_rotation(gate))
+      est.t_count += count * kTPerRotation;
+    else if (!is_clifford(gate) && gate != "barrier")
+      throw BackendError("gate '" + gate + "' has no fault-tolerant realization rule");
+  }
+
+  est.syndrome_rounds = std::max<std::int64_t>(logical_depth, 1) * policy.distance;
+  int distance = policy.distance;
+  if (policy.target_logical_error_rate)
+    distance = model.choose_distance(policy.physical_error_rate, est.syndrome_rounds,
+                                     est.patches, *policy.target_logical_error_rate);
+  est.distance = distance;
+  est.syndrome_rounds = std::max<std::int64_t>(logical_depth, 1) * distance;
+
+  est.layout = allocate_patches(logical_qubits, distance, policy.allocator);
+  // One 15-to-1 T factory per ~8 patches, each the size of 15 patches.
+  const std::int64_t factories = est.t_count > 0 ? std::max<std::int64_t>(1, logical_qubits / 8) : 0;
+  est.t_factory_qubits = factories * 15 * SurfaceCodeModel::physical_qubits_per_patch(distance);
+  est.physical_qubits = est.layout.total_physical_qubits + est.t_factory_qubits;
+
+  est.logical_error_per_round = model.logical_error_per_round(policy.physical_error_rate, distance);
+  const double cycles = static_cast<double>(est.syndrome_rounds) * static_cast<double>(est.patches);
+  est.total_failure_probability = 1.0 - std::pow(1.0 - est.logical_error_per_round, cycles);
+  est.runtime_us = static_cast<double>(est.syndrome_rounds) * model.code_cycle_us;
+  return est;
+}
+
+void check_logical_gate_set(const core::QecPolicy& policy,
+                            const std::map<std::string, std::int64_t>& gate_counts) {
+  if (policy.logical_gate_set.empty()) return;
+  auto allowed = [&](const std::string& logical) {
+    for (const auto& g : policy.logical_gate_set)
+      if (g == logical) return true;
+    return false;
+  };
+  for (const auto& [gate, count] : gate_counts) {
+    if (count == 0 || gate == "barrier" || gate == "id") continue;
+    std::string logical;
+    if (gate == "h") logical = "H";
+    else if (gate == "s" || gate == "sdg") logical = "S";
+    else if (gate == "cx" || gate == "cz" || gate == "swap" || gate == "cy") logical = "CNOT";
+    else if (gate == "x" || gate == "y" || gate == "z") logical = "PAULI";
+    else if (is_t_like(gate) || is_rotation(gate)) logical = "T";
+    else if (gate == "sx" || gate == "sxdg") logical = "S";
+    else if (gate == "measure" || gate == "reset") logical = "MEASURE_Z";
+    else logical = gate;
+    if (logical == "PAULI") continue;  // Paulis are free under any code
+    if (!allowed(logical))
+      throw BackendError("logical gate '" + logical + "' (from '" + gate +
+                         "') is outside the policy's logical_gate_set");
+  }
+}
+
+}  // namespace quml::qec

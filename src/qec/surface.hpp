@@ -1,0 +1,93 @@
+#pragma once
+// Surface-code resource model — the orthogonal QEC context service
+// (paper §4.3.2, Listing 5).
+//
+// The paper treats error correction as *policy*: a `qec` context block names
+// a code family and distance, and "at realization time, an orthogonal QEC
+// service binds logical registers to patches, inserts syndrome-extraction
+// rounds [...]".  Real decoders are out of scope (documented substitution in
+// DESIGN.md); this service performs the binding as a resource model:
+//   * rotated surface code, 2d^2 - 1 physical qubits per logical patch;
+//   * logical error per round p_L(d) = A (p/p_th)^((d+1)/2) with
+//     p_th = 1.1e-2, A = 0.1 (standard phenomenological fit);
+//   * syndrome rounds = logical depth * d;
+//   * patch placement on a routing-lane grid for the `auto`/`grid`/`linear`
+//     allocators.
+// The repetition-code Monte Carlo (repetition.hpp) validates the exponential
+// suppression law the model assumes.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "json/json.hpp"
+
+namespace quml::qec {
+
+/// Phenomenological surface-code constants.
+struct SurfaceCodeModel {
+  double p_threshold = 1.1e-2;
+  double prefactor = 0.1;
+  double code_cycle_us = 1.0;  ///< one syndrome-extraction round
+
+  /// Rotated surface code: d^2 data + d^2 - 1 ancilla qubits.
+  static std::int64_t physical_qubits_per_patch(int distance);
+
+  /// p_L per code cycle for one patch.
+  double logical_error_per_round(double p_physical, int distance) const;
+
+  /// Smallest odd distance whose total failure probability over
+  /// `rounds * patches` cycles stays below `budget`.  Throws BackendError
+  /// when p >= threshold (no distance suffices).
+  int choose_distance(double p_physical, std::int64_t rounds, std::int64_t patches,
+                      double budget) const;
+};
+
+/// Placement of logical patches on the physical fabric.
+struct PatchLayout {
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::pair<int, int>> patch_origin;  ///< per logical qubit
+  std::int64_t total_physical_qubits = 0;         ///< incl. routing lanes
+
+  json::Value to_json() const;
+};
+
+/// Binds `logical_qubits` patches at `distance` using the policy's
+/// allocator ("auto" = near-square grid, "grid", or "linear" row).
+/// Grid layouts reserve one lattice-surgery routing lane between rows.
+PatchLayout allocate_patches(int logical_qubits, int distance, const std::string& allocator);
+
+/// Full resource expansion of a logical workload under a QEC policy.
+struct QecResourceEstimate {
+  int distance = 0;
+  int patches = 0;
+  std::int64_t physical_qubits = 0;
+  std::int64_t syndrome_rounds = 0;
+  double logical_error_per_round = 0.0;
+  double total_failure_probability = 0.0;
+  double runtime_us = 0.0;
+  std::int64_t t_count = 0;           ///< magic states required
+  std::int64_t t_factory_qubits = 0;  ///< 15-to-1 distillation overhead
+  PatchLayout layout;
+
+  json::Value to_json() const;
+};
+
+/// Expands a logical workload (qubits, depth, gate counts) under `policy`.
+/// `gate_counts` uses circuit vocabulary ("t", "tdg", "rz", ...); arbitrary
+/// rz angles are priced at 3*ceil(log2(1/eps)) T gates each (gridsynth-style
+/// synthesis with eps = 1e-10).
+QecResourceEstimate estimate_resources(const core::QecPolicy& policy, int logical_qubits,
+                                       std::int64_t logical_depth,
+                                       const std::map<std::string, std::int64_t>& gate_counts);
+
+/// Verifies that every logical gate used is in the policy's
+/// logical_gate_set (empty set = unrestricted).  Gate names are matched
+/// after mapping to the fault-tolerant vocabulary (cx->CNOT, rz->T, ...).
+void check_logical_gate_set(const core::QecPolicy& policy,
+                            const std::map<std::string, std::int64_t>& gate_counts);
+
+}  // namespace quml::qec

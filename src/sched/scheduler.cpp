@@ -1,0 +1,170 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::sched {
+
+json::Value BackendCapability::to_json() const {
+  json::Object o;
+  o.emplace_back("name", json::Value(name));
+  o.emplace_back("kind", json::Value(kind));
+  o.emplace_back("num_qubits", json::Value(static_cast<std::int64_t>(num_qubits)));
+  o.emplace_back("oneq_time_us", json::Value(oneq_time_us));
+  o.emplace_back("twoq_time_us", json::Value(twoq_time_us));
+  o.emplace_back("readout_time_us", json::Value(readout_time_us));
+  o.emplace_back("anneal_read_time_us", json::Value(anneal_read_time_us));
+  o.emplace_back("oneq_error", json::Value(oneq_error));
+  o.emplace_back("twoq_error", json::Value(twoq_error));
+  o.emplace_back("queue_wait_us", json::Value(queue_wait_us));
+  return json::Value(std::move(o));
+}
+
+BackendCapability BackendCapability::from_json(const json::Value& doc) {
+  BackendCapability c;
+  c.name = doc.get_string("name", "");
+  c.kind = doc.get_string("kind", "gate");
+  c.num_qubits = static_cast<int>(doc.get_int("num_qubits", 0));
+  c.oneq_time_us = doc.get_double("oneq_time_us", c.oneq_time_us);
+  c.twoq_time_us = doc.get_double("twoq_time_us", c.twoq_time_us);
+  c.readout_time_us = doc.get_double("readout_time_us", c.readout_time_us);
+  c.anneal_read_time_us = doc.get_double("anneal_read_time_us", c.anneal_read_time_us);
+  c.oneq_error = doc.get_double("oneq_error", c.oneq_error);
+  c.twoq_error = doc.get_double("twoq_error", c.twoq_error);
+  c.queue_wait_us = doc.get_double("queue_wait_us", c.queue_wait_us);
+  return c;
+}
+
+namespace {
+
+bool is_anneal_formulation(const core::JobBundle& bundle) {
+  for (const auto& op : bundle.operators.ops)
+    if (op.rep_kind == core::rep::kIsingProblem) return true;
+  return false;
+}
+
+std::int64_t bundle_samples(const core::JobBundle& bundle) {
+  return bundle.context ? bundle.context->exec.samples : 1024;
+}
+
+}  // namespace
+
+JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& backend) {
+  JobEstimate est;
+  const unsigned width = bundle.registers.total_width();
+  if (static_cast<int>(width) > backend.num_qubits) {
+    est.reason = "needs " + std::to_string(width) + " qubits, backend has " +
+                 std::to_string(backend.num_qubits);
+    return est;
+  }
+  const bool anneal_job = is_anneal_formulation(bundle);
+  if (anneal_job != (backend.kind == "anneal")) {
+    est.reason = anneal_job ? "ISING_PROBLEM needs an anneal backend"
+                            : "gate-path operators need a gate backend";
+    return est;
+  }
+
+  est.feasible = true;
+  const core::CostHint cost = bundle.operators.accumulated_cost();
+  const std::int64_t samples = bundle_samples(bundle);
+  if (backend.kind == "anneal") {
+    est.duration_us = backend.queue_wait_us +
+                      static_cast<double>(samples) * backend.anneal_read_time_us;
+    // Annealers don't accumulate gate error; success is problem-dependent and
+    // not priced here.
+    est.success_prob = 1.0;
+    return est;
+  }
+  const double oneq = static_cast<double>(cost.oneq.value_or(0));
+  const double twoq = static_cast<double>(cost.twoq.value_or(0));
+  const double depth = static_cast<double>(cost.depth.value_or(0));
+  // Serial execution along the critical path plus readout per shot; the
+  // depth hint scales the per-layer estimate.
+  const double layer_time = std::max(backend.twoq_time_us, backend.oneq_time_us);
+  const double circuit_time =
+      depth > 0 ? depth * layer_time
+                : oneq * backend.oneq_time_us + twoq * backend.twoq_time_us;
+  est.duration_us = backend.queue_wait_us +
+                    static_cast<double>(samples) * (circuit_time + backend.readout_time_us);
+  est.success_prob = std::pow(1.0 - backend.oneq_error, oneq) *
+                     std::pow(1.0 - backend.twoq_error, twoq);
+  return est;
+}
+
+Decision choose_backend(const core::JobBundle& bundle,
+                        const std::vector<BackendCapability>& backends,
+                        const ScoreWeights& weights) {
+  if (backends.empty()) throw BackendError("no backends to schedule onto");
+  Decision decision;
+  bool any = false;
+  double best_score = 0.0;
+  for (const auto& backend : backends) {
+    const JobEstimate est = estimate(bundle, backend);
+    decision.considered.emplace_back(backend.name, est);
+    if (!est.feasible) continue;
+    const double score = weights.quality_weight * est.success_prob -
+                         weights.time_weight * std::log10(std::max(est.duration_us, 1.0));
+    if (!any || score > best_score) {
+      any = true;
+      best_score = score;
+      decision.backend = backend.name;
+      decision.score = score;
+    }
+  }
+  if (!any) {
+    std::string reasons;
+    for (const auto& [name, est] : decision.considered)
+      reasons += "\n  " + name + ": " + est.reason;
+    throw BackendError("no feasible backend for bundle '" + bundle.job_id + "':" + reasons);
+  }
+  return decision;
+}
+
+QueueReport simulate_queue(const std::vector<core::JobBundle>& jobs,
+                           const std::vector<BackendCapability>& backends, Policy policy) {
+  if (backends.empty()) throw BackendError("no backends to schedule onto");
+  QueueReport report;
+  report.backend_busy_us.assign(backends.size(), 0.0);
+  report.assignment.assign(jobs.size(), -1);
+
+  std::size_t rr_cursor = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    int chosen = -1;
+    if (policy == Policy::CostHintAware) {
+      // Shortest expected completion: busy time + estimated duration.
+      double best = 0.0;
+      for (std::size_t b = 0; b < backends.size(); ++b) {
+        const JobEstimate est = estimate(jobs[j], backends[b]);
+        if (!est.feasible) continue;
+        const double completion = report.backend_busy_us[b] + est.duration_us;
+        if (chosen < 0 || completion < best) {
+          best = completion;
+          chosen = static_cast<int>(b);
+        }
+      }
+    } else {
+      // Round robin over backends that could in principle run the job kind,
+      // ignoring cost information entirely.
+      for (std::size_t probe = 0; probe < backends.size(); ++probe) {
+        const std::size_t b = (rr_cursor + probe) % backends.size();
+        if (estimate(jobs[j], backends[b]).feasible) {
+          chosen = static_cast<int>(b);
+          rr_cursor = b + 1;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) throw BackendError("job " + std::to_string(j) + " fits no backend");
+    const JobEstimate est = estimate(jobs[j], backends[static_cast<std::size_t>(chosen)]);
+    report.backend_busy_us[static_cast<std::size_t>(chosen)] += est.duration_us;
+    report.assignment[j] = chosen;
+  }
+  report.makespan_us =
+      *std::max_element(report.backend_busy_us.begin(), report.backend_busy_us.end());
+  return report;
+}
+
+}  // namespace quml::sched

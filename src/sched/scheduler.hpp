@@ -1,0 +1,82 @@
+#pragma once
+// Cost-hint-driven backend scheduling.
+//
+// This realizes the paper's §2 motivation: "a technology-agnostic middle
+// layer should include a cost_hint to each operator, analogous to FLOP
+// counts and communication estimates used by HPC schedulers.  Without this
+// information, a scheduler cannot choose an appropriate backend [...] or
+// estimate queue and runtime."  The scheduler consumes *only* descriptor
+// metadata — accumulated cost hints, register widths, rep_kinds — never the
+// lowered circuit, so it runs before any backend work.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "json/json.hpp"
+
+namespace quml::sched {
+
+/// What a backend advertises to the scheduler (cf. Backend::capabilities).
+struct BackendCapability {
+  std::string name;          ///< engine name for the context
+  std::string kind;          ///< "gate" or "anneal"
+  int num_qubits = 0;
+  double oneq_time_us = 0.05;
+  double twoq_time_us = 0.3;
+  double readout_time_us = 1.0;
+  double anneal_read_time_us = 20.0;  ///< per read, anneal kind only
+  double oneq_error = 1e-4;
+  double twoq_error = 1e-3;
+  double queue_wait_us = 0.0;         ///< current backlog
+
+  json::Value to_json() const;
+  static BackendCapability from_json(const json::Value& doc);
+};
+
+/// Runtime/quality estimate for one (bundle, backend) pair.
+struct JobEstimate {
+  bool feasible = false;
+  std::string reason;        ///< why infeasible (empty when feasible)
+  double duration_us = 0.0;  ///< queue wait + execution estimate
+  double success_prob = 1.0; ///< product of per-gate fidelity estimates
+};
+
+/// Estimates from cost hints alone (no lowering).
+JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& backend);
+
+/// Backend choice with the full decision record.
+struct Decision {
+  std::string backend;
+  double score = 0.0;
+  std::vector<std::pair<std::string, JobEstimate>> considered;
+};
+
+struct ScoreWeights {
+  double time_weight = 1.0;     ///< per log10(us)
+  double quality_weight = 4.0;  ///< per unit success probability
+};
+
+/// Picks the feasible backend maximizing quality_weight * success -
+/// time_weight * log10(duration).  Throws BackendError when nothing fits.
+Decision choose_backend(const core::JobBundle& bundle,
+                        const std::vector<BackendCapability>& backends,
+                        const ScoreWeights& weights = {});
+
+/// FIFO queue simulation comparing scheduling policies over a job mix.
+struct QueueReport {
+  double makespan_us = 0.0;
+  std::vector<double> backend_busy_us;  ///< per backend
+  std::vector<int> assignment;          ///< job -> backend index
+};
+
+enum class Policy {
+  CostHintAware,  ///< shortest expected completion using estimates
+  RoundRobin,     ///< ignore hints (the paper's "without this information")
+};
+
+QueueReport simulate_queue(const std::vector<core::JobBundle>& jobs,
+                           const std::vector<BackendCapability>& backends, Policy policy);
+
+}  // namespace quml::sched

@@ -1,0 +1,237 @@
+#include "schema/descriptor_schemas.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::schema {
+
+namespace {
+
+const std::string kQdtSchema = R"JSON({
+  "$id": "qdt-core.schema.json",
+  "title": "Quantum Data Type descriptor",
+  "type": "object",
+  "required": ["id", "width", "encoding_kind"],
+  "properties": {
+    "$schema": {"type": "string"},
+    "id": {"type": "string", "minLength": 1},
+    "name": {"type": "string"},
+    "width": {"type": "integer", "minimum": 1, "maximum": 64},
+    "encoding_kind": {"enum": [
+      "UINT_REGISTER", "INT_REGISTER", "BOOL_REGISTER",
+      "PHASE_REGISTER", "ISING_SPIN", "FIXED_POINT_REGISTER"
+    ]},
+    "bit_order": {"enum": ["LSB_0", "MSB_0"]},
+    "measurement_semantics": {"enum": [
+      "AS_UINT", "AS_INT", "AS_BOOL", "AS_PHASE", "AS_SPIN", "AS_FIXED_POINT"
+    ]},
+    "phase_scale": {"type": "string", "pattern": "^-?[0-9]+(/[0-9]+)?$"},
+    "fraction_bits": {"type": "integer", "minimum": 0, "maximum": 63},
+    "metadata": {"type": "object"}
+  },
+  "additionalProperties": false
+})JSON";
+
+const std::string kQodSchema = R"JSON({
+  "$id": "qod.schema.json",
+  "title": "Quantum Operator Descriptor",
+  "type": "object",
+  "required": ["name", "rep_kind", "domain_qdt"],
+  "properties": {
+    "$schema": {"type": "string"},
+    "name": {"type": "string", "minLength": 1},
+    "rep_kind": {"type": "string", "minLength": 1, "pattern": "^[A-Z][A-Z0-9_]*$"},
+    "domain_qdt": {"type": "string", "minLength": 1},
+    "codomain_qdt": {"type": "string", "minLength": 1},
+    "params": {"type": "object"},
+    "cost_hint": {
+      "type": "object",
+      "properties": {
+        "oneq": {"type": "integer", "minimum": 0},
+        "twoq": {"type": "integer", "minimum": 0},
+        "depth": {"type": "integer", "minimum": 0},
+        "ancillas": {"type": "integer", "minimum": 0},
+        "duration_us": {"type": "number", "minimum": 0},
+        "comm_bits": {"type": "integer", "minimum": 0}
+      },
+      "additionalProperties": false
+    },
+    "result_schema": {
+      "type": "object",
+      "required": ["basis", "datatype"],
+      "properties": {
+        "basis": {"enum": ["Z", "X", "Y"]},
+        "datatype": {"enum": [
+          "AS_UINT", "AS_INT", "AS_BOOL", "AS_PHASE", "AS_SPIN", "AS_FIXED_POINT"
+        ]},
+        "bit_significance": {"enum": ["LSB_0", "MSB_0"]},
+        "clbit_order": {
+          "type": "array",
+          "items": {"type": "string", "pattern": "^[A-Za-z_][A-Za-z0-9_]*\\[[0-9]+\\]$"},
+          "minItems": 1
+        }
+      },
+      "additionalProperties": false
+    },
+    "provenance": {"type": "object"}
+  },
+  "additionalProperties": false
+})JSON";
+
+const std::string kCtxSchema = R"JSON({
+  "$id": "ctx.schema.json",
+  "title": "Execution context descriptor",
+  "type": "object",
+  "properties": {
+    "$schema": {"type": "string"},
+    "exec": {
+      "type": "object",
+      "properties": {
+        "engine": {"type": "string", "minLength": 1},
+        "samples": {"type": "integer", "minimum": 1},
+        "seed": {"type": "integer", "minimum": 0},
+        "max_parallel_threads": {"type": "integer", "minimum": 1},
+        "target": {
+          "type": "object",
+          "properties": {
+            "num_qubits": {"type": "integer", "minimum": 1},
+            "basis_gates": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+            "coupling_map": {
+              "type": "array",
+              "items": {
+                "type": "array",
+                "items": {"type": "integer", "minimum": 0},
+                "minItems": 2,
+                "maxItems": 2
+              }
+            }
+          },
+          "additionalProperties": false
+        },
+        "options": {"type": "object"}
+      },
+      "additionalProperties": false
+    },
+    "qec": {
+      "type": "object",
+      "required": ["code_family", "distance"],
+      "properties": {
+        "code_family": {"enum": ["surface", "repetition", "color"]},
+        "distance": {"type": "integer", "minimum": 3},
+        "allocator": {"enum": ["auto", "linear", "grid"]},
+        "logical_gate_set": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+        "physical_error_rate": {"type": "number", "exclusiveMinimum": 0, "exclusiveMaximum": 1},
+        "target_logical_error_rate": {"type": "number", "exclusiveMinimum": 0, "exclusiveMaximum": 1},
+        "decoder": {"enum": ["mwpm", "union_find", "lookup"]},
+        "layout_hint": {"type": "object"}
+      },
+      "additionalProperties": false
+    },
+    "anneal": {
+      "type": "object",
+      "properties": {
+        "num_reads": {"type": "integer", "minimum": 1},
+        "num_sweeps": {"type": "integer", "minimum": 1},
+        "beta_min": {"type": "number", "exclusiveMinimum": 0},
+        "beta_max": {"type": "number", "exclusiveMinimum": 0},
+        "schedule": {"enum": ["geometric", "linear"]},
+        "seed": {"type": "integer", "minimum": 0}
+      },
+      "additionalProperties": false
+    },
+    "comm": {
+      "type": "object",
+      "properties": {
+        "allow_teleportation": {"type": "boolean"},
+        "qpus": {"type": "array", "items": {"type": "object"}, "minItems": 1},
+        "epr_fidelity": {"type": "number", "exclusiveMinimum": 0, "maximum": 1}
+      },
+      "additionalProperties": false
+    },
+    "pulse": {
+      "type": "object",
+      "properties": {
+        "enabled": {"type": "boolean"},
+        "sx_duration_ns": {"type": "number", "exclusiveMinimum": 0},
+        "cx_duration_ns": {"type": "number", "exclusiveMinimum": 0},
+        "measure_duration_ns": {"type": "number", "exclusiveMinimum": 0}
+      },
+      "additionalProperties": false
+    },
+    "noise": {
+      "type": "object",
+      "properties": {
+        "enabled": {"type": "boolean"},
+        "depolarizing_1q": {"type": "number", "minimum": 0, "maximum": 1},
+        "depolarizing_2q": {"type": "number", "minimum": 0, "maximum": 1},
+        "readout_flip": {"type": "number", "minimum": 0, "maximum": 1}
+      },
+      "additionalProperties": false
+    },
+    "extensions": {"type": "object"}
+  },
+  "additionalProperties": false
+})JSON";
+
+const std::string kJobSchema = R"JSON({
+  "$id": "job.schema.json",
+  "title": "Submission bundle (packaging step output)",
+  "type": "object",
+  "required": ["qdts", "operators"],
+  "properties": {
+    "$schema": {"type": "string"},
+    "job_id": {"type": "string", "minLength": 1},
+    "qdts": {"type": "array", "items": {"type": "object"}, "minItems": 1},
+    "operators": {"type": "array", "items": {"type": "object"}, "minItems": 1},
+    "context": {"type": "object"},
+    "provenance": {
+      "type": "object",
+      "properties": {
+        "producer": {"type": "string"},
+        "created_by": {"type": "string"},
+        "middle_layer_version": {"type": "string"}
+      },
+      "additionalProperties": true
+    }
+  },
+  "additionalProperties": false
+})JSON";
+
+}  // namespace
+
+const Validator& qdt_validator() {
+  static const Validator v = Validator::from_text(kQdtSchema);
+  return v;
+}
+
+const Validator& qod_validator() {
+  static const Validator v = Validator::from_text(kQodSchema);
+  return v;
+}
+
+const Validator& ctx_validator() {
+  static const Validator v = Validator::from_text(kCtxSchema);
+  return v;
+}
+
+const Validator& job_validator() {
+  static const Validator v = Validator::from_text(kJobSchema);
+  return v;
+}
+
+const std::string& qdt_schema_text() { return kQdtSchema; }
+const std::string& qod_schema_text() { return kQodSchema; }
+const std::string& ctx_schema_text() { return kCtxSchema; }
+const std::string& job_schema_text() { return kJobSchema; }
+
+const Validator& validator_for(const json::Value& document) {
+  const std::string name = document.get_string("$schema", "");
+  if (name.empty())
+    throw SchemaError("document carries no $schema member", "/$schema");
+  if (name == "qdt-core.schema.json") return qdt_validator();
+  if (name == "qod.schema.json") return qod_validator();
+  if (name == "ctx.schema.json") return ctx_validator();
+  if (name == "job.schema.json") return job_validator();
+  throw SchemaError("unknown schema '" + name + "'", "/$schema");
+}
+
+}  // namespace quml::schema

@@ -1,0 +1,35 @@
+#pragma once
+// Embedded JSON Schemas for the four middle-layer artifact kinds.
+//
+// These are the C++ equivalents of the paper's `qdt-core.schema.json`,
+// `qod.schema.json`, `ctx.schema.json` ($schema fields in Listings 2-5), plus
+// `job.schema.json` for the submission bundle produced by the packaging step
+// (paper §4.4).  Descriptors carry the schema name; `validator_for` routes a
+// document to the right validator.
+
+#include <string>
+
+#include "schema/validator.hpp"
+
+namespace quml::schema {
+
+/// Quantum Data Type descriptor schema (paper Listing 2).
+const Validator& qdt_validator();
+/// Quantum Operator Descriptor schema (paper Listing 3).
+const Validator& qod_validator();
+/// Context descriptor schema (paper Listings 4 & 5).
+const Validator& ctx_validator();
+/// Submission bundle ("job.json", paper §4.4).
+const Validator& job_validator();
+
+/// Raw schema texts (exposed so tools can emit them next to artifacts).
+const std::string& qdt_schema_text();
+const std::string& qod_schema_text();
+const std::string& ctx_schema_text();
+const std::string& job_schema_text();
+
+/// Routes a document by its `$schema` member; throws SchemaError when the
+/// member is missing or names an unknown schema.
+const Validator& validator_for(const json::Value& document);
+
+}  // namespace quml::schema

@@ -1,0 +1,245 @@
+#include "schema/validator.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/errors.hpp"
+
+namespace quml::schema {
+
+namespace {
+
+bool matches_type(const json::Value& inst, const std::string& type) {
+  using json::Type;
+  if (type == "object") return inst.is_object();
+  if (type == "array") return inst.is_array();
+  if (type == "string") return inst.is_string();
+  if (type == "boolean") return inst.is_bool();
+  if (type == "null") return inst.is_null();
+  if (type == "integer") {
+    if (inst.is_int()) return true;
+    // 2.0 is a valid integer per JSON Schema: mathematical, not lexical.
+    return inst.is_double() && std::floor(inst.as_double()) == inst.as_double();
+  }
+  if (type == "number") return inst.is_number();
+  return false;
+}
+
+std::string child_pointer(const std::string& base, const std::string& token) {
+  return base + "/" + json::escape_pointer_token(token);
+}
+
+}  // namespace
+
+Validator::Validator(json::Value schema) : schema_(std::move(schema)) {}
+
+Validator Validator::from_text(const std::string& schema_json) {
+  return Validator(json::parse(schema_json));
+}
+
+const std::regex& Validator::compiled_pattern(const std::string& pattern) const {
+  auto it = pattern_cache_.find(pattern);
+  if (it == pattern_cache_.end())
+    it = pattern_cache_.emplace(pattern, std::regex(pattern, std::regex::ECMAScript)).first;
+  return it->second;
+}
+
+std::vector<Issue> Validator::validate(const json::Value& instance) const {
+  std::vector<Issue> issues;
+  check(instance, schema_, "", issues, 0);
+  return issues;
+}
+
+void Validator::validate_or_throw(const json::Value& instance) const {
+  const auto issues = validate(instance);
+  if (!issues.empty())
+    throw SchemaError(issues.front().keyword + ": " + issues.front().message,
+                      issues.front().pointer.empty() ? "/" : issues.front().pointer);
+}
+
+void Validator::check(const json::Value& inst, const json::Value& sch,
+                      const std::string& pointer, std::vector<Issue>& issues,
+                      int depth) const {
+  if (depth > 64) {
+    issues.push_back({pointer, "$ref", "schema recursion too deep"});
+    return;
+  }
+  // Boolean schemas: `true` accepts everything, `false` rejects everything.
+  if (sch.is_bool()) {
+    if (!sch.as_bool()) issues.push_back({pointer, "false", "schema forbids this element"});
+    return;
+  }
+  if (!sch.is_object()) return;
+
+  if (const json::Value* ref = sch.find("$ref")) {
+    const std::string& target = ref->as_string();
+    if (target.size() >= 1 && target[0] == '#') {
+      const json::Value* resolved = json::resolve_pointer(schema_, target.substr(1));
+      if (!resolved) {
+        issues.push_back({pointer, "$ref", "unresolvable schema reference '" + target + "'"});
+        return;
+      }
+      check(inst, *resolved, pointer, issues, depth + 1);
+      return;
+    }
+    issues.push_back({pointer, "$ref", "only document-local references are supported"});
+    return;
+  }
+
+  if (const json::Value* type = sch.find("type")) {
+    bool ok = false;
+    if (type->is_string()) {
+      ok = matches_type(inst, type->as_string());
+    } else if (type->is_array()) {
+      for (const auto& t : type->as_array())
+        if (matches_type(inst, t.as_string())) {
+          ok = true;
+          break;
+        }
+    }
+    if (!ok) {
+      issues.push_back({pointer, "type",
+                        std::string("expected ") + json::dump(*type) + ", got " +
+                            json::type_name(inst.type())});
+      return;  // further keyword checks would produce noise
+    }
+  }
+
+  if (const json::Value* cnst = sch.find("const")) {
+    if (inst != *cnst)
+      issues.push_back({pointer, "const", "value must equal " + json::dump(*cnst)});
+  }
+
+  if (const json::Value* en = sch.find("enum")) {
+    bool found = false;
+    for (const auto& candidate : en->as_array())
+      if (inst == candidate) {
+        found = true;
+        break;
+      }
+    if (!found)
+      issues.push_back({pointer, "enum", "value " + json::dump(inst) + " not in " + json::dump(*en)});
+  }
+
+  if (inst.is_number()) {
+    const double x = inst.as_double();
+    if (const json::Value* m = sch.find("minimum"); m && x < m->as_double())
+      issues.push_back({pointer, "minimum", "value below minimum " + json::dump(*m)});
+    if (const json::Value* m = sch.find("maximum"); m && x > m->as_double())
+      issues.push_back({pointer, "maximum", "value above maximum " + json::dump(*m)});
+    if (const json::Value* m = sch.find("exclusiveMinimum"); m && x <= m->as_double())
+      issues.push_back({pointer, "exclusiveMinimum", "value must exceed " + json::dump(*m)});
+    if (const json::Value* m = sch.find("exclusiveMaximum"); m && x >= m->as_double())
+      issues.push_back({pointer, "exclusiveMaximum", "value must be below " + json::dump(*m)});
+    if (const json::Value* m = sch.find("multipleOf")) {
+      const double q = x / m->as_double();
+      if (std::abs(q - std::round(q)) > 1e-9)
+        issues.push_back({pointer, "multipleOf", "value is not a multiple of " + json::dump(*m)});
+    }
+  }
+
+  if (inst.is_string()) {
+    const std::string& s = inst.as_string();
+    if (const json::Value* m = sch.find("minLength");
+        m && s.size() < static_cast<std::size_t>(m->as_int()))
+      issues.push_back({pointer, "minLength", "string shorter than " + json::dump(*m)});
+    if (const json::Value* m = sch.find("maxLength");
+        m && s.size() > static_cast<std::size_t>(m->as_int()))
+      issues.push_back({pointer, "maxLength", "string longer than " + json::dump(*m)});
+    if (const json::Value* m = sch.find("pattern")) {
+      if (!std::regex_search(s, compiled_pattern(m->as_string())))
+        issues.push_back({pointer, "pattern", "string does not match " + json::dump(*m)});
+    }
+  }
+
+  if (inst.is_array()) {
+    const json::Array& items = inst.as_array();
+    if (const json::Value* m = sch.find("minItems");
+        m && items.size() < static_cast<std::size_t>(m->as_int()))
+      issues.push_back({pointer, "minItems", "array shorter than " + json::dump(*m)});
+    if (const json::Value* m = sch.find("maxItems");
+        m && items.size() > static_cast<std::size_t>(m->as_int()))
+      issues.push_back({pointer, "maxItems", "array longer than " + json::dump(*m)});
+    if (sch.get_bool("uniqueItems", false)) {
+      for (std::size_t i = 0; i < items.size(); ++i)
+        for (std::size_t j = i + 1; j < items.size(); ++j)
+          if (items[i] == items[j]) {
+            issues.push_back({pointer, "uniqueItems", "duplicate array elements"});
+            i = items.size();
+            break;
+          }
+    }
+    const json::Value* prefix = sch.find("prefixItems");
+    std::size_t prefix_len = 0;
+    if (prefix) {
+      prefix_len = prefix->as_array().size();
+      for (std::size_t i = 0; i < items.size() && i < prefix_len; ++i)
+        check(items[i], prefix->as_array()[i], child_pointer(pointer, std::to_string(i)),
+              issues, depth + 1);
+    }
+    if (const json::Value* item_schema = sch.find("items")) {
+      for (std::size_t i = prefix_len; i < items.size(); ++i)
+        check(items[i], *item_schema, child_pointer(pointer, std::to_string(i)), issues,
+              depth + 1);
+    }
+  }
+
+  if (inst.is_object()) {
+    const json::Value* props = sch.find("properties");
+    if (const json::Value* req = sch.find("required")) {
+      for (const auto& key : req->as_array())
+        if (!inst.contains(key.as_string()))
+          issues.push_back({pointer, "required", "missing required member '" + key.as_string() + "'"});
+    }
+    const json::Value* additional = sch.find("additionalProperties");
+    for (const auto& [key, member] : inst.as_object()) {
+      const json::Value* member_schema = props ? props->find(key) : nullptr;
+      if (member_schema) {
+        check(member, *member_schema, child_pointer(pointer, key), issues, depth + 1);
+      } else if (additional) {
+        if (additional->is_bool()) {
+          if (!additional->as_bool())
+            issues.push_back({child_pointer(pointer, key), "additionalProperties",
+                              "unexpected member '" + key + "'"});
+        } else {
+          check(member, *additional, child_pointer(pointer, key), issues, depth + 1);
+        }
+      }
+    }
+  }
+
+  if (const json::Value* all = sch.find("allOf")) {
+    for (const auto& sub : all->as_array()) check(inst, sub, pointer, issues, depth + 1);
+  }
+  if (const json::Value* any = sch.find("anyOf")) {
+    bool ok = false;
+    for (const auto& sub : any->as_array()) {
+      std::vector<Issue> sub_issues;
+      check(inst, sub, pointer, sub_issues, depth + 1);
+      if (sub_issues.empty()) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) issues.push_back({pointer, "anyOf", "no alternative matched"});
+  }
+  if (const json::Value* one = sch.find("oneOf")) {
+    int matched = 0;
+    for (const auto& sub : one->as_array()) {
+      std::vector<Issue> sub_issues;
+      check(inst, sub, pointer, sub_issues, depth + 1);
+      if (sub_issues.empty()) ++matched;
+    }
+    if (matched != 1)
+      issues.push_back({pointer, "oneOf",
+                        "expected exactly one alternative to match, got " + std::to_string(matched)});
+  }
+  if (const json::Value* neg = sch.find("not")) {
+    std::vector<Issue> sub_issues;
+    check(inst, *neg, pointer, sub_issues, depth + 1);
+    if (sub_issues.empty())
+      issues.push_back({pointer, "not", "value matches a forbidden schema"});
+  }
+}
+
+}  // namespace quml::schema

@@ -1,0 +1,58 @@
+#pragma once
+// JSON-Schema (draft-2020-12 subset) validator.
+//
+// Descriptors name their schema in a `$schema` field (paper Listings 2-5);
+// this validator enforces structure before any semantic interpretation, so
+// malformed artifacts are rejected with JSON-pointer-addressed diagnostics
+// ("validators can catch mismatches early", paper §4.1).
+//
+// Supported keywords: type, properties, required, additionalProperties,
+// items, prefixItems, enum, const, minimum, maximum, exclusiveMinimum,
+// exclusiveMaximum, multipleOf, minItems, maxItems, uniqueItems, minLength,
+// maxLength, pattern, anyOf, allOf, oneOf, not, $ref (document-local
+// "#/$defs/..." and "#/definitions/...").
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace quml::schema {
+
+/// One validation finding; `pointer` addresses the offending element in the
+/// *instance* document, `keyword` names the violated schema keyword.
+struct Issue {
+  std::string pointer;
+  std::string keyword;
+  std::string message;
+
+  std::string str() const { return pointer + ": [" + keyword + "] " + message; }
+};
+
+class Validator {
+ public:
+  /// Parses and retains the schema document.
+  explicit Validator(json::Value schema);
+  static Validator from_text(const std::string& schema_json);
+
+  /// Collects all violations (empty == valid).
+  std::vector<Issue> validate(const json::Value& instance) const;
+
+  /// Throws SchemaError on the first violation.
+  void validate_or_throw(const json::Value& instance) const;
+
+  const json::Value& schema() const noexcept { return schema_; }
+
+ private:
+  void check(const json::Value& inst, const json::Value& sch, const std::string& pointer,
+             std::vector<Issue>& issues, int depth) const;
+  const std::regex& compiled_pattern(const std::string& pattern) const;
+
+  json::Value schema_;
+  mutable std::unordered_map<std::string, std::regex> pattern_cache_;
+};
+
+}  // namespace quml::schema

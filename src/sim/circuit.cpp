@@ -1,0 +1,182 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace quml::sim {
+
+Circuit::Circuit(int num_qubits, int num_clbits)
+    : num_qubits_(num_qubits), num_clbits_(num_clbits) {
+  if (num_qubits < 0 || num_qubits > 30)
+    throw ValidationError("circuit qubit count must be in [0, 30]");
+  if (num_clbits < 0) throw ValidationError("negative clbit count");
+}
+
+void Circuit::add(Gate g, std::vector<int> qubits, std::vector<double> params,
+                  std::vector<int> clbits) {
+  const int arity = gate_arity(g);
+  if (g != Gate::Barrier && static_cast<int>(qubits.size()) != arity)
+    throw ValidationError(std::string("gate '") + gate_name(g) + "' expects " +
+                          std::to_string(arity) + " qubits, got " + std::to_string(qubits.size()));
+  if (static_cast<int>(params.size()) != gate_num_params(g))
+    throw ValidationError(std::string("gate '") + gate_name(g) + "' expects " +
+                          std::to_string(gate_num_params(g)) + " params");
+  for (const int q : qubits)
+    if (q < 0 || q >= num_qubits_)
+      throw ValidationError("qubit index " + std::to_string(q) + " out of range");
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    for (std::size_t j = i + 1; j < qubits.size(); ++j)
+      if (qubits[i] == qubits[j]) throw ValidationError("duplicate qubit operand");
+  if (g == Gate::Measure) {
+    if (clbits.size() != 1) throw ValidationError("measure needs exactly one clbit");
+    if (clbits[0] < 0 || clbits[0] >= num_clbits_)
+      throw ValidationError("clbit index out of range");
+  } else if (!clbits.empty()) {
+    throw ValidationError("only measure carries clbits");
+  }
+  instructions_.push_back({g, std::move(qubits), std::move(params), std::move(clbits)});
+}
+
+void Circuit::measure_all() {
+  if (num_clbits_ < num_qubits_)
+    throw ValidationError("measure_all needs at least as many clbits as qubits");
+  for (int q = 0; q < num_qubits_; ++q) measure(q, q);
+}
+
+void Circuit::append(const Circuit& other, const std::vector<int>& qubit_map, int clbit_offset) {
+  if (static_cast<int>(qubit_map.size()) != other.num_qubits())
+    throw ValidationError("append qubit_map size mismatch");
+  for (const Instruction& inst : other.instructions()) {
+    Instruction mapped = inst;
+    for (auto& q : mapped.qubits) q = qubit_map.at(static_cast<std::size_t>(q));
+    for (auto& c : mapped.clbits) c += clbit_offset;
+    add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+  }
+}
+
+namespace {
+
+/// Inverse of a single unitary instruction.
+Instruction invert_instruction(const Instruction& inst) {
+  Instruction inv = inst;
+  switch (inst.gate) {
+    case Gate::I:
+    case Gate::X:
+    case Gate::Y:
+    case Gate::Z:
+    case Gate::H:
+    case Gate::CX:
+    case Gate::CY:
+    case Gate::CZ:
+    case Gate::SWAP:
+    case Gate::CCX:
+    case Gate::CSWAP:
+    case Gate::Barrier:
+      return inv;  // self-inverse
+    case Gate::S: inv.gate = Gate::Sdg; return inv;
+    case Gate::Sdg: inv.gate = Gate::S; return inv;
+    case Gate::T: inv.gate = Gate::Tdg; return inv;
+    case Gate::Tdg: inv.gate = Gate::T; return inv;
+    case Gate::SX: inv.gate = Gate::SXdg; return inv;
+    case Gate::SXdg: inv.gate = Gate::SX; return inv;
+    case Gate::RX:
+    case Gate::RY:
+    case Gate::RZ:
+    case Gate::P:
+    case Gate::CP:
+    case Gate::CRZ:
+    case Gate::RZZ:
+      inv.params[0] = -inv.params[0];
+      return inv;
+    case Gate::U3: {
+      // U3(θ,φ,λ)^-1 = U3(-θ,-λ,-φ)
+      inv.params = {-inst.params[0], -inst.params[2], -inst.params[1]};
+      return inv;
+    }
+    case Gate::Measure:
+    case Gate::Reset:
+      throw ValidationError("cannot invert a non-unitary instruction");
+  }
+  throw ValidationError("unknown gate in invert_instruction");
+}
+
+}  // namespace
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_, num_clbits_);
+  for (auto it = instructions_.rbegin(); it != instructions_.rend(); ++it) {
+    Instruction i = invert_instruction(*it);
+    inv.add(i.gate, i.qubits, i.params, i.clbits);
+  }
+  return inv;
+}
+
+std::size_t Circuit::size() const {
+  std::size_t n = 0;
+  for (const auto& inst : instructions_)
+    if (inst.gate != Gate::Barrier) ++n;
+  return n;
+}
+
+int Circuit::depth() const {
+  std::vector<int> qubit_level(static_cast<std::size_t>(num_qubits_), 0);
+  std::vector<int> clbit_level(static_cast<std::size_t>(num_clbits_), 0);
+  int depth = 0;
+  for (const auto& inst : instructions_) {
+    if (inst.gate == Gate::Barrier) continue;
+    int level = 0;
+    for (const int q : inst.qubits) level = std::max(level, qubit_level[static_cast<std::size_t>(q)]);
+    for (const int c : inst.clbits) level = std::max(level, clbit_level[static_cast<std::size_t>(c)]);
+    ++level;
+    for (const int q : inst.qubits) qubit_level[static_cast<std::size_t>(q)] = level;
+    for (const int c : inst.clbits) clbit_level[static_cast<std::size_t>(c)] = level;
+    depth = std::max(depth, level);
+  }
+  return depth;
+}
+
+std::int64_t Circuit::two_qubit_count() const {
+  std::int64_t n = 0;
+  for (const auto& inst : instructions_)
+    if (gate_is_unitary(inst.gate) && inst.qubits.size() >= 2) ++n;
+  return n;
+}
+
+std::int64_t Circuit::count_of(Gate g) const {
+  std::int64_t n = 0;
+  for (const auto& inst : instructions_)
+    if (inst.gate == g) ++n;
+  return n;
+}
+
+std::map<std::string, std::int64_t> Circuit::gate_counts() const {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& inst : instructions_)
+    if (inst.gate != Gate::Barrier) ++counts[gate_name(inst.gate)];
+  return counts;
+}
+
+std::string Circuit::str() const {
+  std::string out = "circuit(" + std::to_string(num_qubits_) + " qubits, " +
+                    std::to_string(num_clbits_) + " clbits)\n";
+  for (const auto& inst : instructions_) {
+    out += "  ";
+    out += gate_name(inst.gate);
+    if (!inst.params.empty()) {
+      out += "(";
+      for (std::size_t i = 0; i < inst.params.size(); ++i) {
+        if (i) out += ", ";
+        out += format_double(inst.params[i]);
+      }
+      out += ")";
+    }
+    for (const int q : inst.qubits) out += " q" + std::to_string(q);
+    for (const int c : inst.clbits) out += " -> c" + std::to_string(c);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace quml::sim

@@ -1,0 +1,99 @@
+#pragma once
+// Backend-internal circuit IR.
+//
+// Circuits only exist *below* the middle layer: the gate backend lowers
+// operator descriptors into this IR once the execution context is known
+// (late binding, paper §3), then transpiles and simulates it.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/gate.hpp"
+
+namespace quml::sim {
+
+struct Instruction {
+  Gate gate = Gate::I;
+  std::vector<int> qubits;
+  std::vector<double> params;
+  std::vector<int> clbits;  ///< Measure only: destination classical bits
+
+  bool operator==(const Instruction& o) const {
+    return gate == o.gate && qubits == o.qubits && params == o.params && clbits == o.clbits;
+  }
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(int num_qubits, int num_clbits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  int num_clbits() const noexcept { return num_clbits_; }
+  const std::vector<Instruction>& instructions() const noexcept { return instructions_; }
+  std::vector<Instruction>& instructions() noexcept { return instructions_; }
+
+  // --- builders -------------------------------------------------------------
+  void add(Gate g, std::vector<int> qubits, std::vector<double> params = {},
+           std::vector<int> clbits = {});
+
+  void i(int q) { add(Gate::I, {q}); }
+  void x(int q) { add(Gate::X, {q}); }
+  void y(int q) { add(Gate::Y, {q}); }
+  void z(int q) { add(Gate::Z, {q}); }
+  void h(int q) { add(Gate::H, {q}); }
+  void s(int q) { add(Gate::S, {q}); }
+  void sdg(int q) { add(Gate::Sdg, {q}); }
+  void t(int q) { add(Gate::T, {q}); }
+  void tdg(int q) { add(Gate::Tdg, {q}); }
+  void sx(int q) { add(Gate::SX, {q}); }
+  void sxdg(int q) { add(Gate::SXdg, {q}); }
+  void rx(double theta, int q) { add(Gate::RX, {q}, {theta}); }
+  void ry(double theta, int q) { add(Gate::RY, {q}, {theta}); }
+  void rz(double lambda, int q) { add(Gate::RZ, {q}, {lambda}); }
+  void p(double lambda, int q) { add(Gate::P, {q}, {lambda}); }
+  void u3(double theta, double phi, double lambda, int q) { add(Gate::U3, {q}, {theta, phi, lambda}); }
+  void cx(int c, int t) { add(Gate::CX, {c, t}); }
+  void cy(int c, int t) { add(Gate::CY, {c, t}); }
+  void cz(int c, int t) { add(Gate::CZ, {c, t}); }
+  void cp(double lambda, int c, int t) { add(Gate::CP, {c, t}, {lambda}); }
+  void crz(double lambda, int c, int t) { add(Gate::CRZ, {c, t}, {lambda}); }
+  void swap(int a, int b) { add(Gate::SWAP, {a, b}); }
+  void rzz(double theta, int a, int b) { add(Gate::RZZ, {a, b}, {theta}); }
+  void ccx(int c0, int c1, int t) { add(Gate::CCX, {c0, c1, t}); }
+  void cswap(int c, int a, int b) { add(Gate::CSWAP, {c, a, b}); }
+  void measure(int q, int c) { add(Gate::Measure, {q}, {}, {c}); }
+  void measure_all();
+  void reset(int q) { add(Gate::Reset, {q}); }
+  void barrier() { add(Gate::Barrier, {}); }
+
+  /// Appends `other`, mapping its qubit i to `qubit_map[i]` (clbits offset
+  /// by `clbit_offset`).
+  void append(const Circuit& other, const std::vector<int>& qubit_map, int clbit_offset = 0);
+
+  /// Unitary inverse (throws ValidationError on Measure/Reset).
+  Circuit inverse() const;
+
+  // --- metrics (the measured counterparts of cost hints) ---------------------
+  /// Number of non-structural instructions.
+  std::size_t size() const;
+  /// Critical path length counting every gate as one layer (Barrier excluded,
+  /// Measure included), the standard circuit-depth metric.
+  int depth() const;
+  /// Gates touching >= 2 qubits.
+  std::int64_t two_qubit_count() const;
+  std::int64_t count_of(Gate g) const;
+  std::map<std::string, std::int64_t> gate_counts() const;
+
+  /// Multi-line text rendering for logs and examples.
+  std::string str() const;
+
+ private:
+  int num_qubits_ = 0;
+  int num_clbits_ = 0;
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace quml::sim

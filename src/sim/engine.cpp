@@ -1,0 +1,111 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/errors.hpp"
+
+namespace quml::sim {
+
+namespace {
+
+/// True when every Measure is in the trailing block (no unitary afterwards)
+/// and there is no Reset.
+bool has_only_trailing_measurement(const Circuit& circuit) {
+  bool seen_measure = false;
+  for (const auto& inst : circuit.instructions()) {
+    if (inst.gate == Gate::Reset) return false;
+    if (inst.gate == Gate::Measure) {
+      seen_measure = true;
+    } else if (seen_measure && inst.gate != Gate::Barrier && inst.gate != Gate::Measure) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string render_clbits(std::uint64_t clbit_word, int num_clbits) {
+  return to_bitstring(clbit_word, static_cast<unsigned>(num_clbits));
+}
+
+}  // namespace
+
+Statevector Engine::run_statevector(const Circuit& circuit) const {
+  Statevector state(circuit.num_qubits());
+  state.apply_unitaries(circuit);
+  return state;
+}
+
+CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uint64_t seed) const {
+  if (shots <= 0) throw ValidationError("shots must be positive");
+  if (circuit.num_clbits() <= 0)
+    throw ValidationError("circuit has no classical bits to sample into");
+  if (circuit.num_clbits() > 63)
+    throw ValidationError("at most 63 clbits supported");
+
+  CountMap counts;
+  Rng rng(seed);
+
+  if (has_only_trailing_measurement(circuit)) {
+    // Fast path: evolve once, sample the final distribution.
+    Statevector state(circuit.num_qubits());
+    std::vector<std::pair<int, int>> measurements;  // (qubit, clbit), program order
+    for (const auto& inst : circuit.instructions()) {
+      if (inst.gate == Gate::Measure)
+        measurements.emplace_back(inst.qubits[0], inst.clbits[0]);
+      else if (inst.gate != Gate::Barrier)
+        state.apply(inst);
+    }
+    if (measurements.empty()) throw ValidationError("circuit contains no measurements");
+
+    std::vector<double> probs = state.probabilities();
+    std::vector<double> cdf(probs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      acc += probs[i];
+      cdf[i] = acc;
+    }
+    // Normalize against floating-point drift so the final entry is exactly 1.
+    if (acc > 0.0)
+      for (auto& v : cdf) v /= acc;
+
+    for (std::int64_t shot = 0; shot < shots; ++shot) {
+      const std::uint64_t basis = rng.sample_cdf(cdf);
+      std::uint64_t clbits = 0;
+      for (const auto& [q, c] : measurements)
+        clbits = with_bit(clbits, static_cast<unsigned>(c), bit_at(basis, static_cast<unsigned>(q)));
+      ++counts[render_clbits(clbits, circuit.num_clbits())];
+    }
+    return counts;
+  }
+
+  // Mid-circuit path: per-shot trajectory simulation with collapse.
+  for (std::int64_t shot = 0; shot < shots; ++shot) {
+    Rng shot_rng = rng.split(static_cast<std::uint64_t>(shot));
+    Statevector state(circuit.num_qubits());
+    std::uint64_t clbits = 0;
+    bool measured = false;
+    for (const auto& inst : circuit.instructions()) {
+      switch (inst.gate) {
+        case Gate::Measure: {
+          const int bit = state.measure_collapse(inst.qubits[0], shot_rng);
+          clbits = with_bit(clbits, static_cast<unsigned>(inst.clbits[0]), bit);
+          measured = true;
+          break;
+        }
+        case Gate::Reset:
+          state.reset_qubit(inst.qubits[0], shot_rng);
+          break;
+        case Gate::Barrier:
+          break;
+        default:
+          state.apply(inst);
+      }
+    }
+    if (!measured) throw ValidationError("circuit contains no measurements");
+    ++counts[render_clbits(clbits, circuit.num_clbits())];
+  }
+  return counts;
+}
+
+}  // namespace quml::sim

@@ -1,0 +1,34 @@
+#pragma once
+// Shot execution engine on top of the state-vector simulator.
+//
+// Two execution paths:
+//  * trailing-measurement circuits (the common case) simulate the unitary
+//    prefix once and sample all shots from the final distribution;
+//  * circuits with mid-circuit measurement/reset re-simulate per shot with
+//    projective collapse (correct, slower — the middle layer only permits
+//    them behind an explicit context opt-in anyway).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace quml::sim {
+
+/// Histogram over clbit strings, keys rendered MSB-first (clbit 0 is the
+/// rightmost character, matching Qiskit count keys).
+using CountMap = std::map<std::string, std::int64_t>;
+
+class Engine {
+ public:
+  /// Executes `shots` shots; all randomness derives from `seed`.
+  CountMap run_counts(const Circuit& circuit, std::int64_t shots, std::uint64_t seed) const;
+
+  /// Runs the unitary part only and returns the final state (throws
+  /// ValidationError if the circuit contains Measure/Reset).
+  Statevector run_statevector(const Circuit& circuit) const;
+};
+
+}  // namespace quml::sim

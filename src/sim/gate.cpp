@@ -1,0 +1,269 @@
+#include "sim/gate.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace quml::sim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+const c64 kI{0.0, 1.0};
+}  // namespace
+
+const char* gate_name(Gate g) noexcept {
+  switch (g) {
+    case Gate::I: return "id";
+    case Gate::X: return "x";
+    case Gate::Y: return "y";
+    case Gate::Z: return "z";
+    case Gate::H: return "h";
+    case Gate::S: return "s";
+    case Gate::Sdg: return "sdg";
+    case Gate::T: return "t";
+    case Gate::Tdg: return "tdg";
+    case Gate::SX: return "sx";
+    case Gate::SXdg: return "sxdg";
+    case Gate::RX: return "rx";
+    case Gate::RY: return "ry";
+    case Gate::RZ: return "rz";
+    case Gate::P: return "p";
+    case Gate::U3: return "u3";
+    case Gate::CX: return "cx";
+    case Gate::CY: return "cy";
+    case Gate::CZ: return "cz";
+    case Gate::CP: return "cp";
+    case Gate::CRZ: return "crz";
+    case Gate::SWAP: return "swap";
+    case Gate::RZZ: return "rzz";
+    case Gate::CCX: return "ccx";
+    case Gate::CSWAP: return "cswap";
+    case Gate::Measure: return "measure";
+    case Gate::Reset: return "reset";
+    case Gate::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+Gate gate_from_name(const std::string& name) {
+  static const std::pair<const char*, Gate> table[] = {
+      {"id", Gate::I},    {"x", Gate::X},        {"y", Gate::Y},      {"z", Gate::Z},
+      {"h", Gate::H},     {"s", Gate::S},        {"sdg", Gate::Sdg},  {"t", Gate::T},
+      {"tdg", Gate::Tdg}, {"sx", Gate::SX},      {"sxdg", Gate::SXdg},{"rx", Gate::RX},
+      {"ry", Gate::RY},   {"rz", Gate::RZ},      {"p", Gate::P},      {"u3", Gate::U3},
+      {"u", Gate::U3},    {"cx", Gate::CX},      {"cnot", Gate::CX},  {"cy", Gate::CY},
+      {"cz", Gate::CZ},   {"cp", Gate::CP},      {"crz", Gate::CRZ},  {"swap", Gate::SWAP},
+      {"rzz", Gate::RZZ}, {"ccx", Gate::CCX},    {"toffoli", Gate::CCX},
+      {"cswap", Gate::CSWAP}, {"measure", Gate::Measure}, {"reset", Gate::Reset},
+      {"barrier", Gate::Barrier},
+  };
+  for (const auto& [n, g] : table)
+    if (name == n) return g;
+  throw ValidationError("unknown gate name '" + name + "'");
+}
+
+int gate_arity(Gate g) noexcept {
+  switch (g) {
+    case Gate::CX:
+    case Gate::CY:
+    case Gate::CZ:
+    case Gate::CP:
+    case Gate::CRZ:
+    case Gate::SWAP:
+    case Gate::RZZ: return 2;
+    case Gate::CCX:
+    case Gate::CSWAP: return 3;
+    case Gate::Barrier: return 0;  // variadic
+    default: return 1;
+  }
+}
+
+int gate_num_params(Gate g) noexcept {
+  switch (g) {
+    case Gate::RX:
+    case Gate::RY:
+    case Gate::RZ:
+    case Gate::P:
+    case Gate::CP:
+    case Gate::CRZ:
+    case Gate::RZZ: return 1;
+    case Gate::U3: return 3;
+    default: return 0;
+  }
+}
+
+bool gate_is_unitary(Gate g) noexcept {
+  return g != Gate::Measure && g != Gate::Reset && g != Gate::Barrier;
+}
+
+Mat2 Mat2::identity() {
+  Mat2 r;
+  r.m[0][0] = 1.0;
+  r.m[1][1] = 1.0;
+  return r;
+}
+
+Mat2 Mat2::operator*(const Mat2& rhs) const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      r.m[i][j] = m[i][0] * rhs.m[0][j] + m[i][1] * rhs.m[1][j];
+  return r;
+}
+
+Mat2 Mat2::dagger() const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) r.m[i][j] = std::conj(m[j][i]);
+  return r;
+}
+
+bool Mat2::approx_equal(const Mat2& other, double tol) const {
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      if (std::abs(m[i][j] - other.m[i][j]) > tol) return false;
+  return true;
+}
+
+bool Mat2::approx_equal_up_to_phase(const Mat2& other, double tol) const {
+  // Find the largest-magnitude entry to extract the relative phase.
+  int bi = 0, bj = 0;
+  double best = -1.0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      if (std::abs(other.m[i][j]) > best) {
+        best = std::abs(other.m[i][j]);
+        bi = i;
+        bj = j;
+      }
+  if (best < tol) return approx_equal(other, tol);
+  const c64 phase = m[bi][bj] / other.m[bi][bj];
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  Mat2 scaled;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) scaled.m[i][j] = other.m[i][j] * phase;
+  return approx_equal(scaled, tol);
+}
+
+Mat2 gate_matrix_1q(Gate g, const double* params) {
+  Mat2 r;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  switch (g) {
+    case Gate::I: return Mat2::identity();
+    case Gate::X:
+      r.m[0][1] = 1.0;
+      r.m[1][0] = 1.0;
+      return r;
+    case Gate::Y:
+      r.m[0][1] = -kI;
+      r.m[1][0] = kI;
+      return r;
+    case Gate::Z:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = -1.0;
+      return r;
+    case Gate::H:
+      r.m[0][0] = inv_sqrt2;
+      r.m[0][1] = inv_sqrt2;
+      r.m[1][0] = inv_sqrt2;
+      r.m[1][1] = -inv_sqrt2;
+      return r;
+    case Gate::S:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = kI;
+      return r;
+    case Gate::Sdg:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = -kI;
+      return r;
+    case Gate::T:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = std::exp(kI * (kPi / 4.0));
+      return r;
+    case Gate::Tdg:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = std::exp(-kI * (kPi / 4.0));
+      return r;
+    case Gate::SX:
+      r.m[0][0] = c64(0.5, 0.5);
+      r.m[0][1] = c64(0.5, -0.5);
+      r.m[1][0] = c64(0.5, -0.5);
+      r.m[1][1] = c64(0.5, 0.5);
+      return r;
+    case Gate::SXdg:
+      r.m[0][0] = c64(0.5, -0.5);
+      r.m[0][1] = c64(0.5, 0.5);
+      r.m[1][0] = c64(0.5, 0.5);
+      r.m[1][1] = c64(0.5, -0.5);
+      return r;
+    case Gate::RX: {
+      const double t = params[0] / 2.0;
+      r.m[0][0] = std::cos(t);
+      r.m[0][1] = -kI * std::sin(t);
+      r.m[1][0] = -kI * std::sin(t);
+      r.m[1][1] = std::cos(t);
+      return r;
+    }
+    case Gate::RY: {
+      const double t = params[0] / 2.0;
+      r.m[0][0] = std::cos(t);
+      r.m[0][1] = -std::sin(t);
+      r.m[1][0] = std::sin(t);
+      r.m[1][1] = std::cos(t);
+      return r;
+    }
+    case Gate::RZ: {
+      const double t = params[0] / 2.0;
+      r.m[0][0] = std::exp(-kI * t);
+      r.m[1][1] = std::exp(kI * t);
+      return r;
+    }
+    case Gate::P:
+      r.m[0][0] = 1.0;
+      r.m[1][1] = std::exp(kI * params[0]);
+      return r;
+    case Gate::U3: {
+      const double theta = params[0], phi = params[1], lambda = params[2];
+      const double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+      r.m[0][0] = c;
+      r.m[0][1] = -std::exp(kI * lambda) * s;
+      r.m[1][0] = std::exp(kI * phi) * s;
+      r.m[1][1] = std::exp(kI * (phi + lambda)) * c;
+      return r;
+    }
+    default: break;
+  }
+  throw ValidationError(std::string("gate '") + gate_name(g) + "' has no 1-qubit matrix");
+}
+
+Euler euler_zyz(const Mat2& u) {
+  // U = e^{iγ} RZ(φ) RY(θ) RZ(λ); extract γ from det(U) = e^{2iγ}.
+  const c64 det = u.m[0][0] * u.m[1][1] - u.m[0][1] * u.m[1][0];
+  const double gamma = 0.5 * std::arg(det);
+  const c64 scale = std::exp(c64(0.0, -gamma));
+  const c64 v00 = u.m[0][0] * scale;
+  const c64 v10 = u.m[1][0] * scale;
+  const c64 v11 = u.m[1][1] * scale;
+
+  Euler e{};
+  e.gamma = gamma;
+  e.theta = 2.0 * std::atan2(std::abs(v10), std::abs(v00));
+  constexpr double kTol = 1e-12;
+  if (std::abs(v00) < kTol) {
+    // cos(θ/2) == 0: only φ-λ is determined; fix λ = 0.
+    e.lambda = 0.0;
+    e.phi = 2.0 * std::arg(v10);
+  } else if (std::abs(v10) < kTol) {
+    // sin(θ/2) == 0: only φ+λ is determined; fix λ = 0.
+    e.lambda = 0.0;
+    e.phi = 2.0 * std::arg(v11);
+  } else {
+    const double sum = 2.0 * std::arg(v11);   // φ + λ
+    const double diff = 2.0 * std::arg(v10);  // φ - λ
+    e.phi = 0.5 * (sum + diff);
+    e.lambda = 0.5 * (sum - diff);
+  }
+  return e;
+}
+
+}  // namespace quml::sim

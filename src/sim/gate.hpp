@@ -1,0 +1,69 @@
+#pragma once
+// Gate vocabulary of the gate-model substrate.
+//
+// This is the *backend-internal* instruction set the lowering step targets —
+// descriptors never mention gates (paper §4.2).  The set matches what IBM-
+// style devices and Aer expose, which lets context `basis_gates` lists such
+// as ["sx", "rz", "cx"] (paper Listing 4) be honored literally.
+
+#include <array>
+#include <complex>
+#include <string>
+
+namespace quml::sim {
+
+using c64 = std::complex<double>;
+
+enum class Gate {
+  // one-qubit, fixed
+  I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg,
+  // one-qubit, parameterized
+  RX, RY, RZ, P, U3,
+  // two-qubit
+  CX, CY, CZ, CP, CRZ, SWAP, RZZ,
+  // three-qubit
+  CCX, CSWAP,
+  // non-unitary / structural
+  Measure, Reset, Barrier,
+};
+
+/// Lowercase wire name ("sx", "rz", "cx"), matching Qiskit's vocabulary.
+const char* gate_name(Gate g) noexcept;
+
+/// Inverse mapping; throws ValidationError for unknown names.
+Gate gate_from_name(const std::string& name);
+
+/// Number of qubit operands.
+int gate_arity(Gate g) noexcept;
+
+/// Number of angle parameters.
+int gate_num_params(Gate g) noexcept;
+
+/// True for unitary gates (excludes Measure/Reset/Barrier).
+bool gate_is_unitary(Gate g) noexcept;
+
+/// Column-major-free 2x2 complex matrix: m[row][col].
+struct Mat2 {
+  std::array<std::array<c64, 2>, 2> m{};
+
+  static Mat2 identity();
+  Mat2 operator*(const Mat2& rhs) const;  ///< this ∘ rhs (apply rhs first)
+  Mat2 dagger() const;
+  bool approx_equal(const Mat2& other, double tol = 1e-9) const;
+  /// Equality up to a global phase factor.
+  bool approx_equal_up_to_phase(const Mat2& other, double tol = 1e-9) const;
+};
+
+/// Matrix of a one-qubit gate; params as required by gate_num_params.
+/// Conventions match Qiskit: RZ(λ) = diag(e^{-iλ/2}, e^{iλ/2}), P(λ) =
+/// diag(1, e^{iλ}), U3(θ,φ,λ) with the standard decomposition.
+Mat2 gate_matrix_1q(Gate g, const double* params);
+
+/// ZYZ Euler angles (θ, φ, λ, global phase γ) with
+/// U = e^{iγ} RZ(φ) RY(θ) RZ(λ); the basis of 1-qubit resynthesis.
+struct Euler {
+  double theta, phi, lambda, gamma;
+};
+Euler euler_zyz(const Mat2& u);
+
+}  // namespace quml::sim

@@ -1,0 +1,76 @@
+#include "sim/qasm.hpp"
+
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace quml::sim {
+
+namespace {
+
+std::string operand_list(const Instruction& inst) {
+  std::string out;
+  for (std::size_t i = 0; i < inst.qubits.size(); ++i) {
+    if (i) out += ", ";
+    out += "q[" + std::to_string(inst.qubits[i]) + "]";
+  }
+  return out;
+}
+
+std::string param_list(const Instruction& inst) {
+  if (inst.params.empty()) return "";
+  std::string out = "(";
+  for (std::size_t i = 0; i < inst.params.size(); ++i) {
+    if (i) out += ", ";
+    out += format_double(inst.params[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string to_qasm3(const Circuit& circuit, const std::string& header_comment) {
+  std::string out = "OPENQASM 3.0;\n";
+  if (!header_comment.empty()) out = "// " + header_comment + "\n" + out;
+  out += "include \"stdgates.inc\";\n";
+  out += "qubit[" + std::to_string(circuit.num_qubits()) + "] q;\n";
+  if (circuit.num_clbits() > 0)
+    out += "bit[" + std::to_string(circuit.num_clbits()) + "] c;\n";
+
+  for (const Instruction& inst : circuit.instructions()) {
+    switch (inst.gate) {
+      case Gate::Barrier:
+        out += "barrier q;\n";
+        break;
+      case Gate::Measure:
+        out += "c[" + std::to_string(inst.clbits[0]) + "] = measure q[" +
+               std::to_string(inst.qubits[0]) + "];\n";
+        break;
+      case Gate::Reset:
+        out += "reset q[" + std::to_string(inst.qubits[0]) + "];\n";
+        break;
+      case Gate::SXdg:
+        // stdgates.inc has no sxdg; the inv modifier is standard QASM3.
+        out += "inv @ sx " + operand_list(inst) + ";\n";
+        break;
+      case Gate::RZZ: {
+        // Not in stdgates: inline the CX-RZ-CX realization.
+        const std::string a = "q[" + std::to_string(inst.qubits[0]) + "]";
+        const std::string b = "q[" + std::to_string(inst.qubits[1]) + "]";
+        out += "cx " + a + ", " + b + ";\n";
+        out += "rz(" + format_double(inst.params[0]) + ") " + b + ";\n";
+        out += "cx " + a + ", " + b + ";\n";
+        break;
+      }
+      case Gate::I:
+        out += "id " + operand_list(inst) + ";\n";
+        break;
+      default:
+        out += std::string(gate_name(inst.gate)) + param_list(inst) + " " + operand_list(inst) +
+               ";\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace quml::sim

@@ -1,0 +1,23 @@
+#pragma once
+// OpenQASM 3 export.
+//
+// The paper (§1, §6) situates OpenQASM 3 as the assembly interchange the
+// gate-model ecosystem speaks; exporting the backend's transpiled circuit
+// lets QuML hand realized programs to real toolchains (Qiskit, tket, QIR
+// bridges) without those tools needing to understand descriptors.  Enable
+// per job with `exec.options.emit_qasm3 = true`; the text lands in the
+// result metadata.
+
+#include <string>
+
+#include "sim/circuit.hpp"
+
+namespace quml::sim {
+
+/// Serializes `circuit` as an OpenQASM 3 program using stdgates.inc
+/// vocabulary.  Gates without a stdgates name are emitted via modifiers or
+/// inline decompositions (sxdg -> inv @ sx, rzz -> cx/rz/cx), so the output
+/// parses under a standard OpenQASM 3 toolchain.
+std::string to_qasm3(const Circuit& circuit, const std::string& header_comment = "");
+
+}  // namespace quml::sim

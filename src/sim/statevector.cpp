@@ -1,0 +1,283 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+#include "util/parallel.hpp"
+
+namespace quml::sim {
+
+namespace {
+/// Below this state size the kernels run serially; OpenMP fork/join overhead
+/// dominates for small registers.
+constexpr std::int64_t kParallelGrain = 1 << 12;
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 26)
+    throw ValidationError("statevector supports 0..26 qubits");
+  amps_.assign(1ull << num_qubits, c64(0.0, 0.0));
+  amps_[0] = 1.0;
+}
+
+void Statevector::set_basis_state(std::uint64_t index) {
+  if (index >= dim()) throw ValidationError("basis state index out of range");
+  std::fill(amps_.begin(), amps_.end(), c64(0.0, 0.0));
+  amps_[index] = 1.0;
+}
+
+void Statevector::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_)
+    throw ValidationError("qubit index " + std::to_string(q) + " out of range");
+}
+
+void Statevector::apply_1q(int q, const Mat2& u) {
+  check_qubit(q);
+  const std::uint64_t step = 1ull << q;
+  const std::int64_t pairs = static_cast<std::int64_t>(dim() >> 1);
+  const c64 u00 = u.m[0][0], u01 = u.m[0][1], u10 = u.m[1][0], u11 = u.m[1][1];
+  c64* amps = amps_.data();
+  parallel_for(0, pairs, kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t ii = static_cast<std::uint64_t>(i);
+    const std::uint64_t i0 = ((ii >> q) << (q + 1)) | (ii & (step - 1));
+    const std::uint64_t i1 = i0 | step;
+    const c64 a0 = amps[i0], a1 = amps[i1];
+    amps[i0] = u00 * a0 + u01 * a1;
+    amps[i1] = u10 * a0 + u11 * a1;
+  });
+}
+
+void Statevector::apply_diag_1q(int q, c64 d0, c64 d1) {
+  check_qubit(q);
+  const std::uint64_t mask = 1ull << q;
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    amps[i] *= (static_cast<std::uint64_t>(i) & mask) ? d1 : d0;
+  });
+}
+
+void Statevector::apply_controlled_1q(int control, int target, const Mat2& u) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) throw ValidationError("control equals target");
+  const std::uint64_t cmask = 1ull << control;
+  const std::uint64_t step = 1ull << target;
+  const std::int64_t pairs = static_cast<std::int64_t>(dim() >> 1);
+  const c64 u00 = u.m[0][0], u01 = u.m[0][1], u10 = u.m[1][0], u11 = u.m[1][1];
+  c64* amps = amps_.data();
+  parallel_for(0, pairs, kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t ii = static_cast<std::uint64_t>(i);
+    const std::uint64_t i0 = ((ii >> target) << (target + 1)) | (ii & (step - 1));
+    if (!(i0 & cmask)) return;
+    const std::uint64_t i1 = i0 | step;
+    const c64 a0 = amps[i0], a1 = amps[i1];
+    amps[i0] = u00 * a0 + u01 * a1;
+    amps[i1] = u10 * a0 + u11 * a1;
+  });
+}
+
+void Statevector::apply_cp(int control, int target, double lambda) {
+  check_qubit(control);
+  check_qubit(target);
+  const std::uint64_t both = (1ull << control) | (1ull << target);
+  const c64 phase = std::exp(c64(0.0, lambda));
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    if ((static_cast<std::uint64_t>(i) & both) == both) amps[i] *= phase;
+  });
+}
+
+void Statevector::apply_swap(int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) return;
+  const std::uint64_t amask = 1ull << a;
+  const std::uint64_t bmask = 1ull << b;
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t idx = static_cast<std::uint64_t>(i);
+    // Visit each mismatched pair once: a-bit set, b-bit clear.
+    if ((idx & amask) && !(idx & bmask)) {
+      const std::uint64_t partner = (idx & ~amask) | bmask;
+      std::swap(amps[idx], amps[partner]);
+    }
+  });
+}
+
+void Statevector::apply_rzz(int a, int b, double theta) {
+  check_qubit(a);
+  check_qubit(b);
+  const std::uint64_t amask = 1ull << a;
+  const std::uint64_t bmask = 1ull << b;
+  const c64 same = std::exp(c64(0.0, -theta / 2.0));
+  const c64 diff = std::exp(c64(0.0, theta / 2.0));
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t idx = static_cast<std::uint64_t>(i);
+    const bool ba = (idx & amask) != 0, bb = (idx & bmask) != 0;
+    amps[idx] *= (ba == bb) ? same : diff;
+  });
+}
+
+void Statevector::apply_ccx(int c0, int c1, int target) {
+  check_qubit(c0);
+  check_qubit(c1);
+  check_qubit(target);
+  const std::uint64_t controls = (1ull << c0) | (1ull << c1);
+  const std::uint64_t tmask = 1ull << target;
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t idx = static_cast<std::uint64_t>(i);
+    if ((idx & controls) == controls && !(idx & tmask))
+      std::swap(amps[idx], amps[idx | tmask]);
+  });
+}
+
+void Statevector::apply_cswap(int control, int a, int b) {
+  check_qubit(control);
+  check_qubit(a);
+  check_qubit(b);
+  const std::uint64_t cmask = 1ull << control;
+  const std::uint64_t amask = 1ull << a;
+  const std::uint64_t bmask = 1ull << b;
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    const std::uint64_t idx = static_cast<std::uint64_t>(i);
+    if ((idx & cmask) && (idx & amask) && !(idx & bmask)) {
+      const std::uint64_t partner = (idx & ~amask) | bmask;
+      std::swap(amps[idx], amps[partner]);
+    }
+  });
+}
+
+void Statevector::apply(const Instruction& inst) {
+  switch (inst.gate) {
+    case Gate::Barrier: return;
+    case Gate::Measure:
+    case Gate::Reset:
+      throw ValidationError("non-unitary instruction in apply(); use the engine");
+    case Gate::I: return;
+    case Gate::Z: apply_diag_1q(inst.qubits[0], 1.0, -1.0); return;
+    case Gate::S: apply_diag_1q(inst.qubits[0], 1.0, c64(0.0, 1.0)); return;
+    case Gate::Sdg: apply_diag_1q(inst.qubits[0], 1.0, c64(0.0, -1.0)); return;
+    case Gate::T: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, M_PI / 4))); return;
+    case Gate::Tdg: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, -M_PI / 4))); return;
+    case Gate::RZ: {
+      const c64 half = std::exp(c64(0.0, inst.params[0] / 2.0));
+      apply_diag_1q(inst.qubits[0], std::conj(half), half);
+      return;
+    }
+    case Gate::P: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, inst.params[0]))); return;
+    case Gate::CX:
+      apply_controlled_1q(inst.qubits[0], inst.qubits[1], gate_matrix_1q(Gate::X, nullptr));
+      return;
+    case Gate::CY:
+      apply_controlled_1q(inst.qubits[0], inst.qubits[1], gate_matrix_1q(Gate::Y, nullptr));
+      return;
+    case Gate::CZ: apply_cp(inst.qubits[0], inst.qubits[1], M_PI); return;
+    case Gate::CP: apply_cp(inst.qubits[0], inst.qubits[1], inst.params[0]); return;
+    case Gate::CRZ:
+      apply_controlled_1q(inst.qubits[0], inst.qubits[1],
+                          gate_matrix_1q(Gate::RZ, inst.params.data()));
+      return;
+    case Gate::SWAP: apply_swap(inst.qubits[0], inst.qubits[1]); return;
+    case Gate::RZZ: apply_rzz(inst.qubits[0], inst.qubits[1], inst.params[0]); return;
+    case Gate::CCX: apply_ccx(inst.qubits[0], inst.qubits[1], inst.qubits[2]); return;
+    case Gate::CSWAP: apply_cswap(inst.qubits[0], inst.qubits[1], inst.qubits[2]); return;
+    default:
+      apply_1q(inst.qubits[0], gate_matrix_1q(inst.gate, inst.params.data()));
+      return;
+  }
+}
+
+void Statevector::apply_unitaries(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_)
+    throw ValidationError("circuit wider than statevector");
+  for (const auto& inst : circuit.instructions()) apply(inst);
+}
+
+double Statevector::norm() const {
+  const c64* amps = amps_.data();
+  return parallel_reduce_sum(0, static_cast<std::int64_t>(dim()), kParallelGrain,
+                             [=](std::int64_t i) { return std::norm(amps[i]); });
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> probs(dim());
+  const c64* amps = amps_.data();
+  double* out = probs.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain,
+               [=](std::int64_t i) { out[i] = std::norm(amps[i]); });
+  return probs;
+}
+
+double Statevector::probability_one(int q) const {
+  check_qubit(q);
+  const std::uint64_t mask = 1ull << q;
+  const c64* amps = amps_.data();
+  return parallel_reduce_sum(0, static_cast<std::int64_t>(dim()), kParallelGrain,
+                             [=](std::int64_t i) {
+                               return (static_cast<std::uint64_t>(i) & mask) ? std::norm(amps[i])
+                                                                             : 0.0;
+                             });
+}
+
+double Statevector::expectation_z(int q) const { return 1.0 - 2.0 * probability_one(q); }
+
+double Statevector::expectation_zz(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  const std::uint64_t amask = 1ull << a;
+  const std::uint64_t bmask = 1ull << b;
+  const c64* amps = amps_.data();
+  return parallel_reduce_sum(0, static_cast<std::int64_t>(dim()), kParallelGrain,
+                             [=](std::int64_t i) {
+                               const std::uint64_t idx = static_cast<std::uint64_t>(i);
+                               const bool same = ((idx & amask) != 0) == ((idx & bmask) != 0);
+                               return (same ? 1.0 : -1.0) * std::norm(amps[idx]);
+                             });
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  if (dim() != other.dim()) throw ValidationError("statevector dimension mismatch");
+  c64 inner(0.0, 0.0);
+  // Complex reduction done in two real parts to stay OpenMP-portable.
+  const c64* a = amps_.data();
+  const c64* b = other.amps_.data();
+  const double re = parallel_reduce_sum(
+      0, static_cast<std::int64_t>(dim()), kParallelGrain,
+      [=](std::int64_t i) { return (std::conj(a[i]) * b[i]).real(); });
+  const double im = parallel_reduce_sum(
+      0, static_cast<std::int64_t>(dim()), kParallelGrain,
+      [=](std::int64_t i) { return (std::conj(a[i]) * b[i]).imag(); });
+  inner = c64(re, im);
+  return std::abs(inner);
+}
+
+int Statevector::measure_collapse(int q, Rng& rng) {
+  const double p1 = probability_one(q);
+  const int outcome = rng.next_double() < p1 ? 1 : 0;
+  const double keep_prob = outcome ? p1 : 1.0 - p1;
+  if (keep_prob <= 0.0)
+    throw BackendError("measurement collapsed onto a zero-probability branch");
+  const double scale = 1.0 / std::sqrt(keep_prob);
+  const std::uint64_t mask = 1ull << q;
+  c64* amps = amps_.data();
+  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
+    const bool one = (static_cast<std::uint64_t>(i) & mask) != 0;
+    if (one == (outcome == 1))
+      amps[i] *= scale;
+    else
+      amps[i] = c64(0.0, 0.0);
+  });
+  return outcome;
+}
+
+void Statevector::reset_qubit(int q, Rng& rng) {
+  if (measure_collapse(q, rng) == 1) {
+    Instruction x{Gate::X, {q}, {}, {}};
+    apply(x);
+  }
+}
+
+}  // namespace quml::sim

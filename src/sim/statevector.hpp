@@ -1,0 +1,76 @@
+#pragma once
+// Dense state-vector simulation engine (the Qiskit Aer substitute).
+//
+// Amplitudes are stored in the computational basis with qubit i mapped to
+// bit i of the index (little-endian, Qiskit convention).  Gate kernels are
+// OpenMP-parallel over index strides; all parallelism is bit-reproducible
+// because kernels are deterministic and sampling draws from an explicit,
+// serial RNG stream.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace quml::sim {
+
+class Statevector {
+ public:
+  /// Initializes |0...0>.  Hard cap of 26 qubits (1 GiB of amplitudes).
+  explicit Statevector(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::uint64_t dim() const noexcept { return static_cast<std::uint64_t>(amps_.size()); }
+  c64 amplitude(std::uint64_t index) const { return amps_.at(index); }
+  const std::vector<c64>& amplitudes() const noexcept { return amps_; }
+
+  /// Resets to the basis state |index>.
+  void set_basis_state(std::uint64_t index);
+
+  /// Applies any unitary instruction (throws on Measure/Reset/Barrier).
+  void apply(const Instruction& inst);
+  /// Applies every unitary instruction of `circuit` (Barrier skipped; throws
+  /// on Measure/Reset — collapse is the engine's job).
+  void apply_unitaries(const Circuit& circuit);
+
+  // --- primitive kernels -----------------------------------------------------
+  void apply_1q(int q, const Mat2& u);
+  /// Diagonal 1q fast path: amp *= d0/d1 by bit value.
+  void apply_diag_1q(int q, c64 d0, c64 d1);
+  void apply_controlled_1q(int control, int target, const Mat2& u);
+  /// Phase e^{i lambda} on |..1..1..> (control & target set).
+  void apply_cp(int control, int target, double lambda);
+  void apply_swap(int a, int b);
+  /// exp(-i theta/2 Z⊗Z).
+  void apply_rzz(int a, int b, double theta);
+  void apply_ccx(int c0, int c1, int target);
+  void apply_cswap(int control, int a, int b);
+
+  // --- analysis ---------------------------------------------------------------
+  double norm() const;
+  std::vector<double> probabilities() const;
+  /// P(qubit q = 1).
+  double probability_one(int q) const;
+  /// <Z_q>.
+  double expectation_z(int q) const;
+  /// <Z_a Z_b>.
+  double expectation_zz(int a, int b) const;
+  /// |<this|other>| (1 means equal up to global phase).
+  double fidelity(const Statevector& other) const;
+
+  // --- non-unitary operations ---------------------------------------------------
+  /// Projective Z measurement with collapse; returns the outcome bit.
+  int measure_collapse(int q, Rng& rng);
+  /// Measure-and-flip-to-zero.
+  void reset_qubit(int q, Rng& rng);
+
+ private:
+  void check_qubit(int q) const;
+
+  int num_qubits_;
+  std::vector<c64> amps_;
+};
+
+}  // namespace quml::sim

@@ -1,0 +1,227 @@
+#include "transpile/basis.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace quml::transpile {
+
+using sim::Circuit;
+using sim::Gate;
+using sim::Instruction;
+using sim::Mat2;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTol = 1e-12;
+
+/// Drops angles that are multiples of 2π (identity up to global phase).
+bool is_trivial_angle(double angle) {
+  const double r = std::remainder(angle, 2.0 * kPi);
+  return std::abs(r) < 1e-11;
+}
+}  // namespace
+
+BasisSet::BasisSet(const std::vector<std::string>& names) {
+  for (const auto& n : names) {
+    sim::gate_from_name(n);  // validates the name
+    names_.insert(n);
+  }
+}
+
+bool BasisSet::contains(Gate g) const {
+  return names_.count(sim::gate_name(g)) != 0;
+}
+
+Gate BasisSet::entangler() const {
+  if (unconstrained() || names_.count("cx") || names_.count("cnot")) return Gate::CX;
+  if (names_.count("cz")) return Gate::CZ;
+  throw LoweringError("basis has no two-qubit entangler (need cx or cz)");
+}
+
+Circuit decompose_to_2q(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  for (const Instruction& inst : circuit.instructions()) {
+    switch (inst.gate) {
+      case Gate::CCX: {
+        const int a = inst.qubits[0], b = inst.qubits[1], t = inst.qubits[2];
+        // Standard 6-CX Toffoli decomposition.
+        out.h(t);
+        out.cx(b, t);
+        out.tdg(t);
+        out.cx(a, t);
+        out.t(t);
+        out.cx(b, t);
+        out.tdg(t);
+        out.cx(a, t);
+        out.t(b);
+        out.t(t);
+        out.h(t);
+        out.cx(a, b);
+        out.t(a);
+        out.tdg(b);
+        out.cx(a, b);
+        break;
+      }
+      case Gate::CSWAP: {
+        const int c = inst.qubits[0], a = inst.qubits[1], b = inst.qubits[2];
+        // CSWAP = CX(b,a) CCX(c,a,b) CX(b,a); recurse for the CCX.
+        Circuit tmp(circuit.num_qubits(), 0);
+        tmp.cx(b, a);
+        tmp.ccx(c, a, b);
+        tmp.cx(b, a);
+        const Circuit expanded = decompose_to_2q(tmp);
+        for (const auto& e : expanded.instructions()) out.add(e.gate, e.qubits, e.params, e.clbits);
+        break;
+      }
+      default:
+        out.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Decomposes a 2q gate (other than the entangler itself) into entangler+1q.
+void decompose_2q(const Instruction& inst, Circuit& out) {
+  const int a = inst.qubits[0], b = inst.qubits[1];
+  switch (inst.gate) {
+    case Gate::CZ:
+      out.h(b);
+      out.cx(a, b);
+      out.h(b);
+      return;
+    case Gate::CY:
+      out.sdg(b);
+      out.cx(a, b);
+      out.s(b);
+      return;
+    case Gate::CP: {
+      const double lambda = inst.params[0];
+      out.p(lambda / 2.0, a);
+      out.cx(a, b);
+      out.p(-lambda / 2.0, b);
+      out.cx(a, b);
+      out.p(lambda / 2.0, b);
+      return;
+    }
+    case Gate::CRZ: {
+      const double lambda = inst.params[0];
+      out.rz(lambda / 2.0, b);
+      out.cx(a, b);
+      out.rz(-lambda / 2.0, b);
+      out.cx(a, b);
+      return;
+    }
+    case Gate::SWAP:
+      out.cx(a, b);
+      out.cx(b, a);
+      out.cx(a, b);
+      return;
+    case Gate::RZZ:
+      out.cx(a, b);
+      out.rz(inst.params[0], b);
+      out.cx(a, b);
+      return;
+    default:
+      throw LoweringError(std::string("no 2q decomposition for gate '") +
+                          sim::gate_name(inst.gate) + "'");
+  }
+}
+
+/// Converts the entangler-form CX into CZ form when the basis only has cz.
+void emit_entangler(int control, int target, Gate entangler, Circuit& out) {
+  if (entangler == Gate::CX) {
+    out.cx(control, target);
+  } else {
+    out.h(target);
+    out.cz(control, target);
+    out.h(target);
+  }
+}
+
+}  // namespace
+
+void synthesize_1q(const Mat2& u, int q, const BasisSet& basis, Circuit& out) {
+  const sim::Euler e = sim::euler_zyz(u);
+  // Identity (up to phase): emit nothing.
+  if (std::abs(e.theta) < kTol && is_trivial_angle(e.phi + e.lambda)) return;
+
+  if (basis.unconstrained() || basis.contains_name("u3") || basis.contains_name("u")) {
+    out.u3(e.theta, e.phi, e.lambda, q);
+    return;
+  }
+  if (basis.contains_name("rz") && basis.contains_name("sx")) {
+    // U3(θ, φ, λ) = RZ(φ+π) · SX · RZ(θ+π) · SX · RZ(λ)   (up to global phase)
+    if (!is_trivial_angle(e.lambda)) out.rz(e.lambda, q);
+    out.sx(q);
+    out.rz(e.theta + kPi, q);
+    out.sx(q);
+    out.rz(e.phi + kPi, q);
+    return;
+  }
+  if (basis.contains_name("rz") && basis.contains_name("rx")) {
+    // RY(θ) = RZ(π/2) · RX(θ) · RZ(-π/2) (rightmost first), so
+    // U = RZ(φ) RY(θ) RZ(λ) = RZ(φ+π/2) RX(θ) RZ(λ-π/2).
+    if (!is_trivial_angle(e.lambda - kPi / 2.0)) out.rz(e.lambda - kPi / 2.0, q);
+    if (std::abs(e.theta) > kTol) out.rx(e.theta, q);
+    if (!is_trivial_angle(e.phi + kPi / 2.0)) out.rz(e.phi + kPi / 2.0, q);
+    return;
+  }
+  if (basis.contains_name("rz") && basis.contains_name("ry")) {
+    if (!is_trivial_angle(e.lambda)) out.rz(e.lambda, q);
+    if (std::abs(e.theta) > kTol) out.ry(e.theta, q);
+    if (!is_trivial_angle(e.phi)) out.rz(e.phi, q);
+    return;
+  }
+  throw LoweringError("basis cannot synthesize one-qubit unitaries (need u3, rz+sx, rz+rx, or rz+ry)");
+}
+
+Circuit translate_to_basis(const Circuit& circuit, const BasisSet& basis) {
+  if (basis.unconstrained()) return decompose_to_2q(circuit);
+
+  const Circuit two_q = decompose_to_2q(circuit);
+  const Gate entangler = basis.entangler();
+
+  // Phase 1: rewrite every two-qubit gate into entangler form, leaving the
+  // produced one-qubit helpers (H, Sdg, P, ...) untranslated for phase 2.
+  Circuit entangler_form(two_q.num_qubits(), two_q.num_clbits());
+  for (const Instruction& inst : two_q.instructions()) {
+    if (inst.qubits.size() != 2 || !gate_is_unitary(inst.gate)) {
+      entangler_form.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      continue;
+    }
+    if (basis.contains(inst.gate)) {
+      entangler_form.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      continue;
+    }
+    Circuit cx_form(two_q.num_qubits(), 0);
+    if (inst.gate == Gate::CX)
+      cx_form.cx(inst.qubits[0], inst.qubits[1]);
+    else
+      decompose_2q(inst, cx_form);
+    for (const Instruction& sub : cx_form.instructions()) {
+      if (sub.gate == Gate::CX && !basis.contains(Gate::CX))
+        emit_entangler(sub.qubits[0], sub.qubits[1], entangler, entangler_form);
+      else
+        entangler_form.add(sub.gate, sub.qubits, sub.params, sub.clbits);
+    }
+  }
+
+  // Phase 2: synthesize every remaining one-qubit gate into the basis.
+  Circuit out(two_q.num_qubits(), two_q.num_clbits());
+  for (const Instruction& inst : entangler_form.instructions()) {
+    if (!gate_is_unitary(inst.gate) || basis.contains(inst.gate)) {
+      out.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      continue;
+    }
+    if (inst.qubits.size() != 1)
+      throw LoweringError(std::string("cannot express gate '") + sim::gate_name(inst.gate) +
+                          "' in the requested basis");
+    synthesize_1q(sim::gate_matrix_1q(inst.gate, inst.params.data()), inst.qubits[0], basis, out);
+  }
+  return out;
+}
+
+}  // namespace quml::transpile

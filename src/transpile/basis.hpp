@@ -1,0 +1,47 @@
+#pragma once
+// Basis-gate translation.
+//
+// Realizes the `basis_gates` constraint of the context target (paper
+// Listing 4): every instruction is rewritten into the requested vocabulary,
+// e.g. ["sx", "rz", "cx"].  Translation is semantics-preserving up to global
+// phase (verified by property tests against the state-vector simulator).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.hpp"
+
+namespace quml::transpile {
+
+/// The target gate vocabulary.
+class BasisSet {
+ public:
+  BasisSet() = default;  ///< empty = unconstrained (keep everything)
+  explicit BasisSet(const std::vector<std::string>& names);
+
+  bool unconstrained() const noexcept { return names_.empty(); }
+  bool contains(sim::Gate g) const;
+  bool contains_name(const std::string& name) const { return names_.count(name) != 0; }
+
+  /// The two-qubit entangler to decompose into (cx preferred, cz accepted).
+  sim::Gate entangler() const;
+
+  const std::set<std::string>& names() const noexcept { return names_; }
+
+ private:
+  std::set<std::string> names_;
+};
+
+/// Rewrites gates with arity > 2 into {1q, CX} (always safe; no basis needed).
+sim::Circuit decompose_to_2q(const sim::Circuit& circuit);
+
+/// Rewrites every instruction into the basis.  Throws LoweringError when the
+/// basis cannot express the circuit (e.g. no entangler for a 2q gate).
+sim::Circuit translate_to_basis(const sim::Circuit& circuit, const BasisSet& basis);
+
+/// Synthesizes an arbitrary 1q unitary into the basis, appending to `out` on
+/// qubit `q`.  Used by translation and by 1q-run fusion.
+void synthesize_1q(const sim::Mat2& u, int q, const BasisSet& basis, sim::Circuit& out);
+
+}  // namespace quml::transpile

@@ -1,0 +1,112 @@
+#include "transpile/coupling.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/errors.hpp"
+
+namespace quml::transpile {
+
+CouplingMap::CouplingMap(int num_qubits) : num_qubits_(num_qubits), unconstrained_(true) {
+  if (num_qubits < 0) throw ValidationError("negative qubit count");
+}
+
+CouplingMap::CouplingMap(int num_qubits, const std::vector<std::pair<int, int>>& edges)
+    : num_qubits_(num_qubits), unconstrained_(false) {
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || b < 0) throw ValidationError("negative qubit in coupling map");
+    if (a == b) throw ValidationError("self-loop in coupling map");
+    num_qubits_ = std::max(num_qubits_, std::max(a, b) + 1);
+  }
+  adjacency_.assign(static_cast<std::size_t>(num_qubits_), {});
+  for (const auto& [a, b] : edges) {
+    if (connected(a, b)) continue;  // deduplicate (including reversed pairs)
+    edges_.emplace_back(std::min(a, b), std::max(a, b));
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+CouplingMap CouplingMap::linear(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < num_qubits; ++i) edges.emplace_back(i, i + 1);
+  return CouplingMap(num_qubits, edges);
+}
+
+CouplingMap CouplingMap::ring(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < num_qubits; ++i) edges.emplace_back(i, i + 1);
+  if (num_qubits > 2) edges.emplace_back(num_qubits - 1, 0);
+  return CouplingMap(num_qubits, edges);
+}
+
+CouplingMap CouplingMap::grid(int rows, int cols) {
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const int q = r * cols + c;
+      if (c + 1 < cols) edges.emplace_back(q, q + 1);
+      if (r + 1 < rows) edges.emplace_back(q, q + cols);
+    }
+  return CouplingMap(rows * cols, edges);
+}
+
+CouplingMap CouplingMap::all_to_all(int num_qubits) { return CouplingMap(num_qubits); }
+
+bool CouplingMap::connected(int a, int b) const {
+  if (unconstrained_) return true;
+  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_) return false;
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(a)];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+const std::vector<int>& CouplingMap::neighbors(int q) const {
+  static const std::vector<int> kEmpty;
+  if (unconstrained_ || q < 0 || q >= num_qubits_) return kEmpty;
+  return adjacency_[static_cast<std::size_t>(q)];
+}
+
+void CouplingMap::build_distances() const {
+  dist_.assign(static_cast<std::size_t>(num_qubits_),
+               std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+  for (int src = 0; src < num_qubits_; ++src) {
+    auto& row = dist_[static_cast<std::size_t>(src)];
+    row[static_cast<std::size_t>(src)] = 0;
+    std::queue<int> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (const int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (row[static_cast<std::size_t>(v)] < 0) {
+          row[static_cast<std::size_t>(v)] = row[static_cast<std::size_t>(u)] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+}
+
+int CouplingMap::distance(int a, int b) const {
+  if (a == b) return 0;
+  if (unconstrained_) return 1;
+  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_)
+    throw ValidationError("qubit out of coupling-map range");
+  if (dist_.empty()) build_distances();
+  const int d = dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  if (d < 0)
+    throw ValidationError("qubits " + std::to_string(a) + " and " + std::to_string(b) +
+                          " are disconnected in the coupling map");
+  return d;
+}
+
+bool CouplingMap::is_connected_graph() const {
+  if (unconstrained_ || num_qubits_ <= 1) return true;
+  if (dist_.empty()) build_distances();
+  for (int q = 1; q < num_qubits_; ++q)
+    if (dist_[0][static_cast<std::size_t>(q)] < 0) return false;
+  return true;
+}
+
+}  // namespace quml::transpile

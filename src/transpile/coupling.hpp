@@ -1,0 +1,51 @@
+#pragma once
+// Device connectivity graphs.
+//
+// The context's `target.coupling_map` (paper Listing 4) becomes one of
+// these; an empty map means ideal all-to-all connectivity ("omitting this
+// block yields an ideal all-to-all configuration").
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace quml::transpile {
+
+class CouplingMap {
+ public:
+  /// All-to-all over `num_qubits` (no routing constraints).
+  explicit CouplingMap(int num_qubits = 0);
+  /// Constrained map; undirected edges.  num_qubits is inferred as
+  /// max index + 1 if smaller.
+  CouplingMap(int num_qubits, const std::vector<std::pair<int, int>>& edges);
+
+  /// Common fabrics for benches and tests.
+  static CouplingMap linear(int num_qubits);
+  static CouplingMap ring(int num_qubits);
+  static CouplingMap grid(int rows, int cols);
+  static CouplingMap all_to_all(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  bool unconstrained() const noexcept { return unconstrained_; }
+  bool connected(int a, int b) const;
+  const std::vector<int>& neighbors(int q) const;
+  const std::vector<std::pair<int, int>>& edges() const noexcept { return edges_; }
+
+  /// BFS hop distance (0 for a==b, 1 for adjacent); unconstrained maps
+  /// report <=1 everywhere.  Throws ValidationError if unreachable.
+  int distance(int a, int b) const;
+
+  /// True when every qubit can reach every other.
+  bool is_connected_graph() const;
+
+ private:
+  void build_distances() const;
+
+  int num_qubits_ = 0;
+  bool unconstrained_ = true;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  mutable std::vector<std::vector<int>> dist_;  ///< lazy all-pairs BFS
+};
+
+}  // namespace quml::transpile

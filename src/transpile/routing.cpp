@@ -1,0 +1,167 @@
+#include "transpile/routing.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace quml::transpile {
+
+using sim::Circuit;
+using sim::Gate;
+using sim::Instruction;
+
+namespace {
+
+class Router {
+ public:
+  Router(const Circuit& circuit, const CouplingMap& coupling, RoutingMethod method)
+      : in_(circuit), coupling_(coupling), method_(method) {
+    if (coupling_.num_qubits() < circuit.num_qubits())
+      throw LoweringError("device has " + std::to_string(coupling_.num_qubits()) +
+                          " qubits but the circuit needs " + std::to_string(circuit.num_qubits()));
+    if (!coupling_.is_connected_graph())
+      throw LoweringError("coupling map is not connected");
+    // Trivial initial layout: logical i on physical i.
+    l2p_.resize(static_cast<std::size_t>(circuit.num_qubits()));
+    p2l_.assign(static_cast<std::size_t>(coupling_.num_qubits()), -1);
+    for (int q = 0; q < circuit.num_qubits(); ++q) {
+      l2p_[static_cast<std::size_t>(q)] = q;
+      p2l_[static_cast<std::size_t>(q)] = q;
+    }
+  }
+
+  RoutingResult run() {
+    RoutingResult result;
+    result.initial_layout = l2p_;
+    out_ = Circuit(coupling_.num_qubits(), in_.num_clbits());
+
+    // Pre-collect the positions of future 2q gates for the lookahead score.
+    for (std::size_t i = 0; i < in_.instructions().size(); ++i) {
+      const Instruction& inst = in_.instructions()[i];
+      if (gate_is_unitary(inst.gate) && inst.qubits.size() == 2) future_2q_.push_back(i);
+    }
+
+    for (std::size_t i = 0; i < in_.instructions().size(); ++i) {
+      const Instruction& inst = in_.instructions()[i];
+      if (!future_2q_.empty() && future_2q_.front() == i) future_2q_.erase(future_2q_.begin());
+      if (inst.gate == Gate::Barrier) {
+        out_.barrier();
+        continue;
+      }
+      if (inst.qubits.size() >= 3)
+        throw LoweringError("route requires a <=2-qubit circuit; run decompose_to_2q first");
+      if (inst.qubits.size() == 2 && gate_is_unitary(inst.gate)) {
+        route_2q(inst, i);
+        continue;
+      }
+      // 1q unitaries, Measure and Reset execute wherever the logical qubit
+      // currently lives.
+      Instruction mapped = inst;
+      for (auto& q : mapped.qubits) q = l2p_[static_cast<std::size_t>(q)];
+      out_.add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+    }
+
+    result.circuit = std::move(out_);
+    result.final_layout = l2p_;
+    result.swaps_inserted = swaps_;
+    return result;
+  }
+
+ private:
+  void apply_swap(int pa, int pb) {
+    out_.swap(pa, pb);
+    ++swaps_;
+    const int la = p2l_[static_cast<std::size_t>(pa)];
+    const int lb = p2l_[static_cast<std::size_t>(pb)];
+    std::swap(p2l_[static_cast<std::size_t>(pa)], p2l_[static_cast<std::size_t>(pb)]);
+    if (la >= 0) l2p_[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0) l2p_[static_cast<std::size_t>(lb)] = pa;
+  }
+
+  /// Lookahead cost: distance of the current gate plus decayed distances of
+  /// upcoming 2q gates under a hypothetical layout (SABRE-style objective).
+  double layout_cost(const std::vector<int>& l2p, int current_a, int current_b,
+                     std::size_t from_index) const {
+    double cost = coupling_.distance(l2p[static_cast<std::size_t>(current_a)],
+                                     l2p[static_cast<std::size_t>(current_b)]);
+    if (method_ == RoutingMethod::Sabre) {
+      double decay = 0.5;
+      int counted = 0;
+      for (const std::size_t idx : future_2q_) {
+        if (idx <= from_index) continue;
+        const Instruction& g = in_.instructions()[idx];
+        cost += decay * coupling_.distance(l2p[static_cast<std::size_t>(g.qubits[0])],
+                                           l2p[static_cast<std::size_t>(g.qubits[1])]);
+        decay *= 0.5;
+        if (++counted >= 8) break;
+      }
+    }
+    return cost;
+  }
+
+  void route_2q(const Instruction& inst, std::size_t index) {
+    const int la = inst.qubits[0], lb = inst.qubits[1];
+    int guard = 0;
+    while (coupling_.distance(l2p_[static_cast<std::size_t>(la)],
+                              l2p_[static_cast<std::size_t>(lb)]) > 1) {
+      if (++guard > 4 * coupling_.num_qubits() * coupling_.num_qubits())
+        throw LoweringError("routing failed to converge");
+      // Candidate swaps: all edges incident to either endpoint's position.
+      const int pa = l2p_[static_cast<std::size_t>(la)];
+      const int pb = l2p_[static_cast<std::size_t>(lb)];
+      int best_u = -1, best_v = -1;
+      double best_cost = 0.0;
+      for (const int endpoint : {pa, pb}) {
+        for (const int nbr : coupling_.neighbors(endpoint)) {
+          std::vector<int> trial = l2p_;
+          const int lu = p2l_[static_cast<std::size_t>(endpoint)];
+          const int lv = p2l_[static_cast<std::size_t>(nbr)];
+          if (lu >= 0) trial[static_cast<std::size_t>(lu)] = nbr;
+          if (lv >= 0) trial[static_cast<std::size_t>(lv)] = endpoint;
+          const double cost = layout_cost(trial, la, lb, index);
+          const bool better =
+              best_u < 0 || cost < best_cost - 1e-12 ||
+              (std::abs(cost - best_cost) <= 1e-12 &&
+               std::make_pair(std::min(endpoint, nbr), std::max(endpoint, nbr)) <
+                   std::make_pair(std::min(best_u, best_v), std::max(best_u, best_v)));
+          if (better) {
+            best_u = endpoint;
+            best_v = nbr;
+            best_cost = cost;
+          }
+        }
+      }
+      if (best_u < 0) throw LoweringError("no routing candidate found");
+      apply_swap(best_u, best_v);
+    }
+    Instruction mapped = inst;
+    mapped.qubits = {l2p_[static_cast<std::size_t>(la)], l2p_[static_cast<std::size_t>(lb)]};
+    out_.add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+  }
+
+  const Circuit& in_;
+  const CouplingMap& coupling_;
+  RoutingMethod method_;
+  Circuit out_;
+  std::vector<int> l2p_;
+  std::vector<int> p2l_;
+  std::vector<std::size_t> future_2q_;
+  std::int64_t swaps_ = 0;
+};
+
+}  // namespace
+
+RoutingResult route(const Circuit& circuit, const CouplingMap& coupling, RoutingMethod method) {
+  if (coupling.unconstrained()) {
+    RoutingResult result;
+    result.circuit = circuit;
+    result.initial_layout.resize(static_cast<std::size_t>(circuit.num_qubits()));
+    for (int q = 0; q < circuit.num_qubits(); ++q)
+      result.initial_layout[static_cast<std::size_t>(q)] = q;
+    result.final_layout = result.initial_layout;
+    return result;
+  }
+  return Router(circuit, coupling, method).run();
+}
+
+}  // namespace quml::transpile

@@ -1,0 +1,34 @@
+#pragma once
+// Qubit layout and SWAP-insertion routing.
+//
+// When the context constrains connectivity (paper Listing 4: a linear
+// coupling map "forces realistic routing"), two-qubit gates between distant
+// physical qubits must be preceded by SWAP chains.  Both routers are
+// deterministic; `Sabre` adds a lookahead cost function in the spirit of the
+// SABRE heuristic, `Greedy` moves along shortest paths.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "transpile/coupling.hpp"
+
+namespace quml::transpile {
+
+enum class RoutingMethod { Greedy, Sabre };
+
+struct RoutingResult {
+  sim::Circuit circuit;            ///< physical circuit (width = device qubits)
+  std::vector<int> initial_layout; ///< logical -> physical before execution
+  std::vector<int> final_layout;   ///< logical -> physical after execution
+  std::int64_t swaps_inserted = 0;
+};
+
+/// Routes `circuit` onto `coupling`.  The circuit must already be <= 2q
+/// (run decompose_to_2q / translate_to_basis first).  Measurements are
+/// remapped to the current physical position of their logical qubit, so
+/// counts are unaffected by routing.
+RoutingResult route(const sim::Circuit& circuit, const CouplingMap& coupling,
+                    RoutingMethod method = RoutingMethod::Sabre);
+
+}  // namespace quml::transpile

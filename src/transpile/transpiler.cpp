@@ -1,0 +1,45 @@
+#include "transpile/transpiler.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::transpile {
+
+TranspileResult transpile(const sim::Circuit& circuit, const TranspileOptions& options) {
+  if (options.optimization_level < 0 || options.optimization_level > 3)
+    throw ValidationError("optimization_level must be in [0, 3]");
+
+  TranspileResult result;
+  result.depth_before = circuit.depth();
+  result.twoq_before = circuit.two_qubit_count();
+  result.size_before = static_cast<std::int64_t>(circuit.size());
+
+  // 1. Vocabulary: eliminate >2q gates, then honor basis_gates.
+  sim::Circuit current = translate_to_basis(circuit, options.basis);
+
+  // 2. Pre-routing optimization (smaller circuits route better).
+  current = optimize(current, options.basis, options.optimization_level);
+
+  // 3. Connectivity: insert SWAPs per the coupling map.
+  RoutingResult routed = route(current, options.coupling, options.routing);
+  result.initial_layout = routed.initial_layout;
+  result.final_layout = routed.final_layout;
+  result.swaps_inserted = routed.swaps_inserted;
+  current = std::move(routed.circuit);
+
+  // 4. Routing introduces SWAP gates that may be outside the basis.
+  if (result.swaps_inserted > 0) {
+    current = translate_to_basis(current, options.basis);
+    // Light cleanup only: full fusion could merge across routed positions,
+    // which is fine semantically but re-running the heavy pipeline rarely
+    // pays off after routing.
+    if (options.optimization_level >= 1) current = cancel_and_merge(current);
+  }
+
+  result.depth_after = current.depth();
+  result.twoq_after = current.two_qubit_count();
+  result.size_after = static_cast<std::int64_t>(current.size());
+  result.circuit = std::move(current);
+  return result;
+}
+
+}  // namespace quml::transpile

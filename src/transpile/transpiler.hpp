@@ -1,0 +1,44 @@
+#pragma once
+// Transpilation pipeline (the Qiskit `transpile(...)` substitute).
+//
+// Orchestrates decomposition -> basis translation -> optimization -> routing
+// -> re-translation -> final cleanup according to the context's target block
+// and optimization_level.  The result carries the measured metrics that play
+// the role of "measured cost" next to descriptor cost hints.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/routing.hpp"
+
+namespace quml::transpile {
+
+struct TranspileOptions {
+  BasisSet basis;                ///< empty = keep gate vocabulary
+  CouplingMap coupling;          ///< default = all-to-all
+  int optimization_level = 1;    ///< 0..3
+  RoutingMethod routing = RoutingMethod::Sabre;
+};
+
+struct TranspileResult {
+  sim::Circuit circuit;
+  std::vector<int> initial_layout;  ///< logical -> physical
+  std::vector<int> final_layout;
+  std::int64_t swaps_inserted = 0;
+
+  // before/after metrics
+  int depth_before = 0;
+  int depth_after = 0;
+  std::int64_t twoq_before = 0;
+  std::int64_t twoq_after = 0;
+  std::int64_t size_before = 0;
+  std::int64_t size_after = 0;
+};
+
+TranspileResult transpile(const sim::Circuit& circuit, const TranspileOptions& options);
+
+}  // namespace quml::transpile

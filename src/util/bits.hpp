@@ -1,0 +1,60 @@
+#pragma once
+// Bit-manipulation helpers shared by the simulator, decoders and annealer.
+
+#include <cstdint>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace quml {
+
+/// Number of set bits.
+inline int popcount64(std::uint64_t x) noexcept { return __builtin_popcountll(x); }
+
+/// Extracts bit `pos` (0 = least significant).
+inline int bit_at(std::uint64_t value, unsigned pos) noexcept {
+  return static_cast<int>((value >> pos) & 1ull);
+}
+
+/// Sets/clears bit `pos`.
+inline std::uint64_t with_bit(std::uint64_t value, unsigned pos, int bit) noexcept {
+  return bit ? (value | (1ull << pos)) : (value & ~(1ull << pos));
+}
+
+/// Reverses the lowest `width` bits of `value`.
+inline std::uint64_t reverse_bits(std::uint64_t value, unsigned width) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < width; ++i) out |= static_cast<std::uint64_t>((value >> i) & 1ull) << (width - 1 - i);
+  return out;
+}
+
+/// Renders `value` as a bitstring of `width` characters, most significant
+/// bit first (the conventional human-readable order, matching Qiskit count
+/// keys when the register is LSB_0).
+inline std::string to_bitstring(std::uint64_t value, unsigned width) {
+  std::string s(width, '0');
+  for (unsigned i = 0; i < width; ++i)
+    if ((value >> i) & 1ull) s[width - 1 - i] = '1';
+  return s;
+}
+
+/// Parses a bitstring (MSB first) back to an integer basis index.
+inline std::uint64_t from_bitstring(const std::string& bits) {
+  std::uint64_t v = 0;
+  for (char c : bits) {
+    if (c != '0' && c != '1') throw ValidationError("invalid bitstring character");
+    v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Sign-extends the lowest `width` bits as two's complement.
+inline std::int64_t sign_extend(std::uint64_t value, unsigned width) noexcept {
+  if (width == 0 || width >= 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t mask = (1ull << width) - 1ull;
+  value &= mask;
+  const std::uint64_t sign = 1ull << (width - 1);
+  return static_cast<std::int64_t>((value ^ sign)) - static_cast<std::int64_t>(sign);
+}
+
+}  // namespace quml

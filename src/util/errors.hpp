@@ -1,0 +1,70 @@
+#pragma once
+// Error taxonomy for the QuML middle layer.
+//
+// Every failure surfaced by the library derives from quml::Error so callers
+// can catch a single type at the API boundary, while the concrete subclasses
+// preserve which layer rejected the input (parse vs. schema vs. semantic
+// validation vs. lowering vs. backend execution).
+
+#include <stdexcept>
+#include <string>
+
+namespace quml {
+
+/// Root of the QuML exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (JSON syntax, number overflow, bad escapes).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : Error(what + " at line " + std::to_string(line) + ", column " +
+              std::to_string(column)),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Document is well-formed but violates a descriptor schema.
+/// `pointer()` is the JSON Pointer of the offending element.
+class SchemaError : public Error {
+ public:
+  SchemaError(const std::string& what, std::string pointer)
+      : Error(what + " (at '" + pointer + "')"), pointer_(std::move(pointer)) {}
+
+  const std::string& pointer() const noexcept { return pointer_; }
+
+ private:
+  std::string pointer_;
+};
+
+/// Descriptors are individually valid but semantically incompatible
+/// (width mismatch, dangling QDT reference, hidden measurement, ...).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A backend could not realize a descriptor (unknown rep_kind, unsupported
+/// parameter combination, register wider than the device).
+class LoweringError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Execution-time failure inside a backend or context service.
+class BackendError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace quml

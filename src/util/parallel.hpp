@@ -1,0 +1,45 @@
+#pragma once
+// Thin OpenMP wrappers so compute kernels read as intent, not pragmas.
+//
+// Grain control: parallelism only pays off for large index spaces (state
+// vectors, annealing reads), so callers pass a `grain` below which the loop
+// runs serially.  Results never depend on the thread count; any per-iteration
+// randomness must come from a stream split on the iteration index.
+
+#include <cstdint>
+#include <omp.h>
+
+namespace quml {
+
+/// Maximum number of OpenMP threads the runtime will use.
+inline int max_threads() noexcept { return omp_get_max_threads(); }
+
+/// Parallel for over [begin, end) with a serial fallback under `grain`.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, Body&& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n < grain) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+/// Parallel sum-reduction over [begin, end).
+template <typename Body>
+double parallel_reduce_sum(std::int64_t begin, std::int64_t end, std::int64_t grain, Body&& body) {
+  const std::int64_t n = end - begin;
+  double acc = 0.0;
+  if (n <= 0) return acc;
+  if (n < grain) {
+    for (std::int64_t i = begin; i < end; ++i) acc += body(i);
+    return acc;
+  }
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::int64_t i = begin; i < end; ++i) acc += body(i);
+  return acc;
+}
+
+}  // namespace quml

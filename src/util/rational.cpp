@@ -1,0 +1,49 @@
+#include "util/rational.hpp"
+
+#include <numeric>
+
+#include "util/errors.hpp"
+
+namespace quml {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw ValidationError("rational with zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  try {
+    if (slash == std::string::npos) return Rational(std::stoll(text), 1);
+    const std::int64_t p = std::stoll(text.substr(0, slash));
+    const std::int64_t q = std::stoll(text.substr(slash + 1));
+    return Rational(p, q);
+  } catch (const ValidationError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ValidationError("cannot parse rational from '" + text + "'");
+  }
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+}  // namespace quml

@@ -1,0 +1,39 @@
+#pragma once
+// Exact rational arithmetic for phase scales.
+//
+// The paper's PHASE_REGISTER descriptors carry a `phase_scale` such as
+// "1/1024": the mapping from a measured basis index k to the phase fraction
+// k * scale of a full turn.  Storing the scale as a rational keeps decoding
+// exact for any register width.
+
+#include <cstdint>
+#include <string>
+
+namespace quml {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  /// Normalizes sign and divides by the gcd; throws ValidationError on /0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Parses "p/q" or a bare integer "p".
+  static Rational parse(const std::string& text);
+
+  std::int64_t num() const noexcept { return num_; }
+  std::int64_t den() const noexcept { return den_; }
+  double value() const noexcept { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+  /// Canonical text form "p/q" (or "p" when q == 1).
+  std::string str() const;
+
+  Rational operator*(const Rational& o) const;
+  Rational operator+(const Rational& o) const;
+  bool operator==(const Rational& o) const noexcept { return num_ == o.num_ && den_ == o.den_; }
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace quml

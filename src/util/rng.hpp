@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// Everything stochastic in QuML (shot sampling, annealing sweeps, SABRE tie
+// breaking) draws from Xoshiro256StarStar seeded through splitmix64.  Parallel
+// workers derive independent streams with `Rng::split(worker_index)`, so
+// results are bit-identical regardless of the number of OpenMP threads.
+
+#include <cstdint>
+#include <vector>
+
+namespace quml {
+
+/// splitmix64 step: the recommended seeding function for xoshiro generators.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the four state words via splitmix64 so any 64-bit seed works,
+  /// including 0.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller (used by noise channels).
+  double next_normal() noexcept;
+
+  /// Derives an independent stream for a parallel worker.  Streams from
+  /// distinct indices are decorrelated by hashing (seed, index) through
+  /// splitmix64.
+  Rng split(std::uint64_t index) const noexcept;
+
+  /// Samples an index from a cumulative distribution (ascending, last == 1).
+  /// Binary search; used by the shot sampler.
+  std::size_t sample_cdf(const std::vector<double>& cdf) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace quml

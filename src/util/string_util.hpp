@@ -1,0 +1,22 @@
+#pragma once
+// Small string helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace quml {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Formats a double with enough digits to round-trip, trimming trailing
+/// zeros (used for human-readable JSON).
+std::string format_double(double value);
+
+}  // namespace quml

@@ -1,0 +1,356 @@
+// Tests for the algorithmic libraries: graph workloads and exact Max-Cut,
+// QFT/QAOA/Ising/arithmetic/state-prep/boolean/phase descriptor builders
+// (pure constructors with cost hints and result schemas), and the
+// variational optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algolib/arithmetic.hpp"
+#include "algolib/booleans.hpp"
+#include "algolib/graph.hpp"
+#include "algolib/ising.hpp"
+#include "algolib/phase.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "algolib/variational.hpp"
+#include "util/errors.hpp"
+
+namespace quml::algolib {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Graph, CycleStructure) {
+  const Graph g = Graph::cycle(4);
+  EXPECT_EQ(g.n, 4);
+  EXPECT_EQ(g.edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(Graph, CutValues) {
+  const Graph g = Graph::cycle(4);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0101), 4.0);  // alternating partition
+  EXPECT_DOUBLE_EQ(g.cut_value(0b1010), 4.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0000), 0.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0001), 2.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b0011), 2.0);
+}
+
+TEST(Graph, CutValueBitsMatchesMask) {
+  const Graph g = Graph::cycle(4);
+  // "1010" MSB-first = node3,node2,node1,node0 = 1,0,1,0 -> mask 0b1010.
+  EXPECT_DOUBLE_EQ(g.cut_value_bits("1010"), g.cut_value(0b1010));
+  EXPECT_THROW(g.cut_value_bits("101"), ValidationError);
+}
+
+TEST(Graph, ExactMaxCutRing4) {
+  const auto [best, argmax] = Graph::cycle(4).max_cut_exact();
+  EXPECT_DOUBLE_EQ(best, 4.0);
+  ASSERT_EQ(argmax.size(), 2u);  // 0101 and 1010
+  EXPECT_DOUBLE_EQ(Graph::cycle(4).cut_value(argmax[0]), 4.0);
+}
+
+TEST(Graph, ExactMaxCutOddRingIsFrustrated) {
+  const auto [best, argmax] = Graph::cycle(5).max_cut_exact();
+  EXPECT_DOUBLE_EQ(best, 4.0);  // can cut at most 4 of 5 edges
+  EXPECT_GT(argmax.size(), 2u);
+}
+
+TEST(Graph, CompleteGraphMaxCut) {
+  const auto [best, _] = Graph::complete(4).max_cut_exact();
+  EXPECT_DOUBLE_EQ(best, 4.0);  // balanced bipartition cuts 2*2 edges
+}
+
+TEST(Graph, GridIsBipartiteSoFullCutAchievable) {
+  const Graph g = Graph::grid(2, 3);
+  const auto [best, _] = g.max_cut_exact();
+  EXPECT_DOUBLE_EQ(best, g.total_weight());  // bipartite: all edges cuttable
+}
+
+TEST(Graph, RandomGnpReproducible) {
+  const Graph a = Graph::random_gnp(8, 0.5, 11);
+  const Graph b = Graph::random_gnp(8, 0.5, 11);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  const Graph c = Graph::random_gnp(8, 0.5, 12);
+  EXPECT_TRUE(a.edges.size() != c.edges.size() ||
+              !std::equal(a.edges.begin(), a.edges.end(), c.edges.begin(),
+                          [](const Edge& x, const Edge& y) {
+                            return x.u == y.u && x.v == y.v;
+                          }));
+}
+
+TEST(Graph, RandomCubicHasDegreeThree) {
+  const Graph g = Graph::random_cubic(8, 5);
+  std::vector<int> degree(8, 0);
+  for (const auto& e : g.edges) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  for (const int d : degree) EXPECT_EQ(d, 3);
+}
+
+TEST(Graph, JsonRoundTrip) {
+  const Graph g = Graph::cycle(5, 2.5);
+  const Graph back = Graph::from_json(g.to_json());
+  EXPECT_EQ(back.n, 5);
+  ASSERT_EQ(back.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(back.edges[0].w, 2.5);
+}
+
+TEST(QftBuilder, PhaseRegisterMatchesListing2) {
+  const core::QuantumDataType reg = make_phase_register("reg_phase", 10);
+  EXPECT_EQ(reg.width, 10u);
+  EXPECT_EQ(reg.encoding, core::EncodingKind::PhaseRegister);
+  EXPECT_EQ(reg.effective_phase_scale(), Rational(1, 1024));
+  EXPECT_EQ(reg.effective_semantics(), core::MeasurementSemantics::AsPhase);
+}
+
+TEST(QftBuilder, CostHintMatchesPaperListing3) {
+  // Paper: "roughly 45 two-qubit gates and depth near 100" for n=10 exact.
+  const core::CostHint hint = qft_cost_hint(10, {});
+  EXPECT_EQ(*hint.twoq, 45);
+  EXPECT_EQ(*hint.depth, 100);
+}
+
+class QftApproximationCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(QftApproximationCost, DropsTriangularCount) {
+  const int a = GetParam();
+  QftParams params;
+  params.approx_degree = a;
+  const core::CostHint hint = qft_cost_hint(10, params);
+  EXPECT_EQ(*hint.twoq, 45 - a * (a + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, QftApproximationCost, ::testing::Values(0, 1, 2, 3, 5));
+
+TEST(QftBuilder, DescriptorShape) {
+  const core::QuantumDataType reg = make_phase_register("reg_phase", 10);
+  const core::OperatorDescriptor op = qft_descriptor(reg, {});
+  EXPECT_EQ(op.rep_kind, "QFT_TEMPLATE");
+  EXPECT_EQ(op.domain_qdt, "reg_phase");
+  EXPECT_TRUE(op.in_place());
+  EXPECT_EQ(op.param_int("approx_degree", -1), 0);
+  ASSERT_TRUE(op.result_schema.has_value());
+  EXPECT_EQ(op.result_schema->datatype, core::MeasurementSemantics::AsPhase);
+  EXPECT_EQ(op.result_schema->clbit_order.size(), 10u);
+  EXPECT_EQ(op.result_schema->clbit_order[9].str(), "reg_phase[9]");
+  // The emitted JSON must validate against the QOD schema.
+  EXPECT_NO_THROW(core::OperatorDescriptor::from_json(op.to_json()));
+}
+
+TEST(QftBuilder, RejectsBadApproxDegree) {
+  const core::QuantumDataType reg = make_phase_register("p", 4);
+  QftParams params;
+  params.approx_degree = 4;
+  EXPECT_THROW(qft_descriptor(reg, params), ValidationError);
+}
+
+TEST(IsingBuilder, RegisterMatchesPaperSection5) {
+  const core::QuantumDataType reg = make_ising_register("ising_vars", 4);
+  EXPECT_EQ(reg.encoding, core::EncodingKind::IsingSpin);
+  EXPECT_EQ(reg.effective_semantics(), core::MeasurementSemantics::AsBool);
+  EXPECT_EQ(reg.bit_order, core::BitOrder::Lsb0);
+}
+
+TEST(IsingBuilder, MaxCutDescriptorCarriesGraph) {
+  const core::QuantumDataType reg = make_ising_register("ising_vars", 4);
+  const core::OperatorDescriptor op = maxcut_ising_descriptor(reg, Graph::cycle(4));
+  EXPECT_EQ(op.rep_kind, "ISING_PROBLEM");
+  EXPECT_EQ(op.params.at("h").size(), 4u);
+  EXPECT_EQ(op.params.at("J").size(), 4u);
+  EXPECT_NO_THROW(core::OperatorDescriptor::from_json(op.to_json()));
+}
+
+TEST(IsingBuilder, ModelFromDescriptorRoundTrip) {
+  const core::QuantumDataType reg = make_ising_register("s", 4);
+  const core::OperatorDescriptor op = maxcut_ising_descriptor(reg, Graph::cycle(4));
+  const anneal::IsingModel model = ising_model_from_descriptor(op, 4);
+  EXPECT_DOUBLE_EQ(model.energy({1, -1, 1, -1}), -4.0);
+  EXPECT_DOUBLE_EQ(model.energy({1, 1, 1, 1}), 4.0);
+}
+
+TEST(IsingBuilder, CutEnergyDuality) {
+  const Graph g = Graph::cycle(4);
+  // cut = (W - E)/2: ground energy -4 <-> cut 4; aligned (+4) <-> cut 0.
+  EXPECT_DOUBLE_EQ(cut_from_ising_energy(g, -4.0), 4.0);
+  EXPECT_DOUBLE_EQ(cut_from_ising_energy(g, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(cut_from_ising_energy(g, 0.0), 2.0);
+}
+
+TEST(IsingBuilder, WidthMismatchRejected) {
+  const core::QuantumDataType reg = make_ising_register("s", 3);
+  EXPECT_THROW(maxcut_ising_descriptor(reg, Graph::cycle(4)), ValidationError);
+}
+
+TEST(QaoaBuilder, SequenceStructureMatchesFig2) {
+  const core::QuantumDataType reg = make_ising_register("ising_vars", 4);
+  const core::OperatorSequence seq = qaoa_sequence(reg, Graph::cycle(4), ring_p1_angles());
+  ASSERT_EQ(seq.ops.size(), 4u);  // PREP, COST, MIXER, MEASUREMENT
+  EXPECT_EQ(seq.ops[0].rep_kind, "PREP_UNIFORM");
+  EXPECT_EQ(seq.ops[1].rep_kind, "ISING_COST_PHASE");
+  EXPECT_EQ(seq.ops[2].rep_kind, "MIXER_RX");
+  EXPECT_EQ(seq.ops[3].rep_kind, "MEASUREMENT");
+  EXPECT_DOUBLE_EQ(seq.ops[1].param_double("gamma", 0), kPi / 4.0);
+  EXPECT_DOUBLE_EQ(seq.ops[2].param_double("beta", 0), kPi / 8.0);
+  ASSERT_TRUE(seq.ops[3].result_schema.has_value());
+  EXPECT_EQ(seq.ops[3].result_schema->datatype, core::MeasurementSemantics::AsBool);
+}
+
+TEST(QaoaBuilder, MultiLayerStacks) {
+  const core::QuantumDataType reg = make_ising_register("s", 4);
+  QaoaAngles angles;
+  angles.gammas = {0.1, 0.2, 0.3};
+  angles.betas = {0.4, 0.5, 0.6};
+  const core::OperatorSequence seq = qaoa_sequence(reg, Graph::cycle(4), angles);
+  EXPECT_EQ(seq.ops.size(), 2u + 3u * 2u);
+  EXPECT_DOUBLE_EQ(seq.ops[5].param_double("gamma", 0), 0.3);
+}
+
+TEST(QaoaBuilder, ValidatesAngles) {
+  const core::QuantumDataType reg = make_ising_register("s", 4);
+  QaoaAngles bad;
+  bad.gammas = {0.1};
+  EXPECT_THROW(qaoa_sequence(reg, Graph::cycle(4), bad), ValidationError);
+}
+
+TEST(QaoaBuilder, CostHintsAccumulate) {
+  const core::QuantumDataType reg = make_ising_register("s", 4);
+  const core::OperatorSequence seq = qaoa_sequence(reg, Graph::cycle(4), ring_p1_angles());
+  const core::CostHint total = seq.accumulated_cost();
+  EXPECT_EQ(*total.twoq, 8);  // 2 per edge, 4 edges, 1 layer
+  EXPECT_GT(*total.depth, 0);
+}
+
+TEST(StatePrep, PrepUniformShape) {
+  const core::QuantumDataType reg = make_ising_register("s", 4);
+  const core::OperatorDescriptor op = prep_uniform_descriptor(reg);
+  EXPECT_EQ(op.rep_kind, "PREP_UNIFORM");
+  EXPECT_EQ(*op.cost_hint->oneq, 4);
+}
+
+TEST(StatePrep, BasisStateEncodesTypedValue) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  const core::OperatorDescriptor op =
+      basis_state_prep_descriptor(reg, core::TypedValue::from_uint(6));
+  EXPECT_EQ(op.param_int("basis_index", -1), 6);
+  EXPECT_EQ(*op.cost_hint->oneq, 2);  // two set bits
+  EXPECT_THROW(basis_state_prep_descriptor(reg, core::TypedValue::from_uint(99)),
+               ValidationError);
+}
+
+TEST(StatePrep, AngleEncodingValidatesArity) {
+  const core::QuantumDataType reg = make_uint_register("x", 3);
+  EXPECT_NO_THROW(angle_encoding_descriptor(reg, {0.1, 0.2, 0.3}));
+  EXPECT_THROW(angle_encoding_descriptor(reg, {0.1}), ValidationError);
+}
+
+TEST(Arithmetic, AdderDescriptorShape) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  const core::OperatorDescriptor op = adder_const_descriptor(reg, 5);
+  EXPECT_EQ(op.rep_kind, "ADDER_CONST_TEMPLATE");
+  EXPECT_EQ(op.param_int("addend", -1), 5);
+  EXPECT_FALSE(op.param_bool("subtract", true));
+  EXPECT_GT(*op.cost_hint->twoq, 0);
+}
+
+TEST(Arithmetic, ModularAdderValidation) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  const core::QuantumDataType scratch = make_flag_register("scratch");
+  const core::QuantumDataType flag = make_flag_register("flag");
+  EXPECT_NO_THROW(modular_adder_const_descriptor(reg, scratch, flag, 3, 13));
+  EXPECT_THROW(modular_adder_const_descriptor(reg, scratch, flag, 13, 13), ValidationError);
+  EXPECT_THROW(modular_adder_const_descriptor(reg, scratch, flag, 1, 20), ValidationError);
+  EXPECT_THROW(modular_adder_const_descriptor(reg, reg, flag, 1, 13), ValidationError);
+}
+
+TEST(Arithmetic, ComparatorDescriptorShape) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  const core::QuantumDataType scratch = make_flag_register("scratch");
+  const core::QuantumDataType flag = make_flag_register("flag");
+  const core::OperatorDescriptor op = comparator_const_descriptor(reg, scratch, flag, 7);
+  EXPECT_EQ(op.codomain_qdt, "flag");
+  ASSERT_TRUE(op.result_schema.has_value());
+  EXPECT_EQ(op.result_schema->clbit_order[0].str(), "flag[0]");
+}
+
+TEST(Booleans, ControlledSwapShape) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  const core::QuantumDataType ctrl = make_flag_register("c");
+  const core::OperatorDescriptor op = controlled_swap_descriptor(reg, ctrl, 1, 3);
+  EXPECT_EQ(op.rep_kind, "CONTROLLED_SWAP");
+  EXPECT_THROW(controlled_swap_descriptor(reg, ctrl, 1, 1), ValidationError);
+  EXPECT_THROW(controlled_swap_descriptor(reg, ctrl, 1, 9), ValidationError);
+}
+
+TEST(Booleans, SwapTestShape) {
+  const core::QuantumDataType a = make_uint_register("a", 3);
+  const core::QuantumDataType b = make_uint_register("b", 3);
+  const core::QuantumDataType flag = make_flag_register("flag");
+  const core::OperatorDescriptor op = swap_test_descriptor(a, b, flag);
+  EXPECT_EQ(op.rep_kind, "SWAP_TEST");
+  EXPECT_EQ(op.codomain_qdt, "flag");
+  const core::QuantumDataType narrow = make_uint_register("c", 2);
+  EXPECT_THROW(swap_test_descriptor(a, narrow, flag), ValidationError);
+  EXPECT_THROW(swap_test_descriptor(a, a, flag), ValidationError);
+}
+
+TEST(Phase, QpeDescriptorShape) {
+  const core::QuantumDataType counting = make_phase_register("count", 4);
+  const core::QuantumDataType eigen = make_flag_register("eigen");
+  const core::OperatorDescriptor op = qpe_descriptor(counting, eigen, 0.25);
+  EXPECT_EQ(op.rep_kind, "QPE_TEMPLATE");
+  EXPECT_DOUBLE_EQ(op.param_double("phase_turns", 0), 0.25);
+  ASSERT_TRUE(op.result_schema.has_value());
+  EXPECT_EQ(op.result_schema->datatype, core::MeasurementSemantics::AsPhase);
+  const core::QuantumDataType not_phase = make_uint_register("u", 4);
+  EXPECT_THROW(qpe_descriptor(not_phase, eigen, 0.25), ValidationError);
+}
+
+TEST(Phase, GadgetValidation) {
+  const core::QuantumDataType reg = make_uint_register("x", 4);
+  EXPECT_NO_THROW(phase_gadget_descriptor(reg, {0, 2, 3}, 0.5));
+  EXPECT_THROW(phase_gadget_descriptor(reg, {}, 0.5), ValidationError);
+  EXPECT_THROW(phase_gadget_descriptor(reg, {0, 0}, 0.5), ValidationError);
+  EXPECT_THROW(phase_gadget_descriptor(reg, {7}, 0.5), ValidationError);
+}
+
+TEST(Variational, MaximizesQuadratic) {
+  // f(x) = 1 - (x0 - 1)^2 - (x1 + 2)^2, maximum 1 at (1, -2).
+  const auto objective = [](const std::vector<double>& p) {
+    return 1.0 - (p[0] - 1.0) * (p[0] - 1.0) - (p[1] + 2.0) * (p[1] + 2.0);
+  };
+  const OptimResult result = maximize(objective, {0.0, 0.0});
+  EXPECT_NEAR(result.best_params[0], 1.0, 0.02);
+  EXPECT_NEAR(result.best_params[1], -2.0, 0.02);
+  EXPECT_NEAR(result.best_value, 1.0, 1e-3);
+  EXPECT_GT(result.evaluations, 1);
+}
+
+TEST(Variational, MinimizeWrapsMaximize) {
+  const auto objective = [](const std::vector<double>& p) { return (p[0] - 3.0) * (p[0] - 3.0); };
+  const OptimResult result = minimize(objective, {0.0});
+  EXPECT_NEAR(result.best_params[0], 3.0, 0.02);
+  EXPECT_NEAR(result.best_value, 0.0, 1e-3);
+}
+
+TEST(Variational, HistoryIsMonotone) {
+  const auto objective = [](const std::vector<double>& p) { return -(p[0] * p[0]); };
+  const OptimResult result = maximize(objective, {2.0});
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_GE(result.history[i], result.history[i - 1]);
+}
+
+TEST(Variational, Validation) {
+  EXPECT_THROW(maximize([](const std::vector<double>&) { return 0.0; }, {}), ValidationError);
+  OptimOptions bad;
+  bad.initial_step = -1;
+  EXPECT_THROW(maximize([](const std::vector<double>&) { return 0.0; }, {0.0}, bad),
+               ValidationError);
+}
+
+}  // namespace
+}  // namespace quml::algolib

@@ -1,0 +1,459 @@
+// End-to-end tests of the gate backend: lowering correctness for every
+// built-in rep_kind (QFT vs DFT matrix, Draper adders, Beauregard modular
+// adder, comparator, QPE, SWAP test), context-driven transpilation, typed
+// decoding, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algolib/arithmetic.hpp"
+#include "algolib/booleans.hpp"
+#include "algolib/ising.hpp"
+#include "algolib/phase.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "backend/lowering.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "sim/engine.hpp"
+#include "util/errors.hpp"
+
+namespace quml {
+namespace {
+
+using algolib::Graph;
+using core::Context;
+using core::JobBundle;
+using core::OperatorSequence;
+using core::RegisterSet;
+
+class GateBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { backend::register_builtin_backends(); }
+
+  static Context gate_ctx(std::int64_t samples = 4096, std::uint64_t seed = 42) {
+    Context ctx;
+    ctx.exec.engine = "gate.statevector_simulator";
+    ctx.exec.samples = samples;
+    ctx.exec.seed = seed;
+    return ctx;
+  }
+};
+
+TEST_F(GateBackendTest, RegistryResolvesAliases) {
+  auto& registry = core::BackendRegistry::instance();
+  EXPECT_TRUE(registry.has("gate.statevector_simulator"));
+  EXPECT_TRUE(registry.has("gate.aer_simulator"));  // paper Listing 4 name
+  EXPECT_TRUE(registry.has("anneal.neal_simulator"));
+  EXPECT_THROW(registry.create("gate.warp_drive"), BackendError);
+  EXPECT_EQ(registry.create("gate.aer_simulator")->name(), "gate.statevector_simulator");
+}
+
+TEST_F(GateBackendTest, QftOnBasisStateMatchesDft) {
+  // Property: lowering QFT_TEMPLATE gives exactly the DFT matrix action.
+  for (const int n : {2, 3, 5}) {
+    const std::uint64_t dim = 1ull << n;
+    for (std::uint64_t k = 0; k < dim; ++k) {
+      sim::Circuit c(n, 0);
+      std::vector<int> qubits(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) qubits[static_cast<std::size_t>(i)] = i;
+      backend::append_qft(c, qubits, 0, true, false);
+      sim::Statevector sv(n);
+      sv.set_basis_state(k);
+      sv.apply_unitaries(c);
+      for (std::uint64_t j = 0; j < dim; ++j) {
+        const auto want = std::exp(sim::c64(0.0, 2.0 * M_PI * double(k) * double(j) / double(dim))) /
+                          std::sqrt(double(dim));
+        ASSERT_NEAR(std::abs(sv.amplitude(j) - want), 0.0, 1e-9)
+            << "n=" << n << " k=" << k << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(GateBackendTest, QftInverseUndoesForward) {
+  sim::Circuit c(4, 0);
+  backend::append_qft(c, {0, 1, 2, 3}, 0, true, false);
+  backend::append_qft(c, {0, 1, 2, 3}, 0, true, true);
+  sim::Statevector sv(4);
+  sv.set_basis_state(11);
+  sv.apply_unitaries(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(11)), 1.0, 1e-9);
+}
+
+TEST_F(GateBackendTest, ApproximateQftDropsGates) {
+  sim::Circuit exact(6, 0), approx(6, 0);
+  backend::append_qft(exact, {0, 1, 2, 3, 4, 5}, 0, false, false);
+  backend::append_qft(approx, {0, 1, 2, 3, 4, 5}, 2, false, false);
+  EXPECT_EQ(exact.two_qubit_count() - approx.two_qubit_count(), 3);  // a(a+1)/2
+}
+
+TEST_F(GateBackendTest, QftEndToEndDecodesPhase) {
+  // Prepare |k> on a phase register, run QFT + IQFT, and read back k as a
+  // typed phase via the middle layer's automatic decoding.
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", 4);
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  seq.ops.push_back(
+      algolib::basis_state_prep_descriptor(reg, core::TypedValue::from_phase(0.25)));
+  algolib::QftParams fwd, inv;
+  inv.inverse = true;
+  seq.ops.push_back(algolib::qft_descriptor(reg, fwd));
+  seq.ops.push_back(algolib::qft_descriptor(reg, inv));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq), gate_ctx(1024));
+  const core::ExecutionResult result = core::submit(bundle);
+  ASSERT_EQ(result.decoded.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.decoded[0].value.real_value, 0.25);
+  EXPECT_EQ(result.decoded[0].count, 1024);
+}
+
+TEST_F(GateBackendTest, QaoaMaxCutReproducesPaperNumbers) {
+  // EXP-F2: expected cut in [2.9, 3.3] (paper reports 3.0-3.2); the two
+  // optimal strings 1010/0101 are the modal outcomes.
+  const core::QuantumDataType reg = algolib::make_ising_register("ising_vars", 4);
+  const Graph graph = Graph::cycle(4);
+  RegisterSet regs;
+  regs.add(reg);
+  const JobBundle bundle = JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(reg, graph, algolib::ring_p1_angles()),
+      gate_ctx(4096, 42));
+  const core::ExecutionResult result = core::submit(bundle);
+  const double expected_cut = result.counts.expectation(
+      [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+  EXPECT_GE(expected_cut, 2.9);
+  EXPECT_LE(expected_cut, 3.3);
+  const std::string top = result.counts.most_frequent();
+  EXPECT_TRUE(top == "1010" || top == "0101") << top;
+  EXPECT_GT(result.counts.probability("1010") + result.counts.probability("0101"), 0.4);
+}
+
+TEST_F(GateBackendTest, QaoaWithListing4StyleContext) {
+  // Ring coupling map + sx/rz/cx basis + optimization_level 2 must not
+  // change the measured distribution beyond sampling noise.
+  const core::QuantumDataType reg = algolib::make_ising_register("ising_vars", 4);
+  const Graph graph = Graph::cycle(4);
+  Context ctx = gate_ctx(8192, 7);
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  ctx.exec.target.coupling_map = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  ctx.exec.options.set("optimization_level", json::Value(std::int64_t{2}));
+  RegisterSet regs;
+  regs.add(reg);
+  const JobBundle bundle = JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(reg, graph, algolib::ring_p1_angles()), ctx);
+  const core::ExecutionResult result = core::submit(bundle);
+  const double expected_cut = result.counts.expectation(
+      [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+  EXPECT_NEAR(expected_cut, 3.0, 0.15);
+  // Transpile metadata proves the context was honored.
+  const json::Value& tmeta = result.metadata.at("transpile");
+  EXPECT_EQ(tmeta.get_int("optimization_level", -1), 2);
+}
+
+TEST_F(GateBackendTest, DeterministicAcrossRuns) {
+  const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
+  const Graph graph = Graph::cycle(4);
+  auto run_once = [&] {
+    RegisterSet regs;
+    regs.add(reg);
+    return core::submit(JobBundle::package(
+        std::move(regs), algolib::qaoa_sequence(reg, graph, algolib::ring_p1_angles()),
+        gate_ctx(512, 99)));
+  };
+  EXPECT_EQ(run_once().counts.to_json(), run_once().counts.to_json());
+}
+
+class AdderEndToEnd : public GateBackendTest,
+                      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(AdderEndToEnd, AddsConstantModulo2n) {
+  const auto [a, c] = GetParam();
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 3);
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(
+      reg, core::TypedValue::from_uint(static_cast<std::uint64_t>(a))));
+  seq.ops.push_back(algolib::adder_const_descriptor(reg, c));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const core::ExecutionResult result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(128)));
+  ASSERT_EQ(result.decoded.size(), 1u);
+  EXPECT_EQ(result.decoded[0].value.uint_value, static_cast<std::uint64_t>((a + c) % 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdderEndToEnd,
+                         ::testing::Combine(::testing::Values(0, 1, 5, 7),
+                                            ::testing::Values(0, 1, 3, 7)));
+
+TEST_F(GateBackendTest, SubtractionViaInverse) {
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 4);
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(reg, core::TypedValue::from_uint(3)));
+  seq.ops.push_back(algolib::adder_const_descriptor(reg, 5, /*subtract=*/true));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(64)));
+  EXPECT_EQ(result.decoded[0].value.uint_value, (3u - 5u + 16u) % 16u);  // wraps mod 16
+}
+
+class ModularAdderEndToEnd : public GateBackendTest,
+                             public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(ModularAdderEndToEnd, AddsConstantModM) {
+  const auto [a, c] = GetParam();
+  const int modulus = 13;
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 4);
+  const core::QuantumDataType scratch = algolib::make_flag_register("scratch");
+  const core::QuantumDataType flag = algolib::make_flag_register("flag");
+  RegisterSet regs;
+  regs.add(reg);
+  regs.add(scratch);
+  regs.add(flag);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(
+      reg, core::TypedValue::from_uint(static_cast<std::uint64_t>(a))));
+  seq.ops.push_back(algolib::modular_adder_const_descriptor(reg, scratch, flag, c, modulus));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(64)));
+  ASSERT_EQ(result.decoded.size(), 1u);
+  EXPECT_EQ(result.decoded[0].value.uint_value, static_cast<std::uint64_t>((a + c) % modulus))
+      << "a=" << a << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModularAdderEndToEnd,
+                         ::testing::Combine(::testing::Values(0, 4, 9, 12),
+                                            ::testing::Values(0, 1, 6, 12)));
+
+TEST_F(GateBackendTest, ModularAdderRestoresAncillas) {
+  // Flag and scratch must end in |0> (measure them instead of the register).
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 4);
+  const core::QuantumDataType scratch = algolib::make_flag_register("scratch");
+  const core::QuantumDataType flag = algolib::make_flag_register("flag");
+  RegisterSet regs;
+  regs.add(reg);
+  regs.add(scratch);
+  regs.add(flag);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(reg, core::TypedValue::from_uint(9)));
+  seq.ops.push_back(algolib::modular_adder_const_descriptor(reg, scratch, flag, 8, 13));
+  seq.ops.push_back(algolib::measurement_descriptor(flag));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(128)));
+  ASSERT_EQ(result.counts.map().size(), 1u);
+  EXPECT_EQ(result.counts.most_frequent(), "0");
+}
+
+class ComparatorEndToEnd : public GateBackendTest,
+                           public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(ComparatorEndToEnd, FlagsLessThan) {
+  const auto [a, threshold] = GetParam();
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 3);
+  const core::QuantumDataType scratch = algolib::make_flag_register("scratch");
+  const core::QuantumDataType flag = algolib::make_flag_register("flag");
+  RegisterSet regs;
+  regs.add(reg);
+  regs.add(scratch);
+  regs.add(flag);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(
+      reg, core::TypedValue::from_uint(static_cast<std::uint64_t>(a))));
+  seq.ops.push_back(algolib::comparator_const_descriptor(reg, scratch, flag, threshold));
+  seq.ops.push_back(algolib::measurement_descriptor(flag));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(64)));
+  EXPECT_EQ(result.counts.most_frequent(), a < threshold ? "1" : "0")
+      << "a=" << a << " threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComparatorEndToEnd,
+                         ::testing::Combine(::testing::Values(0, 2, 5, 7),
+                                            ::testing::Values(1, 4, 7)));
+
+TEST_F(GateBackendTest, ComparatorRestoresDataRegister) {
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 3);
+  const core::QuantumDataType scratch = algolib::make_flag_register("scratch");
+  const core::QuantumDataType flag = algolib::make_flag_register("flag");
+  RegisterSet regs;
+  regs.add(reg);
+  regs.add(scratch);
+  regs.add(flag);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(reg, core::TypedValue::from_uint(5)));
+  seq.ops.push_back(algolib::comparator_const_descriptor(reg, scratch, flag, 6));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(64)));
+  EXPECT_EQ(result.decoded[0].value.uint_value, 5u);
+}
+
+class QpeEndToEnd : public GateBackendTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(QpeEndToEnd, EstimatesExactPhases) {
+  // phase = k/16 is exactly representable on 4 counting qubits: QPE returns
+  // it deterministically.
+  const int k = GetParam();
+  const core::QuantumDataType counting = algolib::make_phase_register("count", 4);
+  const core::QuantumDataType eigen = algolib::make_flag_register("eigen");
+  RegisterSet regs;
+  regs.add(counting);
+  regs.add(eigen);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::qpe_descriptor(counting, eigen, k / 16.0));
+  seq.ops.push_back(algolib::measurement_descriptor(counting));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(256)));
+  ASSERT_EQ(result.decoded.size(), 1u);
+  EXPECT_NEAR(result.decoded[0].value.real_value, k / 16.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, QpeEndToEnd, ::testing::Values(0, 1, 3, 8, 15));
+
+TEST_F(GateBackendTest, QpeInexactPhaseConcentratesNearby) {
+  const core::QuantumDataType counting = algolib::make_phase_register("count", 4);
+  const core::QuantumDataType eigen = algolib::make_flag_register("eigen");
+  RegisterSet regs;
+  regs.add(counting);
+  regs.add(eigen);
+  OperatorSequence seq;
+  const double true_phase = 0.3;  // between 4/16 and 5/16
+  seq.ops.push_back(algolib::qpe_descriptor(counting, eigen, true_phase));
+  seq.ops.push_back(algolib::measurement_descriptor(counting));
+  const auto result =
+      core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(8192)));
+  double mass_near = 0.0;
+  for (const auto& outcome : result.decoded) {
+    double diff = std::abs(outcome.value.real_value - true_phase);
+    diff = std::min(diff, 1.0 - diff);  // circular distance
+    if (diff <= 1.0 / 16.0)
+      mass_near += static_cast<double>(outcome.count);
+  }
+  EXPECT_GT(mass_near / 8192.0, 0.8);
+}
+
+TEST_F(GateBackendTest, SwapTestSeparatesEqualAndOrthogonal) {
+  const core::QuantumDataType a = algolib::make_uint_register("a", 2);
+  const core::QuantumDataType b = algolib::make_uint_register("b", 2);
+  const core::QuantumDataType flag = algolib::make_flag_register("flag");
+  // Identical states |00>,|00>: P(flag=0) = 1.
+  {
+    RegisterSet regs;
+    regs.add(a);
+    regs.add(b);
+    regs.add(flag);
+    OperatorSequence seq;
+    seq.ops.push_back(algolib::swap_test_descriptor(a, b, flag));
+    const auto result =
+        core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(4096)));
+    EXPECT_NEAR(result.counts.probability("0"), 1.0, 1e-9);
+  }
+  // Orthogonal states |00>,|01>: P(flag=0) = 1/2.
+  {
+    RegisterSet regs;
+    regs.add(a);
+    regs.add(b);
+    regs.add(flag);
+    OperatorSequence seq;
+    seq.ops.push_back(algolib::basis_state_prep_descriptor(b, core::TypedValue::from_uint(1)));
+    seq.ops.push_back(algolib::swap_test_descriptor(a, b, flag));
+    const auto result =
+        core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(8192)));
+    EXPECT_NEAR(result.counts.probability("0"), 0.5, 0.03);
+  }
+}
+
+TEST_F(GateBackendTest, ControlledSwapConditionallyExchanges) {
+  const core::QuantumDataType reg = algolib::make_uint_register("x", 2);
+  const core::QuantumDataType ctrl = algolib::make_flag_register("c");
+  for (const bool control_on : {false, true}) {
+    RegisterSet regs;
+    regs.add(reg);
+    regs.add(ctrl);
+    OperatorSequence seq;
+    seq.ops.push_back(algolib::basis_state_prep_descriptor(reg, core::TypedValue::from_uint(1)));
+    if (control_on)
+      seq.ops.push_back(
+          algolib::basis_state_prep_descriptor(ctrl, core::TypedValue::from_bools({true})));
+    seq.ops.push_back(algolib::controlled_swap_descriptor(reg, ctrl, 0, 1));
+    seq.ops.push_back(algolib::measurement_descriptor(reg));
+    const auto result =
+        core::submit(JobBundle::package(std::move(regs), std::move(seq), gate_ctx(64)));
+    EXPECT_EQ(result.decoded[0].value.uint_value, control_on ? 2u : 1u);
+  }
+}
+
+TEST_F(GateBackendTest, PhaseGadgetMatchesRzz) {
+  // On 2 carriers the gadget is exactly RZZ(angle).
+  sim::Circuit gadget_circuit(2, 0);
+  {
+    core::QuantumDataType reg = algolib::make_uint_register("x", 2);
+    core::RegisterSet regs;
+    regs.add(reg);
+    const backend::QubitResolver resolver(regs);
+    backend::LoweringRegistry::instance().lower(
+        algolib::phase_gadget_descriptor(reg, {0, 1}, 0.9), resolver, gadget_circuit);
+  }
+  sim::Circuit rzz_circuit(2, 0);
+  rzz_circuit.h(0);
+  rzz_circuit.h(1);
+  rzz_circuit.rzz(0.9, 0, 1);
+  sim::Circuit prep(2, 0);
+  prep.h(0);
+  prep.h(1);
+  sim::Statevector a = sim::Engine().run_statevector(prep);
+  for (const auto& inst : gadget_circuit.instructions()) a.apply(inst);
+  const sim::Statevector b = sim::Engine().run_statevector(rzz_circuit);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST_F(GateBackendTest, UnknownRepKindFailsCleanly) {
+  core::QuantumDataType reg = algolib::make_uint_register("x", 2);
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  core::OperatorDescriptor op;
+  op.name = "mystery";
+  op.rep_kind = "MYSTERY_TEMPLATE";
+  op.domain_qdt = "x";
+  seq.ops.push_back(op);
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq), gate_ctx(16));
+  EXPECT_THROW(core::submit(bundle), LoweringError);
+}
+
+TEST_F(GateBackendTest, MissingResultSchemaFailsCleanly) {
+  core::QuantumDataType reg = algolib::make_uint_register("x", 2);
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq), gate_ctx(16));
+  EXPECT_THROW(core::submit(bundle), LoweringError);
+}
+
+TEST_F(GateBackendTest, MetadataCarriesTranspileMetrics) {
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", 5);
+  Context ctx = gate_ctx(128);
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  ctx.exec.target.coupling_map = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  RegisterSet regs;
+  regs.add(reg);
+  OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result = core::submit(JobBundle::package(std::move(regs), std::move(seq), ctx));
+  const json::Value& tmeta = result.metadata.at("transpile");
+  EXPECT_GT(tmeta.get_int("twoq_after", 0), tmeta.get_int("twoq_before", 100));  // routing added
+  EXPECT_GT(tmeta.get_int("swaps_inserted", 0), 0);
+  EXPECT_GT(result.metadata.get_double("wall_time_ms", -1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace quml

@@ -1,0 +1,353 @@
+// Tests for the extension features: two-register Draper adder, GHZ / W
+// state preparation, and the OpenQASM 3 exporter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algolib/arithmetic.hpp"
+#include "algolib/phase.hpp"
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "backend/lowering.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/qasm.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace quml {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { backend::register_builtin_backends(); }
+
+  static core::Context gate_ctx(std::int64_t samples = 128) {
+    core::Context ctx;
+    ctx.exec.engine = "gate.statevector_simulator";
+    ctx.exec.samples = samples;
+    ctx.exec.seed = 3;
+    return ctx;
+  }
+};
+
+// --- two-register adder --------------------------------------------------------
+
+class RegisterAdderSweep : public ExtensionsTest,
+                           public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(RegisterAdderSweep, AddsSourceIntoTarget) {
+  const auto [a, b] = GetParam();
+  const core::QuantumDataType src = algolib::make_uint_register("a", 3);
+  const core::QuantumDataType dst = algolib::make_uint_register("b", 3);
+  core::RegisterSet regs;
+  regs.add(src);
+  regs.add(dst);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(
+      src, core::TypedValue::from_uint(static_cast<std::uint64_t>(a))));
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(
+      dst, core::TypedValue::from_uint(static_cast<std::uint64_t>(b))));
+  seq.ops.push_back(algolib::adder_register_descriptor(dst, src));
+  seq.ops.push_back(algolib::measurement_descriptor(dst));
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx()));
+  EXPECT_EQ(result.decoded[0].value.uint_value, static_cast<std::uint64_t>((a + b) % 8))
+      << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegisterAdderSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 7),
+                                            ::testing::Values(0, 2, 5, 7)));
+
+TEST_F(ExtensionsTest, RegisterAdderLeavesSourceIntact) {
+  const core::QuantumDataType src = algolib::make_uint_register("a", 3);
+  const core::QuantumDataType dst = algolib::make_uint_register("b", 3);
+  core::RegisterSet regs;
+  regs.add(src);
+  regs.add(dst);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(src, core::TypedValue::from_uint(5)));
+  seq.ops.push_back(algolib::adder_register_descriptor(dst, src));
+  seq.ops.push_back(algolib::measurement_descriptor(src));
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx()));
+  EXPECT_EQ(result.decoded[0].value.uint_value, 5u);
+}
+
+TEST_F(ExtensionsTest, RegisterSubtractInverts) {
+  const core::QuantumDataType src = algolib::make_uint_register("a", 4);
+  const core::QuantumDataType dst = algolib::make_uint_register("b", 4);
+  core::RegisterSet regs;
+  regs.add(src);
+  regs.add(dst);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(src, core::TypedValue::from_uint(6)));
+  seq.ops.push_back(algolib::basis_state_prep_descriptor(dst, core::TypedValue::from_uint(9)));
+  seq.ops.push_back(algolib::adder_register_descriptor(dst, src, /*subtract=*/true));
+  seq.ops.push_back(algolib::measurement_descriptor(dst));
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx()));
+  EXPECT_EQ(result.decoded[0].value.uint_value, 3u);  // 9 - 6
+}
+
+TEST_F(ExtensionsTest, NarrowSourceIsAllowedWiderIsNot) {
+  const core::QuantumDataType narrow = algolib::make_uint_register("a", 2);
+  const core::QuantumDataType wide = algolib::make_uint_register("b", 4);
+  EXPECT_NO_THROW(algolib::adder_register_descriptor(wide, narrow));
+  EXPECT_THROW(algolib::adder_register_descriptor(narrow, wide), ValidationError);
+  EXPECT_THROW(algolib::adder_register_descriptor(wide, wide), ValidationError);
+}
+
+TEST_F(ExtensionsTest, RegisterAdderInversionRule) {
+  const core::QuantumDataType src = algolib::make_uint_register("a", 3);
+  const core::QuantumDataType dst = algolib::make_uint_register("b", 3);
+  const core::OperatorDescriptor add = algolib::adder_register_descriptor(dst, src);
+  const core::OperatorDescriptor inv = core::invert_operator(add);
+  EXPECT_TRUE(inv.param_bool("subtract", false));
+}
+
+// --- GHZ / W preparation --------------------------------------------------------
+
+TEST_F(ExtensionsTest, GhzAmplitudes) {
+  const core::QuantumDataType reg = algolib::make_uint_register("g", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  sim::Circuit c(4, 0);
+  backend::LoweringRegistry::instance().lower(algolib::ghz_prep_descriptor(reg), resolver, c);
+  const sim::Statevector sv = sim::Engine().run_statevector(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b0000)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b1111)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b0101)), 0.0, 1e-12);
+}
+
+class WPrepWidths : public ExtensionsTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(WPrepWidths, OneHotEqualSuperposition) {
+  const int n = GetParam();
+  const core::QuantumDataType reg =
+      algolib::make_uint_register("w", static_cast<unsigned>(n));
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  sim::Circuit c(n, 0);
+  backend::LoweringRegistry::instance().lower(algolib::w_prep_descriptor(reg), resolver, c);
+  const sim::Statevector sv = sim::Engine().run_statevector(c);
+  const double expect = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::uint64_t idx = 0; idx < sv.dim(); ++idx) {
+    const bool one_hot = idx != 0 && (idx & (idx - 1)) == 0;
+    EXPECT_NEAR(std::abs(sv.amplitude(idx)), one_hot ? expect : 0.0, 1e-9)
+        << "n=" << n << " idx=" << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WPrepWidths, ::testing::Values(2, 3, 5, 8));
+
+TEST_F(ExtensionsTest, StatePrepsRejectWidthOne) {
+  const core::QuantumDataType tiny = algolib::make_flag_register("t");
+  EXPECT_THROW(algolib::ghz_prep_descriptor(tiny), ValidationError);
+  EXPECT_THROW(algolib::w_prep_descriptor(tiny), ValidationError);
+}
+
+TEST_F(ExtensionsTest, GhzThroughBackendCounts) {
+  const core::QuantumDataType reg = algolib::make_uint_register("g", 5);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::ghz_prep_descriptor(reg));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx(4096)));
+  EXPECT_EQ(result.counts.map().size(), 2u);
+  EXPECT_NEAR(result.counts.probability("00000"), 0.5, 0.05);
+  EXPECT_NEAR(result.counts.probability("11111"), 0.5, 0.05);
+}
+
+// --- OpenQASM 3 export -----------------------------------------------------------
+
+TEST_F(ExtensionsTest, QasmHeaderAndDeclarations) {
+  sim::Circuit c(3, 2);
+  c.h(0);
+  c.measure(0, 1);
+  const std::string qasm = sim::to_qasm3(c, "unit test");
+  EXPECT_NE(qasm.find("// unit test"), std::string::npos);
+  EXPECT_NE(qasm.find("OPENQASM 3.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"stdgates.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qubit[3] q;"), std::string::npos);
+  EXPECT_NE(qasm.find("bit[2] c;"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("c[1] = measure q[0];"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, QasmGateSpellings) {
+  sim::Circuit c(2, 0);
+  c.rz(0.5, 0);
+  c.sx(1);
+  c.sxdg(1);
+  c.cx(0, 1);
+  c.cp(1.25, 0, 1);
+  c.rzz(0.75, 0, 1);
+  c.barrier();
+  c.u3(0.1, 0.2, 0.3, 0);
+  const std::string qasm = sim::to_qasm3(c);
+  EXPECT_NE(qasm.find("rz(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("sx q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("inv @ sx q[1];"), std::string::npos);  // sxdg via modifier
+  EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("cp(1.25) q[0], q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("rz(0.75) q[1];"), std::string::npos);  // rzz inlined
+  EXPECT_NE(qasm.find("barrier q;"), std::string::npos);
+  EXPECT_NE(qasm.find("u3(0.1, 0.2, 0.3) q[0];"), std::string::npos);
+}
+
+TEST_F(ExtensionsTest, QasmExportThroughBackendMetadata) {
+  const core::QuantumDataType reg = algolib::make_uint_register("g", 3);
+  core::Context ctx = gate_ctx(64);
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  ctx.exec.options.set("emit_qasm3", json::Value(true));
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::ghz_prep_descriptor(reg));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result = core::submit(core::JobBundle::package(std::move(regs), std::move(seq), ctx));
+  const std::string qasm = result.metadata.get_string("qasm3", "");
+  ASSERT_FALSE(qasm.empty());
+  EXPECT_NE(qasm.find("OPENQASM 3.0;"), std::string::npos);
+  // Transpiled to the basis: only sx/rz/cx (plus measures) appear.
+  EXPECT_EQ(qasm.find("h q["), std::string::npos);
+  EXPECT_NE(qasm.find("cx q["), std::string::npos);
+  EXPECT_NE(qasm.find("measure"), std::string::npos);
+}
+
+
+// --- amplitude encoding -----------------------------------------------------------
+
+class AmplitudeEncodingWidths : public ExtensionsTest,
+                                public ::testing::WithParamInterface<int> {};
+
+TEST_P(AmplitudeEncodingWidths, PreparesRandomNonNegativeVectors) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + n));
+  std::vector<double> v(1ull << n);
+  for (auto& x : v) x = rng.next_double();
+  const core::QuantumDataType reg =
+      algolib::make_uint_register("v", static_cast<unsigned>(n));
+  const core::OperatorDescriptor op = algolib::amplitude_encoding_descriptor(reg, v);
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  sim::Circuit c(n, 0);
+  backend::LoweringRegistry::instance().lower(op, resolver, c);
+  const sim::Statevector sv = sim::Engine().run_statevector(c);
+  double norm = 0.0;
+  for (const double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  for (std::uint64_t k = 0; k < sv.dim(); ++k)
+    EXPECT_NEAR(std::abs(sv.amplitude(k)), v[k] / norm, 1e-9) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AmplitudeEncodingWidths, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_F(ExtensionsTest, AmplitudeEncodingSparseVector) {
+  // Branch pruning: vectors with zero branches still prepare exactly.
+  const core::QuantumDataType reg = algolib::make_uint_register("v", 3);
+  std::vector<double> v(8, 0.0);
+  v[1] = 3.0;
+  v[6] = 4.0;  // normalized: 0.6, 0.8
+  const core::OperatorDescriptor op = algolib::amplitude_encoding_descriptor(reg, v);
+  core::RegisterSet regs;
+  regs.add(reg);
+  const backend::QubitResolver resolver(regs);
+  sim::Circuit c(3, 0);
+  backend::LoweringRegistry::instance().lower(op, resolver, c);
+  const sim::Statevector sv = sim::Engine().run_statevector(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.6, 1e-9);
+  EXPECT_NEAR(std::abs(sv.amplitude(6)), 0.8, 1e-9);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 0.0, 1e-9);
+}
+
+TEST_F(ExtensionsTest, AmplitudeEncodingValidation) {
+  const core::QuantumDataType reg = algolib::make_uint_register("v", 2);
+  EXPECT_THROW(algolib::amplitude_encoding_descriptor(reg, {1.0, 2.0}), ValidationError);
+  EXPECT_THROW(algolib::amplitude_encoding_descriptor(reg, {1.0, -1.0, 0.0, 0.0}),
+               ValidationError);
+  EXPECT_THROW(algolib::amplitude_encoding_descriptor(reg, {0.0, 0.0, 0.0, 0.0}),
+               ValidationError);
+}
+
+TEST_F(ExtensionsTest, AmplitudeEncodingEndToEndSampling) {
+  // Through the full backend: sampled frequencies match |v_k|^2.
+  const core::QuantumDataType reg = algolib::make_uint_register("v", 2);
+  const std::vector<double> v{1.0, 1.0, 1.0, 1.0};  // uniform
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::amplitude_encoding_descriptor(reg, v));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx(20000)));
+  for (const std::string key : {"00", "01", "10", "11"})
+    EXPECT_NEAR(result.counts.probability(key), 0.25, 0.02) << key;
+}
+
+
+// --- X / Y basis readout -----------------------------------------------------------
+
+TEST_F(ExtensionsTest, XBasisMeasurementIsDeterministicOnPlus) {
+  // PREP_UNIFORM makes |+>; declaring basis X in the result schema reads it
+  // deterministically as 0 (the paper's explicit-basis requirement).
+  const core::QuantumDataType reg = algolib::make_flag_register("f");
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+  core::OperatorDescriptor measure = algolib::measurement_descriptor(reg);
+  measure.result_schema->basis = core::Basis::X;
+  seq.ops.push_back(measure);
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx(2048)));
+  ASSERT_EQ(result.counts.map().size(), 1u);
+  EXPECT_EQ(result.counts.most_frequent(), "0");
+}
+
+TEST_F(ExtensionsTest, YBasisMeasurementIsDeterministicOnPlusI) {
+  // RZ(pi/2)|+> = |i>, the +1 eigenstate of Y: deterministic 0 in basis Y,
+  // but 50/50 in basis Z.
+  const core::QuantumDataType reg = algolib::make_flag_register("f");
+  auto build = [&](core::Basis basis) {
+    core::RegisterSet regs;
+    regs.add(reg);
+    core::OperatorSequence seq;
+    seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+    seq.ops.push_back(algolib::phase_gadget_descriptor(reg, {0}, M_PI / 2.0));
+    core::OperatorDescriptor measure = algolib::measurement_descriptor(reg);
+    measure.result_schema->basis = basis;
+    seq.ops.push_back(measure);
+    return core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx(4096));
+  };
+  const auto y_result = core::submit(build(core::Basis::Y));
+  ASSERT_EQ(y_result.counts.map().size(), 1u);
+  EXPECT_EQ(y_result.counts.most_frequent(), "0");
+  const auto z_result = core::submit(build(core::Basis::Z));
+  EXPECT_NEAR(z_result.counts.probability("0"), 0.5, 0.05);
+}
+
+TEST_F(ExtensionsTest, XBasisOnZeroIsUniform) {
+  const core::QuantumDataType reg = algolib::make_flag_register("f");
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor measure = algolib::measurement_descriptor(reg);
+  measure.result_schema->basis = core::Basis::X;
+  seq.ops.push_back(measure);
+  const auto result =
+      core::submit(core::JobBundle::package(std::move(regs), std::move(seq), gate_ctx(8192)));
+  EXPECT_NEAR(result.counts.probability("0"), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace quml

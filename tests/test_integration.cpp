@@ -1,0 +1,255 @@
+// Cross-module integration tests: full artifact-file workflows (QDT.json +
+// QOP.json + CTX.json -> job.json -> backend -> decoded result, the paper's
+// Fig. 2/3 pipelines), context services attached through the backend, and
+// scheduler-to-execution handoff.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "schema/descriptor_schemas.hpp"
+#include "util/errors.hpp"
+
+namespace quml {
+namespace {
+
+using algolib::Graph;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { backend::register_builtin_backends(); }
+
+  static std::string write_temp(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  static json::Value read_json(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return json::parse(buffer.str());
+  }
+};
+
+TEST_F(IntegrationTest, Fig2WorkflowFromJsonArtifacts) {
+  // The full gate-path workflow of paper Fig. 2, driven by JSON files on
+  // disk: QDT.json + QOP descriptors + CTX.json -> packaged job.json ->
+  // IBM-style backend -> decoded counts.
+  const std::string qdt_path = write_temp("QDT.json", R"({
+    "$schema": "qdt-core.schema.json",
+    "id": "ising_vars", "name": "s", "width": 4,
+    "encoding_kind": "ISING_SPIN", "bit_order": "LSB_0",
+    "measurement_semantics": "AS_BOOL"
+  })");
+  const std::string ctx_path = write_temp("CTX.json", R"({
+    "$schema": "ctx.schema.json",
+    "exec": {
+      "engine": "gate.aer_simulator",
+      "samples": 4096,
+      "seed": 42,
+      "target": {"basis_gates": ["sx", "rz", "cx"],
+                 "coupling_map": [[0,1],[1,2],[2,3],[3,0]]},
+      "options": {"optimization_level": 2}
+    }
+  })");
+
+  const json::Value qdt_doc = read_json(qdt_path);
+  schema::validator_for(qdt_doc).validate_or_throw(qdt_doc);
+  const core::QuantumDataType qdt = core::QuantumDataType::from_json(qdt_doc);
+
+  const json::Value ctx_doc = read_json(ctx_path);
+  schema::validator_for(ctx_doc).validate_or_throw(ctx_doc);
+  const core::Context ctx = core::Context::from_json(ctx_doc);
+
+  const Graph graph = Graph::cycle(4);
+  core::RegisterSet regs;
+  regs.add(qdt);
+  const core::JobBundle bundle = core::JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(qdt, graph, algolib::ring_p1_angles()), ctx,
+      "fig2-job");
+
+  // Round-trip the packaged job through disk, as the paper's packaging
+  // utility does (job.json).
+  const std::string job_path = ::testing::TempDir() + "/job.json";
+  bundle.save(job_path);
+  const core::JobBundle loaded = core::JobBundle::load(job_path);
+  const core::ExecutionResult result = core::submit(loaded);
+
+  const double expected_cut = result.counts.expectation(
+      [&](const std::string& bits) { return graph.cut_value_bits(bits); });
+  EXPECT_GE(expected_cut, 2.9);
+  EXPECT_LE(expected_cut, 3.3);
+  std::remove(job_path.c_str());
+}
+
+TEST_F(IntegrationTest, Fig3WorkflowFromJsonArtifacts) {
+  // The anneal-path workflow of paper Fig. 3 from a single job.json.
+  const std::string job_text = R"({
+    "$schema": "job.schema.json",
+    "job_id": "fig3-job",
+    "qdts": [{
+      "$schema": "qdt-core.schema.json",
+      "id": "ising_vars", "name": "s", "width": 4,
+      "encoding_kind": "ISING_SPIN", "bit_order": "LSB_0",
+      "measurement_semantics": "AS_BOOL"
+    }],
+    "operators": [{
+      "$schema": "qod.schema.json",
+      "name": "ISING", "rep_kind": "ISING_PROBLEM",
+      "domain_qdt": "ising_vars", "codomain_qdt": "ising_vars",
+      "params": {"h": [0.0, 0.0, 0.0, 0.0],
+                 "J": [[0,1,1.0],[1,2,1.0],[2,3,1.0],[3,0,1.0]]},
+      "result_schema": {"basis": "Z", "datatype": "AS_BOOL", "bit_significance": "LSB_0",
+                        "clbit_order": ["ising_vars[0]", "ising_vars[1]",
+                                        "ising_vars[2]", "ising_vars[3]"]}
+    }],
+    "context": {
+      "$schema": "ctx.schema.json",
+      "exec": {"engine": "anneal.neal_simulator", "seed": 42},
+      "contexts": {"anneal": {"num_reads": 1000}}
+    }
+  })";
+  const std::string path = write_temp("fig3_job.json", job_text);
+  const core::JobBundle bundle = core::JobBundle::load(path);
+  const core::ExecutionResult result = core::submit(bundle);
+  EXPECT_EQ(result.counts.total(), 1000);
+  const std::string top = result.counts.most_frequent();
+  EXPECT_TRUE(top == "1010" || top == "0101") << top;
+  EXPECT_DOUBLE_EQ(result.metadata.get_double("ground_energy", 0.0), -4.0);
+}
+
+TEST_F(IntegrationTest, QecContextAttachesResourceReport) {
+  // Listing 5 made executable: the same logical program runs unmodified,
+  // and the backend binds the qec block to the resource-model service.
+  const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
+  const Graph graph = Graph::cycle(4);
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 512;
+  core::QecPolicy qec;
+  qec.code_family = "surface";
+  qec.distance = 7;
+  qec.allocator = "auto";
+  qec.logical_gate_set = {"H", "S", "CNOT", "T", "MEASURE_Z"};
+  ctx.qec = qec;
+
+  core::RegisterSet regs;
+  regs.add(reg);
+  const core::ExecutionResult result = core::submit(core::JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(reg, graph, algolib::ring_p1_angles()), ctx));
+
+  const json::Value& report = result.metadata.at("services").at("qec");
+  EXPECT_EQ(report.get_int("distance", 0), 7);
+  EXPECT_EQ(report.get_int("patches", 0), 4);
+  EXPECT_GE(report.get_int("physical_qubits", 0), 4 * 97);
+  // Decoded results are identical in distribution to a no-QEC run (logical
+  // semantics unchanged) -- same seed, same counts.
+  core::Context plain = ctx;
+  plain.qec.reset();
+  core::RegisterSet regs2;
+  regs2.add(reg);
+  const core::ExecutionResult no_qec = core::submit(core::JobBundle::package(
+      std::move(regs2), algolib::qaoa_sequence(reg, graph, algolib::ring_p1_angles()), plain));
+  EXPECT_EQ(result.counts.to_json(), no_qec.counts.to_json());
+}
+
+TEST_F(IntegrationTest, PulseContextReportsDuration) {
+  const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 128;
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  core::PulsePolicy pulse;
+  pulse.enabled = true;
+  ctx.pulse = pulse;
+  core::RegisterSet regs;
+  regs.add(reg);
+  const core::ExecutionResult result = core::submit(core::JobBundle::package(
+      std::move(regs),
+      algolib::qaoa_sequence(reg, Graph::cycle(4), algolib::ring_p1_angles()), ctx));
+  const json::Value& report = result.metadata.at("services").at("pulse");
+  EXPECT_GT(report.get_double("total_duration_ns", 0.0), 0.0);
+  EXPECT_GT(report.get_int("num_channels", 0), 0);
+}
+
+TEST_F(IntegrationTest, QecGateSetViolationSurfacesBeforeExecution) {
+  const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  core::QecPolicy qec;
+  qec.logical_gate_set = {"H", "CNOT", "MEASURE_Z"};  // QAOA needs rotations (T)
+  ctx.qec = qec;
+  core::RegisterSet regs;
+  regs.add(reg);
+  const core::JobBundle bundle = core::JobBundle::package(
+      std::move(regs),
+      algolib::qaoa_sequence(reg, Graph::cycle(4), algolib::ring_p1_angles()), ctx);
+  EXPECT_THROW(core::submit(bundle), BackendError);
+}
+
+TEST_F(IntegrationTest, SchedulerDecisionExecutesOnChosenBackend) {
+  // Cost-hint scheduling decision feeds straight back into the context, and
+  // the chosen engine runs the job (the HPC workflow the paper motivates).
+  const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::maxcut_ising_descriptor(reg, Graph::cycle(4)));
+  core::Context ctx;
+  ctx.exec.engine = "";  // to be filled by the scheduler
+  ctx.exec.samples = 200;
+  core::AnnealPolicy anneal;
+  anneal.num_reads = 200;
+  anneal.num_sweeps = 100;
+  ctx.anneal = anneal;
+  core::JobBundle bundle = core::JobBundle::package(std::move(regs), std::move(seq), ctx);
+
+  sched::BackendCapability gate_cap;
+  gate_cap.name = "gate.statevector_simulator";
+  gate_cap.kind = "gate";
+  gate_cap.num_qubits = 26;
+  sched::BackendCapability anneal_cap;
+  anneal_cap.name = "anneal.simulated_annealer";
+  anneal_cap.kind = "anneal";
+  anneal_cap.num_qubits = 64;
+
+  const sched::Decision decision = sched::choose_backend(bundle, {gate_cap, anneal_cap});
+  EXPECT_EQ(decision.backend, "anneal.simulated_annealer");
+  bundle.context->exec.engine = decision.backend;
+  const core::ExecutionResult result = core::submit(bundle);
+  EXPECT_EQ(result.counts.total(), 200);
+}
+
+TEST_F(IntegrationTest, EverythingValidatesAgainstEmittedSchemas) {
+  // Round-trip every artifact kind through its embedded schema validator.
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", 10);
+  EXPECT_NO_THROW(schema::qdt_validator().validate_or_throw(reg.to_json()));
+  const core::OperatorDescriptor qft = algolib::qft_descriptor(reg, {});
+  EXPECT_NO_THROW(schema::qod_validator().validate_or_throw(qft.to_json()));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  core::QecPolicy qec;
+  ctx.qec = qec;
+  EXPECT_NO_THROW(schema::ctx_validator().validate_or_throw(ctx.to_json()));
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(qft);
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const core::JobBundle bundle = core::JobBundle::package(std::move(regs), std::move(seq), ctx);
+  EXPECT_NO_THROW(schema::job_validator().validate_or_throw(bundle.to_json()));
+}
+
+}  // namespace
+}  // namespace quml

@@ -1,0 +1,196 @@
+// Unit tests for the JSON substrate: parser strictness, writer round trips,
+// pointers, structural equality.
+
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include "util/errors.hpp"
+
+namespace quml::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e-2").as_double(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinction) {
+  EXPECT_TRUE(parse("5").is_int());
+  EXPECT_TRUE(parse("5.0").is_double());
+  EXPECT_TRUE(parse("5e0").is_double());
+}
+
+TEST(JsonParse, HugeIntegerDegradesToDouble) {
+  const Value v = parse("123456789012345678901234567890");
+  EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a")[2].at("b").as_bool(), true);
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+}
+
+TEST(JsonParse, ObjectOrderPreserved) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Object& o = v.as_object();
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(parse(R"("quote\"end")").as_string(), "quote\"end");
+  EXPECT_EQ(parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xe4\xb8\xad");      // 中
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");  // 😀 surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(parse("{'a': 1}"), ParseError);
+  EXPECT_THROW(parse("01"), ParseError);
+  EXPECT_THROW(parse("1."), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse(R"("\ud800")"), ParseError);  // unpaired surrogate
+  EXPECT_THROW(parse("\"ctrl\x01char\""), ParseError);
+}
+
+TEST(JsonParse, ErrorCarriesPosition) {
+  try {
+    parse("{\n  \"a\": oops\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(JsonParse, DeepNestingGuard) {
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += "[";
+  EXPECT_THROW(parse(deep), ParseError);
+}
+
+TEST(JsonWrite, CompactRoundTrip) {
+  const std::string text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  EXPECT_EQ(dump(parse(text)), text);
+}
+
+TEST(JsonWrite, DoubleAlwaysReparsesAsDouble) {
+  const Value v(2.0);
+  const Value back = parse(dump(v));
+  EXPECT_TRUE(back.is_double());
+  EXPECT_DOUBLE_EQ(back.as_double(), 2.0);
+}
+
+TEST(JsonWrite, EscapesControlCharacters) {
+  const Value v(std::string("a\x01z"));
+  EXPECT_EQ(dump(v), "\"a\\u0001z\"");
+}
+
+TEST(JsonWrite, PrettyIsReparseable) {
+  const Value v = parse(R"({"a":[1,2],"b":{"c":"x"}})");
+  EXPECT_EQ(parse(dump_pretty(v)), v);
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Value first = parse(GetParam());
+  EXPECT_EQ(parse(dump(first)), first);
+  EXPECT_EQ(parse(dump_pretty(first)), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Documents, JsonRoundTrip,
+                         ::testing::Values(
+                             "null", "true", "0", "-1", "3.5", "[]", "{}", "\"\"",
+                             R"([1, [2, [3, [4]]]])",
+                             R"({"width": 10, "phase_scale": "1/1024"})",
+                             R"({"nested": {"deep": {"arr": [null, false, 1e-9]}}})",
+                             R"(["é", "\t", "\\"])"));
+
+TEST(JsonValue, ObjectHelpers) {
+  Value v = Value::object();
+  v.set("a", Value(1));
+  v.set("b", Value("x"));
+  v.set("a", Value(2));  // replace, not duplicate
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at("a").as_int(), 2);
+  EXPECT_TRUE(v.contains("b"));
+  EXPECT_FALSE(v.contains("c"));
+  EXPECT_TRUE(v.erase("b"));
+  EXPECT_FALSE(v.erase("b"));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(JsonValue, GettersWithDefaults) {
+  const Value v = parse(R"({"i": 7, "d": 1.5, "b": true, "s": "x"})");
+  EXPECT_EQ(v.get_int("i", 0), 7);
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.get_double("i", 0.0), 7.0);  // int promotes
+  EXPECT_EQ(v.get_bool("b", false), true);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_EQ(v.get_string("i", "fallback"), "fallback");  // wrong type -> default
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), ValidationError);
+  EXPECT_THROW(v.at("x"), ValidationError);
+  EXPECT_THROW(v[5], ValidationError);
+  EXPECT_THROW(parse("\"s\"").as_int(), ValidationError);
+}
+
+TEST(JsonValue, EqualityIsOrderInsensitiveForObjects) {
+  EXPECT_EQ(parse(R"({"a":1,"b":2})"), parse(R"({"b":2,"a":1})"));
+  EXPECT_NE(parse(R"({"a":1})"), parse(R"({"a":2})"));
+  EXPECT_NE(parse("[1,2]"), parse("[2,1]"));  // arrays stay ordered
+}
+
+TEST(JsonValue, NumericCrossTypeEquality) {
+  EXPECT_EQ(parse("1"), parse("1.0"));
+  EXPECT_NE(parse("1"), parse("1.5"));
+}
+
+TEST(JsonPointer, Resolution) {
+  const Value v = parse(R"({"exec": {"target": {"basis_gates": ["sx", "rz", "cx"]}}})");
+  ASSERT_NE(resolve_pointer(v, "/exec/target/basis_gates/1"), nullptr);
+  EXPECT_EQ(resolve_pointer(v, "/exec/target/basis_gates/1")->as_string(), "rz");
+  EXPECT_EQ(resolve_pointer(v, ""), &v);
+  EXPECT_EQ(resolve_pointer(v, "/missing"), nullptr);
+  EXPECT_EQ(resolve_pointer(v, "/exec/target/basis_gates/9"), nullptr);
+  EXPECT_EQ(resolve_pointer(v, "/exec/target/basis_gates/01"), nullptr);  // no leading zeros
+  EXPECT_EQ(resolve_pointer(v, "no-slash"), nullptr);
+}
+
+TEST(JsonPointer, EscapedTokens) {
+  const Value v = parse(R"({"a/b": {"c~d": 5}})");
+  const Value* got = resolve_pointer(v, "/a~1b/c~0d");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->as_int(), 5);
+  EXPECT_EQ(escape_pointer_token("a/b~c"), "a~1b~0c");
+}
+
+}  // namespace
+}  // namespace quml::json

@@ -1,0 +1,176 @@
+// Tests for the pulse and communication context services: schedule timing
+// (virtual Z, drive/coupler channels, barriers), and multi-QPU partition
+// planning with teleportation costs.
+
+#include <gtest/gtest.h>
+
+#include "comm/distributed.hpp"
+#include "pulse/schedule.hpp"
+#include "util/errors.hpp"
+
+namespace quml {
+namespace {
+
+core::PulsePolicy default_pulse() {
+  core::PulsePolicy p;
+  p.enabled = true;
+  return p;  // sx 35 ns, cx 300 ns, measure 1000 ns
+}
+
+TEST(Pulse, VirtualZHasZeroDuration) {
+  sim::Circuit c(1, 0);
+  c.rz(1.0, 0);
+  c.z(0);
+  c.s(0);
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 0.0);
+  for (const auto& inst : schedule.instructions) {
+    EXPECT_DOUBLE_EQ(inst.duration_ns, 0.0);
+    EXPECT_DOUBLE_EQ(inst.amplitude, 0.0);
+  }
+}
+
+TEST(Pulse, DrivePulsesAccumulateSerially) {
+  sim::Circuit c(1, 0);
+  c.sx(0);
+  c.sx(0);
+  c.rz(0.5, 0);  // free
+  c.sx(0);
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 3 * 35.0);
+}
+
+TEST(Pulse, ParallelQubitsOverlap) {
+  sim::Circuit c(2, 0);
+  c.sx(0);
+  c.sx(1);
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 35.0);
+}
+
+TEST(Pulse, CxSynchronizesAndUsesCouplerChannel) {
+  sim::Circuit c(2, 0);
+  c.sx(0);     // qubit 0 busy until 35
+  c.cx(0, 1);  // starts at 35, runs 300
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 335.0);
+  bool has_coupler = false;
+  for (const auto& inst : schedule.instructions)
+    if (inst.channel == "u0_1") has_coupler = true;
+  EXPECT_TRUE(has_coupler);
+}
+
+TEST(Pulse, BarrierSynchronizesAllQubits) {
+  sim::Circuit c(2, 0);
+  c.sx(0);
+  c.sx(0);  // qubit 0 to 70 ns
+  c.barrier();
+  c.sx(1);  // starts at 70 despite qubit 1 being free
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 105.0);
+}
+
+TEST(Pulse, MeasurementOnMChannel) {
+  sim::Circuit c(1, 1);
+  c.sx(0);
+  c.measure(0, 0);
+  const pulse::PulseSchedule schedule = pulse::lower_to_pulse(c, default_pulse());
+  EXPECT_DOUBLE_EQ(schedule.total_duration_ns, 1035.0);
+  EXPECT_EQ(schedule.instructions.back().channel, "m0");
+}
+
+TEST(Pulse, PolicyDurationsRespected) {
+  core::PulsePolicy fast;
+  fast.enabled = true;
+  fast.sx_duration_ns = 10.0;
+  fast.cx_duration_ns = 100.0;
+  sim::Circuit c(2, 0);
+  c.sx(0);
+  c.cx(0, 1);
+  EXPECT_DOUBLE_EQ(pulse::lower_to_pulse(c, fast).total_duration_ns, 110.0);
+}
+
+TEST(Pulse, RejectsUntranspiledWideGates) {
+  sim::Circuit c(3, 0);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW(pulse::lower_to_pulse(c, default_pulse()), LoweringError);
+}
+
+TEST(Pulse, ScheduleJsonShape) {
+  sim::Circuit c(1, 0);
+  c.sx(0);
+  const json::Value doc = pulse::lower_to_pulse(c, default_pulse()).to_json();
+  EXPECT_TRUE(doc.contains("instructions"));
+  EXPECT_DOUBLE_EQ(doc.get_double("total_duration_ns", 0.0), 35.0);
+  EXPECT_EQ(doc.get_int("num_channels", 0), 1);
+}
+
+// --- comm ---------------------------------------------------------------------
+
+core::CommPolicy two_qpus(bool teleport = true) {
+  core::CommPolicy policy;
+  policy.allow_teleportation = teleport;
+  policy.qpus = json::parse(R"([{"name":"left","qubits":2},{"name":"right","qubits":2}])");
+  policy.epr_fidelity = 0.9;
+  return policy;
+}
+
+TEST(Comm, ParsesQpuSpecs) {
+  const auto qpus = comm::qpus_from_policy(two_qpus());
+  ASSERT_EQ(qpus.size(), 2u);
+  EXPECT_EQ(qpus[0].name, "left");
+  EXPECT_EQ(qpus[1].qubits, 2);
+}
+
+TEST(Comm, KeepsInteractingQubitsTogether) {
+  // Two independent Bell pairs: a good partition has zero non-local gates.
+  sim::Circuit c(4, 0);
+  c.h(0);
+  c.cx(0, 1);
+  c.h(2);
+  c.cx(2, 3);
+  const auto plan = comm::partition_circuit(c, comm::qpus_from_policy(two_qpus()), two_qpus());
+  EXPECT_EQ(plan.nonlocal_2q, 0);
+  EXPECT_EQ(plan.epr_pairs, 0);
+  EXPECT_DOUBLE_EQ(plan.estimated_fidelity, 1.0);
+  EXPECT_EQ(plan.qpu_of_qubit[0], plan.qpu_of_qubit[1]);
+  EXPECT_EQ(plan.qpu_of_qubit[2], plan.qpu_of_qubit[3]);
+}
+
+TEST(Comm, PricesUnavoidableCuts) {
+  // A 4-qubit ring on two 2-qubit QPUs must cut at least two edges.
+  sim::Circuit c(4, 0);
+  for (int i = 0; i < 4; ++i) c.cx(i, (i + 1) % 4);
+  const auto plan = comm::partition_circuit(c, comm::qpus_from_policy(two_qpus()), two_qpus());
+  EXPECT_GE(plan.nonlocal_2q, 2);
+  EXPECT_EQ(plan.epr_pairs, plan.nonlocal_2q);
+  EXPECT_EQ(plan.classical_bits, 2 * plan.nonlocal_2q);
+  EXPECT_LT(plan.estimated_fidelity, 1.0);
+}
+
+TEST(Comm, CapacityChecks) {
+  sim::Circuit c(6, 0);
+  c.h(0);
+  EXPECT_THROW(comm::partition_circuit(c, comm::qpus_from_policy(two_qpus()), two_qpus()),
+               BackendError);
+}
+
+TEST(Comm, TeleportationDisabledForcesSingleQpu) {
+  sim::Circuit c(4, 0);
+  for (int i = 0; i < 4; ++i) c.cx(i, (i + 1) % 4);
+  const auto policy = two_qpus(/*teleport=*/false);
+  EXPECT_THROW(comm::partition_circuit(c, comm::qpus_from_policy(policy), policy), BackendError);
+}
+
+TEST(Comm, PlanJsonShape) {
+  sim::Circuit c(4, 0);
+  c.cx(0, 1);
+  const auto plan = comm::partition_circuit(c, comm::qpus_from_policy(two_qpus()), two_qpus());
+  const json::Value doc = plan.to_json();
+  EXPECT_EQ(doc.at("qpu_of_qubit").size(), 4u);
+  EXPECT_TRUE(doc.contains("epr_pairs"));
+  EXPECT_TRUE(doc.contains("estimated_fidelity"));
+}
+
+}  // namespace
+}  // namespace quml

@@ -1,0 +1,233 @@
+// Unit + property tests for Quantum Data Type descriptors: every encoding's
+// decode/encode pair, bit-order handling, JSON round trips, semantic
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "core/qdt.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+namespace {
+
+QuantumDataType uint_reg(unsigned width, BitOrder order = BitOrder::Lsb0) {
+  QuantumDataType q;
+  q.id = "x";
+  q.width = width;
+  q.encoding = EncodingKind::UintRegister;
+  q.bit_order = order;
+  return q;
+}
+
+TEST(Qdt, UintDecodeLsb0) {
+  const QuantumDataType q = uint_reg(4);
+  EXPECT_EQ(q.decode(0b0110).uint_value, 6u);
+  EXPECT_EQ(q.decode(0b0001).uint_value, 1u);  // carrier 0 has weight 1
+}
+
+TEST(Qdt, UintDecodeMsb0) {
+  const QuantumDataType q = uint_reg(4, BitOrder::Msb0);
+  // Carrier 0 is the most significant bit.
+  EXPECT_EQ(q.decode(0b0001).uint_value, 8u);
+  EXPECT_EQ(q.decode(0b1000).uint_value, 1u);
+}
+
+TEST(Qdt, IntDecodeTwosComplement) {
+  QuantumDataType q = uint_reg(4);
+  q.encoding = EncodingKind::IntRegister;
+  q.semantics = MeasurementSemantics::AsInt;
+  EXPECT_EQ(q.decode(0b0111).int_value, 7);
+  EXPECT_EQ(q.decode(0b1000).int_value, -8);
+  EXPECT_EQ(q.decode(0b1111).int_value, -1);
+}
+
+TEST(Qdt, BoolDecode) {
+  QuantumDataType q = uint_reg(3);
+  q.encoding = EncodingKind::BoolRegister;
+  q.semantics = MeasurementSemantics::AsBool;
+  const TypedValue v = q.decode(0b101);
+  ASSERT_EQ(v.bools.size(), 3u);
+  EXPECT_TRUE(v.bools[0]);
+  EXPECT_FALSE(v.bools[1]);
+  EXPECT_TRUE(v.bools[2]);
+}
+
+TEST(Qdt, PhaseDecodeUsesScale) {
+  QuantumDataType q;
+  q.id = "reg_phase";
+  q.width = 10;
+  q.encoding = EncodingKind::PhaseRegister;
+  q.phase_scale = Rational(1, 1024);
+  // |512> decodes to half a turn.
+  EXPECT_DOUBLE_EQ(q.decode(512).real_value, 0.5);
+  EXPECT_DOUBLE_EQ(q.decode(0).real_value, 0.0);
+  EXPECT_DOUBLE_EQ(q.decode(256).real_value, 0.25);
+}
+
+TEST(Qdt, PhaseDefaultScaleIsOneOverDim) {
+  QuantumDataType q;
+  q.id = "p";
+  q.width = 4;
+  q.encoding = EncodingKind::PhaseRegister;
+  EXPECT_EQ(q.effective_phase_scale(), Rational(1, 16));
+}
+
+TEST(Qdt, SpinDecode) {
+  QuantumDataType q;
+  q.id = "s";
+  q.width = 4;
+  q.encoding = EncodingKind::IsingSpin;
+  q.semantics = MeasurementSemantics::AsSpin;
+  // readout 0 -> +1, readout 1 -> -1.
+  const TypedValue v = q.decode(0b1010);
+  EXPECT_EQ(v.spins, (std::vector<int>{1, -1, 1, -1}));
+}
+
+TEST(Qdt, IsingSpinDefaultsToBoolReadout) {
+  QuantumDataType q;
+  q.id = "ising_vars";
+  q.width = 4;
+  q.encoding = EncodingKind::IsingSpin;
+  // The paper's Max-Cut register reads out as {0,1} labels (AS_BOOL).
+  EXPECT_EQ(q.effective_semantics(), MeasurementSemantics::AsBool);
+}
+
+TEST(Qdt, FixedPointDecode) {
+  QuantumDataType q;
+  q.id = "f";
+  q.width = 6;
+  q.encoding = EncodingKind::FixedPointRegister;
+  q.semantics = MeasurementSemantics::AsFixedPoint;
+  q.fraction_bits = 2;
+  EXPECT_DOUBLE_EQ(q.decode(0b000110).real_value, 1.5);  // 6 / 4
+}
+
+TEST(Qdt, DecodeBitstringUsesMsbFirstKeys) {
+  const QuantumDataType q = uint_reg(4);
+  // "0110" = carriers (3,2,1,0) = (0,1,1,0) -> basis 0b0110 -> 6.
+  EXPECT_EQ(q.decode_bitstring("0110").uint_value, 6u);
+  EXPECT_THROW(q.decode_bitstring("011"), ValidationError);
+}
+
+class QdtEncodeDecodeRoundTrip : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(QdtEncodeDecodeRoundTrip, UintIsInverse) {
+  const auto [width, order] = GetParam();
+  const QuantumDataType q = uint_reg(width, order ? BitOrder::Msb0 : BitOrder::Lsb0);
+  for (std::uint64_t basis = 0; basis < (1ull << width); ++basis)
+    EXPECT_EQ(q.encode(q.decode(basis)), basis);
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthsAndOrders, QdtEncodeDecodeRoundTrip,
+                         ::testing::Combine(::testing::Values(1u, 3u, 4u, 8u),
+                                            ::testing::Values(0, 1)));
+
+TEST(Qdt, EncodePhase) {
+  QuantumDataType q;
+  q.id = "p";
+  q.width = 10;
+  q.encoding = EncodingKind::PhaseRegister;
+  q.phase_scale = Rational(1, 1024);
+  EXPECT_EQ(q.encode(TypedValue::from_phase(0.5)), 512u);
+  EXPECT_THROW(q.encode(TypedValue::from_phase(0.0001)), ValidationError);  // off-grid
+  EXPECT_THROW(q.encode(TypedValue::from_phase(2.0)), ValidationError);     // out of range
+}
+
+TEST(Qdt, EncodeSpinsAndBools) {
+  QuantumDataType q;
+  q.id = "s";
+  q.width = 4;
+  q.encoding = EncodingKind::IsingSpin;
+  EXPECT_EQ(q.encode(TypedValue::from_spins({1, -1, 1, -1})), 0b1010u);
+  QuantumDataType b = uint_reg(3);
+  b.encoding = EncodingKind::BoolRegister;
+  EXPECT_EQ(b.encode(TypedValue::from_bools({true, false, true})), 0b101u);
+  EXPECT_THROW(q.encode(TypedValue::from_spins({1, -1})), ValidationError);  // width mismatch
+}
+
+TEST(Qdt, EncodeRangeChecks) {
+  const QuantumDataType q = uint_reg(4);
+  EXPECT_THROW(q.encode(TypedValue::from_uint(16)), ValidationError);
+  QuantumDataType si = uint_reg(4);
+  si.encoding = EncodingKind::IntRegister;
+  EXPECT_EQ(si.decode(si.encode(TypedValue::from_int(-3))).uint_value, 0u);  // kind differs
+  EXPECT_THROW(si.encode(TypedValue::from_int(8)), ValidationError);
+  EXPECT_THROW(si.encode(TypedValue::from_int(-9)), ValidationError);
+}
+
+TEST(Qdt, SpinValuesValidated) {
+  EXPECT_THROW(TypedValue::from_spins({1, 0}), ValidationError);
+}
+
+TEST(Qdt, ValidateRejectsInconsistencies) {
+  QuantumDataType q = uint_reg(4);
+  q.phase_scale = Rational(1, 16);  // phase_scale on a UINT register
+  EXPECT_THROW(q.validate(), ValidationError);
+
+  QuantumDataType w = uint_reg(4);
+  w.width = 0;
+  EXPECT_THROW(w.validate(), ValidationError);
+
+  QuantumDataType f = uint_reg(4);
+  f.encoding = EncodingKind::FixedPointRegister;
+  f.fraction_bits = 9;  // more fraction bits than width
+  EXPECT_THROW(f.validate(), ValidationError);
+
+  QuantumDataType e = uint_reg(4);
+  e.id = "";
+  EXPECT_THROW(e.validate(), ValidationError);
+}
+
+TEST(Qdt, JsonRoundTripPaperListing2) {
+  const json::Value doc = json::parse(R"({
+    "$schema": "qdt-core.schema.json",
+    "id": "reg_phase",
+    "name": "phase",
+    "width": 10,
+    "encoding_kind": "PHASE_REGISTER",
+    "bit_order": "LSB_0",
+    "measurement_semantics": "AS_PHASE",
+    "phase_scale": "1/1024"
+  })");
+  const QuantumDataType q = QuantumDataType::from_json(doc);
+  EXPECT_EQ(q.id, "reg_phase");
+  EXPECT_EQ(q.width, 10u);
+  EXPECT_EQ(q.encoding, EncodingKind::PhaseRegister);
+  EXPECT_EQ(q.effective_phase_scale(), Rational(1, 1024));
+  // to_json -> from_json is the identity on the descriptor.
+  EXPECT_EQ(QuantumDataType::from_json(q.to_json()), q);
+  // And the emitted JSON carries the schema name.
+  EXPECT_EQ(q.to_json().get_string("$schema", ""), "qdt-core.schema.json");
+}
+
+TEST(Qdt, FromJsonRejectsSchemaViolations) {
+  EXPECT_THROW(QuantumDataType::from_json(json::parse(R"({"id": "x"})")), SchemaError);
+  EXPECT_THROW(QuantumDataType::from_json(json::parse(
+                   R"({"id": "x", "width": 4, "encoding_kind": "UINT_REGISTER", "bogus": 1})")),
+               SchemaError);
+}
+
+TEST(Qdt, EnumStringsRoundTrip) {
+  for (const auto k :
+       {EncodingKind::UintRegister, EncodingKind::IntRegister, EncodingKind::BoolRegister,
+        EncodingKind::PhaseRegister, EncodingKind::IsingSpin, EncodingKind::FixedPointRegister})
+    EXPECT_EQ(encoding_kind_from_string(to_string(k)), k);
+  for (const auto s : {MeasurementSemantics::AsUint, MeasurementSemantics::AsInt,
+                       MeasurementSemantics::AsBool, MeasurementSemantics::AsPhase,
+                       MeasurementSemantics::AsSpin, MeasurementSemantics::AsFixedPoint})
+    EXPECT_EQ(semantics_from_string(to_string(s)), s);
+  EXPECT_THROW(encoding_kind_from_string("NOPE"), ValidationError);
+  EXPECT_THROW(semantics_from_string("AS_NOPE"), ValidationError);
+  EXPECT_THROW(bit_order_from_string("MIDDLE_OUT"), ValidationError);
+}
+
+TEST(Qdt, TypedValueStrings) {
+  EXPECT_EQ(TypedValue::from_uint(7).str(), "7");
+  EXPECT_EQ(TypedValue::from_int(-3).str(), "-3");
+  EXPECT_EQ(TypedValue::from_bools({true, false}).str(), "10");
+  EXPECT_EQ(TypedValue::from_spins({1, -1}).str(), "+-");
+  EXPECT_EQ(TypedValue::from_phase(0.5).str(), "0.5 turn");
+}
+
+}  // namespace
+}  // namespace quml::core

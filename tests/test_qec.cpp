@@ -1,0 +1,182 @@
+// Tests for the QEC context service: surface-code resource model, distance
+// selection, patch allocation, logical gate-set checks, and the
+// repetition-code Monte Carlo that validates exponential error suppression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qec/repetition.hpp"
+#include "qec/surface.hpp"
+#include "util/errors.hpp"
+
+namespace quml::qec {
+namespace {
+
+TEST(SurfaceModel, PhysicalQubitsPerPatch) {
+  EXPECT_EQ(SurfaceCodeModel::physical_qubits_per_patch(3), 17);
+  EXPECT_EQ(SurfaceCodeModel::physical_qubits_per_patch(7), 97);   // paper Listing 5 distance
+  EXPECT_EQ(SurfaceCodeModel::physical_qubits_per_patch(11), 241);
+  EXPECT_THROW(SurfaceCodeModel::physical_qubits_per_patch(4), ValidationError);
+  EXPECT_THROW(SurfaceCodeModel::physical_qubits_per_patch(1), ValidationError);
+}
+
+TEST(SurfaceModel, LogicalErrorDecreasesWithDistance) {
+  const SurfaceCodeModel model;
+  const double p = 1e-3;
+  double previous = 1.0;
+  for (int d = 3; d <= 13; d += 2) {
+    const double rate = model.logical_error_per_round(p, d);
+    EXPECT_LT(rate, previous);
+    previous = rate;
+  }
+}
+
+TEST(SurfaceModel, SuppressionFactorIsPOverPth) {
+  const SurfaceCodeModel model;
+  const double p = 1.1e-3;  // p/p_th = 0.1
+  // Each distance step of 2 multiplies the exponent by one: ratio = 0.1.
+  const double r3 = model.logical_error_per_round(p, 3);
+  const double r5 = model.logical_error_per_round(p, 5);
+  EXPECT_NEAR(r5 / r3, 0.1, 1e-9);
+}
+
+TEST(SurfaceModel, ChooseDistanceMeetsBudget) {
+  const SurfaceCodeModel model;
+  const int d = model.choose_distance(1e-3, 1000, 4, 1e-9);
+  EXPECT_GE(d, 3);
+  EXPECT_EQ(d % 2, 1);
+  EXPECT_LT(model.logical_error_per_round(1e-3, d) * 1000 * 4, 1e-9);
+  // The next smaller distance must NOT meet the budget (minimality).
+  if (d > 3) {
+    EXPECT_GE(model.logical_error_per_round(1e-3, d - 2) * 1000 * 4, 1e-9);
+  }
+}
+
+TEST(SurfaceModel, AboveThresholdRejected) {
+  const SurfaceCodeModel model;
+  EXPECT_THROW(model.choose_distance(0.02, 100, 1, 1e-6), BackendError);
+}
+
+TEST(PatchAllocation, LinearAndGridLayouts) {
+  const PatchLayout linear = allocate_patches(4, 3, "linear");
+  EXPECT_EQ(linear.rows, 1);
+  EXPECT_EQ(linear.cols, 4);
+  EXPECT_EQ(linear.total_physical_qubits, 4 * 17);  // no routing lanes, one row
+
+  const PatchLayout grid = allocate_patches(9, 3, "auto");
+  EXPECT_EQ(grid.rows, 3);
+  EXPECT_EQ(grid.cols, 3);
+  EXPECT_GT(grid.total_physical_qubits, 9 * 17);  // lanes between rows
+  EXPECT_EQ(grid.patch_origin.size(), 9u);
+  EXPECT_THROW(allocate_patches(4, 3, "hilbert"), ValidationError);
+  EXPECT_THROW(allocate_patches(0, 3, "auto"), ValidationError);
+}
+
+TEST(ResourceEstimate, PaperListing5Policy) {
+  // surface, distance 7, allocator auto on a 4-qubit logical program.
+  core::QecPolicy policy;
+  policy.code_family = "surface";
+  policy.distance = 7;
+  policy.allocator = "auto";
+  policy.physical_error_rate = 1e-3;
+  std::map<std::string, std::int64_t> gates{{"h", 4}, {"cx", 8}, {"measure", 4}};
+  const QecResourceEstimate est = estimate_resources(policy, 4, 10, gates);
+  EXPECT_EQ(est.distance, 7);
+  EXPECT_EQ(est.patches, 4);
+  EXPECT_EQ(est.syndrome_rounds, 70);  // depth 10 * distance 7
+  EXPECT_GE(est.physical_qubits, 4 * 97);
+  EXPECT_EQ(est.t_count, 0);  // Clifford-only program needs no magic states
+  EXPECT_EQ(est.t_factory_qubits, 0);
+  EXPECT_GT(est.runtime_us, 0.0);
+  EXPECT_GT(est.logical_error_per_round, 0.0);
+  EXPECT_LT(est.total_failure_probability, 1.0);
+}
+
+TEST(ResourceEstimate, RotationsPricedInTGates) {
+  core::QecPolicy policy;
+  policy.distance = 7;
+  std::map<std::string, std::int64_t> gates{{"rz", 3}, {"t", 2}};
+  const QecResourceEstimate est = estimate_resources(policy, 2, 5, gates);
+  EXPECT_EQ(est.t_count, 3 * 100 + 2);
+  EXPECT_GT(est.t_factory_qubits, 0);
+}
+
+TEST(ResourceEstimate, TargetRateOverridesDistance) {
+  core::QecPolicy policy;
+  policy.distance = 3;
+  policy.physical_error_rate = 1e-3;
+  policy.target_logical_error_rate = 1e-12;
+  const QecResourceEstimate est =
+      estimate_resources(policy, 2, 100, {{"h", 2}, {"cx", 1}});
+  EXPECT_GT(est.distance, 3);  // d=3 cannot reach 1e-12 over 100 rounds
+}
+
+TEST(ResourceEstimate, UnsupportedFamilyRejected) {
+  core::QecPolicy policy;
+  policy.code_family = "color";
+  EXPECT_THROW(estimate_resources(policy, 1, 1, {}), BackendError);
+}
+
+TEST(LogicalGateSet, PaperListing5SetAcceptsClifford) {
+  core::QecPolicy policy;
+  policy.logical_gate_set = {"H", "S", "CNOT", "T", "MEASURE_Z"};
+  EXPECT_NO_THROW(check_logical_gate_set(
+      policy, {{"h", 4}, {"s", 2}, {"cx", 8}, {"t", 1}, {"rz", 3}, {"measure", 4}, {"x", 2}}));
+}
+
+TEST(LogicalGateSet, RejectsOutsideGates) {
+  core::QecPolicy policy;
+  policy.logical_gate_set = {"H", "CNOT", "MEASURE_Z"};  // no T
+  EXPECT_THROW(check_logical_gate_set(policy, {{"t", 1}}), BackendError);
+  EXPECT_THROW(check_logical_gate_set(policy, {{"rz", 1}}), BackendError);
+}
+
+TEST(LogicalGateSet, EmptySetIsUnrestricted) {
+  core::QecPolicy policy;
+  EXPECT_NO_THROW(check_logical_gate_set(policy, {{"t", 100}}));
+}
+
+TEST(Repetition, AnalyticKnownValues) {
+  // d=3, p=0.1: P(>=2 flips) = 3*0.01*0.9 + 0.001 = 0.028.
+  EXPECT_NEAR(repetition_logical_error_analytic(3, 0.1), 0.028, 1e-12);
+  // d=1 is just p.
+  EXPECT_NEAR(repetition_logical_error_analytic(1, 0.3), 0.3, 1e-12);
+  // p=0 never fails; p=1 always fails.
+  EXPECT_DOUBLE_EQ(repetition_logical_error_analytic(5, 0.0), 0.0);
+  EXPECT_NEAR(repetition_logical_error_analytic(5, 1.0), 1.0, 1e-9);
+}
+
+TEST(Repetition, MonteCarloMatchesAnalytic) {
+  for (const int d : {3, 5, 7}) {
+    const double analytic = repetition_logical_error_analytic(d, 0.2);
+    const double mc = repetition_logical_error_mc(d, 0.2, 200000, 42);
+    EXPECT_NEAR(mc, analytic, 0.005) << "d=" << d;
+  }
+}
+
+TEST(Repetition, ExponentialSuppressionBelowHalf) {
+  // The property the surface model assumes: below threshold (p < 1/2 here),
+  // error falls multiplicatively with distance.
+  const double p = 0.05;
+  double previous = 1.0;
+  for (const int d : {3, 5, 7, 9}) {
+    const double rate = repetition_logical_error_analytic(d, p);
+    EXPECT_LT(rate, previous * 0.5);
+    previous = rate;
+  }
+}
+
+TEST(Repetition, MonteCarloDeterministicInSeed) {
+  EXPECT_DOUBLE_EQ(repetition_logical_error_mc(5, 0.1, 10000, 7),
+                   repetition_logical_error_mc(5, 0.1, 10000, 7));
+}
+
+TEST(Repetition, Validation) {
+  EXPECT_THROW(repetition_logical_error_analytic(2, 0.1), ValidationError);
+  EXPECT_THROW(repetition_logical_error_analytic(3, 1.5), ValidationError);
+  EXPECT_THROW(repetition_logical_error_mc(3, 0.1, 0, 1), ValidationError);
+}
+
+}  // namespace
+}  // namespace quml::qec

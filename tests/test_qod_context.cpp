@@ -1,0 +1,227 @@
+// Unit tests for operator descriptors (cost hints, result schemas, clbit
+// references) and context descriptors (exec/target/qec/anneal blocks, the
+// paper's "contexts" wrapper alias).
+
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+#include "core/qod.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+namespace {
+
+TEST(CostHint, AccumulationRules) {
+  CostHint a;
+  a.oneq = 10;
+  a.twoq = 45;
+  a.depth = 100;
+  a.ancillas = 2;
+  CostHint b;
+  b.twoq = 5;
+  b.depth = 10;
+  b.ancillas = 1;
+  b.duration_us = 3.5;
+  a += b;
+  EXPECT_EQ(*a.oneq, 10);
+  EXPECT_EQ(*a.twoq, 50);
+  EXPECT_EQ(*a.depth, 110);
+  EXPECT_EQ(*a.ancillas, 2);  // max, not sum: scratch is reusable
+  EXPECT_DOUBLE_EQ(*a.duration_us, 3.5);
+}
+
+TEST(CostHint, EmptyAndJson) {
+  CostHint h;
+  EXPECT_TRUE(h.empty());
+  h.twoq = 45;
+  h.depth = 100;
+  EXPECT_FALSE(h.empty());
+  const CostHint back = CostHint::from_json(h.to_json());
+  EXPECT_EQ(*back.twoq, 45);
+  EXPECT_EQ(*back.depth, 100);
+  EXPECT_FALSE(back.oneq.has_value());
+}
+
+TEST(ClbitRef, ParseAndFormat) {
+  const ClbitRef ref = ClbitRef::parse("reg_phase[7]");
+  EXPECT_EQ(ref.reg, "reg_phase");
+  EXPECT_EQ(ref.index, 7u);
+  EXPECT_EQ(ref.str(), "reg_phase[7]");
+}
+
+TEST(ClbitRef, ParseRejectsMalformed) {
+  EXPECT_THROW(ClbitRef::parse("reg_phase"), ValidationError);
+  EXPECT_THROW(ClbitRef::parse("[3]"), ValidationError);
+  EXPECT_THROW(ClbitRef::parse("r[]"), ValidationError);
+  EXPECT_THROW(ClbitRef::parse("r[x]"), ValidationError);
+}
+
+TEST(ResultSchema, JsonRoundTrip) {
+  ResultSchema rs;
+  rs.basis = Basis::Z;
+  rs.datatype = MeasurementSemantics::AsPhase;
+  rs.bit_significance = BitOrder::Lsb0;
+  for (unsigned i = 0; i < 3; ++i) rs.clbit_order.push_back({"reg_phase", i});
+  const ResultSchema back = ResultSchema::from_json(rs.to_json());
+  EXPECT_EQ(back.basis, Basis::Z);
+  EXPECT_EQ(back.datatype, MeasurementSemantics::AsPhase);
+  ASSERT_EQ(back.clbit_order.size(), 3u);
+  EXPECT_EQ(back.clbit_order[2], (ClbitRef{"reg_phase", 2}));
+}
+
+TEST(OperatorDescriptor, PaperListing3RoundTrip) {
+  const json::Value doc = json::parse(R"({
+    "$schema": "qod.schema.json",
+    "name": "QFT",
+    "rep_kind": "QFT_TEMPLATE",
+    "domain_qdt": "reg_phase",
+    "codomain_qdt": "reg_phase",
+    "params": {"approx_degree": 0, "do_swaps": true, "inverse": false},
+    "cost_hint": {"twoq": 45, "depth": 100},
+    "result_schema": {"basis": "Z", "datatype": "AS_PHASE", "bit_significance": "LSB_0",
+                      "clbit_order": ["reg_phase[0]", "reg_phase[1]"]}
+  })");
+  const OperatorDescriptor op = OperatorDescriptor::from_json(doc);
+  EXPECT_EQ(op.rep_kind, "QFT_TEMPLATE");
+  EXPECT_TRUE(op.in_place());
+  EXPECT_EQ(op.param_int("approx_degree", -1), 0);
+  EXPECT_TRUE(op.param_bool("do_swaps", false));
+  EXPECT_FALSE(op.param_bool("inverse", true));
+  EXPECT_EQ(*op.cost_hint->twoq, 45);
+  EXPECT_EQ(OperatorDescriptor::from_json(op.to_json()), op);
+}
+
+TEST(OperatorDescriptor, ParamAccessorsWithDefaults) {
+  OperatorDescriptor op;
+  op.rep_kind = "X";
+  op.params.set("gamma", json::Value(0.5));
+  EXPECT_DOUBLE_EQ(op.param_double("gamma", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(op.param_double("missing", -1.0), -1.0);
+  EXPECT_EQ(op.param_int("missing", 9), 9);
+}
+
+TEST(OperatorDescriptor, InPlaceDetection) {
+  OperatorDescriptor op;
+  op.domain_qdt = "a";
+  EXPECT_TRUE(op.in_place());  // empty codomain
+  op.codomain_qdt = "a";
+  EXPECT_TRUE(op.in_place());
+  op.codomain_qdt = "b";
+  EXPECT_FALSE(op.in_place());
+}
+
+TEST(Context, PaperListing4RoundTrip) {
+  const json::Value doc = json::parse(R"({
+    "$schema": "ctx.schema.json",
+    "exec": {
+      "engine": "gate.aer_simulator",
+      "samples": 4096,
+      "seed": 42,
+      "target": {
+        "basis_gates": ["sx", "rz", "cx"],
+        "coupling_map": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9]]
+      },
+      "options": {"optimization_level": 2}
+    }
+  })");
+  const Context ctx = Context::from_json(doc);
+  EXPECT_EQ(ctx.exec.engine, "gate.aer_simulator");
+  EXPECT_EQ(ctx.exec.samples, 4096);
+  EXPECT_EQ(ctx.exec.seed, 42u);
+  EXPECT_EQ(ctx.exec.target.basis_gates.size(), 3u);
+  EXPECT_EQ(ctx.exec.target.coupling_map.size(), 9u);
+  EXPECT_FALSE(ctx.exec.target.all_to_all());
+  EXPECT_EQ(ctx.exec.optimization_level(), 2);
+  const Context back = Context::from_json(ctx.to_json());
+  EXPECT_EQ(back.to_json(), ctx.to_json());
+}
+
+TEST(Context, OmittedTargetIsAllToAll) {
+  const Context ctx = Context::from_json(
+      json::parse(R"({"exec": {"engine": "gate.aer_simulator"}})"));
+  EXPECT_TRUE(ctx.exec.target.all_to_all());
+  EXPECT_TRUE(ctx.exec.target.empty());
+}
+
+TEST(Context, PaperListing5QecBlock) {
+  const Context ctx = Context::from_json(json::parse(R"({
+    "exec": {"engine": "gate.aer_simulator"},
+    "qec": {"code_family": "surface", "distance": 7, "allocator": "auto",
+            "logical_gate_set": ["H", "S", "CNOT", "T", "MEASURE_Z"]}
+  })"));
+  ASSERT_TRUE(ctx.qec.has_value());
+  EXPECT_EQ(ctx.qec->code_family, "surface");
+  EXPECT_EQ(ctx.qec->distance, 7);
+  EXPECT_EQ(ctx.qec->allocator, "auto");
+  EXPECT_EQ(ctx.qec->logical_gate_set.size(), 5u);
+}
+
+TEST(Context, PaperContextsWrapperAliasForAnneal) {
+  // Paper §5: the annealer artifact nests blocks under "contexts".
+  const Context ctx = Context::from_json(json::parse(R"({
+    "exec": {"engine": "anneal.neal_simulator"},
+    "contexts": {"anneal": {"num_reads": 1000}}
+  })"));
+  ASSERT_TRUE(ctx.anneal.has_value());
+  EXPECT_EQ(ctx.anneal->num_reads, 1000);
+}
+
+TEST(Context, AnnealDefaults) {
+  const AnnealPolicy p;
+  EXPECT_EQ(p.num_reads, 1000);
+  EXPECT_EQ(p.num_sweeps, 1000);
+  EXPECT_EQ(p.schedule, "geometric");
+  EXPECT_FALSE(p.beta_min.has_value());
+}
+
+TEST(Context, MidCircuitOptIn) {
+  Context ctx;
+  EXPECT_FALSE(ctx.allows_mid_circuit_measurement());
+  ctx.exec.options.set("allow_mid_circuit_measurement", json::Value(true));
+  EXPECT_TRUE(ctx.allows_mid_circuit_measurement());
+}
+
+TEST(Context, RejectsSchemaViolations) {
+  EXPECT_THROW(Context::from_json(json::parse(R"({"exec": {"samples": 0}})")), SchemaError);
+  EXPECT_THROW(Context::from_json(json::parse(R"({"exec": {"engine": ""}})")), SchemaError);
+  EXPECT_THROW(Context::from_json(json::parse(R"({"anneal": {"num_reads": -5}})")), SchemaError);
+}
+
+TEST(Context, PulseAndCommBlocks) {
+  const Context ctx = Context::from_json(json::parse(R"({
+    "exec": {"engine": "gate.aer_simulator"},
+    "pulse": {"enabled": true, "cx_duration_ns": 250},
+    "comm": {"allow_teleportation": true,
+             "qpus": [{"name": "left", "qubits": 3}, {"name": "right", "qubits": 3}],
+             "epr_fidelity": 0.97}
+  })"));
+  ASSERT_TRUE(ctx.pulse.has_value());
+  EXPECT_TRUE(ctx.pulse->enabled);
+  EXPECT_DOUBLE_EQ(ctx.pulse->cx_duration_ns, 250.0);
+  ASSERT_TRUE(ctx.comm.has_value());
+  EXPECT_TRUE(ctx.comm->allow_teleportation);
+  EXPECT_EQ(ctx.comm->qpus.size(), 2u);
+  EXPECT_DOUBLE_EQ(ctx.comm->epr_fidelity, 0.97);
+}
+
+TEST(Context, SwappingContextKeepsIntentArtifactsUntouched) {
+  // The portability core claim at descriptor level: two contexts, same
+  // operator JSON byte-for-byte.
+  OperatorDescriptor op;
+  op.name = "QFT";
+  op.rep_kind = "QFT_TEMPLATE";
+  op.domain_qdt = "reg_phase";
+  const json::Value before = op.to_json();
+
+  Context gate_ctx;
+  gate_ctx.exec.engine = "gate.statevector_simulator";
+  Context anneal_ctx;
+  anneal_ctx.exec.engine = "anneal.simulated_annealer";
+  anneal_ctx.anneal = AnnealPolicy{};
+
+  EXPECT_EQ(op.to_json(), before);
+  EXPECT_NE(gate_ctx.to_json(), anneal_ctx.to_json());
+}
+
+}  // namespace
+}  // namespace quml::core

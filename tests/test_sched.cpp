@@ -1,0 +1,201 @@
+// Tests for the cost-hint scheduler: feasibility, duration/fidelity
+// estimation from descriptor metadata alone, backend choice, and the
+// queue-simulation comparison of hint-aware vs hint-blind policies.
+
+#include <gtest/gtest.h>
+
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "sched/scheduler.hpp"
+#include "util/errors.hpp"
+
+namespace quml::sched {
+namespace {
+
+using algolib::Graph;
+
+BackendCapability gate_device(const std::string& name = "gate.sim", int qubits = 20) {
+  BackendCapability cap;
+  cap.name = name;
+  cap.kind = "gate";
+  cap.num_qubits = qubits;
+  return cap;
+}
+
+BackendCapability anneal_device(const std::string& name = "anneal.sim", int qubits = 64) {
+  BackendCapability cap;
+  cap.name = name;
+  cap.kind = "anneal";
+  cap.num_qubits = qubits;
+  return cap;
+}
+
+core::JobBundle qaoa_bundle(int n = 4, std::int64_t samples = 1024) {
+  const auto reg = algolib::make_ising_register("s", static_cast<unsigned>(n));
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = samples;
+  return core::JobBundle::package(
+      std::move(regs), algolib::qaoa_sequence(reg, Graph::cycle(n), algolib::ring_p1_angles()),
+      ctx, "qaoa-job");
+}
+
+core::JobBundle ising_bundle(int n = 4) {
+  const auto reg = algolib::make_ising_register("s", static_cast<unsigned>(n));
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::maxcut_ising_descriptor(reg, Graph::cycle(n)));
+  core::Context ctx;
+  ctx.exec.engine = "anneal.simulated_annealer";
+  ctx.exec.samples = 1000;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "ising-job");
+}
+
+core::JobBundle qft_bundle(unsigned width) {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 1024;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                  "qft-" + std::to_string(width));
+}
+
+TEST(Estimate, WidthFeasibility) {
+  const JobEstimate est = estimate(qft_bundle(10), gate_device("small", 8));
+  EXPECT_FALSE(est.feasible);
+  EXPECT_NE(est.reason.find("qubits"), std::string::npos);
+  EXPECT_TRUE(estimate(qft_bundle(10), gate_device("big", 16)).feasible);
+}
+
+TEST(Estimate, FormulationMatchesKind) {
+  EXPECT_FALSE(estimate(ising_bundle(), gate_device()).feasible);
+  EXPECT_FALSE(estimate(qaoa_bundle(), anneal_device()).feasible);
+  EXPECT_TRUE(estimate(ising_bundle(), anneal_device()).feasible);
+  EXPECT_TRUE(estimate(qaoa_bundle(), gate_device()).feasible);
+}
+
+TEST(Estimate, DurationScalesWithCostHints) {
+  // A 12-qubit QFT (66 CPs, depth hint 144) must cost more than a 4-qubit
+  // one (6 CPs, depth 16) on the same device.
+  const double small = estimate(qft_bundle(4), gate_device()).duration_us;
+  const double large = estimate(qft_bundle(12), gate_device()).duration_us;
+  EXPECT_GT(large, small);
+}
+
+TEST(Estimate, SuccessDecreasesWithGateCount) {
+  const double small = estimate(qft_bundle(4), gate_device()).success_prob;
+  const double large = estimate(qft_bundle(12), gate_device()).success_prob;
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LE(small, 1.0);
+}
+
+TEST(Estimate, QueueWaitAdds) {
+  BackendCapability busy = gate_device();
+  busy.queue_wait_us = 1e6;
+  EXPECT_GT(estimate(qaoa_bundle(), busy).duration_us,
+            estimate(qaoa_bundle(), gate_device()).duration_us + 0.9e6);
+}
+
+TEST(Estimate, AnnealDurationFromReads) {
+  const JobEstimate est = estimate(ising_bundle(), anneal_device());
+  EXPECT_DOUBLE_EQ(est.duration_us, 1000 * 20.0);  // samples * read time
+}
+
+TEST(Choose, PicksTheOnlyFeasibleBackend) {
+  const Decision d = choose_backend(ising_bundle(), {gate_device(), anneal_device()});
+  EXPECT_EQ(d.backend, "anneal.sim");
+  EXPECT_EQ(d.considered.size(), 2u);
+}
+
+TEST(Choose, PrefersLowerErrorDevice) {
+  BackendCapability good = gate_device("good");
+  good.twoq_error = 1e-4;
+  BackendCapability bad = gate_device("bad");
+  bad.twoq_error = 5e-2;
+  const Decision d = choose_backend(qft_bundle(10), {bad, good});
+  EXPECT_EQ(d.backend, "good");
+}
+
+TEST(Choose, TimeWeightCanFlipTheDecision) {
+  BackendCapability accurate_slow = gate_device("accurate_slow");
+  accurate_slow.twoq_error = 1e-5;
+  accurate_slow.queue_wait_us = 1e9;
+  BackendCapability rough_fast = gate_device("rough_fast");
+  rough_fast.twoq_error = 2e-3;
+  ScoreWeights quality_first;
+  quality_first.time_weight = 0.0;
+  EXPECT_EQ(choose_backend(qft_bundle(10), {accurate_slow, rough_fast}, quality_first).backend,
+            "accurate_slow");
+  ScoreWeights time_first;
+  time_first.time_weight = 10.0;
+  time_first.quality_weight = 0.1;
+  EXPECT_EQ(choose_backend(qft_bundle(10), {accurate_slow, rough_fast}, time_first).backend,
+            "rough_fast");
+}
+
+TEST(Choose, ThrowsWithReasonsWhenNothingFits) {
+  try {
+    choose_backend(qft_bundle(10), {gate_device("tiny", 4), anneal_device()});
+    FAIL() << "expected BackendError";
+  } catch (const BackendError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tiny"), std::string::npos);
+    EXPECT_NE(what.find("anneal"), std::string::npos);
+  }
+}
+
+TEST(Queue, CostHintAwareBeatsRoundRobin) {
+  // EXP-SCHED shape: heterogeneous jobs on heterogeneous devices — knowing
+  // the cost hints yields a strictly better makespan than blind round robin.
+  std::vector<core::JobBundle> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(qft_bundle(12));  // heavy gate jobs
+  for (int i = 0; i < 4; ++i) jobs.push_back(qaoa_bundle());   // light gate jobs
+  BackendCapability fast = gate_device("fast");
+  fast.twoq_time_us = 0.1;
+  BackendCapability slow = gate_device("slow");
+  slow.twoq_time_us = 1.0;
+  const QueueReport aware = simulate_queue(jobs, {fast, slow}, Policy::CostHintAware);
+  const QueueReport blind = simulate_queue(jobs, {fast, slow}, Policy::RoundRobin);
+  EXPECT_LT(aware.makespan_us, blind.makespan_us);
+}
+
+TEST(Queue, MixedKindsRouteCorrectly) {
+  std::vector<core::JobBundle> jobs{qaoa_bundle(), ising_bundle(), qaoa_bundle(), ising_bundle()};
+  const std::vector<BackendCapability> fleet{gate_device(), anneal_device()};
+  for (const auto policy : {Policy::CostHintAware, Policy::RoundRobin}) {
+    const QueueReport report = simulate_queue(jobs, fleet, policy);
+    EXPECT_EQ(report.assignment[0], 0);  // gate job -> gate device
+    EXPECT_EQ(report.assignment[1], 1);  // ising job -> anneal device
+    EXPECT_GT(report.makespan_us, 0.0);
+  }
+}
+
+TEST(Queue, UnplaceableJobThrows) {
+  EXPECT_THROW(simulate_queue({qft_bundle(10)}, {gate_device("tiny", 4)}, Policy::CostHintAware),
+               BackendError);
+  EXPECT_THROW(simulate_queue({qft_bundle(4)}, {}, Policy::CostHintAware), BackendError);
+}
+
+TEST(Capability, JsonRoundTrip) {
+  BackendCapability cap = gate_device("x", 12);
+  cap.twoq_error = 0.005;
+  cap.queue_wait_us = 77.0;
+  const BackendCapability back = BackendCapability::from_json(cap.to_json());
+  EXPECT_EQ(back.name, "x");
+  EXPECT_EQ(back.num_qubits, 12);
+  EXPECT_DOUBLE_EQ(back.twoq_error, 0.005);
+  EXPECT_DOUBLE_EQ(back.queue_wait_us, 77.0);
+}
+
+}  // namespace
+}  // namespace quml::sched

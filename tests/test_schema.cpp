@@ -1,0 +1,313 @@
+// Unit tests for the JSON-Schema validator and the embedded descriptor
+// schemas (the paper's qdt-core/qod/ctx schema names).
+
+#include <gtest/gtest.h>
+
+#include "schema/descriptor_schemas.hpp"
+#include "schema/validator.hpp"
+#include "util/errors.hpp"
+
+namespace quml::schema {
+namespace {
+
+json::Value J(const std::string& text) { return json::parse(text); }
+
+TEST(Validator, TypeKeyword) {
+  const Validator v = Validator::from_text(R"({"type": "integer"})");
+  EXPECT_TRUE(v.validate(J("3")).empty());
+  EXPECT_TRUE(v.validate(J("3.0")).empty());  // mathematical integer
+  EXPECT_FALSE(v.validate(J("3.5")).empty());
+  EXPECT_FALSE(v.validate(J("\"3\"")).empty());
+}
+
+TEST(Validator, TypeUnion) {
+  const Validator v = Validator::from_text(R"({"type": ["string", "null"]})");
+  EXPECT_TRUE(v.validate(J("\"x\"")).empty());
+  EXPECT_TRUE(v.validate(J("null")).empty());
+  EXPECT_FALSE(v.validate(J("1")).empty());
+}
+
+TEST(Validator, RequiredAndProperties) {
+  const Validator v = Validator::from_text(
+      R"({"type": "object", "required": ["id"], "properties": {"id": {"type": "string"}}})");
+  EXPECT_TRUE(v.validate(J(R"({"id": "x"})")).empty());
+  const auto missing = v.validate(J("{}"));
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].keyword, "required");
+  EXPECT_FALSE(v.validate(J(R"({"id": 5})")).empty());
+}
+
+TEST(Validator, AdditionalPropertiesFalse) {
+  const Validator v = Validator::from_text(
+      R"({"type": "object", "properties": {"a": true}, "additionalProperties": false})");
+  EXPECT_TRUE(v.validate(J(R"({"a": 1})")).empty());
+  const auto issues = v.validate(J(R"({"a": 1, "b": 2})"));
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].pointer, "/b");
+}
+
+TEST(Validator, AdditionalPropertiesSchema) {
+  const Validator v = Validator::from_text(
+      R"({"type": "object", "additionalProperties": {"type": "integer"}})");
+  EXPECT_TRUE(v.validate(J(R"({"x": 1, "y": 2})")).empty());
+  EXPECT_FALSE(v.validate(J(R"({"x": "s"})")).empty());
+}
+
+TEST(Validator, EnumAndConst) {
+  const Validator e = Validator::from_text(R"({"enum": ["LSB_0", "MSB_0"]})");
+  EXPECT_TRUE(e.validate(J("\"LSB_0\"")).empty());
+  EXPECT_FALSE(e.validate(J("\"LSB_1\"")).empty());
+  const Validator c = Validator::from_text(R"({"const": 42})");
+  EXPECT_TRUE(c.validate(J("42")).empty());
+  EXPECT_FALSE(c.validate(J("41")).empty());
+}
+
+TEST(Validator, NumericBounds) {
+  const Validator v = Validator::from_text(
+      R"({"minimum": 1, "maximum": 64, "type": "integer"})");
+  EXPECT_TRUE(v.validate(J("1")).empty());
+  EXPECT_TRUE(v.validate(J("64")).empty());
+  EXPECT_FALSE(v.validate(J("0")).empty());
+  EXPECT_FALSE(v.validate(J("65")).empty());
+  const Validator ex = Validator::from_text(R"({"exclusiveMinimum": 0, "exclusiveMaximum": 1})");
+  EXPECT_TRUE(ex.validate(J("0.5")).empty());
+  EXPECT_FALSE(ex.validate(J("0")).empty());
+  EXPECT_FALSE(ex.validate(J("1")).empty());
+}
+
+TEST(Validator, MultipleOf) {
+  const Validator v = Validator::from_text(R"({"multipleOf": 0.5})");
+  EXPECT_TRUE(v.validate(J("2.5")).empty());
+  EXPECT_FALSE(v.validate(J("2.3")).empty());
+}
+
+TEST(Validator, StringConstraints) {
+  const Validator v = Validator::from_text(
+      R"({"type": "string", "minLength": 2, "maxLength": 4, "pattern": "^[a-z]+$"})");
+  EXPECT_TRUE(v.validate(J("\"ab\"")).empty());
+  EXPECT_FALSE(v.validate(J("\"a\"")).empty());
+  EXPECT_FALSE(v.validate(J("\"abcde\"")).empty());
+  EXPECT_FALSE(v.validate(J("\"AB\"")).empty());
+}
+
+TEST(Validator, ArrayConstraints) {
+  const Validator v = Validator::from_text(
+      R"({"type": "array", "items": {"type": "integer"}, "minItems": 1, "maxItems": 3,
+          "uniqueItems": true})");
+  EXPECT_TRUE(v.validate(J("[1, 2]")).empty());
+  EXPECT_FALSE(v.validate(J("[]")).empty());
+  EXPECT_FALSE(v.validate(J("[1,2,3,4]")).empty());
+  EXPECT_FALSE(v.validate(J("[1, 1]")).empty());
+  EXPECT_FALSE(v.validate(J("[1, \"x\"]")).empty());
+}
+
+TEST(Validator, PrefixItems) {
+  const Validator v = Validator::from_text(
+      R"({"type": "array", "prefixItems": [{"type": "integer"}, {"type": "string"}],
+          "items": {"type": "boolean"}})");
+  EXPECT_TRUE(v.validate(J(R"([1, "a", true, false])")).empty());
+  EXPECT_FALSE(v.validate(J(R"(["a", "b"])")).empty());
+  EXPECT_FALSE(v.validate(J(R"([1, "a", 3])")).empty());
+}
+
+TEST(Validator, Combinators) {
+  const Validator any = Validator::from_text(
+      R"({"anyOf": [{"type": "integer"}, {"type": "string"}]})");
+  EXPECT_TRUE(any.validate(J("1")).empty());
+  EXPECT_TRUE(any.validate(J("\"x\"")).empty());
+  EXPECT_FALSE(any.validate(J("true")).empty());
+
+  const Validator one = Validator::from_text(
+      R"({"oneOf": [{"type": "number"}, {"type": "integer"}]})");
+  EXPECT_FALSE(one.validate(J("1")).empty());   // matches both
+  EXPECT_TRUE(one.validate(J("1.5")).empty());  // matches number only
+
+  const Validator all = Validator::from_text(
+      R"({"allOf": [{"minimum": 0}, {"maximum": 10}]})");
+  EXPECT_TRUE(all.validate(J("5")).empty());
+  EXPECT_FALSE(all.validate(J("11")).empty());
+
+  const Validator n = Validator::from_text(R"({"not": {"type": "null"}})");
+  EXPECT_TRUE(n.validate(J("1")).empty());
+  EXPECT_FALSE(n.validate(J("null")).empty());
+}
+
+TEST(Validator, LocalRef) {
+  const Validator v = Validator::from_text(
+      R"({"$defs": {"width": {"type": "integer", "minimum": 1}},
+          "type": "object", "properties": {"w": {"$ref": "#/$defs/width"}}})");
+  EXPECT_TRUE(v.validate(J(R"({"w": 4})")).empty());
+  EXPECT_FALSE(v.validate(J(R"({"w": 0})")).empty());
+}
+
+TEST(Validator, ValidateOrThrowCarriesPointer) {
+  const Validator v = Validator::from_text(
+      R"({"type": "object", "properties": {"a": {"type": "integer"}}})");
+  try {
+    v.validate_or_throw(J(R"({"a": "bad"})"));
+    FAIL() << "expected SchemaError";
+  } catch (const SchemaError& e) {
+    EXPECT_EQ(e.pointer(), "/a");
+  }
+}
+
+// --- embedded descriptor schemas -------------------------------------------
+
+TEST(DescriptorSchemas, PaperListing2Validates) {
+  // Verbatim structure of the paper's Listing 2.
+  const json::Value qdt = J(R"({
+    "$schema": "qdt-core.schema.json",
+    "id": "reg_phase",
+    "name": "phase",
+    "width": 10,
+    "encoding_kind": "PHASE_REGISTER",
+    "bit_order": "LSB_0",
+    "measurement_semantics": "AS_PHASE",
+    "phase_scale": "1/1024"
+  })");
+  EXPECT_TRUE(qdt_validator().validate(qdt).empty());
+}
+
+TEST(DescriptorSchemas, QdtRejectsBadWidth) {
+  EXPECT_FALSE(qdt_validator()
+                   .validate(J(R"({"$schema":"qdt-core.schema.json","id":"r","width":0,
+                                   "encoding_kind":"UINT_REGISTER"})"))
+                   .empty());
+  EXPECT_FALSE(qdt_validator()
+                   .validate(J(R"({"$schema":"qdt-core.schema.json","id":"r","width":65,
+                                   "encoding_kind":"UINT_REGISTER"})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, QdtRejectsUnknownEncoding) {
+  EXPECT_FALSE(qdt_validator()
+                   .validate(J(R"({"$schema":"qdt-core.schema.json","id":"r","width":4,
+                                   "encoding_kind":"QUATERNION"})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, QdtRejectsBadPhaseScale) {
+  EXPECT_FALSE(qdt_validator()
+                   .validate(J(R"({"$schema":"qdt-core.schema.json","id":"r","width":4,
+                                   "encoding_kind":"PHASE_REGISTER","phase_scale":"pi/4"})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, PaperListing3Validates) {
+  const json::Value qod = J(R"({
+    "$schema": "qod.schema.json",
+    "name": "QFT",
+    "rep_kind": "QFT_TEMPLATE",
+    "domain_qdt": "reg_phase",
+    "codomain_qdt": "reg_phase",
+    "params": {"approx_degree": 0, "do_swaps": true, "inverse": false},
+    "cost_hint": {"twoq": 45, "depth": 100},
+    "result_schema": {
+      "basis": "Z",
+      "datatype": "AS_PHASE",
+      "bit_significance": "LSB_0",
+      "clbit_order": ["reg_phase[0]", "reg_phase[1]", "reg_phase[2]"]
+    }
+  })");
+  EXPECT_TRUE(qod_validator().validate(qod).empty());
+}
+
+TEST(DescriptorSchemas, QodRejectsLowercaseRepKind) {
+  EXPECT_FALSE(qod_validator()
+                   .validate(J(R"({"$schema":"qod.schema.json","name":"x","rep_kind":"qft",
+                                   "domain_qdt":"r"})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, QodRejectsNegativeCost) {
+  EXPECT_FALSE(qod_validator()
+                   .validate(J(R"({"$schema":"qod.schema.json","name":"x","rep_kind":"QFT_TEMPLATE",
+                                   "domain_qdt":"r","cost_hint":{"twoq":-1}})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, QodRejectsMalformedClbitRef) {
+  EXPECT_FALSE(qod_validator()
+                   .validate(J(R"({"$schema":"qod.schema.json","name":"x","rep_kind":"M",
+                                   "domain_qdt":"r",
+                                   "result_schema":{"basis":"Z","datatype":"AS_BOOL",
+                                                    "clbit_order":["no_brackets"]}})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, PaperListing4Validates) {
+  const json::Value ctx = J(R"({
+    "$schema": "ctx.schema.json",
+    "exec": {
+      "engine": "gate.aer_simulator",
+      "samples": 4096,
+      "seed": 42,
+      "target": {
+        "basis_gates": ["sx", "rz", "cx"],
+        "coupling_map": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9]]
+      },
+      "options": {"optimization_level": 2}
+    }
+  })");
+  EXPECT_TRUE(ctx_validator().validate(ctx).empty());
+}
+
+TEST(DescriptorSchemas, PaperListing5QecBlockValidates) {
+  const json::Value ctx = J(R"({
+    "$schema": "ctx.schema.json",
+    "exec": {"engine": "gate.aer_simulator"},
+    "qec": {
+      "code_family": "surface",
+      "distance": 7,
+      "allocator": "auto",
+      "logical_gate_set": ["H", "S", "CNOT", "T", "MEASURE_Z"]
+    },
+    "extensions": {}
+  })");
+  EXPECT_TRUE(ctx_validator().validate(ctx).empty());
+}
+
+TEST(DescriptorSchemas, CtxRejectsEvenDistanceViaMinimum) {
+  // Schema enforces distance >= 3; semantic oddness is checked by the QEC
+  // service itself.
+  EXPECT_FALSE(ctx_validator()
+                   .validate(J(R"({"$schema":"ctx.schema.json",
+                                   "qec":{"code_family":"surface","distance":2}})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, CtxRejectsUnknownTopLevelBlock) {
+  EXPECT_FALSE(ctx_validator()
+                   .validate(J(R"({"$schema":"ctx.schema.json","execution":{}})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, JobBundleValidates) {
+  const json::Value job = J(R"({
+    "$schema": "job.schema.json",
+    "job_id": "job-1",
+    "qdts": [{"id": "r", "width": 4, "encoding_kind": "ISING_SPIN"}],
+    "operators": [{"name": "ISING", "rep_kind": "ISING_PROBLEM", "domain_qdt": "r"}],
+    "context": {"exec": {"engine": "anneal.neal_simulator"}}
+  })");
+  EXPECT_TRUE(job_validator().validate(job).empty());
+}
+
+TEST(DescriptorSchemas, JobRequiresOperators) {
+  EXPECT_FALSE(job_validator()
+                   .validate(J(R"({"$schema":"job.schema.json",
+                                   "qdts":[{"id":"r"}],"operators":[]})"))
+                   .empty());
+}
+
+TEST(DescriptorSchemas, ValidatorForRoutesBySchemaName) {
+  EXPECT_EQ(&validator_for(J(R"({"$schema": "qdt-core.schema.json"})")), &qdt_validator());
+  EXPECT_EQ(&validator_for(J(R"({"$schema": "qod.schema.json"})")), &qod_validator());
+  EXPECT_EQ(&validator_for(J(R"({"$schema": "ctx.schema.json"})")), &ctx_validator());
+  EXPECT_EQ(&validator_for(J(R"({"$schema": "job.schema.json"})")), &job_validator());
+  EXPECT_THROW(validator_for(J(R"({"$schema": "nope.schema.json"})")), SchemaError);
+  EXPECT_THROW(validator_for(J("{}")), SchemaError);
+}
+
+}  // namespace
+}  // namespace quml::schema

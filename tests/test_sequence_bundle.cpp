@@ -1,0 +1,306 @@
+// Tests for operator-sequence validation (the paper's composability and
+// non-interference rules), inversion, cost accumulation, result decoding,
+// and job-bundle packaging / file round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/bundle.hpp"
+#include "core/result.hpp"
+#include "core/sequence.hpp"
+#include "util/errors.hpp"
+
+namespace quml::core {
+namespace {
+
+QuantumDataType make_reg(const std::string& id, unsigned width,
+                         EncodingKind kind = EncodingKind::UintRegister) {
+  QuantumDataType q;
+  q.id = id;
+  q.width = width;
+  q.encoding = kind;
+  return q;
+}
+
+OperatorDescriptor make_op(const std::string& kind, const std::string& domain,
+                           const std::string& codomain = "") {
+  OperatorDescriptor op;
+  op.name = kind;
+  op.rep_kind = kind;
+  op.domain_qdt = domain;
+  op.codomain_qdt = codomain;
+  return op;
+}
+
+TEST(RegisterSet, OffsetsAndLookup) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  regs.add(make_reg("b", 2));
+  EXPECT_EQ(regs.total_width(), 5u);
+  EXPECT_EQ(regs.offset_of("a"), 0u);
+  EXPECT_EQ(regs.offset_of("b"), 3u);
+  EXPECT_EQ(regs.at("b").width, 2u);
+  EXPECT_THROW(regs.at("c"), ValidationError);
+  EXPECT_THROW(regs.add(make_reg("a", 1)), ValidationError);  // duplicate id
+}
+
+TEST(Sequence, ValidatesDanglingReference) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op("PREP_UNIFORM", "ghost"));
+  EXPECT_THROW(seq.validate(regs), ValidationError);
+}
+
+TEST(Sequence, ValidatesWidthMismatch) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  regs.add(make_reg("b", 2));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op("QFT_TEMPLATE", "a", "b"));  // in-place template, widths differ
+  EXPECT_THROW(seq.validate(regs), ValidationError);
+}
+
+TEST(Sequence, WidthChangingKindsExempt) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  regs.add(make_reg("flag", 1, EncodingKind::BoolRegister));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op(rep::kComparatorTemplate, "a", "flag"));
+  EXPECT_NO_THROW(seq.validate(regs));
+}
+
+TEST(Sequence, HiddenMeasurementRejected) {
+  // The paper's non-interference rule: "no hidden measurement/reset".
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op(rep::kPrepUniform, "a"));
+  seq.ops.push_back(make_op(rep::kMeasurement, "a"));
+  seq.ops.push_back(make_op(rep::kMixerRx, "a"));  // gate after measurement
+  EXPECT_THROW(seq.validate(regs), ValidationError);
+
+  SequenceRules relaxed;
+  relaxed.allow_mid_circuit = true;
+  EXPECT_NO_THROW(seq.validate(regs, relaxed));
+}
+
+TEST(Sequence, TrailingMeasurementBlockAllowed) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  regs.add(make_reg("b", 3));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op(rep::kPrepUniform, "a"));
+  seq.ops.push_back(make_op(rep::kMeasurement, "a"));
+  seq.ops.push_back(make_op(rep::kMeasurement, "b"));  // measuring two registers is fine
+  EXPECT_NO_THROW(seq.validate(regs));
+}
+
+TEST(Sequence, ResultSchemaReferencesChecked) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 3));
+  OperatorSequence seq;
+  OperatorDescriptor op = make_op(rep::kMeasurement, "a");
+  ResultSchema schema;
+  schema.datatype = MeasurementSemantics::AsUint;
+  schema.clbit_order.push_back({"a", 5});  // out of range
+  op.result_schema = schema;
+  seq.ops.push_back(op);
+  EXPECT_THROW(seq.validate(regs), ValidationError);
+}
+
+TEST(Sequence, CostAccumulation) {
+  OperatorSequence seq;
+  OperatorDescriptor a = make_op("A", "r");
+  CostHint ha;
+  ha.twoq = 10;
+  ha.depth = 5;
+  a.cost_hint = ha;
+  OperatorDescriptor b = make_op("B", "r");
+  CostHint hb;
+  hb.twoq = 3;
+  hb.depth = 2;
+  hb.oneq = 7;
+  b.cost_hint = hb;
+  seq.ops = {a, b, make_op("C", "r")};  // C has no hint
+  const CostHint total = seq.accumulated_cost();
+  EXPECT_EQ(*total.twoq, 13);
+  EXPECT_EQ(*total.depth, 7);
+  EXPECT_EQ(*total.oneq, 7);
+}
+
+TEST(Sequence, InvertQft) {
+  OperatorDescriptor qft = make_op(rep::kQftTemplate, "r");
+  qft.params.set("inverse", json::Value(false));
+  const OperatorDescriptor inv = invert_operator(qft);
+  EXPECT_TRUE(inv.param_bool("inverse", false));
+  EXPECT_FALSE(invert_operator(inv).param_bool("inverse", true));
+}
+
+TEST(Sequence, InvertRotationsNegateAngles) {
+  OperatorDescriptor mixer = make_op(rep::kMixerRx, "r");
+  mixer.params.set("beta", json::Value(0.7));
+  EXPECT_DOUBLE_EQ(invert_operator(mixer).param_double("beta", 0.0), -0.7);
+
+  OperatorDescriptor cost = make_op(rep::kIsingCostPhase, "r");
+  cost.params.set("gamma", json::Value(0.3));
+  EXPECT_DOUBLE_EQ(invert_operator(cost).param_double("gamma", 0.0), -0.3);
+}
+
+TEST(Sequence, InvertAdderTogglesSubtract) {
+  OperatorDescriptor add = make_op(rep::kAdderTemplate, "r");
+  add.params.set("addend", json::Value(std::int64_t{5}));
+  add.params.set("subtract", json::Value(false));
+  const OperatorDescriptor sub = invert_operator(add);
+  EXPECT_TRUE(sub.param_bool("subtract", false));
+  EXPECT_EQ(sub.param_int("addend", 0), 5);
+}
+
+TEST(Sequence, NonInvertibleKindsThrow) {
+  EXPECT_THROW(invert_operator(make_op(rep::kMeasurement, "r")), ValidationError);
+  EXPECT_THROW(invert_operator(make_op(rep::kPrepUniform, "r")), ValidationError);
+  EXPECT_THROW(invert_operator(make_op("SOME_UNKNOWN_KIND", "r")), ValidationError);
+}
+
+TEST(Sequence, InvertedReversesOrder) {
+  OperatorDescriptor a = make_op(rep::kMixerRx, "r");
+  a.params.set("beta", json::Value(0.1));
+  OperatorDescriptor b = make_op(rep::kIsingCostPhase, "r");
+  b.params.set("gamma", json::Value(0.2));
+  OperatorSequence seq;
+  seq.ops = {a, b};
+  const OperatorSequence inv = seq.inverted();
+  ASSERT_EQ(inv.ops.size(), 2u);
+  EXPECT_EQ(inv.ops[0].rep_kind, rep::kIsingCostPhase);
+  EXPECT_EQ(inv.ops[1].rep_kind, rep::kMixerRx);
+}
+
+TEST(Counts, BasicsAndExpectation) {
+  Counts counts;
+  counts.add("1010", 30);
+  counts.add("0101", 50);
+  counts.add("0000", 20);
+  EXPECT_EQ(counts.total(), 100);
+  EXPECT_EQ(counts.at("1010"), 30);
+  EXPECT_EQ(counts.at("1111"), 0);
+  EXPECT_DOUBLE_EQ(counts.probability("0101"), 0.5);
+  EXPECT_EQ(counts.most_frequent(), "0101");
+  const double ones = counts.expectation([](const std::string& bits) {
+    return static_cast<double>(std::count(bits.begin(), bits.end(), '1'));
+  });
+  EXPECT_DOUBLE_EQ(ones, 0.3 * 2 + 0.5 * 2 + 0.0);
+}
+
+TEST(Counts, JsonRoundTrip) {
+  Counts counts;
+  counts.add("01", 3);
+  counts.add("10", 5);
+  const Counts back = Counts::from_json(counts.to_json());
+  EXPECT_EQ(back.at("01"), 3);
+  EXPECT_EQ(back.at("10"), 5);
+}
+
+TEST(DecodeCounts, PhaseRegister) {
+  QuantumDataType q = make_reg("reg_phase", 4, EncodingKind::PhaseRegister);
+  q.phase_scale = Rational(1, 16);
+  ResultSchema schema;
+  schema.datatype = MeasurementSemantics::AsPhase;
+  schema.bit_significance = BitOrder::Lsb0;
+  for (unsigned i = 0; i < 4; ++i) schema.clbit_order.push_back({"reg_phase", i});
+  Counts counts;
+  counts.add("1000", 10);  // clbit 3 set -> carrier 3 -> k = 8 -> 0.5 turn
+  const auto decoded = decode_counts(counts, schema, q);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded[0].value.real_value, 0.5);
+  EXPECT_EQ(decoded[0].count, 10);
+}
+
+TEST(DecodeCounts, PartialReadoutAndPermutation) {
+  const QuantumDataType q = make_reg("x", 4);
+  ResultSchema schema;
+  schema.datatype = MeasurementSemantics::AsUint;
+  schema.bit_significance = BitOrder::Lsb0;
+  // Read carriers in reversed order: clbit 0 <- carrier 3, clbit 1 <- carrier 2.
+  schema.clbit_order.push_back({"x", 3});
+  schema.clbit_order.push_back({"x", 2});
+  Counts counts;
+  counts.add("01", 1);  // clbit0=1 -> carrier3=1 -> basis 0b1000 -> value 8
+  const auto decoded = decode_counts(counts, schema, q);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].value.uint_value, 8u);
+}
+
+TEST(DecodeCounts, MismatchedWidthThrows) {
+  const QuantumDataType q = make_reg("x", 4);
+  ResultSchema schema;
+  schema.datatype = MeasurementSemantics::AsUint;
+  Counts counts;
+  counts.add("01", 1);  // schema implies 4 clbits
+  EXPECT_THROW(decode_counts(counts, schema, q), ValidationError);
+}
+
+TEST(DecodeCounts, ForeignRegisterThrows) {
+  const QuantumDataType q = make_reg("x", 2);
+  ResultSchema schema;
+  schema.datatype = MeasurementSemantics::AsUint;
+  schema.clbit_order.push_back({"y", 0});
+  Counts counts;
+  counts.add("0", 1);
+  EXPECT_THROW(decode_counts(counts, schema, q), ValidationError);
+}
+
+TEST(Bundle, PackageValidatesEagerly) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 2));
+  OperatorSequence bad;
+  bad.ops.push_back(make_op(rep::kPrepUniform, "ghost"));
+  EXPECT_THROW(JobBundle::package(std::move(regs), std::move(bad)), ValidationError);
+}
+
+TEST(Bundle, JsonRoundTrip) {
+  RegisterSet regs;
+  regs.add(make_reg("ising_vars", 4, EncodingKind::IsingSpin));
+  OperatorSequence seq;
+  OperatorDescriptor op = make_op(rep::kIsingProblem, "ising_vars");
+  op.params.set("h", json::parse("[0.0, 0.0, 0.0, 0.0]"));
+  op.params.set("J", json::parse("[[0,1,1.0],[1,2,1.0],[2,3,1.0],[3,0,1.0]]"));
+  seq.ops.push_back(op);
+  Context ctx;
+  ctx.exec.engine = "anneal.simulated_annealer";
+  ctx.anneal = AnnealPolicy{};
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq), ctx, "job-42");
+  const JobBundle back = JobBundle::from_json(bundle.to_json());
+  EXPECT_EQ(back.job_id, "job-42");
+  EXPECT_EQ(back.registers.total_width(), 4u);
+  EXPECT_EQ(back.operators.ops.size(), 1u);
+  ASSERT_TRUE(back.context.has_value());
+  EXPECT_EQ(back.context->exec.engine, "anneal.simulated_annealer");
+  EXPECT_EQ(back.to_json(), bundle.to_json());
+}
+
+TEST(Bundle, SaveLoadFile) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 2));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op(rep::kPrepUniform, "a"));
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq));
+  const std::string path = ::testing::TempDir() + "/quml_job.json";
+  bundle.save(path);
+  const JobBundle loaded = JobBundle::load(path);
+  EXPECT_EQ(loaded.to_json(), bundle.to_json());
+  std::remove(path.c_str());
+  EXPECT_THROW(JobBundle::load("/nonexistent/dir/job.json"), BackendError);
+}
+
+TEST(Bundle, ProvenanceStamped) {
+  RegisterSet regs;
+  regs.add(make_reg("a", 1));
+  OperatorSequence seq;
+  seq.ops.push_back(make_op(rep::kPrepUniform, "a"));
+  const JobBundle bundle = JobBundle::package(std::move(regs), std::move(seq));
+  EXPECT_EQ(bundle.provenance.get_string("producer", ""), "quml");
+}
+
+}  // namespace
+}  // namespace quml::core

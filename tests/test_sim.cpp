@@ -1,0 +1,407 @@
+// Tests for the gate-model substrate: gate matrices, Euler decomposition,
+// circuit IR metrics and inversion, state-vector kernels, shot sampling,
+// and mid-circuit measurement trajectories.
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+
+#include "sim/engine.hpp"
+#include "sim/statevector.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace quml::sim {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Mat2 matrix_of(Gate g, std::vector<double> params = {}) {
+  return gate_matrix_1q(g, params.data());
+}
+
+bool mats_equal(const Mat2& a, const Mat2& b, double tol = 1e-12) {
+  return a.approx_equal(b, tol);
+}
+
+TEST(GateMatrices, UnitaryProperty) {
+  for (const Gate g : {Gate::I, Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg, Gate::T,
+                       Gate::Tdg, Gate::SX, Gate::SXdg}) {
+    const Mat2 u = matrix_of(g);
+    const Mat2 should_be_identity = u * u.dagger();
+    EXPECT_TRUE(mats_equal(should_be_identity, Mat2::identity(), 1e-12))
+        << "gate " << gate_name(g);
+  }
+}
+
+TEST(GateMatrices, KnownIdentities) {
+  // H^2 = I, S^2 = Z, T^2 = S, SX^2 = X.
+  EXPECT_TRUE(mats_equal(matrix_of(Gate::H) * matrix_of(Gate::H), Mat2::identity()));
+  EXPECT_TRUE(mats_equal(matrix_of(Gate::S) * matrix_of(Gate::S), matrix_of(Gate::Z)));
+  EXPECT_TRUE(mats_equal(matrix_of(Gate::T) * matrix_of(Gate::T), matrix_of(Gate::S)));
+  EXPECT_TRUE(mats_equal(matrix_of(Gate::SX) * matrix_of(Gate::SX), matrix_of(Gate::X)));
+}
+
+TEST(GateMatrices, RotationsMatchAxisForms) {
+  // RZ(pi) ~ Z, RX(pi) ~ X, RY(pi) ~ Y up to global phase.
+  EXPECT_TRUE(matrix_of(Gate::RZ, {kPi}).approx_equal_up_to_phase(matrix_of(Gate::Z)));
+  EXPECT_TRUE(matrix_of(Gate::RX, {kPi}).approx_equal_up_to_phase(matrix_of(Gate::X)));
+  EXPECT_TRUE(matrix_of(Gate::RY, {kPi}).approx_equal_up_to_phase(matrix_of(Gate::Y)));
+  // P(pi/2) = S exactly.
+  EXPECT_TRUE(mats_equal(matrix_of(Gate::P, {kPi / 2}), matrix_of(Gate::S)));
+}
+
+TEST(GateMatrices, U3Generality) {
+  // U3(pi/2, 0, pi) = H.
+  EXPECT_TRUE(matrix_of(Gate::U3, {kPi / 2, 0.0, kPi}).approx_equal_up_to_phase(matrix_of(Gate::H)));
+}
+
+TEST(GateNames, RoundTrip) {
+  for (const Gate g : {Gate::X, Gate::H, Gate::SX, Gate::RZ, Gate::CX, Gate::CP, Gate::SWAP,
+                       Gate::CCX, Gate::Measure})
+    EXPECT_EQ(gate_from_name(gate_name(g)), g);
+  EXPECT_EQ(gate_from_name("cnot"), Gate::CX);
+  EXPECT_EQ(gate_from_name("u"), Gate::U3);
+  EXPECT_THROW(gate_from_name("frobnicate"), ValidationError);
+}
+
+class EulerRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EulerRoundTrip, ReconstructsUnitary) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random unitary via U3 with a random global phase.
+  const double theta = rng.next_double() * kPi;
+  const double phi = rng.next_double() * 2 * kPi - kPi;
+  const double lambda = rng.next_double() * 2 * kPi - kPi;
+  const double global = rng.next_double() * 2 * kPi - kPi;
+  Mat2 u = matrix_of(Gate::U3, {theta, phi, lambda});
+  const c64 phase = std::exp(c64(0, global));
+  for (auto& row : u.m)
+    for (auto& x : row) x *= phase;
+
+  const Euler e = euler_zyz(u);
+  double rz1[] = {e.lambda};
+  double ry[] = {e.theta};
+  double rz2[] = {e.phi};
+  Mat2 rebuilt = gate_matrix_1q(Gate::RZ, rz2) * gate_matrix_1q(Gate::RY, ry) *
+                 gate_matrix_1q(Gate::RZ, rz1);
+  const c64 g = std::exp(c64(0, e.gamma));
+  for (auto& row : rebuilt.m)
+    for (auto& x : row) x *= g;
+  EXPECT_TRUE(rebuilt.approx_equal(u, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUnitaries, EulerRoundTrip, ::testing::Range(0, 25));
+
+TEST(EulerEdgeCases, DiagonalAndAntiDiagonal) {
+  // Identity, Z (diagonal), X (anti-diagonal) hit the degenerate branches.
+  for (const Gate g : {Gate::I, Gate::Z, Gate::X, Gate::S}) {
+    const Mat2 u = matrix_of(g);
+    const Euler e = euler_zyz(u);
+    double rz1[] = {e.lambda};
+    double ry[] = {e.theta};
+    double rz2[] = {e.phi};
+    Mat2 rebuilt = gate_matrix_1q(Gate::RZ, rz2) * gate_matrix_1q(Gate::RY, ry) *
+                   gate_matrix_1q(Gate::RZ, rz1);
+    const c64 ph = std::exp(c64(0, e.gamma));
+    for (auto& row : rebuilt.m)
+      for (auto& x : row) x *= ph;
+    EXPECT_TRUE(rebuilt.approx_equal(u, 1e-9)) << gate_name(g);
+  }
+}
+
+TEST(Circuit, BuilderValidation) {
+  Circuit c(2, 1);
+  EXPECT_THROW(c.h(2), ValidationError);                       // qubit out of range
+  EXPECT_THROW(c.cx(0, 0), ValidationError);                   // duplicate operand
+  EXPECT_THROW(c.measure(0, 1), ValidationError);              // clbit out of range
+  EXPECT_THROW(c.add(Gate::RZ, {0}, {}), ValidationError);     // missing param
+  EXPECT_THROW(c.add(Gate::H, {0, 1}), ValidationError);       // wrong arity
+  EXPECT_THROW(Circuit(31, 0), ValidationError);               // too wide
+}
+
+TEST(Circuit, DepthAndCounts) {
+  Circuit c(3, 3);
+  c.h(0);
+  c.h(1);       // parallel with h(0)
+  c.cx(0, 1);   // layer 2
+  c.h(2);       // layer 1
+  c.cx(1, 2);   // layer 3
+  c.measure_all();
+  EXPECT_EQ(c.depth(), 4);  // h, cx, cx, measure on the 1-2 chain
+  EXPECT_EQ(c.two_qubit_count(), 2);
+  EXPECT_EQ(c.count_of(Gate::H), 3);
+  EXPECT_EQ(c.size(), 8u);
+  const auto counts = c.gate_counts();
+  EXPECT_EQ(counts.at("h"), 3);
+  EXPECT_EQ(counts.at("cx"), 2);
+  EXPECT_EQ(counts.at("measure"), 3);
+}
+
+TEST(Circuit, BarrierExcludedFromMetrics) {
+  Circuit c(2, 0);
+  c.h(0);
+  c.barrier();
+  c.h(1);
+  EXPECT_EQ(c.depth(), 1);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Circuit, InverseUndoesUnitary) {
+  Circuit c(3, 0);
+  c.h(0);
+  c.t(1);
+  c.cx(0, 1);
+  c.rz(0.37, 2);
+  c.cp(1.1, 0, 2);
+  c.u3(0.3, -0.2, 0.9, 1);
+  c.swap(1, 2);
+  Circuit round_trip = c;
+  round_trip.append(c.inverse(), {0, 1, 2});
+  const Engine engine;
+  const Statevector state = engine.run_statevector(round_trip);
+  Statevector zero(3);
+  EXPECT_NEAR(state.fidelity(zero), 1.0, 1e-9);
+}
+
+TEST(Circuit, InverseOfMeasureThrows) {
+  Circuit c(1, 1);
+  c.measure(0, 0);
+  EXPECT_THROW(c.inverse(), ValidationError);
+}
+
+TEST(Circuit, AppendWithMapping) {
+  Circuit inner(2, 0);
+  inner.cx(0, 1);
+  Circuit outer(4, 0);
+  outer.append(inner, {3, 1});
+  ASSERT_EQ(outer.instructions().size(), 1u);
+  EXPECT_EQ(outer.instructions()[0].qubits, (std::vector<int>{3, 1}));
+  EXPECT_THROW(outer.append(inner, {0}), ValidationError);  // map size mismatch
+}
+
+TEST(Statevector, InitialState) {
+  const Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, HadamardCreatesUniform) {
+  Circuit c(3, 0);
+  for (int q = 0; q < 3; ++q) c.h(q);
+  const Engine engine;
+  const Statevector sv = engine.run_statevector(c);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 1.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  Circuit c(2, 0);
+  c.h(0);
+  c.cx(0, 1);
+  const Statevector sv = Engine().run_statevector(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_zz(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_z(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, GhzParity) {
+  Circuit c(4, 0);
+  c.h(0);
+  for (int q = 0; q + 1 < 4; ++q) c.cx(q, q + 1);
+  const Statevector sv = Engine().run_statevector(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(15)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Statevector, SpecializedKernelsMatchGenericMatrix) {
+  // Apply each specialized gate and its generic-1q-matrix form; compare.
+  for (const Gate g : {Gate::Z, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg}) {
+    Circuit prep(2, 0);
+    prep.h(0);
+    prep.h(1);
+    Statevector a = Engine().run_statevector(prep);
+    Statevector b = a;
+    Instruction inst{g, {1}, {}, {}};
+    a.apply(inst);                              // specialized diagonal path
+    b.apply_1q(1, gate_matrix_1q(g, nullptr));  // generic path
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12) << gate_name(g);
+  }
+}
+
+TEST(Statevector, CzSymmetric) {
+  Circuit c1(2, 0), c2(2, 0);
+  c1.h(0);
+  c1.h(1);
+  c1.cz(0, 1);
+  c2.h(0);
+  c2.h(1);
+  c2.cz(1, 0);
+  EXPECT_NEAR(Engine().run_statevector(c1).fidelity(Engine().run_statevector(c2)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapMovesAmplitude) {
+  Circuit c(2, 0);
+  c.x(0);
+  c.swap(0, 1);
+  const Statevector sv = Engine().run_statevector(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CcxTruthTable) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    Statevector sv(3);
+    sv.set_basis_state(input);
+    sv.apply_ccx(0, 1, 2);
+    const std::uint64_t expected = ((input & 3) == 3) ? (input ^ 4) : input;
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, 1e-12) << "input " << input;
+  }
+}
+
+TEST(Statevector, CswapTruthTable) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    Statevector sv(3);
+    sv.set_basis_state(input);
+    sv.apply_cswap(0, 1, 2);  // control q0, swap q1 q2
+    std::uint64_t expected = input;
+    if (input & 1) {
+      const std::uint64_t b1 = (input >> 1) & 1, b2 = (input >> 2) & 1;
+      expected = (input & 1) | (b2 << 1) | (b1 << 2);
+    }
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, 1e-12) << "input " << input;
+  }
+}
+
+TEST(Statevector, RzzPhases) {
+  // On |00>: phase e^{-i theta/2}; on |01>: e^{+i theta/2}.
+  const double theta = 0.7;
+  Statevector sv(2);
+  sv.apply_rzz(0, 1, theta);
+  EXPECT_NEAR(std::arg(sv.amplitude(0)), -theta / 2, 1e-12);
+  sv.set_basis_state(0b01);
+  sv.apply_rzz(0, 1, theta);
+  EXPECT_NEAR(std::arg(sv.amplitude(0b01)), theta / 2, 1e-12);
+}
+
+TEST(Statevector, NormPreservedByRandomCircuit) {
+  Rng rng(5);
+  Circuit c(5, 0);
+  for (int i = 0; i < 60; ++i) {
+    const int q = static_cast<int>(rng.next_below(5));
+    switch (rng.next_below(5)) {
+      case 0: c.h(q); break;
+      case 1: c.rz(rng.next_double() * 6, q); break;
+      case 2: c.rx(rng.next_double() * 6, q); break;
+      case 3: c.cx(q, (q + 1) % 5); break;
+      case 4: c.cp(rng.next_double() * 6, q, (q + 2) % 5); break;
+    }
+  }
+  EXPECT_NEAR(Engine().run_statevector(c).norm(), 1.0, 1e-9);
+}
+
+TEST(Engine, DeterministicCounts) {
+  Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const Engine engine;
+  const CountMap a = engine.run_counts(c, 1000, 7);
+  const CountMap b = engine.run_counts(c, 1000, 7);
+  EXPECT_EQ(a, b);
+  const CountMap other_seed = engine.run_counts(c, 1000, 8);
+  EXPECT_NE(a, other_seed);
+}
+
+TEST(Engine, BellCountsOnlyCorrelated) {
+  Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const CountMap counts = Engine().run_counts(c, 4096, 42);
+  std::int64_t total = 0;
+  for (const auto& [key, n] : counts) {
+    EXPECT_TRUE(key == "00" || key == "11") << key;
+    total += n;
+  }
+  EXPECT_EQ(total, 4096);
+  EXPECT_NEAR(static_cast<double>(counts.at("00")) / 4096.0, 0.5, 0.05);
+}
+
+TEST(Engine, DeterministicBasisStateCounts) {
+  Circuit c(3, 3);
+  c.x(0);
+  c.x(2);
+  c.measure_all();
+  const CountMap counts = Engine().run_counts(c, 100, 1);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at("101"), 100);
+}
+
+TEST(Engine, PartialMeasurementMarginals) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.x(1);
+  c.measure(1, 0);  // only measure qubit 1
+  const CountMap counts = Engine().run_counts(c, 500, 3);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at("1"), 500);
+}
+
+TEST(Engine, MidCircuitMeasurementCollapses) {
+  // Measure a superposed qubit, then CX onto a fresh qubit: outcomes must be
+  // perfectly correlated shot by shot.
+  Circuit c(2, 2);
+  c.h(0);
+  c.measure(0, 0);
+  c.cx(0, 1);
+  c.measure(1, 1);
+  const CountMap counts = Engine().run_counts(c, 2000, 11);
+  for (const auto& [key, n] : counts) {
+    (void)n;
+    EXPECT_TRUE(key == "00" || key == "11") << key;
+  }
+}
+
+TEST(Engine, ResetReinitializes) {
+  Circuit c(1, 1);
+  c.x(0);
+  c.reset(0);
+  c.measure(0, 0);
+  const CountMap counts = Engine().run_counts(c, 200, 5);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.at("0"), 200);
+}
+
+TEST(Engine, ErrorsOnDegenerateInputs) {
+  Circuit no_measure(2, 2);
+  no_measure.h(0);
+  EXPECT_THROW(Engine().run_counts(no_measure, 10, 0), ValidationError);
+  Circuit no_clbits(1, 0);
+  no_clbits.h(0);
+  EXPECT_THROW(Engine().run_counts(no_clbits, 10, 0), ValidationError);
+  Circuit ok(1, 1);
+  ok.measure(0, 0);
+  EXPECT_THROW(Engine().run_counts(ok, 0, 0), ValidationError);
+  Circuit with_measure(1, 1);
+  with_measure.measure(0, 0);
+  EXPECT_THROW(Engine().run_statevector(with_measure), ValidationError);
+}
+
+TEST(Engine, ThreadCountDoesNotChangeResults) {
+  Circuit c(8, 8);
+  for (int q = 0; q < 8; ++q) c.h(q);
+  for (int q = 0; q + 1 < 8; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  omp_set_num_threads(1);
+  const CountMap serial = Engine().run_counts(c, 2048, 99);
+  omp_set_num_threads(8);
+  const CountMap parallel = Engine().run_counts(c, 2048, 99);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace quml::sim

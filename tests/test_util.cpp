@@ -1,0 +1,170 @@
+// Unit tests for util: RNG determinism and statistics, bit helpers,
+// rational arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/errors.hpp"
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+
+namespace quml {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(r.next_u64());
+  EXPECT_EQ(values.size(), 16u);  // splitmix seeding avoids the all-zero state
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  const Rng base(42);
+  Rng s0 = base.split(0), s1 = base.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0.next_u64() == s1.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  const Rng base(42);
+  Rng a = base.split(3), b = base.split(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SampleCdf) {
+  Rng r(3);
+  const std::vector<double> cdf{0.1, 0.6, 1.0};
+  std::vector<int> histogram(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[r.sample_cdf(cdf)];
+  EXPECT_NEAR(histogram[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(histogram[1] / double(n), 0.5, 0.01);
+  EXPECT_NEAR(histogram[2] / double(n), 0.4, 0.01);
+}
+
+TEST(Bits, BitAtAndWithBit) {
+  EXPECT_EQ(bit_at(0b1010, 1), 1);
+  EXPECT_EQ(bit_at(0b1010, 0), 0);
+  EXPECT_EQ(with_bit(0, 3, 1), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 2, 0), 0b1011u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b0001, 4), 0b1000u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+}
+
+TEST(Bits, ReverseBitsIsInvolution) {
+  for (std::uint64_t v = 0; v < 256; ++v) EXPECT_EQ(reverse_bits(reverse_bits(v, 8), 8), v);
+}
+
+TEST(Bits, BitstringRoundTrip) {
+  EXPECT_EQ(to_bitstring(0b1010, 4), "1010");
+  EXPECT_EQ(to_bitstring(5, 4), "0101");
+  EXPECT_EQ(from_bitstring("1010"), 0b1010u);
+  for (std::uint64_t v = 0; v < 64; ++v) EXPECT_EQ(from_bitstring(to_bitstring(v, 6)), v);
+}
+
+TEST(Bits, FromBitstringRejectsGarbage) {
+  EXPECT_THROW(from_bitstring("10x1"), ValidationError);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0b0111, 4), 7);
+  EXPECT_EQ(sign_extend(0b1000, 4), -8);
+  EXPECT_EQ(sign_extend(0b1111, 4), -1);
+  EXPECT_EQ(sign_extend(0, 4), 0);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(4, -8);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ParseForms) {
+  EXPECT_EQ(Rational::parse("1/1024"), Rational(1, 1024));
+  EXPECT_EQ(Rational::parse("3"), Rational(3, 1));
+  EXPECT_EQ(Rational::parse("-2/4"), Rational(-1, 2));
+}
+
+TEST(Rational, ParseRejectsGarbage) {
+  EXPECT_THROW(Rational::parse("abc"), ValidationError);
+  EXPECT_THROW(Rational::parse("1/0"), ValidationError);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_DOUBLE_EQ(Rational(1, 1024).value(), 1.0 / 1024.0);
+}
+
+TEST(Rational, CanonicalString) {
+  EXPECT_EQ(Rational(1, 1024).str(), "1/1024");
+  EXPECT_EQ(Rational(5, 1).str(), "5");
+}
+
+}  // namespace
+}  // namespace quml

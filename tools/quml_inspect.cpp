@@ -1,0 +1,73 @@
+// quml_inspect — descriptor-level cost and scheduling preview.
+//
+// Usage:  quml_inspect <job.json>
+//
+// Prints what an HPC-style scheduler sees *without lowering anything*
+// (paper §2): register widths, per-operator rep_kinds and cost hints, the
+// accumulated cost, and runtime/fidelity estimates against a reference
+// backend fleet.
+
+#include <cstdio>
+#include <string>
+
+#include "core/bundle.hpp"
+#include "sched/scheduler.hpp"
+#include "util/errors.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quml;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: quml_inspect <job.json>\n");
+    return 2;
+  }
+  try {
+    const core::JobBundle bundle = core::JobBundle::load(argv[1]);
+    std::printf("job %s\n\nregisters:\n", bundle.job_id.c_str());
+    for (const auto& qdt : bundle.registers.all())
+      std::printf("  %-14s width=%-3u %-22s readout=%s\n", qdt.id.c_str(), qdt.width,
+                  core::to_string(qdt.encoding).c_str(),
+                  core::to_string(qdt.effective_semantics()).c_str());
+
+    std::printf("\noperators:\n");
+    for (const auto& op : bundle.operators.ops) {
+      std::printf("  %-28s on %-14s", op.rep_kind.c_str(), op.domain_qdt.c_str());
+      if (op.cost_hint && !op.cost_hint->empty())
+        std::printf(" hint{oneq=%lld twoq=%lld depth=%lld}",
+                    static_cast<long long>(op.cost_hint->oneq.value_or(0)),
+                    static_cast<long long>(op.cost_hint->twoq.value_or(0)),
+                    static_cast<long long>(op.cost_hint->depth.value_or(0)));
+      std::printf("\n");
+    }
+
+    const core::CostHint total = bundle.operators.accumulated_cost();
+    std::printf("\naccumulated: oneq=%lld twoq=%lld depth=%lld ancillas=%lld\n",
+                static_cast<long long>(total.oneq.value_or(0)),
+                static_cast<long long>(total.twoq.value_or(0)),
+                static_cast<long long>(total.depth.value_or(0)),
+                static_cast<long long>(total.ancillas.value_or(0)));
+
+    // Reference fleet: one ideal simulator-class gate device, one annealer.
+    sched::BackendCapability gate;
+    gate.name = "gate.statevector_simulator";
+    gate.kind = "gate";
+    gate.num_qubits = 26;
+    sched::BackendCapability anneal;
+    anneal.name = "anneal.simulated_annealer";
+    anneal.kind = "anneal";
+    anneal.num_qubits = 64;
+
+    std::printf("\nscheduler view:\n");
+    for (const auto& cap : {gate, anneal}) {
+      const sched::JobEstimate est = sched::estimate(bundle, cap);
+      if (est.feasible)
+        std::printf("  %-28s duration=%.0f us  success=%.4f\n", cap.name.c_str(),
+                    est.duration_us, est.success_prob);
+      else
+        std::printf("  %-28s infeasible: %s\n", cap.name.c_str(), est.reason.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

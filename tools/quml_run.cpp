@@ -1,0 +1,105 @@
+// quml_run — the middle-layer runtime (paper §7: "the runtime that submits
+// jobs to specific platforms").
+//
+// Usage:  quml_run <job.json> [--engine NAME] [--samples N] [--seed S]
+//                  [--output result.json]
+//
+// Loads a packaged submission bundle, optionally overrides the execution
+// policy from the command line (late binding in action: the intent artifacts
+// inside the bundle are never modified), dispatches through the backend
+// registry, and prints/writes the decoded result.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: quml_run <job.json> [--engine NAME] [--samples N] [--seed S]\n"
+               "                [--output result.json]\n"
+               "registered engines:\n");
+  for (const auto& name : quml::core::BackendRegistry::instance().engines())
+    std::fprintf(stderr, "  %s\n", name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace quml;
+  backend::register_builtin_backends();
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string job_path;
+  std::string output_path;
+  std::string engine_override;
+  std::int64_t samples_override = -1;
+  std::int64_t seed_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") engine_override = next();
+    else if (arg == "--samples") samples_override = std::atoll(next());
+    else if (arg == "--seed") seed_override = std::atoll(next());
+    else if (arg == "--output") output_path = next();
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      job_path = arg;
+    }
+  }
+  if (job_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    core::JobBundle bundle = core::JobBundle::load(job_path);
+    if (!bundle.context) bundle.context = core::Context{};
+    if (!engine_override.empty()) bundle.context->exec.engine = engine_override;
+    if (samples_override > 0) bundle.context->exec.samples = samples_override;
+    if (seed_override >= 0) bundle.context->exec.seed = static_cast<std::uint64_t>(seed_override);
+
+    std::printf("job     : %s (%zu register(s), %zu operator(s))\n", bundle.job_id.c_str(),
+                bundle.registers.size(), bundle.operators.ops.size());
+    std::printf("engine  : %s\n", bundle.context->exec.engine.c_str());
+    const core::ExecutionResult result = core::submit(bundle);
+
+    std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
+    for (const auto& outcome : result.decoded)
+      std::printf("%-16s %-10lld %s\n", outcome.bitstring.c_str(),
+                  static_cast<long long>(outcome.count), outcome.value.str().c_str());
+    std::printf("\nmetadata: %s\n", json::dump_pretty(result.metadata).c_str());
+
+    if (!output_path.empty()) {
+      std::ofstream out(output_path);
+      if (!out) throw BackendError("cannot write '" + output_path + "'");
+      out << json::dump_pretty(result.to_json()) << "\n";
+      std::printf("wrote %s\n", output_path.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,94 @@
+// quml_validate — schema + semantic validation for middle-layer artifacts.
+//
+// Usage:  quml_validate <artifact.json>...
+//
+// Routes each document by its `$schema` member to the embedded validator
+// (qdt-core / qod / ctx / job), reports every violation with its JSON
+// pointer, and — for QDTs and bundles — runs the semantic checks on top
+// (width bounds, dangling references, hidden measurements).  Exit status is
+// the number of invalid files, so the tool drops into CI pipelines.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/bundle.hpp"
+#include "schema/descriptor_schemas.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+bool validate_file(const std::string& path) {
+  using namespace quml;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  json::Value doc;
+  try {
+    doc = json::parse(buffer.str());
+  } catch (const ParseError& e) {
+    std::printf("%s: INVALID JSON — %s\n", path.c_str(), e.what());
+    return false;
+  }
+
+  // An operator-sequence artifact (QOP.json) is an array of descriptors;
+  // validate each element against its own schema.
+  if (doc.is_array()) {
+    bool ok = true;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      try {
+        schema::validator_for(doc[i]).validate_or_throw(doc[i]);
+      } catch (const quml::Error& e) {
+        std::printf("%s: element %zu INVALID — %s\n", path.c_str(), i, e.what());
+        ok = false;
+      }
+    }
+    if (ok) std::printf("%s: ok (%zu descriptor(s))\n", path.c_str(), doc.size());
+    return ok;
+  }
+
+  const std::string schema_name = doc.get_string("$schema", "");
+  try {
+    const schema::Validator& validator = schema::validator_for(doc);
+    const auto issues = validator.validate(doc);
+    if (!issues.empty()) {
+      std::printf("%s: INVALID against %s\n", path.c_str(), schema_name.c_str());
+      for (const auto& issue : issues) std::printf("  %s\n", issue.str().c_str());
+      return false;
+    }
+    // Semantic layer on top of shape.
+    if (schema_name == "qdt-core.schema.json") {
+      core::QuantumDataType::from_json(doc).validate();
+    } else if (schema_name == "job.schema.json") {
+      (void)core::JobBundle::from_json(doc);  // packaging re-runs all checks
+    } else if (schema_name == "ctx.schema.json") {
+      (void)core::Context::from_json(doc);
+    } else if (schema_name == "qod.schema.json") {
+      (void)core::OperatorDescriptor::from_json(doc);
+    }
+  } catch (const quml::Error& e) {
+    std::printf("%s: INVALID — %s\n", path.c_str(), e.what());
+    return false;
+  }
+  std::printf("%s: ok (%s)\n", path.c_str(), schema_name.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: quml_validate <artifact.json>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i)
+    if (!validate_file(argv[i])) ++failures;
+  return failures;
+}

@@ -9,13 +9,13 @@
 // spreads temperature coverage, which helps rugged instances).
 
 #include <benchmark/benchmark.h>
-#include <omp.h>
 
 #include <cstdio>
 
 #include "algolib/graph.hpp"
 #include "algolib/ising.hpp"
 #include "anneal/sampler.hpp"
+#include "util/parallel.hpp"
 
 using namespace quml;
 
@@ -93,7 +93,7 @@ void BM_Anneal_Reads(benchmark::State& state) {
 BENCHMARK(BM_Anneal_Reads)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_Anneal_Threads(benchmark::State& state) {
-  omp_set_num_threads(static_cast<int>(state.range(0)));
+  quml::set_num_threads(static_cast<int>(state.range(0)));
   const anneal::IsingModel model = maxcut_model(algolib::Graph::random_cubic(64, 3));
   anneal::AnnealParams params;
   params.num_reads = 512;

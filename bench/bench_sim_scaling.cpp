@@ -6,7 +6,6 @@
 // Benchmarks: H layer, CX chain, QFT, and sampling across widths/threads.
 
 #include <benchmark/benchmark.h>
-#include <omp.h>
 
 #include <cstdio>
 
@@ -14,6 +13,7 @@
 #include "backend/lowering.hpp"
 #include "sim/engine.hpp"
 #include "util/stopwatch.hpp"
+#include "util/parallel.hpp"
 
 using namespace quml;
 
@@ -34,7 +34,7 @@ void report() {
               "amplitudes");
   for (const int n : {16, 20, 22}) {
     for (const int threads : {1, 8, 24}) {
-      omp_set_num_threads(threads);
+      quml::set_num_threads(threads);
       const sim::Circuit c = layered_circuit(n, 4);
       Stopwatch timer;
       const sim::Statevector sv = sim::Engine().run_statevector(c);
@@ -44,7 +44,7 @@ void report() {
                   static_cast<unsigned long long>(sv.dim()));
     }
   }
-  omp_set_num_threads(omp_get_num_procs());
+  quml::set_num_threads(quml::num_procs());
   std::printf("\n");
 }
 
@@ -104,7 +104,7 @@ void BM_Sampling(benchmark::State& state) {
 BENCHMARK(BM_Sampling)->Arg(1024)->Arg(16384)->Arg(131072)->Unit(benchmark::kMillisecond);
 
 void BM_Threads(benchmark::State& state) {
-  omp_set_num_threads(static_cast<int>(state.range(0)));
+  quml::set_num_threads(static_cast<int>(state.range(0)));
   sim::Statevector sv(22);
   const sim::Mat2 h = sim::gate_matrix_1q(sim::Gate::H, nullptr);
   for (auto _ : state) {

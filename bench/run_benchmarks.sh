@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Run every Google-Benchmark binary and aggregate one BENCH_<name>.json per
+# binary at the repo root, so successive PRs can track the perf trajectory.
+#
+# Usage:
+#   bench/run_benchmarks.sh [-B BUILD_DIR] [-o OUT_DIR] [-r REPETITIONS]
+#                           [-t MIN_TIME] [-f FILTER] [BENCH_NAME...]
+#
+#   -B BUILD_DIR    build tree containing bench/ binaries   (default: build)
+#   -o OUT_DIR      where BENCH_*.json land                 (default: repo root)
+#   -r REPETITIONS  --benchmark_repetitions value           (default: unset)
+#   -t MIN_TIME     --benchmark_min_time seconds, e.g. 0.5  (default: unset)
+#   -f FILTER       --benchmark_filter regex                (default: unset)
+#   BENCH_NAME...   subset of binaries to run, e.g. bench_sim_scaling
+#                   (default: every bench_* in BUILD_DIR/bench)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+out_dir="$repo_root"
+repetitions=""
+min_time=""
+filter=""
+
+while getopts "B:o:r:t:f:h" opt; do
+  case "$opt" in
+    B) build_dir="$OPTARG" ;;
+    o) out_dir="$OPTARG" ;;
+    r) repetitions="$OPTARG" ;;
+    t) min_time="$OPTARG" ;;
+    f) filter="$OPTARG" ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: '$bench_dir' not found — build first: cmake --preset release && cmake --build --preset release" >&2
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  benches=("$@")
+else
+  benches=()
+  for bin in "$bench_dir"/bench_*; do
+    [[ -x "$bin" && ! -d "$bin" ]] && benches+=("$(basename "$bin")")
+  done
+fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench binaries in '$bench_dir'" >&2
+  exit 1
+fi
+
+extra_args=()
+[[ -n "$repetitions" ]] && extra_args+=("--benchmark_repetitions=$repetitions")
+[[ -n "$min_time" ]] && extra_args+=("--benchmark_min_time=$min_time")
+[[ -n "$filter" ]] && extra_args+=("--benchmark_filter=$filter")
+
+mkdir -p "$out_dir"
+failed=0
+for name in "${benches[@]}"; do
+  bin="$bench_dir/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: '$bin' not built" >&2
+    failed=1
+    continue
+  fi
+  out_json="$out_dir/BENCH_${name#bench_}.json"
+  echo "== $name -> $out_json"
+  if ! "$bin" --benchmark_format=console \
+              --benchmark_out_format=json \
+              --benchmark_out="$out_json" \
+              "${extra_args[@]+"${extra_args[@]}"}"; then
+    echo "error: $name failed" >&2
+    failed=1
+  fi
+done
+exit "$failed"

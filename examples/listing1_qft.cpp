@@ -1,0 +1,72 @@
+// The paper's §2 motivational example (Listings 1-4): a 10-qubit QFT
+// expressed once as typed descriptors, then executed through the middle
+// layer against a Listing-4 target (sx/rz/cx basis, linear coupling).
+//
+// Shows the layer separation end to end: the algorithmic library emits a
+// QFT_TEMPLATE descriptor with an analytic cost hint (twoq = n(n-1)/2 = 45,
+// depth ~ n^2 = 100 for n = 10 exact); lowering/transpilation happen only
+// once the execution context is known; the same descriptor runs unchanged
+// on an all-to-all and on a linear-coupled target.
+//
+// Build & run:  ./build/examples/listing1_qft
+
+#include <cstdio>
+
+#include "algolib/qft.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::Context listing4_context(unsigned coupled_width, int opt_level) {
+  core::Context ctx;
+  ctx.exec.engine = "gate.aer_simulator";
+  ctx.exec.samples = 10000;
+  ctx.exec.seed = 42;
+  ctx.exec.target.basis_gates = {"sx", "rz", "cx"};
+  for (unsigned q = 0; q + 1 < coupled_width; ++q)
+    ctx.exec.target.coupling_map.emplace_back(static_cast<int>(q), static_cast<int>(q + 1));
+  ctx.exec.options.set("optimization_level", json::Value(static_cast<std::int64_t>(opt_level)));
+  return ctx;
+}
+
+core::JobBundle qft_bundle(unsigned width, const core::Context& ctx) {
+  const core::QuantumDataType reg = algolib::make_phase_register("reg_phase", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "listing1");
+}
+
+}  // namespace
+
+int main() {
+  backend::register_builtin_backends();
+  const unsigned width = 10;
+
+  const core::CostHint hint = algolib::qft_cost_hint(width, {});
+  std::printf("Listing-3 descriptor cost hint: twoq=%lld depth=%lld\n",
+              static_cast<long long>(*hint.twoq), static_cast<long long>(*hint.depth));
+
+  // Same intent artifact, two targets: late binding in action.
+  std::printf("\n%-22s %-8s %-8s %-8s\n", "target", "depth", "twoq", "swaps");
+  for (const bool linear : {false, true}) {
+    const core::Context ctx = listing4_context(linear ? width : 0, /*opt_level=*/2);
+    const core::ExecutionResult result = core::submit(qft_bundle(width, ctx));
+    const json::Value& tmeta = result.metadata.at("transpile");
+    std::printf("%-22s %-8lld %-8lld %-8lld\n", linear ? "linear 0-1-...-9" : "all-to-all",
+                static_cast<long long>(tmeta.get_int("depth_after", 0)),
+                static_cast<long long>(tmeta.get_int("twoq_after", 0)),
+                static_cast<long long>(tmeta.get_int("swaps_inserted", 0)));
+  }
+
+  // The Listing-1 run: 10 000 shots of QFT|0...0> give near-uniform counts.
+  const core::ExecutionResult result = core::submit(qft_bundle(width, listing4_context(width, 2)));
+  std::printf("\n10000-shot run: %zu distinct outcomes (uniform over %d expected)\n",
+              result.counts.map().size(), 1 << width);
+  return result.counts.map().empty() ? 1 : 0;
+}

@@ -1,7 +1,5 @@
 #include "backend/gate_backend.hpp"
 
-#include <omp.h>
-
 #include "backend/lowering.hpp"
 #include "pulse/schedule.hpp"
 #include "qec/surface.hpp"
@@ -10,6 +8,7 @@
 #include "sim/qasm.hpp"
 #include "transpile/transpiler.hpp"
 #include "util/errors.hpp"
+#include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace quml::backend {
@@ -111,7 +110,7 @@ core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
 
   // 4. Execute and decode.  A `noise` context block switches to trajectory
   // sampling with the requested Pauli channels; semantics are unchanged.
-  if (exec.max_parallel_threads) omp_set_num_threads(*exec.max_parallel_threads);
+  if (exec.max_parallel_threads) set_num_threads(*exec.max_parallel_threads);
   sim::CountMap raw;
   if (ctx.noise && ctx.noise->enabled) {
     sim::NoiseModel model;

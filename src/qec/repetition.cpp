@@ -33,16 +33,17 @@ double repetition_logical_error_mc(int distance, double p_flip, std::int64_t tri
   if (distance < 1 || distance % 2 == 0)
     throw ValidationError("repetition distance must be odd and >= 1");
   const Rng base(seed);
-  std::int64_t failures = 0;
-#pragma omp parallel for schedule(static) reduction(+ : failures)
-  for (std::int64_t t = 0; t < trials; ++t) {
-    Rng rng = base.split(static_cast<std::uint64_t>(t));
-    int flips = 0;
-    for (int bit = 0; bit < distance; ++bit)
-      if (rng.next_double() < p_flip) ++flips;
-    if (flips > distance / 2) ++failures;
-  }
-  return static_cast<double>(failures) / static_cast<double>(trials);
+  // Counts are exact in the double accumulator (trials << 2^53); randomness
+  // splits on the trial index, so the result is thread-count independent.
+  const double failures =
+      parallel_reduce_sum(0, trials, /*grain=*/1024, [&](std::int64_t t) -> double {
+        Rng rng = base.split(static_cast<std::uint64_t>(t));
+        int flips = 0;
+        for (int bit = 0; bit < distance; ++bit)
+          if (rng.next_double() < p_flip) ++flips;
+        return flips > distance / 2 ? 1.0 : 0.0;
+      });
+  return failures / static_cast<double>(trials);
 }
 
 }  // namespace quml::qec

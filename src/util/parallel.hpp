@@ -5,14 +5,45 @@
 // vectors, annealing reads), so callers pass a `grain` below which the loop
 // runs serially.  Results never depend on the thread count; any per-iteration
 // randomness must come from a stream split on the iteration index.
+//
+// Builds without OpenMP fall back to serial loops with identical semantics
+// (the grain threshold is still honoured so behaviour-sensitive callers see
+// the same code path selection either way).
 
 #include <cstdint>
+
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace quml {
 
-/// Maximum number of OpenMP threads the runtime will use.
-inline int max_threads() noexcept { return omp_get_max_threads(); }
+/// Maximum number of threads the runtime will use (1 in serial builds).
+inline int max_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Number of logical processors visible to the runtime (1 in serial builds).
+inline int num_procs() noexcept {
+#ifdef _OPENMP
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+/// Caps the thread pool for subsequent parallel regions (no-op when serial).
+inline void set_num_threads(int n) noexcept {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
 
 /// Parallel for over [begin, end) with a serial fallback under `grain`.
 template <typename Body>
@@ -23,8 +54,12 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain, Body
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = begin; i < end; ++i) body(i);
+#else
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+#endif
 }
 
 /// Parallel sum-reduction over [begin, end).
@@ -37,8 +72,12 @@ double parallel_reduce_sum(std::int64_t begin, std::int64_t end, std::int64_t gr
     for (std::int64_t i = begin; i < end; ++i) acc += body(i);
     return acc;
   }
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static) reduction(+ : acc)
   for (std::int64_t i = begin; i < end; ++i) acc += body(i);
+#else
+  for (std::int64_t i = begin; i < end; ++i) acc += body(i);
+#endif
   return acc;
 }
 

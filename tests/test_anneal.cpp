@@ -3,13 +3,13 @@
 // thread independence), greedy descent, and the exact solver.
 
 #include <gtest/gtest.h>
-#include <omp.h>
 
 #include <cmath>
 
 #include "anneal/sampler.hpp"
 #include "util/errors.hpp"
 #include "util/rng.hpp"
+#include "util/parallel.hpp"
 
 namespace quml::anneal {
 namespace {
@@ -192,9 +192,9 @@ TEST(Annealer, ThreadCountDoesNotChangeResults) {
   params.num_reads = 64;
   params.num_sweeps = 64;
   params.seed = 13;
-  omp_set_num_threads(1);
+  quml::set_num_threads(1);
   const SampleSet serial = SimulatedAnnealer().sample(ring4(), params);
-  omp_set_num_threads(8);
+  quml::set_num_threads(8);
   const SampleSet parallel = SimulatedAnnealer().sample(ring4(), params);
   ASSERT_EQ(serial.samples().size(), parallel.samples().size());
   for (std::size_t i = 0; i < serial.samples().size(); ++i)
@@ -260,8 +260,11 @@ TEST(SampleSet, AggregationAndStats) {
   EXPECT_EQ(set.total_reads(), 4);
   EXPECT_DOUBLE_EQ(set.lowest().energy, -1.0);
   // Duplicates merged: the {1,-1} configuration appears once with 2 reads.
-  for (const auto& s : set.samples())
-    if (s.spins == Spins{1, -1}) EXPECT_EQ(s.occurrences, 2);
+  for (const auto& s : set.samples()) {
+    if (s.spins == Spins{1, -1}) {
+      EXPECT_EQ(s.occurrences, 2);
+    }
+  }
   EXPECT_DOUBLE_EQ(set.mean_energy(), (-1.0 * 3 + 3.0) / 4.0);
   EXPECT_DOUBLE_EQ(set.ground_fraction(), 0.75);
 }

@@ -3,7 +3,6 @@
 // and mid-circuit measurement trajectories.
 
 #include <gtest/gtest.h>
-#include <omp.h>
 
 #include <cmath>
 
@@ -11,6 +10,7 @@
 #include "sim/statevector.hpp"
 #include "util/errors.hpp"
 #include "util/rng.hpp"
+#include "util/parallel.hpp"
 
 namespace quml::sim {
 namespace {
@@ -396,9 +396,9 @@ TEST(Engine, ThreadCountDoesNotChangeResults) {
   for (int q = 0; q < 8; ++q) c.h(q);
   for (int q = 0; q + 1 < 8; ++q) c.cx(q, q + 1);
   c.measure_all();
-  omp_set_num_threads(1);
+  quml::set_num_threads(1);
   const CountMap serial = Engine().run_counts(c, 2048, 99);
-  omp_set_num_threads(8);
+  quml::set_num_threads(8);
   const CountMap parallel = Engine().run_counts(c, 2048, 99);
   EXPECT_EQ(serial, parallel);
 }

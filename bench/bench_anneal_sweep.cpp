@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/graph.hpp"
@@ -116,8 +118,5 @@ BENCHMARK(BM_ExactSolver)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

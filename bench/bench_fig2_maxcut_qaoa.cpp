@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/ising.hpp"
@@ -138,8 +140,5 @@ BENCHMARK(BM_QaoaEndToEnd_GraphSize)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
 
 int main(int argc, char** argv) {
   backend::register_builtin_backends();
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

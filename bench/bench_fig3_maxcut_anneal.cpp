@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/ising.hpp"
@@ -108,8 +110,5 @@ BENCHMARK(BM_AnnealEndToEnd_Size)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMi
 
 int main(int argc, char** argv) {
   backend::register_builtin_backends();
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

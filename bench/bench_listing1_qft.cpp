@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/qft.hpp"
@@ -124,8 +126,5 @@ BENCHMARK(BM_EndToEndQft)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecon
 
 int main(int argc, char** argv) {
   backend::register_builtin_backends();
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

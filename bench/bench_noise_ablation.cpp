@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/ising.hpp"
@@ -89,8 +91,5 @@ BENCHMARK(BM_NoisyVsIdeal)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   backend::register_builtin_backends();
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

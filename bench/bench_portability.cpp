@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/ising.hpp"
@@ -119,8 +121,5 @@ BENCHMARK(BM_AnnealPath)->Arg(4)->Arg(8)->Arg(12)->Arg(32)->Unit(benchmark::kMil
 
 int main(int argc, char** argv) {
   backend::register_builtin_backends();
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

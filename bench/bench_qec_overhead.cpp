@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "qec/repetition.hpp"
@@ -90,8 +92,5 @@ BENCHMARK(BM_PatchAllocation)->Arg(4)->Arg(64)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

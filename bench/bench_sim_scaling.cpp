@@ -3,9 +3,12 @@
 // HPC baseline every gate-path experiment rests on; the report prints
 // gate-application rates so regressions are visible at a glance.
 //
-// Benchmarks: H layer, CX chain, QFT, and sampling across widths/threads.
+// Benchmarks: H layer, CX/CP/SWAP/CCX chains, gate fusion, QFT, and sampling
+// across widths/threads.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
 
 #include <cstdio>
 
@@ -76,6 +79,61 @@ void BM_CxChain(benchmark::State& state) {
 }
 BENCHMARK(BM_CxChain)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Unit(benchmark::kMillisecond);
 
+void BM_CpChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
+  for (auto _ : state) {
+    for (int q = 0; q + 1 < n; ++q) sv.apply_cp(q, q + 1, 0.37);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_CpChain)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Unit(benchmark::kMillisecond);
+
+void BM_SwapChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
+  for (auto _ : state) {
+    for (int q = 0; q + 1 < n; ++q) sv.apply_swap(q, q + 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_SwapChain)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_CcxChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
+  for (auto _ : state) {
+    for (int q = 0; q + 2 < n; ++q) sv.apply_ccx(q, q + 1, q + 2);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_CcxChain)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Dense 1q traffic (rz-h-rz per wire per layer): the fusion pass collapses
+// each wire's run into one matrix, so engine throughput here measures the
+// pass end to end rather than the raw kernel.
+void BM_Fused1qLayers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Circuit c(n, 0);
+  for (int layer = 0; layer < 4; ++layer) {
+    for (int q = 0; q < n; ++q) {
+      c.rz(0.11 * (layer + 1), q);
+      c.h(q);
+      c.rz(-0.07 * (layer + 1), q);
+    }
+    for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  }
+  for (auto _ : state) {
+    const sim::Statevector sv = sim::Engine().run_statevector(c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_Fused1qLayers)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
 void BM_QftSim(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   sim::Circuit c(n, 0);
@@ -119,8 +177,5 @@ BENCHMARK(BM_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "algolib/qft.hpp"
@@ -130,8 +132,5 @@ BENCHMARK(BM_Routing_Method)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return quml::bench::run(argc, argv, report);
 }

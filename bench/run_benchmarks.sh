@@ -2,6 +2,18 @@
 # Run every Google-Benchmark binary and aggregate one BENCH_<name>.json per
 # binary at the repo root, so successive PRs can track the perf trajectory.
 #
+# Benchmarks are only ever recorded against a Release build: each binary
+# stamps the JSON context with "quml_build_type" (see bench/bench_common.hpp)
+# and refuses to run when quml was compiled debug; this script additionally
+# fails loudly if a produced JSON is missing the release stamp.
+#
+# Google Benchmark's own "library_build_type" context field describes how
+# *libbenchmark* was compiled, not quml: Debian ships libbenchmark without
+# NDEBUG, so that field reads "debug" on every machine regardless of the
+# measured library's flags.  After validating quml_build_type == release, the
+# script rewrites library_build_type to reflect the measured quml build so
+# the recorded baseline is not poisoned by a packaging artifact.
+#
 # Usage:
 #   bench/run_benchmarks.sh [-B BUILD_DIR] [-o OUT_DIR] [-r REPETITIONS]
 #                           [-t MIN_TIME] [-f FILTER] [BENCH_NAME...]
@@ -63,19 +75,38 @@ mkdir -p "$out_dir"
 failed=0
 for name in "${benches[@]}"; do
   bin="$bench_dir/$name"
+  out_json="$out_dir/BENCH_${name#bench_}.json"
   if [[ ! -x "$bin" ]]; then
     echo "error: '$bin' not built" >&2
+    # A stale JSON from an earlier run must not outlive a failed regeneration.
+    rm -f "$out_json"
     failed=1
     continue
   fi
-  out_json="$out_dir/BENCH_${name#bench_}.json"
   echo "== $name -> $out_json"
   if ! "$bin" --benchmark_format=console \
               --benchmark_out_format=json \
               --benchmark_out="$out_json" \
               "${extra_args[@]+"${extra_args[@]}"}"; then
     echo "error: $name failed" >&2
+    # Drop whatever partial/stale JSON the failed run left so a rerun that
+    # misses the nonzero exit cannot commit a poisoned baseline.
+    rm -f "$out_json"
     failed=1
+    continue
   fi
+  # Hard gate: a benchmark JSON without the release stamp must never become
+  # the recorded baseline.
+  if ! grep -q '"quml_build_type": "release"' "$out_json"; then
+    echo "error: $out_json does not report quml_build_type=release — refusing to record a" >&2
+    echo "       non-release perf baseline (rebuild with cmake --preset release)" >&2
+    rm -f "$out_json"
+    failed=1
+    continue
+  fi
+  # The measured library is a verified release build; overwrite libbenchmark's
+  # own (Debian-debug) stamp so the trajectory tooling sees the truth about
+  # the code under test.
+  sed -i 's/"library_build_type": "debug"/"library_build_type": "release"/' "$out_json"
 done
 exit "$failed"

@@ -156,7 +156,16 @@ json::Value GateBackend::capabilities() const {
   json::Value caps = json::Value::object();
   caps.set("name", json::Value(name()));
   caps.set("kind", json::Value("gate"));
-  caps.set("num_qubits", json::Value(static_cast<std::int64_t>(26)));
+  // Advertise the width this host can actually execute, not just construct:
+  // the engine's peak footprint is ~2x the amplitude storage (amplitudes +
+  // probabilities while building the sampler; prefix + per-shot copy on the
+  // trajectory path), so size against that — otherwise the scheduler admits
+  // jobs that die mid-run instead of at admission.
+  int max_width = sim::Statevector::kMaxQubits;
+  while (max_width > 0 &&
+         2 * sim::Statevector::required_bytes(max_width) > sim::Statevector::memory_budget_bytes())
+    --max_width;
+  caps.set("num_qubits", json::Value(static_cast<std::int64_t>(max_width)));
   json::Array basis;
   for (const char* g : {"sx", "rz", "cx", "x", "h", "rx", "ry", "p", "cp", "cz", "swap"})
     basis.emplace_back(g);

@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "sim/fusion.hpp"
+#include "util/alias_table.hpp"
 #include "util/bits.hpp"
 #include "util/errors.hpp"
 
@@ -28,11 +31,41 @@ std::string render_clbits(std::uint64_t clbit_word, int num_clbits) {
   return to_bitstring(clbit_word, static_cast<unsigned>(num_clbits));
 }
 
+/// A fused unitary segment followed by one non-unitary boundary instruction
+/// (Measure or Reset); the final segment of a program has no boundary.
+struct Segment {
+  std::vector<FusedOp> ops;
+  Instruction boundary{};
+  bool has_boundary = false;
+};
+
+/// Splits a circuit into fused unitary segments at Measure/Reset boundaries.
+/// Fusion runs once, outside the shot loop, so every trajectory replays the
+/// compact program.  A trailing unitary-only segment cannot influence any
+/// recorded clbit and is dropped.
+std::vector<Segment> fuse_segments(const Circuit& circuit) {
+  std::vector<Segment> segments;
+  std::vector<Instruction> pending;
+  for (const auto& inst : circuit.instructions()) {
+    if (inst.gate == Gate::Measure || inst.gate == Gate::Reset) {
+      Segment seg;
+      seg.ops = fuse_unitaries(pending, circuit.num_qubits());
+      seg.boundary = inst;
+      seg.has_boundary = true;
+      segments.push_back(std::move(seg));
+      pending.clear();
+    } else {
+      pending.push_back(inst);  // Barrier included: it fences fusion
+    }
+  }
+  return segments;
+}
+
 }  // namespace
 
 Statevector Engine::run_statevector(const Circuit& circuit) const {
   Statevector state(circuit.num_qubits());
-  state.apply_unitaries(circuit);
+  apply_fused(state, fuse_unitaries(circuit));  // throws on Measure/Reset
   return state;
 }
 
@@ -47,62 +80,71 @@ CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uin
   Rng rng(seed);
 
   if (has_only_trailing_measurement(circuit)) {
-    // Fast path: evolve once, sample the final distribution.
-    Statevector state(circuit.num_qubits());
+    // Fast path: evolve the fused unitary prefix once, then batch-sample all
+    // shots from the final distribution through an alias table (O(1)/shot).
+    std::vector<Instruction> unitaries;
     std::vector<std::pair<int, int>> measurements;  // (qubit, clbit), program order
     for (const auto& inst : circuit.instructions()) {
       if (inst.gate == Gate::Measure)
         measurements.emplace_back(inst.qubits[0], inst.clbits[0]);
-      else if (inst.gate != Gate::Barrier)
-        state.apply(inst);
+      else
+        unitaries.push_back(inst);  // Barrier included: it fences fusion
     }
     if (measurements.empty()) throw ValidationError("circuit contains no measurements");
 
-    std::vector<double> probs = state.probabilities();
-    std::vector<double> cdf(probs.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < probs.size(); ++i) {
-      acc += probs[i];
-      cdf[i] = acc;
-    }
-    // Normalize against floating-point drift so the final entry is exactly 1.
-    if (acc > 0.0)
-      for (auto& v : cdf) v /= acc;
-
-    for (std::int64_t shot = 0; shot < shots; ++shot) {
-      const std::uint64_t basis = rng.sample_cdf(cdf);
+    // The statevector is scoped so its amplitudes are freed before sampling:
+    // probabilities() moves into the table, which rebuilds the buffer in
+    // place, so the shot loop runs against 12 bytes per amplitude instead of
+    // amplitudes + probabilities + table concurrently.
+    const AliasTable table = [&] {
+      Statevector state(circuit.num_qubits());
+      apply_fused(state, fuse_unitaries(unitaries, circuit.num_qubits()));
+      return AliasTable(state.probabilities());
+    }();
+    // Histogram basis indices first (amortized O(1) per shot); clbit mapping
+    // and string rendering then run once per distinct outcome, and the final
+    // string-keyed CountMap re-establishes deterministic order.
+    std::unordered_map<std::uint64_t, std::int64_t> basis_counts;
+    for (std::int64_t shot = 0; shot < shots; ++shot)
+      ++basis_counts[static_cast<std::uint64_t>(table.sample(rng))];
+    for (const auto& [basis, n] : basis_counts) {
       std::uint64_t clbits = 0;
       for (const auto& [q, c] : measurements)
         clbits = with_bit(clbits, static_cast<unsigned>(c), bit_at(basis, static_cast<unsigned>(q)));
-      ++counts[render_clbits(clbits, circuit.num_clbits())];
+      counts[render_clbits(clbits, circuit.num_clbits())] += n;
     }
     return counts;
   }
 
-  // Mid-circuit path: per-shot trajectory simulation with collapse.
+  // Mid-circuit path: per-shot trajectory simulation with collapse.  The
+  // unitary prefix before the first measurement is evolved once and copied
+  // into each trajectory (measurements commute with nothing that precedes
+  // them, so the prefix state is shot-invariant); the remaining segments are
+  // fused once and replayed per shot.
+  const std::vector<Segment> segments = fuse_segments(circuit);
+  bool has_measure = false;
+  for (const auto& seg : segments)
+    if (seg.has_boundary && seg.boundary.gate == Gate::Measure) has_measure = true;
+  if (!has_measure) throw ValidationError("circuit contains no measurements");
+
+  Statevector prefix(circuit.num_qubits());
+  apply_fused(prefix, segments.front().ops);
+
   for (std::int64_t shot = 0; shot < shots; ++shot) {
     Rng shot_rng = rng.split(static_cast<std::uint64_t>(shot));
-    Statevector state(circuit.num_qubits());
+    Statevector state = prefix;
     std::uint64_t clbits = 0;
-    bool measured = false;
-    for (const auto& inst : circuit.instructions()) {
-      switch (inst.gate) {
-        case Gate::Measure: {
-          const int bit = state.measure_collapse(inst.qubits[0], shot_rng);
-          clbits = with_bit(clbits, static_cast<unsigned>(inst.clbits[0]), bit);
-          measured = true;
-          break;
-        }
-        case Gate::Reset:
-          state.reset_qubit(inst.qubits[0], shot_rng);
-          break;
-        case Gate::Barrier:
-          break;
-        default:
-          state.apply(inst);
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const Segment& seg = segments[s];
+      if (s > 0) apply_fused(state, seg.ops);
+      if (!seg.has_boundary) continue;
+      if (seg.boundary.gate == Gate::Measure) {
+        const int bit = state.measure_collapse(seg.boundary.qubits[0], shot_rng);
+        clbits = with_bit(clbits, static_cast<unsigned>(seg.boundary.clbits[0]), bit);
+      } else {
+        state.reset_qubit(seg.boundary.qubits[0], shot_rng);
       }
     }
-    if (!measured) throw ValidationError("circuit contains no measurements");
     ++counts[render_clbits(clbits, circuit.num_clbits())];
   }
   return counts;

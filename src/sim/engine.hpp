@@ -1,12 +1,16 @@
 #pragma once
 // Shot execution engine on top of the state-vector simulator.
 //
-// Two execution paths:
-//  * trailing-measurement circuits (the common case) simulate the unitary
-//    prefix once and sample all shots from the final distribution;
-//  * circuits with mid-circuit measurement/reset re-simulate per shot with
-//    projective collapse (correct, slower — the middle layer only permits
-//    them behind an explicit context opt-in anyway).
+// Two execution paths, both running the gate-fusion pass first:
+//  * trailing-measurement circuits (the common case) simulate the fused
+//    unitary prefix once and batch-sample all shots from the final
+//    distribution through a Walker alias table (O(1) per shot);
+//  * circuits with mid-circuit measurement/reset run per-shot trajectories
+//    with projective collapse — the unitary prefix before the first
+//    measurement is evolved once and copied into each trajectory, and the
+//    segments between measurements are fused once and replayed (correct,
+//    slower — the middle layer only permits mid-circuit measurement behind
+//    an explicit context opt-in anyway).
 
 #include <cstdint>
 #include <map>

@@ -1,0 +1,151 @@
+#include "sim/fusion.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml::sim {
+
+namespace {
+
+/// True for gates whose matrix is diagonal in the computational basis; a
+/// pending diagonal accumulation commutes through these even when they share
+/// a wire.
+bool is_diagonal_gate(Gate g) noexcept {
+  switch (g) {
+    case Gate::I:
+    case Gate::Z:
+    case Gate::S:
+    case Gate::Sdg:
+    case Gate::T:
+    case Gate::Tdg:
+    case Gate::RZ:
+    case Gate::P:
+    case Gate::CZ:
+    case Gate::CP:
+    case Gate::CRZ:
+    case Gate::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Per-wire accumulator for a run of adjacent 1q gates.
+struct Accumulator {
+  bool active = false;
+  bool diagonal = true;
+  std::size_t count = 0;
+  Mat2 u = Mat2::identity();
+};
+
+class Fuser {
+ public:
+  Fuser(int num_qubits, FusionStats* stats)
+      : accs_(static_cast<std::size_t>(num_qubits)), stats_(stats) {}
+
+  void absorb(const Instruction& inst) {
+    const Mat2 m = gate_matrix_1q(inst.gate, inst.params.data());
+    Accumulator& acc = accs_[static_cast<std::size_t>(inst.qubits[0])];
+    acc.u = m * acc.u;  // gate applied after the accumulated run
+    acc.diagonal = acc.diagonal && m.m[0][1] == c64(0.0, 0.0) && m.m[1][0] == c64(0.0, 0.0);
+    acc.active = true;
+    ++acc.count;
+    if (stats_) ++stats_->gates_in;
+  }
+
+  void passthrough(const Instruction& inst) {
+    const bool diag = is_diagonal_gate(inst.gate);
+    for (const int q : inst.qubits) {
+      Accumulator& acc = accs_[static_cast<std::size_t>(q)];
+      // A diagonal accumulation commutes with a diagonal gate: keep it open
+      // so the run can keep growing past this instruction.
+      if (acc.active && !(diag && acc.diagonal)) flush(q);
+    }
+    ops_.push_back({FusedOp::Kind::Other, -1, Mat2{}, {1.0, 0.0}, {1.0, 0.0}, inst});
+    if (stats_) {
+      ++stats_->gates_in;
+      ++stats_->ops_out;
+    }
+  }
+
+  void flush(int q) {
+    Accumulator& acc = accs_[static_cast<std::size_t>(q)];
+    if (!acc.active) return;
+    FusedOp op;
+    op.qubit = q;
+    if (acc.diagonal) {
+      op.kind = FusedOp::Kind::Diag1Q;
+      op.d0 = acc.u.m[0][0];
+      op.d1 = acc.u.m[1][1];
+      if (stats_) ++stats_->diag_runs;
+    } else {
+      op.kind = FusedOp::Kind::Unitary1Q;
+      op.u = acc.u;
+    }
+    ops_.push_back(std::move(op));
+    if (stats_) {
+      ++stats_->ops_out;
+      stats_->fused_1q += acc.count;
+    }
+    acc = Accumulator{};
+  }
+
+  void flush_all() {
+    for (std::size_t q = 0; q < accs_.size(); ++q) flush(static_cast<int>(q));
+  }
+
+  std::vector<FusedOp> take() { return std::move(ops_); }
+
+ private:
+  std::vector<Accumulator> accs_;
+  std::vector<FusedOp> ops_;
+  FusionStats* stats_;
+};
+
+}  // namespace
+
+std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int num_qubits,
+                                    FusionStats* stats) {
+  Fuser fuser(num_qubits, stats);
+  for (const Instruction& inst : program) {
+    switch (inst.gate) {
+      case Gate::Measure:
+      case Gate::Reset:
+        throw ValidationError("non-unitary instruction in fuse_unitaries(); use the engine");
+      case Gate::Barrier:
+        // A barrier is an explicit optimization fence: no fusion across it.
+        fuser.flush_all();
+        break;
+      case Gate::I:
+        break;  // identity contributes nothing
+      default:
+        if (inst.qubits.size() == 1)
+          fuser.absorb(inst);
+        else
+          fuser.passthrough(inst);
+    }
+  }
+  fuser.flush_all();
+  return fuser.take();
+}
+
+std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats) {
+  return fuse_unitaries(circuit.instructions(), circuit.num_qubits(), stats);
+}
+
+void apply_fused(Statevector& state, const std::vector<FusedOp>& ops) {
+  for (const FusedOp& op : ops) {
+    switch (op.kind) {
+      case FusedOp::Kind::Unitary1Q:
+        state.apply_1q(op.qubit, op.u);
+        break;
+      case FusedOp::Kind::Diag1Q:
+        state.apply_diag_1q(op.qubit, op.d0, op.d1);
+        break;
+      case FusedOp::Kind::Other:
+        state.apply(op.inst);
+        break;
+    }
+  }
+}
+
+}  // namespace quml::sim

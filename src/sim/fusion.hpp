@@ -1,0 +1,54 @@
+#pragma once
+// Gate-fusion pass over the backend IR.
+//
+// A run of adjacent one-qubit gates on the same wire is a single 2x2 unitary;
+// applying it once costs one sweep over the state instead of one per gate.
+// The pass folds such runs into one Mat2, specializes all-diagonal runs
+// (Z/S/T/RZ/P/...) into a single diagonal application, and lets diagonal
+// accumulations commute through diagonal multi-qubit gates (CZ/CP/CRZ/RZZ)
+// so `rz; cz; rz` on a wire still fuses to one diagonal.  Everything else
+// passes through untouched.  Fusion is exact — matrices are multiplied, no
+// Euler resynthesis — so the fused program applies the identical unitary
+// including global phase.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace quml::sim {
+
+/// One step of a fused program.
+struct FusedOp {
+  enum class Kind {
+    Unitary1Q,  ///< fused 2x2 unitary on `qubit`
+    Diag1Q,     ///< fused diagonal on `qubit`: amp *= d0/d1 by bit value
+    Other,      ///< passthrough instruction (multi-qubit gates)
+  };
+  Kind kind = Kind::Other;
+  int qubit = -1;
+  Mat2 u{};                        // Unitary1Q
+  c64 d0{1.0, 0.0}, d1{1.0, 0.0};  // Diag1Q
+  Instruction inst{};              // Other
+};
+
+struct FusionStats {
+  std::size_t gates_in = 0;    ///< unitary gates consumed (Barrier excluded)
+  std::size_t ops_out = 0;     ///< fused ops emitted
+  std::size_t fused_1q = 0;    ///< 1q gates absorbed into fused ops
+  std::size_t diag_runs = 0;   ///< all-diagonal fused ops emitted
+};
+
+/// Fuses a unitary instruction stream (Barrier flushes and is dropped; throws
+/// ValidationError on Measure/Reset — the engine splits those out first).
+std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int num_qubits,
+                                    FusionStats* stats = nullptr);
+
+/// Convenience overload over a whole circuit.
+std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats = nullptr);
+
+/// Applies a fused program to `state`.
+void apply_fused(Statevector& state, const std::vector<FusedOp>& ops);
+
+}  // namespace quml::sim

@@ -145,6 +145,14 @@ bool Mat2::approx_equal_up_to_phase(const Mat2& other, double tol) const {
   return approx_equal(scaled, tol);
 }
 
+c64 unit_phase(double angle) noexcept {
+  if (angle == 0.0) return {1.0, 0.0};
+  if (angle == kPi || angle == -kPi) return {-1.0, 0.0};
+  if (angle == kPi / 2) return {0.0, 1.0};
+  if (angle == -kPi / 2) return {0.0, -1.0};
+  return {std::cos(angle), std::sin(angle)};
+}
+
 Mat2 gate_matrix_1q(Gate g, const double* params) {
   Mat2 r;
   const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
@@ -178,11 +186,11 @@ Mat2 gate_matrix_1q(Gate g, const double* params) {
       return r;
     case Gate::T:
       r.m[0][0] = 1.0;
-      r.m[1][1] = std::exp(kI * (kPi / 4.0));
+      r.m[1][1] = unit_phase(kPi / 4.0);
       return r;
     case Gate::Tdg:
       r.m[0][0] = 1.0;
-      r.m[1][1] = std::exp(-kI * (kPi / 4.0));
+      r.m[1][1] = unit_phase(-kPi / 4.0);
       return r;
     case Gate::SX:
       r.m[0][0] = c64(0.5, 0.5);
@@ -214,13 +222,13 @@ Mat2 gate_matrix_1q(Gate g, const double* params) {
     }
     case Gate::RZ: {
       const double t = params[0] / 2.0;
-      r.m[0][0] = std::exp(-kI * t);
-      r.m[1][1] = std::exp(kI * t);
+      r.m[0][0] = unit_phase(-t);
+      r.m[1][1] = unit_phase(t);
       return r;
     }
     case Gate::P:
       r.m[0][0] = 1.0;
-      r.m[1][1] = std::exp(kI * params[0]);
+      r.m[1][1] = unit_phase(params[0]);
       return r;
     case Gate::U3: {
       const double theta = params[0], phi = params[1], lambda = params[2];

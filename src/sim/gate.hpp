@@ -54,6 +54,11 @@ struct Mat2 {
   bool approx_equal_up_to_phase(const Mat2& other, double tol = 1e-9) const;
 };
 
+/// e^{i*angle} with exact constants at multiples of pi/2: unit_phase(M_PI)
+/// is exactly -1 (std::exp(c64(0, M_PI)) is -1 + 1.2e-16i).  The simulator
+/// routes every diagonal phase through this so CZ/S/Z-style gates stay exact.
+c64 unit_phase(double angle) noexcept;
+
 /// Matrix of a one-qubit gate; params as required by gate_num_params.
 /// Conventions match Qiskit: RZ(λ) = diag(e^{-iλ/2}, e^{iλ/2}), P(λ) =
 /// diag(1, e^{iλ}), U3(θ,φ,λ) with the standard decomposition.

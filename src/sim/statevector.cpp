@@ -1,9 +1,16 @@
 #include "sim/statevector.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 namespace quml::sim {
 
@@ -11,11 +18,152 @@ namespace {
 /// Below this state size the kernels run serially; OpenMP fork/join overhead
 /// dominates for small registers.
 constexpr std::int64_t kParallelGrain = 1 << 12;
+
+/// Index-space chunk handed to one parallel task.  Chunks are power-of-two
+/// sized so they never straddle a kernel's contiguous runs unevenly.
+constexpr std::int64_t kChunkLen = 1 << 11;
+
+/// Inserts a zero bit at position `p`: bits [p, 63] shift left by one.
+inline std::uint64_t insert_zero_bit(std::uint64_t i, int p) noexcept {
+  const std::uint64_t low = i & ((1ull << p) - 1);
+  return ((i ^ low) << 1) | low;
+}
+
+/// Expands a compact counter to an index with zero bits at p0 < p1.
+inline std::uint64_t expand2(std::uint64_t i, int p0, int p1) noexcept {
+  return insert_zero_bit(insert_zero_bit(i, p0), p1);
+}
+
+/// Expands a compact counter to an index with zero bits at p0 < p1 < p2.
+inline std::uint64_t expand3(std::uint64_t i, int p0, int p1, int p2) noexcept {
+  return insert_zero_bit(expand2(i, p0, p1), p2);
+}
+
+/// Runs body(lo, hi) over [0, total) in parallel chunks of kChunkLen.  Bodies
+/// write disjoint ranges, so results are thread-count independent.
+template <typename Body>
+void parallel_chunks(std::int64_t total, Body body) {
+  if (total <= 0) return;
+  const std::int64_t nchunks = (total + kChunkLen - 1) / kChunkLen;
+  parallel_for(0, nchunks, std::max<std::int64_t>(2, kParallelGrain / kChunkLen),
+               [=](std::int64_t t) {
+                 const std::int64_t lo = t * kChunkLen;
+                 body(lo, std::min(total, lo + kChunkLen));
+               });
+}
+
+/// Multiplies the contiguous complex run d[2*start .. 2*(start+len)) by f.
+inline void scale_run(double* d, std::uint64_t start, std::int64_t len, double fr,
+                      double fi) noexcept {
+  double* p = d + 2 * start;
+  for (std::int64_t j = 0; j < 2 * len; j += 2) {
+    const double re = p[j] * fr - p[j + 1] * fi;
+    p[j + 1] = p[j] * fi + p[j + 1] * fr;
+    p[j] = re;
+  }
+}
+
+/// Multiplies every amplitude whose bit q equals `bitval` by f.  Iterates the
+/// dim/2 selected indices in contiguous runs of 2^q.
+void scale_half(double* d, std::uint64_t dim, int q, int bitval, c64 f) {
+  const std::uint64_t step = 1ull << q;
+  const std::uint64_t setmask = bitval ? step : 0ull;
+  const double fr = f.real(), fi = f.imag();
+  parallel_chunks(static_cast<std::int64_t>(dim >> 1), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (step - 1);
+      const std::int64_t len =
+          std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(step - off));
+      scale_run(d, insert_zero_bit(static_cast<std::uint64_t>(i), q) | setmask, len, fr, fi);
+      i += len;
+    }
+  });
+}
+
+/// Multiplies every amplitude whose bits at qa/qb equal va/vb by f.  Iterates
+/// the dim/4 selected indices in contiguous runs of 2^min(qa, qb).
+void scale_quadrant(double* d, std::uint64_t dim, int qa, int va, int qb, int vb, c64 f) {
+  if (qa > qb) {
+    std::swap(qa, qb);
+    std::swap(va, vb);
+  }
+  const std::uint64_t run = 1ull << qa;
+  const std::uint64_t setmask = (va ? (1ull << qa) : 0ull) | (vb ? (1ull << qb) : 0ull);
+  const double fr = f.real(), fi = f.imag();
+  parallel_chunks(static_cast<std::int64_t>(dim >> 2), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+      const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+      scale_run(d, expand2(static_cast<std::uint64_t>(i), qa, qb) | setmask, len, fr, fi);
+      i += len;
+    }
+  });
+}
+
+/// Zeroes every amplitude whose bit q equals `bitval`.
+void zero_half(double* d, std::uint64_t dim, int q, int bitval) {
+  const std::uint64_t step = 1ull << q;
+  const std::uint64_t setmask = bitval ? step : 0ull;
+  parallel_chunks(static_cast<std::int64_t>(dim >> 1), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (step - 1);
+      const std::int64_t len =
+          std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(step - off));
+      std::fill_n(d + 2 * (insert_zero_bit(static_cast<std::uint64_t>(i), q) | setmask), 2 * len,
+                  0.0);
+      i += len;
+    }
+  });
+}
+
+// --- memory budget ----------------------------------------------------------
+
+std::uint64_t default_memory_budget() {
+  constexpr std::uint64_t kGiB = 1ull << 30;
+  if (const char* env = std::getenv("QUML_SV_MEMORY_BUDGET_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::uint64_t>(v);
+  }
+  std::uint64_t phys = 0;
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page = sysconf(_SC_PAGE_SIZE);
+  if (pages > 0 && page > 0)
+    phys = static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+#endif
+  // 3/4 of RAM, clamped so small hosts keep the historical 1 GiB (26 qubits)
+  // floor and nothing allocates beyond the 30-qubit cap's 16 GiB.
+  return std::clamp<std::uint64_t>(phys / 4 * 3, kGiB, 16 * kGiB);
+}
+
+std::atomic<std::uint64_t> g_memory_budget{0};  // 0 = use default
+
 }  // namespace
 
+std::uint64_t Statevector::memory_budget_bytes() {
+  const std::uint64_t v = g_memory_budget.load(std::memory_order_relaxed);
+  return v ? v : default_memory_budget();
+}
+
+void Statevector::set_memory_budget_bytes(std::uint64_t bytes) {
+  g_memory_budget.store(bytes, std::memory_order_relaxed);
+}
+
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
-  if (num_qubits < 0 || num_qubits > 26)
-    throw ValidationError("statevector supports 0..26 qubits");
+  if (num_qubits < 0 || num_qubits > kMaxQubits)
+    throw ValidationError("statevector supports 0.." + std::to_string(kMaxQubits) + " qubits");
+  const std::uint64_t need = required_bytes(num_qubits);
+  const std::uint64_t budget = memory_budget_bytes();
+  if (need > budget)
+    throw ValidationError("statevector of " + std::to_string(num_qubits) + " qubits needs " +
+                          std::to_string(need) + " bytes of amplitudes, over the memory budget of " +
+                          std::to_string(budget) +
+                          " bytes (raise with Statevector::set_memory_budget_bytes or "
+                          "QUML_SV_MEMORY_BUDGET_BYTES)");
   amps_.assign(1ull << num_qubits, c64(0.0, 0.0));
   amps_[0] = 1.0;
 }
@@ -34,26 +182,37 @@ void Statevector::check_qubit(int q) const {
 void Statevector::apply_1q(int q, const Mat2& u) {
   check_qubit(q);
   const std::uint64_t step = 1ull << q;
-  const std::int64_t pairs = static_cast<std::int64_t>(dim() >> 1);
-  const c64 u00 = u.m[0][0], u01 = u.m[0][1], u10 = u.m[1][0], u11 = u.m[1][1];
-  c64* amps = amps_.data();
-  parallel_for(0, pairs, kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t ii = static_cast<std::uint64_t>(i);
-    const std::uint64_t i0 = ((ii >> q) << (q + 1)) | (ii & (step - 1));
-    const std::uint64_t i1 = i0 | step;
-    const c64 a0 = amps[i0], a1 = amps[i1];
-    amps[i0] = u00 * a0 + u01 * a1;
-    amps[i1] = u10 * a0 + u11 * a1;
+  const double u00r = u.m[0][0].real(), u00i = u.m[0][0].imag();
+  const double u01r = u.m[0][1].real(), u01i = u.m[0][1].imag();
+  const double u10r = u.m[1][0].real(), u10i = u.m[1][0].imag();
+  const double u11r = u.m[1][1].real(), u11i = u.m[1][1].imag();
+  double* d = reinterpret_cast<double*>(amps_.data());
+  parallel_chunks(static_cast<std::int64_t>(dim() >> 1), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (step - 1);
+      const std::int64_t len =
+          std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(step - off));
+      double* p0 = d + 2 * insert_zero_bit(static_cast<std::uint64_t>(i), q);
+      double* p1 = p0 + 2 * step;
+      for (std::int64_t j = 0; j < 2 * len; j += 2) {
+        const double xr = p0[j], xi = p0[j + 1];
+        const double yr = p1[j], yi = p1[j + 1];
+        p0[j] = u00r * xr - u00i * xi + u01r * yr - u01i * yi;
+        p0[j + 1] = u00r * xi + u00i * xr + u01r * yi + u01i * yr;
+        p1[j] = u10r * xr - u10i * xi + u11r * yr - u11i * yi;
+        p1[j + 1] = u10r * xi + u10i * xr + u11r * yi + u11i * yr;
+      }
+      i += len;
+    }
   });
 }
 
 void Statevector::apply_diag_1q(int q, c64 d0, c64 d1) {
   check_qubit(q);
-  const std::uint64_t mask = 1ull << q;
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    amps[i] *= (static_cast<std::uint64_t>(i) & mask) ? d1 : d0;
-  });
+  double* d = reinterpret_cast<double*>(amps_.data());
+  if (d0 != c64(1.0, 0.0)) scale_half(d, dim(), q, 0, d0);
+  if (d1 != c64(1.0, 0.0)) scale_half(d, dim(), q, 1, d1);
 }
 
 void Statevector::apply_controlled_1q(int control, int target, const Mat2& u) {
@@ -62,44 +221,66 @@ void Statevector::apply_controlled_1q(int control, int target, const Mat2& u) {
   if (control == target) throw ValidationError("control equals target");
   const std::uint64_t cmask = 1ull << control;
   const std::uint64_t step = 1ull << target;
-  const std::int64_t pairs = static_cast<std::int64_t>(dim() >> 1);
-  const c64 u00 = u.m[0][0], u01 = u.m[0][1], u10 = u.m[1][0], u11 = u.m[1][1];
-  c64* amps = amps_.data();
-  parallel_for(0, pairs, kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t ii = static_cast<std::uint64_t>(i);
-    const std::uint64_t i0 = ((ii >> target) << (target + 1)) | (ii & (step - 1));
-    if (!(i0 & cmask)) return;
-    const std::uint64_t i1 = i0 | step;
-    const c64 a0 = amps[i0], a1 = amps[i1];
-    amps[i0] = u00 * a0 + u01 * a1;
-    amps[i1] = u10 * a0 + u11 * a1;
+  const int p0 = std::min(control, target);
+  const int p1 = std::max(control, target);
+  const std::uint64_t run = 1ull << p0;
+  const double u00r = u.m[0][0].real(), u00i = u.m[0][0].imag();
+  const double u01r = u.m[0][1].real(), u01i = u.m[0][1].imag();
+  const double u10r = u.m[1][0].real(), u10i = u.m[1][0].imag();
+  const double u11r = u.m[1][1].real(), u11i = u.m[1][1].imag();
+  double* d = reinterpret_cast<double*>(amps_.data());
+  // dim/4 pairs: control bit forced to 1, target bit 0 at the base index.
+  parallel_chunks(static_cast<std::int64_t>(dim() >> 2), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+      const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+      double* p0p = d + 2 * (expand2(static_cast<std::uint64_t>(i), p0, p1) | cmask);
+      double* p1p = p0p + 2 * step;
+      for (std::int64_t j = 0; j < 2 * len; j += 2) {
+        const double xr = p0p[j], xi = p0p[j + 1];
+        const double yr = p1p[j], yi = p1p[j + 1];
+        p0p[j] = u00r * xr - u00i * xi + u01r * yr - u01i * yi;
+        p0p[j + 1] = u00r * xi + u00i * xr + u01r * yi + u01i * yr;
+        p1p[j] = u10r * xr - u10i * xi + u11r * yr - u11i * yi;
+        p1p[j + 1] = u10r * xi + u10i * xr + u11r * yi + u11i * yr;
+      }
+      i += len;
+    }
   });
 }
 
 void Statevector::apply_cp(int control, int target, double lambda) {
   check_qubit(control);
   check_qubit(target);
-  const std::uint64_t both = (1ull << control) | (1ull << target);
-  const c64 phase = std::exp(c64(0.0, lambda));
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    if ((static_cast<std::uint64_t>(i) & both) == both) amps[i] *= phase;
-  });
+  if (control == target) throw ValidationError("control equals target");
+  const c64 phase = unit_phase(lambda);
+  if (phase == c64(1.0, 0.0)) return;
+  scale_quadrant(reinterpret_cast<double*>(amps_.data()), dim(), control, 1, target, 1, phase);
 }
 
 void Statevector::apply_swap(int a, int b) {
   check_qubit(a);
   check_qubit(b);
   if (a == b) return;
+  const int p0 = std::min(a, b);
+  const int p1 = std::max(a, b);
   const std::uint64_t amask = 1ull << a;
   const std::uint64_t bmask = 1ull << b;
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t idx = static_cast<std::uint64_t>(i);
-    // Visit each mismatched pair once: a-bit set, b-bit clear.
-    if ((idx & amask) && !(idx & bmask)) {
-      const std::uint64_t partner = (idx & ~amask) | bmask;
-      std::swap(amps[idx], amps[partner]);
+  const std::uint64_t run = 1ull << p0;
+  double* d = reinterpret_cast<double*>(amps_.data());
+  // dim/4 mismatched pairs: base has both operand bits clear; swap the
+  // (a=1,b=0) index with its (a=0,b=1) partner.
+  parallel_chunks(static_cast<std::int64_t>(dim() >> 2), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+      const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+      const std::uint64_t base = expand2(static_cast<std::uint64_t>(i), p0, p1);
+      double* x = d + 2 * (base | amask);
+      double* y = d + 2 * (base | bmask);
+      for (std::int64_t j = 0; j < 2 * len; ++j) std::swap(x[j], y[j]);
+      i += len;
     }
   });
 }
@@ -107,29 +288,45 @@ void Statevector::apply_swap(int a, int b) {
 void Statevector::apply_rzz(int a, int b, double theta) {
   check_qubit(a);
   check_qubit(b);
-  const std::uint64_t amask = 1ull << a;
-  const std::uint64_t bmask = 1ull << b;
-  const c64 same = std::exp(c64(0.0, -theta / 2.0));
-  const c64 diff = std::exp(c64(0.0, theta / 2.0));
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t idx = static_cast<std::uint64_t>(i);
-    const bool ba = (idx & amask) != 0, bb = (idx & bmask) != 0;
-    amps[idx] *= (ba == bb) ? same : diff;
-  });
+  if (a == b) throw ValidationError("rzz operands must differ");
+  const c64 same = unit_phase(-theta / 2.0);
+  const c64 diff = unit_phase(theta / 2.0);
+  double* d = reinterpret_cast<double*>(amps_.data());
+  if (same != c64(1.0, 0.0)) {
+    scale_quadrant(d, dim(), a, 0, b, 0, same);
+    scale_quadrant(d, dim(), a, 1, b, 1, same);
+  }
+  if (diff != c64(1.0, 0.0)) {
+    scale_quadrant(d, dim(), a, 0, b, 1, diff);
+    scale_quadrant(d, dim(), a, 1, b, 0, diff);
+  }
 }
 
 void Statevector::apply_ccx(int c0, int c1, int target) {
   check_qubit(c0);
   check_qubit(c1);
   check_qubit(target);
+  if (c0 == c1 || c0 == target || c1 == target)
+    throw ValidationError("ccx operands must be distinct");
+  int p[3] = {c0, c1, target};
+  std::sort(p, p + 3);
   const std::uint64_t controls = (1ull << c0) | (1ull << c1);
   const std::uint64_t tmask = 1ull << target;
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t idx = static_cast<std::uint64_t>(i);
-    if ((idx & controls) == controls && !(idx & tmask))
-      std::swap(amps[idx], amps[idx | tmask]);
+  const std::uint64_t run = 1ull << p[0];
+  double* d = reinterpret_cast<double*>(amps_.data());
+  // dim/8 pairs: both controls forced to 1, target 0 at the base index.
+  const int p0 = p[0], p1 = p[1], p2 = p[2];
+  parallel_chunks(static_cast<std::int64_t>(dim() >> 3), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+      const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+      const std::uint64_t base = expand3(static_cast<std::uint64_t>(i), p0, p1, p2) | controls;
+      double* x = d + 2 * base;
+      double* y = d + 2 * (base | tmask);
+      for (std::int64_t j = 0; j < 2 * len; ++j) std::swap(x[j], y[j]);
+      i += len;
+    }
   });
 }
 
@@ -137,15 +334,27 @@ void Statevector::apply_cswap(int control, int a, int b) {
   check_qubit(control);
   check_qubit(a);
   check_qubit(b);
+  if (control == a || control == b || a == b)
+    throw ValidationError("cswap operands must be distinct");
+  int p[3] = {control, a, b};
+  std::sort(p, p + 3);
   const std::uint64_t cmask = 1ull << control;
   const std::uint64_t amask = 1ull << a;
   const std::uint64_t bmask = 1ull << b;
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    const std::uint64_t idx = static_cast<std::uint64_t>(i);
-    if ((idx & cmask) && (idx & amask) && !(idx & bmask)) {
-      const std::uint64_t partner = (idx & ~amask) | bmask;
-      std::swap(amps[idx], amps[partner]);
+  const std::uint64_t run = 1ull << p[0];
+  double* d = reinterpret_cast<double*>(amps_.data());
+  // dim/8 mismatched pairs under an asserted control bit.
+  const int p0 = p[0], p1 = p[1], p2 = p[2];
+  parallel_chunks(static_cast<std::int64_t>(dim() >> 3), [=](std::int64_t lo, std::int64_t hi) {
+    std::int64_t i = lo;
+    while (i < hi) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+      const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+      const std::uint64_t base = expand3(static_cast<std::uint64_t>(i), p0, p1, p2) | cmask;
+      double* x = d + 2 * (base | amask);
+      double* y = d + 2 * (base | bmask);
+      for (std::int64_t j = 0; j < 2 * len; ++j) std::swap(x[j], y[j]);
+      i += len;
     }
   });
 }
@@ -160,14 +369,14 @@ void Statevector::apply(const Instruction& inst) {
     case Gate::Z: apply_diag_1q(inst.qubits[0], 1.0, -1.0); return;
     case Gate::S: apply_diag_1q(inst.qubits[0], 1.0, c64(0.0, 1.0)); return;
     case Gate::Sdg: apply_diag_1q(inst.qubits[0], 1.0, c64(0.0, -1.0)); return;
-    case Gate::T: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, M_PI / 4))); return;
-    case Gate::Tdg: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, -M_PI / 4))); return;
+    case Gate::T: apply_diag_1q(inst.qubits[0], 1.0, unit_phase(M_PI / 4)); return;
+    case Gate::Tdg: apply_diag_1q(inst.qubits[0], 1.0, unit_phase(-M_PI / 4)); return;
     case Gate::RZ: {
-      const c64 half = std::exp(c64(0.0, inst.params[0] / 2.0));
+      const c64 half = unit_phase(inst.params[0] / 2.0);
       apply_diag_1q(inst.qubits[0], std::conj(half), half);
       return;
     }
-    case Gate::P: apply_diag_1q(inst.qubits[0], 1.0, std::exp(c64(0.0, inst.params[0]))); return;
+    case Gate::P: apply_diag_1q(inst.qubits[0], 1.0, unit_phase(inst.params[0])); return;
     case Gate::CX:
       apply_controlled_1q(inst.qubits[0], inst.qubits[1], gate_matrix_1q(Gate::X, nullptr));
       return;
@@ -215,10 +424,11 @@ double Statevector::probability_one(int q) const {
   check_qubit(q);
   const std::uint64_t mask = 1ull << q;
   const c64* amps = amps_.data();
-  return parallel_reduce_sum(0, static_cast<std::int64_t>(dim()), kParallelGrain,
+  // Sum only the dim/2 amplitudes with bit q set.
+  return parallel_reduce_sum(0, static_cast<std::int64_t>(dim() >> 1), kParallelGrain,
                              [=](std::int64_t i) {
-                               return (static_cast<std::uint64_t>(i) & mask) ? std::norm(amps[i])
-                                                                             : 0.0;
+                               return std::norm(
+                                   amps[insert_zero_bit(static_cast<std::uint64_t>(i), q) | mask]);
                              });
 }
 
@@ -255,21 +465,25 @@ double Statevector::fidelity(const Statevector& other) const {
 }
 
 int Statevector::measure_collapse(int q, Rng& rng) {
-  const double p1 = probability_one(q);
+  // Reductions over ~2^30 squared magnitudes drift by a few ulps, so a
+  // deterministic state can report p1 = 1 + 1e-16 or -1e-17; clamp instead of
+  // rejecting the legitimately near-deterministic outcome.
+  double p1 = probability_one(q);
+  // Drift from a reduction is a few ulps; anything further out of [0, 1]
+  // means the state itself is corrupt and must not be silently clamped away.
+  constexpr double kDriftTol = 1e-9;
+  if (!(p1 >= -kDriftTol && p1 <= 1.0 + kDriftTol))
+    throw BackendError("measurement probability " + std::to_string(p1) +
+                       " is outside [0, 1] beyond floating-point drift; statevector norm lost");
+  p1 = std::clamp(p1, 0.0, 1.0);
   const int outcome = rng.next_double() < p1 ? 1 : 0;
+  // keep_prob > 0 always: outcome 1 needs draw < p1 (so p1 > 0), outcome 0
+  // needs draw >= p1 with draw < 1 (so 1 - p1 > 0).
   const double keep_prob = outcome ? p1 : 1.0 - p1;
-  if (keep_prob <= 0.0)
-    throw BackendError("measurement collapsed onto a zero-probability branch");
   const double scale = 1.0 / std::sqrt(keep_prob);
-  const std::uint64_t mask = 1ull << q;
-  c64* amps = amps_.data();
-  parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain, [=](std::int64_t i) {
-    const bool one = (static_cast<std::uint64_t>(i) & mask) != 0;
-    if (one == (outcome == 1))
-      amps[i] *= scale;
-    else
-      amps[i] = c64(0.0, 0.0);
-  });
+  double* d = reinterpret_cast<double*>(amps_.data());
+  zero_half(d, dim(), q, outcome ^ 1);
+  if (scale != 1.0) scale_half(d, dim(), q, outcome, c64(scale, 0.0));
   return outcome;
 }
 

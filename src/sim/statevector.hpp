@@ -6,6 +6,11 @@
 // OpenMP-parallel over index strides; all parallelism is bit-reproducible
 // because kernels are deterministic and sampling draws from an explicit,
 // serial RNG stream.
+//
+// Kernel layout: every gate touches only the amplitudes its operands select.
+// A k-qubit kernel iterates the dim/2^k base indices produced by inserting
+// the fixed operand bits into a compact counter (bit-insertion indexing), in
+// contiguous runs so the inner loops are branch-free and auto-vectorizable.
 
 #include <complex>
 #include <cstdint>
@@ -18,7 +23,24 @@ namespace quml::sim {
 
 class Statevector {
  public:
-  /// Initializes |0...0>.  Hard cap of 26 qubits (1 GiB of amplitudes).
+  /// Hard cap on register width (16 GiB of amplitudes at 30 qubits).  Actual
+  /// construction is additionally gated by the process memory budget.
+  static constexpr int kMaxQubits = 30;
+
+  /// Bytes of amplitude storage a register of `num_qubits` needs.
+  static constexpr std::uint64_t required_bytes(int num_qubits) noexcept {
+    return sizeof(c64) << num_qubits;
+  }
+
+  /// The amplitude-memory budget gating wide-register construction.  Defaults
+  /// to 3/4 of physical RAM clamped to [1 GiB, 16 GiB]; override with
+  /// set_memory_budget_bytes() or the QUML_SV_MEMORY_BUDGET_BYTES env var.
+  static std::uint64_t memory_budget_bytes();
+  /// Sets the budget; 0 restores the automatic default.
+  static void set_memory_budget_bytes(std::uint64_t bytes);
+
+  /// Initializes |0...0>.  Throws ValidationError beyond kMaxQubits or when
+  /// the amplitudes would not fit in the memory budget.
   explicit Statevector(int num_qubits);
 
   int num_qubits() const noexcept { return num_qubits_; }
@@ -37,10 +59,12 @@ class Statevector {
 
   // --- primitive kernels -----------------------------------------------------
   void apply_1q(int q, const Mat2& u);
-  /// Diagonal 1q fast path: amp *= d0/d1 by bit value.
+  /// Diagonal 1q fast path: amp *= d0/d1 by bit value (halves with a factor
+  /// of exactly 1 are skipped entirely).
   void apply_diag_1q(int q, c64 d0, c64 d1);
   void apply_controlled_1q(int control, int target, const Mat2& u);
-  /// Phase e^{i lambda} on |..1..1..> (control & target set).
+  /// Phase e^{i lambda} on |..1..1..> (control & target set).  Exact multiples
+  /// of pi/2 use exact constants (CZ applies exactly -1, not exp(i*pi)).
   void apply_cp(int control, int target, double lambda);
   void apply_swap(int a, int b);
   /// exp(-i theta/2 Z⊗Z).
@@ -62,6 +86,8 @@ class Statevector {
 
   // --- non-unitary operations ---------------------------------------------------
   /// Projective Z measurement with collapse; returns the outcome bit.
+  /// Probabilities are clamped against floating-point drift, so a
+  /// near-deterministic outcome collapses cleanly instead of throwing.
   int measure_collapse(int q, Rng& rng);
   /// Measure-and-flip-to-zero.
   void reset_qubit(int q, Rng& rng);

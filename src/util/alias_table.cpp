@@ -1,0 +1,51 @@
+#include "util/alias_table.hpp"
+
+#include "util/errors.hpp"
+
+namespace quml {
+
+AliasTable::AliasTable(std::vector<double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw ValidationError("alias table needs at least one weight");
+  if (n > (1ull << 32)) throw ValidationError("alias table supports at most 2^32 weights");
+
+  double sum = 0.0;
+  for (double& w : weights) {
+    if (w < 0.0) w = 0.0;
+    sum += w;
+  }
+  if (sum <= 0.0) throw ValidationError("alias table weights sum to zero");
+
+  // Normalize in place: the moved-in buffer becomes the scaled weights and
+  // finally the acceptance thresholds, so construction allocates only the
+  // 4-byte alias column and the (≤ n entries combined) work stacks beyond it.
+  const double scale = static_cast<double>(n) / sum;
+  for (double& w : weights) w *= scale;
+
+  alias_.resize(n);
+  // Vose's stable construction: partition columns into under/over-full and
+  // pair each under-full column with an over-full donor.  An index lives on
+  // exactly one stack at a time, so the stacks together never exceed n.
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_[i] = static_cast<std::uint32_t>(i);
+    (weights[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    alias_[s] = l;
+    weights[l] -= 1.0 - weights[s];
+    if (weights[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) are exactly full up to rounding: accept always.
+  for (const std::uint32_t i : small) weights[i] = 1.0;
+  for (const std::uint32_t i : large) weights[i] = 1.0;
+  prob_ = std::move(weights);
+}
+
+}  // namespace quml

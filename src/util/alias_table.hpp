@@ -1,0 +1,40 @@
+#pragma once
+// Walker/Vose alias method: O(n) construction, O(1) sampling from a discrete
+// distribution.  The shot sampler uses this instead of a CDF binary search —
+// for a 2^20-amplitude register that turns 20 comparisons per shot into one
+// table lookup, and shot batches dominate the engine's sampling path.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace quml {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (need not be normalized).
+  /// Takes the vector by value and rebuilds it in place as the acceptance
+  /// thresholds, so a caller that std::moves its buffer pays one extra
+  /// 4-byte alias entry per weight rather than three 8-byte temporaries —
+  /// this matters when the weights are the 2^30 probabilities of a maximal
+  /// register.  Negative drift (e.g. -1e-17 from a squared-magnitude
+  /// reduction) is clamped to zero; throws ValidationError if the weights
+  /// sum to zero.
+  explicit AliasTable(std::vector<double> weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Draws an index; consumes exactly one next_below and one next_double.
+  std::size_t sample(Rng& rng) const noexcept {
+    const std::uint64_t column = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[column] ? static_cast<std::size_t>(column)
+                                             : static_cast<std::size_t>(alias_[column]);
+  }
+
+ private:
+  std::vector<double> prob_;          // acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  // fallback index per column
+};
+
+}  // namespace quml

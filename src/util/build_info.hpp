@@ -1,0 +1,23 @@
+#pragma once
+// Build-configuration introspection.
+//
+// Benchmark JSONs must record whether the measured quml library was an
+// optimized build: PR 1's perf trajectory was accidentally recorded against
+// a debug tree, and nothing caught it.  bench/run_benchmarks.sh refuses to
+// aggregate results unless build_type() reports "release".
+
+namespace quml {
+
+/// "release" when the library is compiled with NDEBUG (CMake Release /
+/// RelWithDebInfo), "debug" otherwise.  Header-inline so it always reflects
+/// the flags of the consuming build, which a single-config tree shares with
+/// the library.
+constexpr const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace quml

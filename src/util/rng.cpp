@@ -80,9 +80,12 @@ Rng Rng::split(std::uint64_t index) const noexcept {
 }
 
 std::size_t Rng::sample_cdf(const std::vector<double>& cdf) noexcept {
+  if (cdf.empty()) return 0;
   const double u = next_double();
   auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-  if (it == cdf.end()) return cdf.empty() ? 0 : cdf.size() - 1;
+  // A CDF accumulated in floating point can end below 1.0; a draw past the
+  // drifted tail clamps to the last bucket instead of indexing out of range.
+  if (it == cdf.end()) return cdf.size() - 1;
   return static_cast<std::size_t>(it - cdf.begin());
 }
 

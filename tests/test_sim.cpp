@@ -1,12 +1,13 @@
 // Tests for the gate-model substrate: gate matrices, Euler decomposition,
-// circuit IR metrics and inversion, state-vector kernels, shot sampling,
-// and mid-circuit measurement trajectories.
+// circuit IR metrics and inversion, state-vector kernels, gate fusion, shot
+// sampling, and mid-circuit measurement trajectories.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "sim/engine.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 #include "util/errors.hpp"
 #include "util/rng.hpp"
@@ -303,6 +304,175 @@ TEST(Statevector, NormPreservedByRandomCircuit) {
   EXPECT_NEAR(Engine().run_statevector(c).norm(), 1.0, 1e-9);
 }
 
+TEST(Statevector, ExactPhaseConstants) {
+  // unit_phase snaps multiples of pi/2 to exact values.
+  EXPECT_EQ(unit_phase(kPi), c64(-1.0, 0.0));
+  EXPECT_EQ(unit_phase(-kPi), c64(-1.0, 0.0));
+  EXPECT_EQ(unit_phase(kPi / 2), c64(0.0, 1.0));
+  EXPECT_EQ(unit_phase(-kPi / 2), c64(0.0, -1.0));
+  EXPECT_EQ(unit_phase(0.0), c64(1.0, 0.0));
+  // CZ through apply_cp(pi) applies exactly -1: no 1e-16 imaginary residue.
+  Statevector sv(2);
+  sv.set_basis_state(0b11);
+  sv.apply_cp(0, 1, kPi);
+  EXPECT_EQ(sv.amplitude(0b11), c64(-1.0, 0.0));
+  // ... and applying it twice restores the state exactly.
+  sv.apply_cp(0, 1, kPi);
+  EXPECT_EQ(sv.amplitude(0b11), c64(1.0, 0.0));
+}
+
+TEST(Statevector, QubitCapAndMemoryBudget) {
+  EXPECT_THROW(Statevector(Statevector::kMaxQubits + 1), ValidationError);
+  EXPECT_THROW(Statevector(-1), ValidationError);
+  EXPECT_EQ(Statevector::required_bytes(27), (1ull << 27) * sizeof(c64));
+  // With a 1 GiB budget the historical 26-qubit ceiling still constructs but
+  // 27 qubits (2 GiB of amplitudes) is refused up front.
+  Statevector::set_memory_budget_bytes(1ull << 30);
+  EXPECT_THROW(Statevector(27), ValidationError);
+  EXPECT_NO_THROW(Statevector(20));
+  Statevector::set_memory_budget_bytes(0);  // restore the automatic default
+  EXPECT_GE(Statevector::memory_budget_bytes(), 1ull << 30);
+}
+
+TEST(Statevector, WideRegisterConstruction) {
+  // A 27-qubit register (2 GiB, past the old 26-qubit hard cap) constructs
+  // when the budget allows.  28..30 only assert the budget arithmetic — the
+  // 16 GiB fill would dominate the whole suite's runtime.
+  if (Statevector::required_bytes(27) <= Statevector::memory_budget_bytes()) {
+    Statevector sv(27);
+    EXPECT_EQ(sv.num_qubits(), 27);
+    EXPECT_EQ(sv.dim(), 1ull << 27);
+    EXPECT_EQ(sv.amplitude(0), c64(1.0, 0.0));
+  }
+  for (const int n : {28, 29, 30}) {
+    EXPECT_EQ(Statevector::required_bytes(n), sizeof(c64) << n);
+    // Under a deliberately small budget every wide width is refused up front
+    // (no multi-GiB allocation is attempted), proving the gate is the budget
+    // and not the hard cap.
+    Statevector::set_memory_budget_bytes(1ull << 30);
+    EXPECT_THROW(Statevector{n}, ValidationError);
+    Statevector::set_memory_budget_bytes(0);
+  }
+}
+
+TEST(Statevector, MeasureClampsNearDeterministicProbabilities) {
+  // Long diagonal-heavy circuits drift p1 a few ulps past [0, 1]; collapse
+  // must clamp and succeed instead of throwing on the legitimate outcome.
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    Statevector sv(4);
+    sv.apply_1q(0, gate_matrix_1q(Gate::X, nullptr));
+    for (int i = 0; i < 200; ++i) {
+      sv.apply_diag_1q(i % 4, unit_phase(0.3), unit_phase(-0.7));
+      if (i % 3 == 0) sv.apply_rzz(i % 4, (i + 1) % 4, 1.1);
+    }
+    EXPECT_EQ(sv.measure_collapse(0, rng), 1);  // deterministically |1>
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+  }
+}
+
+// --- fusion ------------------------------------------------------------------
+
+Circuit random_circuit(std::uint64_t seed, int qubits, int gates, bool with_multiq) {
+  Rng rng(seed);
+  Circuit c(qubits, 0);
+  for (int i = 0; i < gates; ++i) {
+    const int q = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(qubits)));
+    const int r = (q + 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(qubits - 1)))) % qubits;
+    switch (rng.next_below(with_multiq ? 14 : 8)) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.s(q); break;
+      case 3: c.t(q); break;
+      case 4: c.rz(rng.next_double() * 6 - 3, q); break;
+      case 5: c.rx(rng.next_double() * 6 - 3, q); break;
+      case 6: c.p(rng.next_double() * 6 - 3, q); break;
+      case 7: c.u3(rng.next_double() * 3, rng.next_double() * 6 - 3, rng.next_double() * 6 - 3, q); break;
+      case 8: c.cx(q, r); break;
+      case 9: c.cz(q, r); break;
+      case 10: c.cp(rng.next_double() * 6 - 3, q, r); break;
+      case 11: c.rzz(rng.next_double() * 6 - 3, q, r); break;
+      case 12: c.swap(q, r); break;
+      case 13: c.ccx(q, r, (r + 1) % qubits == q ? (r + 2) % qubits : (r + 1) % qubits); break;
+    }
+  }
+  return c;
+}
+
+class FusionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionProperty, FusedMatchesUnfused) {
+  const Circuit c = random_circuit(static_cast<std::uint64_t>(GetParam()), 5, 80, true);
+  Statevector unfused(5);
+  unfused.apply_unitaries(c);  // gate-by-gate reference path
+  Statevector fused(5);
+  FusionStats stats;
+  apply_fused(fused, fuse_unitaries(c, &stats));
+  EXPECT_NEAR(unfused.fidelity(fused), 1.0, 1e-9);
+  EXPECT_LE(stats.ops_out, c.size());
+  // Fusion is exact (no Euler resynthesis), so even amplitudes must agree.
+  for (std::uint64_t i = 0; i < unfused.dim(); ++i)
+    EXPECT_LT(std::abs(unfused.amplitude(i) - fused.amplitude(i)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, FusionProperty, ::testing::Range(0, 20));
+
+TEST(Fusion, CollapsesOneQubitRuns) {
+  Circuit c(2, 0);
+  c.h(0);
+  c.t(0);
+  c.rx(0.3, 0);
+  c.h(1);
+  FusionStats stats;
+  const auto ops = fuse_unitaries(c, &stats);
+  // Three gates on q0 fuse to one op; q1 keeps its own.
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(stats.fused_1q, 4u);
+  EXPECT_EQ(ops[0].kind, FusedOp::Kind::Unitary1Q);
+  EXPECT_EQ(ops[0].qubit, 0);
+  EXPECT_EQ(ops[1].kind, FusedOp::Kind::Unitary1Q);
+  EXPECT_EQ(ops[1].qubit, 1);
+}
+
+TEST(Fusion, MergesDiagonalRunsAcrossDiagonalTwoQubitGates) {
+  // rz; cz; rz on the same wire: the diagonal accumulation commutes through
+  // CZ, so both rotations land in a single diagonal application.
+  Circuit c(2, 0);
+  c.rz(0.4, 0);
+  c.cz(0, 1);
+  c.rz(0.6, 0);
+  FusionStats stats;
+  const auto ops = fuse_unitaries(c, &stats);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, FusedOp::Kind::Other);  // the cz passes through first
+  EXPECT_EQ(ops[1].kind, FusedOp::Kind::Diag1Q);
+  EXPECT_EQ(stats.diag_runs, 1u);
+  // Semantics preserved despite the commute.
+  Statevector a(2), b(2);
+  a.apply_unitaries(c);
+  apply_fused(b, fuse_unitaries(c));
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_LT(std::abs(a.amplitude(i) - b.amplitude(i)), 1e-12);
+}
+
+TEST(Fusion, BarrierIsAFence) {
+  Circuit c(1, 0);
+  c.h(0);
+  c.barrier();
+  c.h(0);
+  const auto ops = fuse_unitaries(c);
+  ASSERT_EQ(ops.size(), 2u);  // no fusion across the barrier
+  EXPECT_EQ(ops[0].kind, FusedOp::Kind::Unitary1Q);
+  EXPECT_EQ(ops[1].kind, FusedOp::Kind::Unitary1Q);
+}
+
+TEST(Fusion, RejectsNonUnitaries) {
+  Circuit c(1, 1);
+  c.h(0);
+  c.measure(0, 0);
+  EXPECT_THROW(fuse_unitaries(c), ValidationError);
+}
+
 TEST(Engine, DeterministicCounts) {
   Circuit c(2, 2);
   c.h(0);
@@ -364,6 +534,29 @@ TEST(Engine, MidCircuitMeasurementCollapses) {
     (void)n;
     EXPECT_TRUE(key == "00" || key == "11") << key;
   }
+}
+
+TEST(Engine, MidCircuitPrefixReuseKeepsTrajectoriesIndependent) {
+  // A nontrivial unitary prefix before the first measurement is evolved once
+  // and copied per shot; outcomes must still be independent across shots and
+  // perfectly correlated within one.
+  Circuit c(3, 2);
+  c.h(0);
+  c.t(0);
+  c.h(1);
+  c.cx(1, 2);
+  c.measure(0, 0);
+  c.cx(0, 1);  // mid-circuit: forces the trajectory path
+  c.measure(0, 1);
+  c.z(2);  // trailing unitary after the last measure: unobservable, dropped
+  const CountMap counts = Engine().run_counts(c, 4000, 13);
+  std::int64_t total = 0;
+  for (const auto& [key, n] : counts) {
+    EXPECT_TRUE(key == "00" || key == "11") << key;  // same qubit twice
+    total += n;
+  }
+  EXPECT_EQ(total, 4000);
+  EXPECT_NEAR(static_cast<double>(counts.at("00")) / 4000.0, 0.5, 0.05);
 }
 
 TEST(Engine, ResetReinitializes) {

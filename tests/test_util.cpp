@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "util/alias_table.hpp"
 #include "util/bits.hpp"
 #include "util/errors.hpp"
 #include "util/rational.hpp"
@@ -101,6 +102,61 @@ TEST(Rng, SampleCdf) {
   EXPECT_NEAR(histogram[0] / double(n), 0.1, 0.01);
   EXPECT_NEAR(histogram[1] / double(n), 0.5, 0.01);
   EXPECT_NEAR(histogram[2] / double(n), 0.4, 0.01);
+}
+
+TEST(Rng, SampleCdfClampsDriftedTail) {
+  // Regression: a CDF whose final entry drifted below 1.0 must clamp draws
+  // past the tail to the last bucket, never index out of range.
+  Rng r(17);
+  const std::vector<double> drifted{0.25, 0.5, 0.97};
+  for (int i = 0; i < 200000; ++i) {
+    const std::size_t idx = r.sample_cdf(drifted);
+    ASSERT_LT(idx, drifted.size());
+  }
+  // An extreme drift (tail at 0.5) funnels half the draws into the clamp.
+  const std::vector<double> heavy_drift{0.1, 0.5};
+  int clamped = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (r.sample_cdf(heavy_drift) == 1) ++clamped;
+  EXPECT_NEAR(clamped / double(n), 0.9, 0.02);  // 0.4 in-range + 0.5 clamped
+}
+
+TEST(AliasTable, MatchesDistribution) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng r(9);
+  std::vector<int> histogram(weights.size(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++histogram[table.sample(r)];
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    EXPECT_NEAR(histogram[i] / double(n), weights[i] / 10.0, 0.01) << i;
+}
+
+TEST(AliasTable, DeterministicForSameSeed) {
+  const std::vector<double> weights{0.5, 0.1, 0.9, 0.2, 0.3};
+  AliasTable table(weights);
+  Rng a(4), b(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(a), table.sample(b));
+}
+
+TEST(AliasTable, ClampsNegativeDriftAndRejectsDegenerate) {
+  // Tiny negative drift (as produced by parallel reductions) is treated as 0.
+  AliasTable table({1.0, -1e-17, 1.0});
+  Rng r(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(r), 1u);
+  EXPECT_THROW(AliasTable({}), ValidationError);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), ValidationError);
+  EXPECT_THROW(AliasTable({-1.0}), ValidationError);
+}
+
+TEST(AliasTable, SingleAndDeterministicWeights) {
+  AliasTable one({42.0});
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.sample(r), 0u);
+  // A delta distribution always lands on the only positive weight.
+  AliasTable delta({0.0, 0.0, 5.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(delta.sample(r), 2u);
 }
 
 TEST(Bits, BitAtAndWithBit) {

@@ -11,33 +11,96 @@ BackendRegistry& BackendRegistry::instance() {
 
 void BackendRegistry::register_backend(const std::string& name, BackendFactory factory,
                                        const std::vector<std::string>& aliases) {
-  for (const auto& [key, _] : entries_)
-    if (key == name) throw BackendError("backend '" + name + "' already registered");
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Validate the whole registration before touching any state (strong
+  // guarantee): the canonical name and every alias must be new, and the
+  // aliases must not collide among themselves or with the name.
+  for (const auto& [key, entry] : entries_) {
+    if (key == name)
+      throw BackendError(key == entry.canonical
+                             ? "backend '" + name + "' already registered"
+                             : "backend name '" + name + "' collides with an alias of '" +
+                                   entry.canonical + "'");
+    for (const auto& alias : aliases)
+      if (key == alias)
+        throw BackendError("alias '" + alias + "' for backend '" + name +
+                           "' collides with existing backend '" + entry.canonical + "'");
+  }
+  for (std::size_t i = 0; i < aliases.size(); ++i) {
+    if (aliases[i] == name)
+      throw BackendError("alias '" + aliases[i] + "' duplicates its own backend name");
+    for (std::size_t j = i + 1; j < aliases.size(); ++j)
+      if (aliases[i] == aliases[j])
+        throw BackendError("alias '" + aliases[i] + "' listed twice for backend '" + name + "'");
+  }
   order_.push_back(name);
   entries_.emplace_back(name, Entry{name, factory});
   for (const auto& alias : aliases) entries_.emplace_back(alias, Entry{name, factory});
 }
 
-std::unique_ptr<Backend> BackendRegistry::create(const std::string& engine) const {
+const BackendRegistry::Entry* BackendRegistry::find(const std::string& engine) const {
   for (const auto& [key, entry] : entries_)
-    if (key == engine) return entry.factory();
+    if (key == engine) return &entry;
+  return nullptr;
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(const std::string& engine) const {
+  BackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Entry* entry = find(engine)) {
+      factory = entry->factory;
+    } else {
+      std::string known;
+      for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
+      throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
+    }
+  }
+  // Run the factory outside the lock: construction may be slow, and a
+  // factory that consults the registry must not deadlock.
+  return factory();
+}
+
+bool BackendRegistry::has(const std::string& engine) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find(engine) != nullptr;
+}
+
+std::string BackendRegistry::canonical(const std::string& engine) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* entry = find(engine)) return entry->canonical;
   std::string known;
   for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
   throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
 }
 
-bool BackendRegistry::has(const std::string& engine) const {
-  for (const auto& [key, _] : entries_)
-    if (key == engine) return true;
-  return false;
+std::vector<std::string> BackendRegistry::engines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
 }
 
-std::vector<std::string> BackendRegistry::engines() const { return order_; }
-
-ExecutionResult submit(const JobBundle& bundle) {
-  if (!bundle.context || bundle.context->exec.engine.empty())
-    throw BackendError("bundle has no exec.engine to dispatch on");
-  return BackendRegistry::instance().create(bundle.context->exec.engine)->run(bundle);
+json::Value BackendRegistry::capabilities(const std::string& engine) const {
+  BackendFactory factory;
+  std::string canonical_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* entry = find(engine);
+    if (!entry) {
+      std::string known;
+      for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
+      throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
+    }
+    canonical_name = entry->canonical;
+    for (const auto& [name, caps] : caps_)
+      if (name == canonical_name) return caps;
+    factory = entry->factory;
+  }
+  json::Value caps = factory()->capabilities();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, cached] : caps_)  // lost the race to another prober
+    if (name == canonical_name) return cached;
+  caps_.emplace_back(canonical_name, caps);
+  return caps;
 }
 
 }  // namespace quml::core

@@ -7,9 +7,15 @@
 // are dotted <family>.<implementation> strings; aliases let the paper's
 // engine names ("gate.aer_simulator", "anneal.neal_simulator") resolve to
 // this repository's substrates.
+//
+// The registry is thread-safe: the svc::ExecutionService resolves names and
+// instantiates backends from concurrent worker threads, so every accessor
+// takes the registry lock and capability advertisements are computed once
+// per engine and cached (they are immutable for a registration's lifetime).
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +25,11 @@
 namespace quml::core {
 
 /// A realization target: consumes a bundle, returns decoded results.
+///
+/// Concurrency contract: the ExecutionService gives each worker thread its
+/// own Backend instance, so run() never races against itself on one object —
+/// but several instances of the same engine may run() simultaneously, so
+/// implementations must not mutate shared process state.
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -41,7 +52,11 @@ class BackendRegistry {
  public:
   static BackendRegistry& instance();
 
-  /// Registers a factory under its canonical name plus aliases.
+  /// Registers a factory under its canonical name plus aliases.  Throws
+  /// BackendError when the name *or any alias* collides with an existing
+  /// name or alias (or with another alias in the same call) — lookup is
+  /// first-match, so a silent collision would shadow one engine forever.
+  /// Strong guarantee: a rejected registration changes nothing.
   void register_backend(const std::string& name, BackendFactory factory,
                         const std::vector<std::string>& aliases = {});
 
@@ -49,20 +64,34 @@ class BackendRegistry {
   std::unique_ptr<Backend> create(const std::string& engine) const;
 
   bool has(const std::string& engine) const;
+  /// Resolves a name or alias to its canonical name; throws BackendError.
+  std::string canonical(const std::string& engine) const;
   /// Canonical names, registration order.
   std::vector<std::string> engines() const;
+
+  /// Capability advertisement for `engine`, instantiated once per canonical
+  /// engine and cached.  Schedulers poll this on every routing decision, so
+  /// it must not pay backend construction each time.
+  json::Value capabilities(const std::string& engine) const;
 
  private:
   struct Entry {
     std::string canonical;
     BackendFactory factory;
   };
+  const Entry* find(const std::string& engine) const;  // caller holds mutex_
+
+  mutable std::mutex mutex_;
   std::vector<std::string> order_;
   std::vector<std::pair<std::string, Entry>> entries_;  // name/alias -> entry
+  mutable std::vector<std::pair<std::string, json::Value>> caps_;  // canonical -> caps
 };
 
-/// Creates the backend named by the bundle's context and runs the bundle
-/// (one-call convenience mirroring the paper's Fig. 2/3 workflow).
+/// Synchronous compatibility wrapper around svc::ExecutionService: submits
+/// the bundle to the process-wide service and blocks for its result (defined
+/// in src/svc/execution_service.cpp).  Every pre-service caller keeps
+/// working; new code should talk to the service directly for job handles,
+/// batching, and "auto" routing.
 ExecutionResult submit(const JobBundle& bundle);
 
 }  // namespace quml::core

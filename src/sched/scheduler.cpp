@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/registry.hpp"
 #include "core/sequence.hpp"
 #include "util/errors.hpp"
 
@@ -92,6 +93,19 @@ JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& bac
   est.success_prob = std::pow(1.0 - backend.oneq_error, oneq) *
                      std::pow(1.0 - backend.twoq_error, twoq);
   return est;
+}
+
+std::vector<BackendCapability> registry_capabilities(
+    const std::function<double(const std::string&)>& backlog_us) {
+  const auto& registry = core::BackendRegistry::instance();
+  std::vector<BackendCapability> fleet;
+  for (const auto& name : registry.engines()) {
+    BackendCapability cap = BackendCapability::from_json(registry.capabilities(name));
+    if (cap.name.empty()) cap.name = name;
+    if (backlog_us) cap.queue_wait_us = backlog_us(name);
+    fleet.push_back(std::move(cap));
+  }
+  return fleet;
 }
 
 Decision choose_backend(const core::JobBundle& bundle,

@@ -10,6 +10,7 @@
 // lowered circuit, so it runs before any backend work.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,15 @@ struct JobEstimate {
 
 /// Estimates from cost hints alone (no lowering).
 JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& backend);
+
+/// Live capability snapshot of every registered backend: each canonical
+/// engine's advertisement (cached by the registry, so polling is cheap) with
+/// queue_wait_us filled from the `backlog_us` probe when one is supplied.
+/// The ExecutionService passes its actual per-backend backlog here, closing
+/// the paper's §2 cost-hint loop with real feedback instead of a static
+/// queue_wait_us guess.
+std::vector<BackendCapability> registry_capabilities(
+    const std::function<double(const std::string&)>& backlog_us = {});
 
 /// Backend choice with the full decision record.
 struct Decision {

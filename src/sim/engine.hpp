@@ -25,6 +25,12 @@ namespace quml::sim {
 /// rightmost character, matching Qiskit count keys).
 using CountMap = std::map<std::string, std::int64_t>;
 
+/// Re-entrancy: Engine holds no state — run_counts/run_statevector allocate
+/// everything (statevector, fusion plan, RNG streams) per call, so one
+/// Engine may be driven from many threads at once and every call returns
+/// exactly the counts the same seed produces single-threaded.  The
+/// svc::ExecutionService worker pools rely on this (asserted by
+/// SvcSimReentrancy in tests/test_svc.cpp under the tsan preset).
 class Engine {
  public:
   /// Executes `shots` shots; all randomness derives from `seed`.

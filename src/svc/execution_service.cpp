@@ -1,0 +1,394 @@
+#include "svc/execution_service.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "util/errors.hpp"
+
+namespace quml::svc {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Queued: return "QUEUED";
+    case JobStatus::Running: return "RUNNING";
+    case JobStatus::Done: return "DONE";
+    case JobStatus::Failed: return "FAILED";
+    case JobStatus::Cancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+namespace detail {
+
+/// Shared job state.  Lock order across the service is strictly
+/// service mutex -> queue mutex -> record mutex; no path takes them in any
+/// other order, and no lock is held across a Backend::run call.
+struct JobRecord {
+  JobId id = 0;
+  core::JobBundle bundle;
+  std::string engine;  // canonical name = queue key
+  std::optional<sched::Decision> decision;
+  sched::JobEstimate estimate;
+  double backlog_contribution_us = 0.0;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::Queued;
+  core::ExecutionResult result;
+  std::exception_ptr failure;
+};
+
+thread_local bool t_on_worker_thread = false;
+
+bool on_worker_thread() { return t_on_worker_thread; }
+
+}  // namespace detail
+
+using detail::JobRecord;
+
+namespace {
+
+JobStatus status_of(const JobRecord& rec) {
+  std::lock_guard<std::mutex> lock(rec.mutex);
+  return rec.status;
+}
+
+const JobRecord& require(const std::shared_ptr<JobRecord>& rec) {
+  if (!rec) throw BackendError("operation on an invalid (default-constructed) JobHandle");
+  return *rec;
+}
+
+}  // namespace
+
+// --- JobHandle --------------------------------------------------------------
+
+JobId JobHandle::id() const { return require(rec_).id; }
+
+JobStatus JobHandle::status() const { return status_of(require(rec_)); }
+
+std::string JobHandle::engine() const { return require(rec_).engine; }
+
+std::optional<sched::Decision> JobHandle::decision() const { return require(rec_).decision; }
+
+void JobHandle::wait() const {
+  const JobRecord& rec = require(rec_);
+  std::unique_lock<std::mutex> lock(rec.mutex);
+  rec.cv.wait(lock, [&] { return is_terminal(rec.status); });
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  const JobRecord& rec = require(rec_);
+  std::unique_lock<std::mutex> lock(rec.mutex);
+  return rec.cv.wait_for(lock, timeout, [&] { return is_terminal(rec.status); });
+}
+
+core::ExecutionResult JobHandle::result() const {
+  const JobRecord& rec = require(rec_);
+  std::unique_lock<std::mutex> lock(rec.mutex);
+  rec.cv.wait(lock, [&] { return is_terminal(rec.status); });
+  if (rec.failure) std::rethrow_exception(rec.failure);
+  if (rec.status == JobStatus::Cancelled)
+    throw BackendError("job " + std::to_string(rec.id) + " was cancelled");
+  return rec.result;
+}
+
+std::string JobHandle::error() const {
+  const JobRecord& rec = require(rec_);
+  std::lock_guard<std::mutex> lock(rec.mutex);
+  if (!rec.failure) return "";
+  try {
+    std::rethrow_exception(rec.failure);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown failure";
+  }
+}
+
+bool JobHandle::cancel() const {
+  JobRecord& rec = const_cast<JobRecord&>(require(rec_));
+  std::lock_guard<std::mutex> lock(rec.mutex);
+  if (rec.status != JobStatus::Queued) return false;
+  rec.status = JobStatus::Cancelled;
+  rec.cv.notify_all();
+  // The record stays in its FIFO; the worker that pops it skips execution
+  // and settles the backlog accounting (single accounting path).
+  return true;
+}
+
+// --- ExecutionService -------------------------------------------------------
+
+struct ExecutionService::BackendQueue {
+  std::string engine;  // canonical
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<JobRecord>> fifo;
+  double backlog_us = 0.0;  // queued + running estimated work
+  bool stop = false;
+  std::vector<std::thread> workers;
+};
+
+ExecutionService::ExecutionService(ServiceConfig config) : config_(std::move(config)) {
+  // Touch the registry singleton now: it outlives this service even when the
+  // service itself is a static (shared()), so workers joined during static
+  // destruction can never see a destroyed registry.
+  (void)core::BackendRegistry::instance();
+}
+
+ExecutionService::~ExecutionService() { shutdown(); }
+
+ExecutionService& ExecutionService::shared() {
+  static ExecutionService service([] {
+    // Wide enough that concurrent legacy core::submit() callers keep the
+    // parallelism they had when each call ran inline, without spawning an
+    // unbounded pool on large hosts.
+    ServiceConfig config;
+    const unsigned hw = std::thread::hardware_concurrency();
+    config.default_workers = static_cast<int>(std::min(8u, std::max(2u, hw)));
+    return config;
+  }());
+  return service;
+}
+
+std::shared_ptr<JobRecord> ExecutionService::route(core::JobBundle bundle) {
+  auto rec = std::make_shared<JobRecord>();
+  const std::string requested =
+      bundle.context ? bundle.context->exec.engine : std::string();
+  if (requested.empty())
+    throw BackendError("bundle has no exec.engine to dispatch on");
+
+  auto& registry = core::BackendRegistry::instance();
+  if (requested == "auto") {
+    const sched::Decision decision =
+        sched::choose_backend(bundle, capability_snapshot(), config_.weights);
+    rec->engine = registry.canonical(decision.backend);
+    bundle.context->exec.engine = decision.backend;  // late binding resolved
+    rec->decision = decision;
+  } else {
+    rec->engine = registry.canonical(requested);  // throws when unknown
+  }
+
+  // Reuse one estimate for the backlog feed: what this job is expected to
+  // add to its pool, from cost hints alone (sched never sees the circuit).
+  const sched::BackendCapability cap =
+      sched::BackendCapability::from_json(registry.capabilities(rec->engine));
+  rec->estimate = sched::estimate(bundle, cap);
+  rec->backlog_contribution_us = rec->estimate.feasible ? rec->estimate.duration_us : 0.0;
+  rec->bundle = std::move(bundle);
+  return rec;
+}
+
+ExecutionService::BackendQueue* ExecutionService::queue_for(const std::string& engine) {
+  // Caller holds mutex_.
+  auto it = queues_.find(engine);
+  if (it != queues_.end()) return it->second.get();
+  auto queue = std::make_unique<BackendQueue>();
+  queue->engine = engine;
+  BackendQueue* raw = queue.get();
+  const int workers = config_.workers_for(engine);
+  raw->workers.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    raw->workers.emplace_back([this, raw] { worker_loop(raw); });
+  queues_.emplace(engine, std::move(queue));
+  return raw;
+}
+
+void ExecutionService::enqueue(const std::shared_ptr<JobRecord>& rec) {
+  BackendQueue* queue = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw BackendError("ExecutionService is shut down");
+    rec->id = next_id_++;
+    records_.emplace(rec->id, rec);
+    if (rec->failure == nullptr) {
+      queue = queue_for(rec->engine);
+      ++outstanding_;
+      // Push while still holding the service mutex (service -> queue is the
+      // sanctioned nesting order): releasing it first would open a window
+      // where shutdown() drains and joins the pool, and this job lands in a
+      // dead queue as QUEUED forever.
+      std::lock_guard<std::mutex> qlock(queue->mutex);
+      queue->fifo.push_back(rec);
+      queue->backlog_us += rec->backlog_contribution_us;
+    }
+  }
+  if (queue) queue->cv.notify_one();
+}
+
+JobId ExecutionService::submit(core::JobBundle bundle) {
+  auto rec = route(std::move(bundle));
+  enqueue(rec);
+  return rec->id;
+}
+
+std::vector<JobId> ExecutionService::submit_batch(std::vector<core::JobBundle> bundles) {
+  std::vector<JobId> ids;
+  ids.reserve(bundles.size());
+  for (auto& bundle : bundles) {
+    std::shared_ptr<JobRecord> rec;
+    try {
+      rec = route(std::move(bundle));
+    } catch (...) {
+      rec = std::make_shared<JobRecord>();
+      rec->status = JobStatus::Failed;
+      rec->failure = std::current_exception();
+    }
+    enqueue(rec);
+    ids.push_back(rec->id);
+  }
+  return ids;
+}
+
+JobHandle ExecutionService::handle(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  return it == records_.end() ? JobHandle() : JobHandle(it->second);
+}
+
+void ExecutionService::forget(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.erase(id);  // queues and handles hold their own shared_ptrs
+}
+
+double ExecutionService::backlog_us(const std::string& engine) const {
+  const auto& registry = core::BackendRegistry::instance();
+  const std::string key = registry.has(engine) ? registry.canonical(engine) : engine;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = queues_.find(key);
+  if (it == queues_.end()) return 0.0;
+  std::lock_guard<std::mutex> qlock(it->second->mutex);
+  return it->second->backlog_us;
+}
+
+std::size_t ExecutionService::queue_depth(const std::string& engine) const {
+  const auto& registry = core::BackendRegistry::instance();
+  const std::string key = registry.has(engine) ? registry.canonical(engine) : engine;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = queues_.find(key);
+  if (it == queues_.end()) return 0;
+  std::lock_guard<std::mutex> qlock(it->second->mutex);
+  return it->second->fifo.size();
+}
+
+std::vector<sched::BackendCapability> ExecutionService::capability_snapshot() const {
+  return sched::registry_capabilities([this](const std::string& name) { return backlog_us(name); });
+}
+
+void ExecutionService::finish(const std::shared_ptr<JobRecord>& rec, BackendQueue& queue) {
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.backlog_us -= rec->backlog_contribution_us;
+    if (queue.backlog_us < 0.0) queue.backlog_us = 0.0;  // guard FP drift
+  }
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle = --outstanding_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+void ExecutionService::worker_loop(BackendQueue* queue) {
+  // One Backend instance per worker: run() never races against itself, and
+  // concurrent instances of the same engine must be independent (the
+  // Backend concurrency contract in core/registry.hpp).
+  std::unique_ptr<core::Backend> backend;
+  detail::t_on_worker_thread = true;
+  for (;;) {
+    std::shared_ptr<JobRecord> rec;
+    {
+      std::unique_lock<std::mutex> lock(queue->mutex);
+      queue->cv.wait(lock, [&] { return queue->stop || !queue->fifo.empty(); });
+      if (queue->fifo.empty()) return;  // stop && drained
+      rec = queue->fifo.front();
+      queue->fifo.pop_front();
+    }
+
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(rec->mutex);
+      if (rec->status == JobStatus::Cancelled) {
+        cancelled = true;
+      } else {
+        rec->status = JobStatus::Running;
+      }
+    }
+    if (cancelled) {
+      finish(rec, *queue);
+      continue;
+    }
+
+    core::ExecutionResult result;
+    std::exception_ptr failure;
+    try {
+      if (!backend) backend = core::BackendRegistry::instance().create(queue->engine);
+      result = backend->run(rec->bundle);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(rec->mutex);
+      rec->failure = failure;
+      rec->result = std::move(result);
+      rec->bundle = core::JobBundle{};  // release the job's largest payload
+      rec->status = failure ? JobStatus::Failed : JobStatus::Done;
+    }
+    rec->cv.notify_all();
+    finish(rec, *queue);
+  }
+}
+
+void ExecutionService::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void ExecutionService::shutdown() {
+  std::vector<BackendQueue*> queues;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;  // no new queues can appear past this point
+    for (auto& [_, queue] : queues_) queues.push_back(queue.get());
+  }
+  // Idempotent: join() consumes joinability, so a destructor following an
+  // explicit shutdown() finds nothing left to join.
+  for (BackendQueue* queue : queues) {
+    {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      queue->stop = true;
+    }
+    queue->cv.notify_all();
+  }
+  for (BackendQueue* queue : queues)
+    for (auto& worker : queue->workers)
+      if (worker.joinable()) worker.join();
+}
+
+}  // namespace quml::svc
+
+namespace quml::core {
+
+// The historical blocking call, reimplemented as submit + wait on the
+// process-wide service (declared in core/registry.hpp).  Failures propagate
+// synchronously with their original exception types.  The job is forgotten
+// once consumed so looping callers don't accumulate terminal records, and a
+// call from inside a service worker (a backend running sub-jobs) executes
+// inline — enqueueing onto the pool the worker itself is blocking would
+// self-deadlock.
+ExecutionResult submit(const JobBundle& bundle) {
+  if (svc::detail::on_worker_thread()) {
+    if (!bundle.context || bundle.context->exec.engine.empty())
+      throw BackendError("bundle has no exec.engine to dispatch on");
+    return BackendRegistry::instance().create(bundle.context->exec.engine)->run(bundle);
+  }
+  auto& service = svc::ExecutionService::shared();
+  const svc::JobId id = service.submit(bundle);
+  const svc::JobHandle job = service.handle(id);
+  service.forget(id);
+  return job.result();
+}
+
+}  // namespace quml::core

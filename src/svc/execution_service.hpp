@@ -1,0 +1,174 @@
+#pragma once
+// Asynchronous, scheduler-integrated job execution service.
+//
+// This makes the paper's HPC analogy operational: jobs carrying cost hints
+// flow into per-backend FIFO queues drained by worker pools — like Slurm
+// jobs into partitions — instead of one blocking core::submit() call.
+//
+//   * submit() / submit_batch() return immediately with JobIds;
+//   * handle(id) yields a JobHandle with status() / wait() / wait_for() /
+//     result() / cancel();
+//   * exec.engine == "auto" routes through sched::choose_backend with
+//     queue_wait_us fed live from each backend's actual backlog, so the §2
+//     cost-hint loop finally has real feedback (an idle backend wins over a
+//     congested one with otherwise identical capabilities);
+//   * every worker thread owns a private Backend instance, and each job's
+//     randomness derives from its own exec.seed, so results are bit-identical
+//     to serial core::submit() regardless of worker count or arrival order.
+//
+// core::submit() is now a thin synchronous wrapper over the process-wide
+// shared() service (submit + wait), so the blocking API remains available
+// without a second execution path.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "core/result.hpp"
+#include "sched/scheduler.hpp"
+
+namespace quml::svc {
+
+/// Monotonically increasing per-service job identifier (first job is 1).
+using JobId = std::uint64_t;
+
+enum class JobStatus { Queued, Running, Done, Failed, Cancelled };
+
+/// "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED".
+const char* to_string(JobStatus status);
+inline bool is_terminal(JobStatus status) {
+  return status == JobStatus::Done || status == JobStatus::Failed ||
+         status == JobStatus::Cancelled;
+}
+
+struct ServiceConfig {
+  /// Worker threads per backend pool (pools are created lazily per engine).
+  int default_workers = 1;
+  /// Per-engine override, keyed by canonical engine name.
+  std::map<std::string, int> workers_per_engine;
+  /// Scoring weights for "auto" routing (sched::choose_backend).
+  sched::ScoreWeights weights;
+
+  int workers_for(const std::string& engine) const {
+    const auto it = workers_per_engine.find(engine);
+    const int n = it != workers_per_engine.end() ? it->second : default_workers;
+    return n > 0 ? n : 1;
+  }
+};
+
+namespace detail {
+struct JobRecord;
+/// True on an ExecutionService worker thread.  core::submit() checks this
+/// and runs inline there: a Backend whose run() submits sub-jobs must not
+/// enqueue onto the very pool its own worker is blocking (self-deadlock).
+bool on_worker_thread();
+}
+
+/// Client-side view of one submitted job.  Copyable; all methods are
+/// thread-safe and throw BackendError on a default-constructed handle.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return static_cast<bool>(rec_); }
+  JobId id() const;
+  JobStatus status() const;
+  /// Canonical engine the job was routed to (resolved even for "auto").
+  std::string engine() const;
+  /// Full routing record when the job was submitted with engine "auto".
+  std::optional<sched::Decision> decision() const;
+
+  /// Blocks until the job reaches a terminal state.
+  void wait() const;
+  /// Like wait(), but gives up after `timeout`; false means still pending.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+  /// Waits, then returns the result.  Rethrows the job's failure with its
+  /// original type; throws BackendError if the job was cancelled.
+  core::ExecutionResult result() const;
+  /// The failure message for a FAILED job, empty otherwise (non-blocking).
+  std::string error() const;
+  /// QUEUED -> CANCELLED.  False once the job is running or terminal: a
+  /// running backend is not preempted (HPC semantics — scancel on a running
+  /// step waits for the step).
+  bool cancel() const;
+
+ private:
+  friend class ExecutionService;
+  explicit JobHandle(std::shared_ptr<detail::JobRecord> rec) : rec_(std::move(rec)) {}
+
+  std::shared_ptr<detail::JobRecord> rec_;
+};
+
+class ExecutionService {
+ public:
+  explicit ExecutionService(ServiceConfig config = {});
+  ~ExecutionService();  // drains every queue, then joins the workers
+  ExecutionService(const ExecutionService&) = delete;
+  ExecutionService& operator=(const ExecutionService&) = delete;
+
+  /// Routes and enqueues one bundle, returning immediately.  Throws
+  /// BackendError for an unknown/absent engine or when "auto" finds no
+  /// feasible backend — submission errors fail early and synchronously.
+  JobId submit(core::JobBundle bundle);
+
+  /// Routes and enqueues a batch.  Unlike submit(), a bundle whose routing
+  /// fails still yields a JobId: its job is born FAILED with the error
+  /// attached, so one bad job cannot void the rest of the batch.  Jobs are
+  /// routed in order, each seeing the backlog of its predecessors.
+  std::vector<JobId> submit_batch(std::vector<core::JobBundle> bundles);
+
+  /// Handle for a submitted job; invalid handle if the id is unknown.
+  JobHandle handle(JobId id) const;
+
+  /// Drops the service's own reference to a job's record so long-lived
+  /// services don't accumulate terminal jobs (handle(id) becomes invalid;
+  /// already-obtained JobHandles keep working, including wait()/result() on
+  /// a job still in flight).  Callers that poll by id should forget() each
+  /// job once they have consumed its result.
+  void forget(JobId id);
+
+  /// Estimated microseconds of queued + running work on `engine`'s pool
+  /// (accepts aliases).  This is the live queue_wait_us feed for routing.
+  double backlog_us(const std::string& engine) const;
+  /// Jobs currently waiting in `engine`'s FIFO (accepts aliases).
+  std::size_t queue_depth(const std::string& engine) const;
+  /// Registry capabilities with queue_wait_us = live backlog per backend.
+  std::vector<sched::BackendCapability> capability_snapshot() const;
+
+  /// Blocks until every submitted job is terminal.
+  void wait_all();
+  /// Drains queues, joins workers, and rejects further submissions.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Process-wide default instance (workers spawn on first use); the
+  /// synchronous core::submit() wrapper runs through it.
+  static ExecutionService& shared();
+
+ private:
+  struct BackendQueue;
+
+  std::shared_ptr<detail::JobRecord> route(core::JobBundle bundle);
+  void enqueue(const std::shared_ptr<detail::JobRecord>& rec);
+  void finish(const std::shared_ptr<detail::JobRecord>& rec, BackendQueue& queue);
+  void worker_loop(BackendQueue* queue);
+  BackendQueue* queue_for(const std::string& canonical_engine);  // creates pools lazily
+
+  ServiceConfig config_;
+  mutable std::mutex mutex_;                   // queues_ map, records_, counters
+  std::condition_variable idle_cv_;            // signalled when outstanding_ hits 0
+  std::map<std::string, std::unique_ptr<BackendQueue>> queues_;
+  std::map<JobId, std::shared_ptr<detail::JobRecord>> records_;
+  JobId next_id_ = 1;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace quml::svc

@@ -1,32 +1,76 @@
 // quml_run — the middle-layer runtime (paper §7: "the runtime that submits
 // jobs to specific platforms").
 //
-// Usage:  quml_run <job.json> [--engine NAME] [--samples N] [--seed S]
-//                  [--output result.json]
+// Usage:  quml_run <job.json> [--engine NAME|auto] [--samples N] [--seed S]
+//                  [--async] [--workers N] [--output result.json]
 //
-// Loads a packaged submission bundle, optionally overrides the execution
-// policy from the command line (late binding in action: the intent artifacts
-// inside the bundle are never modified), dispatches through the backend
-// registry, and prints/writes the decoded result.
+// Loads a packaged submission bundle — or a JSON *array* of bundles, which
+// is submitted as a batch through the svc::ExecutionService — optionally
+// overrides the execution policy from the command line (late binding in
+// action: the intent artifacts inside the bundle are never modified), and
+// prints/writes the decoded results.  `--engine auto` routes every job
+// through the cost-hint scheduler and prints the full decision record;
+// `--async` forces the service path (worker pools) even for a single job.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "backend/register_backends.hpp"
 #include "core/registry.hpp"
+#include "svc/execution_service.hpp"
 #include "util/errors.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: quml_run <job.json> [--engine NAME] [--samples N] [--seed S]\n"
-               "                [--output result.json]\n"
+               "usage: quml_run <job.json> [--engine NAME|auto] [--samples N] [--seed S]\n"
+               "                [--async] [--workers N] [--output result.json]\n"
+               "  <job.json> may hold one bundle or a JSON array of bundles (batch).\n"
                "registered engines:\n");
   for (const auto& name : quml::core::BackendRegistry::instance().engines())
     std::fprintf(stderr, "  %s\n", name.c_str());
+  std::fprintf(stderr, "  auto (scheduler-driven choice from live cost estimates)\n");
+}
+
+std::vector<quml::core::JobBundle> load_bundles(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw quml::BackendError("cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const quml::json::Value doc = quml::json::parse(text.str());
+  std::vector<quml::core::JobBundle> bundles;
+  if (doc.is_array()) {
+    for (const auto& item : doc.as_array())
+      bundles.push_back(quml::core::JobBundle::from_json(item));
+  } else {
+    bundles.push_back(quml::core::JobBundle::from_json(doc));
+  }
+  return bundles;
+}
+
+void print_decision(const quml::sched::Decision& decision) {
+  std::printf("routing : scheduler decision (engine auto)\n");
+  for (const auto& [name, est] : decision.considered) {
+    if (est.feasible)
+      std::printf("  %-32s duration %.0f us, success %.4f\n", name.c_str(), est.duration_us,
+                  est.success_prob);
+    else
+      std::printf("  %-32s infeasible: %s\n", name.c_str(), est.reason.c_str());
+  }
+  std::printf("  -> %s (score %.3f)\n", decision.backend.c_str(), decision.score);
+}
+
+void print_result(const quml::core::ExecutionResult& result) {
+  std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
+  for (const auto& outcome : result.decoded)
+    std::printf("%-16s %-10lld %s\n", outcome.bitstring.c_str(),
+                static_cast<long long>(outcome.count), outcome.value.str().c_str());
+  std::printf("\nmetadata: %s\n", quml::json::dump_pretty(result.metadata).c_str());
 }
 
 }  // namespace
@@ -44,6 +88,8 @@ int main(int argc, char** argv) {
   std::string engine_override;
   std::int64_t samples_override = -1;
   std::int64_t seed_override = -1;
+  std::int64_t workers = 2;
+  bool async = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -57,6 +103,8 @@ int main(int argc, char** argv) {
     else if (arg == "--samples") samples_override = std::atoll(next());
     else if (arg == "--seed") seed_override = std::atoll(next());
     else if (arg == "--output") output_path = next();
+    else if (arg == "--workers") workers = std::atoll(next());
+    else if (arg == "--async") async = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -74,30 +122,71 @@ int main(int argc, char** argv) {
   }
 
   try {
-    core::JobBundle bundle = core::JobBundle::load(job_path);
-    if (!bundle.context) bundle.context = core::Context{};
-    if (!engine_override.empty()) bundle.context->exec.engine = engine_override;
-    if (samples_override > 0) bundle.context->exec.samples = samples_override;
-    if (seed_override >= 0) bundle.context->exec.seed = static_cast<std::uint64_t>(seed_override);
+    std::vector<core::JobBundle> bundles = load_bundles(job_path);
+    bool any_auto = false;
+    for (auto& bundle : bundles) {
+      if (!bundle.context) bundle.context = core::Context{};
+      if (!engine_override.empty()) bundle.context->exec.engine = engine_override;
+      if (samples_override > 0) bundle.context->exec.samples = samples_override;
+      if (seed_override >= 0) bundle.context->exec.seed = static_cast<std::uint64_t>(seed_override);
+      any_auto = any_auto || bundle.context->exec.engine == "auto";
+    }
 
-    std::printf("job     : %s (%zu register(s), %zu operator(s))\n", bundle.job_id.c_str(),
-                bundle.registers.size(), bundle.operators.ops.size());
-    std::printf("engine  : %s\n", bundle.context->exec.engine.c_str());
-    const core::ExecutionResult result = core::submit(bundle);
+    const bool service_path = async || any_auto || bundles.size() > 1;
+    json::Array results_json;
+    int failures = 0;
 
-    std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
-    for (const auto& outcome : result.decoded)
-      std::printf("%-16s %-10lld %s\n", outcome.bitstring.c_str(),
-                  static_cast<long long>(outcome.count), outcome.value.str().c_str());
-    std::printf("\nmetadata: %s\n", json::dump_pretty(result.metadata).c_str());
+    if (!service_path) {
+      // Single synchronous job: the historical one-call workflow.
+      const core::JobBundle& bundle = bundles.front();
+      std::printf("job     : %s (%zu register(s), %zu operator(s))\n", bundle.job_id.c_str(),
+                  bundle.registers.size(), bundle.operators.ops.size());
+      std::printf("engine  : %s\n", bundle.context->exec.engine.c_str());
+      const core::ExecutionResult result = core::submit(bundle);
+      print_result(result);
+      results_json.push_back(result.to_json());
+    } else {
+      svc::ServiceConfig config;
+      config.default_workers = workers > 0 ? static_cast<int>(workers) : 1;
+      svc::ExecutionService service(config);
+      std::printf("submitting %zu job(s) through ExecutionService (%d worker(s)/engine)\n",
+                  bundles.size(), config.default_workers);
+      const std::vector<svc::JobId> ids = service.submit_batch(std::move(bundles));
+      service.wait_all();
+      for (const svc::JobId id : ids) {
+        const svc::JobHandle handle = service.handle(id);
+        std::printf("\n== job %llu: %s (engine %s, status %s)\n",
+                    static_cast<unsigned long long>(id), handle.valid() ? "submitted" : "unknown",
+                    handle.engine().empty() ? "-" : handle.engine().c_str(),
+                    svc::to_string(handle.status()));
+        if (const auto decision = handle.decision()) print_decision(*decision);
+        if (handle.status() == svc::JobStatus::Failed) {
+          std::fprintf(stderr, "error: %s\n", handle.error().c_str());
+          ++failures;
+          // Keep the output array index-aligned with the input batch: a
+          // failed job contributes an error stub, not a silent gap.
+          json::Value stub = json::Value::object();
+          stub.set("status", json::Value("FAILED"));
+          stub.set("error", json::Value(handle.error()));
+          results_json.push_back(std::move(stub));
+          continue;
+        }
+        const core::ExecutionResult result = handle.result();
+        print_result(result);
+        results_json.push_back(result.to_json());
+      }
+    }
 
     if (!output_path.empty()) {
       std::ofstream out(output_path);
       if (!out) throw BackendError("cannot write '" + output_path + "'");
-      out << json::dump_pretty(result.to_json()) << "\n";
+      if (results_json.size() == 1 && !service_path)
+        out << json::dump_pretty(results_json.front()) << "\n";
+      else
+        out << json::dump_pretty(json::Value(std::move(results_json))) << "\n";
       std::printf("wrote %s\n", output_path.c_str());
     }
-    return 0;
+    return failures == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

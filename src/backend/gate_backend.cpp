@@ -15,15 +15,6 @@ namespace quml::backend {
 
 namespace {
 
-/// The effective result schema: the one on a trailing MEASUREMENT, else the
-/// last descriptor that carries one.
-const core::ResultSchema* effective_schema(const core::OperatorSequence& ops) {
-  const core::ResultSchema* schema = nullptr;
-  for (const auto& op : ops.ops)
-    if (op.result_schema) schema = &*op.result_schema;
-  return schema;
-}
-
 transpile::RoutingMethod routing_from_options(const json::Value& options) {
   const std::string method = options.get_string("routing_method", "sabre");
   if (method == "sabre") return transpile::RoutingMethod::Sabre;
@@ -35,47 +26,17 @@ transpile::RoutingMethod routing_from_options(const json::Value& options) {
 
 core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
   Stopwatch timer;
-  const core::RegisterSet& regs = bundle.registers;
   const core::Context ctx = bundle.context.value_or(core::Context{});
   const core::ExecPolicy& exec = ctx.exec;
 
+  // 1. Lower descriptors -> logical circuit (realization hooks + readout from
+  // the effective result schema; shared with the tools' fusion preview).
+  const sim::Circuit logical = lower_bundle(bundle);
+  const core::RegisterSet& regs = bundle.registers;
   const core::ResultSchema* schema = effective_schema(bundle.operators);
-  if (!schema)
-    throw LoweringError("gate backend needs a result schema (attach a MEASUREMENT descriptor)");
-  if (schema->clbit_order.empty())
-    throw LoweringError("result schema must name its clbit_order");
+  if (!schema || schema->clbit_order.empty())  // lower_bundle validated this; guard regardless
+    throw LoweringError("gate backend needs a result schema with a clbit_order");
   const std::string& readout_reg = schema->clbit_order.front().reg;
-  for (const auto& ref : schema->clbit_order)
-    if (ref.reg != readout_reg)
-      throw LoweringError("result schema must address a single register");
-
-  // 1. Lower descriptors -> logical circuit.  MEASUREMENT descriptors are
-  // realized from the schema at the end (readout is the backend's job).
-  const QubitResolver resolver(regs);
-  const int num_clbits = static_cast<int>(schema->clbit_order.size());
-  sim::Circuit logical(static_cast<int>(regs.total_width()), num_clbits);
-  const LoweringRegistry& hooks = LoweringRegistry::instance();
-  for (const auto& op : bundle.operators.ops) {
-    if (op.rep_kind == core::rep::kMeasurement) continue;
-    hooks.lower(op, resolver, logical);
-  }
-  for (int clbit = 0; clbit < num_clbits; ++clbit) {
-    const core::ClbitRef& ref = schema->clbit_order[static_cast<std::size_t>(clbit)];
-    const int qubit = resolver.qubit(ref.reg, ref.index);
-    // The schema's basis is explicit (paper §2 criticizes Qiskit's implicit
-    // Z default): rotate X/Y readout into the computational basis first.
-    switch (schema->basis) {
-      case core::Basis::Z: break;
-      case core::Basis::X:
-        logical.h(qubit);
-        break;
-      case core::Basis::Y:
-        logical.sdg(qubit);
-        logical.h(qubit);
-        break;
-    }
-    logical.measure(qubit, clbit);
-  }
 
   // 2. Transpile per the context target.
   transpile::TranspileOptions topts;

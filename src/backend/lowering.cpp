@@ -415,4 +415,62 @@ void LoweringRegistry::lower(const core::OperatorDescriptor& op, const QubitReso
   throw LoweringError("no realization hook for rep_kind '" + op.rep_kind + "'");
 }
 
+const core::ResultSchema* effective_schema(const core::OperatorSequence& ops) {
+  const core::ResultSchema* schema = nullptr;
+  for (const auto& op : ops.ops)
+    if (op.result_schema) schema = &*op.result_schema;
+  return schema;
+}
+
+sim::Circuit lower_bundle(const core::JobBundle& bundle) {
+  const core::RegisterSet& regs = bundle.registers;
+  const core::ResultSchema* schema = effective_schema(bundle.operators);
+  if (!schema)
+    throw LoweringError("gate backend needs a result schema (attach a MEASUREMENT descriptor)");
+  if (schema->clbit_order.empty())
+    throw LoweringError("result schema must name its clbit_order");
+  const std::string& readout_reg = schema->clbit_order.front().reg;
+  for (const auto& ref : schema->clbit_order)
+    if (ref.reg != readout_reg)
+      throw LoweringError("result schema must address a single register");
+
+  const QubitResolver resolver(regs);
+  const int num_clbits = static_cast<int>(schema->clbit_order.size());
+  sim::Circuit logical(static_cast<int>(regs.total_width()), num_clbits);
+  const LoweringRegistry& hooks = LoweringRegistry::instance();
+  for (const auto& op : bundle.operators.ops) {
+    if (op.rep_kind == core::rep::kMeasurement) continue;
+    hooks.lower(op, resolver, logical);
+  }
+  for (int clbit = 0; clbit < num_clbits; ++clbit) {
+    const core::ClbitRef& ref = schema->clbit_order[static_cast<std::size_t>(clbit)];
+    const int qubit = resolver.qubit(ref.reg, ref.index);
+    // The schema's basis is explicit (paper §2 criticizes Qiskit's implicit
+    // Z default): rotate X/Y readout into the computational basis first.
+    switch (schema->basis) {
+      case core::Basis::Z: break;
+      case core::Basis::X:
+        logical.h(qubit);
+        break;
+      case core::Basis::Y:
+        logical.sdg(qubit);
+        logical.h(qubit);
+        break;
+    }
+    logical.measure(qubit, clbit);
+  }
+  return logical;
+}
+
+sim::FusionStats bundle_fusion_stats(const core::JobBundle& bundle) {
+  const sim::Circuit logical = lower_bundle(bundle);
+  std::vector<sim::Instruction> unitaries;
+  for (const auto& inst : logical.instructions())
+    if (inst.gate != sim::Gate::Measure && inst.gate != sim::Gate::Reset)
+      unitaries.push_back(inst);
+  sim::FusionStats stats;
+  sim::fuse_unitaries(unitaries, logical.num_qubits(), &stats);
+  return stats;
+}
+
 }  // namespace quml::backend

@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "core/bundle.hpp"
 #include "core/qod.hpp"
 #include "core/sequence.hpp"
 #include "sim/circuit.hpp"
+#include "sim/fusion.hpp"
 
 namespace quml::backend {
 
@@ -51,6 +53,26 @@ class LoweringRegistry {
   LoweringRegistry();
   std::vector<std::pair<std::string, LoweringFn>> entries_;
 };
+
+/// The effective result schema of a sequence: the one on a trailing
+/// MEASUREMENT, else the last descriptor carrying one; nullptr when absent.
+const core::ResultSchema* effective_schema(const core::OperatorSequence& ops);
+
+/// Lowers a whole job bundle to its logical circuit: every non-MEASUREMENT
+/// descriptor through the realization hooks, then readout realized from the
+/// effective result schema (basis rotations + trailing measures) — exactly
+/// the circuit the gate backend transpiles and executes.  Throws
+/// LoweringError when the bundle has no usable schema or unknown rep_kinds.
+/// Shared by GateBackend::run and the tools' `--verbose` fusion preview.
+sim::Circuit lower_bundle(const core::JobBundle& bundle);
+
+/// FusionStats of the lowered *logical* circuit's unitary part — a preview of
+/// what the simulator's gate-fusion pass does with this bundle's traffic
+/// before target transpilation (a context with basis_gates/coupling_map makes
+/// the executed, transpiled circuit differ).  Throws like lower_bundle (e.g.
+/// for anneal-only bundles with no schema).  Backs the `--verbose` previews
+/// of quml_run and quml_inspect.
+sim::FusionStats bundle_fusion_stats(const core::JobBundle& bundle);
 
 /// Appends a textbook QFT on `qubits` (LSB first): |k> -> N^{-1/2} sum_j
 /// exp(2 pi i k j / N) |j>, with the wire-reversal swaps when `do_swaps`.

@@ -1,7 +1,9 @@
 #pragma once
 // Shot execution engine on top of the state-vector simulator.
 //
-// Two execution paths, both running the gate-fusion pass first:
+// Two execution paths, both running the generalized k-qubit gate-fusion pass
+// (sim/fusion) first — adjacent gates merge into diagonal/monomial/dense
+// blocks, so depth-dominated circuits pay far fewer full-state sweeps:
 //  * trailing-measurement circuits (the common case) simulate the fused
 //    unitary prefix once and batch-sample all shots from the final
 //    distribution through a Walker alias table (O(1) per shot);

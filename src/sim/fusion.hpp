@@ -1,15 +1,20 @@
 #pragma once
-// Gate-fusion pass over the backend IR.
+// Generalized gate-fusion pass over the backend IR (the qulacs/Qiskit-Aer
+// optimization, adapted to this engine's kernels).
 //
-// A run of adjacent one-qubit gates on the same wire is a single 2x2 unitary;
-// applying it once costs one sweep over the state instead of one per gate.
-// The pass folds such runs into one Mat2, specializes all-diagonal runs
-// (Z/S/T/RZ/P/...) into a single diagonal application, and lets diagonal
-// accumulations commute through diagonal multi-qubit gates (CZ/CP/CRZ/RZZ)
-// so `rz; cz; rz` on a wire still fuses to one diagonal.  Everything else
-// passes through untouched.  Fusion is exact — matrices are multiplied, no
-// Euler resynthesis — so the fused program applies the identical unitary
-// including global phase.
+// The pass greedily merges adjacent instructions whose combined qubit support
+// stays within a cap into a single fused block, so a CX/CP/RZZ cascade pays
+// one sweep over the 2^n amplitudes per *block* instead of per gate.  Blocks
+// track their matrix structure exactly — diagonal ⊂ monomial (permutation
+// with phases) ⊂ dense — and every merge is decided by a sweep-cost model, so
+// fusion never replaces cheap native kernels with a more expensive dense
+// matrix.  Single-qubit runs and all-diagonal runs keep their dedicated
+// specializations, and a diagonal accumulation still commutes through
+// diagonal gates (CZ/CP/CRZ/RZZ) that cannot be merged outright.
+//
+// Fusion is exact: matrices are composed by qubit-reindexed embedding and
+// multiplication — no Euler resynthesis — so the fused program applies the
+// identical unitary including global phase.
 
 #include <cstddef>
 #include <vector>
@@ -19,33 +24,65 @@
 
 namespace quml::sim {
 
+/// Tuning knobs of the fusion pass.  Caps are clamped to sane kernel bounds
+/// (dense to [1, 8], structured to [max_qubits, Statevector::kMaxKernelQubits]).
+struct FusionOptions {
+  /// Support cap for *dense* fused blocks (the classic fusion k_max).  Dense
+  /// application costs O(2^k) multiply-adds per amplitude, so this stays
+  /// small.
+  int max_qubits = 4;
+  /// Support cap for *structured* blocks (diagonal / monomial), whose
+  /// application costs O(1) per amplitude regardless of k — a bigger cap
+  /// collapses more sweeps at no per-amplitude penalty while the 2^k tables
+  /// stay L1/L2-resident.
+  int max_structured_qubits = 14;
+
+  /// Defaults, with QUML_FUSION_MAX_QUBITS and
+  /// QUML_FUSION_MAX_STRUCTURED_QUBITS environment overrides applied.
+  static FusionOptions from_env();
+};
+
 /// One step of a fused program.
 struct FusedOp {
   enum class Kind {
-    Unitary1Q,  ///< fused 2x2 unitary on `qubit`
-    Diag1Q,     ///< fused diagonal on `qubit`: amp *= d0/d1 by bit value
-    Other,      ///< passthrough instruction (multi-qubit gates)
+    Unitary1Q,   ///< fused 2x2 unitary on `qubit`
+    Diag1Q,      ///< fused diagonal on `qubit`: amp *= d0/d1 by bit value
+    UnitaryKQ,   ///< dense 2^k x 2^k unitary on `qubits` (row-major `table`)
+    DiagKQ,      ///< 2^k diagonal `table` on `qubits`
+    MonomialKQ,  ///< permutation `perm` with phases `table` on `qubits`
+    Other,       ///< passthrough instruction (native kernel)
   };
   Kind kind = Kind::Other;
   int qubit = -1;
   Mat2 u{};                        // Unitary1Q
   c64 d0{1.0, 0.0}, d1{1.0, 0.0};  // Diag1Q
+  std::vector<int> qubits;         // KQ kinds: sorted ascending support
+  std::vector<c64> table;          // UnitaryKQ: 2^k*2^k; DiagKQ/MonomialKQ: 2^k
+  std::vector<int> perm;           // MonomialKQ: src local index per output row
   Instruction inst{};              // Other
 };
 
 struct FusionStats {
-  std::size_t gates_in = 0;    ///< unitary gates consumed (Barrier excluded)
-  std::size_t ops_out = 0;     ///< fused ops emitted
-  std::size_t fused_1q = 0;    ///< 1q gates absorbed into fused ops
-  std::size_t diag_runs = 0;   ///< all-diagonal fused ops emitted
+  std::size_t gates_in = 0;      ///< unitary gates consumed (Barrier excluded)
+  std::size_t ops_out = 0;       ///< fused ops emitted
+  std::size_t fused_1q = 0;      ///< 1q gates absorbed into fused ops
+  std::size_t fused_multiq = 0;  ///< multi-qubit gates absorbed into fused blocks
+  std::size_t diag_runs = 0;     ///< all-diagonal fused ops emitted (1q + kq)
+  std::size_t kq_blocks = 0;     ///< fused blocks spanning >= 2 qubits
+  int max_block_qubits = 0;      ///< widest fused block emitted
 };
 
 /// Fuses a unitary instruction stream (Barrier flushes and is dropped; throws
 /// ValidationError on Measure/Reset — the engine splits those out first).
 std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int num_qubits,
+                                    const FusionOptions& options, FusionStats* stats = nullptr);
+/// Overload using FusionOptions::from_env().
+std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int num_qubits,
                                     FusionStats* stats = nullptr);
 
-/// Convenience overload over a whole circuit.
+/// Convenience overloads over a whole circuit.
+std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, const FusionOptions& options,
+                                    FusionStats* stats = nullptr);
 std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats = nullptr);
 
 /// Applies a fused program to `state`.

@@ -244,6 +244,65 @@ Mat2 gate_matrix_1q(Gate g, const double* params) {
   throw ValidationError(std::string("gate '") + gate_name(g) + "' has no 1-qubit matrix");
 }
 
+std::vector<c64> gate_matrix(Gate g, const double* params) {
+  if (!gate_is_unitary(g))
+    throw ValidationError(std::string("gate '") + gate_name(g) + "' has no unitary matrix");
+  const int a = gate_arity(g);
+  const std::size_t dim = std::size_t{1} << a;
+  std::vector<c64> u(dim * dim, c64(0.0, 0.0));
+  const auto set = [&](std::size_t row, std::size_t col, c64 v) { u[row * dim + col] = v; };
+  if (a == 1) {
+    const Mat2 m = gate_matrix_1q(g, params);
+    for (int r = 0; r < 2; ++r)
+      for (int c = 0; c < 2; ++c) set(static_cast<std::size_t>(r), static_cast<std::size_t>(c), m.m[r][c]);
+    return u;
+  }
+  switch (g) {
+    case Gate::CX:  // control bit 0 set: flip target bit 1
+      for (std::size_t m = 0; m < 4; ++m) set((m & 1) ? (m ^ 2) : m, m, 1.0);
+      return u;
+    case Gate::CY:  // control set: Y on target — |0> -> i|1>, |1> -> -i|0>
+      for (std::size_t m = 0; m < 4; ++m) {
+        if (!(m & 1)) set(m, m, 1.0);
+        else set(m ^ 2, m, (m & 2) ? c64(0.0, -1.0) : c64(0.0, 1.0));
+      }
+      return u;
+    case Gate::CZ:
+      for (std::size_t m = 0; m < 4; ++m) set(m, m, m == 3 ? c64(-1.0, 0.0) : c64(1.0, 0.0));
+      return u;
+    case Gate::CP:
+      for (std::size_t m = 0; m < 4; ++m) set(m, m, m == 3 ? unit_phase(params[0]) : c64(1.0, 0.0));
+      return u;
+    case Gate::CRZ:  // control set: RZ(lambda) on target
+      for (std::size_t m = 0; m < 4; ++m)
+        set(m, m, (m & 1) ? unit_phase((m & 2) ? params[0] / 2.0 : -params[0] / 2.0)
+                          : c64(1.0, 0.0));
+      return u;
+    case Gate::SWAP:
+      for (std::size_t m = 0; m < 4; ++m) set(((m & 1) << 1) | ((m >> 1) & 1), m, 1.0);
+      return u;
+    case Gate::RZZ:  // diag e^{-i theta/2} on equal bits, e^{+i theta/2} on unequal
+      for (std::size_t m = 0; m < 4; ++m) {
+        const bool same = ((m & 1) != 0) == ((m & 2) != 0);
+        set(m, m, unit_phase(same ? -params[0] / 2.0 : params[0] / 2.0));
+      }
+      return u;
+    case Gate::CCX:  // both controls (bits 0, 1) set: flip target bit 2
+      for (std::size_t m = 0; m < 8; ++m) set((m & 3) == 3 ? (m ^ 4) : m, m, 1.0);
+      return u;
+    case Gate::CSWAP:  // control bit 0 set: swap bits 1 and 2
+      for (std::size_t m = 0; m < 8; ++m) {
+        std::size_t out = m;
+        if (m & 1) out = (m & 1) | (((m >> 1) & 1) << 2) | (((m >> 2) & 1) << 1);
+        set(out, m, 1.0);
+      }
+      return u;
+    default:
+      break;
+  }
+  throw ValidationError(std::string("gate '") + gate_name(g) + "' has no matrix builder");
+}
+
 Euler euler_zyz(const Mat2& u) {
   // U = e^{iγ} RZ(φ) RY(θ) RZ(λ); extract γ from det(U) = e^{2iγ}.
   const c64 det = u.m[0][0] * u.m[1][1] - u.m[0][1] * u.m[1][0];

@@ -9,6 +9,7 @@
 #include <array>
 #include <complex>
 #include <string>
+#include <vector>
 
 namespace quml::sim {
 
@@ -63,6 +64,14 @@ c64 unit_phase(double angle) noexcept;
 /// Conventions match Qiskit: RZ(λ) = diag(e^{-iλ/2}, e^{iλ/2}), P(λ) =
 /// diag(1, e^{iλ}), U3(θ,φ,λ) with the standard decomposition.
 Mat2 gate_matrix_1q(Gate g, const double* params);
+
+/// Row-major 2^a x 2^a matrix of any unitary gate over its operand list,
+/// a = gate_arity(g): local bit j of the row/column index is the state of
+/// operand qubits[j] (little-endian, matching the statevector convention —
+/// for CX, bit 0 is the control).  Entries at exact multiples of pi/2 use
+/// exact constants via unit_phase, so structural zero/one patterns survive
+/// composition in the fusion pass.  Throws for Measure/Reset/Barrier.
+std::vector<c64> gate_matrix(Gate g, const double* params);
 
 /// ZYZ Euler angles (θ, φ, λ, global phase γ) with
 /// U = e^{iγ} RZ(φ) RY(θ) RZ(λ); the basis of 1-qubit resynthesis.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "sim/fusion.hpp"
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
 
@@ -37,6 +38,13 @@ inline std::uint64_t expand2(std::uint64_t i, int p0, int p1) noexcept {
 /// Expands a compact counter to an index with zero bits at p0 < p1 < p2.
 inline std::uint64_t expand3(std::uint64_t i, int p0, int p1, int p2) noexcept {
   return insert_zero_bit(expand2(i, p0, p1), p2);
+}
+
+/// Expands a compact counter to an index with zero bits at the k ascending
+/// positions ps[0..k).
+inline std::uint64_t expand_k(std::uint64_t i, const int* ps, int k) noexcept {
+  for (int j = 0; j < k; ++j) i = insert_zero_bit(i, ps[j]);
+  return i;
 }
 
 /// Runs body(lo, hi) over [0, total) in parallel chunks of kChunkLen.  Bodies
@@ -119,6 +127,20 @@ void zero_half(double* d, std::uint64_t dim, int q, int bitval) {
   });
 }
 
+/// Per-local-index amplitude offsets of a k-qubit kernel support: offset[m]
+/// ORs 1<<qubits[j] for each set bit j of m.
+std::vector<std::uint64_t> local_offsets(std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  std::vector<std::uint64_t> offs(std::size_t{1} << k);
+  for (std::size_t m = 0; m < offs.size(); ++m) {
+    std::uint64_t o = 0;
+    for (int j = 0; j < k; ++j)
+      if (m & (std::size_t{1} << j)) o |= 1ull << qubits[j];
+    offs[m] = o;
+  }
+  return offs;
+}
+
 // --- memory budget ----------------------------------------------------------
 
 std::uint64_t default_memory_budget() {
@@ -187,14 +209,34 @@ void Statevector::apply_1q(int q, const Mat2& u) {
   const double u10r = u.m[1][0].real(), u10i = u.m[1][0].imag();
   const double u11r = u.m[1][1].real(), u11i = u.m[1][1].imag();
   double* d = reinterpret_cast<double*>(amps_.data());
+  if (step <= 4) {
+    // Tiny strides leave runs of at most `step` pairs, so the run-blocked
+    // loop below degenerates into per-run bookkeeping; direct per-pair
+    // bit-insertion indexing is branch-free and cheaper.
+    parallel_chunks(static_cast<std::int64_t>(dim() >> 1), [=](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        double* p0 = d + 2 * insert_zero_bit(static_cast<std::uint64_t>(i), q);
+        double* p1 = p0 + 2 * step;
+        const double xr = p0[0], xi = p0[1];
+        const double yr = p1[0], yi = p1[1];
+        p0[0] = u00r * xr - u00i * xi + u01r * yr - u01i * yi;
+        p0[1] = u00r * xi + u00i * xr + u01r * yi + u01i * yr;
+        p1[0] = u10r * xr - u10i * xi + u11r * yr - u11i * yi;
+        p1[1] = u10r * xi + u10i * xr + u11r * yi + u11i * yr;
+      }
+    });
+    return;
+  }
   parallel_chunks(static_cast<std::int64_t>(dim() >> 1), [=](std::int64_t lo, std::int64_t hi) {
     std::int64_t i = lo;
     while (i < hi) {
       const std::uint64_t off = static_cast<std::uint64_t>(i) & (step - 1);
       const std::int64_t len =
           std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(step - off));
-      double* p0 = d + 2 * insert_zero_bit(static_cast<std::uint64_t>(i), q);
-      double* p1 = p0 + 2 * step;
+      // len <= step, so the two streams never overlap: __restrict unlocks
+      // vectorization of the butterfly.
+      double* __restrict p0 = d + 2 * insert_zero_bit(static_cast<std::uint64_t>(i), q);
+      double* __restrict p1 = p0 + 2 * step;
       for (std::int64_t j = 0; j < 2 * len; j += 2) {
         const double xr = p0[j], xi = p0[j + 1];
         const double yr = p1[j], yi = p1[j + 1];
@@ -235,8 +277,8 @@ void Statevector::apply_controlled_1q(int control, int target, const Mat2& u) {
     while (i < hi) {
       const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
       const std::int64_t len = std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
-      double* p0p = d + 2 * (expand2(static_cast<std::uint64_t>(i), p0, p1) | cmask);
-      double* p1p = p0p + 2 * step;
+      double* __restrict p0p = d + 2 * (expand2(static_cast<std::uint64_t>(i), p0, p1) | cmask);
+      double* __restrict p1p = p0p + 2 * step;
       for (std::int64_t j = 0; j < 2 * len; j += 2) {
         const double xr = p0p[j], xi = p0p[j + 1];
         const double yr = p1p[j], yi = p1p[j + 1];
@@ -262,7 +304,9 @@ void Statevector::apply_cp(int control, int target, double lambda) {
 void Statevector::apply_swap(int a, int b) {
   check_qubit(a);
   check_qubit(b);
-  if (a == b) return;
+  // Mirrors apply_rzz: equal operands are a caller bug, not a silent no-op
+  // (the circuit builder already rejects them at construction time).
+  if (a == b) throw ValidationError("swap operands must differ");
   const int p0 = std::min(a, b);
   const int p1 = std::max(a, b);
   const std::uint64_t amask = 1ull << a;
@@ -359,6 +403,393 @@ void Statevector::apply_cswap(int control, int a, int b) {
   });
 }
 
+int Statevector::check_support(std::span<const int> qubits) const {
+  if (qubits.empty()) throw ValidationError("k-qubit kernel needs at least one qubit");
+  if (qubits.size() > static_cast<std::size_t>(kMaxKernelQubits))
+    throw ValidationError("k-qubit kernel supports at most " +
+                          std::to_string(kMaxKernelQubits) + " qubits");
+  std::uint64_t seen = 0;
+  for (const int q : qubits) {
+    check_qubit(q);
+    if (seen & (1ull << q))
+      throw ValidationError("k-qubit kernel operands must be distinct");
+    seen |= 1ull << q;
+  }
+  return static_cast<int>(qubits.size());
+}
+
+void Statevector::apply_matrix(std::span<const int> qubits, const c64* u) {
+  const int k = check_support(qubits);
+  if (k > kMaxDenseKernelQubits)
+    throw ValidationError("dense k-qubit kernel supports at most " +
+                          std::to_string(kMaxDenseKernelQubits) + " qubits");
+  if (k == 1) {
+    Mat2 m;
+    m.m[0][0] = u[0];
+    m.m[0][1] = u[1];
+    m.m[1][0] = u[2];
+    m.m[1][1] = u[3];
+    apply_1q(qubits[0], m);
+    return;
+  }
+  double* d = reinterpret_cast<double*>(amps_.data());
+  if (k == 2) {
+    // Hand-unrolled fast path: four run-contiguous pointers, 16 complex MACs
+    // per amplitude quadruple, branch-free inner loop.
+    const int q0 = qubits[0], q1 = qubits[1];
+    const int p0 = std::min(q0, q1), p1 = std::max(q0, q1);
+    const std::uint64_t run = 1ull << p0;
+    const std::uint64_t s0 = 1ull << q0, s1 = 1ull << q1;
+    double ur[4][4], ui[4][4];
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) {
+        ur[r][c] = u[4 * r + c].real();
+        ui[r][c] = u[4 * r + c].imag();
+      }
+    parallel_chunks(static_cast<std::int64_t>(dim() >> 2), [=](std::int64_t lo, std::int64_t hi) {
+      std::int64_t i = lo;
+      while (i < hi) {
+        const std::uint64_t off = static_cast<std::uint64_t>(i) & (run - 1);
+        const std::int64_t len =
+            std::min<std::int64_t>(hi - i, static_cast<std::int64_t>(run - off));
+        const std::uint64_t base = expand2(static_cast<std::uint64_t>(i), p0, p1);
+        // len <= run = 2^min(q0, q1), so the four streams are disjoint.
+        double* __restrict a0 = d + 2 * base;
+        double* __restrict a1 = d + 2 * (base | s0);
+        double* __restrict a2 = d + 2 * (base | s1);
+        double* __restrict a3 = d + 2 * (base | s0 | s1);
+        for (std::int64_t j = 0; j < 2 * len; j += 2) {
+          const double x0r = a0[j], x0i = a0[j + 1];
+          const double x1r = a1[j], x1i = a1[j + 1];
+          const double x2r = a2[j], x2i = a2[j + 1];
+          const double x3r = a3[j], x3i = a3[j + 1];
+          a0[j] = ur[0][0] * x0r - ui[0][0] * x0i + ur[0][1] * x1r - ui[0][1] * x1i +
+                  ur[0][2] * x2r - ui[0][2] * x2i + ur[0][3] * x3r - ui[0][3] * x3i;
+          a0[j + 1] = ur[0][0] * x0i + ui[0][0] * x0r + ur[0][1] * x1i + ui[0][1] * x1r +
+                      ur[0][2] * x2i + ui[0][2] * x2r + ur[0][3] * x3i + ui[0][3] * x3r;
+          a1[j] = ur[1][0] * x0r - ui[1][0] * x0i + ur[1][1] * x1r - ui[1][1] * x1i +
+                  ur[1][2] * x2r - ui[1][2] * x2i + ur[1][3] * x3r - ui[1][3] * x3i;
+          a1[j + 1] = ur[1][0] * x0i + ui[1][0] * x0r + ur[1][1] * x1i + ui[1][1] * x1r +
+                      ur[1][2] * x2i + ui[1][2] * x2r + ur[1][3] * x3i + ui[1][3] * x3r;
+          a2[j] = ur[2][0] * x0r - ui[2][0] * x0i + ur[2][1] * x1r - ui[2][1] * x1i +
+                  ur[2][2] * x2r - ui[2][2] * x2i + ur[2][3] * x3r - ui[2][3] * x3i;
+          a2[j + 1] = ur[2][0] * x0i + ui[2][0] * x0r + ur[2][1] * x1i + ui[2][1] * x1r +
+                      ur[2][2] * x2i + ui[2][2] * x2r + ur[2][3] * x3i + ui[2][3] * x3r;
+          a3[j] = ur[3][0] * x0r - ui[3][0] * x0i + ur[3][1] * x1r - ui[3][1] * x1i +
+                  ur[3][2] * x2r - ui[3][2] * x2i + ur[3][3] * x3r - ui[3][3] * x3i;
+          a3[j + 1] = ur[3][0] * x0i + ui[3][0] * x0r + ur[3][1] * x1i + ui[3][1] * x1r +
+                      ur[3][2] * x2i + ui[3][2] * x2r + ur[3][3] * x3i + ui[3][3] * x3r;
+        }
+        i += len;
+      }
+    });
+    return;
+  }
+
+  // General k: gather each 2^k-amplitude group, dense matvec, scatter.  The
+  // matrix is unpacked once into split re/im arrays so the inner reduction
+  // vectorizes; groups are visited in compact-counter order, so for a fixed
+  // local index the touched addresses advance contiguously (cache-blocked
+  // streaming through the state).
+  int ps[kMaxKernelQubits];
+  for (int j = 0; j < k; ++j) ps[j] = qubits[j];
+  std::sort(ps, ps + k);
+  const std::size_t nloc = std::size_t{1} << k;
+  const std::vector<std::uint64_t> offs = local_offsets(qubits);
+  std::vector<double> mat_r(nloc * nloc), mat_i(nloc * nloc);
+  for (std::size_t e = 0; e < nloc * nloc; ++e) {
+    mat_r[e] = u[e].real();
+    mat_i[e] = u[e].imag();
+  }
+  const std::uint64_t* offp = offs.data();
+  const double* mr = mat_r.data();
+  const double* mi = mat_i.data();
+  const int kk = k;
+  const int* psp = ps;
+  parallel_chunks(static_cast<std::int64_t>(dim() >> k), [=](std::int64_t lo, std::int64_t hi) {
+    std::vector<double> xr(nloc), xi(nloc), yr(nloc), yi(nloc);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::uint64_t base = expand_k(static_cast<std::uint64_t>(i), psp, kk);
+      for (std::size_t m = 0; m < nloc; ++m) {
+        const double* p = d + 2 * (base + offp[m]);
+        xr[m] = p[0];
+        xi[m] = p[1];
+      }
+      for (std::size_t r = 0; r < nloc; ++r) {
+        const double* rr = mr + r * nloc;
+        const double* ri = mi + r * nloc;
+        double ar = 0.0, ai = 0.0;
+        for (std::size_t c = 0; c < nloc; ++c) {
+          ar += rr[c] * xr[c] - ri[c] * xi[c];
+          ai += rr[c] * xi[c] + ri[c] * xr[c];
+        }
+        yr[r] = ar;
+        yi[r] = ai;
+      }
+      for (std::size_t m = 0; m < nloc; ++m) {
+        double* p = d + 2 * (base + offp[m]);
+        p[0] = yr[m];
+        p[1] = yi[m];
+      }
+    }
+  });
+}
+
+void Statevector::apply_diag(std::span<const int> qubits, const c64* dg) {
+  const int k = check_support(qubits);
+  if (k == 1) {
+    apply_diag_1q(qubits[0], dg[0], dg[1]);
+    return;
+  }
+  const std::size_t nloc = std::size_t{1} << k;
+
+  int pmin = num_qubits_;
+  for (const int q : qubits) pmin = std::min(pmin, q);
+  // Contiguous ascending support {p..p+k-1} — the shape cascade blocks fuse
+  // into — turns the group walk into pure unit-stride traffic.
+  bool contiguous = true;
+  for (int j = 0; j < k; ++j) contiguous = contiguous && qubits[j] == qubits[0] + j;
+  if (pmin >= 3 || contiguous) {
+    double* d = reinterpret_cast<double*>(amps_.data());
+    if (pmin >= 3) {
+      // Every support bit sits above the run: each run of 2^pmin amplitudes
+      // shares one factor, and unit factors skip their runs entirely.
+      const std::int64_t runlen = std::int64_t{1} << pmin;
+      int qloc[kMaxKernelQubits];
+      for (int j = 0; j < k; ++j) qloc[j] = qubits[j];
+      const std::vector<double> fr = [&] {
+        std::vector<double> v(2 * nloc);
+        for (std::size_t m = 0; m < nloc; ++m) {
+          v[2 * m] = dg[m].real();
+          v[2 * m + 1] = dg[m].imag();
+        }
+        return v;
+      }();
+      const double* fp = fr.data();
+      const int kk = k;
+      const int pm = pmin;
+      parallel_chunks(static_cast<std::int64_t>(dim() >> pmin),
+                      [=](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t r = lo; r < hi; ++r) {
+                          const std::uint64_t i0 = static_cast<std::uint64_t>(r) << pm;
+                          std::size_t m = 0;
+                          for (int j = 0; j < kk; ++j) m |= ((i0 >> qloc[j]) & 1u) << j;
+                          if (fp[2 * m] == 1.0 && fp[2 * m + 1] == 0.0) continue;
+                          scale_run(d, i0, runlen, fp[2 * m], fp[2 * m + 1]);
+                        }
+                      });
+    } else {
+      const int p = qubits[0];
+      // Low-wire support: the state is contiguous groups of 2^k amplitudes
+      // multiplied elementwise by the (cache-resident) factor table.
+      std::vector<double> fr(nloc << (p + 1));
+      for (std::size_t i = 0; i < (nloc << p); ++i) {
+        const std::size_t m = i >> p;
+        fr[2 * i] = dg[m].real();
+        fr[2 * i + 1] = dg[m].imag();
+      }
+      const double* fp = fr.data();
+      const std::size_t glen = nloc << p;  // amplitudes per table period
+      parallel_chunks(static_cast<std::int64_t>(dim() >> (k + p)),
+                      [=](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t g = lo; g < hi; ++g) {
+                          double* __restrict a = d + 2 * (static_cast<std::uint64_t>(g) * glen);
+                          const double* __restrict f = fp;
+                          for (std::size_t j = 0; j < 2 * glen; j += 2) {
+                            const double re = a[j] * f[j] - a[j + 1] * f[j + 1];
+                            a[j + 1] = a[j] * f[j + 1] + a[j + 1] * f[j];
+                            a[j] = re;
+                          }
+                        }
+                      });
+    }
+    return;
+  }
+  // Only local indices with a non-unit factor are visited; a CP/CZ-style
+  // cascade therefore still skips the untouched fraction of the state.
+  const std::vector<std::uint64_t> all_offs = local_offsets(qubits);
+  std::vector<std::uint64_t> offs;
+  std::vector<double> fr, fi;
+  for (std::size_t m = 0; m < nloc; ++m) {
+    if (dg[m] == c64(1.0, 0.0)) continue;
+    offs.push_back(all_offs[m]);
+    fr.push_back(dg[m].real());
+    fi.push_back(dg[m].imag());
+  }
+  if (offs.empty()) return;
+  int ps[kMaxKernelQubits];
+  for (int j = 0; j < k; ++j) ps[j] = qubits[j];
+  std::sort(ps, ps + k);
+  double* d = reinterpret_cast<double*>(amps_.data());
+  const std::size_t nact = offs.size();
+  const std::uint64_t* offp = offs.data();
+  const double* frp = fr.data();
+  const double* fip = fi.data();
+  const int kk = k;
+  const int* psp = ps;
+  parallel_chunks(static_cast<std::int64_t>(dim() >> k), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::uint64_t base = expand_k(static_cast<std::uint64_t>(i), psp, kk);
+      for (std::size_t t = 0; t < nact; ++t) {
+        double* p = d + 2 * (base + offp[t]);
+        const double re = p[0] * frp[t] - p[1] * fip[t];
+        p[1] = p[0] * fip[t] + p[1] * frp[t];
+        p[0] = re;
+      }
+    }
+  });
+}
+
+void Statevector::apply_monomial(std::span<const int> qubits, const int* src, const c64* phase) {
+  const int k = check_support(qubits);
+  const std::size_t nloc = std::size_t{1} << k;
+  std::vector<bool> hit(nloc, false);
+  for (std::size_t m = 0; m < nloc; ++m) {
+    if (src[m] < 0 || static_cast<std::size_t>(src[m]) >= nloc || hit[static_cast<std::size_t>(src[m])])
+      throw ValidationError("monomial src table is not a permutation");
+    hit[static_cast<std::size_t>(src[m])] = true;
+  }
+  if (k == 1) {
+    Mat2 m{};
+    m.m[0][src[0]] = phase[0];
+    m.m[1][src[1]] = phase[1];
+    apply_1q(qubits[0], m);
+    return;
+  }
+  const std::vector<std::uint64_t> offs = local_offsets(qubits);
+  // Decompose the permutation into cycles once; each group then walks the
+  // cycles in place (one load, one multiply, one store per moved amplitude)
+  // and rows that neither move nor rephase are never touched at all.  The
+  // flattened layout is [len, m0, m1, ...] per cycle.
+  std::vector<std::uint32_t> walk;
+  {
+    std::vector<bool> seen(nloc, false);
+    for (std::size_t m0 = 0; m0 < nloc; ++m0) {
+      if (seen[m0]) continue;
+      if (static_cast<std::size_t>(src[m0]) == m0) {
+        seen[m0] = true;
+        if (phase[m0] != c64(1.0, 0.0)) {
+          walk.push_back(1);
+          walk.push_back(static_cast<std::uint32_t>(m0));
+        }
+        continue;
+      }
+      const std::size_t lenpos = walk.size();
+      walk.push_back(0);
+      std::size_t m = m0;
+      std::uint32_t len = 0;
+      do {
+        seen[m] = true;
+        walk.push_back(static_cast<std::uint32_t>(m));
+        ++len;
+        m = static_cast<std::size_t>(src[m]);
+      } while (m != m0);
+      walk[lenpos] = len;
+    }
+  }
+  if (walk.empty()) return;
+  int ps[kMaxKernelQubits];
+  for (int j = 0; j < k; ++j) ps[j] = qubits[j];
+  std::sort(ps, ps + k);
+  std::vector<double> phr(nloc), phi(nloc);
+  for (std::size_t m = 0; m < nloc; ++m) {
+    phr[m] = phase[m].real();
+    phi[m] = phase[m].imag();
+  }
+  double* d = reinterpret_cast<double*>(amps_.data());
+  const std::uint64_t* offp = offs.data();
+  const std::uint32_t* walkp = walk.data();
+  const std::size_t walklen = walk.size();
+  const double* phrp = phr.data();
+  const double* phip = phi.data();
+  const int kk = k;
+  const int* psp = ps;
+
+  if (ps[0] >= 3) {
+    // Every support bit sits above bit ps[0], so amplitudes in a run of
+    // 2^ps[0] consecutive indices share the same local index: walk each cycle
+    // once per super-group with contiguous multiply-copy runs instead of
+    // single-amplitude hops (which thrash the TLB when offsets stride far).
+    // Runs are tiled at 2^12 amplitudes so the rotation scratch stays at
+    // 64 KiB no matter how high the support sits (a {28,29} block on a
+    // 30-qubit register would otherwise want a multi-GiB temporary).
+    const int p0 = std::min(ps[0], 12);
+    const std::int64_t runlen = std::int64_t{1} << p0;
+    parallel_chunks(static_cast<std::int64_t>(dim() >> (k + p0)),
+                    [=](std::int64_t lo, std::int64_t hi) {
+                      std::vector<double> tmp(static_cast<std::size_t>(2 * runlen));
+                      for (std::int64_t sg = lo; sg < hi; ++sg) {
+                        const std::uint64_t base =
+                            expand_k(static_cast<std::uint64_t>(sg) << p0, psp, kk);
+                        std::size_t w = 0;
+                        while (w < walklen) {
+                          const std::uint32_t len = walkp[w++];
+                          std::uint32_t m = walkp[w];
+                          if (len == 1) {  // rephased fixed point: one scaled run
+                            scale_run(d, base + offp[m], runlen, phrp[m], phip[m]);
+                            ++w;
+                            continue;
+                          }
+                          double* p = d + 2 * (base + offp[m]);
+                          for (std::int64_t j = 0; j < 2 * runlen; ++j) tmp[static_cast<std::size_t>(j)] = p[j];
+                          for (std::uint32_t s = 0; s + 1 < len; ++s) {
+                            const std::uint32_t nm = walkp[w + s + 1];
+                            const double* __restrict q = d + 2 * (base + offp[nm]);
+                            double* __restrict dst = p;
+                            const double fr = phrp[m], fi = phip[m];
+                            for (std::int64_t j = 0; j < 2 * runlen; j += 2) {
+                              dst[j] = q[j] * fr - q[j + 1] * fi;
+                              dst[j + 1] = q[j] * fi + q[j + 1] * fr;
+                            }
+                            p = d + 2 * (base + offp[nm]);
+                            m = nm;
+                          }
+                          const double fr = phrp[m], fi = phip[m];
+                          for (std::int64_t j = 0; j < 2 * runlen; j += 2) {
+                            p[j] = tmp[static_cast<std::size_t>(j)] * fr -
+                                   tmp[static_cast<std::size_t>(j + 1)] * fi;
+                            p[j + 1] = tmp[static_cast<std::size_t>(j)] * fi +
+                                       tmp[static_cast<std::size_t>(j + 1)] * fr;
+                          }
+                          w += len;
+                        }
+                      }
+                    });
+    return;
+  }
+
+  parallel_chunks(static_cast<std::int64_t>(dim() >> k), [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::uint64_t base = expand_k(static_cast<std::uint64_t>(i), psp, kk);
+      std::size_t w = 0;
+      while (w < walklen) {
+        const std::uint32_t len = walkp[w++];
+        std::uint32_t m = walkp[w];
+        double* p = d + 2 * (base + offp[m]);
+        if (len == 1) {  // rephased fixed point
+          const double re = p[0] * phrp[m] - p[1] * phip[m];
+          p[1] = p[0] * phip[m] + p[1] * phrp[m];
+          p[0] = re;
+          ++w;
+          continue;
+        }
+        const double t0 = p[0], t1 = p[1];
+        for (std::uint32_t s = 0; s + 1 < len; ++s) {
+          const std::uint32_t nm = walkp[w + s + 1];
+          double* q = d + 2 * (base + offp[nm]);
+          p[0] = q[0] * phrp[m] - q[1] * phip[m];
+          p[1] = q[0] * phip[m] + q[1] * phrp[m];
+          p = q;
+          m = nm;
+        }
+        p[0] = t0 * phrp[m] - t1 * phip[m];
+        p[1] = t0 * phip[m] + t1 * phrp[m];
+        w += len;
+      }
+    }
+  });
+}
+
 void Statevector::apply(const Instruction& inst) {
   switch (inst.gate) {
     case Gate::Barrier: return;
@@ -402,7 +833,10 @@ void Statevector::apply(const Instruction& inst) {
 void Statevector::apply_unitaries(const Circuit& circuit) {
   if (circuit.num_qubits() > num_qubits_)
     throw ValidationError("circuit wider than statevector");
-  for (const auto& inst : circuit.instructions()) apply(inst);
+  // Run the fusion pass first so direct statevector users get the same
+  // collapsed sweep count as the engine.  Fusion composes matrices exactly
+  // (throws on Measure/Reset, Barrier fences), so semantics are unchanged.
+  apply_fused(*this, fuse_unitaries(circuit.instructions(), num_qubits_));
 }
 
 double Statevector::norm() const {

@@ -14,6 +14,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/circuit.hpp"
@@ -26,6 +27,13 @@ class Statevector {
   /// Hard cap on register width (16 GiB of amplitudes at 30 qubits).  Actual
   /// construction is additionally gated by the process memory budget.
   static constexpr int kMaxQubits = 30;
+
+  /// Hard cap on the support of one fused k-qubit kernel call: structured
+  /// (diagonal/monomial) tables stay cache-resident (2^14 entries = 256 KiB
+  /// of factors).  Dense matrices are additionally capped at
+  /// kMaxDenseKernelQubits — a 2^14-square matrix would be 4 GiB.
+  static constexpr int kMaxKernelQubits = 14;
+  static constexpr int kMaxDenseKernelQubits = 12;
 
   /// Bytes of amplitude storage a register of `num_qubits` needs.
   static constexpr std::uint64_t required_bytes(int num_qubits) noexcept {
@@ -54,7 +62,10 @@ class Statevector {
   /// Applies any unitary instruction (throws on Measure/Reset/Barrier).
   void apply(const Instruction& inst);
   /// Applies every unitary instruction of `circuit` (Barrier skipped; throws
-  /// on Measure/Reset — collapse is the engine's job).
+  /// on Measure/Reset — collapse is the engine's job).  Routes through the
+  /// gate-fusion pass, so direct statevector users pay the same collapsed
+  /// sweep count as the engine; fusion composes matrices exactly, so the
+  /// result is the same unitary including global phase.
   void apply_unitaries(const Circuit& circuit);
 
   // --- primitive kernels -----------------------------------------------------
@@ -71,6 +82,22 @@ class Statevector {
   void apply_rzz(int a, int b, double theta);
   void apply_ccx(int c0, int c1, int target);
   void apply_cswap(int control, int a, int b);
+
+  // --- general k-qubit kernels (the fusion pass's back end) -------------------
+  /// Applies a dense 2^k x 2^k unitary `u` (row-major; local bit j of the
+  /// row/column index is the state of qubits[j], little-endian) to the
+  /// k = qubits.size() distinct qubits, k in [1, kMaxKernelQubits].  Iterates
+  /// the dim/2^k amplitude groups by bit-insertion expansion in contiguous
+  /// cache-blocked runs; k == 2 takes a hand-unrolled four-pointer fast path.
+  void apply_matrix(std::span<const int> qubits, const c64* u);
+  /// Multiplies each amplitude by the 2^k diagonal `d` indexed by its local
+  /// bits (ordering as apply_matrix); entries equal to exactly 1 are skipped.
+  void apply_diag(std::span<const int> qubits, const c64* d);
+  /// Applies a monomial (permutation-with-phases) unitary: the amplitude at
+  /// local index m becomes phase[m] * (previous amplitude at src[m]).  `src`
+  /// must be a permutation of [0, 2^k); rows with src[m] == m and phase 1 are
+  /// untouched.
+  void apply_monomial(std::span<const int> qubits, const int* src, const c64* phase);
 
   // --- analysis ---------------------------------------------------------------
   double norm() const;
@@ -94,6 +121,9 @@ class Statevector {
 
  private:
   void check_qubit(int q) const;
+  /// Validates a k-qubit kernel support (distinct, in range, k bounded);
+  /// returns k.
+  int check_support(std::span<const int> qubits) const;
 
   int num_qubits_;
   std::vector<c64> amps_;

@@ -399,12 +399,18 @@ Circuit random_circuit(std::uint64_t seed, int qubits, int gates, bool with_mult
   return c;
 }
 
+/// Gate-by-gate reference path: native kernels, no fusion.
+void apply_gate_by_gate(Statevector& sv, const Circuit& c) {
+  for (const auto& inst : c.instructions())
+    if (inst.gate != Gate::Barrier) sv.apply(inst);
+}
+
 class FusionProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(FusionProperty, FusedMatchesUnfused) {
   const Circuit c = random_circuit(static_cast<std::uint64_t>(GetParam()), 5, 80, true);
   Statevector unfused(5);
-  unfused.apply_unitaries(c);  // gate-by-gate reference path
+  apply_gate_by_gate(unfused, c);
   Statevector fused(5);
   FusionStats stats;
   apply_fused(fused, fuse_unitaries(c, &stats));
@@ -416,6 +422,20 @@ TEST_P(FusionProperty, FusedMatchesUnfused) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomCircuits, FusionProperty, ::testing::Range(0, 20));
+
+TEST(Fusion, ApplyUnitariesRoutesThroughFusionExactly) {
+  // Statevector::apply_unitaries runs the fusion pass; results must stay
+  // bit-equivalent (within composition rounding) to the native per-gate path.
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    const Circuit c = random_circuit(seed, 6, 120, true);
+    Statevector direct(6);
+    direct.apply_unitaries(c);
+    Statevector reference(6);
+    apply_gate_by_gate(reference, c);
+    for (std::uint64_t i = 0; i < direct.dim(); ++i)
+      EXPECT_LT(std::abs(direct.amplitude(i) - reference.amplitude(i)), 1e-12) << "seed " << seed;
+  }
+}
 
 TEST(Fusion, CollapsesOneQubitRuns) {
   Circuit c(2, 0);
@@ -434,25 +454,60 @@ TEST(Fusion, CollapsesOneQubitRuns) {
   EXPECT_EQ(ops[1].qubit, 1);
 }
 
-TEST(Fusion, MergesDiagonalRunsAcrossDiagonalTwoQubitGates) {
-  // rz; cz; rz on the same wire: the diagonal accumulation commutes through
-  // CZ, so both rotations land in a single diagonal application.
+TEST(Fusion, MergesDiagonalRunsIncludingDiagonalTwoQubitGates) {
+  // rz; cz; rz on the same wire: the whole run is diagonal, so the pass now
+  // absorbs the CZ too and emits a single two-qubit diagonal block.
   Circuit c(2, 0);
   c.rz(0.4, 0);
   c.cz(0, 1);
   c.rz(0.6, 0);
   FusionStats stats;
   const auto ops = fuse_unitaries(c, &stats);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, FusedOp::Kind::DiagKQ);
+  EXPECT_EQ(ops[0].qubits, (std::vector<int>{0, 1}));
+  EXPECT_EQ(stats.diag_runs, 1u);
+  EXPECT_EQ(stats.fused_multiq, 1u);
+  // Semantics preserved despite the merge.
+  Statevector a(2), b(2);
+  apply_gate_by_gate(a, c);
+  apply_fused(b, fuse_unitaries(c));
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_LT(std::abs(a.amplitude(i) - b.amplitude(i)), 1e-12);
+}
+
+TEST(Fusion, DiagonalGateCommutesThroughWhenCapsForbidMerging) {
+  // With the structured cap forced to 1 no multi-qubit block may form, so the
+  // historical v1 behavior re-emerges: the CZ passes through the open
+  // diagonal accumulation (they commute) and both rotations still land in a
+  // single 1q diagonal.
+  Circuit c(2, 0);
+  c.rz(0.4, 0);
+  c.cz(0, 1);
+  c.rz(0.6, 0);
+  FusionOptions opt;
+  opt.max_qubits = 1;
+  opt.max_structured_qubits = 1;
+  FusionStats stats;
+  const auto ops = fuse_unitaries(c, opt, &stats);
   ASSERT_EQ(ops.size(), 2u);
   EXPECT_EQ(ops[0].kind, FusedOp::Kind::Other);  // the cz passes through first
   EXPECT_EQ(ops[1].kind, FusedOp::Kind::Diag1Q);
   EXPECT_EQ(stats.diag_runs, 1u);
-  // Semantics preserved despite the commute.
   Statevector a(2), b(2);
-  a.apply_unitaries(c);
-  apply_fused(b, fuse_unitaries(c));
+  apply_gate_by_gate(a, c);
+  apply_fused(b, ops);
   for (std::uint64_t i = 0; i < 4; ++i)
     EXPECT_LT(std::abs(a.amplitude(i) - b.amplitude(i)), 1e-12);
+}
+
+TEST(Statevector, SwapAndRzzRejectEqualOperandsIdentically) {
+  Statevector sv(3);
+  EXPECT_THROW(sv.apply_swap(1, 1), ValidationError);
+  EXPECT_THROW(sv.apply_rzz(1, 1, 0.3), ValidationError);
+  EXPECT_THROW(sv.apply_swap(0, 3), ValidationError);  // out of range still checked
+  EXPECT_NO_THROW(sv.apply_swap(0, 2));
+  EXPECT_NO_THROW(sv.apply_rzz(0, 2, 0.3));
 }
 
 TEST(Fusion, BarrierIsAFence) {

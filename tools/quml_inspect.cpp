@@ -1,27 +1,44 @@
 // quml_inspect — descriptor-level cost and scheduling preview.
 //
-// Usage:  quml_inspect <job.json>
+// Usage:  quml_inspect <job.json> [--verbose]
 //
 // Prints what an HPC-style scheduler sees *without lowering anything*
 // (paper §2): register widths, per-operator rep_kinds and cost hints, the
 // accumulated cost, and runtime/fidelity estimates against a reference
-// backend fleet.
+// backend fleet.  `--verbose` additionally lowers the bundle (gate bundles
+// only) and previews the simulator's gate-fusion plan — the sweep count the
+// job will actually pay.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "backend/lowering.hpp"
 #include "core/bundle.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fusion.hpp"
 #include "util/errors.hpp"
 
 int main(int argc, char** argv) {
   using namespace quml;
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: quml_inspect <job.json>\n");
+  std::string job_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") verbose = true;
+    else if ((!arg.empty() && arg[0] == '-') || !job_path.empty()) {
+      // Unknown flag, or a second positional that would silently shadow the
+      // first job file.
+      std::fprintf(stderr, "usage: quml_inspect <job.json> [--verbose]\n");
+      return 2;
+    } else job_path = arg;
+  }
+  if (job_path.empty()) {
+    std::fprintf(stderr, "usage: quml_inspect <job.json> [--verbose]\n");
     return 2;
   }
   try {
-    const core::JobBundle bundle = core::JobBundle::load(argv[1]);
+    const core::JobBundle bundle = core::JobBundle::load(job_path);
     std::printf("job %s\n\nregisters:\n", bundle.job_id.c_str());
     for (const auto& qdt : bundle.registers.all())
       std::printf("  %-14s width=%-3u %-22s readout=%s\n", qdt.id.c_str(), qdt.width,
@@ -64,6 +81,23 @@ int main(int argc, char** argv) {
                     est.duration_us, est.success_prob);
       else
         std::printf("  %-28s infeasible: %s\n", cap.name.c_str(), est.reason.c_str());
+    }
+
+    if (verbose) {
+      // Opt-in lowering: the default inspect view stays descriptor-only.
+      try {
+        const sim::FusionStats stats = backend::bundle_fusion_stats(bundle);
+        std::printf("\nfusion preview (lowered logical circuit, pre-transpile):\n");
+        std::printf("  gates in            %zu\n", stats.gates_in);
+        std::printf("  fused ops out       %zu\n", stats.ops_out);
+        std::printf("  1q gates absorbed   %zu\n", stats.fused_1q);
+        std::printf("  multi-q absorbed    %zu\n", stats.fused_multiq);
+        std::printf("  diagonal runs       %zu\n", stats.diag_runs);
+        std::printf("  k-qubit blocks      %zu (widest %d qubits)\n", stats.kq_blocks,
+                    stats.max_block_qubits);
+      } catch (const Error& e) {
+        std::printf("\nfusion preview: n/a (%s)\n", e.what());
+      }
     }
     return 0;
   } catch (const Error& e) {

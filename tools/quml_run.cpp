@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "backend/lowering.hpp"
 #include "backend/register_backends.hpp"
 #include "core/registry.hpp"
+#include "sim/fusion.hpp"
 #include "svc/execution_service.hpp"
 #include "util/errors.hpp"
 
@@ -29,8 +31,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: quml_run <job.json> [--engine NAME|auto] [--samples N] [--seed S]\n"
-               "                [--async] [--workers N] [--output result.json]\n"
+               "                [--async] [--workers N] [--output result.json] [--verbose]\n"
                "  <job.json> may hold one bundle or a JSON array of bundles (batch).\n"
+               "  --verbose previews the lowered circuit and its gate-fusion plan.\n"
                "registered engines:\n");
   for (const auto& name : quml::core::BackendRegistry::instance().engines())
     std::fprintf(stderr, "  %s\n", name.c_str());
@@ -65,6 +68,23 @@ void print_decision(const quml::sched::Decision& decision) {
   std::printf("  -> %s (score %.3f)\n", decision.backend.c_str(), decision.score);
 }
 
+/// Prints what the simulator's fusion pass does with the lowered logical
+/// circuit (pre-transpile: a constrained target basis/coupling changes the
+/// executed gate mix).  Annealing-only bundles have no gate lowering; say so
+/// instead of failing the run.
+void print_fusion_preview(const quml::core::JobBundle& bundle) {
+  using namespace quml;
+  try {
+    const sim::FusionStats stats = backend::bundle_fusion_stats(bundle);
+    std::printf("fusion  : %zu gates -> %zu fused ops (%zu 1q + %zu multi-q absorbed, "
+                "%zu diagonal runs, %zu k-qubit blocks, widest %d qubits)\n",
+                stats.gates_in, stats.ops_out, stats.fused_1q, stats.fused_multiq,
+                stats.diag_runs, stats.kq_blocks, stats.max_block_qubits);
+  } catch (const Error& e) {
+    std::printf("fusion  : n/a (%s)\n", e.what());
+  }
+}
+
 void print_result(const quml::core::ExecutionResult& result) {
   std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
   for (const auto& outcome : result.decoded)
@@ -90,6 +110,7 @@ int main(int argc, char** argv) {
   std::int64_t seed_override = -1;
   std::int64_t workers = 2;
   bool async = false;
+  bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -105,6 +126,7 @@ int main(int argc, char** argv) {
     else if (arg == "--output") output_path = next();
     else if (arg == "--workers") workers = std::atoll(next());
     else if (arg == "--async") async = true;
+    else if (arg == "--verbose") verbose = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -130,6 +152,12 @@ int main(int argc, char** argv) {
       if (samples_override > 0) bundle.context->exec.samples = samples_override;
       if (seed_override >= 0) bundle.context->exec.seed = static_cast<std::uint64_t>(seed_override);
       any_auto = any_auto || bundle.context->exec.engine == "auto";
+    }
+    if (verbose) {
+      for (const auto& bundle : bundles) {
+        std::printf("job     : %s\n", bundle.job_id.c_str());
+        print_fusion_preview(bundle);
+      }
     }
 
     const bool service_path = async || any_auto || bundles.size() > 1;

@@ -1,6 +1,7 @@
 #include "backend/gate_backend.hpp"
 
 #include "backend/lowering.hpp"
+#include "backend/sweep.hpp"
 #include "pulse/schedule.hpp"
 #include "qec/surface.hpp"
 #include "sim/engine.hpp"
@@ -13,17 +14,6 @@
 
 namespace quml::backend {
 
-namespace {
-
-transpile::RoutingMethod routing_from_options(const json::Value& options) {
-  const std::string method = options.get_string("routing_method", "sabre");
-  if (method == "sabre") return transpile::RoutingMethod::Sabre;
-  if (method == "greedy") return transpile::RoutingMethod::Greedy;
-  throw ValidationError("unknown routing_method '" + method + "'");
-}
-
-}  // namespace
-
 core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
   Stopwatch timer;
   const core::Context ctx = bundle.context.value_or(core::Context{});
@@ -32,23 +22,18 @@ core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
   // 1. Lower descriptors -> logical circuit (realization hooks + readout from
   // the effective result schema; shared with the tools' fusion preview).
   const sim::Circuit logical = lower_bundle(bundle);
+  if (logical.is_parameterized())
+    throw BackendError("bundle '" + bundle.job_id + "' declares free parameters; submit it "
+                       "through submit_sweep or bind values with core::bind_bundle first");
   const core::RegisterSet& regs = bundle.registers;
   const core::ResultSchema* schema = effective_schema(bundle.operators);
   if (!schema || schema->clbit_order.empty())  // lower_bundle validated this; guard regardless
     throw LoweringError("gate backend needs a result schema with a clbit_order");
   const std::string& readout_reg = schema->clbit_order.front().reg;
 
-  // 2. Transpile per the context target.
-  transpile::TranspileOptions topts;
-  topts.basis = transpile::BasisSet(exec.target.basis_gates);
-  if (!exec.target.coupling_map.empty()) {
-    int device_qubits = exec.target.num_qubits.value_or(0);
-    topts.coupling = transpile::CouplingMap(device_qubits, exec.target.coupling_map);
-  } else if (exec.target.num_qubits) {
-    topts.coupling = transpile::CouplingMap::all_to_all(*exec.target.num_qubits);
-  }
-  topts.optimization_level = exec.optimization_level();
-  topts.routing = routing_from_options(exec.options);
+  // 2. Transpile per the context target (options realized by the helper the
+  // sweep realization shares, so both paths compile identically).
+  const transpile::TranspileOptions topts = transpile_options_for(exec);
   const transpile::TranspileResult transpiled = transpile::transpile(logical, topts);
 
   // 3. Orthogonal context services.
@@ -95,14 +80,7 @@ core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
   result.metadata.set("engine", json::Value(name()));
   result.metadata.set("shots", json::Value(exec.samples));
   result.metadata.set("seed", json::Value(static_cast<std::int64_t>(exec.seed)));
-  json::Value tmeta = json::Value::object();
-  tmeta.set("depth_before", json::Value(static_cast<std::int64_t>(transpiled.depth_before)));
-  tmeta.set("depth_after", json::Value(static_cast<std::int64_t>(transpiled.depth_after)));
-  tmeta.set("twoq_before", json::Value(transpiled.twoq_before));
-  tmeta.set("twoq_after", json::Value(transpiled.twoq_after));
-  tmeta.set("swaps_inserted", json::Value(transpiled.swaps_inserted));
-  tmeta.set("optimization_level", json::Value(static_cast<std::int64_t>(topts.optimization_level)));
-  result.metadata.set("transpile", tmeta);
+  result.metadata.set("transpile", transpile_metadata(transpiled, topts.optimization_level));
   if (services.size() > 0) result.metadata.set("services", services);
   // Optional interchange export of the realized circuit (paper §1/§6 situate
   // OpenQASM 3 as the ecosystem's assembly format).
@@ -111,6 +89,11 @@ core::ExecutionResult GateBackend::run(const core::JobBundle& bundle) {
                         json::Value(sim::to_qasm3(transpiled.circuit, "quml " + bundle.job_id)));
   result.metadata.set("wall_time_ms", json::Value(timer.milliseconds()));
   return result;
+}
+
+std::shared_ptr<core::SweepRealization> GateBackend::prepare_sweep(
+    const core::JobBundle& bundle) {
+  return make_gate_sweep_realization(bundle);
 }
 
 json::Value GateBackend::capabilities() const {

@@ -21,6 +21,10 @@ class GateBackend final : public core::Backend {
   std::string name() const override { return "gate.statevector_simulator"; }
   core::ExecutionResult run(const core::JobBundle& bundle) override;
   json::Value capabilities() const override;
+  /// Bind-once/run-many: lowers, transpiles and fusion-plans the bundle once
+  /// (backend/sweep.hpp); nullptr for bundles needing per-binding runs.
+  std::shared_ptr<core::SweepRealization> prepare_sweep(
+      const core::JobBundle& bundle) override;
 };
 
 }  // namespace quml::backend

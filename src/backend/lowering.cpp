@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/params.hpp"
+#include "sim/sweep.hpp"
 #include "util/errors.hpp"
 
 namespace quml::backend {
@@ -25,6 +27,19 @@ std::vector<int> QubitResolver::qubits(const std::string& reg_id) const {
   const unsigned base = regs_->offset_of(reg_id);
   for (unsigned i = 0; i < reg.width; ++i) out[i] = static_cast<int>(base + i);
   return out;
+}
+
+int QubitResolver::parameter_index(const std::string& name) const {
+  if (parameters_ != nullptr)
+    for (std::size_t i = 0; i < parameters_->size(); ++i)
+      if ((*parameters_)[i] == name) return static_cast<int>(i);
+  throw LoweringError("reference to undeclared parameter '" + name + "'");
+}
+
+sim::Param resolve_angle(const json::Value& value, const QubitResolver& resolver) {
+  if (const auto ref = core::parse_param_ref(value))
+    return sim::Param::symbol(resolver.parameter_index(ref->name), ref->scale, ref->offset);
+  return sim::Param::constant(value.as_double());
 }
 
 void append_qft(sim::Circuit& circuit, const std::vector<int>& qubits, int approx_degree,
@@ -107,7 +122,7 @@ void lower_angle_encoding(const OperatorDescriptor& op, const QubitResolver& r, 
   const json::Array& angles = require_param(op, "angles").as_array();
   const std::vector<int> qs = r.qubits(op.domain_qdt);
   if (angles.size() != qs.size()) throw LoweringError("angle count mismatch in ANGLE_ENCODING");
-  for (std::size_t i = 0; i < qs.size(); ++i) c.ry(angles[i].as_double(), qs[i]);
+  for (std::size_t i = 0; i < qs.size(); ++i) c.ry(resolve_angle(angles[i], r), qs[i]);
 }
 
 void lower_qft(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
@@ -116,7 +131,9 @@ void lower_qft(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c)
 }
 
 void lower_ising_cost_phase(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
-  const double gamma = require_param(op, "gamma").as_double();
+  // gamma may be a `$param` reference: the per-edge angle -gamma*w is linear
+  // in gamma, so the whole cost layer lowers symbolically for sweep plans.
+  const sim::Param gamma = resolve_angle(require_param(op, "gamma"), r);
   const std::vector<int> qs = r.qubits(op.domain_qdt);
   // e^{-i gamma C} with C = sum_e w_e (1 - Z Z)/2: per edge, e^{+i gamma w/2 ZZ}
   // = RZZ(-gamma w) up to global phase.
@@ -126,7 +143,7 @@ void lower_ising_cost_phase(const OperatorDescriptor& op, const QubitResolver& r
     const double w = entry.size() > 2 ? entry[2].as_double() : 1.0;
     if (u < 0 || v < 0 || u >= static_cast<int>(qs.size()) || v >= static_cast<int>(qs.size()))
       throw LoweringError("ISING_COST_PHASE edge endpoint out of range");
-    c.rzz(-gamma * w, qs[static_cast<std::size_t>(u)], qs[static_cast<std::size_t>(v)]);
+    c.rzz((-gamma) * w, qs[static_cast<std::size_t>(u)], qs[static_cast<std::size_t>(v)]);
   }
   if (const json::Value* h = op.params.find("h")) {
     const json::Array& fields = h->as_array();
@@ -135,14 +152,14 @@ void lower_ising_cost_phase(const OperatorDescriptor& op, const QubitResolver& r
     // e^{+i gamma h Z} = RZ(-2 gamma h) up to convention; sign matches the ZZ term.
     for (std::size_t i = 0; i < qs.size(); ++i) {
       const double hi = fields[i].as_double();
-      if (hi != 0.0) c.rz(-2.0 * gamma * hi, qs[i]);
+      if (hi != 0.0) c.rz((gamma * -2.0) * hi, qs[i]);
     }
   }
 }
 
 void lower_mixer_rx(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
-  const double beta = require_param(op, "beta").as_double();
-  for (const int q : r.qubits(op.domain_qdt)) c.rx(2.0 * beta, q);
+  const sim::Param beta = resolve_angle(require_param(op, "beta"), r);
+  for (const int q : r.qubits(op.domain_qdt)) c.rx(beta * 2.0, q);
 }
 
 void lower_reset(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
@@ -330,19 +347,20 @@ void lower_swap_test(const OperatorDescriptor& op, const QubitResolver& r, Circu
 }
 
 void lower_qpe(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
-  const double phase_turns = require_param(op, "phase_turns").as_double();
+  const sim::Param phase_turns = resolve_angle(require_param(op, "phase_turns"), r);
   const std::vector<int> counting = r.qubits(op.domain_qdt);
   const int eigen = r.qubit(require_param(op, "eigen_qdt").as_string(), 0);
   c.x(eigen);  // prepare the |1> eigenstate of the phase oracle
   for (const int q : counting) c.h(q);
-  // Counting qubit j controls U^{2^j} = P(2 pi * phase * 2^j).
+  // Counting qubit j controls U^{2^j} = P(2 pi * phase * 2^j) — linear in the
+  // phase, so a swept oracle phase stays symbolic.
   for (std::size_t j = 0; j < counting.size(); ++j)
-    c.cp(kTau * phase_turns * std::pow(2.0, static_cast<double>(j)), counting[j], eigen);
+    c.cp((phase_turns * kTau) * std::pow(2.0, static_cast<double>(j)), counting[j], eigen);
   append_qft(c, counting, 0, true, true);  // inverse QFT
 }
 
 void lower_phase_gadget(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
-  const double angle = require_param(op, "angle").as_double();
+  const sim::Param angle = resolve_angle(require_param(op, "angle"), r);
   const std::vector<int> qs = r.qubits(op.domain_qdt);
   std::vector<int> chain;
   for (const auto& entry : require_param(op, "carriers").as_array()) {
@@ -434,7 +452,7 @@ sim::Circuit lower_bundle(const core::JobBundle& bundle) {
     if (ref.reg != readout_reg)
       throw LoweringError("result schema must address a single register");
 
-  const QubitResolver resolver(regs);
+  const QubitResolver resolver(regs, bundle.parameters);
   const int num_clbits = static_cast<int>(schema->clbit_order.size());
   sim::Circuit logical(static_cast<int>(regs.total_width()), num_clbits);
   const LoweringRegistry& hooks = LoweringRegistry::instance();
@@ -462,8 +480,43 @@ sim::Circuit lower_bundle(const core::JobBundle& bundle) {
   return logical;
 }
 
+transpile::TranspileOptions transpile_options_for(const core::ExecPolicy& exec) {
+  transpile::TranspileOptions topts;
+  topts.basis = transpile::BasisSet(exec.target.basis_gates);
+  if (!exec.target.coupling_map.empty()) {
+    const int device_qubits = exec.target.num_qubits.value_or(0);
+    topts.coupling = transpile::CouplingMap(device_qubits, exec.target.coupling_map);
+  } else if (exec.target.num_qubits) {
+    topts.coupling = transpile::CouplingMap::all_to_all(*exec.target.num_qubits);
+  }
+  topts.optimization_level = exec.optimization_level();
+  const std::string method = exec.options.get_string("routing_method", "sabre");
+  if (method == "sabre")
+    topts.routing = transpile::RoutingMethod::Sabre;
+  else if (method == "greedy")
+    topts.routing = transpile::RoutingMethod::Greedy;
+  else
+    throw ValidationError("unknown routing_method '" + method + "'");
+  return topts;
+}
+
+json::Value transpile_metadata(const transpile::TranspileResult& result, int optimization_level) {
+  json::Value tmeta = json::Value::object();
+  tmeta.set("depth_before", json::Value(static_cast<std::int64_t>(result.depth_before)));
+  tmeta.set("depth_after", json::Value(static_cast<std::int64_t>(result.depth_after)));
+  tmeta.set("twoq_before", json::Value(result.twoq_before));
+  tmeta.set("twoq_after", json::Value(result.twoq_after));
+  tmeta.set("swaps_inserted", json::Value(result.swaps_inserted));
+  tmeta.set("optimization_level", json::Value(static_cast<std::int64_t>(optimization_level)));
+  return tmeta;
+}
+
 sim::FusionStats bundle_fusion_stats(const core::JobBundle& bundle) {
-  const sim::Circuit logical = lower_bundle(bundle);
+  sim::Circuit logical = lower_bundle(bundle);
+  // A parameterized bundle previews at the sweep plan's generic reference
+  // binding (the fusion structure is binding-invariant by construction).
+  if (logical.is_parameterized())
+    logical = logical.bind(sim::sweep_reference_binding(logical.num_parameters()));
   std::vector<sim::Instruction> unitaries;
   for (const auto& inst : logical.instructions())
     if (inst.gate != sim::Gate::Measure && inst.gate != sim::Gate::Reset)

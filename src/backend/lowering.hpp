@@ -16,23 +16,39 @@
 #include "core/sequence.hpp"
 #include "sim/circuit.hpp"
 #include "sim/fusion.hpp"
+#include "transpile/transpiler.hpp"
 
 namespace quml::backend {
 
 /// Resolves descriptor registers to flat qubit indices of the program
-/// circuit: carrier i of register `id` lives at offset(id) + i.
+/// circuit (carrier i of register `id` lives at offset(id) + i) and declared
+/// bundle parameters to binding-vector slots.
 class QubitResolver {
  public:
   explicit QubitResolver(const core::RegisterSet& regs) : regs_(&regs) {}
+  QubitResolver(const core::RegisterSet& regs, const std::vector<std::string>& parameters)
+      : regs_(&regs), parameters_(&parameters) {}
 
   int qubit(const std::string& reg_id, unsigned carrier) const;
   /// All carriers of a register, in carrier order.
   std::vector<int> qubits(const std::string& reg_id) const;
   const core::RegisterSet& registers() const { return *regs_; }
 
+  /// Binding-vector slot of a declared parameter; throws LoweringError for
+  /// unknown names (package() validated references, so this means a hook is
+  /// resolving a name the bundle never declared).
+  int parameter_index(const std::string& name) const;
+
  private:
   const core::RegisterSet* regs_;
+  const std::vector<std::string>* parameters_ = nullptr;
 };
+
+/// Resolves a descriptor parameter value to a (possibly symbolic) angle: a
+/// JSON number stays a constant, a `$param` reference becomes a sim::Param
+/// over the bundle's binding vector.  Circuit builders accept either, so the
+/// realization hooks below lower parameterized descriptors symbolically.
+sim::Param resolve_angle(const json::Value& value, const QubitResolver& resolver);
 
 using LoweringFn = std::function<void(const core::OperatorDescriptor&, const QubitResolver&,
                                       sim::Circuit&)>;
@@ -65,6 +81,15 @@ const core::ResultSchema* effective_schema(const core::OperatorSequence& ops);
 /// LoweringError when the bundle has no usable schema or unknown rep_kinds.
 /// Shared by GateBackend::run and the tools' `--verbose` fusion preview.
 sim::Circuit lower_bundle(const core::JobBundle& bundle);
+
+/// Transpile options realized from a context's exec policy (target basis,
+/// coupling/num_qubits, optimization level, routing method) — the single
+/// definition shared by GateBackend::run and the sweep realization, so the
+/// plan-cached and per-binding paths can never transpile differently.
+transpile::TranspileOptions transpile_options_for(const core::ExecPolicy& exec);
+
+/// The before/after transpile metrics block both paths attach to results.
+json::Value transpile_metadata(const transpile::TranspileResult& result, int optimization_level);
 
 /// FusionStats of the lowered *logical* circuit's unitary part — a preview of
 /// what the simulator's gate-fusion pass does with this bundle's traffic

@@ -1,23 +1,38 @@
 #include "core/bundle.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "core/params.hpp"
 #include "schema/descriptor_schemas.hpp"
 #include "util/errors.hpp"
 
 namespace quml::core {
 
 JobBundle JobBundle::package(RegisterSet registers, OperatorSequence operators,
-                             std::optional<Context> context, std::string job_id) {
+                             std::optional<Context> context, std::string job_id,
+                             std::vector<std::string> parameters) {
   SequenceRules rules;
   if (context) rules.allow_mid_circuit = context->allows_mid_circuit_measurement();
   operators.validate(registers, rules);
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (parameters[i].empty()) throw ValidationError("parameter names must be non-empty");
+    for (std::size_t j = i + 1; j < parameters.size(); ++j)
+      if (parameters[i] == parameters[j])
+        throw ValidationError("duplicate parameter '" + parameters[i] + "'");
+  }
+  std::vector<std::string> referenced;
+  for (const OperatorDescriptor& op : operators.ops) collect_param_refs(op.params, referenced);
+  for (const std::string& name : referenced)
+    if (std::find(parameters.begin(), parameters.end(), name) == parameters.end())
+      throw ValidationError("descriptor references undeclared parameter '" + name + "'");
   JobBundle bundle;
   bundle.job_id = std::move(job_id);
   bundle.registers = std::move(registers);
   bundle.operators = std::move(operators);
   bundle.context = std::move(context);
+  bundle.parameters = std::move(parameters);
   bundle.provenance.set("producer", json::Value("quml"));
   bundle.provenance.set("middle_layer_version", json::Value("0.1.0"));
   return bundle;
@@ -36,6 +51,11 @@ json::Value JobBundle::to_json() const {
   o.emplace_back("qdts", json::Value(std::move(qdts)));
   o.emplace_back("operators", operators.to_json());
   if (context) o.emplace_back("context", context->to_json());
+  if (!parameters.empty()) {
+    json::Array names;
+    for (const auto& name : parameters) names.emplace_back(name);
+    o.emplace_back("parameters", json::Value(std::move(names)));
+  }
   if (provenance.is_object() && provenance.size() > 0) o.emplace_back("provenance", provenance);
   return json::Value(std::move(o));
 }
@@ -47,8 +67,11 @@ JobBundle JobBundle::from_json(const json::Value& doc) {
   OperatorSequence seq = OperatorSequence::from_json(doc.at("operators"));
   std::optional<Context> ctx;
   if (const json::Value* c = doc.find("context")) ctx = Context::from_json(*c);
+  std::vector<std::string> parameters;
+  if (const json::Value* p = doc.find("parameters"))
+    for (const auto& name : p->as_array()) parameters.push_back(name.as_string());
   JobBundle bundle = package(std::move(regs), std::move(seq), std::move(ctx),
-                             doc.get_string("job_id", "job-0"));
+                             doc.get_string("job_id", "job-0"), std::move(parameters));
   if (const json::Value* p = doc.find("provenance")) bundle.provenance = *p;
   return bundle;
 }

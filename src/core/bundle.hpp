@@ -18,14 +18,21 @@ struct JobBundle {
   RegisterSet registers;
   OperatorSequence operators;
   std::optional<Context> context;
+  /// Declared free symbols, in binding-vector order.  Descriptor params may
+  /// reference them ("$name" or {"param": ...} — see core/params.hpp); such
+  /// a bundle executes through submit_sweep, or through bind_bundle() +
+  /// submit for a single binding.
+  std::vector<std::string> parameters;
   json::Value provenance = json::Value::object();
 
   /// Packages and validates: per-descriptor schema shape is implied by
   /// construction; semantic sequence validation runs here so an invalid
-  /// bundle can never be produced (fail-early, paper §4.1).
+  /// bundle can never be produced (fail-early, paper §4.1).  Every `$param`
+  /// reference in the operators must name a declared parameter.
   static JobBundle package(RegisterSet registers, OperatorSequence operators,
                            std::optional<Context> context = std::nullopt,
-                           std::string job_id = "job-0");
+                           std::string job_id = "job-0",
+                           std::vector<std::string> parameters = {});
 
   /// Convenience: the context's exec policy, or defaults when absent.
   ExecPolicy exec_policy() const;

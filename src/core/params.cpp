@@ -1,0 +1,91 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace quml::core {
+
+std::optional<ParamRef> parse_param_ref(const json::Value& value) {
+  if (value.is_string()) {
+    const std::string& s = value.as_string();
+    if (s.size() < 2 || s[0] != '$') return std::nullopt;
+    ParamRef ref;
+    ref.name = s.substr(1);
+    return ref;
+  }
+  if (value.is_object() && value.contains("param")) {
+    ParamRef ref;
+    const json::Value& name = value.at("param");
+    if (!name.is_string() || name.as_string().empty())
+      throw ValidationError("parameter reference needs a non-empty \"param\" name");
+    ref.name = name.as_string();
+    ref.scale = value.get_double("scale", 1.0);
+    ref.offset = value.get_double("offset", 0.0);
+    for (const auto& [key, _] : value.as_object())
+      if (key != "param" && key != "scale" && key != "offset")
+        throw ValidationError("unknown member '" + key + "' in parameter reference");
+    return ref;
+  }
+  return std::nullopt;
+}
+
+void collect_param_refs(const json::Value& doc, std::vector<std::string>& out) {
+  if (const auto ref = parse_param_ref(doc)) {
+    out.push_back(ref->name);
+    return;
+  }
+  if (doc.is_array()) {
+    for (const json::Value& item : doc.as_array()) collect_param_refs(item, out);
+  } else if (doc.is_object()) {
+    for (const auto& [_, member] : doc.as_object()) collect_param_refs(member, out);
+  }
+}
+
+json::Value bind_param_refs(const json::Value& doc, const std::vector<std::string>& names,
+                            std::span<const double> values) {
+  if (const auto ref = parse_param_ref(doc)) {
+    const auto it = std::find(names.begin(), names.end(), ref->name);
+    if (it == names.end())
+      throw ValidationError("reference to undeclared parameter '" + ref->name + "'");
+    const std::size_t index = static_cast<std::size_t>(it - names.begin());
+    return json::Value(ref->offset + ref->scale * values[index]);
+  }
+  if (doc.is_array()) {
+    json::Array out;
+    out.reserve(doc.as_array().size());
+    for (const json::Value& item : doc.as_array())
+      out.push_back(bind_param_refs(item, names, values));
+    return json::Value(std::move(out));
+  }
+  if (doc.is_object()) {
+    json::Object out;
+    out.reserve(doc.as_object().size());
+    for (const auto& [key, member] : doc.as_object())
+      out.emplace_back(key, bind_param_refs(member, names, values));
+    return json::Value(std::move(out));
+  }
+  return doc;
+}
+
+JobBundle bind_bundle(const JobBundle& bundle, std::span<const double> values) {
+  if (values.size() != bundle.parameters.size())
+    throw ValidationError("binding has " + std::to_string(values.size()) +
+                          " values but the bundle declares " +
+                          std::to_string(bundle.parameters.size()) + " parameters");
+  JobBundle bound = bundle;
+  bound.parameters.clear();
+  for (OperatorDescriptor& op : bound.operators.ops)
+    op.params = bind_param_refs(op.params, bundle.parameters, values);
+  return bound;
+}
+
+std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 over (base, index): decorrelated per-binding streams that are
+  // reproducible regardless of worker sharding.
+  std::uint64_t state = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  return splitmix64(state);
+}
+
+}  // namespace quml::core

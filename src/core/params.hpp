@@ -1,0 +1,61 @@
+#pragma once
+// Free parameters in submission bundles.
+//
+// A bundle may declare named free symbols in its `parameters` block; any
+// descriptor parameter value may then reference one instead of carrying a
+// number:
+//
+//   "parameters": ["gamma0", "beta0"],
+//   ...
+//   "params": {"gamma": "$gamma0"}                          // plain reference
+//   "params": {"beta": {"param": "beta0", "scale": 2.0}}    // linear form
+//
+// A reference resolves to offset + scale * binding[name].  The declaration
+// order in `parameters` defines the layout of the binding vectors handed to
+// svc::ExecutionService::submit_sweep; bind_bundle() substitutes one binding
+// to recover an ordinary fully-bound bundle (the sweep fallback path for
+// backends without a native sweep realization).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "json/json.hpp"
+
+namespace quml::core {
+
+/// A parsed parameter reference: value = offset + scale * binding[name].
+struct ParamRef {
+  std::string name;
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+/// Recognizes the two reference encodings ("$name" strings and
+/// {"param": name, "scale": s, "offset": o} objects); nullopt for ordinary
+/// values.  Throws ValidationError for a malformed object form.
+std::optional<ParamRef> parse_param_ref(const json::Value& value);
+
+/// Collects every referenced parameter name in `doc` (deep walk).
+void collect_param_refs(const json::Value& doc, std::vector<std::string>& out);
+
+/// Deep-substitutes every reference using the declared `names` (binding
+/// layout) and `values`.  Throws ValidationError for references to
+/// undeclared names.
+json::Value bind_param_refs(const json::Value& doc, const std::vector<std::string>& names,
+                            std::span<const double> values);
+
+/// Substitutes one binding into every descriptor of `bundle` and clears its
+/// parameter declarations: the result is an ordinary fully-bound bundle.
+/// Throws ValidationError when values.size() != bundle.parameters.size().
+JobBundle bind_bundle(const JobBundle& bundle, std::span<const double> values);
+
+/// Seed for binding `index` of a sweep, derived from the bundle's exec.seed.
+/// Depends only on (base, index), so results are independent of how bindings
+/// are sharded across workers.
+std::uint64_t sweep_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace quml::core

@@ -21,6 +21,7 @@
 
 #include "core/bundle.hpp"
 #include "core/result.hpp"
+#include "core/sweep.hpp"
 
 namespace quml::core {
 
@@ -44,6 +45,16 @@ class Backend {
 
   /// Capability advertisement for schedulers (qubits, kinds, gate set...).
   virtual json::Value capabilities() const = 0;
+
+  /// Bind-once/run-many support: returns the prepared (lowered, transpiled,
+  /// fusion-planned) form of `bundle` for a parameter sweep, or nullptr when
+  /// this backend has no realization cheaper than independent runs — the
+  /// ExecutionService then binds and runs per binding.  The realization must
+  /// not reference this Backend instance.
+  virtual std::shared_ptr<SweepRealization> prepare_sweep(const JobBundle& bundle) {
+    (void)bundle;
+    return nullptr;
+  }
 };
 
 using BackendFactory = std::function<std::unique_ptr<Backend>()>;

@@ -1,0 +1,43 @@
+#pragma once
+// Backend-side sweep interfaces (bind-once/run-many).
+//
+// A backend that can execute a parameter sweep more cheaply than N
+// independent runs overrides Backend::prepare_sweep() to return a
+// SweepRealization: the shared, immutable prepared form of one bundle
+// (lowered, transpiled, fusion-planned once).  Worker threads then each open
+// a SweepSession — the per-thread mutable scratch — and pull bindings from
+// the sweep queue.  Backends without a native realization return nullptr and
+// the ExecutionService falls back to core::bind_bundle() + run() per
+// binding, which is always correct.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/result.hpp"
+
+namespace quml::core {
+
+/// Per-worker execution scratch over a shared realization.  Not thread-safe;
+/// one session per worker thread.
+class SweepSession {
+ public:
+  virtual ~SweepSession() = default;
+
+  /// Executes one binding with the given derived seed and returns its
+  /// decoded result.  Deterministic in (realization, values, seed).
+  virtual ExecutionResult run_binding(std::span<const double> values, std::uint64_t seed) = 0;
+};
+
+/// Immutable prepared form of one bundle, shared across workers.  Must not
+/// reference the Backend instance that created it (the ExecutionService may
+/// outlive that instance).
+class SweepRealization {
+ public:
+  virtual ~SweepRealization() = default;
+
+  /// Opens a per-worker session.  Thread-safe.
+  virtual std::unique_ptr<SweepSession> open_session() = 0;
+};
+
+}  // namespace quml::core

@@ -183,6 +183,11 @@ const std::string kJobSchema = R"JSON({
     "qdts": {"type": "array", "items": {"type": "object"}, "minItems": 1},
     "operators": {"type": "array", "items": {"type": "object"}, "minItems": 1},
     "context": {"type": "object"},
+    "parameters": {
+      "type": "array",
+      "items": {"type": "string", "pattern": "^[A-Za-z_][A-Za-z0-9_.-]*$"},
+      "minItems": 1
+    },
     "provenance": {
       "type": "object",
       "properties": {

@@ -36,7 +36,55 @@ void Circuit::add(Gate g, std::vector<int> qubits, std::vector<double> params,
   } else if (!clbits.empty()) {
     throw ValidationError("only measure carries clbits");
   }
-  instructions_.push_back({g, std::move(qubits), std::move(params), std::move(clbits)});
+  instructions_.push_back({g, std::move(qubits), std::move(params), std::move(clbits), {}});
+}
+
+void Circuit::add_param(Gate g, std::vector<int> qubits, std::vector<Param> params,
+                        std::vector<int> clbits) {
+  std::vector<double> numeric(params.size());
+  std::vector<ParamSlot> symbols;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Param& p = params[i];
+    numeric[i] = p.offset;  // placeholder until bound (index < 0: the value itself)
+    if (p.is_symbolic())
+      symbols.push_back({static_cast<int>(i), p.index, p.scale, p.offset});
+  }
+  add(g, std::move(qubits), std::move(numeric), std::move(clbits));
+  if (!symbols.empty()) {
+    for (const ParamSlot& s : symbols)
+      num_parameters_ = std::max(num_parameters_, s.index + 1);
+    instructions_.back().symbols = std::move(symbols);
+  }
+}
+
+void Circuit::push(const Instruction& inst) {
+  // Validate the symbolic slots before mutating the circuit, so a throw
+  // leaves no half-copied instruction (with silently dropped symbols) behind.
+  for (const ParamSlot& s : inst.symbols)
+    if (s.index < 0 || s.pos < 0 || s.pos >= static_cast<int>(inst.params.size()))
+      throw ValidationError("malformed symbolic parameter slot");
+  add(inst.gate, inst.qubits, inst.params, inst.clbits);
+  if (!inst.symbols.empty()) {
+    for (const ParamSlot& s : inst.symbols)
+      num_parameters_ = std::max(num_parameters_, s.index + 1);
+    instructions_.back().symbols = inst.symbols;
+  }
+}
+
+Circuit Circuit::bind(std::span<const double> values) const {
+  if (static_cast<int>(values.size()) < num_parameters_)
+    throw ValidationError("binding vector has " + std::to_string(values.size()) +
+                          " values but the circuit references " +
+                          std::to_string(num_parameters_) + " parameters");
+  Circuit bound(num_qubits_, num_clbits_);
+  bound.instructions_.reserve(instructions_.size());
+  for (const Instruction& inst : instructions_) {
+    Instruction b = inst;
+    bind_instruction_params(b, values);
+    b.symbols.clear();
+    bound.instructions_.push_back(std::move(b));
+  }
+  return bound;
 }
 
 void Circuit::measure_all() {
@@ -52,7 +100,7 @@ void Circuit::append(const Circuit& other, const std::vector<int>& qubit_map, in
     Instruction mapped = inst;
     for (auto& q : mapped.qubits) q = qubit_map.at(static_cast<std::size_t>(q));
     for (auto& c : mapped.clbits) c += clbit_offset;
-    add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+    push(mapped);
   }
 }
 
@@ -89,10 +137,19 @@ Instruction invert_instruction(const Instruction& inst) {
     case Gate::CRZ:
     case Gate::RZZ:
       inv.params[0] = -inv.params[0];
+      for (ParamSlot& s : inv.symbols) {
+        s.scale = -s.scale;
+        s.offset = -s.offset;
+      }
       return inv;
     case Gate::U3: {
       // U3(θ,φ,λ)^-1 = U3(-θ,-λ,-φ)
       inv.params = {-inst.params[0], -inst.params[2], -inst.params[1]};
+      for (ParamSlot& s : inv.symbols) {
+        s.pos = s.pos == 0 ? 0 : (s.pos == 1 ? 2 : 1);
+        s.scale = -s.scale;
+        s.offset = -s.offset;
+      }
       return inv;
     }
     case Gate::Measure:
@@ -106,10 +163,8 @@ Instruction invert_instruction(const Instruction& inst) {
 
 Circuit Circuit::inverse() const {
   Circuit inv(num_qubits_, num_clbits_);
-  for (auto it = instructions_.rbegin(); it != instructions_.rend(); ++it) {
-    Instruction i = invert_instruction(*it);
-    inv.add(i.gate, i.qubits, i.params, i.clbits);
-  }
+  for (auto it = instructions_.rbegin(); it != instructions_.rend(); ++it)
+    inv.push(invert_instruction(*it));
   return inv;
 }
 
@@ -168,7 +223,20 @@ std::string Circuit::str() const {
       out += "(";
       for (std::size_t i = 0; i < inst.params.size(); ++i) {
         if (i) out += ", ";
-        out += format_double(inst.params[i]);
+        const ParamSlot* slot = nullptr;
+        for (const ParamSlot& s : inst.symbols)
+          if (s.pos == static_cast<int>(i)) slot = &s;
+        if (slot) {
+          out += format_double(slot->scale);
+          out += "*p";
+          out += std::to_string(slot->index);
+          if (slot->offset != 0.0) {
+            out += "+";
+            out += format_double(slot->offset);
+          }
+        } else {
+          out += format_double(inst.params[i]);
+        }
       }
       out += ")";
     }

@@ -4,9 +4,18 @@
 // Circuits only exist *below* the middle layer: the gate backend lowers
 // operator descriptors into this IR once the execution context is known
 // (late binding, paper §3), then transpiles and simulates it.
+//
+// Angle operands may be *symbolic*: a Param is a linear expression
+// offset + scale * binding[index] over a job-level binding vector, which is
+// what lets a sweep plan transpile and fuse a circuit once and re-bind only
+// the angle-dependent blocks per parameter binding (see sim/sweep.hpp).
+// Linear expressions are closed under every rewrite the pipeline performs on
+// rotation angles (negation for inverses, halving in basis decompositions,
+// weight scaling in cost-phase lowering), so symbols survive end to end.
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -14,16 +23,75 @@
 
 namespace quml::sim {
 
+/// A (possibly symbolic) angle operand: offset + scale * binding[index],
+/// with index -1 meaning a plain constant.  Circuit builders accept Param
+/// wherever they accept double, so lowering code is agnostic to whether an
+/// angle is free or already fixed.
+struct Param {
+  int index = -1;      ///< binding-vector slot; -1 = constant
+  double scale = 0.0;  ///< coefficient of the bound value
+  double offset = 0.0; ///< constant term (the whole value when index < 0)
+
+  static Param constant(double v) { return Param{-1, 0.0, v}; }
+  static Param symbol(int index, double scale = 1.0, double offset = 0.0) {
+    return Param{index, scale, offset};
+  }
+
+  bool is_symbolic() const noexcept { return index >= 0; }
+  /// Value under a binding vector (constants ignore it).
+  double value(std::span<const double> binding) const {
+    return index < 0 ? offset : offset + scale * binding[static_cast<std::size_t>(index)];
+  }
+
+  // Linear-expression algebra (the closure transpile/lowering rely on).
+  Param operator-() const { return Param{index, -scale, -offset}; }
+  Param operator*(double f) const { return Param{index, scale * f, offset * f}; }
+  Param operator+(double c) const { return Param{index, scale, offset + c}; }
+  Param operator-(double c) const { return Param{index, scale, offset - c}; }
+  friend Param operator*(double f, const Param& p) { return p * f; }
+
+  bool operator==(const Param& o) const {
+    return index == o.index && scale == o.scale && offset == o.offset;
+  }
+};
+
+/// Symbolic annotation of one numeric parameter slot:
+/// params[pos] = offset + scale * binding[index].
+struct ParamSlot {
+  int pos = 0;     ///< which entry of Instruction::params
+  int index = 0;   ///< binding-vector slot (always >= 0)
+  double scale = 1.0;
+  double offset = 0.0;
+
+  bool operator==(const ParamSlot& o) const {
+    return pos == o.pos && index == o.index && scale == o.scale && offset == o.offset;
+  }
+};
+
 struct Instruction {
   Gate gate = Gate::I;
   std::vector<int> qubits;
   std::vector<double> params;
-  std::vector<int> clbits;  ///< Measure only: destination classical bits
+  std::vector<int> clbits;   ///< Measure only: destination classical bits
+  std::vector<ParamSlot> symbols;  ///< symbolic slots; empty = fully bound
+
+  bool is_parameterized() const noexcept { return !symbols.empty(); }
 
   bool operator==(const Instruction& o) const {
-    return gate == o.gate && qubits == o.qubits && params == o.params && clbits == o.clbits;
+    return gate == o.gate && qubits == o.qubits && params == o.params && clbits == o.clbits &&
+           symbols == o.symbols;
   }
 };
+
+/// Substitutes a binding into an instruction's numeric params (symbols are
+/// retained; callers that produce a fully-bound instruction clear them).
+/// The single definition of binding semantics — Circuit::bind and the sweep
+/// plan both route through this.
+inline void bind_instruction_params(Instruction& inst, std::span<const double> values) {
+  for (const ParamSlot& s : inst.symbols)
+    inst.params[static_cast<std::size_t>(s.pos)] =
+        s.offset + s.scale * values[static_cast<std::size_t>(s.index)];
+}
 
 class Circuit {
  public:
@@ -38,6 +106,16 @@ class Circuit {
   // --- builders -------------------------------------------------------------
   void add(Gate g, std::vector<int> qubits, std::vector<double> params = {},
            std::vector<int> clbits = {});
+  /// Symbolic-capable builder: each Param may be a constant or a linear
+  /// expression of a binding-vector slot.  Unbound slots carry their offset
+  /// as the numeric placeholder (executing an unbound circuit throws — see
+  /// Engine/Statevector guards).
+  void add_param(Gate g, std::vector<int> qubits, std::vector<Param> params,
+                 std::vector<int> clbits = {});
+  /// Re-appends an instruction verbatim (same validation as add), preserving
+  /// any symbolic slots.  The transpile passes rebuild circuits through this
+  /// so symbols survive basis translation, routing, and optimization.
+  void push(const Instruction& inst);
 
   void i(int q) { add(Gate::I, {q}); }
   void x(int q) { add(Gate::X, {q}); }
@@ -55,6 +133,13 @@ class Circuit {
   void rz(double lambda, int q) { add(Gate::RZ, {q}, {lambda}); }
   void p(double lambda, int q) { add(Gate::P, {q}, {lambda}); }
   void u3(double theta, double phi, double lambda, int q) { add(Gate::U3, {q}, {theta, phi, lambda}); }
+  void rx(const Param& theta, int q) { add_param(Gate::RX, {q}, {theta}); }
+  void ry(const Param& theta, int q) { add_param(Gate::RY, {q}, {theta}); }
+  void rz(const Param& lambda, int q) { add_param(Gate::RZ, {q}, {lambda}); }
+  void p(const Param& lambda, int q) { add_param(Gate::P, {q}, {lambda}); }
+  void u3(const Param& theta, const Param& phi, const Param& lambda, int q) {
+    add_param(Gate::U3, {q}, {theta, phi, lambda});
+  }
   void cx(int c, int t) { add(Gate::CX, {c, t}); }
   void cy(int c, int t) { add(Gate::CY, {c, t}); }
   void cz(int c, int t) { add(Gate::CZ, {c, t}); }
@@ -62,6 +147,9 @@ class Circuit {
   void crz(double lambda, int c, int t) { add(Gate::CRZ, {c, t}, {lambda}); }
   void swap(int a, int b) { add(Gate::SWAP, {a, b}); }
   void rzz(double theta, int a, int b) { add(Gate::RZZ, {a, b}, {theta}); }
+  void cp(const Param& lambda, int c, int t) { add_param(Gate::CP, {c, t}, {lambda}); }
+  void crz(const Param& lambda, int c, int t) { add_param(Gate::CRZ, {c, t}, {lambda}); }
+  void rzz(const Param& theta, int a, int b) { add_param(Gate::RZZ, {a, b}, {theta}); }
   void ccx(int c0, int c1, int t) { add(Gate::CCX, {c0, c1, t}); }
   void cswap(int c, int a, int b) { add(Gate::CSWAP, {c, a, b}); }
   void measure(int q, int c) { add(Gate::Measure, {q}, {}, {c}); }
@@ -73,8 +161,18 @@ class Circuit {
   /// by `clbit_offset`).
   void append(const Circuit& other, const std::vector<int>& qubit_map, int clbit_offset = 0);
 
-  /// Unitary inverse (throws ValidationError on Measure/Reset).
+  /// Unitary inverse (throws ValidationError on Measure/Reset).  Symbolic
+  /// angles invert symbolically (the slot's linear expression is negated).
   Circuit inverse() const;
+
+  // --- symbolic parameters ----------------------------------------------------
+  /// Number of binding-vector slots referenced (max index + 1); 0 when the
+  /// circuit is fully bound.
+  int num_parameters() const noexcept { return num_parameters_; }
+  bool is_parameterized() const noexcept { return num_parameters_ > 0; }
+  /// Substitutes `values` (size >= num_parameters()) into every symbolic
+  /// slot and returns the fully bound circuit.
+  Circuit bind(std::span<const double> values) const;
 
   // --- metrics (the measured counterparts of cost hints) ---------------------
   /// Number of non-structural instructions.
@@ -93,6 +191,7 @@ class Circuit {
  private:
   int num_qubits_ = 0;
   int num_clbits_ = 0;
+  int num_parameters_ = 0;
   std::vector<Instruction> instructions_;
 };
 

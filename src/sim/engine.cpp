@@ -63,13 +63,36 @@ std::vector<Segment> fuse_segments(const Circuit& circuit) {
 
 }  // namespace
 
+CountMap counts_from_alias_table(const AliasTable& table,
+                                 const std::vector<std::pair<int, int>>& measurements,
+                                 int num_clbits, std::int64_t shots, Rng& rng) {
+  // Histogram basis indices first (amortized O(1) per shot); clbit mapping
+  // and string rendering then run once per distinct outcome, and the final
+  // string-keyed CountMap re-establishes deterministic order.
+  CountMap counts;
+  std::unordered_map<std::uint64_t, std::int64_t> basis_counts;
+  for (std::int64_t shot = 0; shot < shots; ++shot)
+    ++basis_counts[static_cast<std::uint64_t>(table.sample(rng))];
+  for (const auto& [basis, n] : basis_counts) {
+    std::uint64_t clbits = 0;
+    for (const auto& [q, c] : measurements)
+      clbits = with_bit(clbits, static_cast<unsigned>(c), bit_at(basis, static_cast<unsigned>(q)));
+    counts[render_clbits(clbits, num_clbits)] += n;
+  }
+  return counts;
+}
+
 Statevector Engine::run_statevector(const Circuit& circuit) const {
+  if (circuit.is_parameterized())
+    throw ValidationError("circuit has unbound parameters; bind() it or use sim::SweepPlan");
   Statevector state(circuit.num_qubits());
   apply_fused(state, fuse_unitaries(circuit));  // throws on Measure/Reset
   return state;
 }
 
 CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uint64_t seed) const {
+  if (circuit.is_parameterized())
+    throw ValidationError("circuit has unbound parameters; bind() it or use sim::SweepPlan");
   if (shots <= 0) throw ValidationError("shots must be positive");
   if (circuit.num_clbits() <= 0)
     throw ValidationError("circuit has no classical bits to sample into");
@@ -101,19 +124,7 @@ CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uin
       apply_fused(state, fuse_unitaries(unitaries, circuit.num_qubits()));
       return AliasTable(state.probabilities());
     }();
-    // Histogram basis indices first (amortized O(1) per shot); clbit mapping
-    // and string rendering then run once per distinct outcome, and the final
-    // string-keyed CountMap re-establishes deterministic order.
-    std::unordered_map<std::uint64_t, std::int64_t> basis_counts;
-    for (std::int64_t shot = 0; shot < shots; ++shot)
-      ++basis_counts[static_cast<std::uint64_t>(table.sample(rng))];
-    for (const auto& [basis, n] : basis_counts) {
-      std::uint64_t clbits = 0;
-      for (const auto& [q, c] : measurements)
-        clbits = with_bit(clbits, static_cast<unsigned>(c), bit_at(basis, static_cast<unsigned>(q)));
-      counts[render_clbits(clbits, circuit.num_clbits())] += n;
-    }
-    return counts;
+    return counts_from_alias_table(table, measurements, circuit.num_clbits(), shots, rng);
   }
 
   // Mid-circuit path: per-shot trajectory simulation with collapse.  The

@@ -17,15 +17,28 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/circuit.hpp"
 #include "sim/statevector.hpp"
+#include "util/alias_table.hpp"
+#include "util/rng.hpp"
 
 namespace quml::sim {
 
 /// Histogram over clbit strings, keys rendered MSB-first (clbit 0 is the
 /// rightmost character, matching Qiskit count keys).
 using CountMap = std::map<std::string, std::int64_t>;
+
+/// Batch-samples `shots` basis indices from a prepared alias table over the
+/// final distribution and maps them through the trailing `(qubit, clbit)`
+/// measurement list into rendered count keys.  Shared by Engine::run_counts
+/// and the sweep executor (sim/sweep.hpp), so both sample bit-identically
+/// for the same RNG stream.
+CountMap counts_from_alias_table(const AliasTable& table,
+                                 const std::vector<std::pair<int, int>>& measurements,
+                                 int num_clbits, std::int64_t shots, Rng& rng);
 
 /// Re-entrancy: Engine holds no state — run_counts/run_statevector allocate
 /// everything (statevector, fusion plan, RNG streams) per call, so one

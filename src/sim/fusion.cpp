@@ -288,6 +288,7 @@ struct Block {
   std::size_t gates = 0;
   std::size_t oneq = 0, multiq = 0;
   Instruction first{};  // the original instruction while gates == 1
+  std::vector<std::int32_t> sources;  // input-program indices, application order
 };
 
 class Fuser {
@@ -295,7 +296,7 @@ class Fuser {
   Fuser(int num_qubits, const FusionOptions& opt, FusionStats* stats)
       : wire_(static_cast<std::size_t>(num_qubits), -1), opt_(opt), stats_(stats) {}
 
-  void add(const Instruction& inst) {
+  void add(const Instruction& inst, std::int32_t index) {
     if (stats_) ++stats_->gates_in;
     Unit g = classify(inst);
 
@@ -306,7 +307,7 @@ class Fuser {
         overlap.push_back(b);
     }
     if (overlap.empty()) {
-      open_or_emit(inst, std::move(g));
+      open_or_emit(inst, std::move(g), index);
       return;
     }
 
@@ -323,7 +324,7 @@ class Fuser {
 
     const int cap = cap_for(cls);
     bool cap_reject = static_cast<int>(Q.size()) > cap;
-    if (!cap_reject && try_merge(inst, g, overlap, std::move(Q), cls, {})) return;
+    if (!cap_reject && try_merge(inst, g, overlap, std::move(Q), cls, {}, index)) return;
 
     // Partial retry for a structured gate tangled with dense blocks: flushing
     // the dense ones (always order-safe) may leave a structured merge that
@@ -346,7 +347,7 @@ class Fuser {
         std::sort(Q2.begin(), Q2.end());
         Q2.erase(std::unique(Q2.begin(), Q2.end()), Q2.end());
         if (static_cast<int>(Q2.size()) <= cap_for(cls2) &&
-            try_merge(inst, g, structured, std::move(Q2), cls2, dense))
+            try_merge(inst, g, structured, std::move(Q2), cls2, dense, index))
           return;
       }
     }
@@ -362,7 +363,7 @@ class Fuser {
     for (const int b : overlap)
       all_diag = all_diag && blocks_[static_cast<std::size_t>(b)].unit.cls == MatClass::Diagonal;
     if (all_diag && (!cap_reject || g.k() > cap_for(g.cls))) {
-      emit_other(inst);
+      emit_other(inst, {index});
       return;
     }
 
@@ -370,7 +371,7 @@ class Fuser {
     for (const int b : overlap) to_flush.push_back(std::move(blocks_[static_cast<std::size_t>(b)]));
     remove_blocks(overlap);
     for (Block& blk : to_flush) flush(blk);
-    open_or_emit(inst, std::move(g));
+    open_or_emit(inst, std::move(g), index);
   }
 
   void barrier() { flush_all(); }
@@ -397,7 +398,8 @@ class Fuser {
   /// block over (Q, cls); on success the `pre_flush` blocks are flushed first
   /// (flushing is always order-safe) and the merged block takes their wires.
   bool try_merge(const Instruction& inst, const Unit& g, const std::vector<int>& overlap,
-                 std::vector<int> Q, MatClass cls, const std::vector<int>& pre_flush) {
+                 std::vector<int> Q, MatClass cls, const std::vector<int>& pre_flush,
+                 std::int32_t index) {
     double parts_cost = unit_cost_native(g);
     for (const int b : overlap) parts_cost += flush_cost(blocks_[static_cast<std::size_t>(b)]);
     const double slack = cls == MatClass::Dense ? kMergeSlack : kStructuredSeedSlack;
@@ -420,7 +422,12 @@ class Fuser {
       nb.gates += blk.gates;
       nb.oneq += blk.oneq;
       nb.multiq += blk.multiq;
+      // Open blocks have disjoint supports and commute, so concatenating
+      // their source lists in overlap order, gate last, reproduces the
+      // composition merge_units just performed.
+      nb.sources.insert(nb.sources.end(), blk.sources.begin(), blk.sources.end());
     }
+    nb.sources.push_back(index);
     std::vector<Block> fl;
     for (const int b : pre_flush) fl.push_back(std::move(blocks_[static_cast<std::size_t>(b)]));
     std::vector<int> all = overlap;
@@ -440,7 +447,7 @@ class Fuser {
   /// this is how a QFT cascade tail absorbs the next wire's cascade head and
   /// how an rz/rzz layer over disjoint pairs collapses into one sweep.  Most
   /// recently opened block first (cascade locality).
-  bool merge_into_disjoint_diag(const Instruction& inst, const Unit& g) {
+  bool merge_into_disjoint_diag(const Instruction& inst, const Unit& g, std::int32_t index) {
     if (g.cls != MatClass::Diagonal || g.k() > opt_.max_structured_qubits) return false;
     for (int b = static_cast<int>(blocks_.size()) - 1; b >= 0; --b) {
       Block& blk = blocks_[static_cast<std::size_t>(b)];
@@ -456,6 +463,7 @@ class Fuser {
       blk.unit = std::move(merged);
       ++blk.gates;
       if (g.k() == 1) ++blk.oneq; else ++blk.multiq;
+      blk.sources.push_back(index);
       for (const int q : blk.unit.qubits) wire_[static_cast<std::size_t>(q)] = b;
       (void)inst;
       return true;
@@ -463,10 +471,10 @@ class Fuser {
     return false;
   }
 
-  void open_or_emit(const Instruction& inst, Unit g) {
-    if (merge_into_disjoint_diag(inst, g)) return;
+  void open_or_emit(const Instruction& inst, Unit g, std::int32_t index) {
+    if (merge_into_disjoint_diag(inst, g, index)) return;
     if (g.k() > cap_for(g.cls)) {
-      emit_other(inst);
+      emit_other(inst, {index});
       return;
     }
     Block b;
@@ -480,6 +488,7 @@ class Fuser {
     }
     b.gates = 1;
     b.first = inst;
+    b.sources = {index};
     if (b.unit.k() == 1) b.oneq = 1; else b.multiq = 1;
     insert_block(std::move(b));
   }
@@ -499,19 +508,22 @@ class Fuser {
       for (const int q : blocks_[i].unit.qubits) wire_[static_cast<std::size_t>(q)] = static_cast<int>(i);
   }
 
-  void emit_other(const Instruction& inst) {
+  void emit_other(const Instruction& inst, std::vector<std::int32_t> sources) {
     FusedOp op;
     op.kind = FusedOp::Kind::Other;
     op.inst = inst;
+    op.sources = std::move(sources);
     ops_.push_back(std::move(op));
     if (stats_) ++stats_->ops_out;
   }
 
   void flush(Block& b) {
     Unit& u = b.unit;
-    // An exactly-identity accumulation (e.g. rz(t); rz(-t)) vanishes.
-    if (is_exact_identity(u)) return;
+    // An exactly-identity accumulation (e.g. rz(t); rz(-t)) vanishes — unless
+    // a sweep plan needs the block to survive for re-binding.
+    if (!opt_.keep_identity_blocks && is_exact_identity(u)) return;
     FusedOp op;
+    op.sources = std::move(b.sources);
     if (u.k() == 1) {
       op.qubit = u.qubits[0];
       if (u.cls == MatClass::Diagonal) {
@@ -531,7 +543,7 @@ class Fuser {
       return;
     }
     if (b.gates == 1) {
-      emit_other(b.first);  // a lone multi-qubit gate keeps its native kernel
+      emit_other(b.first, std::move(op.sources));  // lone multi-q gate keeps its native kernel
       return;
     }
     op.qubits = u.qubits;
@@ -618,7 +630,11 @@ FusionOptions FusionOptions::from_env() {
 std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int num_qubits,
                                     const FusionOptions& options, FusionStats* stats) {
   Fuser fuser(num_qubits, clamp_options(options), stats);
-  for (const Instruction& inst : program) {
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instruction& inst = program[i];
+    if (inst.is_parameterized())
+      throw ValidationError("unbound symbolic parameter in fuse_unitaries(); bind the circuit "
+                            "or build a sim::SweepPlan");
     switch (inst.gate) {
       case Gate::Measure:
       case Gate::Reset:
@@ -630,7 +646,7 @@ std::vector<FusedOp> fuse_unitaries(const std::vector<Instruction>& program, int
       case Gate::I:
         break;  // identity contributes nothing
       default:
-        fuser.add(inst);
+        fuser.add(inst, static_cast<std::int32_t>(i));
     }
   }
   return fuser.finish();
@@ -650,27 +666,88 @@ std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats) 
   return fuse_unitaries(circuit, FusionOptions::from_env(), stats);
 }
 
+void apply_fused_op(Statevector& state, const FusedOp& op) {
+  switch (op.kind) {
+    case FusedOp::Kind::Unitary1Q:
+      state.apply_1q(op.qubit, op.u);
+      break;
+    case FusedOp::Kind::Diag1Q:
+      state.apply_diag_1q(op.qubit, op.d0, op.d1);
+      break;
+    case FusedOp::Kind::UnitaryKQ:
+      state.apply_matrix(op.qubits, op.table.data());
+      break;
+    case FusedOp::Kind::DiagKQ:
+      state.apply_diag(op.qubits, op.table.data());
+      break;
+    case FusedOp::Kind::MonomialKQ:
+      state.apply_monomial(op.qubits, op.perm.data(), op.table.data());
+      break;
+    case FusedOp::Kind::Other:
+      state.apply(op.inst);
+      break;
+  }
+}
+
 void apply_fused(Statevector& state, const std::vector<FusedOp>& ops) {
-  for (const FusedOp& op : ops) {
-    switch (op.kind) {
-      case FusedOp::Kind::Unitary1Q:
-        state.apply_1q(op.qubit, op.u);
-        break;
-      case FusedOp::Kind::Diag1Q:
-        state.apply_diag_1q(op.qubit, op.d0, op.d1);
-        break;
-      case FusedOp::Kind::UnitaryKQ:
-        state.apply_matrix(op.qubits, op.table.data());
-        break;
-      case FusedOp::Kind::DiagKQ:
-        state.apply_diag(op.qubits, op.table.data());
-        break;
-      case FusedOp::Kind::MonomialKQ:
-        state.apply_monomial(op.qubits, op.perm.data(), op.table.data());
-        break;
-      case FusedOp::Kind::Other:
-        state.apply(op.inst);
-        break;
+  for (const FusedOp& op : ops) apply_fused_op(state, op);
+}
+
+void rebind_fused_op(FusedOp& op, const std::vector<Instruction>& program) {
+  if (op.sources.empty())
+    throw ValidationError("fused op carries no source provenance; rebuilt plans only");
+  auto inst_at = [&](std::int32_t s) -> const Instruction& {
+    return program.at(static_cast<std::size_t>(s));
+  };
+  switch (op.kind) {
+    case FusedOp::Kind::Other:
+      // A passthrough op is its single source instruction with fresh params.
+      op.inst.params = inst_at(op.sources[0]).params;
+      return;
+    case FusedOp::Kind::Unitary1Q: {
+      Mat2 acc = Mat2::identity();
+      for (const std::int32_t s : op.sources)
+        acc = gate_matrix_1q(inst_at(s).gate, inst_at(s).params.data()) * acc;
+      op.u = acc;
+      return;
+    }
+    case FusedOp::Kind::Diag1Q: {
+      c64 d0 = kOne, d1 = kOne;
+      for (const std::int32_t s : op.sources) {
+        const Mat2 m = gate_matrix_1q(inst_at(s).gate, inst_at(s).params.data());
+        d0 *= m.m[0][0];
+        d1 *= m.m[1][1];
+      }
+      op.d0 = d0;
+      op.d1 = d1;
+      return;
+    }
+    case FusedOp::Kind::DiagKQ:
+    case FusedOp::Kind::MonomialKQ:
+    case FusedOp::Kind::UnitaryKQ: {
+      const MatClass cls = op.kind == FusedOp::Kind::DiagKQ    ? MatClass::Diagonal
+                           : op.kind == FusedOp::Kind::MonomialKQ ? MatClass::Monomial
+                                                                  : MatClass::Dense;
+      std::vector<Unit> units;
+      units.reserve(op.sources.size());
+      for (const std::int32_t s : op.sources) units.push_back(classify(inst_at(s)));
+      std::vector<const Unit*> parts;
+      parts.reserve(units.size());
+      for (const Unit& u : units) parts.push_back(&u);
+      Unit merged = merge_units(parts, op.qubits, cls);
+      switch (cls) {
+        case MatClass::Diagonal:
+          op.table = std::move(merged.diag);
+          break;
+        case MatClass::Monomial:
+          op.perm = std::move(merged.src);
+          op.table = std::move(merged.phase);
+          break;
+        case MatClass::Dense:
+          op.table = std::move(merged.dense);
+          break;
+      }
+      return;
     }
   }
 }

@@ -37,6 +37,13 @@ struct FusionOptions {
   /// stay L1/L2-resident.
   int max_structured_qubits = 14;
 
+  /// Keep blocks whose accumulated matrix is exactly the identity instead of
+  /// dropping them.  SweepPlan sets this: a block that happens to compose to
+  /// identity at the plan's reference binding must survive so it can be
+  /// re-bound to other parameter values (applying a kept identity diagonal
+  /// costs one skipped sweep, nothing more).
+  bool keep_identity_blocks = false;
+
   /// Defaults, with QUML_FUSION_MAX_QUBITS and
   /// QUML_FUSION_MAX_STRUCTURED_QUBITS environment overrides applied.
   static FusionOptions from_env();
@@ -60,6 +67,11 @@ struct FusedOp {
   std::vector<c64> table;          // UnitaryKQ: 2^k*2^k; DiagKQ/MonomialKQ: 2^k
   std::vector<int> perm;           // MonomialKQ: src local index per output row
   Instruction inst{};              // Other
+  /// Indices (into the fused input program) of the instructions this op was
+  /// composed from, in application order.  This is the provenance a sweep
+  /// plan needs to recompute only the angle-dependent tables per binding
+  /// (rebind_fused_op) without re-running the fusion pass.
+  std::vector<std::int32_t> sources;
 };
 
 struct FusionStats {
@@ -87,5 +99,16 @@ std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats =
 
 /// Applies a fused program to `state`.
 void apply_fused(Statevector& state, const std::vector<FusedOp>& ops);
+/// Applies one fused op (the sweep executor's per-step entry point).
+void apply_fused_op(Statevector& state, const FusedOp& op);
+
+/// Recomputes the numeric payload (u / d0,d1 / table / perm) of `op` by
+/// re-classifying and re-composing its source instructions from `program`
+/// (whose params may have been re-bound since the plan was built).  The op's
+/// kind, support, and source list are fixed at plan time — valid because a
+/// parameterized gate's structure class (diagonal for rz/p/cp/crz/rzz, dense
+/// for rx/ry/u3) is the same for every angle.  Cost is O(sources * 2^k) for
+/// diagonal/monomial blocks and O(sources * 2^3k) for dense ones.
+void rebind_fused_op(FusedOp& op, const std::vector<Instruction>& program);
 
 }  // namespace quml::sim

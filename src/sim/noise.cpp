@@ -16,7 +16,7 @@ namespace {
 void apply_pauli(Statevector& state, int q, std::uint64_t k) {
   static const Gate kPauli[] = {Gate::I, Gate::X, Gate::Y, Gate::Z};
   if (k == 0) return;
-  const Instruction inst{kPauli[k], {q}, {}, {}};
+  const Instruction inst{kPauli[k], {q}, {}, {}, {}};
   state.apply(inst);
 }
 

@@ -1,5 +1,11 @@
 #include "sim/qasm.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
 #include "util/errors.hpp"
 #include "util/string_util.hpp"
 
@@ -16,12 +22,34 @@ std::string operand_list(const Instruction& inst) {
   return out;
 }
 
+/// Angle expression for parameter slot `i`: a plain number, or the linear
+/// form `<scale>*p<k> ± <offset>` for a symbolic slot.
+std::string param_expr(const Instruction& inst, std::size_t i) {
+  const ParamSlot* slot = nullptr;
+  for (const ParamSlot& s : inst.symbols)
+    if (s.pos == static_cast<int>(i)) slot = &s;
+  if (slot == nullptr) return format_double(inst.params[i]);
+  std::string out;
+  if (slot->scale == 1.0) {
+    out = "p" + std::to_string(slot->index);
+  } else {
+    out = format_double(slot->scale);
+    out += "*p";
+    out += std::to_string(slot->index);
+  }
+  if (slot->offset != 0.0) {
+    out += slot->offset < 0.0 ? " - " : " + ";
+    out += format_double(std::abs(slot->offset));
+  }
+  return out;
+}
+
 std::string param_list(const Instruction& inst) {
   if (inst.params.empty()) return "";
   std::string out = "(";
   for (std::size_t i = 0; i < inst.params.size(); ++i) {
     if (i) out += ", ";
-    out += format_double(inst.params[i]);
+    out += param_expr(inst, i);
   }
   return out + ")";
 }
@@ -29,9 +57,21 @@ std::string param_list(const Instruction& inst) {
 }  // namespace
 
 std::string to_qasm3(const Circuit& circuit, const std::string& header_comment) {
+  bool uses_rzz = false, uses_sxdg = false;
+  for (const Instruction& inst : circuit.instructions()) {
+    uses_rzz = uses_rzz || inst.gate == Gate::RZZ;
+    uses_sxdg = uses_sxdg || inst.gate == Gate::SXdg;
+  }
+
   std::string out = "OPENQASM 3.0;\n";
   if (!header_comment.empty()) out = "// " + header_comment + "\n" + out;
   out += "include \"stdgates.inc\";\n";
+  // stdgates.inc lacks these two; local definitions keep the instruction
+  // stream 1:1 instead of inlining decompositions at every use site.
+  if (uses_rzz) out += "gate rzz(theta) a, b { cx a, b; rz(theta) b; cx a, b; }\n";
+  if (uses_sxdg) out += "gate sxdg a { inv @ sx a; }\n";
+  for (int i = 0; i < circuit.num_parameters(); ++i)
+    out += "input float p" + std::to_string(i) + ";\n";
   out += "qubit[" + std::to_string(circuit.num_qubits()) + "] q;\n";
   if (circuit.num_clbits() > 0)
     out += "bit[" + std::to_string(circuit.num_clbits()) + "] c;\n";
@@ -48,22 +88,6 @@ std::string to_qasm3(const Circuit& circuit, const std::string& header_comment) 
       case Gate::Reset:
         out += "reset q[" + std::to_string(inst.qubits[0]) + "];\n";
         break;
-      case Gate::SXdg:
-        // stdgates.inc has no sxdg; the inv modifier is standard QASM3.
-        out += "inv @ sx " + operand_list(inst) + ";\n";
-        break;
-      case Gate::RZZ: {
-        // Not in stdgates: inline the CX-RZ-CX realization.
-        const std::string a = "q[" + std::to_string(inst.qubits[0]) + "]";
-        const std::string b = "q[" + std::to_string(inst.qubits[1]) + "]";
-        out += "cx " + a + ", " + b + ";\n";
-        out += "rz(" + format_double(inst.params[0]) + ") " + b + ";\n";
-        out += "cx " + a + ", " + b + ";\n";
-        break;
-      }
-      case Gate::I:
-        out += "id " + operand_list(inst) + ";\n";
-        break;
       default:
         out += std::string(gate_name(inst.gate)) + param_list(inst) + " " + operand_list(inst) +
                ";\n";
@@ -72,5 +96,296 @@ std::string to_qasm3(const Circuit& circuit, const std::string& header_comment) 
   }
   return out;
 }
+
+// --- importer ----------------------------------------------------------------
+
+namespace {
+
+/// Minimal statement lexer for the exporter's dialect.
+class QasmParser {
+ public:
+  explicit QasmParser(const std::string& text) : text_(text) {}
+
+  Circuit parse() {
+    skip_ws();
+    while (pos_ < text_.size()) {
+      statement();
+      skip_ws();
+    }
+    if (!circuit_) fail("no qubit declaration found");
+    return std::move(*circuit_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ValidationError("qasm3 line " + std::to_string(line_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  double number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  int bracket_index() {
+    expect('[');
+    const int v = static_cast<int>(number());
+    expect(']');
+    return v;
+  }
+
+  int qubit_operand() {
+    const std::string reg = ident();
+    if (reg != "q") fail("unknown qubit register '" + reg + "'");
+    return bracket_index();
+  }
+
+  /// Linear angle expression: sum of terms, each `number`, `number*ident`,
+  /// `ident`, or `ident*number`; at most one free parameter per expression.
+  Param expression() {
+    Param acc = Param::constant(0.0);
+    double sign = 1.0;
+    bool first = true;
+    for (;;) {
+      skip_ws();
+      if (!first) {
+        if (eat('+')) {
+          sign = 1.0;
+        } else if (eat('-')) {
+          sign = -1.0;
+        } else {
+          break;
+        }
+      } else if (eat('-')) {
+        sign = -1.0;
+      }
+      first = false;
+      // One term.
+      skip_ws();
+      double coeff = 1.0;
+      bool have_coeff = false;
+      std::string name;
+      if (pos_ < text_.size() && (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                                  text_[pos_] == '.')) {
+        coeff = number();
+        have_coeff = true;
+        if (eat('*')) name = ident();
+      } else {
+        name = ident();
+        if (eat('*')) coeff = number();
+      }
+      if (name.empty()) {
+        if (!have_coeff) fail("expected angle term");
+        acc.offset += sign * coeff;
+        continue;
+      }
+      if (name == "pi") {
+        acc.offset += sign * coeff * 3.14159265358979323846;
+        continue;
+      }
+      int index = -1;
+      for (std::size_t i = 0; i < params_.size(); ++i)
+        if (params_[i] == name) index = static_cast<int>(i);
+      if (index < 0) fail("unknown parameter '" + name + "'");
+      if (acc.index >= 0 && acc.index != index)
+        fail("angle expressions may reference at most one parameter");
+      acc.index = index;
+      acc.scale += sign * coeff;
+    }
+    return acc;
+  }
+
+  /// Skips a `gate NAME(...) ... { ... }` definition body.
+  void skip_gate_definition() {
+    while (pos_ < text_.size() && text_[pos_] != '{') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '\n') ++line_;
+      if (c == '{') ++depth;
+      if (c == '}') {
+        if (--depth == 0) return;
+      }
+    }
+    fail("unterminated gate definition");
+  }
+
+  void require_circuit() {
+    if (!circuit_) fail("statement before qubit declaration");
+  }
+
+  void statement() {
+    // Modifier form the exporter used historically for sxdg.
+    if (starts_with_word("inv")) {
+      ident();
+      expect('@');
+      const std::string base = ident();
+      if (base != "sx") fail("only 'inv @ sx' is supported");
+      require_circuit();
+      circuit_->sxdg(qubit_operand());
+      expect(';');
+      return;
+    }
+    const std::string word = ident();
+    if (word == "OPENQASM") {
+      number();
+      expect(';');
+      return;
+    }
+    if (word == "include") {
+      while (pos_ < text_.size() && text_[pos_] != ';') ++pos_;
+      expect(';');
+      return;
+    }
+    if (word == "gate") {
+      skip_gate_definition();
+      return;
+    }
+    if (word == "input") {
+      const std::string type = ident();
+      if (type != "float" && type != "angle") fail("only float/angle inputs are supported");
+      if (peek_is('[')) bracket_index();  // optional width, e.g. float[64]
+      params_.push_back(ident());
+      expect(';');
+      return;
+    }
+    if (word == "qubit") {
+      num_qubits_ = bracket_index();
+      const std::string name = ident();
+      if (name != "q") fail("qubit register must be named 'q'");
+      expect(';');
+      make_circuit();
+      return;
+    }
+    if (word == "bit") {
+      num_clbits_ = bracket_index();
+      const std::string name = ident();
+      if (name != "c") fail("bit register must be named 'c'");
+      expect(';');
+      make_circuit();
+      return;
+    }
+    if (word == "barrier") {
+      require_circuit();
+      ident();  // the register name
+      expect(';');
+      circuit_->barrier();
+      return;
+    }
+    if (word == "reset") {
+      require_circuit();
+      circuit_->reset(qubit_operand());
+      expect(';');
+      return;
+    }
+    if (word == "c") {
+      // c[i] = measure q[j];
+      require_circuit();
+      const int clbit = bracket_index();
+      expect('=');
+      const std::string m = ident();
+      if (m != "measure") fail("expected 'measure'");
+      const int qubit = qubit_operand();
+      expect(';');
+      circuit_->measure(qubit, clbit);
+      return;
+    }
+    // Ordinary gate application: NAME[(expr, ...)] q[i](, q[j])*;
+    const Gate gate = gate_from_name(word);  // throws for unknown names
+    std::vector<Param> params;
+    if (eat('(')) {
+      if (!peek_is(')')) {
+        params.push_back(expression());
+        while (eat(',')) params.push_back(expression());
+      }
+      expect(')');
+    }
+    std::vector<int> qubits;
+    qubits.push_back(qubit_operand());
+    while (eat(',')) qubits.push_back(qubit_operand());
+    expect(';');
+    require_circuit();
+    circuit_->add_param(gate, std::move(qubits), std::move(params));
+  }
+
+  bool starts_with_word(const std::string& word) {
+    skip_ws();
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    const std::size_t after = pos_ + word.size();
+    return after >= text_.size() ||
+           !(std::isalnum(static_cast<unsigned char>(text_[after])) || text_[after] == '_');
+  }
+
+  void make_circuit() {
+    if (circuit_) {
+      // Re-make only while empty (qubit and bit decls arrive in either order).
+      if (!circuit_->instructions().empty()) fail("register declared after instructions");
+    }
+    if (num_qubits_ >= 0) circuit_.emplace(num_qubits_, num_clbits_ < 0 ? 0 : num_clbits_);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int num_qubits_ = -1;
+  int num_clbits_ = -1;
+  std::vector<std::string> params_;
+  std::optional<Circuit> circuit_;
+};
+
+}  // namespace
+
+Circuit from_qasm3(const std::string& text) { return QasmParser(text).parse(); }
 
 }  // namespace quml::sim

@@ -1,5 +1,5 @@
 #pragma once
-// OpenQASM 3 export.
+// OpenQASM 3 interchange: export and (subset) import.
 //
 // The paper (§1, §6) situates OpenQASM 3 as the assembly interchange the
 // gate-model ecosystem speaks; exporting the backend's transpiled circuit
@@ -7,6 +7,13 @@
 // bridges) without those tools needing to understand descriptors.  Enable
 // per job with `exec.options.emit_qasm3 = true`; the text lands in the
 // result metadata.
+//
+// The importer parses the dialect the exporter produces (plus obvious
+// hand-written variants): stdgates vocabulary, local `gate` definitions for
+// the two names stdgates lacks (rzz, sxdg), `input float` declarations for
+// free parameters, and linear angle expressions over them.  Emit -> parse
+// is a faithful round trip of the instruction stream, including symbolic
+// slots — the property fuzz suite in tests/test_properties.cpp holds this.
 
 #include <string>
 
@@ -14,10 +21,16 @@
 
 namespace quml::sim {
 
-/// Serializes `circuit` as an OpenQASM 3 program using stdgates.inc
-/// vocabulary.  Gates without a stdgates name are emitted via modifiers or
-/// inline decompositions (sxdg -> inv @ sx, rzz -> cx/rz/cx), so the output
-/// parses under a standard OpenQASM 3 toolchain.
+/// Serializes `circuit` as an OpenQASM 3 program.  Gates missing from
+/// stdgates.inc (rzz, sxdg) are emitted through local `gate` definitions so
+/// the instruction stream round-trips 1:1; symbolic parameters become
+/// `input float p<i>;` declarations with linear expressions at use sites.
 std::string to_qasm3(const Circuit& circuit, const std::string& header_comment = "");
+
+/// Parses the exporter's OpenQASM 3 subset back into a circuit.  Free
+/// `input float` parameters map to binding slots in declaration order.
+/// Throws ValidationError with a line-prefixed message on anything outside
+/// the subset.
+Circuit from_qasm3(const std::string& text);
 
 }  // namespace quml::sim

@@ -257,6 +257,38 @@ void Statevector::apply_diag_1q(int q, c64 d0, c64 d1) {
   if (d1 != c64(1.0, 0.0)) scale_half(d, dim(), q, 1, d1);
 }
 
+void Statevector::apply_1q_layer(std::span<const std::pair<int, Mat2>> gates) {
+  std::uint64_t seen = 0;
+  for (const auto& [q, u] : gates) {
+    check_qubit(q);
+    if ((seen >> q) & 1ull)
+      throw ValidationError("apply_1q_layer requires pairwise-distinct qubits");
+    seen |= 1ull << q;
+  }
+
+  // Disjoint 1q gates tensor freely, so two gates fuse into one 4x4 sweep
+  // through the hand-unrolled k=2 apply_matrix path: the same multiply-add
+  // count as two 1q sweeps but half the state traffic.  Wider grouping
+  // loses — a 2^k x 2^k dense row costs O(2^k) multiply-adds per amplitude,
+  // which outruns the traffic saved from k=3 up (measured on the perf-smoke
+  // hosts; see bench_sweep).
+  std::size_t i = 0;
+  std::vector<int> qs(2);
+  for (; i + 1 < gates.size(); i += 2) {
+    const auto& [qa, ua] = gates[i];
+    const auto& [qb, ub] = gates[i + 1];
+    // kron over local bits: bit 0 is qa, bit 1 is qb (apply_matrix order).
+    c64 m[16];
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c)
+        m[r * 4 + c] = ua.m[r & 1][c & 1] * ub.m[(r >> 1) & 1][(c >> 1) & 1];
+    qs[0] = qa;
+    qs[1] = qb;
+    apply_matrix(qs, m);
+  }
+  if (i < gates.size()) apply_1q(gates[i].first, gates[i].second);
+}
+
 void Statevector::apply_controlled_1q(int control, int target, const Mat2& u) {
   check_qubit(control);
   check_qubit(target);
@@ -605,6 +637,50 @@ void Statevector::apply_diag(std::span<const int> qubits, const c64* dg) {
     }
     return;
   }
+  std::size_t nonunit = 0;
+  for (std::size_t m = 0; m < nloc; ++m)
+    if (dg[m] != c64(1.0, 0.0)) ++nonunit;
+  if (k >= 6 && 2 * nonunit >= nloc) {
+    // Dense table on a scattered wide support (an rzz cost layer: every
+    // factor non-unit): the offset-walk below would visit the whole state in
+    // dim/2^k strided groups, thrashing TLB and cache.  Split the gather
+    // into two lookup tables instead — local index = t_lo[i & mask] |
+    // t_hi[i >> 16] — and the kernel becomes one linear sweep of the state
+    // with O(1) gather per amplitude.
+    const int lo_bits = std::min(num_qubits_, 16);
+    const std::uint64_t lo_mask = (1ull << lo_bits) - 1;
+    std::vector<std::uint32_t> t_lo(std::size_t{1} << lo_bits, 0);
+    std::vector<std::uint32_t> t_hi(dim() >> lo_bits, 0);
+    for (int j = 0; j < k; ++j) {
+      const int q = qubits[j];
+      if (q < lo_bits) {
+        const std::uint64_t bit = 1ull << q;
+        for (std::uint64_t x = 0; x < t_lo.size(); ++x)
+          t_lo[x] |= static_cast<std::uint32_t>(((x & bit) >> q) << j);
+      } else {
+        const int qh = q - lo_bits;
+        for (std::uint64_t y = 0; y < t_hi.size(); ++y)
+          t_hi[y] |= static_cast<std::uint32_t>(((y >> qh) & 1ull) << j);
+      }
+    }
+    double* d = reinterpret_cast<double*>(amps_.data());
+    const std::uint32_t* tlp = t_lo.data();
+    const std::uint32_t* thp = t_hi.data();
+    const int lb = lo_bits;
+    parallel_chunks(static_cast<std::int64_t>(dim()), [=](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const std::uint64_t u = static_cast<std::uint64_t>(i);
+        const std::size_t m = tlp[u & lo_mask] | thp[u >> lb];
+        const double fr2 = dg[m].real(), fi2 = dg[m].imag();
+        double* p = d + 2 * i;
+        const double re = p[0] * fr2 - p[1] * fi2;
+        p[1] = p[0] * fi2 + p[1] * fr2;
+        p[0] = re;
+      }
+    });
+    return;
+  }
+
   // Only local indices with a non-unit factor are visited; a CP/CZ-style
   // cascade therefore still skips the untouched fraction of the state.
   const std::vector<std::uint64_t> all_offs = local_offsets(qubits);
@@ -791,6 +867,8 @@ void Statevector::apply_monomial(std::span<const int> qubits, const int* src, co
 }
 
 void Statevector::apply(const Instruction& inst) {
+  if (inst.is_parameterized())
+    throw ValidationError("unbound symbolic parameter in apply(); bind the circuit first");
   switch (inst.gate) {
     case Gate::Barrier: return;
     case Gate::Measure:
@@ -846,12 +924,17 @@ double Statevector::norm() const {
 }
 
 std::vector<double> Statevector::probabilities() const {
-  std::vector<double> probs(dim());
+  std::vector<double> probs;
+  probabilities_into(probs);
+  return probs;
+}
+
+void Statevector::probabilities_into(std::vector<double>& probs) const {
+  probs.resize(dim());
   const c64* amps = amps_.data();
   double* out = probs.data();
   parallel_for(0, static_cast<std::int64_t>(dim()), kParallelGrain,
                [=](std::int64_t i) { out[i] = std::norm(amps[i]); });
-  return probs;
 }
 
 double Statevector::probability_one(int q) const {
@@ -923,7 +1006,7 @@ int Statevector::measure_collapse(int q, Rng& rng) {
 
 void Statevector::reset_qubit(int q, Rng& rng) {
   if (measure_collapse(q, rng) == 1) {
-    Instruction x{Gate::X, {q}, {}, {}};
+    Instruction x{Gate::X, {q}, {}, {}, {}};
     apply(x);
   }
 }

@@ -15,6 +15,7 @@
 #include <complex>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/circuit.hpp"
@@ -73,6 +74,14 @@ class Statevector {
   /// Diagonal 1q fast path: amp *= d0/d1 by bit value (halves with a factor
   /// of exactly 1 are skipped entirely).
   void apply_diag_1q(int q, c64 d0, c64 d1);
+  /// Applies independent one-qubit unitaries on pairwise-distinct qubits,
+  /// fusing them pairwise into k=2 dense sweeps: a gate pair tensors into a
+  /// 4x4 unitary that costs the same multiply-adds as two 1q sweeps but half
+  /// the state traffic, so a width-n layer (an rx mixer wall) pays ~n/2
+  /// memory sweeps.  Equivalent to applying the gates one by one, in any
+  /// order.  The sweep executor (sim/sweep.hpp) routes 1q runs through this.
+  void apply_1q_layer(std::span<const std::pair<int, Mat2>> gates);
+
   void apply_controlled_1q(int control, int target, const Mat2& u);
   /// Phase e^{i lambda} on |..1..1..> (control & target set).  Exact multiples
   /// of pi/2 use exact constants (CZ applies exactly -1, not exp(i*pi)).
@@ -102,6 +111,10 @@ class Statevector {
   // --- analysis ---------------------------------------------------------------
   double norm() const;
   std::vector<double> probabilities() const;
+  /// probabilities() into a caller-owned buffer (resized to dim()): repeated
+  /// callers — a sweep session sampling one binding after another — reuse
+  /// warm pages instead of faulting in a fresh 2^n-double vector per run.
+  void probabilities_into(std::vector<double>& out) const;
   /// P(qubit q = 1).
   double probability_one(int q) const;
   /// <Z_q>.

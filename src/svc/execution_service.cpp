@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <thread>
 #include <utility>
 
+#include "core/params.hpp"
 #include "core/registry.hpp"
 #include "util/errors.hpp"
 
@@ -33,12 +35,42 @@ struct JobRecord {
   std::optional<sched::Decision> decision;
   sched::JobEstimate estimate;
   double backlog_contribution_us = 0.0;
+  /// Internal worker task (sweep shards): when set, the worker runs it with
+  /// its private Backend instance instead of backend->run(bundle).
+  std::function<void(core::Backend*)> task;
 
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   JobStatus status = JobStatus::Queued;
   core::ExecutionResult result;
   std::exception_ptr failure;
+};
+
+/// Shared state of one parameter sweep: the prepared realization (or the
+/// fallback bundle template), the binding matrix, and per-binding slots.
+/// Workers claim bindings from `next` under the mutex, so sharding is
+/// dynamic and load-balanced; per-binding seeds depend only on the index.
+struct SweepState {
+  core::JobBundle bundle;  // template (engine resolved; used by the fallback)
+  std::string engine;      // canonical
+  std::optional<sched::Decision> decision;
+  std::shared_ptr<core::SweepRealization> realization;  // nullptr = fallback
+  bool plan_cached = false;  // snapshot of (realization != nullptr) at submit:
+                             // immutable, so handles read it without the lock
+                             // even after the last shard drops the realization
+  std::vector<std::vector<double>> bindings;
+  std::uint64_t base_seed = 0;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  std::vector<JobStatus> status;
+  std::vector<core::ExecutionResult> results;
+  std::vector<std::exception_ptr> failures;
+  std::size_t next = 0;         // next unclaimed binding
+  std::size_t terminal = 0;     // DONE + FAILED + CANCELLED
+  std::size_t shards_live = 0;  // runner tasks not yet exited
+  std::exception_ptr session_failure;  // first open_session() failure, if any
+  bool cancelled = false;
 };
 
 thread_local bool t_on_worker_thread = false;
@@ -117,6 +149,104 @@ bool JobHandle::cancel() const {
   // The record stays in its FIFO; the worker that pops it skips execution
   // and settles the backlog accounting (single accounting path).
   return true;
+}
+
+// --- SweepHandle ------------------------------------------------------------
+
+namespace {
+
+using detail::SweepState;
+
+const SweepState& require_sweep(const std::shared_ptr<SweepState>& state) {
+  if (!state) throw BackendError("operation on an invalid (default-constructed) SweepHandle");
+  return *state;
+}
+
+void check_index(const SweepState& state, std::size_t index) {
+  if (index >= state.status.size())
+    throw BackendError("sweep binding index " + std::to_string(index) + " out of range (" +
+                       std::to_string(state.status.size()) + " bindings)");
+}
+
+}  // namespace
+
+std::size_t SweepHandle::size() const { return require_sweep(state_).status.size(); }
+
+std::string SweepHandle::engine() const { return require_sweep(state_).engine; }
+
+std::optional<sched::Decision> SweepHandle::decision() const {
+  return require_sweep(state_).decision;
+}
+
+bool SweepHandle::plan_cached() const { return require_sweep(state_).plan_cached; }
+
+JobStatus SweepHandle::status(std::size_t index) const {
+  const SweepState& state = require_sweep(state_);
+  check_index(state, index);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.status[index];
+}
+
+std::size_t SweepHandle::completed() const {
+  const SweepState& state = require_sweep(state_);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.terminal;
+}
+
+void SweepHandle::wait() const {
+  const SweepState& state = require_sweep(state_);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.cv.wait(lock, [&] { return state.terminal == state.status.size(); });
+}
+
+bool SweepHandle::wait_for(std::chrono::milliseconds timeout) const {
+  const SweepState& state = require_sweep(state_);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  return state.cv.wait_for(lock, timeout,
+                           [&] { return state.terminal == state.status.size(); });
+}
+
+core::ExecutionResult SweepHandle::result(std::size_t index) const {
+  const SweepState& state = require_sweep(state_);
+  check_index(state, index);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.cv.wait(lock, [&] { return is_terminal(state.status[index]); });
+  if (state.failures[index]) std::rethrow_exception(state.failures[index]);
+  if (state.status[index] == JobStatus::Cancelled)
+    throw BackendError("sweep binding " + std::to_string(index) + " was cancelled");
+  return state.results[index];
+}
+
+std::string SweepHandle::error(std::size_t index) const {
+  const SweepState& state = require_sweep(state_);
+  check_index(state, index);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.failures[index]) return "";
+  try {
+    std::rethrow_exception(state.failures[index]);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown failure";
+  }
+}
+
+std::size_t SweepHandle::cancel() const {
+  require_sweep(state_);
+  SweepState& state = *state_;
+  std::size_t cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.cancelled = true;  // workers stop claiming new bindings
+    for (std::size_t i = 0; i < state.status.size(); ++i) {
+      if (state.status[i] != JobStatus::Queued) continue;
+      state.status[i] = JobStatus::Cancelled;
+      ++state.terminal;
+      ++cancelled;
+    }
+  }
+  if (cancelled > 0) state.cv.notify_all();
+  return cancelled;
 }
 
 // --- ExecutionService -------------------------------------------------------
@@ -242,6 +372,139 @@ std::vector<JobId> ExecutionService::submit_batch(std::vector<core::JobBundle> b
   return ids;
 }
 
+namespace {
+
+/// Marks this shard exited; the last shard out fails any binding still
+/// QUEUED (possible only when every session failed to open), so a sweep can
+/// never hang in wait() with no worker left to run it.
+void exit_sweep_shard(const std::shared_ptr<SweepState>& state) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (--state->shards_live > 0) return;
+    // Last shard out: nothing can run anymore, so drop the sweep's largest
+    // payloads — a long-lived SweepHandle keeps only statuses and results.
+    state->bundle = core::JobBundle{};
+    state->bindings.clear();
+    state->bindings.shrink_to_fit();
+    state->realization.reset();
+    for (std::size_t i = 0; i < state->status.size(); ++i) {
+      if (state->status[i] != JobStatus::Queued) continue;
+      state->failures[i] =
+          state->session_failure
+              ? state->session_failure
+              : std::make_exception_ptr(BackendError("no sweep worker session available"));
+      state->status[i] = JobStatus::Failed;
+      ++state->terminal;
+      notify = true;
+    }
+  }
+  if (notify) state->cv.notify_all();
+}
+
+/// One sweep shard: claims bindings from the shared state until exhausted or
+/// cancelled.  Runs on a pool worker thread with that worker's private
+/// Backend instance (used only by the per-binding fallback path).
+void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* backend) {
+  std::unique_ptr<core::SweepSession> session;
+  if (state->realization) {
+    try {
+      session = state->realization->open_session();
+    } catch (...) {
+      // A dead session must not race through the queue failing bindings a
+      // healthy shard could run: record the error and bow out.  If every
+      // shard dies this way, the last one out fails the leftovers.
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->session_failure) state->session_failure = std::current_exception();
+      session = nullptr;
+    }
+    if (!session) {
+      exit_sweep_shard(state);
+      return;
+    }
+  }
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->cancelled || state->next >= state->bindings.size()) break;
+      index = state->next++;
+      state->status[index] = JobStatus::Running;
+    }
+    core::ExecutionResult result;
+    std::exception_ptr failure;
+    try {
+      const std::uint64_t seed = core::sweep_seed(state->base_seed, index);
+      if (session) {
+        result = session->run_binding(state->bindings[index], seed);
+      } else {
+        core::JobBundle bound = core::bind_bundle(state->bundle, state->bindings[index]);
+        if (!bound.context) bound.context = core::Context{};
+        bound.context->exec.seed = seed;
+        result = backend->run(bound);
+      }
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->failures[index] = failure;
+      state->results[index] = std::move(result);
+      state->status[index] = failure ? JobStatus::Failed : JobStatus::Done;
+      ++state->terminal;
+    }
+    state->cv.notify_all();
+  }
+  exit_sweep_shard(state);
+}
+
+}  // namespace
+
+SweepHandle ExecutionService::submit_sweep(core::JobBundle bundle,
+                                           std::vector<std::vector<double>> bindings) {
+  if (bindings.empty()) throw BackendError("submit_sweep needs at least one binding");
+  const std::size_t width = bundle.parameters.size();
+  for (const auto& row : bindings)
+    if (row.size() != width)
+      throw BackendError("sweep binding has " + std::to_string(row.size()) +
+                         " values but the bundle declares " + std::to_string(width) +
+                         " parameters");
+
+  // Route once (resolves "auto" against the live backlog and validates the
+  // engine), then ask the backend for a bind-once/run-many realization.
+  auto probe = route(std::move(bundle));
+  auto state = std::make_shared<SweepState>();
+  state->engine = probe->engine;
+  state->decision = probe->decision;
+  state->bundle = std::move(probe->bundle);
+  state->base_seed = state->bundle.exec_policy().seed;
+  state->realization =
+      core::BackendRegistry::instance().create(state->engine)->prepare_sweep(state->bundle);
+  state->plan_cached = static_cast<bool>(state->realization);
+  const std::size_t n = bindings.size();
+  state->bindings = std::move(bindings);
+  state->status.assign(n, JobStatus::Queued);
+  state->results.resize(n);
+  state->failures.resize(n);
+
+  // Shard across the engine's pool: one claiming task per worker (dynamic
+  // work-stealing by index, so uneven binding costs still balance).
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.workers_for(state->engine)), n);
+  state->shards_live = shards;  // set before any shard can run and exit
+  const double per_shard_us =
+      probe->backlog_contribution_us * static_cast<double>(n) / static_cast<double>(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto rec = std::make_shared<JobRecord>();
+    rec->engine = state->engine;
+    rec->backlog_contribution_us = per_shard_us;
+    rec->task = [state](core::Backend* backend) { run_sweep_shard(state, backend); };
+    enqueue(rec);
+    forget(rec->id);  // internal shard jobs are not client-visible
+  }
+  return SweepHandle(state);
+}
+
 JobHandle ExecutionService::handle(JobId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(id);
@@ -312,6 +575,9 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
       std::lock_guard<std::mutex> lock(rec->mutex);
       if (rec->status == JobStatus::Cancelled) {
         cancelled = true;
+        // A job cancelled while queued never runs: drop its payload here so
+        // a long-lived handle to it doesn't pin the bundle forever.
+        rec->bundle = core::JobBundle{};
       } else {
         rec->status = JobStatus::Running;
       }
@@ -325,7 +591,10 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
     std::exception_ptr failure;
     try {
       if (!backend) backend = core::BackendRegistry::instance().create(queue->engine);
-      result = backend->run(rec->bundle);
+      if (rec->task)
+        rec->task(backend.get());
+      else
+        result = backend->run(rec->bundle);
     } catch (...) {
       failure = std::current_exception();
     }

@@ -65,6 +65,7 @@ struct ServiceConfig {
 
 namespace detail {
 struct JobRecord;
+struct SweepState;
 /// True on an ExecutionService worker thread.  core::submit() checks this
 /// and runs inline there: a Backend whose run() submits sub-jobs must not
 /// enqueue onto the very pool its own worker is blocking (self-deadlock).
@@ -106,6 +107,48 @@ class JobHandle {
   std::shared_ptr<detail::JobRecord> rec_;
 };
 
+/// Client-side view of one parameter sweep: per-binding statuses and
+/// results.  Copyable; all methods are thread-safe and throw BackendError on
+/// a default-constructed handle.  Binding i always runs with the seed
+/// core::sweep_seed(exec.seed, i), so results are independent of how the
+/// bindings were sharded across workers.
+class SweepHandle {
+ public:
+  SweepHandle() = default;
+
+  bool valid() const { return static_cast<bool>(state_); }
+  /// Number of bindings submitted.
+  std::size_t size() const;
+  /// Canonical engine the sweep was routed to (resolved even for "auto").
+  std::string engine() const;
+  /// Full routing record when submitted with engine "auto".
+  std::optional<sched::Decision> decision() const;
+  /// True when the engine provided a bind-once/run-many realization; false
+  /// means the per-binding bind_bundle() + run() fallback executed.
+  bool plan_cached() const;
+
+  JobStatus status(std::size_t index) const;
+  /// Bindings in a terminal state (DONE + FAILED + CANCELLED).
+  std::size_t completed() const;
+  /// Blocks until every binding is terminal.
+  void wait() const;
+  bool wait_for(std::chrono::milliseconds timeout) const;
+  /// Waits for binding `index`, then returns its result; rethrows its
+  /// failure with the original type, throws BackendError if cancelled.
+  core::ExecutionResult result(std::size_t index) const;
+  /// Failure message of a FAILED binding, empty otherwise (non-blocking).
+  std::string error(std::size_t index) const;
+  /// Cancels every binding no worker has claimed yet; running bindings
+  /// complete (HPC semantics).  Returns how many were cancelled.
+  std::size_t cancel() const;
+
+ private:
+  friend class ExecutionService;
+  explicit SweepHandle(std::shared_ptr<detail::SweepState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::SweepState> state_;
+};
+
 class ExecutionService {
  public:
   explicit ExecutionService(ServiceConfig config = {});
@@ -123,6 +166,19 @@ class ExecutionService {
   /// attached, so one bad job cannot void the rest of the batch.  Jobs are
   /// routed in order, each seeing the backlog of its predecessors.
   std::vector<JobId> submit_batch(std::vector<core::JobBundle> bundles);
+
+  /// Bind-once/run-many: routes the parameterized bundle once, asks the
+  /// backend to prepare a shared sweep realization (lower + transpile +
+  /// fusion-plan a single time), and shards `bindings` across the engine's
+  /// existing worker pool.  Each binding row holds one value per declared
+  /// bundle parameter, in declaration order.  Engines without a realization
+  /// fall back to core::bind_bundle() + run() per binding — same results,
+  /// no plan reuse.  Routing and plan preparation run synchronously on the
+  /// caller (fail-early, like submit()'s routing — for a wide register the
+  /// plan's cached prefix state makes this noticeable); execution of the
+  /// bindings is asynchronous.  Throws BackendError for routing errors,
+  /// binding-shape mismatches, or an empty binding list.
+  SweepHandle submit_sweep(core::JobBundle bundle, std::vector<std::vector<double>> bindings);
 
   /// Handle for a submitted job; invalid handle if the id is unknown.
   JobHandle handle(JobId id) const;

@@ -10,6 +10,7 @@ using sim::Circuit;
 using sim::Gate;
 using sim::Instruction;
 using sim::Mat2;
+using sim::Param;
 
 namespace {
 constexpr double kPi = 3.14159265358979323846;
@@ -19,6 +20,15 @@ constexpr double kTol = 1e-12;
 bool is_trivial_angle(double angle) {
   const double r = std::remainder(angle, 2.0 * kPi);
   return std::abs(r) < 1e-11;
+}
+
+/// Single angle of a one-parameter instruction as a (possibly symbolic)
+/// linear expression — the form every rotation decomposition below is closed
+/// under, so cp(λ) -> p(λ/2)... stays exact for free symbols.
+Param angle_of(const Instruction& inst) {
+  if (inst.symbols.empty()) return Param::constant(inst.params[0]);
+  const sim::ParamSlot& s = inst.symbols[0];
+  return Param{s.index, s.scale, s.offset};
 }
 }  // namespace
 
@@ -71,11 +81,11 @@ Circuit decompose_to_2q(const Circuit& circuit) {
         tmp.ccx(c, a, b);
         tmp.cx(b, a);
         const Circuit expanded = decompose_to_2q(tmp);
-        for (const auto& e : expanded.instructions()) out.add(e.gate, e.qubits, e.params, e.clbits);
+        for (const auto& e : expanded.instructions()) out.push(e);
         break;
       }
       default:
-        out.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+        out.push(inst);
     }
   }
   return out;
@@ -98,19 +108,19 @@ void decompose_2q(const Instruction& inst, Circuit& out) {
       out.s(b);
       return;
     case Gate::CP: {
-      const double lambda = inst.params[0];
-      out.p(lambda / 2.0, a);
+      const Param lambda = angle_of(inst);
+      out.p(lambda * 0.5, a);
       out.cx(a, b);
-      out.p(-lambda / 2.0, b);
+      out.p(-(lambda * 0.5), b);
       out.cx(a, b);
-      out.p(lambda / 2.0, b);
+      out.p(lambda * 0.5, b);
       return;
     }
     case Gate::CRZ: {
-      const double lambda = inst.params[0];
-      out.rz(lambda / 2.0, b);
+      const Param lambda = angle_of(inst);
+      out.rz(lambda * 0.5, b);
       out.cx(a, b);
-      out.rz(-lambda / 2.0, b);
+      out.rz(-(lambda * 0.5), b);
       out.cx(a, b);
       return;
     }
@@ -121,7 +131,7 @@ void decompose_2q(const Instruction& inst, Circuit& out) {
       return;
     case Gate::RZZ:
       out.cx(a, b);
-      out.rz(inst.params[0], b);
+      out.rz(angle_of(inst), b);
       out.cx(a, b);
       return;
     default:
@@ -178,6 +188,79 @@ void synthesize_1q(const Mat2& u, int q, const BasisSet& basis, Circuit& out) {
   throw LoweringError("basis cannot synthesize one-qubit unitaries (need u3, rz+sx, rz+rx, or rz+ry)");
 }
 
+void synthesize_1q_symbolic(Gate g, const Param& angle, int q, const BasisSet& basis,
+                            Circuit& out) {
+  // A free symbol cannot go through Euler resynthesis (the angles of the
+  // matrix are not linear in it), but the rotation gates the lowering layer
+  // parameterizes have fixed U3 angle templates that ARE linear in the free
+  // angle: RX(θ) = U3(θ, -π/2, π/2), RY(θ) = U3(θ, 0, 0), and RZ/P are the
+  // diagonal rotation up to global phase.
+  switch (g) {
+    case Gate::RZ:
+    case Gate::P: {
+      // RZ(λ) and P(λ) differ only by a global phase — interchangeable here.
+      if (basis.contains(Gate::RZ)) {
+        out.rz(angle, q);
+        return;
+      }
+      if (basis.contains(Gate::P)) {
+        out.p(angle, q);
+        return;
+      }
+      if (basis.contains_name("u3") || basis.contains_name("u")) {
+        out.u3(Param::constant(0.0), angle, Param::constant(0.0), q);
+        return;
+      }
+      break;
+    }
+    case Gate::RX:
+    case Gate::RY: {
+      const double phi = g == Gate::RX ? -kPi / 2.0 : 0.0;
+      const double lambda = g == Gate::RX ? kPi / 2.0 : 0.0;
+      if (basis.contains_name("u3") || basis.contains_name("u")) {
+        out.u3(angle, Param::constant(phi), Param::constant(lambda), q);
+        return;
+      }
+      if (basis.contains(Gate::RZ) && basis.contains(Gate::SX)) {
+        // U3(θ, φ, λ) = RZ(φ+π) · SX · RZ(θ+π) · SX · RZ(λ) up to phase.
+        if (!is_trivial_angle(lambda)) out.rz(lambda, q);
+        out.sx(q);
+        out.rz(angle + kPi, q);
+        out.sx(q);
+        out.rz(phi + kPi, q);
+        return;
+      }
+      if (basis.contains(Gate::RZ) && basis.contains(Gate::RX)) {
+        if (g == Gate::RX) {
+          out.rx(angle, q);
+          return;
+        }
+        // RY(θ) = RZ(π/2) RX(θ) RZ(-π/2) (rightmost first).
+        out.rz(-kPi / 2.0, q);
+        out.rx(angle, q);
+        out.rz(kPi / 2.0, q);
+        return;
+      }
+      if (basis.contains(Gate::RZ) && basis.contains(Gate::RY)) {
+        if (g == Gate::RY) {
+          out.ry(angle, q);
+          return;
+        }
+        // RX(θ) = RZ(-π/2) RY(θ) RZ(π/2) (rightmost first).
+        out.rz(kPi / 2.0, q);
+        out.ry(angle, q);
+        out.rz(-kPi / 2.0, q);
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  throw LoweringError(std::string("cannot synthesize parameterized gate '") + sim::gate_name(g) +
+                      "' in the requested basis (sweep plans fall back to per-binding runs)");
+}
+
 Circuit translate_to_basis(const Circuit& circuit, const BasisSet& basis) {
   if (basis.unconstrained()) return decompose_to_2q(circuit);
 
@@ -189,11 +272,11 @@ Circuit translate_to_basis(const Circuit& circuit, const BasisSet& basis) {
   Circuit entangler_form(two_q.num_qubits(), two_q.num_clbits());
   for (const Instruction& inst : two_q.instructions()) {
     if (inst.qubits.size() != 2 || !gate_is_unitary(inst.gate)) {
-      entangler_form.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      entangler_form.push(inst);
       continue;
     }
     if (basis.contains(inst.gate)) {
-      entangler_form.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      entangler_form.push(inst);
       continue;
     }
     Circuit cx_form(two_q.num_qubits(), 0);
@@ -205,7 +288,7 @@ Circuit translate_to_basis(const Circuit& circuit, const BasisSet& basis) {
       if (sub.gate == Gate::CX && !basis.contains(Gate::CX))
         emit_entangler(sub.qubits[0], sub.qubits[1], entangler, entangler_form);
       else
-        entangler_form.add(sub.gate, sub.qubits, sub.params, sub.clbits);
+        entangler_form.push(sub);
     }
   }
 
@@ -213,12 +296,16 @@ Circuit translate_to_basis(const Circuit& circuit, const BasisSet& basis) {
   Circuit out(two_q.num_qubits(), two_q.num_clbits());
   for (const Instruction& inst : entangler_form.instructions()) {
     if (!gate_is_unitary(inst.gate) || basis.contains(inst.gate)) {
-      out.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+      out.push(inst);
       continue;
     }
     if (inst.qubits.size() != 1)
       throw LoweringError(std::string("cannot express gate '") + sim::gate_name(inst.gate) +
                           "' in the requested basis");
+    if (inst.is_parameterized()) {
+      synthesize_1q_symbolic(inst.gate, angle_of(inst), inst.qubits[0], basis, out);
+      continue;
+    }
     synthesize_1q(sim::gate_matrix_1q(inst.gate, inst.params.data()), inst.qubits[0], basis, out);
   }
   return out;

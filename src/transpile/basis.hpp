@@ -44,4 +44,12 @@ sim::Circuit translate_to_basis(const sim::Circuit& circuit, const BasisSet& bas
 /// qubit `q`.  Used by translation and by 1q-run fusion.
 void synthesize_1q(const sim::Mat2& u, int q, const BasisSet& basis, sim::Circuit& out);
 
+/// Synthesizes a *parameterized* rotation (rx/ry/rz/p with a free symbolic
+/// angle) into the basis via fixed U3 angle templates that stay linear in the
+/// symbol — Euler resynthesis is impossible for an unbound angle.  Throws
+/// LoweringError when the basis cannot carry the symbol (callers fall back to
+/// per-binding transpilation).
+void synthesize_1q_symbolic(sim::Gate g, const sim::Param& angle, int q, const BasisSet& basis,
+                            sim::Circuit& out);
+
 }  // namespace quml::transpile

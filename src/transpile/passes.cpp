@@ -113,11 +113,11 @@ sim::Circuit cancel_and_merge(const sim::Circuit& circuit) {
       continue;
     }
 
-    if (gate_is_unitary(inst.gate)) {
+    if (gate_is_unitary(inst.gate) && !inst.is_parameterized()) {
       if (const auto prev = top_common(inst)) {
         Instruction& before = work[*prev];
-        if (gate_is_unitary(before.gate) && same_operands(before, inst) &&
-            before.qubits.size() == inst.qubits.size()) {
+        if (gate_is_unitary(before.gate) && !before.is_parameterized() &&
+            same_operands(before, inst) && before.qubits.size() == inst.qubits.size()) {
           // Exact inverse pair -> both vanish.
           if (before.params.empty() && inst.params.empty() &&
               is_fixed_inverse(before.gate, inst.gate) &&
@@ -148,13 +148,15 @@ sim::Circuit cancel_and_merge(const sim::Circuit& circuit) {
   for (std::size_t i = 0; i < work.size(); ++i) {
     if (removed[i]) continue;
     // Drop merged rotations that became trivial but weren't popped (single
-    // occurrence of a zero-angle rotation in the input).
-    if (gate_is_unitary(work[i].gate) && work[i].params.size() == 1) {
+    // occurrence of a zero-angle rotation in the input).  A symbolic angle is
+    // never trivial: it only *happens* to be zero under one binding.
+    if (gate_is_unitary(work[i].gate) && work[i].params.size() == 1 &&
+        !work[i].is_parameterized()) {
       if (const auto period = merge_period(work[i].gate);
           period && angle_zero_mod(work[i].params[0], *period))
         continue;
     }
-    out.add(work[i].gate, work[i].qubits, work[i].params, work[i].clbits);
+    out.push(work[i]);
   }
   return out;
 }
@@ -171,7 +173,7 @@ sim::Circuit fuse_1q_runs(const sim::Circuit& circuit, const BasisSet& basis) {
   };
 
   for (const Instruction& inst : circuit.instructions()) {
-    if (gate_is_unitary(inst.gate) && inst.qubits.size() == 1) {
+    if (gate_is_unitary(inst.gate) && inst.qubits.size() == 1 && !inst.is_parameterized()) {
       const Mat2 m = sim::gate_matrix_1q(inst.gate, inst.params.data());
       auto& acc = pending[static_cast<std::size_t>(inst.qubits[0])];
       acc = acc ? (m * *acc) : m;  // later gate composes on the left
@@ -182,8 +184,9 @@ sim::Circuit fuse_1q_runs(const sim::Circuit& circuit, const BasisSet& basis) {
       out.barrier();
       continue;
     }
+    // A symbolic gate cannot join a resynthesized run: it fences its qubits.
     for (const int q : inst.qubits) flush(q);
-    out.add(inst.gate, inst.qubits, inst.params, inst.clbits);
+    out.push(inst);
   }
   for (int q = 0; q < circuit.num_qubits(); ++q) flush(q);
   return out;

@@ -58,7 +58,7 @@ class Router {
       // currently lives.
       Instruction mapped = inst;
       for (auto& q : mapped.qubits) q = l2p_[static_cast<std::size_t>(q)];
-      out_.add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+      out_.push(mapped);  // preserves symbolic angle slots
     }
 
     result.circuit = std::move(out_);
@@ -136,7 +136,7 @@ class Router {
     }
     Instruction mapped = inst;
     mapped.qubits = {l2p_[static_cast<std::size_t>(la)], l2p_[static_cast<std::size_t>(lb)]};
-    out_.add(mapped.gate, mapped.qubits, mapped.params, mapped.clbits);
+    out_.push(mapped);  // preserves symbolic angle slots
   }
 
   const Circuit& in_;

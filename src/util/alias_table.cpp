@@ -4,48 +4,55 @@
 
 namespace quml {
 
-AliasTable::AliasTable(std::vector<double> weights) {
+void AliasTable::rebuild(std::vector<double>& weights) {
   const std::size_t n = weights.size();
   if (n == 0) throw ValidationError("alias table needs at least one weight");
   if (n > (1ull << 32)) throw ValidationError("alias table supports at most 2^32 weights");
 
+  // Swap the caller's buffer in: prob_ becomes the working weights (and
+  // finally the acceptance thresholds); the caller gets the previous
+  // thresholds buffer back to reuse as scratch.
+  prob_.swap(weights);
+
   double sum = 0.0;
-  for (double& w : weights) {
+  for (double& w : prob_) {
     if (w < 0.0) w = 0.0;
     sum += w;
   }
-  if (sum <= 0.0) throw ValidationError("alias table weights sum to zero");
-
-  // Normalize in place: the moved-in buffer becomes the scaled weights and
-  // finally the acceptance thresholds, so construction allocates only the
-  // 4-byte alias column and the (≤ n entries combined) work stacks beyond it.
+  if (sum <= 0.0) {
+    prob_.swap(weights);  // restore: a failed rebuild leaves the table usable
+    throw ValidationError("alias table weights sum to zero");
+  }
   const double scale = static_cast<double>(n) / sum;
-  for (double& w : weights) w *= scale;
+  for (double& w : prob_) w *= scale;
 
   alias_.resize(n);
   // Vose's stable construction: partition columns into under/over-full and
   // pair each under-full column with an over-full donor.  An index lives on
-  // exactly one stack at a time, so the stacks together never exceed n.
-  std::vector<std::uint32_t> small, large;
+  // exactly one worklist at a time, so the lists together never exceed n;
+  // they are members so repeated rebuilds reuse their pages.
+  small_.clear();
+  large_.clear();
+  small_.reserve(n);
+  large_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     alias_[i] = static_cast<std::uint32_t>(i);
-    (weights[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    (prob_[i] < 1.0 ? small_ : large_).push_back(static_cast<std::uint32_t>(i));
   }
-  while (!small.empty() && !large.empty()) {
-    const std::uint32_t s = small.back();
-    const std::uint32_t l = large.back();
-    small.pop_back();
+  while (!small_.empty() && !large_.empty()) {
+    const std::uint32_t s = small_.back();
+    const std::uint32_t l = large_.back();
+    small_.pop_back();
     alias_[s] = l;
-    weights[l] -= 1.0 - weights[s];
-    if (weights[l] < 1.0) {
-      large.pop_back();
-      small.push_back(l);
+    prob_[l] -= 1.0 - prob_[s];
+    if (prob_[l] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
     }
   }
   // Leftovers (either list) are exactly full up to rounding: accept always.
-  for (const std::uint32_t i : small) weights[i] = 1.0;
-  for (const std::uint32_t i : large) weights[i] = 1.0;
-  prob_ = std::move(weights);
+  for (const std::uint32_t i : small_) prob_[i] = 1.0;
+  for (const std::uint32_t i : large_) prob_[i] = 1.0;
 }
 
 }  // namespace quml

@@ -13,6 +13,9 @@ namespace quml {
 
 class AliasTable {
  public:
+  /// Empty table; call rebuild() before sampling.
+  AliasTable() = default;
+
   /// Builds the table from non-negative weights (need not be normalized).
   /// Takes the vector by value and rebuilds it in place as the acceptance
   /// thresholds, so a caller that std::moves its buffer pays one extra
@@ -21,7 +24,15 @@ class AliasTable {
   /// register.  Negative drift (e.g. -1e-17 from a squared-magnitude
   /// reduction) is clamped to zero; throws ValidationError if the weights
   /// sum to zero.
-  explicit AliasTable(std::vector<double> weights);
+  explicit AliasTable(std::vector<double> weights) { rebuild(weights); }
+
+  /// Rebuilds the table from `weights`, swapping the caller's buffer in and
+  /// leaving the *previous* table's threshold buffer (unspecified contents)
+  /// behind in `weights`.  Repeated callers — a sweep session building one
+  /// table per parameter binding — therefore cycle two warm allocations
+  /// instead of faulting in fresh pages every run.  Same validation as the
+  /// constructor.
+  void rebuild(std::vector<double>& weights);
 
   std::size_t size() const noexcept { return prob_.size(); }
 
@@ -35,6 +46,7 @@ class AliasTable {
  private:
   std::vector<double> prob_;          // acceptance threshold per column
   std::vector<std::uint32_t> alias_;  // fallback index per column
+  std::vector<std::uint32_t> small_, large_;  // construction worklists, kept warm
 };
 
 }  // namespace quml

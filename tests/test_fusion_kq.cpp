@@ -332,9 +332,9 @@ TEST(ApplyMonomial, CxChainPermutationAndValidation) {
   }
   Statevector a = random_state(n, 77);
   Statevector b = a;
-  a.apply(Instruction{Gate::CX, {0, 1}, {}, {}});
-  a.apply(Instruction{Gate::CX, {1, 2}, {}, {}});
-  a.apply(Instruction{Gate::CX, {2, 3}, {}, {}});
+  a.apply(Instruction{Gate::CX, {0, 1}, {}, {}, {}});
+  a.apply(Instruction{Gate::CX, {1, 2}, {}, {}, {}});
+  a.apply(Instruction{Gate::CX, {2, 3}, {}, {}, {}});
   b.apply_monomial(qs, src, phase);
   EXPECT_LT(max_amp_diff(a, b), 1e-12);
   // Non-permutation src tables are rejected.

@@ -529,6 +529,59 @@ TEST_F(SvcTest, CapabilitySnapshotCarriesLiveQueueWait) {
   service.wait_all();
 }
 
+// --- batch ordering: JobId <-> result correspondence -------------------------
+
+TEST(SvcBatchOrdering, JobIdsPinResultsUnderConcurrentCancellation) {
+  // submit_batch returns ids[i] for bundles[i]; under a concurrent
+  // cancellation storm every job that completes must still hand back the
+  // result of *its own* bundle (never a neighbour's), and every cancelled
+  // job must report CANCELLED.  Each bundle gets a distinct seed, and the
+  // result metadata echoes the seed, so a cross-wired id would be caught
+  // immediately.
+  backend::register_builtin_backends();
+  constexpr int kJobs = 24;
+  std::vector<core::JobBundle> bundles;
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < kJobs; ++i) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
+    seeds.push_back(seed);
+    bundles.push_back(qft_job(4 + static_cast<unsigned>(i % 3), seed,
+                              "gate.statevector_simulator", 64));
+  }
+  // Serial ground truth per bundle (same engine, same seed).
+  std::vector<core::ExecutionResult> expected;
+  for (const auto& bundle : bundles) expected.push_back(core::submit(bundle));
+
+  svc::ServiceConfig config;
+  config.default_workers = 3;
+  svc::ExecutionService service(config);
+  const std::vector<svc::JobId> ids = service.submit_batch(bundles);
+  // Concurrent cancellation of every third job while the pool drains.
+  std::thread canceller([&] {
+    for (int i = 0; i < kJobs; i += 3) service.handle(ids[static_cast<std::size_t>(i)]).cancel();
+  });
+  service.wait_all();
+  canceller.join();
+
+  for (int i = 0; i < kJobs; ++i) {
+    const svc::JobHandle handle = service.handle(ids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(handle.valid());
+    if (handle.status() == svc::JobStatus::Cancelled) {
+      EXPECT_THROW(handle.result(), BackendError);
+      continue;
+    }
+    ASSERT_EQ(handle.status(), svc::JobStatus::Done) << handle.error();
+    const core::ExecutionResult result = handle.result();
+    // Identity pin: the job's recorded seed and decoded counts are exactly
+    // its own bundle's.
+    EXPECT_EQ(result.metadata.at("seed").as_int(),
+              static_cast<std::int64_t>(seeds[static_cast<std::size_t>(i)]))
+        << "job " << i << " returned another bundle's result";
+    EXPECT_EQ(result.counts.map(), expected[static_cast<std::size_t>(i)].counts.map())
+        << "job " << i;
+  }
+}
+
 // --- sim: Engine / fusion re-entrancy under concurrency ---------------------
 
 TEST(SvcSimReentrancy, ConcurrentRunCountsAreIdentical) {

@@ -145,9 +145,17 @@ TEST(AliasTable, ClampsNegativeDriftAndRejectsDegenerate) {
   AliasTable table({1.0, -1e-17, 1.0});
   Rng r(2);
   for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(r), 1u);
-  EXPECT_THROW(AliasTable({}), ValidationError);
+  EXPECT_THROW(AliasTable(std::vector<double>{}), ValidationError);
   EXPECT_THROW(AliasTable({0.0, 0.0}), ValidationError);
   EXPECT_THROW(AliasTable({-1.0}), ValidationError);
+  // rebuild() recycles the table's buffers; a failed rebuild keeps the old
+  // distribution intact.
+  std::vector<double> next{0.0, 1.0, 0.0};
+  table.rebuild(next);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(r), 1u);
+  std::vector<double> degenerate{0.0};
+  EXPECT_THROW(table.rebuild(degenerate), ValidationError);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(r), 1u);
 }
 
 TEST(AliasTable, SingleAndDeterministicWeights) {

@@ -45,6 +45,12 @@ int main(int argc, char** argv) {
                   core::to_string(qdt.encoding).c_str(),
                   core::to_string(qdt.effective_semantics()).c_str());
 
+    if (!bundle.parameters.empty()) {
+      std::printf("\nfree parameters (sweepable via quml_run --sweep):\n ");
+      for (const auto& name : bundle.parameters) std::printf(" %s", name.c_str());
+      std::printf("\n");
+    }
+
     std::printf("\noperators:\n");
     for (const auto& op : bundle.operators.ops) {
       std::printf("  %-28s on %-14s", op.rep_kind.c_str(), op.domain_qdt.c_str());

@@ -2,7 +2,8 @@
 // jobs to specific platforms").
 //
 // Usage:  quml_run <job.json> [--engine NAME|auto] [--samples N] [--seed S]
-//                  [--async] [--workers N] [--output result.json]
+//                  [--async] [--workers N] [--sweep params.json]
+//                  [--output result.json]
 //
 // Loads a packaged submission bundle — or a JSON *array* of bundles, which
 // is submitted as a batch through the svc::ExecutionService — optionally
@@ -11,6 +12,14 @@
 // prints/writes the decoded results.  `--engine auto` routes every job
 // through the cost-hint scheduler and prints the full decision record;
 // `--async` forces the service path (worker pools) even for a single job.
+//
+// `--sweep params.json` executes the bundle's declared free parameters over
+// a binding grid through ExecutionService::submit_sweep (bind-once/run-many:
+// one lowering + transpile + fusion plan for the whole grid).  The file
+// holds either array rows ordered like the bundle's `parameters` block or
+// object rows keyed by parameter name:
+//   {"bindings": [[0.1, 0.2], [0.3, 0.4]]}
+//   {"bindings": [{"gamma": 0.1, "beta": 0.2}, ...]}
 
 #include <cstdio>
 #include <cstring>
@@ -31,8 +40,11 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: quml_run <job.json> [--engine NAME|auto] [--samples N] [--seed S]\n"
-               "                [--async] [--workers N] [--output result.json] [--verbose]\n"
+               "                [--async] [--workers N] [--sweep params.json]\n"
+               "                [--output result.json] [--verbose]\n"
                "  <job.json> may hold one bundle or a JSON array of bundles (batch).\n"
+               "  --sweep runs the bundle's declared parameters over a binding grid\n"
+               "          (bind-once/run-many through the job service).\n"
                "  --verbose previews the lowered circuit and its gate-fusion plan.\n"
                "registered engines:\n");
   for (const auto& name : quml::core::BackendRegistry::instance().engines())
@@ -85,6 +97,55 @@ void print_fusion_preview(const quml::core::JobBundle& bundle) {
   }
 }
 
+/// Loads a sweep binding matrix, accepting array rows (ordered like the
+/// bundle's `parameters` declaration) or object rows keyed by name.
+std::vector<std::vector<double>> load_bindings(const std::string& path,
+                                               const std::vector<std::string>& parameters) {
+  std::ifstream in(path);
+  if (!in) throw quml::BackendError("cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const quml::json::Value doc = quml::json::parse(text.str());
+  const quml::json::Value* rows = doc.is_array() ? &doc : doc.find("bindings");
+  if (rows == nullptr || !rows->is_array())
+    throw quml::BackendError("sweep file needs a top-level array or a \"bindings\" array");
+  // An optional "parameters" member reorders array rows.
+  std::vector<std::string> columns = parameters;
+  if (const quml::json::Value* names = doc.find("parameters")) {
+    columns.clear();
+    for (const auto& n : names->as_array()) columns.push_back(n.as_string());
+    if (columns.size() != parameters.size())
+      throw quml::BackendError("sweep file declares a different parameter count than the bundle");
+  }
+  std::vector<std::size_t> order(columns.size());
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      if (columns[j] == parameters[i]) {
+        order[i] = j;
+        found = true;
+      }
+    }
+    if (!found)
+      throw quml::BackendError("sweep file is missing parameter '" + parameters[i] + "'");
+  }
+  std::vector<std::vector<double>> bindings;
+  for (const auto& row : rows->as_array()) {
+    std::vector<double> values(parameters.size());
+    if (row.is_array()) {
+      if (row.size() != columns.size())
+        throw quml::BackendError("sweep row width does not match the parameter count");
+      for (std::size_t i = 0; i < parameters.size(); ++i) values[i] = row[order[i]].as_double();
+    } else if (row.is_object()) {
+      for (std::size_t i = 0; i < parameters.size(); ++i) values[i] = row.at(parameters[i]).as_double();
+    } else {
+      throw quml::BackendError("sweep rows must be arrays or objects");
+    }
+    bindings.push_back(std::move(values));
+  }
+  return bindings;
+}
+
 void print_result(const quml::core::ExecutionResult& result) {
   std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
   for (const auto& outcome : result.decoded)
@@ -105,6 +166,7 @@ int main(int argc, char** argv) {
 
   std::string job_path;
   std::string output_path;
+  std::string sweep_path;
   std::string engine_override;
   std::int64_t samples_override = -1;
   std::int64_t seed_override = -1;
@@ -125,6 +187,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed_override = std::atoll(next());
     else if (arg == "--output") output_path = next();
     else if (arg == "--workers") workers = std::atoll(next());
+    else if (arg == "--sweep") sweep_path = next();
     else if (arg == "--async") async = true;
     else if (arg == "--verbose") verbose = true;
     else if (arg == "--help" || arg == "-h") {
@@ -158,6 +221,52 @@ int main(int argc, char** argv) {
         std::printf("job     : %s\n", bundle.job_id.c_str());
         print_fusion_preview(bundle);
       }
+    }
+
+    if (!sweep_path.empty()) {
+      // Parameter sweep: bind-once/run-many through the job service.
+      if (bundles.size() != 1)
+        throw BackendError("--sweep runs a single bundle, not a batch");
+      core::JobBundle& bundle = bundles.front();
+      std::vector<std::vector<double>> bindings = load_bindings(sweep_path, bundle.parameters);
+      svc::ServiceConfig config;
+      config.default_workers = workers > 0 ? static_cast<int>(workers) : 1;
+      svc::ExecutionService service(config);
+      std::printf("sweeping %zu binding(s) of %zu parameter(s) through submit_sweep "
+                  "(%d worker(s))\n",
+                  bindings.size(), bundle.parameters.size(), config.default_workers);
+      const svc::SweepHandle sweep = service.submit_sweep(bundle, std::move(bindings));
+      sweep.wait();
+      if (const auto decision = sweep.decision()) print_decision(*decision);
+      std::printf("engine  : %s (%s)\n", sweep.engine().c_str(),
+                  sweep.plan_cached() ? "cached bind-once/run-many plan"
+                                      : "per-binding fallback");
+      json::Array results_json;
+      int failures = 0;
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        if (sweep.status(i) != svc::JobStatus::Done) {
+          std::fprintf(stderr, "binding %zu: %s %s\n", i, svc::to_string(sweep.status(i)),
+                       sweep.error(i).c_str());
+          ++failures;
+          json::Value stub = json::Value::object();
+          stub.set("status", json::Value(svc::to_string(sweep.status(i))));
+          stub.set("error", json::Value(sweep.error(i)));
+          results_json.push_back(std::move(stub));
+          continue;
+        }
+        const core::ExecutionResult result = sweep.result(i);
+        std::printf("binding %-4zu top outcome %-16s (%lld shots)\n", i,
+                    result.counts.most_frequent().c_str(),
+                    static_cast<long long>(result.counts.total()));
+        results_json.push_back(result.to_json());
+      }
+      if (!output_path.empty()) {
+        std::ofstream out(output_path);
+        if (!out) throw BackendError("cannot write '" + output_path + "'");
+        out << json::dump_pretty(json::Value(std::move(results_json))) << "\n";
+        std::printf("wrote %s\n", output_path.c_str());
+      }
+      return failures == 0 ? 0 : 1;
     }
 
     const bool service_path = async || any_auto || bundles.size() > 1;

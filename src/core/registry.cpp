@@ -1,5 +1,7 @@
 #include "core/registry.hpp"
 
+#include <utility>
+
 #include "util/errors.hpp"
 
 namespace quml::core {
@@ -11,7 +13,17 @@ BackendRegistry& BackendRegistry::instance() {
 
 void BackendRegistry::register_backend(const std::string& name, BackendFactory factory,
                                        const std::vector<std::string>& aliases) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Stage the new rows before locking: the copies below are the only
+  // allocations that can throw, so the commit under the lock is a sequence of
+  // noexcept moves and the strong guarantee holds even on mid-registration
+  // allocation failure.
+  std::vector<std::pair<std::string, Entry>> staged;
+  staged.reserve(1 + aliases.size());
+  staged.emplace_back(name, Entry{name, factory});
+  for (const auto& alias : aliases) staged.emplace_back(alias, Entry{name, factory});
+  std::string canonical_row = name;
+
+  MutexLock lock(mutex_);
   // Validate the whole registration before touching any state (strong
   // guarantee): the canonical name and every alias must be new, and the
   // aliases must not collide among themselves or with the name.
@@ -33,9 +45,10 @@ void BackendRegistry::register_backend(const std::string& name, BackendFactory f
       if (aliases[i] == aliases[j])
         throw BackendError("alias '" + aliases[i] + "' listed twice for backend '" + name + "'");
   }
-  order_.push_back(name);
-  entries_.emplace_back(name, Entry{name, factory});
-  for (const auto& alias : aliases) entries_.emplace_back(alias, Entry{name, factory});
+  order_.reserve(order_.size() + 1);
+  entries_.reserve(entries_.size() + staged.size());
+  order_.push_back(std::move(canonical_row));
+  for (auto& row : staged) entries_.push_back(std::move(row));
 }
 
 const BackendRegistry::Entry* BackendRegistry::find(const std::string& engine) const {
@@ -44,17 +57,21 @@ const BackendRegistry::Entry* BackendRegistry::find(const std::string& engine) c
   return nullptr;
 }
 
+std::string BackendRegistry::known_engines_locked() const {
+  std::string known;
+  for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
+  return known;
+}
+
 std::unique_ptr<Backend> BackendRegistry::create(const std::string& engine) const {
   BackendFactory factory;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (const Entry* entry = find(engine)) {
+    MutexLock lock(mutex_);
+    if (const Entry* entry = find(engine))
       factory = entry->factory;
-    } else {
-      std::string known;
-      for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
-      throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
-    }
+    else
+      throw BackendError("unknown engine '" + engine +
+                         "' (registered: " + known_engines_locked() + ")");
   }
   // Run the factory outside the lock: construction may be slow, and a
   // factory that consults the registry must not deadlock.
@@ -62,20 +79,19 @@ std::unique_ptr<Backend> BackendRegistry::create(const std::string& engine) cons
 }
 
 bool BackendRegistry::has(const std::string& engine) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return find(engine) != nullptr;
 }
 
 std::string BackendRegistry::canonical(const std::string& engine) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const Entry* entry = find(engine)) return entry->canonical;
-  std::string known;
-  for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
-  throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
+  throw BackendError("unknown engine '" + engine + "' (registered: " + known_engines_locked() +
+                     ")");
 }
 
 std::vector<std::string> BackendRegistry::engines() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return order_;
 }
 
@@ -83,20 +99,21 @@ json::Value BackendRegistry::capabilities(const std::string& engine) const {
   BackendFactory factory;
   std::string canonical_name;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const Entry* entry = find(engine);
-    if (!entry) {
-      std::string known;
-      for (const auto& name : order_) known += (known.empty() ? "" : ", ") + name;
-      throw BackendError("unknown engine '" + engine + "' (registered: " + known + ")");
-    }
+    if (!entry)
+      throw BackendError("unknown engine '" + engine +
+                         "' (registered: " + known_engines_locked() + ")");
     canonical_name = entry->canonical;
     for (const auto& [name, caps] : caps_)
       if (name == canonical_name) return caps;
     factory = entry->factory;
   }
+  // Instantiate outside the lock (construction may be slow, and the factory
+  // may consult the registry); the re-check below settles the benign race
+  // where two probers both built the advertisement.
   json::Value caps = factory()->capabilities();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, cached] : caps_)  // lost the race to another prober
     if (name == canonical_name) return cached;
   caps_.emplace_back(canonical_name, caps);

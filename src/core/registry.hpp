@@ -12,16 +12,20 @@
 // instantiates backends from concurrent worker threads, so every accessor
 // takes the registry lock and capability advertisements are computed once
 // per engine and cached (they are immutable for a registration's lifetime).
+// The discipline is compile-time checked: every table is QUML_GUARDED_BY the
+// registry mutex and the lock-assuming helpers say so with QUML_REQUIRES
+// (Clang Thread Safety Analysis; no-ops elsewhere — util/thread_annotations.hpp).
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/bundle.hpp"
 #include "core/result.hpp"
 #include "core/sweep.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace quml::core {
 
@@ -90,12 +94,16 @@ class BackendRegistry {
     std::string canonical;
     BackendFactory factory;
   };
-  const Entry* find(const std::string& engine) const;  // caller holds mutex_
+  const Entry* find(const std::string& engine) const QUML_REQUIRES(mutex_);
+  /// Comma-joined canonical names for unknown-engine diagnostics.
+  std::string known_engines_locked() const QUML_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::string> order_;
-  std::vector<std::pair<std::string, Entry>> entries_;  // name/alias -> entry
-  mutable std::vector<std::pair<std::string, json::Value>> caps_;  // canonical -> caps
+  mutable Mutex mutex_;
+  std::vector<std::string> order_ QUML_GUARDED_BY(mutex_);
+  /// name/alias -> entry
+  std::vector<std::pair<std::string, Entry>> entries_ QUML_GUARDED_BY(mutex_);
+  /// canonical -> caps
+  mutable std::vector<std::pair<std::string, json::Value>> caps_ QUML_GUARDED_BY(mutex_);
 };
 
 /// Synchronous compatibility wrapper around svc::ExecutionService: submits

@@ -9,6 +9,15 @@
 // the sweep queue.  Backends without a native realization return nullptr and
 // the ExecutionService falls back to core::bind_bundle() + run() per
 // binding, which is always correct.
+//
+// Thread contract: nothing here locks.  The realization is immutable after
+// prepare_sweep returns (open_session must be internally thread-safe but may
+// not mutate shared state without its own synchronization), and a session is
+// confined to the one worker thread that opened it.  All cross-thread
+// coordination — binding claims, statuses, shard lifetime — lives in
+// svc::ExecutionService's SweepState behind an annotated quml::Mutex
+// (util/sync.hpp), where Clang's thread-safety analysis checks it at compile
+// time.
 
 #include <cstdint>
 #include <memory>

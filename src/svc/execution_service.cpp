@@ -28,6 +28,12 @@ namespace detail {
 /// Shared job state.  Lock order across the service is strictly
 /// service mutex -> queue mutex -> record mutex; no path takes them in any
 /// other order, and no lock is held across a Backend::run call.
+///
+/// The fields above `mutex` are published-immutable: written by the
+/// submitting thread before the record reaches the queue (enqueue()'s
+/// critical section is the publication barrier) and never after, except
+/// `bundle`, which the one worker that popped the record also clears once the
+/// run is over — single-owner hand-off through the queue, so it needs no lock.
 struct JobRecord {
   JobId id = 0;
   core::JobBundle bundle;
@@ -36,41 +42,50 @@ struct JobRecord {
   sched::JobEstimate estimate;
   double backlog_contribution_us = 0.0;
   /// Internal worker task (sweep shards): when set, the worker runs it with
-  /// its private Backend instance instead of backend->run(bundle).
+  /// its private Backend instance instead of backend->run(bundle).  The
+  /// instance is nullptr when the worker could not create its backend; the
+  /// task must cope rather than assume a live engine.
   std::function<void(core::Backend*)> task;
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  JobStatus status = JobStatus::Queued;
-  core::ExecutionResult result;
-  std::exception_ptr failure;
+  mutable Mutex mutex;
+  mutable CondVar cv;
+  JobStatus status QUML_GUARDED_BY(mutex) = JobStatus::Queued;
+  core::ExecutionResult result QUML_GUARDED_BY(mutex);
+  std::exception_ptr failure QUML_GUARDED_BY(mutex);
 };
 
-/// Shared state of one parameter sweep: the prepared realization (or the
-/// fallback bundle template), the binding matrix, and per-binding slots.
-/// Workers claim bindings from `next` under the mutex, so sharding is
+/// The immutable inputs of one sweep: published before the first shard is
+/// enqueued, read-only ever after.  Shards snapshot a shared_ptr to it under
+/// the sweep mutex, so the last shard out can drop the SweepState's reference
+/// (releasing the bundle/bindings/realization payload once every shard-local
+/// snapshot dies) without racing a claim in flight.
+struct SweepInputs {
+  core::JobBundle bundle;  // template (engine resolved; used by the fallback)
+  std::vector<std::vector<double>> bindings;
+  std::shared_ptr<core::SweepRealization> realization;  // nullptr = fallback
+  std::uint64_t base_seed = 0;
+};
+
+/// Shared state of one parameter sweep: the prepared inputs and per-binding
+/// slots.  Workers claim bindings from `next` under the mutex, so sharding is
 /// dynamic and load-balanced; per-binding seeds depend only on the index.
 struct SweepState {
-  core::JobBundle bundle;  // template (engine resolved; used by the fallback)
-  std::string engine;      // canonical
+  // Published-immutable (set before the handle or any shard exists).
+  std::string engine;  // canonical
   std::optional<sched::Decision> decision;
-  std::shared_ptr<core::SweepRealization> realization;  // nullptr = fallback
-  bool plan_cached = false;  // snapshot of (realization != nullptr) at submit:
-                             // immutable, so handles read it without the lock
-                             // even after the last shard drops the realization
-  std::vector<std::vector<double>> bindings;
-  std::uint64_t base_seed = 0;
+  bool plan_cached = false;  // snapshot of (realization != nullptr) at submit
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  std::vector<JobStatus> status;
-  std::vector<core::ExecutionResult> results;
-  std::vector<std::exception_ptr> failures;
-  std::size_t next = 0;         // next unclaimed binding
-  std::size_t terminal = 0;     // DONE + FAILED + CANCELLED
-  std::size_t shards_live = 0;  // runner tasks not yet exited
-  std::exception_ptr session_failure;  // first open_session() failure, if any
-  bool cancelled = false;
+  mutable Mutex mutex;
+  mutable CondVar cv;
+  std::shared_ptr<const SweepInputs> inputs QUML_GUARDED_BY(mutex);  // last shard out drops it
+  std::vector<JobStatus> status QUML_GUARDED_BY(mutex);
+  std::vector<core::ExecutionResult> results QUML_GUARDED_BY(mutex);
+  std::vector<std::exception_ptr> failures QUML_GUARDED_BY(mutex);
+  std::size_t next QUML_GUARDED_BY(mutex) = 0;      // next unclaimed binding
+  std::size_t terminal QUML_GUARDED_BY(mutex) = 0;  // DONE + FAILED + CANCELLED
+  std::size_t shards_live QUML_GUARDED_BY(mutex) = 0;  // runner tasks not yet exited
+  std::exception_ptr session_failure QUML_GUARDED_BY(mutex);  // first open_session() failure
+  bool cancelled QUML_GUARDED_BY(mutex) = false;
 };
 
 thread_local bool t_on_worker_thread = false;
@@ -84,7 +99,7 @@ using detail::JobRecord;
 namespace {
 
 JobStatus status_of(const JobRecord& rec) {
-  std::lock_guard<std::mutex> lock(rec.mutex);
+  MutexLock lock(rec.mutex);
   return rec.status;
 }
 
@@ -107,20 +122,24 @@ std::optional<sched::Decision> JobHandle::decision() const { return require(rec_
 
 void JobHandle::wait() const {
   const JobRecord& rec = require(rec_);
-  std::unique_lock<std::mutex> lock(rec.mutex);
-  rec.cv.wait(lock, [&] { return is_terminal(rec.status); });
+  MutexLock lock(rec.mutex);
+  while (!is_terminal(rec.status)) rec.cv.wait(rec.mutex);
 }
 
 bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
   const JobRecord& rec = require(rec_);
-  std::unique_lock<std::mutex> lock(rec.mutex);
-  return rec.cv.wait_for(lock, timeout, [&] { return is_terminal(rec.status); });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(rec.mutex);
+  while (!is_terminal(rec.status))
+    if (rec.cv.wait_until(rec.mutex, deadline) == std::cv_status::timeout)
+      return is_terminal(rec.status);
+  return true;
 }
 
 core::ExecutionResult JobHandle::result() const {
   const JobRecord& rec = require(rec_);
-  std::unique_lock<std::mutex> lock(rec.mutex);
-  rec.cv.wait(lock, [&] { return is_terminal(rec.status); });
+  MutexLock lock(rec.mutex);
+  while (!is_terminal(rec.status)) rec.cv.wait(rec.mutex);
   if (rec.failure) std::rethrow_exception(rec.failure);
   if (rec.status == JobStatus::Cancelled)
     throw BackendError("job " + std::to_string(rec.id) + " was cancelled");
@@ -129,7 +148,7 @@ core::ExecutionResult JobHandle::result() const {
 
 std::string JobHandle::error() const {
   const JobRecord& rec = require(rec_);
-  std::lock_guard<std::mutex> lock(rec.mutex);
+  MutexLock lock(rec.mutex);
   if (!rec.failure) return "";
   try {
     std::rethrow_exception(rec.failure);
@@ -142,7 +161,7 @@ std::string JobHandle::error() const {
 
 bool JobHandle::cancel() const {
   JobRecord& rec = const_cast<JobRecord&>(require(rec_));
-  std::lock_guard<std::mutex> lock(rec.mutex);
+  MutexLock lock(rec.mutex);
   if (rec.status != JobStatus::Queued) return false;
   rec.status = JobStatus::Cancelled;
   rec.cv.notify_all();
@@ -162,7 +181,7 @@ const SweepState& require_sweep(const std::shared_ptr<SweepState>& state) {
   return *state;
 }
 
-void check_index(const SweepState& state, std::size_t index) {
+void check_index(const SweepState& state, std::size_t index) QUML_REQUIRES(state.mutex) {
   if (index >= state.status.size())
     throw BackendError("sweep binding index " + std::to_string(index) + " out of range (" +
                        std::to_string(state.status.size()) + " bindings)");
@@ -170,7 +189,11 @@ void check_index(const SweepState& state, std::size_t index) {
 
 }  // namespace
 
-std::size_t SweepHandle::size() const { return require_sweep(state_).status.size(); }
+std::size_t SweepHandle::size() const {
+  const SweepState& state = require_sweep(state_);
+  MutexLock lock(state.mutex);
+  return state.status.size();
+}
 
 std::string SweepHandle::engine() const { return require_sweep(state_).engine; }
 
@@ -182,35 +205,38 @@ bool SweepHandle::plan_cached() const { return require_sweep(state_).plan_cached
 
 JobStatus SweepHandle::status(std::size_t index) const {
   const SweepState& state = require_sweep(state_);
+  MutexLock lock(state.mutex);
   check_index(state, index);
-  std::lock_guard<std::mutex> lock(state.mutex);
   return state.status[index];
 }
 
 std::size_t SweepHandle::completed() const {
   const SweepState& state = require_sweep(state_);
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   return state.terminal;
 }
 
 void SweepHandle::wait() const {
   const SweepState& state = require_sweep(state_);
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.cv.wait(lock, [&] { return state.terminal == state.status.size(); });
+  MutexLock lock(state.mutex);
+  while (state.terminal != state.status.size()) state.cv.wait(state.mutex);
 }
 
 bool SweepHandle::wait_for(std::chrono::milliseconds timeout) const {
   const SweepState& state = require_sweep(state_);
-  std::unique_lock<std::mutex> lock(state.mutex);
-  return state.cv.wait_for(lock, timeout,
-                           [&] { return state.terminal == state.status.size(); });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state.mutex);
+  while (state.terminal != state.status.size())
+    if (state.cv.wait_until(state.mutex, deadline) == std::cv_status::timeout)
+      return state.terminal == state.status.size();
+  return true;
 }
 
 core::ExecutionResult SweepHandle::result(std::size_t index) const {
   const SweepState& state = require_sweep(state_);
+  MutexLock lock(state.mutex);
   check_index(state, index);
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.cv.wait(lock, [&] { return is_terminal(state.status[index]); });
+  while (!is_terminal(state.status[index])) state.cv.wait(state.mutex);
   if (state.failures[index]) std::rethrow_exception(state.failures[index]);
   if (state.status[index] == JobStatus::Cancelled)
     throw BackendError("sweep binding " + std::to_string(index) + " was cancelled");
@@ -219,8 +245,8 @@ core::ExecutionResult SweepHandle::result(std::size_t index) const {
 
 std::string SweepHandle::error(std::size_t index) const {
   const SweepState& state = require_sweep(state_);
+  MutexLock lock(state.mutex);
   check_index(state, index);
-  std::lock_guard<std::mutex> lock(state.mutex);
   if (!state.failures[index]) return "";
   try {
     std::rethrow_exception(state.failures[index]);
@@ -236,7 +262,7 @@ std::size_t SweepHandle::cancel() const {
   SweepState& state = *state_;
   std::size_t cancelled = 0;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     state.cancelled = true;  // workers stop claiming new bindings
     for (std::size_t i = 0; i < state.status.size(); ++i) {
       if (state.status[i] != JobStatus::Queued) continue;
@@ -251,13 +277,17 @@ std::size_t SweepHandle::cancel() const {
 
 // --- ExecutionService -------------------------------------------------------
 
+/// Per-engine FIFO + worker pool.  `workers` is written once while the
+/// creating thread holds the service mutex (queue_for) and read only by
+/// shutdown() after `stopping_` is set, which is why it sits outside the
+/// queue mutex; everything the workers and producers share is guarded.
 struct ExecutionService::BackendQueue {
-  std::string engine;  // canonical
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::shared_ptr<JobRecord>> fifo;
-  double backlog_us = 0.0;  // queued + running estimated work
-  bool stop = false;
+  std::string engine;  // canonical; immutable after queue_for
+  Mutex mutex;
+  CondVar cv;
+  std::deque<std::shared_ptr<JobRecord>> fifo QUML_GUARDED_BY(mutex);
+  double backlog_us QUML_GUARDED_BY(mutex) = 0.0;  // queued + running estimated work
+  bool stop QUML_GUARDED_BY(mutex) = false;
   std::vector<std::thread> workers;
 };
 
@@ -312,7 +342,6 @@ std::shared_ptr<JobRecord> ExecutionService::route(core::JobBundle bundle) {
 }
 
 ExecutionService::BackendQueue* ExecutionService::queue_for(const std::string& engine) {
-  // Caller holds mutex_.
   auto it = queues_.find(engine);
   if (it != queues_.end()) return it->second.get();
   auto queue = std::make_unique<BackendQueue>();
@@ -329,18 +358,23 @@ ExecutionService::BackendQueue* ExecutionService::queue_for(const std::string& e
 void ExecutionService::enqueue(const std::shared_ptr<JobRecord>& rec) {
   BackendQueue* queue = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw BackendError("ExecutionService is shut down");
     rec->id = next_id_++;
     records_.emplace(rec->id, rec);
-    if (rec->failure == nullptr) {
+    bool born_failed = false;
+    {
+      MutexLock rlock(rec->mutex);
+      born_failed = rec->failure != nullptr;
+    }
+    if (!born_failed) {
       queue = queue_for(rec->engine);
       ++outstanding_;
       // Push while still holding the service mutex (service -> queue is the
       // sanctioned nesting order): releasing it first would open a window
       // where shutdown() drains and joins the pool, and this job lands in a
       // dead queue as QUEUED forever.
-      std::lock_guard<std::mutex> qlock(queue->mutex);
+      MutexLock qlock(queue->mutex);
       queue->fifo.push_back(rec);
       queue->backlog_us += rec->backlog_contribution_us;
     }
@@ -363,6 +397,7 @@ std::vector<JobId> ExecutionService::submit_batch(std::vector<core::JobBundle> b
       rec = route(std::move(bundle));
     } catch (...) {
       rec = std::make_shared<JobRecord>();
+      MutexLock lock(rec->mutex);
       rec->status = JobStatus::Failed;
       rec->failure = std::current_exception();
     }
@@ -374,20 +409,21 @@ std::vector<JobId> ExecutionService::submit_batch(std::vector<core::JobBundle> b
 
 namespace {
 
+using detail::SweepInputs;
+
 /// Marks this shard exited; the last shard out fails any binding still
 /// QUEUED (possible only when every session failed to open), so a sweep can
 /// never hang in wait() with no worker left to run it.
 void exit_sweep_shard(const std::shared_ptr<SweepState>& state) {
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     if (--state->shards_live > 0) return;
-    // Last shard out: nothing can run anymore, so drop the sweep's largest
-    // payloads — a long-lived SweepHandle keeps only statuses and results.
-    state->bundle = core::JobBundle{};
-    state->bindings.clear();
-    state->bindings.shrink_to_fit();
-    state->realization.reset();
+    // Last shard out: nothing can run anymore, so drop the sweep's reference
+    // to its largest payloads (bundle, bindings, realization) — once every
+    // shard-local snapshot dies, a long-lived SweepHandle keeps only
+    // statuses and results.
+    state->inputs.reset();
     for (std::size_t i = 0; i < state->status.size(); ++i) {
       if (state->status[i] != JobStatus::Queued) continue;
       state->failures[i] =
@@ -404,17 +440,29 @@ void exit_sweep_shard(const std::shared_ptr<SweepState>& state) {
 
 /// One sweep shard: claims bindings from the shared state until exhausted or
 /// cancelled.  Runs on a pool worker thread with that worker's private
-/// Backend instance (used only by the per-binding fallback path).
+/// Backend instance — which is nullptr when the worker could not create its
+/// backend; the shard then records the condition instead of claiming work it
+/// cannot run (a silent exit here would strand the sweep: see
+/// SweepWorkerBackendCreationFailureFailsBindings in tests/test_svc.cpp).
 void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* backend) {
+  std::shared_ptr<const SweepInputs> inputs;
+  {
+    MutexLock lock(state->mutex);
+    inputs = state->inputs;
+  }
+  if (!inputs) {  // every binding already settled (late-starting shard)
+    exit_sweep_shard(state);
+    return;
+  }
   std::unique_ptr<core::SweepSession> session;
-  if (state->realization) {
+  if (inputs->realization) {
     try {
-      session = state->realization->open_session();
+      session = inputs->realization->open_session();
     } catch (...) {
       // A dead session must not race through the queue failing bindings a
       // healthy shard could run: record the error and bow out.  If every
       // shard dies this way, the last one out fails the leftovers.
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (!state->session_failure) state->session_failure = std::current_exception();
       session = nullptr;
     }
@@ -422,23 +470,33 @@ void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* ba
       exit_sweep_shard(state);
       return;
     }
+  } else if (!backend) {
+    // Fallback path with no engine to run it: record why and bow out.
+    {
+      MutexLock lock(state->mutex);
+      if (!state->session_failure)
+        state->session_failure = std::make_exception_ptr(
+            BackendError("sweep worker could not create backend '" + state->engine + "'"));
+    }
+    exit_sweep_shard(state);
+    return;
   }
   for (;;) {
     std::size_t index;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (state->cancelled || state->next >= state->bindings.size()) break;
+      MutexLock lock(state->mutex);
+      if (state->cancelled || state->next >= inputs->bindings.size()) break;
       index = state->next++;
       state->status[index] = JobStatus::Running;
     }
     core::ExecutionResult result;
     std::exception_ptr failure;
     try {
-      const std::uint64_t seed = core::sweep_seed(state->base_seed, index);
+      const std::uint64_t seed = core::sweep_seed(inputs->base_seed, index);
       if (session) {
-        result = session->run_binding(state->bindings[index], seed);
+        result = session->run_binding(inputs->bindings[index], seed);
       } else {
-        core::JobBundle bound = core::bind_bundle(state->bundle, state->bindings[index]);
+        core::JobBundle bound = core::bind_bundle(inputs->bundle, inputs->bindings[index]);
         if (!bound.context) bound.context = core::Context{};
         bound.context->exec.seed = seed;
         result = backend->run(bound);
@@ -447,7 +505,7 @@ void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* ba
       failure = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->failures[index] = failure;
       state->results[index] = std::move(result);
       state->status[index] = failure ? JobStatus::Failed : JobStatus::Done;
@@ -473,66 +531,93 @@ SweepHandle ExecutionService::submit_sweep(core::JobBundle bundle,
   // Route once (resolves "auto" against the live backlog and validates the
   // engine), then ask the backend for a bind-once/run-many realization.
   auto probe = route(std::move(bundle));
+  auto inputs = std::make_shared<SweepInputs>();
+  inputs->bundle = std::move(probe->bundle);
+  inputs->base_seed = inputs->bundle.exec_policy().seed;
+  inputs->realization =
+      core::BackendRegistry::instance().create(probe->engine)->prepare_sweep(inputs->bundle);
+  const std::size_t n = bindings.size();
+  inputs->bindings = std::move(bindings);
+
   auto state = std::make_shared<SweepState>();
   state->engine = probe->engine;
   state->decision = probe->decision;
-  state->bundle = std::move(probe->bundle);
-  state->base_seed = state->bundle.exec_policy().seed;
-  state->realization =
-      core::BackendRegistry::instance().create(state->engine)->prepare_sweep(state->bundle);
-  state->plan_cached = static_cast<bool>(state->realization);
-  const std::size_t n = bindings.size();
-  state->bindings = std::move(bindings);
-  state->status.assign(n, JobStatus::Queued);
-  state->results.resize(n);
-  state->failures.resize(n);
+  state->plan_cached = static_cast<bool>(inputs->realization);
+  const double binding_us = probe->backlog_contribution_us;
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.workers_for(state->engine)), n);
+  {
+    MutexLock lock(state->mutex);
+    state->inputs = std::move(inputs);
+    state->status.assign(n, JobStatus::Queued);
+    state->results.resize(n);
+    state->failures.resize(n);
+    // Set before any shard can run and exit: a shard that finishes while
+    // later shards are still being enqueued must not look like the last one.
+    state->shards_live = shards;
+  }
 
   // Shard across the engine's pool: one claiming task per worker (dynamic
   // work-stealing by index, so uneven binding costs still balance).
-  const std::size_t shards =
-      std::min<std::size_t>(static_cast<std::size_t>(config_.workers_for(state->engine)), n);
-  state->shards_live = shards;  // set before any shard can run and exit
-  const double per_shard_us =
-      probe->backlog_contribution_us * static_cast<double>(n) / static_cast<double>(shards);
+  const double per_shard_us = binding_us * static_cast<double>(n) / static_cast<double>(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     auto rec = std::make_shared<JobRecord>();
     rec->engine = state->engine;
     rec->backlog_contribution_us = per_shard_us;
     rec->task = [state](core::Backend* backend) { run_sweep_shard(state, backend); };
-    enqueue(rec);
+    try {
+      enqueue(rec);
+    } catch (...) {
+      // Keep the sweep's invariants if a shard cannot be enqueued (service
+      // shutting down): the shards that never started must not be waited
+      // for, and nothing new should be claimed.
+      {
+        MutexLock lock(state->mutex);
+        state->cancelled = true;
+        state->shards_live -= shards - s;  // this shard and the ones after it
+        if (state->shards_live == 0) state->inputs.reset();
+        for (std::size_t i = 0; i < state->status.size(); ++i) {
+          if (state->status[i] != JobStatus::Queued) continue;
+          state->status[i] = JobStatus::Cancelled;
+          ++state->terminal;
+        }
+      }
+      state->cv.notify_all();
+      throw;
+    }
     forget(rec->id);  // internal shard jobs are not client-visible
   }
   return SweepHandle(state);
 }
 
 JobHandle ExecutionService::handle(JobId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = records_.find(id);
   return it == records_.end() ? JobHandle() : JobHandle(it->second);
 }
 
 void ExecutionService::forget(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.erase(id);  // queues and handles hold their own shared_ptrs
 }
 
 double ExecutionService::backlog_us(const std::string& engine) const {
   const auto& registry = core::BackendRegistry::instance();
   const std::string key = registry.has(engine) ? registry.canonical(engine) : engine;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = queues_.find(key);
   if (it == queues_.end()) return 0.0;
-  std::lock_guard<std::mutex> qlock(it->second->mutex);
+  MutexLock qlock(it->second->mutex);
   return it->second->backlog_us;
 }
 
 std::size_t ExecutionService::queue_depth(const std::string& engine) const {
   const auto& registry = core::BackendRegistry::instance();
   const std::string key = registry.has(engine) ? registry.canonical(engine) : engine;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = queues_.find(key);
   if (it == queues_.end()) return 0;
-  std::lock_guard<std::mutex> qlock(it->second->mutex);
+  MutexLock qlock(it->second->mutex);
   return it->second->fifo.size();
 }
 
@@ -542,13 +627,13 @@ std::vector<sched::BackendCapability> ExecutionService::capability_snapshot() co
 
 void ExecutionService::finish(const std::shared_ptr<JobRecord>& rec, BackendQueue& queue) {
   {
-    std::lock_guard<std::mutex> lock(queue.mutex);
+    MutexLock lock(queue.mutex);
     queue.backlog_us -= rec->backlog_contribution_us;
     if (queue.backlog_us < 0.0) queue.backlog_us = 0.0;  // guard FP drift
   }
   bool idle = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     idle = --outstanding_ == 0;
   }
   if (idle) idle_cv_.notify_all();
@@ -563,8 +648,8 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
   for (;;) {
     std::shared_ptr<JobRecord> rec;
     {
-      std::unique_lock<std::mutex> lock(queue->mutex);
-      queue->cv.wait(lock, [&] { return queue->stop || !queue->fifo.empty(); });
+      MutexLock lock(queue->mutex);
+      while (!queue->stop && queue->fifo.empty()) queue->cv.wait(queue->mutex);
       if (queue->fifo.empty()) return;  // stop && drained
       rec = queue->fifo.front();
       queue->fifo.pop_front();
@@ -572,7 +657,7 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
 
     bool cancelled = false;
     {
-      std::lock_guard<std::mutex> lock(rec->mutex);
+      MutexLock lock(rec->mutex);
       if (rec->status == JobStatus::Cancelled) {
         cancelled = true;
         // A job cancelled while queued never runs: drop its payload here so
@@ -591,15 +676,24 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
     std::exception_ptr failure;
     try {
       if (!backend) backend = core::BackendRegistry::instance().create(queue->engine);
-      if (rec->task)
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    try {
+      if (rec->task) {
+        // Internal tasks (sweep shards) run even when backend creation
+        // failed: the shard must settle its share of the sweep's bindings,
+        // or SweepHandle::wait() would block forever on a sweep no worker
+        // will ever touch again.
         rec->task(backend.get());
-      else
+      } else if (!failure) {
         result = backend->run(rec->bundle);
+      }
     } catch (...) {
       failure = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(rec->mutex);
+      MutexLock lock(rec->mutex);
       rec->failure = failure;
       rec->result = std::move(result);
       rec->bundle = core::JobBundle{};  // release the job's largest payload
@@ -611,14 +705,14 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
 }
 
 void ExecutionService::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  MutexLock lock(mutex_);
+  while (outstanding_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ExecutionService::shutdown() {
   std::vector<BackendQueue*> queues;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;  // no new queues can appear past this point
     for (auto& [_, queue] : queues_) queues.push_back(queue.get());
   }
@@ -626,7 +720,7 @@ void ExecutionService::shutdown() {
   // explicit shutdown() finds nothing left to join.
   for (BackendQueue* queue : queues) {
     {
-      std::lock_guard<std::mutex> lock(queue->mutex);
+      MutexLock lock(queue->mutex);
       queue->stop = true;
     }
     queue->cv.notify_all();

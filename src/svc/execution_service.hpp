@@ -21,11 +21,9 @@
 // without a second execution path.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +31,8 @@
 #include "core/bundle.hpp"
 #include "core/result.hpp"
 #include "sched/scheduler.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace quml::svc {
 
@@ -159,13 +159,13 @@ class ExecutionService {
   /// Routes and enqueues one bundle, returning immediately.  Throws
   /// BackendError for an unknown/absent engine or when "auto" finds no
   /// feasible backend — submission errors fail early and synchronously.
-  JobId submit(core::JobBundle bundle);
+  JobId submit(core::JobBundle bundle) QUML_EXCLUDES(mutex_);
 
   /// Routes and enqueues a batch.  Unlike submit(), a bundle whose routing
   /// fails still yields a JobId: its job is born FAILED with the error
   /// attached, so one bad job cannot void the rest of the batch.  Jobs are
   /// routed in order, each seeing the backlog of its predecessors.
-  std::vector<JobId> submit_batch(std::vector<core::JobBundle> bundles);
+  std::vector<JobId> submit_batch(std::vector<core::JobBundle> bundles) QUML_EXCLUDES(mutex_);
 
   /// Bind-once/run-many: routes the parameterized bundle once, asks the
   /// backend to prepare a shared sweep realization (lower + transpile +
@@ -178,31 +178,32 @@ class ExecutionService {
   /// plan's cached prefix state makes this noticeable); execution of the
   /// bindings is asynchronous.  Throws BackendError for routing errors,
   /// binding-shape mismatches, or an empty binding list.
-  SweepHandle submit_sweep(core::JobBundle bundle, std::vector<std::vector<double>> bindings);
+  SweepHandle submit_sweep(core::JobBundle bundle, std::vector<std::vector<double>> bindings)
+      QUML_EXCLUDES(mutex_);
 
   /// Handle for a submitted job; invalid handle if the id is unknown.
-  JobHandle handle(JobId id) const;
+  JobHandle handle(JobId id) const QUML_EXCLUDES(mutex_);
 
   /// Drops the service's own reference to a job's record so long-lived
   /// services don't accumulate terminal jobs (handle(id) becomes invalid;
   /// already-obtained JobHandles keep working, including wait()/result() on
   /// a job still in flight).  Callers that poll by id should forget() each
   /// job once they have consumed its result.
-  void forget(JobId id);
+  void forget(JobId id) QUML_EXCLUDES(mutex_);
 
   /// Estimated microseconds of queued + running work on `engine`'s pool
   /// (accepts aliases).  This is the live queue_wait_us feed for routing.
-  double backlog_us(const std::string& engine) const;
+  double backlog_us(const std::string& engine) const QUML_EXCLUDES(mutex_);
   /// Jobs currently waiting in `engine`'s FIFO (accepts aliases).
-  std::size_t queue_depth(const std::string& engine) const;
+  std::size_t queue_depth(const std::string& engine) const QUML_EXCLUDES(mutex_);
   /// Registry capabilities with queue_wait_us = live backlog per backend.
-  std::vector<sched::BackendCapability> capability_snapshot() const;
+  std::vector<sched::BackendCapability> capability_snapshot() const QUML_EXCLUDES(mutex_);
 
   /// Blocks until every submitted job is terminal.
-  void wait_all();
+  void wait_all() QUML_EXCLUDES(mutex_);
   /// Drains queues, joins workers, and rejects further submissions.
   /// Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() QUML_EXCLUDES(mutex_);
 
   /// Process-wide default instance (workers spawn on first use); the
   /// synchronous core::submit() wrapper runs through it.
@@ -211,20 +212,24 @@ class ExecutionService {
  private:
   struct BackendQueue;
 
-  std::shared_ptr<detail::JobRecord> route(core::JobBundle bundle);
-  void enqueue(const std::shared_ptr<detail::JobRecord>& rec);
-  void finish(const std::shared_ptr<detail::JobRecord>& rec, BackendQueue& queue);
-  void worker_loop(BackendQueue* queue);
-  BackendQueue* queue_for(const std::string& canonical_engine);  // creates pools lazily
+  std::shared_ptr<detail::JobRecord> route(core::JobBundle bundle) QUML_EXCLUDES(mutex_);
+  void enqueue(const std::shared_ptr<detail::JobRecord>& rec) QUML_EXCLUDES(mutex_);
+  void finish(const std::shared_ptr<detail::JobRecord>& rec, BackendQueue& queue)
+      QUML_EXCLUDES(mutex_);
+  void worker_loop(BackendQueue* queue) QUML_EXCLUDES(mutex_);
+  /// Creates the engine's pool lazily.  Lock order across the service is
+  /// strictly service mutex_ -> queue mutex -> record/sweep mutex; no path
+  /// nests them any other way, and no lock is held across Backend::run.
+  BackendQueue* queue_for(const std::string& canonical_engine) QUML_REQUIRES(mutex_);
 
   ServiceConfig config_;
-  mutable std::mutex mutex_;                   // queues_ map, records_, counters
-  std::condition_variable idle_cv_;            // signalled when outstanding_ hits 0
-  std::map<std::string, std::unique_ptr<BackendQueue>> queues_;
-  std::map<JobId, std::shared_ptr<detail::JobRecord>> records_;
-  JobId next_id_ = 1;
-  std::size_t outstanding_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;  // queues_ map, records_, counters
+  CondVar idle_cv_;      // signalled when outstanding_ hits 0
+  std::map<std::string, std::unique_ptr<BackendQueue>> queues_ QUML_GUARDED_BY(mutex_);
+  std::map<JobId, std::shared_ptr<detail::JobRecord>> records_ QUML_GUARDED_BY(mutex_);
+  JobId next_id_ QUML_GUARDED_BY(mutex_) = 1;
+  std::size_t outstanding_ QUML_GUARDED_BY(mutex_) = 0;
+  bool stopping_ QUML_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace quml::svc

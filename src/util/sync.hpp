@@ -1,0 +1,113 @@
+#pragma once
+// Annotated synchronization primitives for the Clang Thread Safety Analysis.
+//
+// Clang's analysis only tracks capabilities it can see: std::mutex,
+// std::lock_guard and std::condition_variable carry no attributes in
+// libstdc++, so code locking through them is invisible to the checker.  These
+// wrappers are zero-cost shims over the std types that add the attributes —
+// the whole concurrency layer (svc::ExecutionService, core::BackendRegistry,
+// the sweep sharding state) locks through them so every guarded access is
+// machine-checked at compile time.
+//
+// Waiting idiom: CondVar deliberately has no predicate-taking wait().  A
+// predicate lambda is analyzed as a separate function that does not hold the
+// lock, so reading guarded state inside it would need a blanket analysis
+// opt-out — exactly what this header exists to avoid.  Callers write the
+// loop explicitly, where the analysis can see the lock being held:
+//
+//   MutexLock lock(mutex_);
+//   while (!done_) cv_.wait(mutex_);              // wait
+//
+//   const auto deadline = steady_clock::now() + timeout;
+//   while (!done_)                                 // wait_for
+//     if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout)
+//       return done_;
+//   return true;
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace quml {
+
+/// std::mutex annotated as a capability.  Lock through MutexLock (scoped) or
+/// lock()/unlock() when a scope does not fit; either way the analysis tracks
+/// the hold.
+class QUML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QUML_ACQUIRE() { mutex_.lock(); }
+  void unlock() QUML_RELEASE() { mutex_.unlock(); }
+  bool try_lock() QUML_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// Scoped exclusive lock (std::lock_guard shape) over Mutex.
+class QUML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) QUML_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() QUML_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over Mutex.  wait()/wait_until() require the mutex held
+/// (annotated), release it while blocked, and re-acquire before returning —
+/// so from the analysis' point of view the capability is simply held across
+/// the call, which matches what the caller's critical section may assume.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (or spuriously); callers loop on their predicate.
+  void wait(Mutex& mutex) QUML_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    // std::condition_variable::wait re-acquires even on exception, so the
+    // adopted lock must be released on every path or the caller's scoped
+    // lock would unlock a second time.
+    try {
+      cv_.wait(lock);
+    } catch (...) {
+      lock.release();
+      throw;
+    }
+    lock.release();
+  }
+
+  /// Blocks until notified or `deadline`; std::cv_status::timeout past it.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      QUML_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    std::cv_status status = std::cv_status::no_timeout;
+    try {
+      status = cv_.wait_until(lock, deadline);
+    } catch (...) {
+      lock.release();
+      throw;
+    }
+    lock.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace quml

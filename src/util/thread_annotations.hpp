@@ -1,0 +1,69 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros.
+//
+// These turn the locking discipline into checked documentation: a mutex is a
+// *capability*, fields name the capability that guards them (QUML_GUARDED_BY),
+// and functions declare what they acquire, release, or require held.  Under
+// Clang the analysis runs on every build (-Wthread-safety is always on for
+// first-party code; the `clang-thread-safety` preset promotes it to an error),
+// so a future change that touches guarded state without the right lock fails
+// compilation instead of waiting for a TSan run to catch the interleaving.
+// Under GCC (or any compiler without the attributes) every macro compiles to
+// nothing — annotations never change codegen, only what Clang will reject.
+//
+// The analysis does not see through std::mutex / std::lock_guard, which is
+// why the concurrency layer locks through the annotated quml::Mutex /
+// quml::MutexLock / quml::CondVar wrappers in util/sync.hpp.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(SWIG)
+#define QUML_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QUML_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (e.g. QUML_CAPABILITY("mutex")).
+#define QUML_CAPABILITY(x) QUML_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define QUML_SCOPED_CAPABILITY QUML_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field or variable readable/writable only while holding the capability.
+#define QUML_GUARDED_BY(x) QUML_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer whose *pointee* is guarded by the capability.
+#define QUML_PT_GUARDED_BY(x) QUML_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (checked when both mutexes are annotated).
+#define QUML_ACQUIRED_BEFORE(...) QUML_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define QUML_ACQUIRED_AFTER(...) QUML_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (or shared) on entry.
+#define QUML_REQUIRES(...) QUML_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QUML_REQUIRES_SHARED(...) QUML_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define QUML_ACQUIRE(...) QUML_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QUML_ACQUIRE_SHARED(...) QUML_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define QUML_RELEASE(...) QUML_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QUML_RELEASE_SHARED(...) QUML_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define QUML_TRY_ACQUIRE(ret, ...) QUML_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock/reentrancy guard).
+#define QUML_EXCLUDES(...) QUML_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define QUML_ASSERT_CAPABILITY(x) QUML_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define QUML_RETURN_CAPABILITY(x) QUML_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt-out for functions whose locking the analysis cannot express; every
+/// use must carry a comment justifying why (see README, "Static analysis &
+/// sanitizers").
+#define QUML_NO_THREAD_SAFETY_ANALYSIS QUML_THREAD_ANNOTATION(no_thread_safety_analysis)

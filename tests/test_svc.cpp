@@ -175,6 +175,31 @@ class FailBackend : public core::Backend {
   }
 };
 
+/// Gate backend whose factory only works on the thread that registered it.
+/// Service-side creations on the submitting thread (the routing capabilities
+/// probe, the prepare_sweep probe in submit_sweep) succeed; the per-worker
+/// creation in worker_loop runs on a pool thread and throws — modelling an
+/// engine whose sessions are exhausted by the time the pool spins up.
+/// Advertises 2 qubits so no "auto" job in this suite can route here.
+class FlakyFactoryBackend : public core::Backend {
+ public:
+  std::string name() const override { return "gate.svc_flaky"; }
+  core::ExecutionResult run(const core::JobBundle& bundle) override {
+    core::ExecutionResult result;
+    result.counts.add("0", bundle.exec_policy().samples);
+    return result;
+  }
+  json::Value capabilities() const override {
+    json::Value caps = json::Value::object();
+    caps.set("name", json::Value(name()));
+    caps.set("kind", json::Value("gate"));
+    caps.set("num_qubits", json::Value(static_cast<std::int64_t>(2)));
+    return caps;
+  }
+};
+
+std::thread::id g_flaky_home_thread;
+
 /// The registry is process-global, so the instrumented engines are
 /// registered exactly once for the whole binary.
 void ensure_test_backends() {
@@ -188,6 +213,12 @@ void ensure_test_backends() {
     registry.register_backend("gate.svc_fail", [] { return std::make_unique<FailBackend>(); });
     registry.register_backend("gate.svc_nested",
                               [] { return std::make_unique<NestedSubmitBackend>(); });
+    g_flaky_home_thread = std::this_thread::get_id();
+    registry.register_backend("gate.svc_flaky", [] {
+      if (std::this_thread::get_id() != g_flaky_home_thread)
+        throw BackendError("svc_flaky factory refuses creation off the registering thread");
+      return std::make_unique<FlakyFactoryBackend>();
+    });
   });
 }
 
@@ -429,6 +460,40 @@ TEST_F(SvcTest, NestedCoreSubmitFromWorkerRunsInline) {
   const svc::JobId id = service.submit(qft_job(5, 11, "gate.svc_nested"));
   const core::ExecutionResult nested = service.handle(id).result();
   EXPECT_EQ(nested.counts.map(), expected);
+}
+
+TEST_F(SvcTest, WorkerBackendCreationFailureFailsPlainJob) {
+  // The factory for gate.svc_flaky throws on worker threads: the job must
+  // settle as FAILED carrying the factory's own error, not hang or crash the
+  // worker.
+  svc::ExecutionService service;
+  const svc::JobId id = service.submit(qft_job(4, 2, "gate.svc_flaky"));
+  const svc::JobHandle handle = service.handle(id);
+  handle.wait();
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_THROW(handle.result(), BackendError);
+  EXPECT_NE(handle.error().find("refuses creation"), std::string::npos) << handle.error();
+}
+
+TEST_F(SvcTest, SweepWorkerBackendCreationFailureFailsBindings) {
+  // Regression: worker_loop used to wrap backend creation and rec->task in
+  // ONE try/catch, so a factory failure skipped the sweep-shard task
+  // entirely — shards_live never hit zero, no binding ever settled, and this
+  // wait blocked forever.  The fix runs the task with a null backend; the
+  // shard records why and the last shard out fails the unclaimed bindings.
+  svc::ServiceConfig config;
+  config.default_workers = 2;
+  svc::ExecutionService service(config);
+  const svc::SweepHandle sweep = service.submit_sweep(
+      qft_job(4, 3, "gate.svc_flaky"), std::vector<std::vector<double>>(3));
+  ASSERT_TRUE(sweep.wait_for(std::chrono::seconds(30))) << "sweep stranded: no shard settled it";
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep.status(i), svc::JobStatus::Failed);
+    EXPECT_THROW(sweep.result(i), BackendError);
+    EXPECT_NE(sweep.error(i).find("could not create backend"), std::string::npos)
+        << sweep.error(i);
+  }
 }
 
 TEST_F(SvcTest, UnknownJobIdYieldsInvalidHandle) {

@@ -1,0 +1,26 @@
+// Thread-safety analysis negative test: reading a QUML_GUARDED_BY field
+// without holding its mutex.  Under Clang with -Werror=thread-safety this
+// translation unit MUST FAIL to compile ("reading variable 'value_' requires
+// holding mutex 'mutex_'"); the CMakeLists in this directory asserts exactly
+// that, both with a configure-time try_compile and a CTest case.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int racy_value() { return value_; }  // BUG under analysis: no lock held
+
+ private:
+  quml::Mutex mutex_;
+  int value_ QUML_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.racy_value();
+}

@@ -1,0 +1,29 @@
+// Thread-safety analysis negative test: calling a QUML_REQUIRES(mutex)
+// method without holding the mutex.  Under Clang with -Werror=thread-safety
+// this translation unit MUST FAIL to compile ("calling function
+// 'bump_locked' requires holding mutex 'mutex_' exclusively"); the
+// CMakeLists in this directory asserts exactly that.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void racy_increment() { bump_locked(); }  // BUG under analysis: no lock held
+
+ private:
+  void bump_locked() QUML_REQUIRES(mutex_) { ++value_; }
+
+  quml::Mutex mutex_;
+  int value_ QUML_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.racy_increment();
+  return 0;
+}

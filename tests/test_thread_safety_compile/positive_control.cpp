@@ -1,0 +1,47 @@
+// Thread-safety analysis positive control: a correctly locked translation
+// unit over the annotated primitives (util/sync.hpp).  This MUST compile
+// under -Werror=thread-safety — if it does not, the negative tests in this
+// directory prove nothing (a broken include path or flag would "fail" them
+// too).  Mirrors the real idiom in svc::ExecutionService: guarded fields,
+// a _locked() helper carrying QUML_REQUIRES, and an explicit CondVar wait
+// loop inside the critical section.
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() QUML_EXCLUDES(mutex_) {
+    quml::MutexLock lock(mutex_);
+    bump_locked();
+    cv_.notify_all();
+  }
+
+  void wait_past(int threshold) QUML_EXCLUDES(mutex_) {
+    quml::MutexLock lock(mutex_);
+    while (value_ <= threshold) cv_.wait(mutex_);
+  }
+
+  int value() QUML_EXCLUDES(mutex_) {
+    quml::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() QUML_REQUIRES(mutex_) { ++value_; }
+
+  quml::Mutex mutex_;
+  quml::CondVar cv_;
+  int value_ QUML_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  counter.wait_past(0);
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the curated clang-tidy baseline (.clang-tidy) over every first-party
+# translation unit in src/, failing on any unsuppressed finding.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+#   build-dir   directory holding compile_commands.json (default: build;
+#               any configured preset works — CMAKE_EXPORT_COMPILE_COMMANDS
+#               is always on).
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy executable to use (default: first of clang-tidy,
+#               clang-tidy-{20..14} on PATH).
+#   JOBS        parallel tidy processes (default: nproc).
+#
+# Scope is deliberately src/ only: tests and bench link third-party macro
+# headers (GTest, Google Benchmark) whose expansions drown the signal, and
+# the library is where the correctness checks earn their keep.  The tidy CI
+# job in .github/workflows/ci.yml runs exactly this script, so local runs
+# reproduce CI verbatim.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "error: clang-tidy not found on PATH (set CLANG_TIDY=/path/to/clang-tidy)" >&2
+  exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found — configure first:" >&2
+  echo "  cmake --preset release   (or any preset; compile commands are always exported)" >&2
+  exit 2
+fi
+
+jobs="${JOBS:-$(nproc)}"
+echo "== $tidy ($($tidy --version | head -n1 | sed 's/^ *//')) over src/ with $jobs jobs =="
+
+# -warnings-as-errors comes from .clang-tidy (WarningsAsErrors: '*'), so any
+# finding makes the tidy process exit nonzero; xargs propagates the failure.
+find "$repo_root/src" -name '*.cpp' -print0 | sort -z | \
+  xargs -0 -n1 -P "$jobs" "$tidy" -p "$build_dir" --quiet
+
+echo "== clang-tidy: zero unsuppressed findings =="

@@ -1,6 +1,10 @@
 #pragma once
-// Gate-model backend: the "gate.statevector_simulator" engine (registered
-// with alias "gate.aer_simulator", the paper's Listing 4 engine).
+// Gate-model backend over the pluggable simulation-state layer (sim/sim_state).
+//
+// One class, two engines: "gate.statevector_simulator" (dense, the paper's
+// Listing 4 engine, alias "gate.aer_simulator") and "gate.mps_simulator"
+// (matrix-product state — wide low-entanglement circuits past the dense
+// 30-qubit wall, alias "gate.matrix_product_state").
 //
 // run() performs the full late-bound realization (paper Fig. 2):
 //   1. lower the descriptor sequence into a circuit (realization hooks);
@@ -11,20 +15,38 @@
 //      binding, pulse schedule timing) and attach their reports as metadata;
 //   4. execute exec.samples shots at exec.seed and decode per the result
 //      schema.
+//
+// Capacity is rejected *early* (before transpilation or any state
+// allocation): a circuit wider than the engine's cap throws ValidationError
+// naming the cap and, for the dense engine, pointing at "gate.mps_simulator"
+// as the wide alternative.
 
 #include "core/registry.hpp"
+#include "sim/sim_state.hpp"
 
 namespace quml::backend {
 
 class GateBackend final : public core::Backend {
  public:
-  std::string name() const override { return "gate.statevector_simulator"; }
+  explicit GateBackend(sim::StateRep representation = sim::StateRep::Statevector)
+      : representation_(representation) {}
+
+  std::string name() const override;
   core::ExecutionResult run(const core::JobBundle& bundle) override;
   json::Value capabilities() const override;
   /// Bind-once/run-many: lowers, transpiles and fusion-plans the bundle once
-  /// (backend/sweep.hpp); nullptr for bundles needing per-binding runs.
+  /// (backend/sweep.hpp); nullptr for bundles needing per-binding runs.  The
+  /// MPS engine always returns nullptr (sweep plans are statevector-bound),
+  /// so submit_sweep falls back to bind-per-binding runs there.
   std::shared_ptr<core::SweepRealization> prepare_sweep(
       const core::JobBundle& bundle) override;
+
+  /// Widest register this engine admits on this host: the memory-budget-fit
+  /// width for the dense engine, Mps::kMaxQubits for MPS.
+  int max_width() const;
+
+ private:
+  sim::StateRep representation_;
 };
 
 }  // namespace quml::backend

@@ -17,6 +17,10 @@ void register_builtin_backends() {
         "gate.statevector_simulator", [] { return std::make_unique<GateBackend>(); },
         {"gate.aer_simulator"});
     registry.register_backend(
+        "gate.mps_simulator",
+        [] { return std::make_unique<GateBackend>(sim::StateRep::Mps); },
+        {"gate.matrix_product_state", "mps"});
+    registry.register_backend(
         "anneal.simulated_annealer", [] { return std::make_unique<AnnealBackend>(); },
         {"anneal.neal_simulator", "anneal.ocean_neal"});
   });

@@ -21,6 +21,9 @@ json::Value BackendCapability::to_json() const {
   o.emplace_back("oneq_error", json::Value(oneq_error));
   o.emplace_back("twoq_error", json::Value(twoq_error));
   o.emplace_back("queue_wait_us", json::Value(queue_wait_us));
+  o.emplace_back("representation", json::Value(representation));
+  if (max_bond_dim > 0)
+    o.emplace_back("max_bond_dim", json::Value(static_cast<std::int64_t>(max_bond_dim)));
   return json::Value(std::move(o));
 }
 
@@ -36,6 +39,8 @@ BackendCapability BackendCapability::from_json(const json::Value& doc) {
   c.oneq_error = doc.get_double("oneq_error", c.oneq_error);
   c.twoq_error = doc.get_double("twoq_error", c.twoq_error);
   c.queue_wait_us = doc.get_double("queue_wait_us", c.queue_wait_us);
+  c.representation = doc.get_string("representation", c.representation);
+  c.max_bond_dim = static_cast<int>(doc.get_int("max_bond_dim", c.max_bond_dim));
   return c;
 }
 
@@ -85,13 +90,35 @@ JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& bac
   // Serial execution along the critical path plus readout per shot; the
   // depth hint scales the per-layer estimate.
   const double layer_time = std::max(backend.twoq_time_us, backend.oneq_time_us);
-  const double circuit_time =
+  double circuit_time =
       depth > 0 ? depth * layer_time
                 : oneq * backend.oneq_time_us + twoq * backend.twoq_time_us;
-  est.duration_us = backend.queue_wait_us +
-                    static_cast<double>(samples) * (circuit_time + backend.readout_time_us);
   est.success_prob = std::pow(1.0 - backend.oneq_error, oneq) *
                      std::pow(1.0 - backend.twoq_error, twoq);
+  // Entanglement proxy: two-qubit gates per qubit of width approximates the
+  // bond-growth exponent (each entangling layer across a cut can at most
+  // double the Schmidt rank there).  Recorded for every gate estimate so
+  // "auto" decisions are explainable; priced only for MPS backends.
+  est.entanglement_score = twoq / std::max(1.0, static_cast<double>(width));
+  if (backend.representation == "mps") {
+    // MPS cost model: the bond dimension a faithful simulation would need is
+    // chi ~ 2^entanglement, capped by the engine's advertised max_bond_dim.
+    //  * time: two-site updates are chi^3-dominated, so the per-gate figures
+    //    (calibrated at chi = 2) scale by (chi/2)^3;
+    //  * quality: once chi_needed exceeds the cap the state is truncated, and
+    //    fidelity decays exponentially in the missing bond-growth exponent.
+    // Net effect: wide shallow circuits (GHZ, QFT ladders, sampling layers)
+    // route here well past the dense wall, while deep volume-law circuits
+    // score far below any statevector engine that fits them.
+    const double chi_needed = std::exp2(est.entanglement_score);
+    const double chi_cap = static_cast<double>(std::max(1, backend.max_bond_dim));
+    const double chi = std::min(chi_needed, chi_cap);
+    circuit_time *= std::max(1.0, chi * chi * chi / 8.0);
+    if (chi_needed > chi)
+      est.success_prob *= std::exp(-(std::log2(chi_needed) - std::log2(chi)));
+  }
+  est.duration_us = backend.queue_wait_us +
+                    static_cast<double>(samples) * (circuit_time + backend.readout_time_us);
   return est;
 }
 

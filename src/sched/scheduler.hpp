@@ -31,6 +31,13 @@ struct BackendCapability {
   double oneq_error = 1e-4;
   double twoq_error = 1e-3;
   double queue_wait_us = 0.0;         ///< current backlog
+  /// Simulation-state representation behind a gate engine: "statevector"
+  /// (dense, width-limited, entanglement-oblivious) or "mps" (wide but
+  /// priced by entanglement growth).  Hardware/other backends keep the
+  /// default — the estimator only special-cases "mps".
+  std::string representation = "statevector";
+  /// Advertised bond cap, "mps" representation only (0 = not applicable).
+  int max_bond_dim = 0;
 
   json::Value to_json() const;
   static BackendCapability from_json(const json::Value& doc);
@@ -42,6 +49,10 @@ struct JobEstimate {
   std::string reason;        ///< why infeasible (empty when feasible)
   double duration_us = 0.0;  ///< queue wait + execution estimate
   double success_prob = 1.0; ///< product of per-gate fidelity estimates
+  /// Entanglement proxy priced into MPS estimates: two-qubit gates per qubit
+  /// of width (a bond-dimension growth exponent).  Filled for every gate-kind
+  /// estimate so routing decisions can be explained (quml_run --verbose).
+  double entanglement_score = 0.0;
 };
 
 /// Estimates from cost hints alone (no lowering).

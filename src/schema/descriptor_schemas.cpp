@@ -107,7 +107,13 @@ const std::string kCtxSchema = R"JSON({
           },
           "additionalProperties": false
         },
-        "options": {"type": "object"}
+        "options": {
+          "type": "object",
+          "properties": {
+            "max_bond_dim": {"type": "integer", "minimum": 1},
+            "truncation_cutoff": {"type": "number", "minimum": 0, "exclusiveMaximum": 1}
+          }
+        }
       },
       "additionalProperties": false
     },

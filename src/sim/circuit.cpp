@@ -9,8 +9,11 @@ namespace quml::sim {
 
 Circuit::Circuit(int num_qubits, int num_clbits)
     : num_qubits_(num_qubits), num_clbits_(num_clbits) {
-  if (num_qubits < 0 || num_qubits > 30)
-    throw ValidationError("circuit qubit count must be in [0, 30]");
+  // The IR-level cap matches the widest simulation state (Mps::kMaxQubits);
+  // each representation enforces its own tighter capacity at construction
+  // (the dense statevector walls at 30 qubits / its memory budget).
+  if (num_qubits < 0 || num_qubits > 64)
+    throw ValidationError("circuit qubit count must be in [0, 64]");
   if (num_clbits < 0) throw ValidationError("negative clbit count");
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/fusion.hpp"
 #include "util/alias_table.hpp"
@@ -43,13 +44,13 @@ struct Segment {
 /// Fusion runs once, outside the shot loop, so every trajectory replays the
 /// compact program.  A trailing unitary-only segment cannot influence any
 /// recorded clbit and is dropped.
-std::vector<Segment> fuse_segments(const Circuit& circuit) {
+std::vector<Segment> fuse_segments(const Circuit& circuit, const FusionOptions& options) {
   std::vector<Segment> segments;
   std::vector<Instruction> pending;
   for (const auto& inst : circuit.instructions()) {
     if (inst.gate == Gate::Measure || inst.gate == Gate::Reset) {
       Segment seg;
-      seg.ops = fuse_unitaries(pending, circuit.num_qubits());
+      seg.ops = fuse_unitaries(pending, circuit.num_qubits(), options);
       seg.boundary = inst;
       seg.has_boundary = true;
       segments.push_back(std::move(seg));
@@ -69,11 +70,17 @@ CountMap counts_from_alias_table(const AliasTable& table,
   // Histogram basis indices first (amortized O(1) per shot); clbit mapping
   // and string rendering then run once per distinct outcome, and the final
   // string-keyed CountMap re-establishes deterministic order.
-  CountMap counts;
-  std::unordered_map<std::uint64_t, std::int64_t> basis_counts;
+  BasisHistogram basis_counts;
   for (std::int64_t shot = 0; shot < shots; ++shot)
     ++basis_counts[static_cast<std::uint64_t>(table.sample(rng))];
-  for (const auto& [basis, n] : basis_counts) {
+  return counts_from_basis_histogram(basis_counts, measurements, num_clbits);
+}
+
+CountMap counts_from_basis_histogram(const BasisHistogram& histogram,
+                                     const std::vector<std::pair<int, int>>& measurements,
+                                     int num_clbits) {
+  CountMap counts;
+  for (const auto& [basis, n] : histogram) {
     std::uint64_t clbits = 0;
     for (const auto& [q, c] : measurements)
       clbits = with_bit(clbits, static_cast<unsigned>(c), bit_at(basis, static_cast<unsigned>(q)));
@@ -82,12 +89,36 @@ CountMap counts_from_alias_table(const AliasTable& table,
   return counts;
 }
 
+FusionOptions Engine::fusion_options() const {
+  if (config_.representation == StateRep::Mps) {
+    // A k-qubit block on the MPS costs a chi^3-dominated window contraction
+    // (plus swap routing for non-adjacent support), so fusing wide is a
+    // pessimization there: keep dense blocks at 2 qubits and structured ones
+    // at 4.
+    FusionOptions options;
+    options.max_qubits = 2;
+    options.max_structured_qubits = 4;
+    return options;
+  }
+  return FusionOptions::from_env();
+}
+
+std::unique_ptr<SimState> Engine::run_state(const Circuit& circuit) const {
+  if (circuit.is_parameterized())
+    throw ValidationError("circuit has unbound parameters; bind() it or use sim::SweepPlan");
+  std::unique_ptr<SimState> state = make_sim_state(circuit.num_qubits(), config_);
+  apply_fused(*state, fuse_unitaries(circuit, fusion_options()));  // throws on Measure/Reset
+  return state;
+}
+
 Statevector Engine::run_statevector(const Circuit& circuit) const {
   if (circuit.is_parameterized())
     throw ValidationError("circuit has unbound parameters; bind() it or use sim::SweepPlan");
-  Statevector state(circuit.num_qubits());
-  apply_fused(state, fuse_unitaries(circuit));  // throws on Measure/Reset
-  return state;
+  StateConfig dense;
+  dense.representation = StateRep::Statevector;
+  std::unique_ptr<SimState> state = make_sim_state(circuit.num_qubits(), dense);
+  apply_fused(*state, fuse_unitaries(circuit, FusionOptions::from_env()));
+  return std::move(static_cast<Statevector&>(*state));
 }
 
 CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uint64_t seed) const {
@@ -101,10 +132,14 @@ CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uin
 
   CountMap counts;
   Rng rng(seed);
+  const FusionOptions fusion = fusion_options();
 
   if (has_only_trailing_measurement(circuit)) {
     // Fast path: evolve the fused unitary prefix once, then batch-sample all
-    // shots from the final distribution through an alias table (O(1)/shot).
+    // shots via the representation's native sampler.  sample_basis is allowed
+    // to consume the state (the statevector releases its amplitudes once its
+    // alias table is built), so the shot loop runs against the sampler's
+    // working set only.
     std::vector<Instruction> unitaries;
     std::vector<std::pair<int, int>> measurements;  // (qubit, clbit), program order
     for (const auto& inst : circuit.instructions()) {
@@ -115,45 +150,39 @@ CountMap Engine::run_counts(const Circuit& circuit, std::int64_t shots, std::uin
     }
     if (measurements.empty()) throw ValidationError("circuit contains no measurements");
 
-    // The statevector is scoped so its amplitudes are freed before sampling:
-    // probabilities() moves into the table, which rebuilds the buffer in
-    // place, so the shot loop runs against 12 bytes per amplitude instead of
-    // amplitudes + probabilities + table concurrently.
-    const AliasTable table = [&] {
-      Statevector state(circuit.num_qubits());
-      apply_fused(state, fuse_unitaries(unitaries, circuit.num_qubits()));
-      return AliasTable(state.probabilities());
-    }();
-    return counts_from_alias_table(table, measurements, circuit.num_clbits(), shots, rng);
+    std::unique_ptr<SimState> state = make_sim_state(circuit.num_qubits(), config_);
+    apply_fused(*state, fuse_unitaries(unitaries, circuit.num_qubits(), fusion));
+    const BasisHistogram histogram = state->sample_basis(shots, rng);
+    return counts_from_basis_histogram(histogram, measurements, circuit.num_clbits());
   }
 
   // Mid-circuit path: per-shot trajectory simulation with collapse.  The
-  // unitary prefix before the first measurement is evolved once and copied
+  // unitary prefix before the first measurement is evolved once and cloned
   // into each trajectory (measurements commute with nothing that precedes
   // them, so the prefix state is shot-invariant); the remaining segments are
   // fused once and replayed per shot.
-  const std::vector<Segment> segments = fuse_segments(circuit);
+  const std::vector<Segment> segments = fuse_segments(circuit, fusion);
   bool has_measure = false;
   for (const auto& seg : segments)
     if (seg.has_boundary && seg.boundary.gate == Gate::Measure) has_measure = true;
   if (!has_measure) throw ValidationError("circuit contains no measurements");
 
-  Statevector prefix(circuit.num_qubits());
-  apply_fused(prefix, segments.front().ops);
+  const std::unique_ptr<SimState> prefix = make_sim_state(circuit.num_qubits(), config_);
+  apply_fused(*prefix, segments.front().ops);
 
   for (std::int64_t shot = 0; shot < shots; ++shot) {
     Rng shot_rng = rng.split(static_cast<std::uint64_t>(shot));
-    Statevector state = prefix;
+    const std::unique_ptr<SimState> state = prefix->clone();
     std::uint64_t clbits = 0;
     for (std::size_t s = 0; s < segments.size(); ++s) {
       const Segment& seg = segments[s];
-      if (s > 0) apply_fused(state, seg.ops);
+      if (s > 0) apply_fused(*state, seg.ops);
       if (!seg.has_boundary) continue;
       if (seg.boundary.gate == Gate::Measure) {
-        const int bit = state.measure_collapse(seg.boundary.qubits[0], shot_rng);
+        const int bit = state->measure_collapse(seg.boundary.qubits[0], shot_rng);
         clbits = with_bit(clbits, static_cast<unsigned>(seg.boundary.clbits[0]), bit);
       } else {
-        state.reset_qubit(seg.boundary.qubits[0], shot_rng);
+        state->reset_qubit(seg.boundary.qubits[0], shot_rng);
       }
     }
     ++counts[render_clbits(clbits, circuit.num_clbits())];

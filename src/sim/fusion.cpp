@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/statevector.hpp"  // kernel caps for clamp_options
 #include "util/errors.hpp"
 
 namespace quml::sim {
@@ -666,7 +667,7 @@ std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats) 
   return fuse_unitaries(circuit, FusionOptions::from_env(), stats);
 }
 
-void apply_fused_op(Statevector& state, const FusedOp& op) {
+void apply_fused_op(SimState& state, const FusedOp& op) {
   switch (op.kind) {
     case FusedOp::Kind::Unitary1Q:
       state.apply_1q(op.qubit, op.u);
@@ -689,7 +690,7 @@ void apply_fused_op(Statevector& state, const FusedOp& op) {
   }
 }
 
-void apply_fused(Statevector& state, const std::vector<FusedOp>& ops) {
+void apply_fused(SimState& state, const std::vector<FusedOp>& ops) {
   for (const FusedOp& op : ops) apply_fused_op(state, op);
 }
 

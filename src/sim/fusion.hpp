@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "sim/circuit.hpp"
-#include "sim/statevector.hpp"
+#include "sim/sim_state.hpp"
 
 namespace quml::sim {
 
@@ -97,10 +97,10 @@ std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, const FusionOptions&
                                     FusionStats* stats = nullptr);
 std::vector<FusedOp> fuse_unitaries(const Circuit& circuit, FusionStats* stats = nullptr);
 
-/// Applies a fused program to `state`.
-void apply_fused(Statevector& state, const std::vector<FusedOp>& ops);
+/// Applies a fused program to any representation (SimState).
+void apply_fused(SimState& state, const std::vector<FusedOp>& ops);
 /// Applies one fused op (the sweep executor's per-step entry point).
-void apply_fused_op(Statevector& state, const FusedOp& op);
+void apply_fused_op(SimState& state, const FusedOp& op);
 
 /// Recomputes the numeric payload (u / d0,d1 / table / perm) of `op` by
 /// re-classifying and re-composing its source instructions from `program`

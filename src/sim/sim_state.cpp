@@ -1,0 +1,46 @@
+#include "sim/sim_state.hpp"
+
+#include "sim/mps.hpp"
+#include "sim/statevector.hpp"
+#include "util/errors.hpp"
+
+namespace quml::sim {
+
+const char* to_string(StateRep rep) noexcept {
+  switch (rep) {
+    case StateRep::Statevector: return "statevector";
+    case StateRep::Mps: return "mps";
+  }
+  return "statevector";
+}
+
+void SimState::apply_1q_layer(std::span<const std::pair<int, Mat2>> gates) {
+  for (const auto& [q, u] : gates) apply_1q(q, u);
+}
+
+void SimState::apply(const Instruction& inst) {
+  switch (inst.gate) {
+    case Gate::Measure:
+    case Gate::Reset:
+    case Gate::Barrier:
+      throw ValidationError("SimState::apply handles unitary gates only");
+    case Gate::I:
+      return;
+    default:
+      break;
+  }
+  const std::vector<c64> u = gate_matrix(inst.gate, inst.params.data());
+  apply_matrix(std::span<const int>(inst.qubits.data(), inst.qubits.size()), u.data());
+}
+
+std::unique_ptr<SimState> make_sim_state(int num_qubits, const StateConfig& config) {
+  switch (config.representation) {
+    case StateRep::Mps:
+      return std::make_unique<Mps>(num_qubits, config.mps);
+    case StateRep::Statevector:
+      break;
+  }
+  return std::make_unique<Statevector>(num_qubits);
+}
+
+}  // namespace quml::sim

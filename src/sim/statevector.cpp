@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "sim/fusion.hpp"
+#include "util/alias_table.hpp"
 #include "util/errors.hpp"
 #include "util/parallel.hpp"
 
@@ -1002,6 +1003,20 @@ int Statevector::measure_collapse(int q, Rng& rng) {
   zero_half(d, dim(), q, outcome ^ 1);
   if (scale != 1.0) scale_half(d, dim(), q, outcome, c64(scale, 0.0));
   return outcome;
+}
+
+BasisHistogram Statevector::sample_basis(std::int64_t shots, Rng& rng) {
+  // Build the alias table, then free the amplitudes before the shot loop:
+  // sampling runs against the table's 12 bytes per amplitude instead of
+  // amplitudes + table concurrently (the engine's trailing-path discipline,
+  // now owned by the representation itself).
+  const AliasTable table(probabilities());
+  amps_.clear();
+  amps_.shrink_to_fit();
+  BasisHistogram hist;
+  for (std::int64_t shot = 0; shot < shots; ++shot)
+    ++hist[static_cast<std::uint64_t>(table.sample(rng))];
+  return hist;
 }
 
 void Statevector::reset_qubit(int q, Rng& rng) {

@@ -14,16 +14,18 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "sim/circuit.hpp"
+#include "sim/sim_state.hpp"
 #include "util/rng.hpp"
 
 namespace quml::sim {
 
-class Statevector {
+class Statevector final : public SimState {
  public:
   /// Hard cap on register width (16 GiB of amplitudes at 30 qubits).  Actual
   /// construction is additionally gated by the process memory budget.
@@ -52,16 +54,19 @@ class Statevector {
   /// the amplitudes would not fit in the memory budget.
   explicit Statevector(int num_qubits);
 
-  int num_qubits() const noexcept { return num_qubits_; }
+  const char* representation() const noexcept override { return "statevector"; }
+  int num_qubits() const noexcept override { return num_qubits_; }
+  /// Deep copy for per-shot trajectories (SimState contract).
+  std::unique_ptr<SimState> clone() const override { return std::make_unique<Statevector>(*this); }
   std::uint64_t dim() const noexcept { return static_cast<std::uint64_t>(amps_.size()); }
-  c64 amplitude(std::uint64_t index) const { return amps_.at(index); }
+  c64 amplitude(std::uint64_t index) const override { return amps_.at(index); }
   const std::vector<c64>& amplitudes() const noexcept { return amps_; }
 
   /// Resets to the basis state |index>.
   void set_basis_state(std::uint64_t index);
 
   /// Applies any unitary instruction (throws on Measure/Reset/Barrier).
-  void apply(const Instruction& inst);
+  void apply(const Instruction& inst) override;
   /// Applies every unitary instruction of `circuit` (Barrier skipped; throws
   /// on Measure/Reset — collapse is the engine's job).  Routes through the
   /// gate-fusion pass, so direct statevector users pay the same collapsed
@@ -70,17 +75,17 @@ class Statevector {
   void apply_unitaries(const Circuit& circuit);
 
   // --- primitive kernels -----------------------------------------------------
-  void apply_1q(int q, const Mat2& u);
+  void apply_1q(int q, const Mat2& u) override;
   /// Diagonal 1q fast path: amp *= d0/d1 by bit value (halves with a factor
   /// of exactly 1 are skipped entirely).
-  void apply_diag_1q(int q, c64 d0, c64 d1);
+  void apply_diag_1q(int q, c64 d0, c64 d1) override;
   /// Applies independent one-qubit unitaries on pairwise-distinct qubits,
   /// fusing them pairwise into k=2 dense sweeps: a gate pair tensors into a
   /// 4x4 unitary that costs the same multiply-adds as two 1q sweeps but half
   /// the state traffic, so a width-n layer (an rx mixer wall) pays ~n/2
   /// memory sweeps.  Equivalent to applying the gates one by one, in any
   /// order.  The sweep executor (sim/sweep.hpp) routes 1q runs through this.
-  void apply_1q_layer(std::span<const std::pair<int, Mat2>> gates);
+  void apply_1q_layer(std::span<const std::pair<int, Mat2>> gates) override;
 
   void apply_controlled_1q(int control, int target, const Mat2& u);
   /// Phase e^{i lambda} on |..1..1..> (control & target set).  Exact multiples
@@ -98,19 +103,19 @@ class Statevector {
   /// k = qubits.size() distinct qubits, k in [1, kMaxKernelQubits].  Iterates
   /// the dim/2^k amplitude groups by bit-insertion expansion in contiguous
   /// cache-blocked runs; k == 2 takes a hand-unrolled four-pointer fast path.
-  void apply_matrix(std::span<const int> qubits, const c64* u);
+  void apply_matrix(std::span<const int> qubits, const c64* u) override;
   /// Multiplies each amplitude by the 2^k diagonal `d` indexed by its local
   /// bits (ordering as apply_matrix); entries equal to exactly 1 are skipped.
-  void apply_diag(std::span<const int> qubits, const c64* d);
+  void apply_diag(std::span<const int> qubits, const c64* d) override;
   /// Applies a monomial (permutation-with-phases) unitary: the amplitude at
   /// local index m becomes phase[m] * (previous amplitude at src[m]).  `src`
   /// must be a permutation of [0, 2^k); rows with src[m] == m and phase 1 are
   /// untouched.
-  void apply_monomial(std::span<const int> qubits, const int* src, const c64* phase);
+  void apply_monomial(std::span<const int> qubits, const int* src, const c64* phase) override;
 
   // --- analysis ---------------------------------------------------------------
-  double norm() const;
-  std::vector<double> probabilities() const;
+  double norm() const override;
+  std::vector<double> probabilities() const override;
   /// probabilities() into a caller-owned buffer (resized to dim()): repeated
   /// callers — a sweep session sampling one binding after another — reuse
   /// warm pages instead of faulting in a fresh 2^n-double vector per run.
@@ -124,13 +129,20 @@ class Statevector {
   /// |<this|other>| (1 means equal up to global phase).
   double fidelity(const Statevector& other) const;
 
-  // --- non-unitary operations ---------------------------------------------------
+  // --- sampling and non-unitary operations --------------------------------------
+  /// Batch-samples basis indices through a Walker alias table (O(1)/shot).
+  /// The amplitudes are released once the table is built — the table's 12
+  /// bytes per amplitude replace the state's 16, exactly the peak-memory
+  /// discipline the engine's trailing path had when it scoped the
+  /// statevector itself — so the state is consumed: only num_qubits()
+  /// remains meaningful afterwards (SimState contract).
+  BasisHistogram sample_basis(std::int64_t shots, Rng& rng) override;
   /// Projective Z measurement with collapse; returns the outcome bit.
   /// Probabilities are clamped against floating-point drift, so a
   /// near-deterministic outcome collapses cleanly instead of throwing.
-  int measure_collapse(int q, Rng& rng);
+  int measure_collapse(int q, Rng& rng) override;
   /// Measure-and-flip-to-zero.
-  void reset_qubit(int q, Rng& rng);
+  void reset_qubit(int q, Rng& rng) override;
 
  private:
   void check_qubit(int q) const;

@@ -335,6 +335,23 @@ std::shared_ptr<JobRecord> ExecutionService::route(core::JobBundle bundle) {
   // add to its pool, from cost hints alone (sched never sees the circuit).
   const sched::BackendCapability cap =
       sched::BackendCapability::from_json(registry.capabilities(rec->engine));
+  // Admission-time capacity check for explicitly requested gate engines
+  // ("auto" routing already rejects infeasible fleets): a register wider than
+  // the engine's cap fails here, before the job ever occupies a worker, with
+  // the wide alternative named when one is registered.
+  const unsigned width = bundle.registers.total_width();
+  if (cap.kind == "gate" && cap.num_qubits > 0 && static_cast<int>(width) > cap.num_qubits) {
+    std::string message = "bundle '" + bundle.job_id + "' needs " + std::to_string(width) +
+                          " qubits but engine '" + rec->engine + "' caps at " +
+                          std::to_string(cap.num_qubits);
+    for (const sched::BackendCapability& other : capability_snapshot())
+      if (other.kind == "gate" && other.num_qubits >= static_cast<int>(width)) {
+        message += "; '" + other.name + "' admits this width (" +
+                   std::to_string(other.num_qubits) + " qubits)";
+        break;
+      }
+    throw ValidationError(message);
+  }
   rec->estimate = sched::estimate(bundle, cap);
   rec->backlog_contribution_us = rec->estimate.feasible ? rec->estimate.duration_us : 0.0;
   rec->bundle = std::move(bundle);

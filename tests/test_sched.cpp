@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "algolib/arithmetic.hpp"
 #include "algolib/ising.hpp"
 #include "algolib/qaoa.hpp"
 #include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
 #include "sched/scheduler.hpp"
 #include "util/errors.hpp"
 
@@ -29,6 +31,37 @@ BackendCapability anneal_device(const std::string& name = "anneal.sim", int qubi
   cap.kind = "anneal";
   cap.num_qubits = qubits;
   return cap;
+}
+
+BackendCapability mps_device(const std::string& name = "gate.mps", int qubits = 64,
+                             int bond = 64) {
+  BackendCapability cap;
+  cap.name = name;
+  cap.kind = "gate";
+  cap.num_qubits = qubits;
+  cap.representation = "mps";
+  cap.max_bond_dim = bond;
+  // Mirror the registered advertisement: exact simulation (no gate errors),
+  // slower per-gate tensor updates than the dense kernels.
+  cap.oneq_time_us = 0.5;
+  cap.twoq_time_us = 3.0;
+  cap.oneq_error = 0.0;
+  cap.twoq_error = 0.0;
+  return cap;
+}
+
+core::JobBundle ghz_bundle(unsigned width) {
+  const auto reg = algolib::make_uint_register("g", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::ghz_prep_descriptor(reg));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "auto";
+  ctx.exec.samples = 256;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                  "ghz-" + std::to_string(width));
 }
 
 core::JobBundle qaoa_bundle(int n = 4, std::int64_t samples = 1024) {
@@ -195,6 +228,65 @@ TEST(Capability, JsonRoundTrip) {
   EXPECT_EQ(back.num_qubits, 12);
   EXPECT_DOUBLE_EQ(back.twoq_error, 0.005);
   EXPECT_DOUBLE_EQ(back.queue_wait_us, 77.0);
+  // Defaults: dense representation, no bond axis (and to_json omits it).
+  EXPECT_EQ(back.representation, "statevector");
+  EXPECT_EQ(back.max_bond_dim, 0);
+  EXPECT_FALSE(cap.to_json().contains("max_bond_dim"));
+}
+
+TEST(Capability, RepresentationAxisRoundTrips) {
+  const BackendCapability cap = mps_device("gate.mps", 64, 48);
+  const json::Value doc = cap.to_json();
+  EXPECT_EQ(doc.get_string("representation", ""), "mps");
+  EXPECT_EQ(doc.at("max_bond_dim").as_int(), 48);
+  const BackendCapability back = BackendCapability::from_json(doc);
+  EXPECT_EQ(back.representation, "mps");
+  EXPECT_EQ(back.max_bond_dim, 48);
+  EXPECT_EQ(back.num_qubits, 64);
+}
+
+// --- the entanglement-aware MPS heuristic ------------------------------------
+
+TEST(Estimate, EntanglementScoreIsTwoQubitGatesPerQubit) {
+  // GHZ over n qubits: n-1 CX on n qubits -> score just under 1, on any
+  // gate-kind estimate (dense devices report it too; they just don't price
+  // it).
+  const JobEstimate est = estimate(ghz_bundle(40), mps_device());
+  ASSERT_TRUE(est.feasible);
+  EXPECT_NEAR(est.entanglement_score, 39.0 / 40.0, 1e-12);
+  const JobEstimate qft = estimate(qft_bundle(20), gate_device("dense", 26));
+  ASSERT_TRUE(qft.feasible);
+  EXPECT_GT(qft.entanglement_score, 8.0);  // ~190 CP over 20 qubits
+}
+
+TEST(Estimate, MpsPricesEntanglementDenseDoesNot) {
+  // Deep narrow circuit: the MPS estimate pays the chi^3 runtime multiplier
+  // and a fidelity penalty for the bond it cannot afford; the dense estimate
+  // of the same bundle stays exact and cheap.
+  const JobEstimate on_mps = estimate(qft_bundle(20), mps_device("gate.mps", 64, 64));
+  const JobEstimate on_dense = estimate(qft_bundle(20), gate_device("dense", 26));
+  ASSERT_TRUE(on_mps.feasible);
+  ASSERT_TRUE(on_dense.feasible);
+  EXPECT_GT(on_mps.duration_us, 100.0 * on_dense.duration_us);
+  EXPECT_LT(on_mps.success_prob, 0.5);
+  EXPECT_GT(on_dense.success_prob, 0.8);
+
+  // Wide shallow circuit: bond 2 fits comfortably under the cap, so the MPS
+  // estimate keeps full fidelity and no runtime blow-up.
+  const JobEstimate ghz = estimate(ghz_bundle(40), mps_device());
+  ASSERT_TRUE(ghz.feasible);
+  EXPECT_NEAR(ghz.success_prob, 1.0, 1e-9);
+  // A raised bond cap only helps: more affordable bond, never less fidelity.
+  const JobEstimate ghz_small_cap = estimate(ghz_bundle(40), mps_device("gate.mps", 64, 2));
+  EXPECT_GE(ghz.success_prob, ghz_small_cap.success_prob);
+}
+
+TEST(Choose, RoutesByWidthAndEntanglement) {
+  const std::vector<BackendCapability> fleet{gate_device("gate.dense", 30), mps_device()};
+  // 40 qubits of GHZ: only MPS admits the width.
+  EXPECT_EQ(choose_backend(ghz_bundle(40), fleet).backend, "gate.mps");
+  // 20-qubit QFT fits both, but the entanglement penalty hands it to dense.
+  EXPECT_EQ(choose_backend(qft_bundle(20), fleet).backend, "gate.dense");
 }
 
 }  // namespace

@@ -119,7 +119,8 @@ TEST(Circuit, BuilderValidation) {
   EXPECT_THROW(c.measure(0, 1), ValidationError);              // clbit out of range
   EXPECT_THROW(c.add(Gate::RZ, {0}, {}), ValidationError);     // missing param
   EXPECT_THROW(c.add(Gate::H, {0, 1}), ValidationError);       // wrong arity
-  EXPECT_THROW(Circuit(31, 0), ValidationError);               // too wide
+  EXPECT_THROW(Circuit(65, 0), ValidationError);               // too wide for any state
+  EXPECT_NO_THROW(Circuit(64, 0));  // IR admits the MPS width; dense caps at runtime
 }
 
 TEST(Circuit, DepthAndCounts) {

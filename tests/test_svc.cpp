@@ -467,7 +467,10 @@ TEST_F(SvcTest, WorkerBackendCreationFailureFailsPlainJob) {
   // settle as FAILED carrying the factory's own error, not hang or crash the
   // worker.
   svc::ExecutionService service;
-  const svc::JobId id = service.submit(qft_job(4, 2, "gate.svc_flaky"));
+  // Width 2 fits gate.svc_flaky's advertised capacity, so the job passes
+  // admission and the failure happens where this test wants it: in the
+  // worker's backend factory.
+  const svc::JobId id = service.submit(qft_job(2, 2, "gate.svc_flaky"));
   const svc::JobHandle handle = service.handle(id);
   handle.wait();
   EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
@@ -485,7 +488,7 @@ TEST_F(SvcTest, SweepWorkerBackendCreationFailureFailsBindings) {
   config.default_workers = 2;
   svc::ExecutionService service(config);
   const svc::SweepHandle sweep = service.submit_sweep(
-      qft_job(4, 3, "gate.svc_flaky"), std::vector<std::vector<double>>(3));
+      qft_job(2, 3, "gate.svc_flaky"), std::vector<std::vector<double>>(3));
   ASSERT_TRUE(sweep.wait_for(std::chrono::seconds(30))) << "sweep stranded: no shard settled it";
   ASSERT_EQ(sweep.size(), 3u);
   for (std::size_t i = 0; i < sweep.size(); ++i) {

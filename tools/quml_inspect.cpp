@@ -9,6 +9,7 @@
 // only) and previews the simulator's gate-fusion plan — the sweep count the
 // job will actually pay.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -69,25 +70,48 @@ int main(int argc, char** argv) {
                 static_cast<long long>(total.depth.value_or(0)),
                 static_cast<long long>(total.ancillas.value_or(0)));
 
-    // Reference fleet: one ideal simulator-class gate device, one annealer.
+    // Reference fleet: one ideal dense simulator-class gate device, one MPS
+    // simulator (wide but entanglement-priced), one annealer.
     sched::BackendCapability gate;
     gate.name = "gate.statevector_simulator";
     gate.kind = "gate";
     gate.num_qubits = 26;
+    sched::BackendCapability mps;
+    mps.name = "gate.mps_simulator";
+    mps.kind = "gate";
+    mps.num_qubits = 64;
+    mps.representation = "mps";
+    mps.max_bond_dim = 64;
+    mps.oneq_time_us = 0.5;
+    mps.twoq_time_us = 3.0;
+    mps.oneq_error = 0.0;
+    mps.twoq_error = 0.0;
     sched::BackendCapability anneal;
     anneal.name = "anneal.simulated_annealer";
     anneal.kind = "anneal";
     anneal.num_qubits = 64;
 
     std::printf("\nscheduler view:\n");
-    for (const auto& cap : {gate, anneal}) {
+    double entanglement = 0.0;
+    for (const auto& cap : {gate, mps, anneal}) {
       const sched::JobEstimate est = sched::estimate(bundle, cap);
+      entanglement = est.feasible ? std::max(entanglement, est.entanglement_score)
+                                  : entanglement;
+      std::string axis = "[" + cap.representation + ", " + std::to_string(cap.num_qubits) +
+                         "q max";
+      if (cap.max_bond_dim > 0) axis += ", bond cap " + std::to_string(cap.max_bond_dim);
+      axis += "]";
       if (est.feasible)
-        std::printf("  %-28s duration=%.0f us  success=%.4f\n", cap.name.c_str(),
-                    est.duration_us, est.success_prob);
+        std::printf("  %-28s duration=%.0f us  success=%.4f  %s\n", cap.name.c_str(),
+                    est.duration_us, est.success_prob, axis.c_str());
       else
-        std::printf("  %-28s infeasible: %s\n", cap.name.c_str(), est.reason.c_str());
+        std::printf("  %-28s infeasible: %s  %s\n", cap.name.c_str(), est.reason.c_str(),
+                    axis.c_str());
     }
+    if (verbose)
+      std::printf("  routing inputs: width=%u qubit(s)  entanglement score=%.2f "
+                  "(2q gates per qubit; MPS needs bond ~2^score)\n",
+                  bundle.registers.total_width(), entanglement);
 
     if (verbose) {
       // Opt-in lowering: the default inspect view stays descriptor-only.

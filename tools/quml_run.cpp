@@ -21,6 +21,7 @@
 //   {"bindings": [[0.1, 0.2], [0.3, 0.4]]}
 //   {"bindings": [{"gamma": 0.1, "beta": 0.2}, ...]}
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "backend/lowering.hpp"
 #include "backend/register_backends.hpp"
 #include "core/registry.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/fusion.hpp"
 #include "svc/execution_service.hpp"
 #include "util/errors.hpp"
@@ -68,14 +70,34 @@ std::vector<quml::core::JobBundle> load_bundles(const std::string& path) {
   return bundles;
 }
 
-void print_decision(const quml::sched::Decision& decision) {
+void print_decision(const quml::sched::Decision& decision, unsigned width) {
+  using quml::sched::BackendCapability;
+  // Decision *inputs* first — width and the entanglement proxy are what steer
+  // a wide shallow circuit to MPS and a deep narrow one to the dense engine.
   std::printf("routing : scheduler decision (engine auto)\n");
+  double entanglement = 0.0;
+  for (const auto& [name, est] : decision.considered)
+    entanglement = std::max(entanglement, est.entanglement_score);
+  std::printf("  inputs: width %u qubit(s), entanglement score %.2f (2q gates per qubit)\n",
+              width, entanglement);
+  std::vector<BackendCapability> fleet = quml::sched::registry_capabilities();
+  const auto cap_for = [&](const std::string& name) -> const BackendCapability* {
+    for (const auto& cap : fleet)
+      if (cap.name == name) return &cap;
+    return nullptr;
+  };
   for (const auto& [name, est] : decision.considered) {
+    std::string axis;
+    if (const BackendCapability* cap = cap_for(name)) {
+      axis = " [" + cap->representation + ", " + std::to_string(cap->num_qubits) + "q max";
+      if (cap->max_bond_dim > 0) axis += ", bond cap " + std::to_string(cap->max_bond_dim);
+      axis += "]";
+    }
     if (est.feasible)
-      std::printf("  %-32s duration %.0f us, success %.4f\n", name.c_str(), est.duration_us,
-                  est.success_prob);
+      std::printf("  %-32s duration %.0f us, success %.4f%s\n", name.c_str(), est.duration_us,
+                  est.success_prob, axis.c_str());
     else
-      std::printf("  %-32s infeasible: %s\n", name.c_str(), est.reason.c_str());
+      std::printf("  %-32s infeasible: %s%s\n", name.c_str(), est.reason.c_str(), axis.c_str());
   }
   std::printf("  -> %s (score %.3f)\n", decision.backend.c_str(), decision.score);
 }
@@ -235,9 +257,10 @@ int main(int argc, char** argv) {
       std::printf("sweeping %zu binding(s) of %zu parameter(s) through submit_sweep "
                   "(%d worker(s))\n",
                   bindings.size(), bundle.parameters.size(), config.default_workers);
+      const unsigned sweep_width = bundle.registers.total_width();
       const svc::SweepHandle sweep = service.submit_sweep(bundle, std::move(bindings));
       sweep.wait();
-      if (const auto decision = sweep.decision()) print_decision(*decision);
+      if (const auto decision = sweep.decision()) print_decision(*decision, sweep_width);
       std::printf("engine  : %s (%s)\n", sweep.engine().c_str(),
                   sweep.plan_cached() ? "cached bind-once/run-many plan"
                                       : "per-binding fallback");
@@ -288,15 +311,19 @@ int main(int argc, char** argv) {
       svc::ExecutionService service(config);
       std::printf("submitting %zu job(s) through ExecutionService (%d worker(s)/engine)\n",
                   bundles.size(), config.default_workers);
+      std::vector<unsigned> widths;
+      widths.reserve(bundles.size());
+      for (const auto& bundle : bundles) widths.push_back(bundle.registers.total_width());
       const std::vector<svc::JobId> ids = service.submit_batch(std::move(bundles));
       service.wait_all();
-      for (const svc::JobId id : ids) {
+      for (std::size_t job = 0; job < ids.size(); ++job) {
+        const svc::JobId id = ids[job];
         const svc::JobHandle handle = service.handle(id);
         std::printf("\n== job %llu: %s (engine %s, status %s)\n",
                     static_cast<unsigned long long>(id), handle.valid() ? "submitted" : "unknown",
                     handle.engine().empty() ? "-" : handle.engine().c_str(),
                     svc::to_string(handle.status()));
-        if (const auto decision = handle.decision()) print_decision(*decision);
+        if (const auto decision = handle.decision()) print_decision(*decision, widths[job]);
         if (handle.status() == svc::JobStatus::Failed) {
           std::fprintf(stderr, "error: %s\n", handle.error().c_str());
           ++failures;

@@ -1,0 +1,119 @@
+// EXP-ANALYSIS — admission-control cost of the semantic analyzer.
+//
+// Every ExecutionService::submit now runs the error-severity QA passes before
+// queueing (analysis/passes.hpp).  That gate is only free if its cost
+// disappears against the job it admits, so this binary measures both sides:
+//
+//   BM_AnalyzeQft/N      the exact admission configuration (capability set,
+//                        resource notes off) over an N-qubit exact QFT bundle;
+//   BM_QftSubmitRun/N    the same bundle lowered + simulated + sampled through
+//                        the gate backend — what admission is amortized over.
+//
+// Acceptance: analyze(20) stays under 1% of run(20).  The report prelude
+// prints the measured ratio so BENCH_analysis.json records it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "algolib/qft.hpp"
+#include "analysis/passes.hpp"
+#include "backend/register_backends.hpp"
+#include "core/bundle.hpp"
+#include "core/registry.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace quml;
+
+namespace {
+
+core::JobBundle qft_bundle(unsigned width) {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 1024;
+  ctx.exec.seed = 7;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                  "qft" + std::to_string(width));
+}
+
+/// The statevector engine's advertised capability, as route() resolves it.
+sched::BackendCapability statevector_cap() {
+  backend::register_builtin_backends();
+  return sched::BackendCapability::from_json(
+      core::BackendRegistry::instance().capabilities("gate.statevector_simulator"));
+}
+
+analysis::AnalyzeOptions admission_options() {
+  analysis::AnalyzeOptions options;
+  options.capability = statevector_cap();
+  options.require_bound = true;   // direct-submit mode
+  options.resource_notes = false; // hot path skips notes
+  return options;
+}
+
+void report() {
+  std::printf("=== EXP-ANALYSIS: admission-time lint cost vs the job it admits ===\n");
+  backend::register_builtin_backends();
+  const core::JobBundle job = qft_bundle(20);
+  const analysis::AnalyzeOptions options = admission_options();
+  using clock = std::chrono::steady_clock;
+
+  // Warm both paths once (registry singletons, allocator), then time.
+  (void)analysis::analyze_bundle(job, options);
+  const auto t0 = clock::now();
+  constexpr int kAnalyzeReps = 50;
+  for (int i = 0; i < kAnalyzeReps; ++i) (void)analysis::analyze_bundle(job, options);
+  const auto t1 = clock::now();
+  (void)core::submit(job);
+  const auto t2 = clock::now();
+
+  const double analyze_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kAnalyzeReps;
+  const double run_us = std::chrono::duration<double, std::micro>(t2 - t1).count();
+  std::printf("analyze qft20 (admission config): %10.1f us\n", analyze_us);
+  std::printf("submit+run qft20 (1024 shots):    %10.1f us\n", run_us);
+  std::printf("admission overhead: %.3f%% of run time (acceptance: < 1%%)\n\n",
+              100.0 * analyze_us / run_us);
+}
+
+void BM_AnalyzeQft(benchmark::State& state) {
+  const core::JobBundle job = qft_bundle(static_cast<unsigned>(state.range(0)));
+  const analysis::AnalyzeOptions options = admission_options();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_bundle(job, options).has_errors());
+  state.counters["qubits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AnalyzeQft)->Arg(8)->Arg(14)->Arg(20);
+
+void BM_AnalyzeQftWithNotes(benchmark::State& state) {
+  // The lint/inspect configuration: resource notes on.
+  const core::JobBundle job = qft_bundle(static_cast<unsigned>(state.range(0)));
+  analysis::AnalyzeOptions options = admission_options();
+  options.resource_notes = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_bundle(job, options).diagnostics().size());
+}
+BENCHMARK(BM_AnalyzeQftWithNotes)->Arg(14);
+
+void BM_QftSubmitRun(benchmark::State& state) {
+  backend::register_builtin_backends();
+  const core::JobBundle job = qft_bundle(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(core::submit(job).counts.total());
+  state.counters["qubits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QftSubmitRun)->Arg(14)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return quml::bench::run(argc, argv, report);
+}

@@ -1,0 +1,133 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace quml::analysis {
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string join_operands(char prefix, const std::vector<int>& operands) {
+  std::string out;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    out += i == 0 ? std::string(1, prefix) : "," + std::string(1, prefix);
+    out += std::to_string(operands[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SourceLoc::str() const {
+  std::string out;
+  if (instruction >= 0) out += "#" + std::to_string(instruction) + " ";
+  out += op.empty() ? (instruction >= 0 ? "op" : "bundle") : op;
+  if (!qubits.empty()) out += " " + join_operands('q', qubits);
+  if (!clbits.empty()) out += " -> " + join_operands('c', clbits);
+  return out;
+}
+
+std::string Diagnostic::str() const {
+  return std::string(to_string(severity)) + "[" + code + "] " + loc.str() + ": " + message;
+}
+
+json::Value Diagnostic::to_json() const {
+  json::Value o = json::Value::object();
+  o.set("code", json::Value(code));
+  o.set("severity", json::Value(std::string(to_string(severity))));
+  o.set("message", json::Value(message));
+  if (loc.instruction >= 0)
+    o.set("instruction", json::Value(static_cast<std::int64_t>(loc.instruction)));
+  if (!loc.op.empty()) o.set("op", json::Value(loc.op));
+  if (!loc.qubits.empty()) {
+    json::Array qs;
+    for (const int q : loc.qubits) qs.emplace_back(static_cast<std::int64_t>(q));
+    o.set("qubits", json::Value(std::move(qs)));
+  }
+  if (!loc.clbits.empty()) {
+    json::Array cs;
+    for (const int c : loc.clbits) cs.emplace_back(static_cast<std::int64_t>(c));
+    o.set("clbits", json::Value(std::move(cs)));
+  }
+  return o;
+}
+
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.severity, a.loc.instruction, a.code, a.loc.op, a.loc.qubits, a.loc.clbits,
+                  a.message) < std::tie(b.severity, b.loc.instruction, b.code, b.loc.op,
+                                        b.loc.qubits, b.loc.clbits, b.message);
+}
+
+void Report::add(Diagnostic diagnostic) { diagnostics_.push_back(std::move(diagnostic)); }
+
+void Report::add(std::string code, Severity severity, std::string message, SourceLoc loc) {
+  diagnostics_.push_back(
+      Diagnostic{std::move(code), severity, std::move(message), std::move(loc)});
+}
+
+void Report::error(std::string code, std::string message, SourceLoc loc) {
+  add(std::move(code), Severity::Error, std::move(message), std::move(loc));
+}
+
+void Report::warning(std::string code, std::string message, SourceLoc loc) {
+  add(std::move(code), Severity::Warning, std::move(message), std::move(loc));
+}
+
+void Report::note(std::string code, std::string message, SourceLoc loc) {
+  add(std::move(code), Severity::Note, std::move(message), std::move(loc));
+}
+
+std::size_t Report::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool Report::has_errors() const { return count(Severity::Error) > 0; }
+
+std::vector<Diagnostic> Report::errors() const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.severity == Severity::Error) out.push_back(d);
+  std::stable_sort(out.begin(), out.end(), diagnostic_less);
+  return out;
+}
+
+void Report::sort() { std::stable_sort(diagnostics_.begin(), diagnostics_.end(), diagnostic_less); }
+
+std::string Report::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += diagnostics_[i].str();
+  }
+  return out;
+}
+
+json::Value Report::to_json() const {
+  json::Array items;
+  for (const Diagnostic& d : diagnostics_) items.push_back(d.to_json());
+  return json::Value(std::move(items));
+}
+
+std::string DiagnosticError::render(const std::string& subject,
+                                    std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(), diagnostic_less);
+  std::string out = subject;
+  for (const Diagnostic& d : diagnostics) out += "\n  " + d.str();
+  return out;
+}
+
+DiagnosticError::DiagnosticError(const std::string& subject, std::vector<Diagnostic> diagnostics)
+    : ValidationError(render(subject, diagnostics)), diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace quml::analysis

@@ -1,0 +1,103 @@
+#pragma once
+// Diagnostics: stable-coded findings over middle-layer programs.
+//
+// Semantic defects used to surface as deep exceptions inside a worker thread
+// with no instruction context.  A Diagnostic instead names *what* went wrong
+// (a stable QA0xx code + severity), *where* (instruction index, op name,
+// qubit/clbit operands), and renders deterministically, so admission
+// rejections, `quml_validate --lint` output, and test goldens all agree byte
+// for byte.  This header is deliberately low in the layering — only
+// util/errors.hpp and the JSON value type — so core/ can raise
+// DiagnosticErrors without a dependency cycle; the passes that *produce*
+// diagnostics over circuits and bundles live in analysis/passes.hpp.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/errors.hpp"
+
+namespace quml::analysis {
+
+/// Finding severity.  Errors reject a bundle at admission and fail
+/// `quml_validate --lint`; warnings and notes are informational.
+enum class Severity { Error, Warning, Note };
+
+const char* to_string(Severity severity) noexcept;
+
+/// Where a finding anchors: the instruction (descriptor or gate) index, the
+/// op name (rep_kind or gate mnemonic), and the operands involved.  An
+/// artifact-level finding leaves instruction at -1.
+struct SourceLoc {
+  int instruction = -1;
+  std::string op;
+  std::vector<int> qubits;
+  std::vector<int> clbits;
+
+  /// "#3 rzz q0,q1 -> c2", or "bundle" for artifact-level findings.
+  std::string str() const;
+};
+
+/// One finding: a stable code (QA0xx, see the README table), a severity, a
+/// human-readable message, and a source location.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::Error;
+  std::string message;
+  SourceLoc loc;
+
+  /// "error[QA001] #3 ISING_COST_PHASE: edge (0, 9) endpoint out of range".
+  std::string str() const;
+  json::Value to_json() const;
+};
+
+/// Deterministic strict ordering: severity rank, then instruction index
+/// (artifact-level first), then code, then op, operands, and message — the
+/// order every Report renders in.
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b);
+
+/// An ordered collection of findings.  Passes append in discovery order;
+/// sorted() callers (analyze_bundle / analyze_circuit) canonicalize before
+/// anything user-visible renders.
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  void add(std::string code, Severity severity, std::string message, SourceLoc loc = {});
+  void error(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void note(std::string code, std::string message, SourceLoc loc = {});
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diagnostics_; }
+  bool empty() const noexcept { return diagnostics_.empty(); }
+  std::size_t count(Severity severity) const;
+  bool has_errors() const;
+  /// The error-severity subset, in canonical order.
+  std::vector<Diagnostic> errors() const;
+
+  /// Stable-sorts into the canonical diagnostic_less order.
+  void sort();
+
+  /// One rendered line per diagnostic, '\n'-separated (no trailing newline).
+  std::string str() const;
+  json::Value to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// A ValidationError carrying its diagnostics: what() renders the subject
+/// plus one indented line per finding, so even callers that only see the
+/// exception text get codes and instruction context.
+class DiagnosticError : public ValidationError {
+ public:
+  DiagnosticError(const std::string& subject, std::vector<Diagnostic> diagnostics);
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diagnostics_; }
+
+ private:
+  static std::string render(const std::string& subject, std::vector<Diagnostic>& diagnostics);
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace quml::analysis

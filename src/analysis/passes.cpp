@@ -1,0 +1,631 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "backend/lowering.hpp"
+#include "core/params.hpp"
+#include "sim/gate.hpp"
+
+namespace quml::analysis {
+
+namespace {
+
+using core::JobBundle;
+using core::OperatorDescriptor;
+
+SourceLoc op_loc(std::size_t index, const OperatorDescriptor& op) {
+  SourceLoc loc;
+  loc.instruction = static_cast<int>(index);
+  loc.op = op.rep_kind;
+  return loc;
+}
+
+SourceLoc inst_loc(std::size_t index, const sim::Instruction& inst) {
+  SourceLoc loc;
+  loc.instruction = static_cast<int>(index);
+  loc.op = sim::gate_name(inst.gate);
+  loc.qubits = inst.qubits;
+  loc.clbits = inst.clbits;
+  return loc;
+}
+
+const json::Value* find_param(const OperatorDescriptor& op, const std::string& key) {
+  return op.params.is_object() ? op.params.find(key) : nullptr;
+}
+
+bool is_anneal_formulation(const JobBundle& bundle) {
+  for (const auto& op : bundle.operators.ops)
+    if (op.rep_kind == core::rep::kIsingProblem) return true;
+  return false;
+}
+
+std::string format2(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2f", value);
+  return buffer;
+}
+
+// --- bounds: carrier/edge/length references vs register widths (QA001/2) ----
+
+/// Validates one coupling list ("edges" of ISING_COST_PHASE, "J" of
+/// ISING_PROBLEM): every endpoint a carrier index of the domain register.
+void check_edges(const json::Value& edges, unsigned width, const char* key, SourceLoc loc,
+                 Report& report) {
+  for (const auto& entry : edges.as_array()) {
+    if (!entry.is_array() || entry.size() < 2) {
+      report.error("QA002", std::string(key) + " entries must be [u, v(, w)] arrays", loc);
+      continue;
+    }
+    const auto u = static_cast<int>(entry[0].as_int());
+    const auto v = static_cast<int>(entry[1].as_int());
+    if (u < 0 || v < 0 || u >= static_cast<int>(width) || v >= static_cast<int>(width)) {
+      SourceLoc edge_loc = loc;
+      edge_loc.qubits = {u, v};
+      report.error("QA001",
+                   std::string(key) + " endpoint (" + std::to_string(u) + ", " +
+                       std::to_string(v) + ") out of range for width " + std::to_string(width),
+                   std::move(edge_loc));
+    }
+  }
+}
+
+void check_op_bounds(std::size_t index, const OperatorDescriptor& op, const JobBundle& bundle,
+                     Report& report) {
+  const core::RegisterSet& regs = bundle.registers;
+  if (!regs.contains(op.domain_qdt)) {
+    report.error("QA001", "unknown domain register '" + op.domain_qdt + "'", op_loc(index, op));
+    return;
+  }
+  if (!op.codomain_qdt.empty() && !regs.contains(op.codomain_qdt))
+    report.error("QA001", "unknown codomain register '" + op.codomain_qdt + "'",
+                 op_loc(index, op));
+  const unsigned width = regs.at(op.domain_qdt).width;
+  const std::string& kind = op.rep_kind;
+
+  // Auxiliary register references required by the built-in realization hooks.
+  static const std::vector<std::pair<const char*, std::vector<const char*>>> kAuxRegs = {
+      {core::rep::kModularAdderTemplate, {"scratch_qdt", "flag_qdt"}},
+      {core::rep::kComparatorTemplate, {"scratch_qdt", "flag_qdt"}},
+      {core::rep::kSwapTest, {"other_qdt", "flag_qdt"}},
+      {core::rep::kRegisterAdderTemplate, {"source_qdt"}},
+      {core::rep::kControlledSwap, {"control_qdt"}},
+      {core::rep::kQpeTemplate, {"eigen_qdt"}},
+  };
+  for (const auto& [aux_kind, keys] : kAuxRegs) {
+    if (kind != aux_kind) continue;
+    for (const char* key : keys) {
+      const json::Value* ref = find_param(op, key);
+      if (!ref) {
+        report.error("QA002", std::string("missing register reference param '") + key + "'",
+                     op_loc(index, op));
+      } else if (!ref->is_string() || !regs.contains(ref->as_string())) {
+        report.error("QA001",
+                     std::string("param '") + key + "' does not name a declared register",
+                     op_loc(index, op));
+      }
+    }
+  }
+
+  if (kind == core::rep::kIsingCostPhase || kind == core::rep::kIsingProblem) {
+    const char* edges_key = kind == core::rep::kIsingCostPhase ? "edges" : "J";
+    if (const json::Value* edges = find_param(op, edges_key))
+      check_edges(*edges, width, edges_key, op_loc(index, op), report);
+    if (const json::Value* h = find_param(op, "h"))
+      if (h->as_array().size() != width)
+        report.error("QA001",
+                     "'h' has " + std::to_string(h->as_array().size()) +
+                         " fields but the register has width " + std::to_string(width),
+                     op_loc(index, op));
+  } else if (kind == core::rep::kPhaseGadget) {
+    const json::Value* carriers = find_param(op, "carriers");
+    if (carriers) {
+      for (const auto& entry : carriers->as_array()) {
+        const auto c = static_cast<int>(entry.as_int());
+        if (c < 0 || c >= static_cast<int>(width)) {
+          SourceLoc loc = op_loc(index, op);
+          loc.qubits = {c};
+          report.error("QA001",
+                       "carrier " + std::to_string(c) + " out of range for width " +
+                           std::to_string(width),
+                       std::move(loc));
+        }
+      }
+      if (carriers->as_array().empty())
+        report.error("QA002", "phase gadget needs at least one carrier", op_loc(index, op));
+    }
+  } else if (kind == core::rep::kControlledSwap) {
+    for (const char* key : {"target_a", "target_b"}) {
+      if (const json::Value* t = find_param(op, key)) {
+        const auto c = static_cast<int>(t->as_int());
+        if (c < 0 || c >= static_cast<int>(width)) {
+          SourceLoc loc = op_loc(index, op);
+          loc.qubits = {c};
+          report.error("QA001",
+                       std::string(key) + " = " + std::to_string(c) +
+                           " out of range for width " + std::to_string(width),
+                       std::move(loc));
+        }
+      }
+    }
+  } else if (kind == core::rep::kAngleEncoding) {
+    if (const json::Value* angles = find_param(op, "angles"))
+      if (angles->as_array().size() != width)
+        report.error("QA001",
+                     "encodes " + std::to_string(angles->as_array().size()) +
+                         " angles onto a register of width " + std::to_string(width),
+                     op_loc(index, op));
+  } else if (kind == core::rep::kAmplitudeEncoding) {
+    const json::Value* amps = find_param(op, "amplitudes");
+    if (amps && width <= 30 && amps->as_array().size() != (1ull << width))
+      report.error("QA001",
+                   "amplitude vector has " + std::to_string(amps->as_array().size()) +
+                       " entries; width " + std::to_string(width) + " needs " +
+                       std::to_string(1ull << width),
+                   op_loc(index, op));
+  } else if (kind == core::rep::kBasisStatePrep) {
+    const std::int64_t basis = op.param_int("basis_index", 0);
+    if (basis < 0 || (width < 63 && basis >= static_cast<std::int64_t>(1ull << width)))
+      report.error("QA001",
+                   "basis_index " + std::to_string(basis) + " out of range for width " +
+                       std::to_string(width),
+                   op_loc(index, op));
+  } else if (kind == core::rep::kQftTemplate) {
+    const std::int64_t degree = op.param_int("approx_degree", 0);
+    if (degree < 0 || degree >= static_cast<std::int64_t>(width))
+      report.error("QA001",
+                   "approx_degree " + std::to_string(degree) + " out of range for width " +
+                       std::to_string(width),
+                   op_loc(index, op));
+  } else if (kind == core::rep::kCustomUnitary) {
+    const std::int64_t carrier = op.param_int("carrier", 0);
+    if (carrier < 0 || carrier >= static_cast<std::int64_t>(width)) {
+      SourceLoc loc = op_loc(index, op);
+      loc.qubits = {static_cast<int>(carrier)};
+      report.error("QA001",
+                   "carrier " + std::to_string(carrier) + " out of range for width " +
+                       std::to_string(width),
+                   std::move(loc));
+    }
+  }
+
+  if (op.result_schema) {
+    for (std::size_t c = 0; c < op.result_schema->clbit_order.size(); ++c) {
+      const core::ClbitRef& ref = op.result_schema->clbit_order[c];
+      SourceLoc loc = op_loc(index, op);
+      loc.clbits = {static_cast<int>(c)};
+      if (!regs.contains(ref.reg))
+        report.error("QA001", "result_schema names unknown register '" + ref.reg + "'",
+                     std::move(loc));
+      else if (ref.index >= regs.at(ref.reg).width)
+        report.error("QA001",
+                     "result_schema reference " + ref.str() + " exceeds register width " +
+                         std::to_string(regs.at(ref.reg).width),
+                     std::move(loc));
+    }
+  }
+}
+
+void bounds_pass(const PassInput& in, Report& report) {
+  if (!in.bundle) return;
+  for (std::size_t i = 0; i < in.bundle->operators.ops.size(); ++i) {
+    const OperatorDescriptor& op = in.bundle->operators.ops[i];
+    try {
+      check_op_bounds(i, op, *in.bundle, report);
+    } catch (const Error& e) {
+      report.error("QA002", std::string("malformed params: ") + e.what(), op_loc(i, op));
+    }
+  }
+}
+
+// --- admission: width + formulation vs the routed engine (QA003/4) ----------
+
+void admission_pass(const PassInput& in, Report& report) {
+  if (!in.bundle || !in.options || !in.options->capability) return;
+  const sched::BackendCapability& cap = *in.options->capability;
+  const unsigned width = in.bundle->registers.total_width();
+  if (!cap.kind.empty()) {
+    const bool anneal_job = is_anneal_formulation(*in.bundle);
+    if (anneal_job != (cap.kind == "anneal"))
+      report.error("QA004",
+                   anneal_job
+                       ? "ISING_PROBLEM formulation routed to gate engine '" + cap.name + "'"
+                       : "gate-path operators routed to anneal engine '" + cap.name + "'");
+  }
+  if (cap.kind == "gate" && cap.num_qubits > 0 && static_cast<int>(width) > cap.num_qubits)
+    report.error("QA003",
+                 "needs " + std::to_string(width) + " qubits but engine '" + cap.name +
+                     "' caps at " + std::to_string(cap.num_qubits));
+}
+
+// --- params: declared vs referenced vs bound free symbols (QA010-13) --------
+
+void params_pass(const PassInput& in, Report& report) {
+  if (!in.bundle) return;
+  const JobBundle& bundle = *in.bundle;
+  const std::vector<std::string>& declared = bundle.parameters;
+  std::vector<std::string> referenced_anywhere;
+  bool any_reference = false;
+  for (std::size_t i = 0; i < bundle.operators.ops.size(); ++i) {
+    const OperatorDescriptor& op = bundle.operators.ops[i];
+    std::vector<std::string> refs;
+    try {
+      core::collect_param_refs(op.params, refs);
+    } catch (const Error& e) {
+      report.error("QA002", std::string("malformed params: ") + e.what(), op_loc(i, op));
+      continue;
+    }
+    for (const std::string& name : refs) {
+      any_reference = true;
+      referenced_anywhere.push_back(name);
+      if (std::find(declared.begin(), declared.end(), name) == declared.end())
+        report.error("QA010", "references undeclared parameter '" + name + "'", op_loc(i, op));
+    }
+  }
+  for (const std::string& name : declared)
+    if (std::find(referenced_anywhere.begin(), referenced_anywhere.end(), name) ==
+        referenced_anywhere.end())
+      report.warning("QA011", "declared parameter '" + name + "' is never referenced");
+  if (in.options && in.options->require_bound && any_reference) {
+    std::string names;
+    for (const std::string& name : declared) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    report.error("QA012", "declares free parameter(s) " + names +
+                              "; bind values (core::bind_bundle) or submit through submit_sweep");
+  }
+  if (in.options && in.options->bindings) {
+    const std::vector<std::vector<double>>& rows = *in.options->bindings;
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (rows[r].size() != declared.size()) {
+        report.error("QA013", "binding row " + std::to_string(r) + " carries " +
+                                  std::to_string(rows[r].size()) +
+                                  " values but the bundle declares " +
+                                  std::to_string(declared.size()) + " parameters");
+        break;  // one mismatch explains the layout problem
+      }
+  }
+}
+
+// --- unitarity: user-supplied matrices and state vectors (QA020-23) ---------
+
+void check_custom_unitary(std::size_t index, const OperatorDescriptor& op, Report& report) {
+  const json::Value* matrix = find_param(op, "matrix");
+  if (!matrix) {
+    report.error("QA021", "missing 'matrix' param (four [re, im] pairs, row-major)",
+                 op_loc(index, op));
+    return;
+  }
+  sim::Mat2 u;
+  try {
+    u = backend::parse_matrix_2x2(*matrix);
+  } catch (const Error& e) {
+    report.error("QA021", e.what(), op_loc(index, op));
+    return;
+  }
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c)
+      if (!std::isfinite(u.m[r][c].real()) || !std::isfinite(u.m[r][c].imag())) {
+        report.error("QA021", "matrix entries must be finite", op_loc(index, op));
+        return;
+      }
+  const sim::Mat2 gram = u.dagger() * u;
+  double deviation = 0.0;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c)
+      deviation = std::max(deviation, std::abs(gram.m[r][c] - (r == c ? 1.0 : 0.0)));
+  if (deviation > 1e-8)
+    report.error("QA020",
+                 "matrix is not unitary (max |U†U - I| deviation " + format2(deviation) + ")",
+                 op_loc(index, op));
+}
+
+void check_amplitudes(std::size_t index, const OperatorDescriptor& op, Report& report) {
+  const json::Value* amps = find_param(op, "amplitudes");
+  if (!amps) return;  // missing payload is the lowering attempt's finding
+  double norm_sq = 0.0;
+  for (const auto& entry : amps->as_array()) {
+    const double a = entry.as_double();
+    if (!std::isfinite(a)) {
+      report.error("QA023", "amplitude entries must be finite", op_loc(index, op));
+      return;
+    }
+    norm_sq += a * a;
+  }
+  if (norm_sq == 0.0)
+    report.error("QA023", "amplitude vector has zero norm", op_loc(index, op));
+  else if (std::abs(norm_sq - 1.0) > 1e-6)
+    report.warning("QA022",
+                   "amplitude vector norm² = " + format2(norm_sq) +
+                       " deviates from 1 (the lowering renormalizes branch ratios)",
+                   op_loc(index, op));
+}
+
+void check_angles(std::size_t index, const OperatorDescriptor& op, Report& report) {
+  const json::Value* angles = find_param(op, "angles");
+  if (!angles) return;
+  for (const auto& entry : angles->as_array()) {
+    if (core::parse_param_ref(entry)) continue;  // symbolic: bound later
+    if (!std::isfinite(entry.as_double())) {
+      report.error("QA023", "angle entries must be finite", op_loc(index, op));
+      return;
+    }
+  }
+}
+
+void unitarity_pass(const PassInput& in, Report& report) {
+  if (!in.bundle) return;
+  for (std::size_t i = 0; i < in.bundle->operators.ops.size(); ++i) {
+    const OperatorDescriptor& op = in.bundle->operators.ops[i];
+    try {
+      if (op.rep_kind == core::rep::kCustomUnitary) check_custom_unitary(i, op, report);
+      else if (op.rep_kind == core::rep::kAmplitudeEncoding) check_amplitudes(i, op, report);
+      else if (op.rep_kind == core::rep::kAngleEncoding) check_angles(i, op, report);
+    } catch (const Error& e) {
+      report.error("QA021", std::string("malformed payload: ") + e.what(), op_loc(i, op));
+    }
+  }
+}
+
+// --- clbit dataflow: measurement writes vs result reads (QA030/31) ----------
+
+void clbit_dataflow_pass(const PassInput& in, Report& report) {
+  if (!in.circuit || in.circuit->num_clbits() == 0) return;
+  const auto& insts = in.circuit->instructions();
+  std::vector<int> last_write(static_cast<std::size_t>(in.circuit->num_clbits()), -1);
+  for (std::size_t idx = 0; idx < insts.size(); ++idx) {
+    const sim::Instruction& inst = insts[idx];
+    if (inst.gate != sim::Gate::Measure) continue;
+    const auto clbit = static_cast<std::size_t>(inst.clbits[0]);
+    if (last_write[clbit] >= 0)
+      report.warning("QA031",
+                     "measurement into c" + std::to_string(clbit) + " is overwritten by #" +
+                         std::to_string(idx) + " before it is read out",
+                     inst_loc(static_cast<std::size_t>(last_write[clbit]),
+                              insts[static_cast<std::size_t>(last_write[clbit])]));
+    last_write[clbit] = static_cast<int>(idx);
+  }
+  for (std::size_t c = 0; c < last_write.size(); ++c)
+    if (last_write[c] < 0) {
+      SourceLoc loc;
+      loc.clbits = {static_cast<int>(c)};
+      report.error("QA030",
+                   "classical bit c" + std::to_string(c) +
+                       " is read out but never written by any measurement",
+                   std::move(loc));
+    }
+}
+
+// --- dead gates under sampled semantics (QA040-42) --------------------------
+
+bool is_diagonal_gate(sim::Gate g) {
+  switch (g) {
+    case sim::Gate::I:
+    case sim::Gate::Z:
+    case sim::Gate::S:
+    case sim::Gate::Sdg:
+    case sim::Gate::T:
+    case sim::Gate::Tdg:
+    case sim::Gate::RZ:
+    case sim::Gate::P:
+    case sim::Gate::CZ:
+    case sim::Gate::CP:
+    case sim::Gate::CRZ:
+    case sim::Gate::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void dead_gate_pass(const PassInput& in, Report& report) {
+  if (!in.circuit) return;
+  const sim::Circuit& circuit = *in.circuit;
+  const auto& insts = circuit.instructions();
+  const auto n = static_cast<std::size_t>(circuit.num_qubits());
+
+  // Sampled semantics need at least one measurement to reason about; a bare
+  // unitary circuit (amplitude inspection through the engine) has no cone.
+  std::vector<int> last_measure(n, -1);
+  for (std::size_t idx = 0; idx < insts.size(); ++idx)
+    if (insts[idx].gate == sim::Gate::Measure)
+      last_measure[static_cast<std::size_t>(insts[idx].qubits[0])] = static_cast<int>(idx);
+  if (std::all_of(last_measure.begin(), last_measure.end(), [](int m) { return m < 0; })) return;
+
+  // Backward liveness walk.  live[q]: some later instruction observes q.
+  // phase_only[q]: everything later on q is diagonal-then-readout (or q is
+  // never observed again), so an extra diagonal factor commutes to a place
+  // where it cannot change any sampled outcome.
+  std::vector<char> live(n, 0), phase_only(n, 0);
+  for (std::size_t i = insts.size(); i-- > 0;) {
+    const sim::Instruction& inst = insts[i];
+    if (inst.gate == sim::Gate::Barrier) continue;
+    if (inst.gate == sim::Gate::Measure) {
+      const auto q = static_cast<std::size_t>(inst.qubits[0]);
+      live[q] = 1;
+      phase_only[q] = 1;
+      continue;
+    }
+    const auto flag_dead = [&](const char* code, const char* what) {
+      report.warning(code, what, inst_loc(i, inst));
+    };
+    if (inst.gate == sim::Gate::Reset) {
+      const auto q = static_cast<std::size_t>(inst.qubits[0]);
+      if (!live[q]) {
+        const bool after_measure =
+            last_measure[q] >= 0 && last_measure[q] < static_cast<int>(i);
+        flag_dead(after_measure ? "QA040" : "QA041",
+                  after_measure ? "reset after the qubit's terminal measurement is dead"
+                                : "reset on a qubit that never reaches a measurement");
+      } else {
+        live[q] = 0;  // the state before a live reset is unobservable
+        phase_only[q] = 0;
+      }
+      continue;
+    }
+    bool any_live = false, all_phase_ok = true;
+    for (const int q : inst.qubits) {
+      any_live = any_live || live[static_cast<std::size_t>(q)];
+      all_phase_ok = all_phase_ok && (phase_only[static_cast<std::size_t>(q)] ||
+                                      !live[static_cast<std::size_t>(q)]);
+    }
+    if (!any_live) {
+      bool after_measure = false;
+      for (const int q : inst.qubits)
+        after_measure = after_measure || (last_measure[static_cast<std::size_t>(q)] >= 0 &&
+                                          last_measure[static_cast<std::size_t>(q)] <
+                                              static_cast<int>(i));
+      flag_dead(after_measure ? "QA040" : "QA041",
+                after_measure
+                    ? "gate after its qubits' terminal measurements never affects any outcome"
+                    : "gate acts on qubits that never reach a measurement");
+      continue;  // a dead gate contributes no liveness
+    }
+    if (is_diagonal_gate(inst.gate) && all_phase_ok) {
+      flag_dead("QA042",
+                "diagonal gate immediately before Z-basis readout has no sampled effect");
+      continue;  // removable: treat as absent for the walk
+    }
+    for (const int q : inst.qubits) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (is_diagonal_gate(inst.gate)) {
+        if (!live[qi]) phase_only[qi] = 1;  // nothing later on q at all
+      } else {
+        phase_only[qi] = 0;
+      }
+      live[qi] = 1;
+    }
+  }
+}
+
+// --- resources: depth / 2q count / entanglement-score notes (QA090-92) ------
+
+void resources_pass(const PassInput& in, Report& report) {
+  if (!in.options || !in.options->resource_notes) return;
+  unsigned width = 0;
+  std::int64_t gates = 0, twoq = 0, depth = 0;
+  if (in.circuit) {
+    width = static_cast<unsigned>(in.circuit->num_qubits());
+    gates = static_cast<std::int64_t>(in.circuit->size());
+    twoq = in.circuit->two_qubit_count();
+    depth = in.circuit->depth();
+  } else if (in.bundle) {
+    width = in.bundle->registers.total_width();
+    const core::CostHint cost = in.bundle->operators.accumulated_cost();
+    gates = cost.oneq.value_or(0) + cost.twoq.value_or(0);
+    twoq = cost.twoq.value_or(0);
+    depth = cost.depth.value_or(0);
+  } else {
+    return;
+  }
+  report.note("QA090", "depth " + std::to_string(depth) + " across " + std::to_string(gates) +
+                           " gates on " + std::to_string(width) + " qubit(s)");
+  report.note("QA091", "two-qubit gates: " + std::to_string(twoq));
+  // The same entanglement proxy sched::estimate prices MPS feasibility with.
+  const double score = static_cast<double>(twoq) / static_cast<double>(std::max(1u, width));
+  report.note("QA092", "entanglement score " + format2(score) +
+                           " (two-qubit gates per qubit; MPS needs bond ~2^score)");
+}
+
+/// True when the bundle's gate-path circuit is derivable through the built-in
+/// lowering contract: a usable single-register result schema and a registered
+/// hook for every non-MEASUREMENT rep_kind.  Anything else is skipped rather
+/// than flagged — custom backends may lower what the built-in registry can't.
+bool lowerable_through_builtin_hooks(const JobBundle& bundle) {
+  const core::ResultSchema* schema = backend::effective_schema(bundle.operators);
+  if (!schema || schema->clbit_order.empty()) return false;
+  const std::string& readout_reg = schema->clbit_order.front().reg;
+  for (const auto& ref : schema->clbit_order)
+    if (ref.reg != readout_reg || !bundle.registers.contains(ref.reg) ||
+        ref.index >= bundle.registers.at(ref.reg).width)
+      return false;
+  const backend::LoweringRegistry& hooks = backend::LoweringRegistry::instance();
+  for (const auto& op : bundle.operators.ops)
+    if (op.rep_kind != core::rep::kMeasurement && !hooks.has(op.rep_kind)) return false;
+  return true;
+}
+
+}  // namespace
+
+PassRegistry::PassRegistry() {
+  register_pass("bounds", bounds_pass);
+  register_pass("admission", admission_pass);
+  register_pass("params", params_pass);
+  register_pass("unitarity", unitarity_pass);
+  register_pass("clbit-dataflow", clbit_dataflow_pass);
+  register_pass("dead-gates", dead_gate_pass);
+  register_pass("resources", resources_pass);
+}
+
+PassRegistry& PassRegistry::instance() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void PassRegistry::register_pass(const std::string& name, PassFn fn) {
+  for (auto& [existing, existing_fn] : passes_) {
+    if (existing == name) {
+      existing_fn = std::move(fn);
+      return;
+    }
+  }
+  passes_.emplace_back(name, std::move(fn));
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& [name, fn] : passes_) out.push_back(name);
+  return out;
+}
+
+void PassRegistry::run(const PassInput& input, Report& report) const {
+  for (const auto& [name, fn] : passes_) fn(input, report);
+}
+
+Report analyze_bundle(const core::JobBundle& bundle, const AnalyzeOptions& options) {
+  Report report;
+  PassInput input;
+  input.bundle = &bundle;
+  input.options = &options;
+
+  // Derive the lowered circuit for the circuit-level passes when this is a
+  // gate-path bundle the built-in hooks can realize.  A lowering failure at
+  // this point is a genuine defect in a hook-covered program (out-of-range
+  // carriers, missing params) — QA005, errors, since the gate backend would
+  // hit the same exception inside a worker.
+  sim::Circuit lowered;
+  const bool anneal_target =
+      options.capability && options.capability->kind == "anneal";
+  if (!is_anneal_formulation(bundle) && !anneal_target &&
+      lowerable_through_builtin_hooks(bundle)) {
+    try {
+      lowered = backend::lower_bundle(bundle);
+      input.circuit = &lowered;
+    } catch (const Error& e) {
+      report.error("QA005", std::string("bundle does not lower: ") + e.what());
+    }
+  }
+
+  PassRegistry::instance().run(input, report);
+  report.sort();
+  return report;
+}
+
+Report analyze_circuit(const sim::Circuit& circuit, const AnalyzeOptions& options) {
+  Report report;
+  PassInput input;
+  input.circuit = &circuit;
+  input.options = &options;
+  PassRegistry::instance().run(input, report);
+  report.sort();
+  return report;
+}
+
+void require_clean(const Report& report, const std::string& subject) {
+  if (report.has_errors()) throw DiagnosticError(subject, report.errors());
+}
+
+}  // namespace quml::analysis

@@ -1,0 +1,100 @@
+#pragma once
+// Semantic analysis passes over circuits and job bundles.
+//
+// The middle layer is the natural place to catch broken programs before they
+// burn queue slots (pre-dispatch validation as a middleware duty): the passes
+// here run over descriptor sequences (`core::JobBundle`) and the lowered
+// circuit IR (`sim::Circuit`) and report Diagnostics instead of throwing deep
+// exceptions.  Surfaces:
+//
+//   * svc::ExecutionService::submit / submit_sweep run the error-severity
+//     passes at admission — defective bundles are rejected synchronously,
+//     before queueing, routing credit, or allocation;
+//   * `quml_validate --lint` prints every finding and exits non-zero on
+//     errors;
+//   * `quml_inspect --verbose` shows the resource-estimate notes.
+//
+// The registry is open like the LoweringRegistry: embedders can register
+// additional passes (or replace a built-in by name) at startup.  Built-in
+// passes (see the README codes table for the QA0xx inventory):
+//
+//   bounds          carrier/edge/length references vs register widths (QA001/2)
+//   admission       width + formulation vs engine capability, lowerability (QA003-5)
+//   params          declared vs referenced vs bound free parameters (QA010-13)
+//   unitarity       user-supplied matrices and state vectors (QA020-23)
+//   clbit-dataflow  measurement writes vs result reads (QA030/31)
+//   dead-gates      sampled-semantics liveness cones (QA040-42)
+//   resources       depth / 2q count / entanglement-score notes (QA090-92)
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/bundle.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/circuit.hpp"
+
+namespace quml::analysis {
+
+/// Knobs the surfaces differ on.
+struct AnalyzeOptions {
+  /// Capability of the engine the bundle is (being) routed to; enables the
+  /// admission pass (width/kind checks).  nullopt = no engine resolved yet.
+  std::optional<sched::BackendCapability> capability;
+  /// Sweep binding rows to check against the declared parameter layout
+  /// (QA013).  Not owned; may be nullptr.
+  const std::vector<std::vector<double>>* bindings = nullptr;
+  /// Direct submission: free parameter references are an error (QA012).
+  /// submit_sweep and lint leave this false.
+  bool require_bound = false;
+  /// Emit the resource-estimate notes (QA090-92).  Admission turns this off —
+  /// notes can't reject, so the hot path skips computing them.
+  bool resource_notes = true;
+};
+
+/// What a pass sees.  `bundle` is set for bundle analysis; `circuit` is set
+/// when the bundle lowers cleanly (and always for analyze_circuit).  Passes
+/// must tolerate either being nullptr.
+struct PassInput {
+  const core::JobBundle* bundle = nullptr;
+  const sim::Circuit* circuit = nullptr;
+  const AnalyzeOptions* options = nullptr;
+};
+
+using PassFn = std::function<void(const PassInput&, Report&)>;
+
+/// Open registry of analysis passes, preloaded with the built-ins.
+/// Registration is expected at startup (like the LoweringRegistry);
+/// registering under an existing name replaces that pass.
+class PassRegistry {
+ public:
+  static PassRegistry& instance();
+
+  void register_pass(const std::string& name, PassFn fn);
+  std::vector<std::string> names() const;
+  /// Runs every pass in registration order (the Report is canonically
+  /// re-sorted by the analyze_* entry points afterwards).
+  void run(const PassInput& input, Report& report) const;
+
+ private:
+  PassRegistry();
+  std::vector<std::pair<std::string, PassFn>> passes_;
+};
+
+/// Analyzes a bundle: runs every pass over the descriptors and — when the
+/// bundle targets the gate path and lowers cleanly — over the lowered
+/// circuit too.  Never throws for program defects (they become diagnostics);
+/// the returned report is canonically sorted.
+Report analyze_bundle(const core::JobBundle& bundle, const AnalyzeOptions& options = {});
+
+/// Analyzes a bare circuit (no descriptor-level passes).
+Report analyze_circuit(const sim::Circuit& circuit, const AnalyzeOptions& options = {});
+
+/// Throws DiagnosticError carrying the error-severity findings when the
+/// report has any; no-op otherwise.  `subject` prefixes the what() text.
+void require_clean(const Report& report, const std::string& subject);
+
+}  // namespace quml::analysis

@@ -359,6 +359,18 @@ void lower_qpe(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c)
   append_qft(c, counting, 0, true, true);  // inverse QFT
 }
 
+void lower_custom_unitary(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
+  const sim::Mat2 u = parse_matrix_2x2(require_param(op, "matrix"));
+  const sim::Mat2 gram = u.dagger() * u;
+  if (!gram.approx_equal(sim::Mat2::identity(), 1e-8))
+    throw LoweringError("CUSTOM_UNITARY matrix is not unitary");
+  const int q = r.qubit(op.domain_qdt, static_cast<unsigned>(op.param_int("carrier", 0)));
+  // ZYZ resynthesis: U = e^{iγ} RZ(φ) RY(θ) RZ(λ) = e^{iγ} U3(θ, φ, λ); the
+  // global phase is unobservable for an uncontrolled application.
+  const sim::Euler e = sim::euler_zyz(u);
+  c.u3(e.theta, e.phi, e.lambda, q);
+}
+
 void lower_phase_gadget(const OperatorDescriptor& op, const QubitResolver& r, Circuit& c) {
   const sim::Param angle = resolve_angle(require_param(op, "angle"), r);
   const std::vector<int> qs = r.qubits(op.domain_qdt);
@@ -399,6 +411,7 @@ LoweringRegistry::LoweringRegistry() {
   register_lowering(core::rep::kSwapTest, lower_swap_test);
   register_lowering(core::rep::kQpeTemplate, lower_qpe);
   register_lowering(core::rep::kPhaseGadget, lower_phase_gadget);
+  register_lowering(core::rep::kCustomUnitary, lower_custom_unitary);
 }
 
 LoweringRegistry& LoweringRegistry::instance() {
@@ -431,6 +444,19 @@ void LoweringRegistry::lower(const core::OperatorDescriptor& op, const QubitReso
     }
   }
   throw LoweringError("no realization hook for rep_kind '" + op.rep_kind + "'");
+}
+
+sim::Mat2 parse_matrix_2x2(const json::Value& value) {
+  if (!value.is_array() || value.size() != 4)
+    throw LoweringError("matrix must be an array of four [re, im] pairs (row-major)");
+  sim::Mat2 u;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const json::Value& entry = value[i];
+    if (!entry.is_array() || entry.size() != 2)
+      throw LoweringError("matrix entry " + std::to_string(i) + " must be a [re, im] pair");
+    u.m[i / 2][i % 2] = sim::c64(entry[0].as_double(), entry[1].as_double());
+  }
+  return u;
 }
 
 const core::ResultSchema* effective_schema(const core::OperatorSequence& ops) {

@@ -70,6 +70,12 @@ class LoweringRegistry {
   std::vector<std::pair<std::string, LoweringFn>> entries_;
 };
 
+/// Parses a CUSTOM_UNITARY `matrix` payload — four [re, im] pairs, row-major
+/// [u00, u01, u10, u11] — into a 2x2 complex matrix.  Throws LoweringError on
+/// any shape/type mismatch; unitarity is NOT checked here (the analysis layer
+/// lints it as QA020, the realization hook enforces it at lowering time).
+sim::Mat2 parse_matrix_2x2(const json::Value& value);
+
 /// The effective result schema of a sequence: the one on a trailing
 /// MEASUREMENT, else the last descriptor carrying one; nullptr when absent.
 const core::ResultSchema* effective_schema(const core::OperatorSequence& ops);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/diagnostic.hpp"
 #include "core/params.hpp"
 #include "schema/descriptor_schemas.hpp"
 #include "util/errors.hpp"
@@ -16,17 +17,31 @@ JobBundle JobBundle::package(RegisterSet registers, OperatorSequence operators,
   SequenceRules rules;
   if (context) rules.allow_mid_circuit = context->allows_mid_circuit_measurement();
   operators.validate(registers, rules);
+  // Parameter-block findings carry instruction context like every other
+  // rejection: undeclared references name the descriptor they sit in (QA010),
+  // declaration defects are artifact-level (QA056).
+  analysis::Report report;
   for (std::size_t i = 0; i < parameters.size(); ++i) {
-    if (parameters[i].empty()) throw ValidationError("parameter names must be non-empty");
+    if (parameters[i].empty()) report.error("QA056", "parameter names must be non-empty");
     for (std::size_t j = i + 1; j < parameters.size(); ++j)
       if (parameters[i] == parameters[j])
-        throw ValidationError("duplicate parameter '" + parameters[i] + "'");
+        report.error("QA056", "duplicate parameter '" + parameters[i] + "'");
   }
-  std::vector<std::string> referenced;
-  for (const OperatorDescriptor& op : operators.ops) collect_param_refs(op.params, referenced);
-  for (const std::string& name : referenced)
-    if (std::find(parameters.begin(), parameters.end(), name) == parameters.end())
-      throw ValidationError("descriptor references undeclared parameter '" + name + "'");
+  for (std::size_t i = 0; i < operators.ops.size(); ++i) {
+    const OperatorDescriptor& op = operators.ops[i];
+    std::vector<std::string> referenced;
+    collect_param_refs(op.params, referenced);
+    for (const std::string& name : referenced)
+      if (std::find(parameters.begin(), parameters.end(), name) == parameters.end()) {
+        analysis::SourceLoc loc;
+        loc.instruction = static_cast<int>(i);
+        loc.op = op.rep_kind;
+        report.error("QA010", "references undeclared parameter '" + name + "'", std::move(loc));
+      }
+  }
+  if (report.has_errors())
+    throw analysis::DiagnosticError("bundle '" + job_id + "' failed validation",
+                                    report.errors());
   JobBundle bundle;
   bundle.job_id = std::move(job_id);
   bundle.registers = std::move(registers);

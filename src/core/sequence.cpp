@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/diagnostic.hpp"
 #include "util/errors.hpp"
 
 namespace quml::core {
@@ -54,41 +55,83 @@ bool is_width_changing(const std::string& rep_kind) {
 
 }  // namespace
 
+namespace {
+
+/// Location of descriptor `i` in a sequence, for validation diagnostics:
+/// instruction index + op name (rep_kind, falling back to the display name).
+analysis::SourceLoc seq_loc(std::size_t i, const OperatorDescriptor& op) {
+  analysis::SourceLoc loc;
+  loc.instruction = static_cast<int>(i);
+  loc.op = op.rep_kind.empty() ? op.name : op.rep_kind;
+  return loc;
+}
+
+}  // namespace
+
 void OperatorSequence::validate(const RegisterSet& regs, const SequenceRules& rules) const {
+  // Collect every finding before rejecting: a sequence with three dangling
+  // references reports all three, each naming its instruction index and op
+  // (QA050-55; the thrown DiagnosticError is-a ValidationError).
+  analysis::Report report;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const OperatorDescriptor& op = ops[i];
-    if (op.rep_kind.empty())
-      throw ValidationError("operator " + std::to_string(i) + " has empty rep_kind");
+    if (op.rep_kind.empty()) {
+      report.error("QA050", "operator has empty rep_kind", seq_loc(i, op));
+      continue;
+    }
+    if (!regs.contains(op.domain_qdt)) {
+      report.error("QA051", "unknown QDT reference '" + op.domain_qdt + "'", seq_loc(i, op));
+      continue;
+    }
     const QuantumDataType& domain = regs.at(op.domain_qdt);
     if (!op.codomain_qdt.empty()) {
-      const QuantumDataType& codomain = regs.at(op.codomain_qdt);
-      if (!is_width_changing(op.rep_kind) && codomain.width != domain.width)
-        throw ValidationError("operator '" + op.name + "' maps " + op.domain_qdt + " (width " +
-                              std::to_string(domain.width) + ") to " + op.codomain_qdt +
-                              " (width " + std::to_string(codomain.width) + ")");
+      if (!regs.contains(op.codomain_qdt)) {
+        report.error("QA051", "unknown QDT reference '" + op.codomain_qdt + "'", seq_loc(i, op));
+      } else {
+        const QuantumDataType& codomain = regs.at(op.codomain_qdt);
+        if (!is_width_changing(op.rep_kind) && codomain.width != domain.width)
+          report.error("QA052",
+                       "maps " + op.domain_qdt + " (width " + std::to_string(domain.width) +
+                           ") to " + op.codomain_qdt + " (width " +
+                           std::to_string(codomain.width) + ")",
+                       seq_loc(i, op));
+      }
     }
     if (!op.params.is_object() && !op.params.is_null())
-      throw ValidationError("operator '" + op.name + "' params must be an object");
+      report.error("QA053", "params must be an object", seq_loc(i, op));
 
     // Non-interference: no hidden measurement or reset inside the program.
     if (is_terminal_kind(op.rep_kind) && !rules.allow_mid_circuit && i + 1 != ops.size()) {
       // A trailing block of terminal ops (measure several registers) is fine;
       // anything followed by a non-terminal op is hidden interference.
       for (std::size_t j = i + 1; j < ops.size(); ++j)
-        if (!is_terminal_kind(ops[j].rep_kind))
-          throw ValidationError("hidden " + op.rep_kind + " at position " + std::to_string(i) +
-                                ": mid-circuit measurement/reset requires explicit context opt-in");
+        if (!is_terminal_kind(ops[j].rep_kind)) {
+          report.error("QA054",
+                       "hidden " + op.rep_kind +
+                           ": mid-circuit measurement/reset requires explicit context opt-in",
+                       seq_loc(i, op));
+          break;
+        }
     }
 
     if (op.result_schema) {
-      for (const ClbitRef& ref : op.result_schema->clbit_order) {
-        const QuantumDataType& reg = regs.at(ref.reg);
-        if (ref.index >= reg.width)
-          throw ValidationError("result_schema reference " + ref.str() + " exceeds register width " +
-                                std::to_string(reg.width));
+      for (std::size_t c = 0; c < op.result_schema->clbit_order.size(); ++c) {
+        const ClbitRef& ref = op.result_schema->clbit_order[c];
+        analysis::SourceLoc loc = seq_loc(i, op);
+        loc.clbits = {static_cast<int>(c)};
+        if (!regs.contains(ref.reg)) {
+          report.error("QA051", "unknown QDT reference '" + ref.reg + "'", std::move(loc));
+        } else if (ref.index >= regs.at(ref.reg).width) {
+          report.error("QA055",
+                       "result_schema reference " + ref.str() + " exceeds register width " +
+                           std::to_string(regs.at(ref.reg).width),
+                       std::move(loc));
+        }
       }
     }
   }
+  if (report.has_errors())
+    throw analysis::DiagnosticError("operator sequence validation failed", report.errors());
 }
 
 CostHint OperatorSequence::accumulated_cost() const {
@@ -120,6 +163,26 @@ OperatorDescriptor invert_operator(const OperatorDescriptor& op) {
   if (kind == rep::kAdderTemplate || kind == rep::kModularAdderTemplate ||
       kind == rep::kRegisterAdderTemplate) {
     inv.params.set("subtract", json::Value(!op.param_bool("subtract", false)));
+    return inv;
+  }
+  if (kind == rep::kCustomUnitary) {
+    // Conjugate transpose of the row-major [u00, u01, u10, u11] payload:
+    // swap the off-diagonal entries and negate every imaginary part.
+    const json::Value* m = op.params.is_object() ? op.params.find("matrix") : nullptr;
+    if (!m || !m->is_array() || m->size() != 4)
+      throw ValidationError("CUSTOM_UNITARY inverse needs a four-entry 'matrix'");
+    const auto conj_entry = [&](std::size_t i) {
+      const json::Value& e = (*m)[i];
+      if (!e.is_array() || e.size() != 2)
+        throw ValidationError("CUSTOM_UNITARY matrix entries must be [re, im] pairs");
+      json::Array pair;
+      pair.emplace_back(e[0].as_double());
+      pair.emplace_back(-e[1].as_double());
+      return json::Value(std::move(pair));
+    };
+    json::Array dagger;
+    for (const std::size_t i : {0u, 2u, 1u, 3u}) dagger.push_back(conj_entry(i));
+    inv.params.set("matrix", json::Value(std::move(dagger)));
     return inv;
   }
   if (kind == rep::kGhzPrep || kind == rep::kWPrep)

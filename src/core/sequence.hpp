@@ -40,6 +40,10 @@ inline constexpr const char* kSwapTest = "SWAP_TEST";
 inline constexpr const char* kQpeTemplate = "QPE_TEMPLATE";
 inline constexpr const char* kPhaseGadget = "PHASE_GADGET";
 inline constexpr const char* kPauliRotation = "PAULI_ROTATION";
+/// User-supplied 2x2 unitary on one carrier: params carry `matrix` (four
+/// [re, im] pairs, row-major) and an optional `carrier` index.  Lowered via
+/// ZYZ resynthesis; the analysis layer lints the matrix for unitarity (QA020).
+inline constexpr const char* kCustomUnitary = "CUSTOM_UNITARY";
 }  // namespace rep
 
 /// Registers addressed by a program, keyed by QDT id.

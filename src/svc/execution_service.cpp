@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/passes.hpp"
 #include "core/params.hpp"
 #include "core/registry.hpp"
 #include "util/errors.hpp"
@@ -313,7 +314,8 @@ ExecutionService& ExecutionService::shared() {
   return service;
 }
 
-std::shared_ptr<JobRecord> ExecutionService::route(core::JobBundle bundle) {
+std::shared_ptr<JobRecord> ExecutionService::route(
+    core::JobBundle bundle, const std::vector<std::vector<double>>* sweep_bindings) {
   auto rec = std::make_shared<JobRecord>();
   const std::string requested =
       bundle.context ? bundle.context->exec.engine : std::string();
@@ -352,6 +354,19 @@ std::shared_ptr<JobRecord> ExecutionService::route(core::JobBundle bundle) {
       }
     throw ValidationError(message);
   }
+  // Semantic admission: the error-severity analysis passes run synchronously
+  // on the submitting thread, so a defective bundle (out-of-range carriers,
+  // unbound sweep symbols, non-unitary matrices, dead clbits) is rejected
+  // with instruction-level QA diagnostics before it can occupy a queue slot.
+  analysis::AnalyzeOptions lint_options;
+  lint_options.capability = cap;
+  lint_options.bindings = sweep_bindings;
+  lint_options.require_bound = sweep_bindings == nullptr;
+  lint_options.resource_notes = false;  // notes can't reject; skip on the hot path
+  const analysis::Report lint = analysis::analyze_bundle(bundle, lint_options);
+  if (lint.has_errors())
+    throw analysis::DiagnosticError("bundle '" + bundle.job_id + "' rejected at admission",
+                                    lint.errors());
   rec->estimate = sched::estimate(bundle, cap);
   rec->backlog_contribution_us = rec->estimate.feasible ? rec->estimate.duration_us : 0.0;
   rec->bundle = std::move(bundle);
@@ -545,9 +560,10 @@ SweepHandle ExecutionService::submit_sweep(core::JobBundle bundle,
                          " values but the bundle declares " + std::to_string(width) +
                          " parameters");
 
-  // Route once (resolves "auto" against the live backlog and validates the
-  // engine), then ask the backend for a bind-once/run-many realization.
-  auto probe = route(std::move(bundle));
+  // Route once (resolves "auto" against the live backlog, validates the
+  // engine, and lint-checks the bundle against the binding rows), then ask
+  // the backend for a bind-once/run-many realization.
+  auto probe = route(std::move(bundle), &bindings);
   auto inputs = std::make_shared<SweepInputs>();
   inputs->bundle = std::move(probe->bundle);
   inputs->base_seed = inputs->bundle.exec_policy().seed;

@@ -212,7 +212,15 @@ class ExecutionService {
  private:
   struct BackendQueue;
 
-  std::shared_ptr<detail::JobRecord> route(core::JobBundle bundle) QUML_EXCLUDES(mutex_);
+  /// Resolves the engine (incl. "auto"), runs the admission-time semantic
+  /// analysis (error-severity QA passes — see analysis/passes.hpp), and
+  /// builds the routed record.  Defective bundles throw a
+  /// analysis::DiagnosticError (a ValidationError) *synchronously*, before
+  /// any queueing or allocation.  `sweep_bindings` switches the parameter
+  /// pass from require-bound mode (direct submit) to binding-row checks.
+  std::shared_ptr<detail::JobRecord> route(
+      core::JobBundle bundle,
+      const std::vector<std::vector<double>>* sweep_bindings = nullptr) QUML_EXCLUDES(mutex_);
   void enqueue(const std::shared_ptr<detail::JobRecord>& rec) QUML_EXCLUDES(mutex_);
   void finish(const std::shared_ptr<detail::JobRecord>& rec, BackendQueue& queue)
       QUML_EXCLUDES(mutex_);

@@ -1,0 +1,91 @@
+#pragma once
+// Shared randomized-circuit generator for the property and analysis suites.
+// Extracted from test_properties.cpp so the analyzer's 32-seed clean-program
+// suite fuzzes with the *same* vocabulary the differential properties run —
+// a circuit the execution stack accepts must lint without error findings.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace quml::sim::testgen {
+
+struct GenOptions {
+  int num_params = 0;      ///< > 0: rotations may take symbolic angles
+  bool barriers = true;    ///< sprinkle fusion fences
+  bool measures = false;   ///< append a trailing measure-all block
+};
+
+/// Random circuit over the full unitary vocabulary; with num_params > 0 a
+/// third of the parameterized rotations carry a random linear expression
+/// offset + scale * p[k] instead of a constant.
+inline Circuit random_circuit(std::uint64_t seed, int n, int gates,
+                              const GenOptions& opt = {}) {
+  Rng rng(seed);
+  Circuit c(n, opt.measures ? n : 0);
+  const auto wire = [&] { return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))); };
+  const auto other = [&](int q) {
+    return (q + 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)))) % n;
+  };
+  const auto angle = [&]() -> Param {
+    const double value = rng.next_double() * 6.0 - 3.0;
+    if (opt.num_params > 0 && rng.next_below(3) == 0) {
+      const int index = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_params)));
+      const double scale = rng.next_double() * 4.0 - 2.0;
+      return Param::symbol(index, scale, value);
+    }
+    return Param::constant(value);
+  };
+  for (int i = 0; i < gates; ++i) {
+    const int q = wire();
+    const int r = other(q);
+    switch (rng.next_below(18)) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.s(q); break;
+      case 3: c.tdg(q); break;
+      case 4: c.sx(q); break;
+      case 5: c.rz(angle(), q); break;
+      case 6: c.rx(angle(), q); break;
+      case 7: c.ry(angle(), q); break;
+      case 8: c.p(angle(), q); break;
+      case 9: c.u3(angle(), angle(), angle(), q); break;
+      case 10: c.cx(q, r); break;
+      case 11: c.cz(q, r); break;
+      case 12: c.cp(angle(), q, r); break;
+      case 13: c.rzz(angle(), q, r); break;
+      case 14: c.swap(q, r); break;
+      case 15: c.crz(angle(), q, r); break;
+      case 16: {
+        if (opt.barriers) {
+          c.barrier();
+        } else {
+          c.sdg(q);
+        }
+        break;
+      }
+      case 17: {
+        const int s = (std::max(q, r) + 1) % n;
+        if (s != q && s != r)
+          c.ccx(q, r, s);
+        else
+          c.cy(q, r);
+        break;
+      }
+    }
+  }
+  if (opt.measures) c.measure_all();
+  return c;
+}
+
+inline std::vector<double> random_binding(std::uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (double& v : values) v = rng.next_double() * 6.0 - 3.0;
+  return values;
+}
+
+}  // namespace quml::sim::testgen

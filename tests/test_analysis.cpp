@@ -1,0 +1,628 @@
+// Semantic-analyzer suite: per-pass positive/negative cases for every QA
+// family, byte-stable canonical ordering, the open PassRegistry, the
+// ExecutionService admission wiring (defective bundles rejected
+// *synchronously*, with codes and instruction indices, before any queueing),
+// and a 32-seed clean-program property suite over the shared random-circuit
+// generator — anything the execution stack accepts must lint without errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algolib/graph.hpp"
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "algolib/stateprep.hpp"
+#include "analysis/diagnostic.hpp"
+#include "analysis/passes.hpp"
+#include "backend/register_backends.hpp"
+#include "sim/circuit.hpp"
+#include "svc/execution_service.hpp"
+#include "random_circuit.hpp"
+#include "util/errors.hpp"
+
+namespace quml {
+namespace {
+
+using algolib::Graph;
+using analysis::AnalyzeOptions;
+using analysis::Diagnostic;
+using analysis::DiagnosticError;
+using analysis::Report;
+using analysis::Severity;
+using analysis::SourceLoc;
+
+// --- fixtures ---------------------------------------------------------------
+
+core::JobBundle qft_bundle(unsigned width, const std::string& engine = "") {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  std::optional<core::Context> ctx;
+  if (!engine.empty()) {
+    ctx.emplace();
+    ctx->exec.engine = engine;
+    ctx->exec.samples = 64;
+  }
+  return core::JobBundle::package(std::move(regs), std::move(seq), std::move(ctx),
+                                  "qft" + std::to_string(width));
+}
+
+/// QAOA-shaped gate bundle whose cost-phase edge list contains (0, bad) —
+/// packaging accepts it (edges are analysis territory), the analyzer must not.
+core::JobBundle bad_edge_bundle(int bad, std::vector<std::string> parameters = {}) {
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+  core::OperatorDescriptor cost = algolib::cost_phase_descriptor(reg, Graph::cycle(4), 0.5);
+  json::Array edge;
+  edge.emplace_back(0);
+  edge.emplace_back(bad);
+  edge.emplace_back(1.0);
+  json::Array edges;
+  edges.emplace_back(std::move(edge));
+  cost.params.set("edges", json::Value(std::move(edges)));
+  seq.ops.push_back(std::move(cost));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 64;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "bad-edge",
+                                  std::move(parameters));
+}
+
+core::OperatorDescriptor custom_unitary_descriptor(const core::QuantumDataType& reg,
+                                                   double u00, double u11, int carrier = 0) {
+  core::OperatorDescriptor op;
+  op.name = "CU";
+  op.rep_kind = core::rep::kCustomUnitary;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array matrix;
+  const auto entry = [&](double re, double im) {
+    json::Array pair;
+    pair.emplace_back(re);
+    pair.emplace_back(im);
+    matrix.emplace_back(std::move(pair));
+  };
+  entry(u00, 0.0);
+  entry(0.0, 0.0);
+  entry(0.0, 0.0);
+  entry(u11, 0.0);
+  op.params.set("matrix", json::Value(std::move(matrix)));
+  op.params.set("carrier", json::Value(carrier));
+  return op;
+}
+
+core::JobBundle custom_unitary_bundle(double u00, double u11) {
+  const auto reg = algolib::make_phase_register("p", 2);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(custom_unitary_descriptor(reg, u00, u11));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 64;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "custom-u");
+}
+
+std::vector<std::string> codes_of(const Report& report, Severity severity) {
+  std::vector<std::string> codes;
+  for (const auto& d : report.diagnostics())
+    if (d.severity == severity) codes.push_back(d.code);
+  return codes;
+}
+
+bool has_code(const Report& report, const std::string& code) {
+  return std::any_of(report.diagnostics().begin(), report.diagnostics().end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& find_code(const Report& report, const std::string& code) {
+  for (const auto& d : report.diagnostics())
+    if (d.code == code) return d;
+  throw std::runtime_error("no diagnostic with code " + code);
+}
+
+// --- diagnostic rendering and ordering --------------------------------------
+
+TEST(Diagnostic, RendersCodeSeverityAndLocation) {
+  Diagnostic d;
+  d.code = "QA001";
+  d.severity = Severity::Error;
+  d.message = "edge out of range";
+  d.loc.instruction = 3;
+  d.loc.op = "rzz";
+  d.loc.qubits = {0, 1};
+  d.loc.clbits = {2};
+  EXPECT_EQ(d.str(), "error[QA001] #3 rzz q0,q1 -> c2: edge out of range");
+
+  Diagnostic artifact;
+  artifact.code = "QA090";
+  artifact.severity = Severity::Note;
+  artifact.message = "depth 7";
+  EXPECT_EQ(artifact.str(), "note[QA090] bundle: depth 7");
+}
+
+TEST(Diagnostic, CanonicalOrderIsSeverityThenInstructionThenCode) {
+  Report report;
+  report.note("QA090", "n");
+  SourceLoc at5;
+  at5.instruction = 5;
+  report.error("QA010", "late", at5);
+  report.warning("QA011", "w");
+  report.error("QA005", "artifact-level");
+  SourceLoc at2;
+  at2.instruction = 2;
+  report.error("QA020", "early", at2);
+  report.sort();
+  std::vector<std::string> codes;
+  for (const auto& d : report.diagnostics()) codes.push_back(d.code);
+  EXPECT_EQ(codes, (std::vector<std::string>{"QA005", "QA020", "QA010", "QA011", "QA090"}));
+  EXPECT_EQ(report.count(Severity::Error), 3u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.errors().size(), 3u);
+}
+
+TEST(Diagnostic, ReportRendersByteStable) {
+  // The full analyzer output for a fixed defective bundle, byte for byte:
+  // admission rejections, lint output, and goldens must never drift apart.
+  AnalyzeOptions options;
+  options.resource_notes = false;
+  const core::JobBundle bundle = bad_edge_bundle(9, {"theta"});
+  const Report report = analysis::analyze_bundle(bundle, options);
+  EXPECT_EQ(report.str(),
+            "error[QA005] bundle: bundle does not lower: "
+            "ISING_COST_PHASE edge endpoint out of range\n"
+            "error[QA001] #1 ISING_COST_PHASE q0,q9: "
+            "edges endpoint (0, 9) out of range for width 4\n"
+            "warning[QA011] bundle: declared parameter 'theta' is never referenced");
+  // Stability: a second run renders identically.
+  EXPECT_EQ(report.str(), analysis::analyze_bundle(bundle, options).str());
+}
+
+TEST(Diagnostic, DiagnosticErrorCarriesFindings) {
+  Report report;
+  SourceLoc loc;
+  loc.instruction = 1;
+  loc.op = "CUSTOM_UNITARY";
+  report.error("QA020", "matrix is not unitary", loc);
+  try {
+    analysis::require_clean(report, "bundle 'x' rejected");
+    FAIL() << "require_clean must throw on errors";
+  } catch (const DiagnosticError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, "QA020");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bundle 'x' rejected"), std::string::npos) << what;
+    EXPECT_NE(what.find("error[QA020] #1 CUSTOM_UNITARY"), std::string::npos) << what;
+  }
+  analysis::require_clean(Report{}, "clean");  // no-op
+}
+
+// --- bounds pass (QA001/2) ---------------------------------------------------
+
+TEST(BoundsPass, FlagsOutOfRangeEdgeEndpointWithInstructionIndex) {
+  const Report report = analysis::analyze_bundle(bad_edge_bundle(9));
+  ASSERT_TRUE(has_code(report, "QA001"));
+  const Diagnostic& d = find_code(report, "QA001");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.loc.instruction, 1);
+  EXPECT_EQ(d.loc.op, "ISING_COST_PHASE");
+  EXPECT_EQ(d.loc.qubits, (std::vector<int>{0, 9}));
+}
+
+TEST(BoundsPass, CleanBundleHasNoErrors) {
+  const Report report = analysis::analyze_bundle(qft_bundle(5));
+  EXPECT_FALSE(report.has_errors()) << report.str();
+  EXPECT_TRUE(has_code(report, "QA090"));  // notes still present
+}
+
+// --- admission pass (QA003/4) ------------------------------------------------
+
+TEST(AdmissionPass, FlagsWidthBeyondEngineCapacity) {
+  sched::BackendCapability cap;
+  cap.name = "gate.tiny";
+  cap.kind = "gate";
+  cap.num_qubits = 3;
+  AnalyzeOptions options;
+  options.capability = cap;
+  const Report report = analysis::analyze_bundle(qft_bundle(5), options);
+  ASSERT_TRUE(has_code(report, "QA003"));
+  EXPECT_NE(find_code(report, "QA003").message.find("caps at 3"), std::string::npos);
+}
+
+TEST(AdmissionPass, FlagsGateJobOnAnnealEngineAndViceVersa) {
+  sched::BackendCapability anneal_cap;
+  anneal_cap.name = "anneal.sa";
+  anneal_cap.kind = "anneal";
+  anneal_cap.num_qubits = 64;
+  AnalyzeOptions options;
+  options.capability = anneal_cap;
+  EXPECT_TRUE(has_code(analysis::analyze_bundle(qft_bundle(4), options), "QA004"));
+
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::maxcut_ising_descriptor(reg, Graph::cycle(4)));
+  const core::JobBundle ising =
+      core::JobBundle::package(std::move(regs), std::move(seq), std::nullopt, "ising");
+  sched::BackendCapability gate_cap;
+  gate_cap.name = "gate.sv";
+  gate_cap.kind = "gate";
+  gate_cap.num_qubits = 26;
+  options.capability = gate_cap;
+  EXPECT_TRUE(has_code(analysis::analyze_bundle(ising, options), "QA004"));
+  options.capability->kind = "anneal";
+  EXPECT_FALSE(analysis::analyze_bundle(ising, options).has_errors());
+}
+
+// --- params pass (QA010-13) --------------------------------------------------
+
+TEST(ParamsPass, PackageRejectsUndeclaredReferenceWithQA010) {
+  // Satellite wiring: core::package() itself now reports through diagnostics.
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor cost = algolib::cost_phase_descriptor(reg, Graph::cycle(4), 0.0);
+  cost.params.set("gamma", json::Value("$gamma"));
+  seq.ops.push_back(std::move(cost));
+  try {
+    core::JobBundle::package(std::move(regs), std::move(seq), std::nullopt, "undeclared");
+    FAIL() << "package must reject an undeclared $gamma";
+  } catch (const DiagnosticError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, "QA010");
+    EXPECT_EQ(e.diagnostics()[0].loc.instruction, 0);
+    EXPECT_EQ(e.diagnostics()[0].loc.op, "ISING_COST_PHASE");
+  }
+}
+
+TEST(ParamsPass, WarnsOnDeclaredNeverReferenced) {
+  const Report report = analysis::analyze_bundle(bad_edge_bundle(1, {"theta"}));
+  ASSERT_TRUE(has_code(report, "QA011"));
+  EXPECT_EQ(find_code(report, "QA011").severity, Severity::Warning);
+}
+
+TEST(ParamsPass, RequireBoundFlagsFreeSymbols) {
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor cost = algolib::cost_phase_descriptor(reg, Graph::cycle(4), 0.0);
+  cost.params.set("gamma", json::Value("$gamma"));
+  seq.ops.push_back(std::move(cost));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const core::JobBundle bundle = core::JobBundle::package(
+      std::move(regs), std::move(seq), std::nullopt, "sweepable", {"gamma"});
+
+  AnalyzeOptions direct;
+  direct.require_bound = true;
+  const Report rejected = analysis::analyze_bundle(bundle, direct);
+  ASSERT_TRUE(has_code(rejected, "QA012"));
+  EXPECT_NE(find_code(rejected, "QA012").message.find("gamma"), std::string::npos);
+
+  AnalyzeOptions sweep;  // lint / submit_sweep mode: free symbols are fine
+  EXPECT_FALSE(analysis::analyze_bundle(bundle, sweep).has_errors());
+
+  const std::vector<std::vector<double>> bad_rows = {{0.1}, {0.2, 0.3}};
+  sweep.bindings = &bad_rows;
+  const Report arity = analysis::analyze_bundle(bundle, sweep);
+  ASSERT_TRUE(has_code(arity, "QA013"));
+  EXPECT_NE(find_code(arity, "QA013").message.find("row 1"), std::string::npos);
+}
+
+// --- unitarity pass (QA020-23) -----------------------------------------------
+
+TEST(UnitarityPass, FlagsNonUnitaryCustomMatrix) {
+  const Report report = analysis::analyze_bundle(custom_unitary_bundle(1.0, 2.0));
+  ASSERT_TRUE(has_code(report, "QA020"));
+  const Diagnostic& d = find_code(report, "QA020");
+  EXPECT_EQ(d.loc.instruction, 0);
+  EXPECT_EQ(d.loc.op, "CUSTOM_UNITARY");
+  EXPECT_FALSE(analysis::analyze_bundle(custom_unitary_bundle(1.0, 1.0)).has_errors());
+}
+
+TEST(UnitarityPass, FlagsMalformedMatrixShape) {
+  const auto reg = algolib::make_phase_register("p", 1);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor op;
+  op.name = "CU";
+  op.rep_kind = core::rep::kCustomUnitary;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array matrix;  // two entries instead of four
+  json::Array pair;
+  pair.emplace_back(1.0);
+  pair.emplace_back(0.0);
+  matrix.emplace_back(std::move(pair));
+  op.params.set("matrix", json::Value(std::move(matrix)));
+  seq.ops.push_back(std::move(op));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const core::JobBundle bundle =
+      core::JobBundle::package(std::move(regs), std::move(seq), std::nullopt, "shape");
+  EXPECT_TRUE(has_code(analysis::analyze_bundle(bundle), "QA021"));
+}
+
+TEST(UnitarityPass, WarnsOnUnnormalizedAmplitudes) {
+  const auto reg = algolib::make_phase_register("p", 1);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor op;
+  op.name = "AMP";
+  op.rep_kind = core::rep::kAmplitudeEncoding;
+  op.domain_qdt = reg.id;
+  op.codomain_qdt = reg.id;
+  json::Array amps;
+  amps.emplace_back(1.0);
+  amps.emplace_back(1.0);  // norm² = 2
+  op.params.set("amplitudes", json::Value(std::move(amps)));
+  seq.ops.push_back(std::move(op));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  const core::JobBundle bundle =
+      core::JobBundle::package(std::move(regs), std::move(seq), std::nullopt, "amp");
+  const Report report = analysis::analyze_bundle(bundle);
+  ASSERT_TRUE(has_code(report, "QA022"));
+  EXPECT_EQ(find_code(report, "QA022").severity, Severity::Warning);
+  EXPECT_FALSE(report.has_errors()) << report.str();
+}
+
+// --- clbit dataflow (QA030/31) ----------------------------------------------
+
+TEST(ClbitDataflow, FlagsUnwrittenAndOverwrittenClbits) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.measure(0, 0);
+  c.x(0);
+  c.measure(0, 0);  // overwrites c0; c1 is never written
+  const Report report = analysis::analyze_circuit(c);
+  ASSERT_TRUE(has_code(report, "QA030"));
+  EXPECT_EQ(find_code(report, "QA030").loc.clbits, (std::vector<int>{1}));
+  ASSERT_TRUE(has_code(report, "QA031"));
+  EXPECT_EQ(find_code(report, "QA031").loc.instruction, 1);  // the shadowed measure
+}
+
+TEST(ClbitDataflow, CleanMeasureAllIsQuiet) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const Report report = analysis::analyze_circuit(c);
+  EXPECT_FALSE(has_code(report, "QA030"));
+  EXPECT_FALSE(has_code(report, "QA031"));
+}
+
+// --- dead gates under sampled semantics (QA040-42) ---------------------------
+
+TEST(DeadGates, FlagsGateAfterTerminalMeasurement) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  c.x(0);  // dead: after the qubit's terminal measurement
+  const Report report = analysis::analyze_circuit(c);
+  ASSERT_TRUE(has_code(report, "QA040"));
+  const Diagnostic& d = find_code(report, "QA040");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.loc.op, "x");
+  EXPECT_EQ(d.loc.qubits, (std::vector<int>{0}));
+}
+
+TEST(DeadGates, FlagsGateOnNeverMeasuredQubit) {
+  sim::Circuit c(3, 1);
+  c.h(0);
+  c.measure(0, 0);
+  c.h(2);  // qubit 2 never reaches a measurement
+  const Report report = analysis::analyze_circuit(c);
+  ASSERT_TRUE(has_code(report, "QA041"));
+  EXPECT_EQ(find_code(report, "QA041").loc.qubits, (std::vector<int>{2}));
+}
+
+TEST(DeadGates, FlagsDiagonalGateBeforeReadout) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.rz(0.7, 0);  // diagonal immediately before Z readout: no sampled effect
+  c.measure_all();
+  const Report report = analysis::analyze_circuit(c);
+  ASSERT_TRUE(has_code(report, "QA042"));
+  EXPECT_EQ(find_code(report, "QA042").loc.op, "rz");
+}
+
+TEST(DeadGates, LiveGatesAndUnmeasuredCircuitsAreQuiet) {
+  sim::Circuit live(2, 2);
+  live.rz(0.7, 0);  // NOT dead: the h afterwards makes the phase observable
+  live.h(0);
+  live.cx(0, 1);
+  live.measure_all();
+  EXPECT_FALSE(has_code(analysis::analyze_circuit(live), "QA042"));
+  EXPECT_FALSE(has_code(analysis::analyze_circuit(live), "QA040"));
+
+  sim::Circuit bare(2, 0);  // amplitude-inspection circuit: no cone to reason about
+  bare.h(0);
+  bare.rz(0.3, 1);
+  EXPECT_FALSE(has_code(analysis::analyze_circuit(bare), "QA041"));
+}
+
+// --- resources pass (QA090-92) -----------------------------------------------
+
+TEST(ResourcesPass, NotesMatchCircuitMetricsAndRespectToggle) {
+  const core::JobBundle bundle = qft_bundle(5);
+  const Report report = analysis::analyze_bundle(bundle);
+  ASSERT_TRUE(has_code(report, "QA090"));
+  ASSERT_TRUE(has_code(report, "QA091"));
+  ASSERT_TRUE(has_code(report, "QA092"));
+  // width-5 exact QFT: n(n-1)/2 = 10 controlled-phases + reversal swaps = 12.
+  EXPECT_EQ(find_code(report, "QA091").message, "two-qubit gates: 12");
+
+  AnalyzeOptions quiet;
+  quiet.resource_notes = false;
+  const Report hot = analysis::analyze_bundle(bundle, quiet);
+  EXPECT_EQ(hot.count(Severity::Note), 0u) << hot.str();
+}
+
+// --- pass registry -----------------------------------------------------------
+
+TEST(PassRegistryTest, BuiltinsAreRegisteredInOrder) {
+  const std::vector<std::string> names = analysis::PassRegistry::instance().names();
+  const std::vector<std::string> expected = {"bounds",    "admission",      "params",
+                                             "unitarity", "clbit-dataflow", "dead-gates",
+                                             "resources"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(PassRegistryTest, CustomPassRunsThroughAnalyzeBundle) {
+  // Embedder extension point: a pass registered at startup sees every bundle.
+  // Keyed to one job_id so the probe cannot pollute other tests (the registry
+  // is process-global).
+  analysis::PassRegistry::instance().register_pass(
+      "test-probe", [](const analysis::PassInput& in, Report& report) {
+        if (in.bundle && in.bundle->job_id == "custom-pass-probe")
+          report.note("QA099", "probe pass ran");
+      });
+  core::JobBundle probe = qft_bundle(3);
+  probe.job_id = "custom-pass-probe";
+  EXPECT_TRUE(has_code(analysis::analyze_bundle(probe), "QA099"));
+  EXPECT_FALSE(has_code(analysis::analyze_bundle(qft_bundle(3)), "QA099"));
+}
+
+// --- ExecutionService admission (the acceptance scenarios) -------------------
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { backend::register_builtin_backends(); }
+};
+
+TEST_F(AdmissionTest, SubmitRejectsOutOfRangeEdgeSynchronously) {
+  svc::ExecutionService service;
+  try {
+    service.submit(bad_edge_bundle(9));
+    FAIL() << "defective bundle must be rejected at admission";
+  } catch (const ValidationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("QA001"), std::string::npos) << what;
+    EXPECT_NE(what.find("#1 ISING_COST_PHASE"), std::string::npos) << what;
+  }
+  // Synchronous rejection: nothing was queued anywhere.
+  EXPECT_EQ(service.queue_depth("gate.statevector_simulator"), 0u);
+}
+
+TEST_F(AdmissionTest, SubmitRejectsUnboundParameterizedBundle) {
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+  core::OperatorDescriptor cost = algolib::cost_phase_descriptor(reg, Graph::cycle(4), 0.0);
+  cost.params.set("gamma", json::Value("$gamma"));
+  seq.ops.push_back(std::move(cost));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = "gate.statevector_simulator";
+  ctx.exec.samples = 64;
+  core::JobBundle bundle = core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                                    "unbound", {"gamma"});
+  svc::ExecutionService service;
+  try {
+    service.submit(std::move(bundle));
+    FAIL() << "unbound direct submit must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("QA012"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(service.queue_depth("gate.statevector_simulator"), 0u);
+}
+
+TEST_F(AdmissionTest, SubmitRejectsNonUnitaryCustomMatrix) {
+  svc::ExecutionService service;
+  try {
+    service.submit(custom_unitary_bundle(1.0, 2.0));
+    FAIL() << "non-unitary matrix must be rejected";
+  } catch (const ValidationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("QA020"), std::string::npos) << what;
+    EXPECT_NE(what.find("#0 CUSTOM_UNITARY"), std::string::npos) << what;
+  }
+  EXPECT_EQ(service.queue_depth("gate.statevector_simulator"), 0u);
+}
+
+TEST_F(AdmissionTest, SubmitSweepRejectsDefectiveBundleButAcceptsFreeSymbols) {
+  const auto build = [](int bad_edge) {
+    const auto reg = algolib::make_ising_register("s", 4);
+    core::RegisterSet regs;
+    regs.add(reg);
+    core::OperatorSequence seq;
+    seq.ops.push_back(algolib::prep_uniform_descriptor(reg));
+    core::OperatorDescriptor cost =
+        algolib::cost_phase_descriptor(reg, Graph::cycle(4), 0.0);
+    cost.params.set("gamma", json::Value("$gamma"));
+    if (bad_edge >= 0) {
+      json::Array edge;
+      edge.emplace_back(0);
+      edge.emplace_back(bad_edge);
+      edge.emplace_back(1.0);
+      json::Array edges;
+      edges.emplace_back(std::move(edge));
+      cost.params.set("edges", json::Value(std::move(edges)));
+    }
+    seq.ops.push_back(std::move(cost));
+    seq.ops.push_back(algolib::measurement_descriptor(reg));
+    core::Context ctx;
+    ctx.exec.engine = "gate.statevector_simulator";
+    ctx.exec.samples = 64;
+    return core::JobBundle::package(std::move(regs), std::move(seq), ctx, "sweep",
+                                    {"gamma"});
+  };
+  svc::ExecutionService service;
+  EXPECT_THROW(service.submit_sweep(build(9), {{0.1}, {0.2}}), ValidationError);
+  // Free symbols are the POINT of a sweep: same program with valid edges runs.
+  svc::SweepHandle handle = service.submit_sweep(build(-1), {{0.1}, {0.2}});
+  handle.wait();
+  EXPECT_EQ(handle.status(0), svc::JobStatus::Done);
+  EXPECT_EQ(handle.status(1), svc::JobStatus::Done);
+}
+
+TEST_F(AdmissionTest, CleanBundleStillRunsEndToEnd) {
+  svc::ExecutionService service;
+  const svc::JobId id = service.submit(qft_bundle(4, "gate.statevector_simulator"));
+  const core::ExecutionResult result = service.handle(id).result();
+  EXPECT_EQ(result.counts.total(), 64);
+}
+
+// --- 32-seed clean-program property suite ------------------------------------
+
+class AnalysisSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisSeeds, RandomValidCircuitsLintWithoutErrors) {
+  const std::uint64_t seed = GetParam();
+  sim::testgen::GenOptions opt;
+  opt.measures = true;
+  opt.num_params = static_cast<int>(seed % 3);
+  const sim::Circuit c = sim::testgen::random_circuit(seed, 5, 48, opt);
+  const Report report = analysis::analyze_circuit(c);
+  // Anything the execution stack accepts must produce zero error findings
+  // (warnings — dead tails the generator happens to emit — are fine).
+  EXPECT_EQ(codes_of(report, Severity::Error), std::vector<std::string>{}) << report.str();
+  // Determinism: the report renders identically on a second run.
+  EXPECT_EQ(report.str(), analysis::analyze_circuit(c).str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisSeeds, ::testing::Range<std::uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace quml

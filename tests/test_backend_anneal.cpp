@@ -93,13 +93,20 @@ TEST_F(AnnealBackendTest, PaperContextsWrapperWorksEndToEnd) {
 }
 
 TEST_F(AnnealBackendTest, RejectsGatePathOperators) {
+  // The formulation mismatch is now caught by the QA004 admission pass
+  // synchronously at submit, before lowering (or a queue slot) is reached.
   const core::QuantumDataType reg = algolib::make_ising_register("s", 4);
   RegisterSet regs;
   regs.add(reg);
   const JobBundle bundle = JobBundle::package(
       std::move(regs), algolib::qaoa_sequence(reg, Graph::cycle(4), algolib::ring_p1_angles()),
       anneal_ctx(10));
-  EXPECT_THROW(core::submit(bundle), LoweringError);
+  try {
+    core::submit(bundle);
+    FAIL() << "gate-path operators must not be admitted to the anneal engine";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("QA004"), std::string::npos) << e.what();
+  }
 }
 
 TEST_F(AnnealBackendTest, RejectsWrongRegisterKind) {

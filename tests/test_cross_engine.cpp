@@ -5,9 +5,10 @@
 // This file also pins the ISSUE acceptance scenarios: a 50+ qubit
 // low-entanglement circuit routes to "gate.mps_simulator" under
 // engine="auto" and produces correct counts, a deep narrow circuit routes to
-// the dense simulator, over-width jobs are rejected *early* with an error
-// naming the MPS alternative, and the engine/backend sources stay
-// representation-agnostic (no direct Statevector construction).
+// the dense simulator, and over-width jobs are rejected *early* with an
+// error naming the MPS alternative.  (The no-direct-Statevector source guard
+// that used to live here is now tools/check_source_guards.py, run as the
+// "static"-labelled ctest — see tests/CMakeLists.txt.)
 //
 // The whole binary additionally runs under the "perf-smoke" ctest label (see
 // tests/CMakeLists.txt): the wide-GHZ and 20-qubit-QFT scenarios double as
@@ -17,9 +18,7 @@
 
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <map>
-#include <regex>
 #include <set>
 #include <string>
 #include <vector>
@@ -334,41 +333,10 @@ TEST(CrossEngine, NoiseTrajectoriesStayOnDenseEngine) {
   }
 }
 
-// --- representation-agnostic sources -----------------------------------------
-
-TEST(CrossEngine, EngineAndGateBackendConstructNoStatevectorDirectly) {
-  // The ISSUE contract, grep-enforced: outside the statevector SimState
-  // implementation itself, the engine and backend layers go through
-  // make_sim_state — never `Statevector v(...)`, `new Statevector`, or
-  // `make_unique<Statevector>`.  (`Engine::run_statevector` is the one
-  // sanctioned dense accessor; it downcasts the factory's product.)
-  const std::vector<std::string> files = {
-      std::string(QUML_SOURCE_DIR) + "/src/sim/engine.hpp",
-      std::string(QUML_SOURCE_DIR) + "/src/sim/engine.cpp",
-      std::string(QUML_SOURCE_DIR) + "/src/backend/gate_backend.hpp",
-      std::string(QUML_SOURCE_DIR) + "/src/backend/gate_backend.cpp",
-  };
-  const std::vector<std::string> forbidden = {"make_unique<Statevector", "new Statevector",
-                                              "Statevector{"};
-  // Stack/temporary construction: `Statevector name(...)`, `Statevector name =`.
-  // The declaration `Statevector run_statevector(...)` is the sanctioned
-  // accessor, so it is carved out by name.
-  const std::regex construction(R"(\bStatevector\s+(?!run_statevector\b)[A-Za-z_]\w*\s*[({=])");
-  for (const auto& path : files) {
-    std::ifstream in(path);
-    ASSERT_TRUE(in.good()) << "cannot open " << path;
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      for (const auto& pattern : forbidden)
-        EXPECT_EQ(line.find(pattern), std::string::npos)
-            << path << ":" << lineno << ": " << line;
-      EXPECT_FALSE(std::regex_search(line, construction))
-          << path << ":" << lineno << ": " << line;
-    }
-  }
-}
+// The former representation-agnostic-sources grep test
+// (EngineAndGateBackendConstructNoStatevectorDirectly) was promoted to
+// tools/check_source_guards.py so it runs without GTest and also enforces
+// the no-raw-std::mutex rule; ctest runs it under the "static" label.
 
 }  // namespace
 }  // namespace quml

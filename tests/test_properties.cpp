@@ -9,6 +9,7 @@
 #include <complex>
 #include <vector>
 
+#include "random_circuit.hpp"
 #include "sim/engine.hpp"
 #include "sim/fusion.hpp"
 #include "sim/qasm.hpp"
@@ -21,6 +22,12 @@
 namespace quml::sim {
 namespace {
 
+// The circuit generator lives in random_circuit.hpp, shared with the
+// analyzer's clean-program suite (test_analysis.cpp).
+using testgen::GenOptions;
+using testgen::random_binding;
+using testgen::random_circuit;
+
 constexpr double kTol = 1e-12;
 
 double max_amp_diff(const Statevector& a, const Statevector& b) {
@@ -28,80 +35,6 @@ double max_amp_diff(const Statevector& a, const Statevector& b) {
   for (std::uint64_t i = 0; i < a.dim(); ++i)
     md = std::max(md, std::abs(a.amplitude(i) - b.amplitude(i)));
   return md;
-}
-
-struct GenOptions {
-  int num_params = 0;      ///< > 0: rotations may take symbolic angles
-  bool barriers = true;    ///< sprinkle fusion fences
-  bool measures = false;   ///< append a trailing measure-all block
-};
-
-/// Random circuit over the full unitary vocabulary; with num_params > 0 a
-/// third of the parameterized rotations carry a random linear expression
-/// offset + scale * p[k] instead of a constant.
-Circuit random_circuit(std::uint64_t seed, int n, int gates, const GenOptions& opt = {}) {
-  Rng rng(seed);
-  Circuit c(n, opt.measures ? n : 0);
-  const auto wire = [&] { return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))); };
-  const auto other = [&](int q) {
-    return (q + 1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n - 1)))) % n;
-  };
-  const auto angle = [&]() -> Param {
-    const double value = rng.next_double() * 6.0 - 3.0;
-    if (opt.num_params > 0 && rng.next_below(3) == 0) {
-      const int index = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.num_params)));
-      const double scale = rng.next_double() * 4.0 - 2.0;
-      return Param::symbol(index, scale, value);
-    }
-    return Param::constant(value);
-  };
-  for (int i = 0; i < gates; ++i) {
-    const int q = wire();
-    const int r = other(q);
-    switch (rng.next_below(18)) {
-      case 0: c.h(q); break;
-      case 1: c.x(q); break;
-      case 2: c.s(q); break;
-      case 3: c.tdg(q); break;
-      case 4: c.sx(q); break;
-      case 5: c.rz(angle(), q); break;
-      case 6: c.rx(angle(), q); break;
-      case 7: c.ry(angle(), q); break;
-      case 8: c.p(angle(), q); break;
-      case 9: c.u3(angle(), angle(), angle(), q); break;
-      case 10: c.cx(q, r); break;
-      case 11: c.cz(q, r); break;
-      case 12: c.cp(angle(), q, r); break;
-      case 13: c.rzz(angle(), q, r); break;
-      case 14: c.swap(q, r); break;
-      case 15: c.crz(angle(), q, r); break;
-      case 16: {
-        if (opt.barriers) {
-          c.barrier();
-        } else {
-          c.sdg(q);
-        }
-        break;
-      }
-      case 17: {
-        const int s = (std::max(q, r) + 1) % n;
-        if (s != q && s != r)
-          c.ccx(q, r, s);
-        else
-          c.cy(q, r);
-        break;
-      }
-    }
-  }
-  if (opt.measures) c.measure_all();
-  return c;
-}
-
-std::vector<double> random_binding(std::uint64_t seed, int count) {
-  Rng rng(seed);
-  std::vector<double> values(static_cast<std::size_t>(count));
-  for (double& v : values) v = rng.next_double() * 6.0 - 3.0;
-  return values;
 }
 
 class PropertySeeds : public ::testing::TestWithParam<std::uint64_t> {};

@@ -275,7 +275,14 @@ TEST(ParamRefTest, BindBundleSubstitutesEveryReference) {
 TEST(ParamRefTest, GateBackendRejectsUnboundDirectRun) {
   backend::register_builtin_backends();
   const core::JobBundle bundle = qaoa_bundle(4, 64, 5);
-  EXPECT_THROW(core::submit(bundle), BackendError);
+  // Rejected at admission (analysis QA012), synchronously and with the
+  // instruction-aware diagnostic text — not deep inside a worker.
+  try {
+    core::submit(bundle);
+    FAIL() << "unbound direct submit must be rejected";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("QA012"), std::string::npos) << e.what();
+  }
   // But a bound copy runs fine.
   EXPECT_NO_THROW(core::submit(core::bind_bundle(bundle, std::vector<double>{0.2, 0.4})));
 }

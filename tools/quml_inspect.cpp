@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/passes.hpp"
 #include "backend/lowering.hpp"
 #include "core/bundle.hpp"
 #include "sched/scheduler.hpp"
@@ -128,6 +129,16 @@ int main(int argc, char** argv) {
       } catch (const Error& e) {
         std::printf("\nfusion preview: n/a (%s)\n", e.what());
       }
+
+      // Semantic analysis: QA09x resource notes plus any lint findings the
+      // packaged bundle still carries (warnings survive packaging; errors
+      // would have been rejected at load).
+      analysis::AnalyzeOptions lint_options;
+      lint_options.require_bound = false;
+      const analysis::Report report = analysis::analyze_bundle(bundle, lint_options);
+      std::printf("\nanalysis (%zu finding(s)):\n", report.diagnostics().size());
+      for (const auto& diagnostic : report.diagnostics())
+        std::printf("  %s\n", diagnostic.str().c_str());
     }
     return 0;
   } catch (const Error& e) {

@@ -1,25 +1,65 @@
 // quml_validate — schema + semantic validation for middle-layer artifacts.
 //
-// Usage:  quml_validate <artifact.json>...
+// Usage:  quml_validate [--lint] <artifact.json>...
 //
 // Routes each document by its `$schema` member to the embedded validator
 // (qdt-core / qod / ctx / job), reports every violation with its JSON
 // pointer, and — for QDTs and bundles — runs the semantic checks on top
-// (width bounds, dangling references, hidden measurements).  Exit status is
-// the number of invalid files, so the tool drops into CI pipelines.
+// (width bounds, dangling references, hidden measurements).  `--lint`
+// additionally runs the QA analysis passes (analysis/passes.hpp) over job
+// bundles and prints every diagnostic; error-severity findings make the file
+// invalid.  Exit status is the number of invalid files, so the tool drops
+// into CI pipelines (see the `bundle-lint` job).
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/passes.hpp"
+#include "backend/register_backends.hpp"
 #include "core/bundle.hpp"
+#include "core/registry.hpp"
 #include "schema/descriptor_schemas.hpp"
 #include "util/errors.hpp"
 
 namespace {
 
-bool validate_file(const std::string& path) {
+/// Capability of the engine the bundle's context names, when the registry
+/// knows it ("auto" and unknown engines lint without an admission target).
+std::optional<quml::sched::BackendCapability> lint_capability(const quml::core::JobBundle& b) {
+  using namespace quml;
+  if (!b.context || b.context->exec.engine.empty() || b.context->exec.engine == "auto")
+    return std::nullopt;
+  try {
+    auto& registry = core::BackendRegistry::instance();
+    return sched::BackendCapability::from_json(
+        registry.capabilities(registry.canonical(b.context->exec.engine)));
+  } catch (const quml::Error&) {
+    return std::nullopt;  // embedder engine not registered in this process
+  }
+}
+
+/// Lints one packaged bundle: prints every finding, returns false on errors.
+bool lint_bundle(const std::string& path, const quml::core::JobBundle& bundle) {
+  using namespace quml;
+  analysis::AnalyzeOptions options;
+  options.capability = lint_capability(bundle);
+  options.require_bound = false;  // parameterized sweep bundles lint clean
+  const analysis::Report report = analysis::analyze_bundle(bundle, options);
+  for (const auto& diagnostic : report.diagnostics())
+    std::printf("  %s\n", diagnostic.str().c_str());
+  if (report.has_errors()) {
+    std::printf("%s: LINT FAILED (%zu error(s), %zu warning(s))\n", path.c_str(),
+                report.count(analysis::Severity::Error),
+                report.count(analysis::Severity::Warning));
+    return false;
+  }
+  return true;
+}
+
+bool validate_file(const std::string& path, bool lint) {
   using namespace quml;
   std::ifstream in(path);
   if (!in) {
@@ -66,7 +106,8 @@ bool validate_file(const std::string& path) {
     if (schema_name == "qdt-core.schema.json") {
       core::QuantumDataType::from_json(doc).validate();
     } else if (schema_name == "job.schema.json") {
-      (void)core::JobBundle::from_json(doc);  // packaging re-runs all checks
+      const core::JobBundle bundle = core::JobBundle::from_json(doc);  // re-runs all checks
+      if (lint && !lint_bundle(path, bundle)) return false;
     } else if (schema_name == "ctx.schema.json") {
       (void)core::Context::from_json(doc);
     } else if (schema_name == "qod.schema.json") {
@@ -83,12 +124,23 @@ bool validate_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: quml_validate <artifact.json>...\n");
+  bool lint = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lint") lint = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: quml_validate [--lint] <artifact.json>...\n");
+      return 2;
+    } else paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: quml_validate [--lint] <artifact.json>...\n");
     return 2;
   }
+  if (lint) quml::backend::register_builtin_backends();  // admission targets
   int failures = 0;
-  for (int i = 1; i < argc; ++i)
-    if (!validate_file(argv[i])) ++failures;
+  for (const std::string& path : paths)
+    if (!validate_file(path, lint)) ++failures;
   return failures;
 }

@@ -17,9 +17,14 @@ const char* to_string(Severity severity) noexcept {
 namespace {
 
 std::string join_operands(char prefix, const std::vector<int>& operands) {
+  // Built with single-piece appends: GCC 12's -O3 -Werror=restrict
+  // misfires on the `"lit" + std::string&&` operator+ chain here (the
+  // serial preset is the config that hits it), and appends are cheaper
+  // than the temporaries anyway.
   std::string out;
   for (std::size_t i = 0; i < operands.size(); ++i) {
-    out += i == 0 ? std::string(1, prefix) : "," + std::string(1, prefix);
+    if (i != 0) out += ',';
+    out += prefix;
     out += std::to_string(operands[i]);
   }
   return out;
@@ -29,10 +34,20 @@ std::string join_operands(char prefix, const std::vector<int>& operands) {
 
 std::string SourceLoc::str() const {
   std::string out;
-  if (instruction >= 0) out += "#" + std::to_string(instruction) + " ";
+  if (instruction >= 0) {
+    out += '#';
+    out += std::to_string(instruction);
+    out += ' ';
+  }
   out += op.empty() ? (instruction >= 0 ? "op" : "bundle") : op;
-  if (!qubits.empty()) out += " " + join_operands('q', qubits);
-  if (!clbits.empty()) out += " -> " + join_operands('c', clbits);
+  if (!qubits.empty()) {
+    out += ' ';
+    out += join_operands('q', qubits);
+  }
+  if (!clbits.empty()) {
+    out += " -> ";
+    out += join_operands('c', clbits);
+  }
   return out;
 }
 

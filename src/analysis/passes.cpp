@@ -239,6 +239,76 @@ void admission_pass(const PassInput& in, Report& report) {
                      "' caps at " + std::to_string(cap.num_qubits));
 }
 
+// --- options: unrecognized exec.options keys (QA006) ------------------------
+
+/// Keys the tree actually reads out of exec.options.  Anything else is
+/// silently ignored at execution time, so a typo ("max_retrys") would eat the
+/// user's resilience policy without a trace — this pass surfaces it at
+/// submit, warning severity (an unknown key can't make a run incorrect).
+const char* const kKnownExecOptions[] = {
+    "optimization_level", "allow_mid_circuit_measurement", "routing_method",
+    "max_bond_dim",       "truncation_cutoff",             "emit_qasm3",
+    "max_retries",        "retry_backoff_ms",              "deadline_ms",
+    "fault",
+};
+/// exec.options.fault sub-keys (backend::FaultInjector's recipe).
+const char* const kKnownFaultOptions[] = {
+    "inner", "fail_prob", "fail_first_n", "latency_ms", "hang", "kind", "seed",
+};
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+template <std::size_t N>
+void warn_unknown_keys(const json::Value& object, const char* const (&known)[N],
+                       const std::string& where, Report& report) {
+  if (!object.is_object()) return;
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    bool recognized = false;
+    for (const char* candidate : known)
+      if (key == candidate) {
+        recognized = true;
+        break;
+      }
+    if (recognized) continue;
+    std::string message = "unrecognized " + where + " key '" + key + "'";
+    // Nearest known key within two edits reads as a typo worth naming.
+    std::size_t best = 3;
+    const char* suggestion = nullptr;
+    for (const char* candidate : known) {
+      const std::size_t d = edit_distance(key, candidate);
+      if (d < best) {
+        best = d;
+        suggestion = candidate;
+      }
+    }
+    if (suggestion) message += " (did you mean '" + std::string(suggestion) + "'?)";
+    report.warning("QA006", std::move(message));
+  }
+}
+
+void options_pass(const PassInput& in, Report& report) {
+  if (!in.bundle || !in.bundle->context) return;
+  const json::Value& options = in.bundle->context->exec.options;
+  warn_unknown_keys(options, kKnownExecOptions, "exec.options", report);
+  if (const json::Value* fault = options.find("fault"))
+    warn_unknown_keys(*fault, kKnownFaultOptions, "exec.options.fault", report);
+}
+
 // --- params: declared vs referenced vs bound free symbols (QA010-13) --------
 
 void params_pass(const PassInput& in, Report& report) {
@@ -552,6 +622,7 @@ bool lowerable_through_builtin_hooks(const JobBundle& bundle) {
 PassRegistry::PassRegistry() {
   register_pass("bounds", bounds_pass);
   register_pass("admission", admission_pass);
+  register_pass("options", options_pass);
   register_pass("params", params_pass);
   register_pass("unitarity", unitarity_pass);
   register_pass("clbit-dataflow", clbit_dataflow_pass);

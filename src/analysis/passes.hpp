@@ -20,6 +20,7 @@
 //
 //   bounds          carrier/edge/length references vs register widths (QA001/2)
 //   admission       width + formulation vs engine capability, lowerability (QA003-5)
+//   options         unrecognized exec.options keys, typo suggestions (QA006)
 //   params          declared vs referenced vs bound free parameters (QA010-13)
 //   unitarity       user-supplied matrices and state vectors (QA020-23)
 //   clbit-dataflow  measurement writes vs result reads (QA030/31)

@@ -1,0 +1,131 @@
+#include "backend/fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "backend/gate_backend.hpp"
+#include "core/bundle.hpp"
+#include "svc/resilience.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace quml::backend {
+
+namespace {
+
+constexpr char kName[] = "gate.fault_injector";
+
+struct FaultConfig {
+  std::string inner = "gate.statevector_simulator";
+  double fail_prob = 0.0;
+  int fail_first_n = 0;
+  double latency_ms = 0.0;
+  bool hang = false;
+  bool permanent = false;
+  std::uint64_t seed = 0;
+};
+
+FaultConfig parse_config(const core::JobBundle& bundle) {
+  FaultConfig config;
+  const core::ExecPolicy exec = bundle.exec_policy();
+  config.seed = exec.seed;
+  const json::Value* fault = exec.options.find("fault");
+  if (!fault) return config;  // no fault block: a transparent pass-through
+  config.inner = fault->get_string("inner", config.inner);
+  config.fail_prob = fault->get_double("fail_prob", 0.0);
+  config.fail_first_n =
+      static_cast<int>(std::max<std::int64_t>(0, fault->get_int("fail_first_n", 0)));
+  config.latency_ms = std::max(0.0, fault->get_double("latency_ms", 0.0));
+  config.hang = fault->get_bool("hang", false);
+  config.seed = static_cast<std::uint64_t>(fault->get_int("seed", static_cast<std::int64_t>(exec.seed)));
+  const std::string kind = fault->get_string("kind", "transient");
+  if (kind == "permanent") config.permanent = true;
+  else if (kind != "transient")
+    throw ValidationError("exec.options.fault.kind must be 'transient' or 'permanent', got '" +
+                          kind + "'");
+  if (config.fail_prob < 0.0 || config.fail_prob >= 1.0 + 1e-12)
+    throw ValidationError("exec.options.fault.fail_prob must be in [0, 1]");
+  if (config.inner == kName || config.inner == "chaos")
+    throw ValidationError("exec.options.fault.inner cannot be the fault injector itself");
+  return config;
+}
+
+[[noreturn]] void throw_injected(const FaultConfig& config, const std::string& what) {
+  if (config.permanent) throw svc::PermanentError(what);
+  throw svc::TransientError(what);
+}
+
+/// The injection decision for this attempt: a pure function of
+/// (fault seed, exec.seed, attempt), so reruns replay the same faults.
+double fault_draw(const FaultConfig& config, std::uint64_t exec_seed, int attempt) {
+  std::uint64_t state = config.seed;
+  state = splitmix64(state) ^ exec_seed;
+  state = splitmix64(state) ^ static_cast<std::uint64_t>(attempt);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // uniform [0, 1)
+}
+
+}  // namespace
+
+std::string FaultInjector::name() const { return kName; }
+
+core::ExecutionResult FaultInjector::run(const core::JobBundle& bundle) {
+  const FaultConfig config = parse_config(bundle);
+  const std::uint64_t exec_seed = bundle.exec_policy().seed;
+  const int attempt = svc::current_attempt();
+
+  if (config.hang) {
+    // Hang-until-cancel: block until the attempt's deadline passes or the
+    // service starts shutting down (attempt_check_interrupt throws the
+    // corresponding taxonomy error).  Outside an attempt context there is
+    // nothing that could ever interrupt the hang — refuse instead of
+    // wedging the caller's thread forever.
+    if (!svc::in_attempt())
+      throw svc::PermanentError(
+          "fault injection 'hang' needs an attempt context (submit through the "
+          "ExecutionService with a deadline_ms)");
+    for (;;) {
+      svc::attempt_check_interrupt();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (config.latency_ms > 0.0) {
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<std::int64_t>(config.latency_ms * 1000.0));
+    while (std::chrono::steady_clock::now() < until) {
+      svc::attempt_check_interrupt();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (attempt < config.fail_first_n)
+    throw_injected(config, "injected fault: attempt " + std::to_string(attempt) +
+                               " of the first " + std::to_string(config.fail_first_n) +
+                               " always fails");
+  if (config.fail_prob > 0.0 && fault_draw(config, exec_seed, attempt) < config.fail_prob)
+    throw_injected(config, "injected fault: seeded draw below fail_prob " +
+                               std::to_string(config.fail_prob) + " on attempt " +
+                               std::to_string(attempt));
+
+  // Survived the gauntlet: the inner backend sees the unmodified bundle, so
+  // counts are bit-identical to a fault-free run of the same job.
+  return core::BackendRegistry::instance().create(config.inner)->run(bundle);
+}
+
+json::Value FaultInjector::capabilities() const {
+  // Mirror the default inner engine's advertisement (the jobs that flow
+  // through are statevector-class unless reconfigured), under our own name
+  // and flagged chaos so "auto" routing can never pick this engine.
+  json::Value caps = GateBackend().capabilities();
+  caps.set("name", json::Value(std::string(kName)));
+  caps.set("chaos", json::Value(true));
+  return caps;
+}
+
+std::shared_ptr<core::SweepRealization> FaultInjector::prepare_sweep(const core::JobBundle&) {
+  return nullptr;
+}
+
+}  // namespace quml::backend

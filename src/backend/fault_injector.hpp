@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic chaos backend: wraps any registered backend and injects
+// seeded failures so every resilience path is testable in-tree.
+//
+// Registered as "gate.fault_injector" (alias "chaos") and configured per job
+// through exec.options.fault:
+//
+//   "fault": {
+//     "inner": "gate.statevector_simulator",  // backend that really runs
+//     "fail_prob": 0.2,        // per-attempt failure probability
+//     "fail_first_n": 2,       // attempts 0..N-1 always fail
+//     "latency_ms": 5,         // added before delegating
+//     "hang": true,            // block until deadline/shutdown interrupts
+//     "kind": "transient",     // or "permanent" — which error to throw
+//     "seed": 7                // fault stream seed; defaults to exec.seed
+//   }
+//
+// Determinism is the point: the injection decision for an attempt is a pure
+// function of (fault seed, exec.seed, attempt index) — same bundle, same
+// faults, every run — and a job that survives injection delegates the
+// *unmodified* bundle to the inner backend, so its counts are bit-identical
+// to a fault-free run.  The attempt index comes from the thread-local
+// svc::AttemptContext the retry driver installs; hang and latency modes poll
+// svc::attempt_check_interrupt() so a per-job deadline or service shutdown
+// always unblocks them.
+//
+// The injector advertises "chaos": true in its capabilities, which
+// sched::estimate treats as infeasible — "auto" routing can never steer an
+// unsuspecting job into deliberate failures; the engine must be requested by
+// name.
+
+#include "core/registry.hpp"
+
+namespace quml::backend {
+
+class FaultInjector final : public core::Backend {
+ public:
+  std::string name() const override;
+  core::ExecutionResult run(const core::JobBundle& bundle) override;
+  json::Value capabilities() const override;
+  /// nullptr: sweeps through the injector take the per-binding fallback, so
+  /// each binding passes through the injection gauntlet individually.
+  std::shared_ptr<core::SweepRealization> prepare_sweep(
+      const core::JobBundle& bundle) override;
+};
+
+}  // namespace quml::backend

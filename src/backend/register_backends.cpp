@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "backend/anneal_backend.hpp"
+#include "backend/fault_injector.hpp"
 #include "backend/gate_backend.hpp"
 #include "core/registry.hpp"
 
@@ -23,6 +24,11 @@ void register_builtin_backends() {
     registry.register_backend(
         "anneal.simulated_annealer", [] { return std::make_unique<AnnealBackend>(); },
         {"anneal.neal_simulator", "anneal.ocean_neal"});
+    // Deterministic chaos wrapper (opt-in only; "auto" never routes here —
+    // its capabilities carry "chaos": true, which sched::estimate rejects).
+    registry.register_backend(
+        "gate.fault_injector", [] { return std::make_unique<FaultInjector>(); },
+        {"chaos"});
   });
 }
 

@@ -24,6 +24,8 @@ json::Value BackendCapability::to_json() const {
   o.emplace_back("representation", json::Value(representation));
   if (max_bond_dim > 0)
     o.emplace_back("max_bond_dim", json::Value(static_cast<std::int64_t>(max_bond_dim)));
+  o.emplace_back("health", json::Value(health));
+  if (chaos) o.emplace_back("chaos", json::Value(true));
   return json::Value(std::move(o));
 }
 
@@ -41,6 +43,8 @@ BackendCapability BackendCapability::from_json(const json::Value& doc) {
   c.queue_wait_us = doc.get_double("queue_wait_us", c.queue_wait_us);
   c.representation = doc.get_string("representation", c.representation);
   c.max_bond_dim = static_cast<int>(doc.get_int("max_bond_dim", c.max_bond_dim));
+  c.health = doc.get_string("health", c.health);
+  c.chaos = doc.get_bool("chaos", c.chaos);
   return c;
 }
 
@@ -60,6 +64,16 @@ std::int64_t bundle_samples(const core::JobBundle& bundle) {
 
 JobEstimate estimate(const core::JobBundle& bundle, const BackendCapability& backend) {
   JobEstimate est;
+  if (backend.chaos) {
+    // Fault-injecting backends exist to be asked for by name; an "auto" job
+    // must never be routed into deliberate failures.
+    est.reason = "chaos backend (explicit engine request only)";
+    return est;
+  }
+  if (backend.health == "open") {
+    est.reason = "circuit breaker open";
+    return est;
+  }
   const unsigned width = bundle.registers.total_width();
   if (static_cast<int>(width) > backend.num_qubits) {
     est.reason = "needs " + std::to_string(width) + " qubits, backend has " +

@@ -38,6 +38,15 @@ struct BackendCapability {
   std::string representation = "statevector";
   /// Advertised bond cap, "mps" representation only (0 = not applicable).
   int max_bond_dim = 0;
+  /// Circuit-breaker state of the backend's pool ("closed", "open",
+  /// "half_open") — filled by ExecutionService::capability_snapshot().  An
+  /// "open" backend is infeasible to estimate(), so "auto" routing steers
+  /// around it until its breaker cools down.
+  std::string health = "closed";
+  /// True for deliberately failure-injecting backends (backend::FaultInjector
+  /// advertises it).  Chaos backends are opt-in only: estimate() never
+  /// admits them, so "auto" cannot route an unsuspecting job into one.
+  bool chaos = false;
 
   json::Value to_json() const;
   static BackendCapability from_json(const json::Value& doc);

@@ -111,7 +111,11 @@ const std::string kCtxSchema = R"JSON({
           "type": "object",
           "properties": {
             "max_bond_dim": {"type": "integer", "minimum": 1},
-            "truncation_cutoff": {"type": "number", "minimum": 0, "exclusiveMaximum": 1}
+            "truncation_cutoff": {"type": "number", "minimum": 0, "exclusiveMaximum": 1},
+            "max_retries": {"type": "integer", "minimum": 0},
+            "retry_backoff_ms": {"type": "number", "minimum": 0},
+            "deadline_ms": {"type": "number", "minimum": 0},
+            "fault": {"type": "object"}
           }
         }
       },

@@ -1,6 +1,7 @@
 #include "svc/execution_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -42,6 +43,12 @@ struct JobRecord {
   std::optional<sched::Decision> decision;
   sched::JobEstimate estimate;
   double backlog_contribution_us = 0.0;
+  /// Per-job retry/backoff/deadline knobs (exec.options), resolved at route
+  /// time; the deadline is measured from `submitted`, so queue wait counts
+  /// against the budget.
+  RetryPolicy policy;
+  std::uint64_t jitter_seed = 0;  // exec.seed: deterministic backoff jitter
+  std::chrono::steady_clock::time_point submitted{};
   /// Internal worker task (sweep shards): when set, the worker runs it with
   /// its private Backend instance instead of backend->run(bundle).  The
   /// instance is nullptr when the worker could not create its backend; the
@@ -53,6 +60,8 @@ struct JobRecord {
   JobStatus status QUML_GUARDED_BY(mutex) = JobStatus::Queued;
   core::ExecutionResult result QUML_GUARDED_BY(mutex);
   std::exception_ptr failure QUML_GUARDED_BY(mutex);
+  std::vector<Attempt> attempts QUML_GUARDED_BY(mutex);  // final audit trail
+  std::string failover_engine QUML_GUARDED_BY(mutex);    // "" = none
 };
 
 /// The immutable inputs of one sweep: published before the first shard is
@@ -65,6 +74,10 @@ struct SweepInputs {
   std::vector<std::vector<double>> bindings;
   std::shared_ptr<core::SweepRealization> realization;  // nullptr = fallback
   std::uint64_t base_seed = 0;
+  /// Sweep-wide retry policy; bindings retry individually (no failover), and
+  /// the deadline is shared — measured from the sweep's submission.
+  RetryPolicy policy;
+  std::chrono::steady_clock::time_point submitted{};
 };
 
 /// Shared state of one parameter sweep: the prepared inputs and per-binding
@@ -158,6 +171,31 @@ std::string JobHandle::error() const {
   } catch (...) {
     return "unknown failure";
   }
+}
+
+ErrorKind JobHandle::error_kind() const {
+  const JobRecord& rec = require(rec_);
+  MutexLock lock(rec.mutex);
+  if (rec.status == JobStatus::Cancelled) return ErrorKind::Cancelled;
+  return classify_failure(rec.failure);
+}
+
+std::size_t JobHandle::attempts() const {
+  const JobRecord& rec = require(rec_);
+  MutexLock lock(rec.mutex);
+  return rec.attempts.size();
+}
+
+std::vector<Attempt> JobHandle::attempt_log() const {
+  const JobRecord& rec = require(rec_);
+  MutexLock lock(rec.mutex);
+  return rec.attempts;
+}
+
+std::string JobHandle::failover_engine() const {
+  const JobRecord& rec = require(rec_);
+  MutexLock lock(rec.mutex);
+  return rec.failover_engine;
 }
 
 bool JobHandle::cancel() const {
@@ -258,6 +296,14 @@ std::string SweepHandle::error(std::size_t index) const {
   }
 }
 
+ErrorKind SweepHandle::error_kind(std::size_t index) const {
+  const SweepState& state = require_sweep(state_);
+  MutexLock lock(state.mutex);
+  check_index(state, index);
+  if (state.status[index] == JobStatus::Cancelled) return ErrorKind::Cancelled;
+  return classify_failure(state.failures[index]);
+}
+
 std::size_t SweepHandle::cancel() const {
   require_sweep(state_);
   SweepState& state = *state_;
@@ -292,7 +338,8 @@ struct ExecutionService::BackendQueue {
   std::vector<std::thread> workers;
 };
 
-ExecutionService::ExecutionService(ServiceConfig config) : config_(std::move(config)) {
+ExecutionService::ExecutionService(ServiceConfig config)
+    : config_(std::move(config)), breakers_(config_.breaker) {
   // Touch the registry singleton now: it outlives this service even when the
   // service itself is a static (shared()), so workers joined during static
   // destruction can never see a destroyed registry.
@@ -369,6 +416,10 @@ std::shared_ptr<JobRecord> ExecutionService::route(
                                     lint.errors());
   rec->estimate = sched::estimate(bundle, cap);
   rec->backlog_contribution_us = rec->estimate.feasible ? rec->estimate.duration_us : 0.0;
+  const core::ExecPolicy exec = bundle.exec_policy();
+  rec->policy = RetryPolicy::from_exec(exec);
+  rec->jitter_seed = exec.seed;
+  rec->submitted = std::chrono::steady_clock::now();
   rec->bundle = std::move(bundle);
   return rec;
 }
@@ -476,7 +527,8 @@ void exit_sweep_shard(const std::shared_ptr<SweepState>& state) {
 /// backend; the shard then records the condition instead of claiming work it
 /// cannot run (a silent exit here would strand the sweep: see
 /// SweepWorkerBackendCreationFailureFailsBindings in tests/test_svc.cpp).
-void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* backend) {
+void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* backend,
+                     CircuitBreaker* breaker, const std::atomic<bool>* stop) {
   std::shared_ptr<const SweepInputs> inputs;
   {
     MutexLock lock(state->mutex);
@@ -521,21 +573,23 @@ void run_sweep_shard(const std::shared_ptr<SweepState>& state, core::Backend* ba
       index = state->next++;
       state->status[index] = JobStatus::Running;
     }
-    core::ExecutionResult result;
-    std::exception_ptr failure;
-    try {
-      const std::uint64_t seed = core::sweep_seed(inputs->base_seed, index);
-      if (session) {
-        result = session->run_binding(inputs->bindings[index], seed);
-      } else {
-        core::JobBundle bound = core::bind_bundle(inputs->bundle, inputs->bindings[index]);
-        if (!bound.context) bound.context = core::Context{};
-        bound.context->exec.seed = seed;
-        result = backend->run(bound);
-      }
-    } catch (...) {
-      failure = std::current_exception();
-    }
+    // Each binding runs under the sweep's RetryPolicy (per-binding jitter
+    // stream = its sweep seed); bindings never fail over — the sweep was
+    // routed to one engine as a unit, and the shared realization is bound to
+    // it.  The deadline, measured from the sweep's submission, is shared:
+    // once it passes, every remaining binding settles as Deadline instead of
+    // hanging the sweep.
+    const std::uint64_t seed = core::sweep_seed(inputs->base_seed, index);
+    RetryOutcome outcome = run_with_retry(
+        inputs->policy, seed, inputs->submitted, state->engine, breaker, stop, 0, [&] {
+          if (session) return session->run_binding(inputs->bindings[index], seed);
+          core::JobBundle bound = core::bind_bundle(inputs->bundle, inputs->bindings[index]);
+          if (!bound.context) bound.context = core::Context{};
+          bound.context->exec.seed = seed;
+          return backend->run(bound);
+        });
+    core::ExecutionResult result = std::move(outcome.result);
+    std::exception_ptr failure = outcome.failure;
     {
       MutexLock lock(state->mutex);
       state->failures[index] = failure;
@@ -567,6 +621,8 @@ SweepHandle ExecutionService::submit_sweep(core::JobBundle bundle,
   auto inputs = std::make_shared<SweepInputs>();
   inputs->bundle = std::move(probe->bundle);
   inputs->base_seed = inputs->bundle.exec_policy().seed;
+  inputs->policy = probe->policy;
+  inputs->submitted = probe->submitted;
   inputs->realization =
       core::BackendRegistry::instance().create(probe->engine)->prepare_sweep(inputs->bundle);
   const std::size_t n = bindings.size();
@@ -597,7 +653,9 @@ SweepHandle ExecutionService::submit_sweep(core::JobBundle bundle,
     auto rec = std::make_shared<JobRecord>();
     rec->engine = state->engine;
     rec->backlog_contribution_us = per_shard_us;
-    rec->task = [state](core::Backend* backend) { run_sweep_shard(state, backend); };
+    rec->task = [this, state](core::Backend* backend) {
+      run_sweep_shard(state, backend, &breakers_.breaker(state->engine), &stop_flag_);
+    };
     try {
       enqueue(rec);
     } catch (...) {
@@ -655,7 +713,17 @@ std::size_t ExecutionService::queue_depth(const std::string& engine) const {
 }
 
 std::vector<sched::BackendCapability> ExecutionService::capability_snapshot() const {
-  return sched::registry_capabilities([this](const std::string& name) { return backlog_us(name); });
+  std::vector<sched::BackendCapability> fleet = sched::registry_capabilities(
+      [this](const std::string& name) { return backlog_us(name); });
+  for (sched::BackendCapability& cap : fleet)
+    cap.health = to_string(breakers_.state(cap.name));
+  return fleet;
+}
+
+CircuitBreaker::State ExecutionService::breaker_state(const std::string& engine) const {
+  const auto& registry = core::BackendRegistry::instance();
+  const std::string key = registry.has(engine) ? registry.canonical(engine) : engine;
+  return breakers_.state(key);
 }
 
 void ExecutionService::finish(const std::shared_ptr<JobRecord>& rec, BackendQueue& queue) {
@@ -707,6 +775,8 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
 
     core::ExecutionResult result;
     std::exception_ptr failure;
+    std::vector<Attempt> attempts;
+    std::string failover;
     try {
       if (!backend) backend = core::BackendRegistry::instance().create(queue->engine);
     } catch (...) {
@@ -720,7 +790,10 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
         // will ever touch again.
         rec->task(backend.get());
       } else if (!failure) {
-        result = backend->run(rec->bundle);
+        RetryOutcome outcome = run_resilient(rec, *backend, failover);
+        result = std::move(outcome.result);
+        failure = outcome.failure;
+        attempts = std::move(outcome.attempts);
       }
     } catch (...) {
       failure = std::current_exception();
@@ -729,6 +802,8 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
       MutexLock lock(rec->mutex);
       rec->failure = failure;
       rec->result = std::move(result);
+      rec->attempts = std::move(attempts);
+      rec->failover_engine = std::move(failover);
       rec->bundle = core::JobBundle{};  // release the job's largest payload
       rec->status = failure ? JobStatus::Failed : JobStatus::Done;
     }
@@ -737,12 +812,79 @@ void ExecutionService::worker_loop(BackendQueue* queue) {
   }
 }
 
+RetryOutcome ExecutionService::run_resilient(const std::shared_ptr<JobRecord>& rec,
+                                             core::Backend& backend,
+                                             std::string& failover_engine) {
+  RetryOutcome outcome = run_with_retry(
+      rec->policy, rec->jitter_seed, rec->submitted, rec->engine,
+      &breakers_.breaker(rec->engine), &stop_flag_, 0,
+      [&] { return backend.run(rec->bundle); });
+  // Cross-engine failover is opt-in via the retry knob: a job that never
+  // asked for resilience keeps the historical one-shot, one-engine
+  // semantics.  Only transient exhaustion fails over — a permanent failure
+  // or a blown deadline would fail anywhere.
+  if (outcome.failure && outcome.kind == ErrorKind::Transient && rec->policy.max_retries > 0)
+    failover_engine = failover_once(rec, outcome);
+  return outcome;
+}
+
+std::string ExecutionService::failover_once(const std::shared_ptr<JobRecord>& rec,
+                                            RetryOutcome& outcome) {
+  const auto& registry = core::BackendRegistry::instance();
+  std::string best;
+  double best_score = 0.0;
+  for (const sched::BackendCapability& cap : capability_snapshot()) {
+    const std::string canonical =
+        registry.has(cap.name) ? registry.canonical(cap.name) : cap.name;
+    if (canonical == rec->engine) continue;
+    // estimate() already rejects chaos backends, open breakers, wrong kinds
+    // and widths the alternate cannot admit.
+    const sched::JobEstimate est = sched::estimate(rec->bundle, cap);
+    if (!est.feasible) continue;
+    const double score =
+        config_.weights.quality_weight * est.success_prob -
+        config_.weights.time_weight * std::log10(std::max(est.duration_us, 1.0));
+    if (best.empty() || score > best_score) {
+      best = canonical;
+      best_score = score;
+    }
+  }
+  if (best.empty()) return "";  // nothing compatible: the primary failure stands
+  const int next_index = outcome.attempts.empty() ? 0 : outcome.attempts.back().index + 1;
+  std::unique_ptr<core::Backend> alternate;
+  try {
+    alternate = registry.create(best);
+  } catch (const std::exception& e) {
+    outcome.attempts.push_back({next_index, best,
+                                std::string("failover backend creation failed: ") + e.what(),
+                                classify_failure(std::current_exception())});
+    return best;  // attempted; the primary transient failure stands
+  }
+  // Same policy, same deadline (wall-clock budget spans engines), a
+  // decorrelated jitter stream, and attempt numbering that continues the
+  // primary engine's count.
+  RetryOutcome alt = run_with_retry(
+      rec->policy, rec->jitter_seed ^ 0x517cc1b727220a95ull, rec->submitted, best,
+      &breakers_.breaker(best), &stop_flag_, next_index,
+      [&] { return alternate->run(rec->bundle); });
+  for (Attempt& attempt : alt.attempts) outcome.attempts.push_back(std::move(attempt));
+  outcome.result = std::move(alt.result);
+  outcome.failure = alt.failure;
+  outcome.kind = alt.kind;
+  return best;
+}
+
 void ExecutionService::wait_all() {
   MutexLock lock(mutex_);
   while (outstanding_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ExecutionService::shutdown() {
+  // Raise the stop flag before draining: in-flight retry loops skip their
+  // remaining backoff sleeps, and cooperative hangs (FaultInjector) throw
+  // out via attempt_check_interrupt(), so the drain below is bounded by the
+  // work itself, never by a retry schedule or an injected hang.
+  stop_flag_.store(true, std::memory_order_relaxed);
   std::vector<BackendQueue*> queues;
   {
     MutexLock lock(mutex_);

@@ -20,6 +20,7 @@
 // shared() service (submit + wait), so the blocking API remains available
 // without a second execution path.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -31,8 +32,13 @@
 #include "core/bundle.hpp"
 #include "core/result.hpp"
 #include "sched/scheduler.hpp"
+#include "svc/resilience.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
+
+namespace quml::core {
+class Backend;  // core/registry.hpp
+}
 
 namespace quml::svc {
 
@@ -55,6 +61,11 @@ struct ServiceConfig {
   std::map<std::string, int> workers_per_engine;
   /// Scoring weights for "auto" routing (sched::choose_backend).
   sched::ScoreWeights weights;
+  /// Per-backend circuit-breaker tuning (svc/resilience.hpp).  Breaker state
+  /// feeds capability_snapshot().health, steering "auto" routing around sick
+  /// backends; inside a job it only gates *retry* attempts — the first
+  /// attempt of every job is always admitted.
+  BreakerConfig breaker;
 
   int workers_for(const std::string& engine) const {
     const auto it = workers_per_engine.find(engine);
@@ -95,6 +106,19 @@ class JobHandle {
   core::ExecutionResult result() const;
   /// The failure message for a FAILED job, empty otherwise (non-blocking).
   std::string error() const;
+  /// Taxonomy classification of the failure (svc/resilience.hpp):
+  /// Cancelled for a cancelled job, None while in flight or after success,
+  /// otherwise Transient/Permanent/Deadline per classify_failure().
+  ErrorKind error_kind() const;
+  /// Attempts executed so far (terminal jobs only carry the final log;
+  /// 0 while queued/running).  A fail-first-N job that succeeds shows N+1.
+  std::size_t attempts() const;
+  /// Per-attempt audit trail: engine, error message, classification.
+  std::vector<Attempt> attempt_log() const;
+  /// Canonical engine the job failed over to after exhausting retries on its
+  /// primary engine; empty when no failover happened.  Failover is attempted
+  /// only for jobs that opted into retries (exec.options.max_retries > 0).
+  std::string failover_engine() const;
   /// QUEUED -> CANCELLED.  False once the job is running or terminal: a
   /// running backend is not preempted (HPC semantics — scancel on a running
   /// step waits for the step).
@@ -138,6 +162,10 @@ class SweepHandle {
   core::ExecutionResult result(std::size_t index) const;
   /// Failure message of a FAILED binding, empty otherwise (non-blocking).
   std::string error(std::size_t index) const;
+  /// Taxonomy classification of binding `index`'s failure, mirroring
+  /// JobHandle::error_kind().  Bindings retry under the sweep's RetryPolicy
+  /// but never fail over (the sweep was routed as one unit).
+  ErrorKind error_kind(std::size_t index) const;
   /// Cancels every binding no worker has claimed yet; running bindings
   /// complete (HPC semantics).  Returns how many were cancelled.
   std::size_t cancel() const;
@@ -196,8 +224,13 @@ class ExecutionService {
   double backlog_us(const std::string& engine) const QUML_EXCLUDES(mutex_);
   /// Jobs currently waiting in `engine`'s FIFO (accepts aliases).
   std::size_t queue_depth(const std::string& engine) const QUML_EXCLUDES(mutex_);
-  /// Registry capabilities with queue_wait_us = live backlog per backend.
+  /// Registry capabilities with queue_wait_us = live backlog per backend and
+  /// `health` = the engine's circuit-breaker state, so "auto" routing steers
+  /// around backends whose breaker is open.
   std::vector<sched::BackendCapability> capability_snapshot() const QUML_EXCLUDES(mutex_);
+  /// Circuit-breaker state of `engine`'s pool (accepts aliases; Closed for
+  /// engines that have never run anything).
+  CircuitBreaker::State breaker_state(const std::string& engine) const;
 
   /// Blocks until every submitted job is terminal.
   void wait_all() QUML_EXCLUDES(mutex_);
@@ -222,6 +255,22 @@ class ExecutionService {
       core::JobBundle bundle,
       const std::vector<std::vector<double>>* sweep_bindings = nullptr) QUML_EXCLUDES(mutex_);
   void enqueue(const std::shared_ptr<detail::JobRecord>& rec) QUML_EXCLUDES(mutex_);
+  /// Runs one routed job under its RetryPolicy (svc/resilience.hpp): retries
+  /// transient failures with seeded backoff, enforces the deadline, feeds the
+  /// engine's circuit breaker, and — when retries are exhausted on a
+  /// transient failure and the job opted in (max_retries > 0) — fails over
+  /// once via failover_once().  Never throws; failures travel in the outcome.
+  RetryOutcome run_resilient(const std::shared_ptr<detail::JobRecord>& rec,
+                             core::Backend& backend, std::string& failover_engine)
+      QUML_EXCLUDES(mutex_);
+  /// One-shot cross-engine failover: picks the best feasible non-chaos,
+  /// non-open alternate from capability_snapshot() (statevector <-> MPS where
+  /// width/bond admit), creates it inline on the calling worker, and reruns
+  /// the job under the same policy and deadline.  Returns the alternate's
+  /// canonical name ("" when no alternate fits) and extends `outcome` with
+  /// the failover attempts.
+  std::string failover_once(const std::shared_ptr<detail::JobRecord>& rec,
+                            RetryOutcome& outcome) QUML_EXCLUDES(mutex_);
   void finish(const std::shared_ptr<detail::JobRecord>& rec, BackendQueue& queue)
       QUML_EXCLUDES(mutex_);
   void worker_loop(BackendQueue* queue) QUML_EXCLUDES(mutex_);
@@ -231,6 +280,13 @@ class ExecutionService {
   BackendQueue* queue_for(const std::string& canonical_engine) QUML_REQUIRES(mutex_);
 
   ServiceConfig config_;
+  /// Per-engine circuit breakers (internally synchronized; leaf locks, never
+  /// held while taking mutex_ or a queue/record mutex).
+  mutable BreakerBoard breakers_;
+  /// Raised by shutdown() before the workers join: retry backoffs cut short
+  /// and cooperative backends (FaultInjector hang/latency modes) unblock, so
+  /// draining never waits on a retry schedule or a deliberate hang.
+  std::atomic<bool> stop_flag_{false};
   mutable Mutex mutex_;  // queues_ map, records_, counters
   CondVar idle_cv_;      // signalled when outstanding_ hits 0
   std::map<std::string, std::unique_ptr<BackendQueue>> queues_ QUML_GUARDED_BY(mutex_);

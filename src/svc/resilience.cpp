@@ -1,0 +1,304 @@
+#include "svc/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace quml::svc {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::None: return "none";
+    case ErrorKind::Transient: return "transient";
+    case ErrorKind::Permanent: return "permanent";
+    case ErrorKind::Cancelled: return "cancelled";
+    case ErrorKind::Deadline: return "deadline";
+  }
+  return "unknown";
+}
+
+ErrorKind classify_failure(const std::exception_ptr& failure) noexcept {
+  if (!failure) return ErrorKind::None;
+  try {
+    std::rethrow_exception(failure);
+  } catch (const DeadlineError&) {
+    return ErrorKind::Deadline;
+  } catch (const TransientError&) {
+    return ErrorKind::Transient;
+  } catch (const PermanentError&) {
+    return ErrorKind::Permanent;
+  } catch (const BackendError&) {
+    // Plain execution-time failures are infrastructure by default: the
+    // backend accepted the bundle (it passed admission) and then broke.
+    return ErrorKind::Transient;
+  } catch (...) {
+    // ValidationError/SchemaError/ParseError/LoweringError and anything the
+    // taxonomy has never heard of: the job, not the infrastructure.
+    return ErrorKind::Permanent;
+  }
+}
+
+// --- RetryPolicy ------------------------------------------------------------
+
+RetryPolicy RetryPolicy::from_exec(const core::ExecPolicy& exec) {
+  RetryPolicy policy;
+  policy.max_retries = static_cast<int>(
+      std::max<std::int64_t>(0, exec.options.get_int("max_retries", 0)));
+  policy.backoff_ms =
+      std::max(0.0, exec.options.get_double("retry_backoff_ms", policy.backoff_ms));
+  policy.deadline_ms = std::max(0.0, exec.options.get_double("deadline_ms", 0.0));
+  return policy;
+}
+
+double RetryPolicy::backoff_for(int retry_index, std::uint64_t seed) const {
+  const double base =
+      backoff_ms * std::pow(multiplier, static_cast<double>(std::max(0, retry_index)));
+  if (base <= 0.0) return 0.0;
+  // One splitmix64 chain per (seed, retry_index): bit-identical schedule on
+  // every run with the same exec.seed, decorrelated across retries.
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(retry_index + 1));
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return base * (1.0 - jitter_frac + 2.0 * jitter_frac * u);
+}
+
+std::optional<std::chrono::steady_clock::time_point> RetryPolicy::deadline_from(
+    std::chrono::steady_clock::time_point submitted) const {
+  if (deadline_ms <= 0.0) return std::nullopt;
+  return submitted + std::chrono::microseconds(static_cast<std::int64_t>(deadline_ms * 1000.0));
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+void CircuitBreaker::refresh(std::chrono::steady_clock::time_point now) {
+  if (state_ != State::Open) return;
+  const auto cooldown =
+      std::chrono::microseconds(static_cast<std::int64_t>(config_.cooldown_ms * 1000.0));
+  if (now - opened_at_ < cooldown) return;
+  state_ = State::HalfOpen;
+  probes_inflight_ = 0;
+}
+
+void CircuitBreaker::push_outcome(bool failed) {
+  window_.push_back(failed);
+  if (failed) ++window_failures_;
+  while (static_cast<int>(window_.size()) > std::max(1, config_.window)) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+bool CircuitBreaker::allow() {
+  MutexLock lock(mutex_);
+  refresh(std::chrono::steady_clock::now());
+  switch (state_) {
+    case State::Closed: return true;
+    case State::Open: return false;
+    case State::HalfOpen:
+      if (probes_inflight_ >= std::max(1, config_.half_open_probes)) return false;
+      ++probes_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  MutexLock lock(mutex_);
+  refresh(std::chrono::steady_clock::now());
+  if (state_ == State::HalfOpen) {
+    // A probe came back healthy: close and start from a clean window.
+    state_ = State::Closed;
+    probes_inflight_ = 0;
+    window_.clear();
+    window_failures_ = 0;
+    return;
+  }
+  if (state_ == State::Closed) push_outcome(false);
+  // Open: a straggler from before the trip; the cooldown clock keeps running.
+}
+
+void CircuitBreaker::record_failure() {
+  const auto now = std::chrono::steady_clock::now();
+  MutexLock lock(mutex_);
+  refresh(now);
+  if (state_ == State::HalfOpen) {
+    state_ = State::Open;
+    opened_at_ = now;
+    probes_inflight_ = 0;
+    return;
+  }
+  if (state_ != State::Closed) return;
+  push_outcome(true);
+  if (window_failures_ >= std::max(1, config_.failure_threshold)) {
+    state_ = State::Open;
+    opened_at_ = now;
+    window_.clear();
+    window_failures_ = 0;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(mutex_);
+  // refresh() is a mutation; re-derive the time-based transition here so a
+  // pure observer still reports HALF_OPEN once the cooldown has elapsed.
+  if (state_ == State::Open) {
+    const auto cooldown =
+        std::chrono::microseconds(static_cast<std::int64_t>(config_.cooldown_ms * 1000.0));
+    if (std::chrono::steady_clock::now() - opened_at_ >= cooldown) return State::HalfOpen;
+  }
+  return state_;
+}
+
+const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+// --- BreakerBoard -----------------------------------------------------------
+
+BreakerBoard::BreakerBoard(BreakerConfig config) : config_(config) {}
+
+CircuitBreaker& BreakerBoard::breaker(const std::string& engine) {
+  MutexLock lock(mutex_);
+  auto it = breakers_.find(engine);
+  if (it == breakers_.end())
+    it = breakers_.emplace(engine, std::make_unique<CircuitBreaker>(config_)).first;
+  return *it->second;
+}
+
+CircuitBreaker::State BreakerBoard::state(const std::string& engine) const {
+  const CircuitBreaker* breaker = nullptr;
+  {
+    MutexLock lock(mutex_);
+    const auto it = breakers_.find(engine);
+    if (it == breakers_.end()) return CircuitBreaker::State::Closed;
+    breaker = it->second.get();
+  }
+  return breaker->state();
+}
+
+// --- attempt context --------------------------------------------------------
+
+namespace {
+thread_local AttemptContext t_attempt_context;
+thread_local bool t_attempt_active = false;
+}  // namespace
+
+ScopedAttempt::ScopedAttempt(AttemptContext context)
+    : previous_(t_attempt_context), previous_active_(t_attempt_active) {
+  t_attempt_context = context;
+  t_attempt_active = true;
+}
+
+ScopedAttempt::~ScopedAttempt() {
+  // The outermost scope deactivates; a nested scope (a backend running
+  // sub-jobs inline) restores the enclosing attempt.
+  t_attempt_context = previous_;
+  t_attempt_active = previous_active_;
+}
+
+int current_attempt() noexcept { return t_attempt_active ? t_attempt_context.attempt : 0; }
+
+bool in_attempt() noexcept { return t_attempt_active; }
+
+void attempt_check_interrupt() {
+  if (!t_attempt_active) return;
+  if (t_attempt_context.stop && t_attempt_context.stop->load(std::memory_order_relaxed))
+    throw TransientError("service is shutting down");
+  if (t_attempt_context.deadline &&
+      std::chrono::steady_clock::now() >= *t_attempt_context.deadline)
+    throw DeadlineError("attempt exceeded the job deadline");
+}
+
+// --- retry driver -----------------------------------------------------------
+
+namespace {
+
+std::string describe(const std::exception_ptr& failure) {
+  try {
+    std::rethrow_exception(failure);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown failure";
+  }
+}
+
+/// Sleeps `delay_ms`, waking early when the stop flag rises or the deadline
+/// passes (the loop head then settles the job; no point finishing the nap).
+void interruptible_sleep(double delay_ms, const std::atomic<bool>* stop,
+                         const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<std::int64_t>(delay_ms * 1000.0));
+  while (std::chrono::steady_clock::now() < until) {
+    if (stop && stop->load(std::memory_order_relaxed)) return;
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) return;
+    const auto remaining = until - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+        remaining, std::chrono::milliseconds(1)));
+  }
+}
+
+}  // namespace
+
+RetryOutcome run_with_retry(const RetryPolicy& policy, std::uint64_t jitter_seed,
+                            std::chrono::steady_clock::time_point submitted,
+                            const std::string& engine, CircuitBreaker* breaker,
+                            const std::atomic<bool>* stop, int first_attempt_index,
+                            const std::function<core::ExecutionResult()>& attempt_fn) {
+  RetryOutcome out;
+  const auto deadline = policy.deadline_from(submitted);
+  for (int attempt = first_attempt_index;; ++attempt) {
+    const int retry_index = attempt - first_attempt_index;
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      // Aged out — possibly before ever running (a deep queue counts against
+      // the budget).  No attempt entry: nothing was tried.
+      out.failure = std::make_exception_ptr(DeadlineError(
+          "job exceeded its deadline of " + std::to_string(policy.deadline_ms) + " ms on '" +
+          engine + "' after " + std::to_string(out.attempts.size()) + " attempt(s)"));
+      out.kind = ErrorKind::Deadline;
+      return out;
+    }
+    // The first attempt is always admitted: an explicitly requested engine
+    // reports its real error, and a closed-over backend gets its half-open
+    // probe traffic for free.  Only retries fail fast on an open breaker.
+    if (retry_index > 0 && breaker && !breaker->allow()) {
+      const std::string message = "circuit breaker open for engine '" + engine + "'";
+      out.failure = std::make_exception_ptr(TransientError(message));
+      out.kind = ErrorKind::Transient;
+      out.attempts.push_back({attempt, engine, message, ErrorKind::Transient});
+    } else {
+      try {
+        ScopedAttempt scope({attempt, deadline, stop});
+        out.result = attempt_fn();
+        if (breaker) breaker->record_success();
+        out.failure = nullptr;
+        out.kind = ErrorKind::None;
+        out.attempts.push_back({attempt, engine, "", ErrorKind::None});
+        return out;
+      } catch (...) {
+        out.failure = std::current_exception();
+        out.kind = classify_failure(out.failure);
+        out.attempts.push_back({attempt, engine, describe(out.failure), out.kind});
+        // Transient and deadline outcomes are backend sickness; permanent
+        // ones indict the job and leave the breaker window untouched.
+        if (breaker && (out.kind == ErrorKind::Transient || out.kind == ErrorKind::Deadline))
+          breaker->record_failure();
+      }
+    }
+    if (out.kind != ErrorKind::Transient) return out;  // permanent or deadline
+    if (retry_index >= policy.max_retries) return out;  // retries exhausted
+    if (stop && stop->load(std::memory_order_relaxed)) return out;  // shutting down
+    interruptible_sleep(policy.backoff_for(retry_index, jitter_seed), stop, deadline);
+  }
+}
+
+}  // namespace quml::svc

@@ -1,0 +1,257 @@
+#pragma once
+// Resilience layer for the execution service: error taxonomy, retry/backoff/
+// deadline policies, and per-backend circuit breakers.
+//
+// The middle layer sits between applications and unreliable backends, so a
+// worker throw must not automatically be the end of a job.  This header
+// defines the three pieces the service composes:
+//
+//   * an error taxonomy (ErrorKind + classify_failure): transient failures
+//     are retryable infrastructure conditions, permanent ones are defects of
+//     the job itself.  ValidationError (including analysis::DiagnosticError)
+//     is never retried — resubmitting a semantically broken bundle cannot
+//     succeed;
+//   * RetryPolicy: per-job knobs read from exec.options {max_retries,
+//     retry_backoff_ms, deadline_ms}, exponential backoff with seeded
+//     deterministic jitter, and a wall-clock deadline measured from
+//     submission;
+//   * CircuitBreaker / BreakerBoard: per-backend CLOSED/OPEN/HALF_OPEN health
+//     tracking on a rolling failure window.  Breaker state feeds the
+//     sched::BackendCapability snapshot (`health`), so "auto" routing steers
+//     around sick backends; inside a job it fail-fasts the *retry* attempts
+//     (the first attempt is always admitted, so an explicitly requested
+//     engine still reports its real error and doubles as the half-open
+//     probe).
+//
+// An AttemptContext travels on the worker thread (thread-local, installed by
+// run_with_retry): cooperative backends — chiefly backend::FaultInjector's
+// hang and latency modes — poll attempt_check_interrupt() so a per-job
+// deadline or a service shutdown can always unblock them.  Everything here
+// locks through util/sync.hpp and carries the same Clang thread-safety
+// contracts as the rest of the concurrency layer.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/result.hpp"
+#include "util/errors.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace quml::svc {
+
+// --- error taxonomy ---------------------------------------------------------
+
+/// How a job failed, for callers auditing JobHandle::error_kind().
+enum class ErrorKind {
+  None,       ///< no failure (job succeeded or is still in flight)
+  Transient,  ///< infrastructure condition; retrying may succeed
+  Permanent,  ///< defect of the job itself; retrying cannot succeed
+  Cancelled,  ///< cancelled while queued
+  Deadline,   ///< exceeded its exec.options.deadline_ms budget
+};
+
+/// "none", "transient", "permanent", "cancelled", "deadline".
+const char* to_string(ErrorKind kind);
+
+/// Explicitly retryable failure (the FaultInjector's default flavour).
+class TransientError : public BackendError {
+ public:
+  using BackendError::BackendError;
+};
+
+/// Explicitly non-retryable backend failure.
+class PermanentError : public BackendError {
+ public:
+  using BackendError::BackendError;
+};
+
+/// The job ran out of wall-clock budget (exec.options.deadline_ms).
+class DeadlineError : public BackendError {
+ public:
+  using BackendError::BackendError;
+};
+
+/// Maps an exception to the taxonomy.  DeadlineError -> Deadline;
+/// TransientError and plain BackendError -> Transient (an execution-time
+/// infrastructure failure is worth one more try); PermanentError,
+/// ValidationError (incl. analysis::DiagnosticError), SchemaError,
+/// ParseError, LoweringError and anything unrecognized -> Permanent.
+/// A null pointer maps to None.
+ErrorKind classify_failure(const std::exception_ptr& failure) noexcept;
+
+// --- retry policy -----------------------------------------------------------
+
+/// Per-job retry/backoff/deadline knobs, read from exec.options.  The
+/// defaults are "no resilience": max_retries == 0 preserves the historical
+/// one-shot semantics, and opting into retries (max_retries > 0) also opts
+/// the job into cross-engine failover after the retries are exhausted.
+struct RetryPolicy {
+  int max_retries = 0;        ///< extra attempts after the first (exec.options.max_retries)
+  double backoff_ms = 10.0;   ///< first retry delay (exec.options.retry_backoff_ms)
+  double multiplier = 2.0;    ///< exponential growth per retry
+  double jitter_frac = 0.25;  ///< +/- fraction of the delay, seeded (never random)
+  double deadline_ms = 0.0;   ///< wall-clock budget from submission; 0 = none
+
+  /// Reads {max_retries, retry_backoff_ms, deadline_ms} from exec.options
+  /// (absent keys keep the defaults; negative values clamp to 0).
+  static RetryPolicy from_exec(const core::ExecPolicy& exec);
+
+  /// Delay before retry `retry_index` (0-based): backoff_ms * multiplier^i,
+  /// jittered into [delay*(1-j), delay*(1+j)) deterministically from
+  /// (seed, retry_index) — same seed, same schedule, every run.
+  double backoff_for(int retry_index, std::uint64_t seed) const;
+
+  /// Absolute deadline for a job submitted at `submitted`, or nullopt when
+  /// deadline_ms == 0.
+  std::optional<std::chrono::steady_clock::time_point> deadline_from(
+      std::chrono::steady_clock::time_point submitted) const;
+};
+
+/// One entry of a job's attempt log (JobHandle::attempt_log()).
+struct Attempt {
+  int index = 0;         ///< 0-based, continues across failover
+  std::string engine;    ///< canonical engine the attempt ran on
+  std::string error;     ///< failure message; empty for the successful attempt
+  ErrorKind kind = ErrorKind::None;
+};
+
+// --- circuit breaker --------------------------------------------------------
+
+struct BreakerConfig {
+  int window = 16;            ///< rolling outcome window per backend
+  int failure_threshold = 5;  ///< failures in the window that trip OPEN
+  double cooldown_ms = 250.0; ///< OPEN -> HALF_OPEN after this long
+  int half_open_probes = 1;   ///< concurrent trial attempts while HALF_OPEN
+};
+
+/// Per-backend health tracker.  CLOSED admits everything; OPEN admits
+/// nothing (retry attempts fail fast, "auto" routing treats the backend as
+/// infeasible); HALF_OPEN admits a bounded number of probes — one success
+/// closes the breaker and resets the window, one failure reopens it.
+/// Transient and deadline outcomes count as failures; permanent failures are
+/// defects of the job, not the backend, and leave the window untouched.
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  /// True when an attempt may proceed; a HALF_OPEN admission consumes one
+  /// probe slot until record_success()/record_failure() returns it.
+  bool allow() QUML_EXCLUDES(mutex_);
+  void record_success() QUML_EXCLUDES(mutex_);
+  void record_failure() QUML_EXCLUDES(mutex_);
+  State state() const QUML_EXCLUDES(mutex_);
+
+ private:
+  /// Time-based OPEN -> HALF_OPEN transition; call before reading state_.
+  void refresh(std::chrono::steady_clock::time_point now) QUML_REQUIRES(mutex_);
+  void push_outcome(bool failed) QUML_REQUIRES(mutex_);
+
+  const BreakerConfig config_;
+  mutable Mutex mutex_;
+  State state_ QUML_GUARDED_BY(mutex_) = State::Closed;
+  std::deque<bool> window_ QUML_GUARDED_BY(mutex_);  // true = failure
+  int window_failures_ QUML_GUARDED_BY(mutex_) = 0;
+  int probes_inflight_ QUML_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point opened_at_ QUML_GUARDED_BY(mutex_);
+};
+
+/// "closed", "open", "half_open" — the vocabulary of
+/// sched::BackendCapability::health.
+const char* to_string(CircuitBreaker::State state);
+
+/// Lazily grown engine -> CircuitBreaker map.  Breakers are never removed,
+/// so a reference from breaker() stays valid for the board's lifetime and
+/// can be used without holding the board lock.
+class BreakerBoard {
+ public:
+  explicit BreakerBoard(BreakerConfig config = {});
+
+  CircuitBreaker& breaker(const std::string& engine) QUML_EXCLUDES(mutex_);
+  /// Closed for engines that have never been seen.
+  CircuitBreaker::State state(const std::string& engine) const QUML_EXCLUDES(mutex_);
+
+ private:
+  const BreakerConfig config_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_ QUML_GUARDED_BY(mutex_);
+};
+
+// --- attempt context --------------------------------------------------------
+
+/// What the current attempt knows about its own lifetime.  Installed
+/// thread-locally by run_with_retry for the duration of one backend call.
+struct AttemptContext {
+  int attempt = 0;  ///< 0-based global attempt index of the enclosing job
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  const std::atomic<bool>* stop = nullptr;  ///< service shutdown flag
+};
+
+/// RAII installer; restores the previous context on destruction so nested
+/// attempts (a backend running sub-jobs inline) unwind correctly.
+class ScopedAttempt {
+ public:
+  explicit ScopedAttempt(AttemptContext context);
+  ~ScopedAttempt();
+  ScopedAttempt(const ScopedAttempt&) = delete;
+  ScopedAttempt& operator=(const ScopedAttempt&) = delete;
+
+ private:
+  AttemptContext previous_;
+  bool previous_active_ = false;
+};
+
+/// 0-based attempt index of the enclosing retry loop; 0 outside any attempt.
+/// The FaultInjector keys fail-first-N injection off this.
+int current_attempt() noexcept;
+
+/// True when a retry loop installed a context on this thread.
+bool in_attempt() noexcept;
+
+/// Cooperative interruption point for long-running or deliberately hanging
+/// backend code: throws DeadlineError once the attempt's deadline passes and
+/// TransientError("service is shutting down") once the stop flag is set.
+/// No-op outside an attempt or when neither condition holds.
+void attempt_check_interrupt();
+
+// --- retry driver -----------------------------------------------------------
+
+/// What one retry loop produced: either a result (failure == nullptr) or the
+/// final failure with its classification, plus the full attempt log.
+struct RetryOutcome {
+  core::ExecutionResult result;
+  std::exception_ptr failure;
+  ErrorKind kind = ErrorKind::None;
+  std::vector<Attempt> attempts;
+};
+
+/// Runs `attempt_fn` under `policy`.  Transient failures are retried up to
+/// policy.max_retries times with seeded exponential backoff; permanent and
+/// deadline failures stop immediately.  The deadline is checked before every
+/// attempt (a job that aged out in the queue settles without running) and
+/// enforced cooperatively inside attempts via the installed AttemptContext.
+/// `breaker` (may be null) sees every outcome; retry attempts — never the
+/// first — fail fast while it refuses admission.  A set `stop` flag cuts
+/// backoff sleeps short so shutdown never waits on a retry schedule.
+/// `first_attempt_index` offsets the attempt numbering (failover continues
+/// the primary engine's count).  Never throws; the failure travels in the
+/// outcome.
+RetryOutcome run_with_retry(const RetryPolicy& policy, std::uint64_t jitter_seed,
+                            std::chrono::steady_clock::time_point submitted,
+                            const std::string& engine, CircuitBreaker* breaker,
+                            const std::atomic<bool>* stop, int first_attempt_index,
+                            const std::function<core::ExecutionResult()>& attempt_fn);
+
+}  // namespace quml::svc

@@ -269,6 +269,38 @@ TEST(AdmissionPass, FlagsGateJobOnAnnealEngineAndViceVersa) {
   EXPECT_FALSE(analysis::analyze_bundle(ising, options).has_errors());
 }
 
+// --- options pass (QA006) ----------------------------------------------------
+
+TEST(OptionsPass, WarnsOnUnrecognizedExecOptionKeyWithSuggestion) {
+  core::JobBundle bundle = qft_bundle(4, "gate.statevector_simulator");
+  bundle.context->exec.options.set("max_retrys", json::Value(static_cast<std::int64_t>(2)));
+  const Report report = analysis::analyze_bundle(bundle);
+  ASSERT_TRUE(has_code(report, "QA006"));
+  const Diagnostic& d = find_code(report, "QA006");
+  EXPECT_EQ(d.severity, Severity::Warning);  // never rejects, only warns
+  EXPECT_NE(d.message.find("max_retrys"), std::string::npos);
+  EXPECT_NE(d.message.find("did you mean 'max_retries'"), std::string::npos);
+}
+
+TEST(OptionsPass, ChecksNestedFaultBlockKeys) {
+  core::JobBundle bundle = qft_bundle(4, "gate.statevector_simulator");
+  json::Value fault = json::Value::object();
+  fault.set("fail_probb", json::Value(0.5));
+  bundle.context->exec.options.set("fault", fault);
+  const Report report = analysis::analyze_bundle(bundle);
+  ASSERT_TRUE(has_code(report, "QA006"));
+  EXPECT_NE(find_code(report, "QA006").message.find("fail_prob"), std::string::npos);
+}
+
+TEST(OptionsPass, KnownKeysStayQuiet) {
+  core::JobBundle bundle = qft_bundle(4, "gate.statevector_simulator");
+  bundle.context->exec.options.set("max_retries", json::Value(static_cast<std::int64_t>(2)));
+  bundle.context->exec.options.set("retry_backoff_ms", json::Value(5.0));
+  bundle.context->exec.options.set("deadline_ms", json::Value(1000.0));
+  bundle.context->exec.options.set("optimization_level", json::Value(static_cast<std::int64_t>(2)));
+  EXPECT_FALSE(has_code(analysis::analyze_bundle(bundle), "QA006"));
+}
+
 // --- params pass (QA010-13) --------------------------------------------------
 
 TEST(ParamsPass, PackageRejectsUndeclaredReferenceWithQA010) {
@@ -481,9 +513,9 @@ TEST(ResourcesPass, NotesMatchCircuitMetricsAndRespectToggle) {
 
 TEST(PassRegistryTest, BuiltinsAreRegisteredInOrder) {
   const std::vector<std::string> names = analysis::PassRegistry::instance().names();
-  const std::vector<std::string> expected = {"bounds",    "admission",      "params",
-                                             "unitarity", "clbit-dataflow", "dead-gates",
-                                             "resources"};
+  const std::vector<std::string> expected = {"bounds",         "admission",  "options",
+                                             "params",         "unitarity",  "clbit-dataflow",
+                                             "dead-gates",     "resources"};
   EXPECT_EQ(names, expected);
 }
 

@@ -1,0 +1,592 @@
+// Resilience suite: error taxonomy, retry/backoff/deadline policies, circuit
+// breakers, deterministic fault injection, and cross-engine failover.
+//
+// The scenarios the layer exists for:
+//   * a seeded fail-first-N job succeeds with exactly N+1 attempts and counts
+//     bit-identical to a fault-free run of the same bundle;
+//   * breaker transitions closed -> open -> half_open -> closed, and an open
+//     breaker steers "auto" routing away from the sick backend;
+//   * deadline-exceeded jobs SETTLE (observed via wait_for, never a bare
+//     wait) even when the backend hangs forever;
+//   * a job exhausting retries fails over once to a capability-compatible
+//     engine, with the full attempt trail on the JobHandle;
+//   * a seeded chaos soak (~20% fault rate) loses no job and replays
+//     bit-identically run over run.
+//
+// The whole binary also runs under `ctest -L svc` (the ThreadSanitizer CI
+// leg) and the soak cases under `ctest -L chaos` (the chaos CI job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algolib/qft.hpp"
+#include "backend/register_backends.hpp"
+#include "core/params.hpp"
+#include "core/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "svc/execution_service.hpp"
+#include "svc/resilience.hpp"
+#include "util/errors.hpp"
+
+namespace quml {
+namespace {
+
+using namespace std::chrono_literals;
+using svc::CircuitBreaker;
+using svc::ErrorKind;
+
+// --- fixtures ----------------------------------------------------------------
+
+core::JobBundle qft_job(unsigned width, std::uint64_t seed, const std::string& engine,
+                        std::int64_t samples = 64) {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  seq.ops.push_back(algolib::qft_descriptor(reg, {}));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context ctx;
+  ctx.exec.engine = engine;
+  ctx.exec.samples = samples;
+  ctx.exec.seed = seed;
+  return core::JobBundle::package(std::move(regs), std::move(seq), ctx,
+                                  "res" + std::to_string(width) + "-s" + std::to_string(seed));
+}
+
+/// Adds the resilience knobs to a bundle's exec.options.
+void set_policy(core::JobBundle& bundle, int max_retries, double backoff_ms,
+                double deadline_ms = 0.0) {
+  auto& options = bundle.context->exec.options;
+  options.set("max_retries", json::Value(static_cast<std::int64_t>(max_retries)));
+  options.set("retry_backoff_ms", json::Value(backoff_ms));
+  if (deadline_ms > 0.0) options.set("deadline_ms", json::Value(deadline_ms));
+}
+
+/// Adds a backend::FaultInjector recipe to exec.options.fault.
+void set_fault(core::JobBundle& bundle, const std::string& key, json::Value value) {
+  auto& options = bundle.context->exec.options;
+  json::Value fault = json::Value::object();
+  if (const json::Value* existing = options.find("fault")) fault = *existing;
+  fault.set(key, std::move(value));
+  options.set("fault", std::move(fault));
+}
+
+/// Fault-free ground truth: the same circuit, seed, and samples run directly
+/// on the inner engine the injector delegates to.
+std::map<std::string, std::int64_t> baseline_counts(unsigned width, std::uint64_t seed,
+                                                    std::int64_t samples = 64) {
+  return core::submit(qft_job(width, seed, "gate.statevector_simulator", samples)).counts.map();
+}
+
+/// Gate backend that always throws TransientError, for breaker-trip tests.
+/// Advertises 2 qubits so no wider job (and no failover scan for one) can
+/// land here by accident.
+class SickBackend : public core::Backend {
+ public:
+  std::string name() const override { return "gate.res_sick"; }
+  core::ExecutionResult run(const core::JobBundle&) override {
+    throw svc::TransientError("res_sick backend is down");
+  }
+  json::Value capabilities() const override {
+    json::Value caps = json::Value::object();
+    caps.set("name", json::Value(name()));
+    caps.set("kind", json::Value("gate"));
+    caps.set("num_qubits", json::Value(static_cast<std::int64_t>(2)));
+    return caps;
+  }
+};
+
+void ensure_test_backends() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    core::BackendRegistry::instance().register_backend(
+        "gate.res_sick", [] { return std::make_unique<SickBackend>(); });
+  });
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    backend::register_builtin_backends();
+    ensure_test_backends();
+  }
+};
+
+// --- taxonomy ----------------------------------------------------------------
+
+TEST(ErrorTaxonomy, ClassifiesTheHierarchy) {
+  const auto classify = [](auto&& error) {
+    return svc::classify_failure(std::make_exception_ptr(error));
+  };
+  EXPECT_EQ(svc::classify_failure(nullptr), ErrorKind::None);
+  EXPECT_EQ(classify(svc::TransientError("x")), ErrorKind::Transient);
+  EXPECT_EQ(classify(svc::PermanentError("x")), ErrorKind::Permanent);
+  EXPECT_EQ(classify(svc::DeadlineError("x")), ErrorKind::Deadline);
+  // Plain execution-time backend failures default to transient (the bundle
+  // passed admission; the infrastructure broke).
+  EXPECT_EQ(classify(BackendError("x")), ErrorKind::Transient);
+  // Defects of the job itself are never worth a retry.
+  EXPECT_EQ(classify(ValidationError("x")), ErrorKind::Permanent);
+  EXPECT_EQ(classify(LoweringError("x")), ErrorKind::Permanent);
+  EXPECT_EQ(classify(SchemaError("x", "/p")), ErrorKind::Permanent);
+  EXPECT_EQ(classify(std::runtime_error("x")), ErrorKind::Permanent);
+  EXPECT_STREQ(svc::to_string(ErrorKind::Transient), "transient");
+  EXPECT_STREQ(svc::to_string(ErrorKind::Deadline), "deadline");
+}
+
+// --- retry policy ------------------------------------------------------------
+
+TEST(RetryPolicy, ReadsExecOptionsAndClampsNegatives) {
+  core::ExecPolicy exec;
+  exec.options.set("max_retries", json::Value(static_cast<std::int64_t>(3)));
+  exec.options.set("retry_backoff_ms", json::Value(5.5));
+  exec.options.set("deadline_ms", json::Value(1500.0));
+  const svc::RetryPolicy policy = svc::RetryPolicy::from_exec(exec);
+  EXPECT_EQ(policy.max_retries, 3);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms, 5.5);
+  EXPECT_DOUBLE_EQ(policy.deadline_ms, 1500.0);
+
+  core::ExecPolicy hostile;
+  hostile.options.set("max_retries", json::Value(static_cast<std::int64_t>(-4)));
+  hostile.options.set("retry_backoff_ms", json::Value(-1.0));
+  const svc::RetryPolicy clamped = svc::RetryPolicy::from_exec(hostile);
+  EXPECT_EQ(clamped.max_retries, 0);
+  EXPECT_DOUBLE_EQ(clamped.backoff_ms, 0.0);
+  EXPECT_FALSE(clamped.deadline_from(std::chrono::steady_clock::now()).has_value());
+}
+
+TEST(RetryPolicy, BackoffIsSeededExponentialWithBoundedJitter) {
+  svc::RetryPolicy policy;
+  policy.backoff_ms = 10.0;
+  policy.multiplier = 2.0;
+  policy.jitter_frac = 0.25;
+  for (int i = 0; i < 4; ++i) {
+    const double base = 10.0 * std::pow(2.0, i);
+    const double delay = policy.backoff_for(i, 42);
+    EXPECT_GE(delay, base * 0.75) << "retry " << i;
+    EXPECT_LT(delay, base * 1.25) << "retry " << i;
+    // Same (seed, index) -> same delay, every run: the schedule is replayable.
+    EXPECT_DOUBLE_EQ(delay, policy.backoff_for(i, 42));
+  }
+  // Different seeds decorrelate, zero base never sleeps.
+  EXPECT_NE(policy.backoff_for(1, 42), policy.backoff_for(1, 43));
+  policy.backoff_ms = 0.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3, 42), 0.0);
+}
+
+// --- circuit breaker (unit) --------------------------------------------------
+
+svc::BreakerConfig fast_breaker() {
+  svc::BreakerConfig config;
+  config.window = 8;
+  config.failure_threshold = 3;
+  config.cooldown_ms = 50.0;
+  config.half_open_probes = 1;
+  return config;
+}
+
+TEST(Breaker, OpensOnRollingFailuresThenHalfOpensThenCloses) {
+  CircuitBreaker breaker(fast_breaker());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow());
+
+  std::this_thread::sleep_for(80ms);  // past the 50ms cooldown
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_TRUE(breaker.allow());   // the single probe slot
+  EXPECT_FALSE(breaker.allow());  // concurrent probes are bounded
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  // The window was reset on close: old failures don't count against new ones.
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(Breaker, FailedProbeReopens) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  std::this_thread::sleep_for(80ms);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // the probe died: straight back to Open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow());
+}
+
+TEST(Breaker, SuccessesAgeFailuresOutOfTheWindow) {
+  svc::BreakerConfig config = fast_breaker();
+  config.window = 4;
+  CircuitBreaker breaker(config);
+  breaker.record_failure();
+  breaker.record_failure();
+  // Four successes push both failures out of the 4-slot window...
+  for (int i = 0; i < 4; ++i) breaker.record_success();
+  // ...so two more failures still don't reach the threshold of 3.
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(BreakerBoard, UnseenEnginesAreClosedAndReferencesAreStable) {
+  svc::BreakerBoard board(fast_breaker());
+  EXPECT_EQ(board.state("gate.never_seen"), CircuitBreaker::State::Closed);
+  CircuitBreaker& a = board.breaker("gate.a");
+  CircuitBreaker& again = board.breaker("gate.a");
+  EXPECT_EQ(&a, &again);
+  for (int i = 0; i < 3; ++i) a.record_failure();
+  EXPECT_EQ(board.state("gate.a"), CircuitBreaker::State::Open);
+  EXPECT_EQ(board.state("gate.b"), CircuitBreaker::State::Closed);
+}
+
+// --- fail-first-N: retries succeed with bit-identical counts -----------------
+
+TEST_F(ResilienceTest, FailFirstNSucceedsWithExactlyNPlusOneAttempts) {
+  constexpr int kN = 2;
+  core::JobBundle job = qft_job(4, 7, "gate.fault_injector");
+  set_policy(job, /*max_retries=*/3, /*backoff_ms=*/0.5);
+  set_fault(job, "fail_first_n", json::Value(static_cast<std::int64_t>(kN)));
+
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  ASSERT_TRUE(handle.wait_for(30s));
+  ASSERT_EQ(handle.status(), svc::JobStatus::Done) << handle.error();
+  EXPECT_EQ(handle.attempts(), static_cast<std::size_t>(kN + 1));
+  EXPECT_EQ(handle.error_kind(), ErrorKind::None);
+  EXPECT_TRUE(handle.failover_engine().empty());
+
+  const auto log = handle.attempt_log();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kN + 1));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(i)].index, i);
+    EXPECT_EQ(log[static_cast<std::size_t>(i)].kind, ErrorKind::Transient);
+    EXPECT_NE(log[static_cast<std::size_t>(i)].error.find("injected fault"), std::string::npos);
+  }
+  EXPECT_EQ(log.back().kind, ErrorKind::None);
+  EXPECT_TRUE(log.back().error.empty());
+
+  // The surviving attempt delegates the unmodified bundle to the inner
+  // engine: counts are bit-identical to a fault-free run.
+  EXPECT_EQ(handle.result().counts.map(), baseline_counts(4, 7));
+}
+
+TEST_F(ResilienceTest, PermanentFaultsAreNeverRetried) {
+  core::JobBundle job = qft_job(4, 8, "gate.fault_injector");
+  set_policy(job, /*max_retries=*/3, /*backoff_ms=*/0.5);
+  set_fault(job, "fail_first_n", json::Value(static_cast<std::int64_t>(10)));
+  set_fault(job, "kind", json::Value("permanent"));
+
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  ASSERT_TRUE(handle.wait_for(30s));
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_EQ(handle.attempts(), 1u);  // retry budget left untouched
+  EXPECT_EQ(handle.error_kind(), ErrorKind::Permanent);
+  EXPECT_TRUE(handle.failover_engine().empty());  // failover is transient-only
+  EXPECT_THROW(handle.result(), svc::PermanentError);
+}
+
+// --- deadlines: hanging backends settle, queued jobs age out -----------------
+
+TEST_F(ResilienceTest, DeadlineSettlesAHangingBackend) {
+  core::JobBundle job = qft_job(4, 9, "gate.fault_injector");
+  set_policy(job, /*max_retries=*/0, /*backoff_ms=*/0.0, /*deadline_ms=*/200.0);
+  set_fault(job, "hang", json::Value(true));
+
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  // wait_for, never wait: the assertion IS that the job settles.
+  ASSERT_TRUE(handle.wait_for(30s)) << "hanging job never settled";
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_EQ(handle.error_kind(), ErrorKind::Deadline);
+  EXPECT_THROW(handle.result(), svc::DeadlineError);
+}
+
+TEST_F(ResilienceTest, QueuedJobAgesOutAgainstItsDeadline) {
+  svc::ServiceConfig config;
+  config.default_workers = 1;  // serialize the injector pool
+  svc::ExecutionService service(config);
+
+  core::JobBundle slow = qft_job(4, 10, "gate.fault_injector");
+  set_fault(slow, "latency_ms", json::Value(400.0));
+  core::JobBundle doomed = qft_job(4, 11, "gate.fault_injector");
+  set_policy(doomed, /*max_retries=*/2, /*backoff_ms=*/1.0, /*deadline_ms=*/100.0);
+
+  const svc::JobId blocker = service.submit(slow);
+  const svc::JobHandle handle = service.handle(service.submit(doomed));
+  ASSERT_TRUE(handle.wait_for(30s));
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_EQ(handle.error_kind(), ErrorKind::Deadline);
+  // The deadline ate the job before it ever ran: queue time counts against
+  // the budget, and nothing was attempted.
+  EXPECT_EQ(handle.attempts(), 0u);
+  EXPECT_NE(handle.error().find("deadline"), std::string::npos);
+  service.handle(blocker).wait();
+}
+
+TEST_F(ResilienceTest, ShutdownInterruptsHangingAttempts) {
+  core::JobBundle job = qft_job(4, 12, "gate.fault_injector");
+  // Generous deadline: only the shutdown stop flag can unblock this hang.
+  set_policy(job, /*max_retries=*/0, /*backoff_ms=*/0.0, /*deadline_ms=*/60000.0);
+  set_fault(job, "hang", json::Value(true));
+
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  service.shutdown();  // must not wait out the 60s deadline
+  ASSERT_TRUE(is_terminal(handle.status()));
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_NE(handle.error().find("shutting down"), std::string::npos) << handle.error();
+}
+
+// --- cancellation keeps its own kind ----------------------------------------
+
+TEST_F(ResilienceTest, CancelledJobsReportCancelledKind) {
+  svc::ServiceConfig config;
+  config.default_workers = 1;
+  svc::ExecutionService service(config);
+  core::JobBundle slow = qft_job(4, 13, "gate.fault_injector");
+  set_fault(slow, "latency_ms", json::Value(300.0));
+  const svc::JobId running = service.submit(slow);
+  const svc::JobHandle victim = service.handle(service.submit(qft_job(4, 14, "gate.fault_injector")));
+  ASSERT_TRUE(victim.cancel());
+  EXPECT_EQ(victim.error_kind(), ErrorKind::Cancelled);
+  service.handle(running).wait();
+}
+
+// --- failover ----------------------------------------------------------------
+
+TEST_F(ResilienceTest, ExhaustedRetriesFailOverToACompatibleEngine) {
+  core::JobBundle job = qft_job(4, 15, "gate.fault_injector");
+  set_policy(job, /*max_retries=*/1, /*backoff_ms=*/0.5);
+  set_fault(job, "fail_prob", json::Value(1.0));  // the injector never yields
+
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  ASSERT_TRUE(handle.wait_for(30s));
+  ASSERT_EQ(handle.status(), svc::JobStatus::Done) << handle.error();
+  EXPECT_EQ(handle.failover_engine(), "gate.statevector_simulator");
+
+  // Two transient strikes on the injector, one success on the alternate, one
+  // continuous attempt numbering across the switch.
+  const auto log = handle.attempt_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].engine, "gate.fault_injector");
+  EXPECT_EQ(log[0].kind, ErrorKind::Transient);
+  EXPECT_EQ(log[1].engine, "gate.fault_injector");
+  EXPECT_EQ(log[2].engine, "gate.statevector_simulator");
+  EXPECT_EQ(log[2].index, 2);
+  EXPECT_EQ(log[2].kind, ErrorKind::None);
+
+  // The alternate ran the same unmodified bundle: identical counts.
+  EXPECT_EQ(handle.result().counts.map(), baseline_counts(4, 15));
+}
+
+TEST_F(ResilienceTest, FailFastJobsNeverFailOver) {
+  // Historical semantics: without max_retries the first failure is final —
+  // no second engine, no surprise counts from an engine the user never chose.
+  core::JobBundle job = qft_job(4, 16, "gate.fault_injector");
+  set_fault(job, "fail_prob", json::Value(1.0));
+  svc::ExecutionService service;
+  const svc::JobHandle handle = service.handle(service.submit(job));
+  ASSERT_TRUE(handle.wait_for(30s));
+  EXPECT_EQ(handle.status(), svc::JobStatus::Failed);
+  EXPECT_EQ(handle.attempts(), 1u);
+  EXPECT_TRUE(handle.failover_engine().empty());
+  EXPECT_EQ(handle.error_kind(), ErrorKind::Transient);
+}
+
+// --- breaker wired into the service -----------------------------------------
+
+TEST_F(ResilienceTest, RepeatedFailuresOpenTheBreakerAndAutoRoutesAround) {
+  svc::ServiceConfig config;
+  config.breaker.window = 8;
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown_ms = 60000.0;  // stays open for the whole test
+  svc::ExecutionService service(config);
+  EXPECT_EQ(service.breaker_state("gate.res_sick"), CircuitBreaker::State::Closed);
+
+  // Three real transient failures trip the breaker; the remaining retries
+  // fail fast on it, and the exhausted job then fails over and completes.
+  core::JobBundle trip = qft_job(2, 17, "gate.res_sick");
+  set_policy(trip, /*max_retries=*/4, /*backoff_ms=*/0.5);
+  const svc::JobHandle handle = service.handle(service.submit(trip));
+  ASSERT_TRUE(handle.wait_for(30s));
+  EXPECT_EQ(service.breaker_state("gate.res_sick"), CircuitBreaker::State::Open);
+  ASSERT_EQ(handle.status(), svc::JobStatus::Done) << handle.error();
+  EXPECT_FALSE(handle.failover_engine().empty());
+  const auto log = handle.attempt_log();
+  ASSERT_EQ(log.size(), 6u);  // 3 real failures + 2 breaker fail-fasts + 1 failover
+  EXPECT_NE(log[3].error.find("circuit breaker open"), std::string::npos);
+  EXPECT_NE(log[4].error.find("circuit breaker open"), std::string::npos);
+
+  // Breaker state feeds the capability snapshot feeding "auto" routing.
+  bool found = false;
+  for (const auto& cap : service.capability_snapshot())
+    if (cap.name == "gate.res_sick") {
+      found = true;
+      EXPECT_EQ(cap.health, "open");
+      const sched::JobEstimate est = sched::estimate(qft_job(2, 18, "auto"), cap);
+      EXPECT_FALSE(est.feasible);
+      EXPECT_NE(est.reason.find("circuit breaker"), std::string::npos);
+    }
+  EXPECT_TRUE(found);
+
+  const svc::JobHandle routed = service.handle(service.submit(qft_job(2, 19, "auto")));
+  EXPECT_NE(routed.engine(), "gate.res_sick");
+  ASSERT_TRUE(routed.wait_for(30s));
+  EXPECT_EQ(routed.status(), svc::JobStatus::Done);
+}
+
+// --- sweeps: per-binding retries, taxonomy, no failover ----------------------
+
+TEST_F(ResilienceTest, SweepBindingsRetryUnderTheSweepPolicy) {
+  core::JobBundle job = qft_job(3, 20, "gate.fault_injector");
+  set_policy(job, /*max_retries=*/1, /*backoff_ms=*/0.5);
+  set_fault(job, "fail_first_n", json::Value(static_cast<std::int64_t>(1)));
+
+  svc::ServiceConfig config;
+  config.default_workers = 2;
+  svc::ExecutionService service(config);
+  const svc::SweepHandle sweep =
+      service.submit_sweep(job, std::vector<std::vector<double>>(3));
+  ASSERT_TRUE(sweep.wait_for(60s));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    // Every binding's attempt 0 hits the injected fault; the per-binding
+    // retry (attempt 1) survives and reproduces the fault-free counts
+    // (bindings run under their own derived seed, so the baseline does too).
+    ASSERT_EQ(sweep.status(i), svc::JobStatus::Done) << sweep.error(i);
+    EXPECT_EQ(sweep.error_kind(i), ErrorKind::None);
+    EXPECT_EQ(sweep.result(i).counts.map(), baseline_counts(3, core::sweep_seed(20, i)));
+  }
+}
+
+TEST_F(ResilienceTest, SweepBindingFailuresCarryTheTaxonomy) {
+  core::JobBundle job = qft_job(3, 21, "gate.fault_injector");
+  set_fault(job, "fail_prob", json::Value(1.0));
+  svc::ExecutionService service;
+  const svc::SweepHandle sweep =
+      service.submit_sweep(job, std::vector<std::vector<double>>(2));
+  ASSERT_TRUE(sweep.wait_for(60s));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep.status(i), svc::JobStatus::Failed);
+    // Sweeps never fail over: the sweep was routed as one unit.
+    EXPECT_EQ(sweep.error_kind(i), ErrorKind::Transient);
+    EXPECT_NE(sweep.error(i).find("injected fault"), std::string::npos);
+  }
+}
+
+// --- chaos soak (also run standalone by the `chaos` CI job) ------------------
+
+/// One soak pass: kJobs seeded jobs through the injector at a 20% fault rate
+/// with retries+failover enabled.  Returns the per-job (status, attempts,
+/// failover) triple for determinism comparison.
+struct SoakRow {
+  svc::JobStatus status;
+  std::size_t attempts;
+  std::string failover;
+  bool operator==(const SoakRow& other) const {
+    return status == other.status && attempts == other.attempts && failover == other.failover;
+  }
+};
+
+std::vector<SoakRow> run_soak(int jobs, int workers, int failure_threshold) {
+  svc::ServiceConfig config;
+  config.default_workers = workers;
+  config.breaker.failure_threshold = failure_threshold;
+  svc::ExecutionService service(config);
+  std::vector<core::JobBundle> bundles;
+  for (int i = 0; i < jobs; ++i) {
+    core::JobBundle job =
+        qft_job(3 + static_cast<unsigned>(i % 3), 100 + static_cast<std::uint64_t>(i),
+                "gate.fault_injector", 32);
+    set_policy(job, /*max_retries=*/3, /*backoff_ms=*/0.2);
+    set_fault(job, "fail_prob", json::Value(0.2));
+    bundles.push_back(std::move(job));
+  }
+  const std::vector<svc::JobId> ids = service.submit_batch(std::move(bundles));
+  std::vector<SoakRow> rows;
+  for (const svc::JobId id : ids) {
+    const svc::JobHandle handle = service.handle(id);
+    // Bounded wait per job: a hung job fails the soak instead of wedging it.
+    EXPECT_TRUE(handle.wait_for(120s)) << "soak job " << id << " never settled";
+    rows.push_back({handle.status(), handle.attempts(), handle.failover_engine()});
+  }
+  service.shutdown();  // clean shutdown with everything drained is part of the soak
+  return rows;
+}
+
+TEST_F(ResilienceTest, ChaosSoakLosesNoJobs) {
+  constexpr int kJobs = 200;
+  const std::vector<SoakRow> rows = run_soak(kJobs, /*workers=*/2, /*failure_threshold=*/5);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kJobs));
+  int retried = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    // Retries or failover must land every job: the injector's survival path
+    // delegates to the statevector engine, and failover reaches it directly.
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].status, svc::JobStatus::Done) << "job " << i;
+    if (rows[static_cast<std::size_t>(i)].attempts > 1) ++retried;
+  }
+  // A 20% fault rate over 200 jobs retries a substantial slice: the soak is
+  // only meaningful if faults actually fired.
+  EXPECT_GT(retried, kJobs / 10);
+}
+
+TEST_F(ResilienceTest, ChaosSoakRetriedCountsMatchFaultFreeRun) {
+  // Every soak survivor must produce counts bit-identical to the fault-free
+  // baseline of its own bundle — retries and failover never skew physics.
+  constexpr int kJobs = 48;
+  svc::ServiceConfig config;
+  config.default_workers = 2;
+  svc::ExecutionService service(config);
+  std::vector<svc::JobId> ids;
+  std::vector<std::map<std::string, std::int64_t>> expected;
+  for (int i = 0; i < kJobs; ++i) {
+    const unsigned width = 3 + static_cast<unsigned>(i % 3);
+    const std::uint64_t seed = 500 + static_cast<std::uint64_t>(i);
+    expected.push_back(baseline_counts(width, seed, 32));
+    core::JobBundle job = qft_job(width, seed, "gate.fault_injector", 32);
+    set_policy(job, /*max_retries=*/3, /*backoff_ms=*/0.2);
+    set_fault(job, "fail_prob", json::Value(0.2));
+    ids.push_back(service.submit(job));
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    const svc::JobHandle handle = service.handle(ids[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(handle.wait_for(120s));
+    ASSERT_EQ(handle.status(), svc::JobStatus::Done) << handle.error();
+    EXPECT_EQ(handle.result().counts.map(), expected[static_cast<std::size_t>(i)])
+        << "job " << i << " diverged from its fault-free baseline";
+  }
+}
+
+TEST_F(ResilienceTest, ChaosSoakReplaysBitIdentically) {
+  // Single worker, breaker effectively disabled: the only nondeterminism
+  // left would be a fault draw or backoff leaking wall-clock state.  Two
+  // fresh services over the same bundles must produce identical trails.
+  const std::vector<SoakRow> first = run_soak(60, /*workers=*/1, /*failure_threshold=*/1000000);
+  const std::vector<SoakRow> second = run_soak(60, /*workers=*/1, /*failure_threshold=*/1000000);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_TRUE(first[i] == second[i])
+        << "job " << i << " diverged: (" << svc::to_string(first[i].status) << ", "
+        << first[i].attempts << ", '" << first[i].failover << "') vs ("
+        << svc::to_string(second[i].status) << ", " << second[i].attempts << ", '"
+        << second[i].failover << "')";
+}
+
+}  // namespace
+}  // namespace quml

@@ -19,6 +19,7 @@
 #include "core/bundle.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/fusion.hpp"
+#include "svc/resilience.hpp"
 #include "util/errors.hpp"
 
 int main(int argc, char** argv) {
@@ -70,6 +71,19 @@ int main(int argc, char** argv) {
                 static_cast<long long>(total.twoq.value_or(0)),
                 static_cast<long long>(total.depth.value_or(0)),
                 static_cast<long long>(total.ancillas.value_or(0)));
+
+    // Resilience policy the service would apply (exec.options knobs).  Only
+    // printed when the bundle opts into something beyond fail-fast defaults.
+    const svc::RetryPolicy policy = svc::RetryPolicy::from_exec(bundle.exec_policy());
+    if (policy.max_retries > 0 || policy.deadline_ms > 0.0) {
+      std::printf("\nresilience policy:\n");
+      std::printf("  max retries   %d (up to %d attempt(s) per engine)\n", policy.max_retries,
+                  policy.max_retries + 1);
+      std::printf("  backoff       %.1f ms base, x%.1f per retry, +/-%.0f%% jitter\n",
+                  policy.backoff_ms, policy.multiplier, policy.jitter_frac * 100.0);
+      if (policy.deadline_ms > 0.0)
+        std::printf("  deadline      %.1f ms from submission\n", policy.deadline_ms);
+    }
 
     // Reference fleet: one ideal dense simulator-class gate device, one MPS
     // simulator (wide but entanglement-priced), one annealer.

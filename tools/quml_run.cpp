@@ -168,6 +168,26 @@ std::vector<std::vector<double>> load_bindings(const std::string& path,
   return bindings;
 }
 
+/// Attempt/failover telemetry: printed whenever the resilience layer did
+/// anything worth auditing (a retry, a failover, or a classified failure).
+void print_resilience(const quml::svc::JobHandle& handle) {
+  const std::vector<quml::svc::Attempt> attempts = handle.attempt_log();
+  const std::string failover = handle.failover_engine();
+  const quml::svc::ErrorKind kind = handle.error_kind();
+  if (attempts.size() <= 1 && failover.empty() && kind == quml::svc::ErrorKind::None) return;
+  std::printf("resilience: %zu attempt(s)", attempts.size());
+  if (!failover.empty()) std::printf(", failed over to %s", failover.c_str());
+  if (kind != quml::svc::ErrorKind::None) std::printf(", final error kind %s", to_string(kind));
+  std::printf("\n");
+  for (const auto& attempt : attempts) {
+    if (attempt.error.empty())
+      std::printf("  attempt %d on %-28s ok\n", attempt.index, attempt.engine.c_str());
+    else
+      std::printf("  attempt %d on %-28s %s: %s\n", attempt.index, attempt.engine.c_str(),
+                  to_string(attempt.kind), attempt.error.c_str());
+  }
+}
+
 void print_result(const quml::core::ExecutionResult& result) {
   std::printf("\n%-16s %-10s %s\n", "bits", "count", "decoded");
   for (const auto& outcome : result.decoded)
@@ -268,12 +288,13 @@ int main(int argc, char** argv) {
       int failures = 0;
       for (std::size_t i = 0; i < sweep.size(); ++i) {
         if (sweep.status(i) != svc::JobStatus::Done) {
-          std::fprintf(stderr, "binding %zu: %s %s\n", i, svc::to_string(sweep.status(i)),
-                       sweep.error(i).c_str());
+          std::fprintf(stderr, "binding %zu: %s [%s] %s\n", i, svc::to_string(sweep.status(i)),
+                       to_string(sweep.error_kind(i)), sweep.error(i).c_str());
           ++failures;
           json::Value stub = json::Value::object();
           stub.set("status", json::Value(svc::to_string(sweep.status(i))));
           stub.set("error", json::Value(sweep.error(i)));
+          stub.set("error_kind", json::Value(to_string(sweep.error_kind(i))));
           results_json.push_back(std::move(stub));
           continue;
         }
@@ -324,14 +345,17 @@ int main(int argc, char** argv) {
                     handle.engine().empty() ? "-" : handle.engine().c_str(),
                     svc::to_string(handle.status()));
         if (const auto decision = handle.decision()) print_decision(*decision, widths[job]);
+        print_resilience(handle);
         if (handle.status() == svc::JobStatus::Failed) {
-          std::fprintf(stderr, "error: %s\n", handle.error().c_str());
+          std::fprintf(stderr, "error [%s]: %s\n", to_string(handle.error_kind()),
+                       handle.error().c_str());
           ++failures;
           // Keep the output array index-aligned with the input batch: a
           // failed job contributes an error stub, not a silent gap.
           json::Value stub = json::Value::object();
           stub.set("status", json::Value("FAILED"));
           stub.set("error", json::Value(handle.error()));
+          stub.set("error_kind", json::Value(to_string(handle.error_kind())));
           results_json.push_back(std::move(stub));
           continue;
         }

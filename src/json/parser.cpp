@@ -1,8 +1,15 @@
 // Strict recursive-descent JSON parser with line/column diagnostics.
+//
+// Number conversion goes through std::from_chars exclusively: strtod/strtoll
+// honor LC_NUMERIC, so under a comma-decimal locale a wire payload's "1.5"
+// would stop parsing at the '.' and yield 1.0.  The daemon puts untrusted
+// bytes from arbitrary client processes through this parser, which makes
+// locale independence a correctness requirement, not a style preference.
 
-#include <cmath>
-#include <cstdlib>
+#include <algorithm>
+#include <charconv>
 #include <string>
+#include <system_error>
 
 #include "json/json.hpp"
 
@@ -231,19 +238,63 @@ class Parser {
       if (eof() || peek() < '0' || peek() > '9') fail("digits required in exponent");
       while (!eof() && peek() >= '0' && peek() <= '9') advance();
     }
-    const std::string token = text_.substr(start, pos_ - start);
+    const char* tok = text_.data() + start;
+    const char* tok_end = text_.data() + pos_;
     if (!is_double) {
-      errno = 0;
-      char* end = nullptr;
-      const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (errno == 0 && end == token.c_str() + token.size())
-        return Value(static_cast<std::int64_t>(v));
+      std::int64_t v = 0;
+      const auto [p, ec] = std::from_chars(tok, tok_end, v, 10);
+      if (ec == std::errc() && p == tok_end) return Value(v);
       // Integer literal outside int64 range: degrade to double like most
       // JSON implementations rather than rejecting the document.
     }
-    const double d = std::strtod(token.c_str(), nullptr);
-    if (std::isinf(d)) fail("number out of range");
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok, tok_end, d);
+    if (p != tok_end && ec != std::errc::result_out_of_range)
+      fail("invalid number");  // unreachable: the grammar above pre-validated
+    if (ec == std::errc::result_out_of_range) {
+      // Overflow (|x| > DBL_MAX) keeps the historical rejection; underflow
+      // collapses to (signed) zero like strtod, accepting e.g. "1e-400".
+      if (magnitude_overflows(tok, tok_end)) fail("number out of range");
+      return Value(tok[0] == '-' ? -0.0 : 0.0);
+    }
     return Value(d);
+  }
+
+  /// For an out-of-range literal, decides overflow vs underflow from the
+  /// decimal exponent: significant integer digits, leading fractional zeros,
+  /// and the explicit exponent.  Only called for |x| outside double range,
+  /// where the two cases are hundreds of decades apart — a crude estimate is
+  /// exact here.
+  static bool magnitude_overflows(const char* tok, const char* tok_end) {
+    const char* p = tok;
+    if (p != tok_end && *p == '-') ++p;
+    long long int_digits = 0;     // significant digits before the point
+    long long frac_zeros = 0;     // leading zeros after the point
+    bool significant = false;
+    for (; p != tok_end && *p >= '0' && *p <= '9'; ++p) {
+      if (*p != '0') significant = true;
+      if (significant) ++int_digits;
+    }
+    if (p != tok_end && *p == '.') {
+      ++p;
+      for (; p != tok_end && *p >= '0' && *p <= '9'; ++p) {
+        if (significant) continue;
+        if (*p == '0') ++frac_zeros;
+        else significant = true;
+      }
+    }
+    long long exponent = 0;
+    if (p != tok_end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      bool negative = p != tok_end && *p == '-';
+      if (p != tok_end && (*p == '+' || *p == '-')) ++p;
+      for (; p != tok_end && *p >= '0' && *p <= '9'; ++p)
+        exponent = std::min<long long>(exponent * 10 + (*p - '0'), 1000000);
+      if (negative) exponent = -exponent;
+    }
+    const long long decimal_exponent =
+        exponent + (int_digits > 0 ? int_digits : -frac_zeros);
+    return decimal_exponent > 0;
   }
 
   const std::string& text_;

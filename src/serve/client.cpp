@@ -1,0 +1,295 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "algolib/qft.hpp"
+#include "core/context.hpp"
+#include "util/errors.hpp"
+
+namespace quml::serve {
+
+namespace {
+
+int connect_unix_fd(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw BackendError("serve client: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw BackendError(std::string("serve client: socket failed: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw BackendError("serve client: cannot connect to " + path + ": " + why);
+  }
+  return fd;
+}
+
+int connect_tcp_fd(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw BackendError("serve client: host must be a numeric IPv4 address, got '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw BackendError(std::string("serve client: socket failed: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw BackendError("serve client: cannot connect to " + host + ":" + std::to_string(port) +
+                       ": " + why);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(int fd, Framing framing, FrameLimits limits)
+    : fd_(fd), framing_(framing), limits_(limits), decoder_(limits) {}
+
+Client Client::connect_unix(const std::string& path, Framing framing, FrameLimits limits) {
+  return Client(connect_unix_fd(path), framing, limits);
+}
+
+Client Client::connect_tcp(const std::string& host, int port, Framing framing,
+                           FrameLimits limits) {
+  return Client(connect_tcp_fd(host, port), framing, limits);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      framing_(other.framing_),
+      limits_(other.limits_),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    framing_ = other.framing_;
+    limits_ = other.limits_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_all_(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw BackendError(std::string("serve client: send failed: ") + std::strerror(errno));
+  }
+}
+
+json::Value Client::call(const json::Value& request) {
+  if (fd_ < 0) throw BackendError("serve client: not connected");
+  send_all_(encode_frame(json::dump(request), framing_, limits_));
+  for (;;) {
+    if (auto payload = decoder_.next()) return json::parse(*payload);
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw BackendError("serve client: connection closed before a response arrived");
+  }
+}
+
+json::Value Client::hello(const std::string& tenant) {
+  json::Value doc = json::Value::object();
+  doc.set("op", "hello");
+  doc.set("tenant", tenant);
+  return call(doc);
+}
+
+json::Value Client::submit(const core::JobBundle& bundle) {
+  json::Value doc = json::Value::object();
+  doc.set("op", "submit");
+  doc.set("bundle", bundle.to_json());
+  return call(doc);
+}
+
+json::Value Client::status(std::uint64_t ticket) {
+  json::Value doc = json::Value::object();
+  doc.set("op", "status");
+  doc.set("ticket", ticket);
+  return call(doc);
+}
+
+json::Value Client::result(std::uint64_t ticket, bool wait) {
+  json::Value doc = json::Value::object();
+  doc.set("op", "result");
+  doc.set("ticket", ticket);
+  doc.set("wait", wait);
+  return call(doc);
+}
+
+json::Value Client::stats() {
+  json::Value doc = json::Value::object();
+  doc.set("op", "stats");
+  return call(doc);
+}
+
+json::Value Client::ping() {
+  json::Value doc = json::Value::object();
+  doc.set("op", "ping");
+  return call(doc);
+}
+
+core::JobBundle make_load_bundle(unsigned width, std::int64_t samples, std::uint64_t seed,
+                                 const std::string& engine, const std::string& job_id) {
+  const auto reg = algolib::make_phase_register("p", width);
+  core::RegisterSet registers;
+  registers.add(reg);
+  core::OperatorSequence sequence;
+  sequence.ops.push_back(algolib::qft_descriptor(reg, {}));
+  sequence.ops.push_back(algolib::measurement_descriptor(reg));
+  core::Context context;
+  context.exec.engine = engine;
+  context.exec.samples = samples;
+  context.exec.seed = seed;
+  return core::JobBundle::package(std::move(registers), std::move(sequence), context, job_id);
+}
+
+json::Value LoadReport::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("submitted", submitted);
+  doc.set("accepted", accepted);
+  doc.set("shed", shed);
+  doc.set("rejected", rejected);
+  doc.set("completed", completed);
+  doc.set("failed", failed);
+  doc.set("errors", errors);
+  doc.set("seconds", seconds);
+  doc.set("jobs_per_sec", jobs_per_sec);
+  doc.set("p50_ms", p50_ms);
+  doc.set("p99_ms", p99_ms);
+  return doc;
+}
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadOptions& options) {
+  const int connections = std::max(options.connections, 1);
+  const int jobs = std::max(options.jobs_per_connection, 1);
+
+  struct SessionResult {
+    LoadReport partial;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<SessionResult> results(static_cast<std::size_t>(connections));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      SessionResult& out = results[static_cast<std::size_t>(c)];
+      try {
+        Client client = options.unix_path.empty()
+                            ? Client::connect_tcp(options.host, options.port, options.framing)
+                            : Client::connect_unix(options.unix_path, options.framing);
+        const std::string tenant =
+            options.tenants.empty()
+                ? "tenant-a"
+                : options.tenants[static_cast<std::size_t>(c) % options.tenants.size()];
+        client.hello(tenant);
+        for (int j = 0; j < jobs; ++j) {
+          const std::uint64_t seed =
+              options.base_seed + static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(jobs) +
+              static_cast<std::uint64_t>(j);
+          const core::JobBundle bundle =
+              make_load_bundle(options.width, options.samples, seed, options.engine,
+                               "load-c" + std::to_string(c) + "-j" + std::to_string(j));
+          ++out.partial.submitted;
+          const auto start = std::chrono::steady_clock::now();
+          const json::Value reply = client.submit(bundle);
+          if (!reply.get_bool("ok", false)) {
+            const std::string code = reply.get_string("code", "");
+            if (code == "SHED") {
+              ++out.partial.shed;
+            } else {
+              ++out.partial.rejected;
+            }
+            continue;
+          }
+          ++out.partial.accepted;
+          const auto ticket = static_cast<std::uint64_t>(reply.get_int("ticket", 0));
+          const json::Value settled = client.result(ticket, /*wait=*/true);
+          const auto end = std::chrono::steady_clock::now();
+          if (settled.get_string("status", "") == "DONE") {
+            ++out.partial.completed;
+            out.latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(end - start).count());
+          } else {
+            ++out.partial.failed;
+          }
+        }
+      } catch (const Error&) {
+        ++out.partial.errors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LoadReport report;
+  std::vector<double> latencies;
+  for (const SessionResult& r : results) {
+    report.submitted += r.partial.submitted;
+    report.accepted += r.partial.accepted;
+    report.shed += r.partial.shed;
+    report.rejected += r.partial.rejected;
+    report.completed += r.partial.completed;
+    report.failed += r.partial.failed;
+    report.errors += r.partial.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  report.seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.jobs_per_sec =
+      report.seconds > 0.0 ? static_cast<double>(report.completed) / report.seconds : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ms = percentile(latencies, 0.50);
+  report.p99_ms = percentile(latencies, 0.99);
+  return report;
+}
+
+}  // namespace quml::serve

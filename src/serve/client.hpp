@@ -1,0 +1,99 @@
+#pragma once
+// Blocking client for the quml_serve wire protocol, plus the load generator
+// behind `quml_serve --load`, bench_serve, and the CI smoke job.
+//
+// The client is deliberately simple: one request frame out, block until the
+// matching response frame arrives (the server answers in order per session).
+// It speaks either framing — the server auto-detects from the client's first
+// byte, so a LengthPrefixed client exercises that whole decoder path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "json/json.hpp"
+#include "serve/frame.hpp"
+
+namespace quml::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path, Framing framing = Framing::Newline,
+                             FrameLimits limits = {});
+  static Client connect_tcp(const std::string& host, int port,
+                            Framing framing = Framing::Newline, FrameLimits limits = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response.  Throws BackendError on
+  /// connection loss, FrameError on a malformed response stream.
+  json::Value call(const json::Value& request);
+
+  json::Value hello(const std::string& tenant);
+  json::Value submit(const core::JobBundle& bundle);
+  json::Value status(std::uint64_t ticket);
+  /// wait=true blocks server-side until the job settles.
+  json::Value result(std::uint64_t ticket, bool wait = true);
+  json::Value stats();
+  json::Value ping();
+
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  Client(int fd, Framing framing, FrameLimits limits);
+  void send_all_(const std::string& bytes);
+
+  int fd_ = -1;
+  Framing framing_ = Framing::Newline;
+  FrameLimits limits_;
+  FrameDecoder decoder_;
+};
+
+/// Canned job for load generation: a `width`-qubit QFT over a phase register
+/// with measurement, `samples` shots, deterministic `seed`.  Small enough to
+/// run in milliseconds, real enough to exercise the full stack.
+core::JobBundle make_load_bundle(unsigned width, std::int64_t samples, std::uint64_t seed,
+                                 const std::string& engine, const std::string& job_id);
+
+struct LoadOptions {
+  std::string unix_path;  ///< connect here when non-empty...
+  std::string host;       ///< ...else TCP host:port
+  int port = 0;
+  Framing framing = Framing::Newline;
+  int connections = 8;
+  int jobs_per_connection = 4;
+  /// Session i declares tenants[i % size()].
+  std::vector<std::string> tenants = {"tenant-a", "tenant-b"};
+  unsigned width = 3;
+  std::int64_t samples = 128;
+  std::uint64_t base_seed = 1234;  ///< job j on session i seeds base + i*jobs + j
+  std::string engine = "gate.statevector_simulator";
+};
+
+struct LoadReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  ///< accepted jobs whose result came back DONE
+  std::uint64_t failed = 0;     ///< accepted jobs that settled FAILED/CANCELLED
+  std::uint64_t errors = 0;     ///< transport-level failures
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;  ///< completed / seconds
+  double p50_ms = 0.0;        ///< submit -> settled-result latency percentiles
+  double p99_ms = 0.0;
+
+  json::Value to_json() const;
+};
+
+/// Opens `connections` concurrent sessions, runs the submit/await-result
+/// loop on each, and aggregates throughput + latency percentiles.
+LoadReport run_load(const LoadOptions& options);
+
+}  // namespace quml::serve

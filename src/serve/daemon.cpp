@@ -1,0 +1,275 @@
+#include "serve/daemon.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/passes.hpp"
+#include "backend/register_backends.hpp"
+
+namespace quml::serve {
+
+const char* to_string(SubmitOutcome outcome) noexcept {
+  switch (outcome) {
+    case SubmitOutcome::Accepted: return "ACCEPTED";
+    case SubmitOutcome::Rejected: return "REJECTED";
+    case SubmitOutcome::Shed: return "SHED";
+  }
+  return "?";
+}
+
+JobDaemon::JobDaemon(DaemonConfig config)
+    : config_(std::move(config)), svc_(config_.service), store_(config_.store_path) {
+  backend::register_builtin_backends();  // idempotent; the daemon may be first
+  paused_ = config_.start_paused;
+  next_ticket_ = store_.next_ticket();
+  for (const auto& [tenant, policy] : config_.tenants) queue_.set_weight(tenant, policy.weight);
+
+  // Crash recovery: every enqueued-but-unsettled job in the journal goes
+  // back onto the queue with its original ticket and bundle.
+  for (PendingJob& job : store_.pending()) {
+    queue_.set_weight(job.tenant, policy_for_(job.tenant).weight);
+    Record record;
+    record.tenant = job.tenant;
+    record.bundle = std::move(job.bundle);
+    const std::uint64_t ticket = job.ticket;
+    records_.emplace(ticket, std::move(record));
+    queue_.push(job.tenant, ticket);
+    ++counters_.replayed;
+    ++counters_.queued;
+  }
+
+  const int executors = config_.executors > 0 ? config_.executors : 1;
+  executors_.reserve(static_cast<std::size_t>(executors));
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { executor_loop_(); });
+  }
+}
+
+JobDaemon::~JobDaemon() { stop(); }
+
+const TenantPolicy& JobDaemon::policy_for_(const std::string& tenant) const {
+  const auto it = config_.tenants.find(tenant);
+  return it != config_.tenants.end() ? it->second : config_.default_policy;
+}
+
+SubmitReply JobDaemon::submit(const std::string& tenant, core::JobBundle bundle) {
+  SubmitReply reply;
+  if (tenant.empty()) {
+    reply.outcome = SubmitOutcome::Rejected;
+    reply.detail = "tenant identity required";
+    MutexLock lock(mutex_);
+    ++counters_.rejected;
+    return reply;
+  }
+
+  // Admission: the error-severity QA passes, rendered exactly like
+  // `quml_validate --lint` via DiagnosticError.  Defective bundles never
+  // touch the store or a queue slot.
+  analysis::AnalyzeOptions options;
+  options.require_bound = true;
+  options.resource_notes = false;
+  const analysis::Report report = analysis::analyze_bundle(bundle, options);
+  if (report.has_errors()) {
+    const analysis::DiagnosticError rendered(bundle.job_id, report.errors());
+    reply.outcome = SubmitOutcome::Rejected;
+    reply.detail = rendered.what();
+    MutexLock lock(mutex_);
+    ++counters_.rejected;
+    return reply;
+  }
+
+  const TenantPolicy& policy = policy_for_(tenant);
+  queue_.set_weight(tenant, policy.weight);
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      ++counters_.shed;
+      reply.outcome = SubmitOutcome::Shed;
+      reply.detail = "daemon is stopping";
+      return reply;
+    }
+    // Depth check and push are serialized under mutex_, so the bound is
+    // exact: concurrent pops only shrink the lane in between.
+    const std::size_t depth = queue_.depth(tenant);
+    if (depth >= policy.max_queued) {
+      ++counters_.shed;
+      reply.outcome = SubmitOutcome::Shed;
+      reply.detail = "tenant '" + tenant + "' queue is full (" + std::to_string(depth) + "/" +
+                     std::to_string(policy.max_queued) + "); retry after the backlog drains";
+      return reply;
+    }
+    const std::uint64_t ticket = next_ticket_++;
+    PendingJob job;
+    job.ticket = ticket;
+    job.tenant = tenant;
+    job.bundle = bundle;
+    store_.append_enqueue(job);  // persisted before it can run
+    Record record;
+    record.tenant = tenant;
+    record.bundle = std::move(bundle);
+    records_.emplace(ticket, std::move(record));
+    ++counters_.accepted;
+    ++counters_.queued;
+    queue_.push(tenant, ticket);
+    reply.outcome = SubmitOutcome::Accepted;
+    reply.ticket = ticket;
+  }
+  return reply;
+}
+
+JobInfo JobDaemon::info_locked_(std::uint64_t ticket, const Record& record) const {
+  JobInfo info;
+  info.known = true;
+  info.ticket = ticket;
+  info.tenant = record.tenant;
+  info.status = svc::to_string(record.status);
+  info.engine = record.engine;
+  info.error = record.error;
+  info.attempts = record.attempts;
+  info.result = record.result;
+  return info;
+}
+
+JobInfo JobDaemon::info(const std::string& tenant, std::uint64_t ticket) const {
+  MutexLock lock(mutex_);
+  const auto it = records_.find(ticket);
+  if (it == records_.end() || it->second.tenant != tenant) return JobInfo{};
+  return info_locked_(ticket, it->second);
+}
+
+bool JobDaemon::wait_for(const std::string& tenant, std::uint64_t ticket,
+                         std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mutex_);
+  for (;;) {
+    const auto it = records_.find(ticket);
+    if (it == records_.end() || it->second.tenant != tenant) return true;
+    if (svc::is_terminal(it->second.status)) return true;
+    if (settled_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
+      const auto again = records_.find(ticket);
+      return again == records_.end() || svc::is_terminal(again->second.status);
+    }
+  }
+}
+
+void JobDaemon::resume() {
+  {
+    MutexLock lock(mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void JobDaemon::drain() {
+  MutexLock lock(mutex_);
+  while (counters_.queued + counters_.in_flight > 0) settled_cv_.wait(mutex_);
+}
+
+void JobDaemon::stop() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  pause_cv_.notify_all();
+  queue_.close();  // parked pops return nullopt; queued tickets stay stored
+  for (auto& thread : executors_) {
+    if (thread.joinable()) thread.join();
+  }
+  executors_.clear();
+}
+
+JobDaemon::Stats JobDaemon::stats() const {
+  MutexLock lock(mutex_);
+  return counters_;
+}
+
+void JobDaemon::set_settle_callback(SettleCallback callback) {
+  MutexLock lock(callback_mutex_);
+  on_settle_ = std::move(callback);
+}
+
+void JobDaemon::executor_loop_() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      while (paused_ && !stopping_) pause_cv_.wait(mutex_);
+      if (stopping_) return;
+    }
+    const auto ticket = queue_.pop();
+    if (!ticket) return;  // closed: abandon to the store
+
+    core::JobBundle bundle;
+    {
+      MutexLock lock(mutex_);
+      const auto it = records_.find(*ticket);
+      if (it == records_.end()) continue;
+      it->second.status = svc::JobStatus::Running;
+      bundle = it->second.bundle;
+      --counters_.queued;
+      ++counters_.in_flight;
+    }
+
+    svc::JobStatus status = svc::JobStatus::Failed;
+    std::string engine;
+    std::string error;
+    std::size_t attempts = 0;
+    std::optional<core::ExecutionResult> result;
+    try {
+      const svc::JobId id = svc_.submit(bundle);
+      const svc::JobHandle handle = svc_.handle(id);
+      handle.wait();
+      status = handle.status();
+      engine = handle.engine();
+      attempts = handle.attempts();
+      if (status == svc::JobStatus::Done) {
+        result = handle.result();
+      } else {
+        error = handle.error();
+      }
+      svc_.forget(id);
+    } catch (const std::exception& e) {
+      // Routing/admission errors from svc_.submit arrive here synchronously;
+      // the job settles FAILED with the rendered message.
+      status = svc::JobStatus::Failed;
+      error = e.what();
+    }
+    settle_(*ticket, status, std::move(engine), std::move(error), attempts, std::move(result));
+  }
+}
+
+void JobDaemon::settle_(std::uint64_t ticket, svc::JobStatus status, std::string engine,
+                        std::string error, std::size_t attempts,
+                        std::optional<core::ExecutionResult> result) {
+  JobInfo info;
+  {
+    MutexLock lock(mutex_);
+    const auto it = records_.find(ticket);
+    if (it == records_.end()) return;
+    Record& record = it->second;
+    record.status = status;
+    record.engine = std::move(engine);
+    record.error = std::move(error);
+    record.attempts = attempts;
+    record.result = std::move(result);
+    try {
+      store_.append_settle(ticket, svc::to_string(status));
+      if (store_.settled_records() >= config_.compact_after_settles) store_.compact();
+    } catch (const Error&) {
+      // Journal trouble must not take the executor down; worst case the job
+      // replays (deterministically) on the next boot.
+    }
+    ++counters_.settled;
+    --counters_.in_flight;
+    info = info_locked_(ticket, record);
+  }
+  settled_cv_.notify_all();
+  {
+    // Serialized against set_settle_callback (see the header): holding the
+    // callback mutex across the call is what makes unhooking a barrier.
+    MutexLock lock(callback_mutex_);
+    if (on_settle_) on_settle_(info);
+  }
+}
+
+}  // namespace quml::serve

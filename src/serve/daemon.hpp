@@ -1,0 +1,186 @@
+#pragma once
+// The quml_serve job daemon: multi-tenant admission, persistence, fair-share
+// scheduling, and execution over svc::ExecutionService.
+//
+// Lifecycle of one job:
+//
+//   submit(tenant, bundle)
+//     -> semantic admission (error-severity QA passes; defects are REJECTED
+//        with the same DiagnosticError rendering quml_validate prints)
+//     -> backpressure (tenant lane at its bound -> SHED, nothing persisted)
+//     -> ticket minted, enqueue record appended to the JobStore
+//     -> ticket pushed onto the FairShareQueue
+//   executor thread pops in fair-share order
+//     -> svc::ExecutionService::submit + wait (retries/breakers/failover all
+//        apply — the daemon inherits the whole resilience layer)
+//     -> settle record appended, result cached, settle callback fired
+//
+// Crash recovery: the constructor replays the store's pending set back into
+// the queue with the original tickets and bundles.  exec.seed rides in the
+// bundle, so a replayed job reproduces its counts bit-identically.
+//
+// Lock order: daemon mutex_ -> queue mutex (FairShareQueue) / store (no
+// lock).  The settle callback is invoked with no daemon lock held, so a
+// server can take its own locks freely.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "core/result.hpp"
+#include "serve/queue.hpp"
+#include "serve/store.hpp"
+#include "svc/execution_service.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace quml::serve {
+
+/// Per-tenant scheduling weight and admission bound.
+struct TenantPolicy {
+  double weight = 1.0;
+  /// Maximum tickets queued (not yet running) per tenant; the next submit
+  /// past the bound is SHED.
+  std::size_t max_queued = 64;
+};
+
+struct DaemonConfig {
+  /// Journal path (required).
+  std::string store_path;
+  /// Per-tenant overrides; unknown tenants get `default_policy`.
+  std::map<std::string, TenantPolicy> tenants;
+  TenantPolicy default_policy;
+  /// Executor threads popping the fair-share queue.  Each executor drives
+  /// one job at a time through the ExecutionService (which has its own
+  /// per-backend worker pools), so this bounds daemon-level concurrency.
+  int executors = 2;
+  /// Construct with the executors parked; resume() releases them.  Lets
+  /// tests populate the queue, destroy the daemon undrained, and assert the
+  /// store replays on the next boot.
+  bool start_paused = false;
+  /// Compact the journal once this many settle records accumulate.
+  std::size_t compact_after_settles = 256;
+  svc::ServiceConfig service;
+};
+
+enum class SubmitOutcome { Accepted, Rejected, Shed };
+const char* to_string(SubmitOutcome outcome) noexcept;
+
+struct SubmitReply {
+  SubmitOutcome outcome = SubmitOutcome::Rejected;
+  std::uint64_t ticket = 0;  ///< valid when Accepted
+  std::string detail;        ///< rejection diagnostics / shed reason
+};
+
+/// Snapshot of one job, tenant-scoped.  `known` is false for tickets the
+/// tenant does not own — other tenants' jobs are indistinguishable from
+/// nonexistent ones.
+struct JobInfo {
+  bool known = false;
+  std::uint64_t ticket = 0;
+  std::string tenant;
+  std::string status;  ///< "QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED"
+  std::string engine;  ///< resolved engine once terminal ("" before)
+  std::string error;   ///< failure rendering for FAILED
+  std::size_t attempts = 0;
+  std::optional<core::ExecutionResult> result;  ///< DONE only
+};
+
+class JobDaemon {
+ public:
+  explicit JobDaemon(DaemonConfig config);
+  ~JobDaemon();
+  JobDaemon(const JobDaemon&) = delete;
+  JobDaemon& operator=(const JobDaemon&) = delete;
+
+  /// Admits, persists, and enqueues one bundle.  Never throws for program
+  /// defects — they come back as Rejected with the QA-coded rendering.
+  SubmitReply submit(const std::string& tenant, core::JobBundle bundle) QUML_EXCLUDES(mutex_);
+
+  /// Tenant-scoped job snapshot (see JobInfo::known).
+  JobInfo info(const std::string& tenant, std::uint64_t ticket) const QUML_EXCLUDES(mutex_);
+
+  /// Blocks until the job settles (or `timeout` passes -> false).  Unknown
+  /// or foreign tickets return true immediately (their info() stays unknown).
+  bool wait_for(const std::string& tenant, std::uint64_t ticket,
+                std::chrono::milliseconds timeout) const QUML_EXCLUDES(mutex_);
+
+  /// Releases executors parked by DaemonConfig::start_paused (idempotent).
+  void resume() QUML_EXCLUDES(mutex_);
+
+  /// Blocks until every accepted job has settled.  Call before stop() for a
+  /// graceful (SIGTERM) shutdown; new submissions keep being accepted.
+  void drain() QUML_EXCLUDES(mutex_);
+
+  /// Stops accepting, abandons whatever is still queued (it stays in the
+  /// store for the next boot), and joins the executors.  Idempotent; the
+  /// destructor calls it.
+  void stop() QUML_EXCLUDES(mutex_);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t settled = 0;
+    std::uint64_t replayed = 0;  ///< jobs recovered from the store at boot
+    std::size_t queued = 0;      ///< accepted, not yet claimed by an executor
+    std::size_t in_flight = 0;   ///< claimed, not yet settled
+  };
+  Stats stats() const QUML_EXCLUDES(mutex_);
+
+  /// Fired on the settling executor's thread, with only the callback mutex
+  /// held, for every job that reaches a terminal state.  Invocation is
+  /// serialized against set_settle_callback: once set_settle_callback({})
+  /// returns, no callback is running or will run again — the unhooking
+  /// handshake a Server needs before it may close its wake pipe.
+  using SettleCallback = std::function<void(const JobInfo&)>;
+  void set_settle_callback(SettleCallback callback) QUML_EXCLUDES(callback_mutex_);
+
+  /// The underlying execution service (breaker states, capability snapshot).
+  svc::ExecutionService& service() noexcept { return svc_; }
+
+ private:
+  struct Record {
+    std::string tenant;
+    core::JobBundle bundle;
+    svc::JobStatus status = svc::JobStatus::Queued;
+    std::string engine;
+    std::string error;
+    std::size_t attempts = 0;
+    std::optional<core::ExecutionResult> result;
+  };
+
+  const TenantPolicy& policy_for_(const std::string& tenant) const;
+  void executor_loop_();
+  JobInfo info_locked_(std::uint64_t ticket, const Record& record) const QUML_REQUIRES(mutex_);
+  void settle_(std::uint64_t ticket, svc::JobStatus status, std::string engine, std::string error,
+               std::size_t attempts, std::optional<core::ExecutionResult> result)
+      QUML_EXCLUDES(mutex_);
+
+  DaemonConfig config_;
+  svc::ExecutionService svc_;
+  FairShareQueue queue_;
+
+  mutable Mutex mutex_;
+  mutable CondVar settled_cv_;  // any job settled / counters moved
+  CondVar pause_cv_;
+  JobStore store_ QUML_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, Record> records_ QUML_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ QUML_GUARDED_BY(mutex_) = 1;
+  Stats counters_ QUML_GUARDED_BY(mutex_);
+  bool paused_ QUML_GUARDED_BY(mutex_) = false;
+  bool stopping_ QUML_GUARDED_BY(mutex_) = false;
+  /// Never nested with mutex_ (settle_ releases mutex_ before taking it).
+  mutable Mutex callback_mutex_;
+  SettleCallback on_settle_ QUML_GUARDED_BY(callback_mutex_);
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace quml::serve

@@ -1,0 +1,132 @@
+#include "serve/frame.hpp"
+
+#include <cstdint>
+
+namespace quml::serve {
+
+const char* to_string(Framing framing) noexcept {
+  switch (framing) {
+    case Framing::Newline: return "newline";
+    case Framing::LengthPrefixed: return "length-prefixed";
+  }
+  return "?";
+}
+
+bool is_valid_utf8(std::string_view text) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(text.data());
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const unsigned char lead = p[i];
+    if (lead < 0x80) {
+      ++i;
+      continue;
+    }
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if ((lead & 0xE0) == 0xC0) {
+      len = 2;
+      cp = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 3;
+      cp = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 4;
+      cp = lead & 0x07u;
+    } else {
+      return false;  // stray continuation byte or 0xFE/0xFF
+    }
+    if (i + len > n) return false;  // truncated sequence
+    for (std::size_t k = 1; k < len; ++k) {
+      const unsigned char cont = p[i + k];
+      if ((cont & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (cont & 0x3Fu);
+    }
+    static constexpr std::uint32_t kMinByLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinByLen[len]) return false;          // overlong encoding
+    if (cp > 0x10FFFF) return false;                // beyond Unicode
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // UTF-16 surrogate
+    i += len;
+  }
+  return true;
+}
+
+std::string encode_frame(std::string_view payload, Framing framing, const FrameLimits& limits) {
+  if (payload.empty()) throw FrameError("cannot encode an empty frame");
+  if (payload.size() > limits.max_frame_bytes) {
+    throw FrameError("frame of " + std::to_string(payload.size()) +
+                     " bytes exceeds the limit of " + std::to_string(limits.max_frame_bytes));
+  }
+  if (framing == Framing::Newline) {
+    if (payload.find('\n') != std::string_view::npos) {
+      throw FrameError("newline framing cannot carry a payload containing '\\n'");
+    }
+    std::string frame(payload);
+    frame.push_back('\n');
+    return frame;
+  }
+  if (payload.size() > 0xFFFFFFFFu) {
+    throw FrameError("payload too large for a 32-bit length prefix");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((len >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(len & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.empty()) return std::nullopt;
+  if (!framing_) {
+    framing_ = buffer_.front() == '{' ? Framing::Newline : Framing::LengthPrefixed;
+  }
+  return *framing_ == Framing::Newline ? next_newline_() : next_length_prefixed_();
+}
+
+std::optional<std::string> FrameDecoder::next_newline_() {
+  const std::size_t pos = buffer_.find('\n');
+  if (pos == std::string::npos) {
+    // A line longer than the frame limit can never terminate validly; fail
+    // now instead of buffering an unbounded stream.
+    if (buffer_.size() > limits_.max_frame_bytes) {
+      throw FrameError("line exceeds the frame limit of " +
+                       std::to_string(limits_.max_frame_bytes) + " bytes without a terminator");
+    }
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(0, pos);
+  buffer_.erase(0, pos + 1);
+  if (!payload.empty() && payload.back() == '\r') payload.pop_back();  // CRLF tolerance
+  if (payload.empty()) throw FrameError("empty frame");
+  if (payload.size() > limits_.max_frame_bytes) {
+    throw FrameError("frame of " + std::to_string(payload.size()) +
+                     " bytes exceeds the limit of " + std::to_string(limits_.max_frame_bytes));
+  }
+  if (!is_valid_utf8(payload)) throw FrameError("frame payload is not valid UTF-8");
+  return payload;
+}
+
+std::optional<std::string> FrameDecoder::next_length_prefixed_() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data());
+  const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+  if (len == 0) throw FrameError("empty frame");
+  if (len > limits_.max_frame_bytes) {
+    // Reject from the prefix alone — never buffer toward a hostile length.
+    throw FrameError("length prefix of " + std::to_string(len) +
+                     " bytes exceeds the limit of " + std::to_string(limits_.max_frame_bytes));
+  }
+  if (buffer_.size() < 4u + len) return std::nullopt;
+  std::string payload = buffer_.substr(4, len);
+  buffer_.erase(0, 4u + len);
+  if (!is_valid_utf8(payload)) throw FrameError("frame payload is not valid UTF-8");
+  return payload;
+}
+
+}  // namespace quml::serve

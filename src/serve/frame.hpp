@@ -1,0 +1,93 @@
+#pragma once
+// Wire framing for the quml_serve job daemon.
+//
+// A connection carries a stream of JSON documents; the framing layer decides
+// where one document ends and the next begins.  Two framings are supported,
+// auto-detected from the first byte a peer sends:
+//
+//   * Newline (NDJSON): each frame is one '\n'-terminated line.  A JSON
+//     object's first byte is always '{', which no length prefix can start
+//     with, so detection is unambiguous.  Friendly to `nc` and shell tools.
+//   * LengthPrefixed: a 4-byte big-endian payload length followed by exactly
+//     that many bytes.  Binary-safe against embedded newlines and the framing
+//     used by most RPC stacks.
+//
+// The decoder is strictly incremental (feed() bytes as they arrive, next()
+// yields complete frames) and strictly validating: oversized frames, empty
+// frames, and payloads that are not valid UTF-8 raise FrameError rather than
+// reaching the JSON parser.  A truncated frame is not an error while the
+// connection lives — it becomes one when the peer disconnects with the
+// decoder non-idle(), which the server checks at EOF.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace quml::serve {
+
+/// How JSON documents are delimited on a connection.
+enum class Framing { Newline, LengthPrefixed };
+
+const char* to_string(Framing framing) noexcept;
+
+/// Decoder bounds.  A frame larger than max_frame_bytes is rejected before
+/// buffering its payload, so a hostile length prefix cannot balloon memory.
+struct FrameLimits {
+  std::size_t max_frame_bytes = 4u << 20;  // 4 MiB
+};
+
+/// Protocol violation on the framing layer (oversized/empty frame, invalid
+/// UTF-8, unencodable payload).  The connection is not recoverable after one.
+class FrameError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// True when `text` is well-formed UTF-8 (rejects overlong encodings,
+/// surrogate code points, and code points past U+10FFFF).
+bool is_valid_utf8(std::string_view text) noexcept;
+
+/// Wraps one JSON payload for the wire.  Newline framing appends '\n' (the
+/// payload must not itself contain one — quml's json::dump never emits raw
+/// newlines); LengthPrefixed prepends the 4-byte big-endian length.  Throws
+/// FrameError when the payload is empty, exceeds `limits`, or cannot be
+/// represented in the chosen framing.
+std::string encode_frame(std::string_view payload, Framing framing,
+                         const FrameLimits& limits = {});
+
+/// Incremental frame extractor for one connection.  Framing is sticky: the
+/// first byte ever fed decides it ('{' selects Newline, anything else the
+/// length prefix) and every later frame on the connection uses the same mode.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw bytes from the socket.
+  void feed(std::string_view data) { buffer_.append(data.data(), data.size()); }
+
+  /// Extracts the next complete frame, or nullopt when more bytes are
+  /// needed.  Throws FrameError on protocol violations; the decoder must not
+  /// be used after a throw.
+  std::optional<std::string> next();
+
+  /// True when no partial frame is buffered — the clean-EOF condition.
+  bool idle() const noexcept { return buffer_.empty(); }
+
+  /// Detected framing; nullopt before the first byte arrives.
+  std::optional<Framing> framing() const noexcept { return framing_; }
+
+  const FrameLimits& limits() const noexcept { return limits_; }
+
+ private:
+  std::optional<std::string> next_newline_();
+  std::optional<std::string> next_length_prefixed_();
+
+  FrameLimits limits_;
+  std::optional<Framing> framing_;
+  std::string buffer_;
+};
+
+}  // namespace quml::serve

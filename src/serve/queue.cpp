@@ -1,0 +1,87 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace quml::serve {
+
+namespace {
+constexpr double kMinWeight = 1e-6;
+}
+
+void FairShareQueue::set_weight(const std::string& tenant, double weight) {
+  MutexLock lock(mutex_);
+  lanes_[tenant].weight = std::max(weight, kMinWeight);
+}
+
+bool FairShareQueue::push(const std::string& tenant, std::uint64_t ticket) {
+  {
+    MutexLock lock(mutex_);
+    if (closed_) return false;
+    Lane& lane = lanes_[tenant];
+    if (lane.fifo.empty()) {
+      // Rejoin at the current virtual time: idle lanes earn no backlog
+      // credit (see header).
+      lane.pass = std::max(lane.pass, virtual_time_);
+    }
+    lane.fifo.push_back(ticket);
+    ++size_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> FairShareQueue::pop_locked_() {
+  Lane* best = nullptr;
+  for (auto& [tenant, lane] : lanes_) {
+    if (lane.fifo.empty()) continue;
+    // Strict < keeps ties deterministic: the lexicographically first tenant
+    // (map order) wins, so single-threaded tests can assert exact sequences.
+    if (best == nullptr || lane.pass < best->pass) best = &lane;
+  }
+  if (best == nullptr) return std::nullopt;
+  const std::uint64_t ticket = best->fifo.front();
+  best->fifo.pop_front();
+  --size_;
+  best->pass += 1.0 / best->weight;
+  virtual_time_ = std::max(virtual_time_, best->pass);
+  return ticket;
+}
+
+std::optional<std::uint64_t> FairShareQueue::pop() {
+  MutexLock lock(mutex_);
+  while (size_ == 0 && !closed_) cv_.wait(mutex_);
+  if (closed_) return std::nullopt;
+  return pop_locked_();
+}
+
+std::optional<std::uint64_t> FairShareQueue::try_pop() {
+  MutexLock lock(mutex_);
+  if (closed_) return std::nullopt;
+  return pop_locked_();
+}
+
+void FairShareQueue::close() {
+  {
+    MutexLock lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FairShareQueue::closed() const {
+  MutexLock lock(mutex_);
+  return closed_;
+}
+
+std::size_t FairShareQueue::depth(const std::string& tenant) const {
+  MutexLock lock(mutex_);
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.fifo.size();
+}
+
+std::size_t FairShareQueue::size() const {
+  MutexLock lock(mutex_);
+  return size_;
+}
+
+}  // namespace quml::serve

@@ -1,0 +1,75 @@
+#pragma once
+// Weighted fair-share run queue for the quml_serve daemon.
+//
+// Stride scheduling over per-tenant FIFOs: each tenant lane carries a `pass`
+// value; pop() serves the non-empty lane with the smallest pass and advances
+// it by 1/weight, so over time tenant throughput converges to the weight
+// ratio regardless of arrival order or burstiness — a tenant flooding its
+// lane cannot starve the others.  A lane going from empty to non-empty
+// rejoins at max(own pass, global virtual time): an idle tenant does not
+// accumulate credit it could later spend as a monopolizing burst.
+//
+// The queue hands out opaque tickets (the daemon's job ids); bundles and
+// results stay in the daemon's record table.  close() abandons whatever is
+// still queued — pop() returns nullopt immediately — because abandoned
+// tickets live on in the persistent store and replay on the next boot.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace quml::serve {
+
+class FairShareQueue {
+ public:
+  FairShareQueue() = default;
+  FairShareQueue(const FairShareQueue&) = delete;
+  FairShareQueue& operator=(const FairShareQueue&) = delete;
+
+  /// Sets a tenant's scheduling weight (relative share of pops under
+  /// contention).  Clamped below to a small positive value.
+  void set_weight(const std::string& tenant, double weight) QUML_EXCLUDES(mutex_);
+
+  /// Enqueues `ticket` on the tenant's lane.  False once closed (the ticket
+  /// was not queued); admission bounds are the daemon's job, not the queue's.
+  bool push(const std::string& tenant, std::uint64_t ticket) QUML_EXCLUDES(mutex_);
+
+  /// Blocks for the next ticket in fair-share order; nullopt once close()
+  /// has been called (immediately — queued tickets are abandoned to the
+  /// persistent store, not drained).
+  std::optional<std::uint64_t> pop() QUML_EXCLUDES(mutex_);
+
+  /// Non-blocking pop for single-threaded tests and drains.
+  std::optional<std::uint64_t> try_pop() QUML_EXCLUDES(mutex_);
+
+  void close() QUML_EXCLUDES(mutex_);
+  bool closed() const QUML_EXCLUDES(mutex_);
+
+  /// Tickets currently queued on `tenant`'s lane (the admission bound input).
+  std::size_t depth(const std::string& tenant) const QUML_EXCLUDES(mutex_);
+  /// Tickets queued across all lanes.
+  std::size_t size() const QUML_EXCLUDES(mutex_);
+
+ private:
+  struct Lane {
+    std::deque<std::uint64_t> fifo;
+    double weight = 1.0;
+    double pass = 0.0;
+  };
+
+  std::optional<std::uint64_t> pop_locked_() QUML_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::map<std::string, Lane> lanes_ QUML_GUARDED_BY(mutex_);
+  double virtual_time_ QUML_GUARDED_BY(mutex_) = 0.0;
+  std::size_t size_ QUML_GUARDED_BY(mutex_) = 0;
+  bool closed_ QUML_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace quml::serve

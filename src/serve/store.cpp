@@ -1,0 +1,199 @@
+#include "serve/store.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "json/json.hpp"
+#include "util/errors.hpp"
+
+namespace quml::serve {
+
+namespace {
+
+std::string read_whole_file(const std::string& path, bool& existed) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    existed = false;
+    return {};
+  }
+  existed = true;
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw Error("job store: failed reading " + path);
+  return text;
+}
+
+}  // namespace
+
+JobStore::JobStore(std::string path) : path_(std::move(path)) {
+  replay_();
+  open_append_();
+}
+
+JobStore::~JobStore() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+std::vector<PendingJob> JobStore::pending() const {
+  std::vector<PendingJob> jobs;
+  jobs.reserve(pending_.size());
+  for (const auto& [ticket, job] : pending_) jobs.push_back(job);
+  return jobs;
+}
+
+void JobStore::replay_() {
+  bool existed = false;
+  const std::string text = read_whole_file(path_, existed);
+  if (!existed) return;
+
+  std::size_t line_start = 0;
+  std::size_t line_no = 0;
+  while (line_start < text.size()) {
+    const std::size_t nl = text.find('\n', line_start);
+    if (nl == std::string::npos) {
+      // No terminator: the crash-torn tail of an interrupted append.  The
+      // record never finished, so the job it described was never
+      // acknowledged — dropping it is the correct recovery.
+      torn_records_ = 1;
+      break;
+    }
+    const std::string line = text.substr(line_start, nl - line_start);
+    line_start = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+    } catch (const Error&) {
+      if (line_start >= text.size()) {
+        // Unparseable *final* line: also a torn append (the newline made it
+        // out but the payload did not).  Anything earlier is corruption.
+        torn_records_ = 1;
+        break;
+      }
+      throw Error("job store: corrupt journal record at " + path_ + ":" +
+                  std::to_string(line_no));
+    }
+
+    const std::string rec = doc.get_string("rec", "");
+    const auto ticket = static_cast<std::uint64_t>(doc.get_int("ticket", 0));
+    if (ticket > max_ticket_) max_ticket_ = ticket;
+    ++journal_records_;
+    if (rec == "enqueue") {
+      PendingJob job;
+      job.ticket = ticket;
+      job.tenant = doc.get_string("tenant", "");
+      try {
+        job.bundle = core::JobBundle::from_json(doc.at("bundle"));
+      } catch (const Error& e) {
+        throw Error("job store: unreadable bundle at " + path_ + ":" + std::to_string(line_no) +
+                    ": " + e.what());
+      }
+      pending_[ticket] = std::move(job);
+    } else if (rec == "settle") {
+      pending_.erase(ticket);
+      ++settled_records_;
+    } else if (rec == "ticket") {
+      // Watermark only; max_ticket_ already advanced above.
+    } else {
+      throw Error("job store: unknown record kind '" + rec + "' at " + path_ + ":" +
+                  std::to_string(line_no));
+    }
+  }
+}
+
+void JobStore::open_append_() {
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (out_ == nullptr) {
+    throw Error("job store: cannot open " + path_ + " for append: " + std::strerror(errno));
+  }
+}
+
+void JobStore::append_line_(const std::string& line) {
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fputc('\n', out_) == EOF || std::fflush(out_) != 0) {
+    throw Error("job store: failed appending to " + path_);
+  }
+  ++journal_records_;
+}
+
+void JobStore::append_enqueue(const PendingJob& job) {
+  json::Value doc = json::Value::object();
+  doc.set("rec", "enqueue");
+  doc.set("ticket", job.ticket);
+  doc.set("tenant", job.tenant);
+  doc.set("bundle", job.bundle.to_json());
+  append_line_(json::dump(doc));
+  if (job.ticket > max_ticket_) max_ticket_ = job.ticket;
+  pending_[job.ticket] = job;
+}
+
+void JobStore::append_settle(std::uint64_t ticket, const std::string& status) {
+  json::Value doc = json::Value::object();
+  doc.set("rec", "settle");
+  doc.set("ticket", ticket);
+  doc.set("status", status);
+  append_line_(json::dump(doc));
+  if (ticket > max_ticket_) max_ticket_ = ticket;
+  pending_.erase(ticket);
+  ++settled_records_;
+}
+
+void JobStore::compact() {
+  const std::string tmp_path = path_ + ".compact";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) {
+    throw Error("job store: cannot open " + tmp_path + ": " + std::strerror(errno));
+  }
+  std::size_t records = 0;
+  const auto write_line = [&](const std::string& line) {
+    if (std::fwrite(line.data(), 1, line.size(), tmp) != line.size() ||
+        std::fputc('\n', tmp) == EOF) {
+      std::fclose(tmp);
+      std::remove(tmp_path.c_str());
+      throw Error("job store: failed writing " + tmp_path);
+    }
+    ++records;
+  };
+
+  {
+    json::Value mark = json::Value::object();
+    mark.set("rec", "ticket");
+    mark.set("ticket", max_ticket_);
+    write_line(json::dump(mark));
+  }
+  for (const auto& [ticket, job] : pending_) {
+    json::Value doc = json::Value::object();
+    doc.set("rec", "enqueue");
+    doc.set("ticket", job.ticket);
+    doc.set("tenant", job.tenant);
+    doc.set("bundle", job.bundle.to_json());
+    write_line(json::dump(doc));
+  }
+  if (std::fflush(tmp) != 0) {
+    std::fclose(tmp);
+    std::remove(tmp_path.c_str());
+    throw Error("job store: failed flushing " + tmp_path);
+  }
+  std::fclose(tmp);
+
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    const std::string why = std::strerror(errno);
+    open_append_();  // keep the store usable on the old journal
+    throw Error("job store: failed replacing " + path_ + ": " + why);
+  }
+  settled_records_ = 0;
+  journal_records_ = records;
+  open_append_();
+}
+
+}  // namespace quml::serve

@@ -1,7 +1,10 @@
 #include "sim/fusion.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
+#include <system_error>
 
 #include "sim/statevector.hpp"  // kernel caps for clamp_options
 #include "util/errors.hpp"
@@ -612,10 +615,14 @@ FusionOptions clamp_options(FusionOptions o) {
 int env_int(const char* name, int fallback) {
   const char* e = std::getenv(name);
   if (e == nullptr || *e == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(e, &end, 10);
-  if (end == e || *end != '\0') return fallback;
-  return static_cast<int>(v);
+  // from_chars into int both demands full-string consumption and range-checks
+  // the value: the strtol predecessor cast long to int unchecked, so e.g.
+  // "4294967298" silently wrapped to 2 on LP64.
+  int v = 0;
+  const char* end = e + std::strlen(e);
+  const auto [p, ec] = std::from_chars(e, end, v, 10);
+  if (ec != std::errc() || p != end) return fallback;
+  return v;
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <system_error>
 
 #include "sim/fusion.hpp"
 #include "util/alias_table.hpp"
@@ -147,9 +150,14 @@ std::vector<std::uint64_t> local_offsets(std::span<const int> qubits) {
 std::uint64_t default_memory_budget() {
   constexpr std::uint64_t kGiB = 1ull << 30;
   if (const char* env = std::getenv("QUML_SV_MEMORY_BUDGET_BYTES")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::uint64_t>(v);
+    // Strict full-string parse: the permissive strtoull predecessor accepted
+    // "4GiB" as a 4-byte budget (consuming only the leading digit).  Partial
+    // consumption, overflow past uint64, and non-positive values all fall
+    // back to the automatic default.
+    std::uint64_t v = 0;
+    const char* end = env + std::strlen(env);
+    const auto [p, ec] = std::from_chars(env, end, v, 10);
+    if (ec == std::errc() && p == end && v > 0) return v;
   }
   std::uint64_t phys = 0;
 #if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)

@@ -419,6 +419,19 @@ TEST(FusionOptionsKq, EnvOverridesAndClamping) {
   EXPECT_EQ(defaults.max_qubits, 4);
   EXPECT_EQ(defaults.max_structured_qubits, 14);
 
+  // Malformed values fall back to the defaults: partial parses ("2x"), and —
+  // regression — out-of-int-range literals, which the strtol predecessor cast
+  // to int unchecked (e.g. "4294967298" wrapped to 2 on LP64).
+  setenv("QUML_FUSION_MAX_QUBITS", "2x", 1);
+  setenv("QUML_FUSION_MAX_STRUCTURED_QUBITS", "4294967298", 1);
+  const FusionOptions malformed = FusionOptions::from_env();
+  EXPECT_EQ(malformed.max_qubits, defaults.max_qubits);
+  EXPECT_EQ(malformed.max_structured_qubits, defaults.max_structured_qubits);
+  setenv("QUML_FUSION_MAX_QUBITS", "99999999999999999999", 1);
+  EXPECT_EQ(FusionOptions::from_env().max_qubits, defaults.max_qubits);
+  unsetenv("QUML_FUSION_MAX_QUBITS");
+  unsetenv("QUML_FUSION_MAX_STRUCTURED_QUBITS");
+
   // Absurd caps are clamped inside the pass rather than crashing the kernels.
   FusionOptions wild;
   wild.max_qubits = 99;

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
 #include "json/json.hpp"
 #include "util/errors.hpp"
 
@@ -30,6 +35,62 @@ TEST(JsonParse, IntVsDoubleDistinction) {
 TEST(JsonParse, HugeIntegerDegradesToDouble) {
   const Value v = parse("123456789012345678901234567890");
   EXPECT_TRUE(v.is_double());
+}
+
+TEST(JsonParse, Int64BoundaryLiterals) {
+  EXPECT_TRUE(parse("9223372036854775807").is_int());
+  EXPECT_EQ(parse("9223372036854775807").as_int(), INT64_MAX);
+  EXPECT_TRUE(parse("-9223372036854775808").is_int());
+  EXPECT_EQ(parse("-9223372036854775808").as_int(), INT64_MIN);
+  // One past either boundary degrades to double instead of failing.
+  EXPECT_TRUE(parse("9223372036854775808").is_double());
+  EXPECT_TRUE(parse("-9223372036854775809").is_double());
+  EXPECT_DOUBLE_EQ(parse("9223372036854775808").as_double(), 9223372036854775808.0);
+}
+
+TEST(JsonParse, ExponentBoundaryLiterals) {
+  EXPECT_DOUBLE_EQ(parse("1e308").as_double(), 1e308);
+  EXPECT_DOUBLE_EQ(parse("-1.7976931348623157e308").as_double(), -1.7976931348623157e308);
+  EXPECT_DOUBLE_EQ(parse("2.2250738585072014e-308").as_double(), 2.2250738585072014e-308);
+  // Overflow past DBL_MAX is rejected; underflow collapses to (signed) zero.
+  EXPECT_THROW(parse("1e309"), ParseError);
+  EXPECT_THROW(parse("-1e999"), ParseError);
+  EXPECT_THROW(parse("123456789e9999"), ParseError);
+  EXPECT_DOUBLE_EQ(parse("1e-400").as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(parse("-1e-400").as_double()));
+  EXPECT_DOUBLE_EQ(parse("0.0e999999999999999999").as_double(), 0.0);
+}
+
+/// Regression for the wire-facing locale bug: strtod/strtoll honored
+/// LC_NUMERIC, so a comma-decimal locale misparsed "1.5" (stopping at the
+/// '.').  std::from_chars is locale-independent by specification; this test
+/// pins the behavior under such a locale when the host provides one.
+TEST(JsonParse, NumbersAreLocaleIndependent) {
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                              "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string restore = previous != nullptr ? previous : "C";
+  const char* applied = nullptr;
+  for (const char* name : candidates)
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      applied = name;
+      break;
+    }
+  if (applied == nullptr)
+    GTEST_SKIP() << "no comma-decimal locale available on this host";
+  // Sanity: the chosen locale really uses ',' as its decimal separator.
+  const lconv* conv = std::localeconv();
+  if (conv == nullptr || conv->decimal_point == nullptr || conv->decimal_point[0] != ',') {
+    std::setlocale(LC_NUMERIC, restore.c_str());
+    GTEST_SKIP() << "locale lacks a comma decimal separator";
+  }
+  const Value v = parse(R"({"theta": 1.5, "phi": -2.25e-1, "n": 3})");
+  std::setlocale(LC_NUMERIC, restore.c_str());
+  EXPECT_DOUBLE_EQ(v.at("theta").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(v.at("phi").as_double(), -0.225);
+  EXPECT_EQ(v.at("n").as_int(), 3);
+  // And the writer side round-trips without picking up the comma either.
+  EXPECT_EQ(dump(parse("[1.5]")), "[1.5]");
 }
 
 TEST(JsonParse, NestedStructures) {

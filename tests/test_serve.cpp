@@ -1,0 +1,568 @@
+// quml_serve suite: wire framing (round trips + malformed-frame fuzz),
+// persistent job store (replay, torn tail, compaction), weighted fair-share
+// queueing, daemon admission/backpressure/tenant isolation, crash recovery
+// with bit-identical replay, and the socket server end to end over a unix
+// socket in both framings.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algolib/graph.hpp"
+#include "algolib/ising.hpp"
+#include "algolib/qaoa.hpp"
+#include "algolib/qft.hpp"
+#include "backend/register_backends.hpp"
+#include "core/registry.hpp"
+#include "json/json.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/frame.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/store.hpp"
+#include "util/errors.hpp"
+
+namespace quml::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+core::JobBundle qft_job(unsigned width, std::uint64_t seed, std::int64_t samples = 128) {
+  return make_load_bundle(width, samples, seed, "gate.statevector_simulator",
+                          "qft" + std::to_string(width) + "-s" + std::to_string(seed));
+}
+
+/// Packages fine but fails require-bound admission with QA012: a declared
+/// free parameter referenced by a descriptor, never bound.
+core::JobBundle unbound_param_job() {
+  const auto reg = algolib::make_ising_register("s", 4);
+  core::RegisterSet regs;
+  regs.add(reg);
+  core::OperatorSequence seq;
+  core::OperatorDescriptor cost =
+      algolib::cost_phase_descriptor(reg, algolib::Graph::cycle(4), 0.0);
+  cost.params.set("gamma", json::Value("$gamma"));
+  seq.ops.push_back(std::move(cost));
+  seq.ops.push_back(algolib::measurement_descriptor(reg));
+  return core::JobBundle::package(std::move(regs), std::move(seq), std::nullopt, "sweepable",
+                                  {"gamma"});
+}
+
+// --- frame codec -------------------------------------------------------------
+
+TEST(FrameCodec, NewlineRoundTripAndAutoDetection) {
+  const std::string payload = R"({"op":"ping"})";
+  const std::string frame = encode_frame(payload, Framing::Newline);
+  EXPECT_EQ(frame.back(), '\n');
+
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  ASSERT_EQ(decoder.framing(), std::nullopt);  // detection happens in next()
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_EQ(decoder.framing(), Framing::Newline);
+  EXPECT_TRUE(decoder.idle());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(FrameCodec, LengthPrefixedRoundTripByteByByte) {
+  const std::string payload = R"({"op":"hello","tenant":"a"})";
+  const std::string frame = encode_frame(payload, Framing::LengthPrefixed);
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  // Big-endian prefix.
+  EXPECT_EQ(static_cast<unsigned char>(frame[3]), payload.size());
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    decoder.feed(std::string_view(&frame[i], 1));
+    if (i + 1 < frame.size()) {
+      EXPECT_EQ(decoder.next(), std::nullopt);
+      EXPECT_FALSE(decoder.idle());  // mid-frame: truncation is visible
+    }
+  }
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_EQ(decoder.framing(), Framing::LengthPrefixed);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(FrameCodec, MultipleFramesInOneFeed) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(R"({"a":1})", Framing::Newline) +
+               encode_frame(R"({"b":2})", Framing::Newline));
+  EXPECT_EQ(decoder.next().value(), R"({"a":1})");
+  EXPECT_EQ(decoder.next().value(), R"({"b":2})");
+  EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(FrameCodec, CrlfIsTolerated) {
+  FrameDecoder decoder;
+  decoder.feed("{\"a\":1}\r\n");
+  EXPECT_EQ(decoder.next().value(), R"({"a":1})");
+}
+
+TEST(FrameCodec, OversizedLengthPrefixRejectedFromHeaderAlone) {
+  FrameLimits limits;
+  limits.max_frame_bytes = 1024;
+  FrameDecoder decoder(limits);
+  // 0x40000000 = 1 GiB claimed: must throw before any payload arrives.
+  const char header[4] = {0x40, 0x00, 0x00, 0x00};
+  decoder.feed(std::string_view(header, 4));
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(FrameCodec, OversizedNewlineFrameRejected) {
+  FrameLimits limits;
+  limits.max_frame_bytes = 64;
+  FrameDecoder decoder(limits);
+  decoder.feed("{" + std::string(200, 'x'));  // no terminator, already too long
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(FrameCodec, EmptyFramesRejected) {
+  {
+    FrameDecoder decoder;
+    decoder.feed("{\"a\":1}\n\n");  // blank line after a valid frame
+    EXPECT_TRUE(decoder.next().has_value());
+    EXPECT_THROW(decoder.next(), FrameError);
+  }
+  {
+    FrameDecoder decoder;
+    const char header[5] = {0x00, 0x00, 0x00, 0x00, 0x00};  // zero-length prefix
+    decoder.feed(std::string_view(header, 5));
+    EXPECT_THROW(decoder.next(), FrameError);
+  }
+  EXPECT_THROW(encode_frame("", Framing::Newline), FrameError);
+}
+
+TEST(FrameCodec, InvalidUtf8Rejected) {
+  {
+    FrameDecoder decoder;
+    decoder.feed("{\"k\":\"\xC3\x28\"}\n");  // bad continuation byte
+    EXPECT_THROW(decoder.next(), FrameError);
+  }
+  {
+    FrameDecoder decoder;
+    std::string frame = encode_frame("x\xE0\x80\x80x", Framing::LengthPrefixed);  // overlong
+    decoder.feed(frame);
+    EXPECT_THROW(decoder.next(), FrameError);
+  }
+}
+
+TEST(FrameCodec, Utf8Validator) {
+  EXPECT_TRUE(is_valid_utf8("plain ascii"));
+  EXPECT_TRUE(is_valid_utf8("caf\xC3\xA9"));                  // é
+  EXPECT_TRUE(is_valid_utf8("\xE2\x82\xAC"));                 // €
+  EXPECT_TRUE(is_valid_utf8("\xF0\x9F\x9A\x80"));             // rocket
+  EXPECT_FALSE(is_valid_utf8("\x80"));                        // stray continuation
+  EXPECT_FALSE(is_valid_utf8("\xC3"));                        // truncated sequence
+  EXPECT_FALSE(is_valid_utf8("\xC0\xAF"));                    // overlong '/'
+  EXPECT_FALSE(is_valid_utf8("\xED\xA0\x80"));                // UTF-16 surrogate
+  EXPECT_FALSE(is_valid_utf8("\xF4\x90\x80\x80"));            // past U+10FFFF
+  EXPECT_FALSE(is_valid_utf8("\xFE\xFF"));                    // not UTF-8 at all
+}
+
+TEST(FrameCodec, FuzzGarbageNeverCrashes) {
+  // Seeded garbage: every outcome must be a frame, a wait-for-more, or a
+  // FrameError — never a crash or an infinite loop.
+  std::mt19937 rng(20260809);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    bool dead = false;
+    for (int chunk = 0; chunk < 8 && !dead; ++chunk) {
+      std::string bytes(static_cast<std::size_t>(rng() % 64 + 1), '\0');
+      for (auto& b : bytes) b = static_cast<char>(rng() & 0xFF);
+      decoder.feed(bytes);
+      try {
+        for (int spin = 0; spin < 128; ++spin) {
+          if (!decoder.next().has_value()) break;
+        }
+      } catch (const FrameError&) {
+        dead = true;  // decoder contract: unusable after throwing
+      }
+    }
+  }
+}
+
+// --- persistent store --------------------------------------------------------
+
+TEST(JobStore, PersistsAndReplays) {
+  const std::string path = temp_path("store_replay.ndjson");
+  {
+    JobStore store(path);
+    EXPECT_EQ(store.next_ticket(), 1u);
+    store.append_enqueue({1, "alice", qft_job(3, 11)});
+    store.append_enqueue({2, "bob", qft_job(4, 22)});
+    store.append_enqueue({3, "alice", qft_job(3, 33)});
+    store.append_settle(2, "DONE");
+  }
+  JobStore reopened(path);
+  EXPECT_EQ(reopened.next_ticket(), 4u);
+  EXPECT_EQ(reopened.torn_records(), 0u);
+  const auto pending = reopened.pending();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].ticket, 1u);
+  EXPECT_EQ(pending[0].tenant, "alice");
+  EXPECT_EQ(pending[0].bundle.exec_policy().seed, 11u);
+  EXPECT_EQ(pending[1].ticket, 3u);
+  EXPECT_EQ(pending[1].bundle.exec_policy().seed, 33u);
+}
+
+TEST(JobStore, ToleratesTornTailOnly) {
+  const std::string path = temp_path("store_torn.ndjson");
+  {
+    JobStore store(path);
+    store.append_enqueue({1, "alice", qft_job(3, 7)});
+  }
+  {
+    // A crash mid-append leaves a partial record with no newline.
+    std::ofstream torn(path, std::ios::app | std::ios::binary);
+    torn << R"({"rec":"enqueue","ticket":2,"tenant":"bob","bund)";
+  }
+  JobStore reopened(path);
+  EXPECT_EQ(reopened.torn_records(), 1u);
+  ASSERT_EQ(reopened.pending().size(), 1u);
+  EXPECT_EQ(reopened.pending()[0].ticket, 1u);
+  // The torn ticket was never acknowledged, so reusing its number is fine.
+  EXPECT_EQ(reopened.next_ticket(), 2u);
+
+  // Mid-journal corruption is NOT tolerated: that's data loss, not a crash.
+  const std::string bad = temp_path("store_corrupt.ndjson");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "this is not json\n";
+    out << R"({"rec":"settle","ticket":1,"status":"DONE"})" << "\n";
+  }
+  EXPECT_THROW(JobStore{bad}, Error);
+}
+
+TEST(JobStore, CompactionDropsSettledAndKeepsTicketWatermark) {
+  const std::string path = temp_path("store_compact.ndjson");
+  {
+    JobStore store(path);
+    for (std::uint64_t t = 1; t <= 6; ++t) {
+      store.append_enqueue({t, "alice", qft_job(3, t)});
+    }
+    for (std::uint64_t t = 1; t <= 5; ++t) store.append_settle(t, "DONE");
+    EXPECT_EQ(store.journal_records(), 11u);
+    store.compact();
+    EXPECT_EQ(store.settled_records(), 0u);
+    EXPECT_EQ(store.journal_records(), 2u);  // watermark + 1 live enqueue
+  }
+  JobStore reopened(path);
+  ASSERT_EQ(reopened.pending().size(), 1u);
+  EXPECT_EQ(reopened.pending()[0].ticket, 6u);
+  EXPECT_EQ(reopened.next_ticket(), 7u);
+
+  // Even a fully settled journal must not reissue used tickets.
+  {
+    JobStore store(path);
+    store.append_settle(6, "DONE");
+    store.compact();
+  }
+  JobStore empty(path);
+  EXPECT_TRUE(empty.pending().empty());
+  EXPECT_EQ(empty.next_ticket(), 7u);
+}
+
+// --- fair-share queue --------------------------------------------------------
+
+TEST(FairShareQueue, WeightedInterleavingIsExact) {
+  FairShareQueue queue;
+  queue.set_weight("a", 2.0);
+  queue.set_weight("b", 1.0);
+  // Tickets encode tenant + order: a -> 100+i, b -> 200+i.
+  for (std::uint64_t i = 0; i < 6; ++i) queue.push("a", 100 + i);
+  for (std::uint64_t i = 0; i < 6; ++i) queue.push("b", 200 + i);
+  EXPECT_EQ(queue.depth("a"), 6u);
+  EXPECT_EQ(queue.depth("b"), 6u);
+
+  std::string order;
+  std::map<std::string, int> popped;
+  for (int i = 0; i < 12; ++i) {
+    const auto ticket = queue.try_pop();
+    ASSERT_TRUE(ticket.has_value());
+    const bool is_a = *ticket < 200;
+    order += is_a ? 'a' : 'b';
+    ++popped[is_a ? "a" : "b"];
+  }
+  // Stride scheduling with weights 2:1 and deterministic tie-breaks.
+  EXPECT_EQ(order, "abaabaabab" "bb");
+  EXPECT_EQ(popped["a"], 6);
+  EXPECT_EQ(popped["b"], 6);
+  // Within a lane, FIFO order is preserved.
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(FairShareQueue, IdleTenantEarnsNoBurstCredit) {
+  FairShareQueue queue;
+  queue.set_weight("busy", 1.0);
+  queue.set_weight("idle", 1.0);
+  for (std::uint64_t i = 0; i < 50; ++i) queue.push("busy", i);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(queue.try_pop().has_value());
+  // "idle" arrives late; it must interleave from now on, not monopolize.
+  for (std::uint64_t i = 0; i < 5; ++i) queue.push("idle", 1000 + i);
+  int idle_run = 0;
+  const auto first = queue.try_pop();
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 5; ++i) {
+    const auto t = queue.try_pop();
+    ASSERT_TRUE(t.has_value());
+    if (*t >= 1000) {
+      ++idle_run;
+    }
+  }
+  EXPECT_LE(idle_run, 3);  // ~alternating, never 5 in a row
+}
+
+TEST(FairShareQueue, CloseAbandonsQueuedTickets) {
+  FairShareQueue queue;
+  queue.push("a", 1);
+  queue.push("a", 2);
+  queue.close();
+  EXPECT_EQ(queue.pop(), std::nullopt);  // immediately, despite backlog
+  EXPECT_FALSE(queue.push("a", 3));
+}
+
+// --- daemon ------------------------------------------------------------------
+
+DaemonConfig daemon_config(const std::string& store_name) {
+  DaemonConfig config;
+  config.store_path = temp_path(store_name);
+  config.executors = 2;
+  config.service.default_workers = 2;
+  return config;
+}
+
+TEST(JobDaemon, ExecutesAndSettlesWithServiceParityCounts) {
+  JobDaemon daemon(daemon_config("daemon_exec.ndjson"));
+  const core::JobBundle bundle = qft_job(3, 91);
+  const SubmitReply reply = daemon.submit("alice", bundle);
+  ASSERT_EQ(reply.outcome, SubmitOutcome::Accepted) << reply.detail;
+  ASSERT_TRUE(daemon.wait_for("alice", reply.ticket, 30000ms));
+
+  const JobInfo info = daemon.info("alice", reply.ticket);
+  ASSERT_TRUE(info.known);
+  EXPECT_EQ(info.status, "DONE");
+  EXPECT_EQ(info.engine, "gate.statevector_simulator");
+  ASSERT_TRUE(info.result.has_value());
+
+  // Same bundle through the blocking core API: counts must match exactly.
+  const core::ExecutionResult reference = core::submit(bundle);
+  EXPECT_EQ(info.result->counts.map(), reference.counts.map());
+}
+
+TEST(JobDaemon, RejectsDefectiveBundlesWithQaCodes) {
+  JobDaemon daemon(daemon_config("daemon_reject.ndjson"));
+  const SubmitReply reply = daemon.submit("alice", unbound_param_job());
+  EXPECT_EQ(reply.outcome, SubmitOutcome::Rejected);
+  EXPECT_NE(reply.detail.find("QA012"), std::string::npos) << reply.detail;
+  const JobDaemon::Stats stats = daemon.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(JobDaemon, ShedsPastTenantBoundAndPersistsNothingForShedJobs) {
+  DaemonConfig config = daemon_config("daemon_shed.ndjson");
+  config.start_paused = true;  // nothing drains: the queue depth is exact
+  config.default_policy.max_queued = 2;
+  std::uint64_t shed_free = 0;
+  {
+    JobDaemon daemon(config);
+    EXPECT_EQ(daemon.submit("alice", qft_job(3, 1)).outcome, SubmitOutcome::Accepted);
+    EXPECT_EQ(daemon.submit("alice", qft_job(3, 2)).outcome, SubmitOutcome::Accepted);
+    const SubmitReply third = daemon.submit("alice", qft_job(3, 3));
+    EXPECT_EQ(third.outcome, SubmitOutcome::Shed);
+    EXPECT_NE(third.detail.find("queue is full"), std::string::npos) << third.detail;
+    // Bounds are per tenant: bob still has room.
+    EXPECT_EQ(daemon.submit("bob", qft_job(3, 4)).outcome, SubmitOutcome::Accepted);
+    shed_free = daemon.stats().shed;
+    EXPECT_EQ(shed_free, 1u);
+  }
+  // The shed job never reached the journal.
+  JobStore store(config.store_path);
+  EXPECT_EQ(store.pending().size(), 3u);
+}
+
+TEST(JobDaemon, TenantIsolationHidesForeignTickets) {
+  JobDaemon daemon(daemon_config("daemon_isolation.ndjson"));
+  const SubmitReply reply = daemon.submit("alice", qft_job(3, 5));
+  ASSERT_EQ(reply.outcome, SubmitOutcome::Accepted);
+  ASSERT_TRUE(daemon.wait_for("alice", reply.ticket, 30000ms));
+  EXPECT_TRUE(daemon.info("alice", reply.ticket).known);
+  // A foreign ticket is indistinguishable from a nonexistent one.
+  EXPECT_FALSE(daemon.info("bob", reply.ticket).known);
+  EXPECT_FALSE(daemon.info("", reply.ticket).known);
+}
+
+TEST(JobDaemon, CrashRecoveryReplaysBitIdentically) {
+  DaemonConfig config = daemon_config("daemon_recovery.ndjson");
+  constexpr int kJobs = 4;
+  std::vector<std::uint64_t> tickets;
+
+  // Reference counts for the exact bundles the daemon will replay.  The
+  // reference runs before any daemon exists, so register engines here.
+  backend::register_builtin_backends();
+  std::vector<std::map<std::string, std::int64_t>> reference;
+  for (int j = 0; j < kJobs; ++j) {
+    reference.push_back(core::submit(qft_job(3, 40 + static_cast<std::uint64_t>(j))).counts.map());
+  }
+
+  {
+    // Boot paused, enqueue, and die without draining: the "crash".
+    DaemonConfig paused = config;
+    paused.start_paused = true;
+    JobDaemon daemon(paused);
+    for (int j = 0; j < kJobs; ++j) {
+      const SubmitReply reply =
+          daemon.submit("alice", qft_job(3, 40 + static_cast<std::uint64_t>(j)));
+      ASSERT_EQ(reply.outcome, SubmitOutcome::Accepted) << reply.detail;
+      tickets.push_back(reply.ticket);
+    }
+    EXPECT_EQ(daemon.stats().settled, 0u);
+  }
+
+  // Reboot on the same journal: everything replays under the original
+  // tickets and seeds, so results are bit-identical to the reference.
+  JobDaemon daemon(config);
+  EXPECT_EQ(daemon.stats().replayed, static_cast<std::uint64_t>(kJobs));
+  daemon.drain();
+  for (int j = 0; j < kJobs; ++j) {
+    const JobInfo info = daemon.info("alice", tickets[static_cast<std::size_t>(j)]);
+    ASSERT_TRUE(info.known) << "ticket " << tickets[static_cast<std::size_t>(j)];
+    ASSERT_EQ(info.status, "DONE") << info.error;
+    ASSERT_TRUE(info.result.has_value());
+    EXPECT_EQ(info.result->counts.map(), reference[static_cast<std::size_t>(j)])
+        << "replayed job " << j << " diverged from its pre-crash counts";
+  }
+  // Nothing was duplicated: exactly kJobs settled.
+  EXPECT_EQ(daemon.stats().settled, static_cast<std::uint64_t>(kJobs));
+}
+
+// --- server + client over a unix socket --------------------------------------
+
+TEST(ServeWire, EndToEndUnixSocket) {
+  JobDaemon daemon(daemon_config("serve_e2e.ndjson"));
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_e2e.sock");
+  Server server(daemon, server_config);
+  server.start();
+
+  Client client = Client::connect_unix(server_config.unix_path);
+  EXPECT_EQ(client.ping().get_string("op", ""), "pong");
+
+  // Tenant identity is mandatory before any job op.
+  EXPECT_EQ(client.status(1).get_string("code", ""), "NO_HELLO");
+  ASSERT_TRUE(client.hello("alice").get_bool("ok", false));
+
+  const json::Value accepted = client.submit(qft_job(3, 77));
+  ASSERT_TRUE(accepted.get_bool("ok", false)) << json::dump(accepted);
+  const auto ticket = static_cast<std::uint64_t>(accepted.get_int("ticket", 0));
+  ASSERT_GT(ticket, 0u);
+
+  // result with wait=true blocks server-side until the job settles.
+  const json::Value settled = client.result(ticket, /*wait=*/true);
+  EXPECT_EQ(settled.get_string("status", ""), "DONE") << json::dump(settled);
+  ASSERT_TRUE(settled.contains("counts"));
+  EXPECT_EQ(core::Counts::from_json(settled.at("counts")).map(),
+            core::submit(qft_job(3, 77)).counts.map());
+
+  const json::Value status = client.status(ticket);
+  EXPECT_EQ(status.get_string("status", ""), "DONE");
+
+  // Rejections carry the QA rendering over the wire.
+  const json::Value rejected = client.submit(unbound_param_job());
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(rejected.get_string("code", ""), "REJECTED");
+  EXPECT_NE(rejected.get_string("detail", "").find("QA012"), std::string::npos);
+
+  // Tenant isolation across sessions.
+  Client other = Client::connect_unix(server_config.unix_path);
+  other.hello("bob");
+  EXPECT_EQ(other.status(ticket).get_string("code", ""), "UNKNOWN_JOB");
+
+  const json::Value stats = client.stats();
+  EXPECT_TRUE(stats.get_bool("ok", false));
+  EXPECT_GE(stats.get_int("accepted", 0), 1);
+  EXPECT_GE(stats.get_int("sessions", 0), 2);
+
+  server.stop();
+}
+
+TEST(ServeWire, LengthPrefixedSessionWorks) {
+  JobDaemon daemon(daemon_config("serve_lp.ndjson"));
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_lp.sock");
+  Server server(daemon, server_config);
+  server.start();
+
+  Client client =
+      Client::connect_unix(server_config.unix_path, Framing::LengthPrefixed);
+  ASSERT_TRUE(client.hello("alice").get_bool("ok", false));
+  EXPECT_EQ(client.hello("alice").get_string("framing", ""), "length-prefixed");
+  const json::Value accepted = client.submit(qft_job(3, 55));
+  ASSERT_TRUE(accepted.get_bool("ok", false)) << json::dump(accepted);
+  const json::Value settled =
+      client.result(static_cast<std::uint64_t>(accepted.get_int("ticket", 0)), true);
+  EXPECT_EQ(settled.get_string("status", ""), "DONE");
+  server.stop();
+}
+
+TEST(ServeWire, MalformedFramesCloseTheConnection) {
+  JobDaemon daemon(daemon_config("serve_malformed.ndjson"));
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_malformed.sock");
+  server_config.limits.max_frame_bytes = 1024;
+  Server server(daemon, server_config);
+  server.start();
+
+  // Raw socket: claim a 256 MiB frame.  The server must answer BAD_FRAME
+  // (best effort) and close, never buffer toward the hostile length.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server_config.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const unsigned char hostile[4] = {0x10, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(fd, hostile, 4, MSG_NOSIGNAL), 4);
+
+  std::string response;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;  // server closed after flushing its answer
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("BAD_FRAME"), std::string::npos) << response;
+
+  // The daemon survives hostile clients; a well-formed session still works.
+  Client client = Client::connect_unix(server_config.unix_path);
+  EXPECT_EQ(client.ping().get_string("op", ""), "pong");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace quml::serve

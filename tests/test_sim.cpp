@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 
 #include "sim/engine.hpp"
 #include "sim/fusion.hpp"
@@ -333,6 +335,26 @@ TEST(Statevector, QubitCapAndMemoryBudget) {
   EXPECT_NO_THROW(Statevector(20));
   Statevector::set_memory_budget_bytes(0);  // restore the automatic default
   EXPECT_GE(Statevector::memory_budget_bytes(), 1ull << 30);
+}
+
+TEST(Statevector, MemoryBudgetEnvRequiresFullStringParse) {
+  // Regression: "4GiB" used to strtoull-parse as a 4-byte budget.  Partial
+  // consumption, overflow, and non-positive values must all fall back to the
+  // automatic default (>= the 1 GiB floor), while a plain byte count applies.
+  Statevector::set_memory_budget_bytes(0);  // route through the env/default path
+  const auto with_env = [](const char* value) {
+    setenv("QUML_SV_MEMORY_BUDGET_BYTES", value, 1);
+    const std::uint64_t budget = Statevector::memory_budget_bytes();
+    unsetenv("QUML_SV_MEMORY_BUDGET_BYTES");
+    return budget;
+  };
+  EXPECT_EQ(with_env("2147483648"), 2147483648ull);  // well-formed: applies
+  EXPECT_GE(with_env("4GiB"), 1ull << 30);           // trailing junk: default
+  EXPECT_GE(with_env("12 "), 1ull << 30);            // trailing space: default
+  EXPECT_GE(with_env("99999999999999999999999"), 1ull << 30);  // overflow
+  EXPECT_GE(with_env("-4096"), 1ull << 30);          // negative: default
+  EXPECT_GE(with_env("0"), 1ull << 30);              // zero budget: default
+  EXPECT_GE(with_env(""), 1ull << 30);               // empty: default
 }
 
 TEST(Statevector, WideRegisterConstruction) {

@@ -83,10 +83,10 @@ SubmitReply JobDaemon::submit(const std::string& tenant, core::JobBundle bundle)
   queue_.set_weight(tenant, policy.weight);
   {
     MutexLock lock(mutex_);
-    if (stopping_) {
+    if (stopping_ || quiescing_) {
       ++counters_.shed;
       reply.outcome = SubmitOutcome::Shed;
-      reply.detail = "daemon is stopping";
+      reply.detail = "daemon is shutting down";
       return reply;
     }
     // Depth check and push are serialized under mutex_, so the bound is
@@ -99,12 +99,23 @@ SubmitReply JobDaemon::submit(const std::string& tenant, core::JobBundle bundle)
                      std::to_string(policy.max_queued) + "); retry after the backlog drains";
       return reply;
     }
-    const std::uint64_t ticket = next_ticket_++;
+    const std::uint64_t ticket = next_ticket_;
     PendingJob job;
     job.ticket = ticket;
     job.tenant = tenant;
     job.bundle = bundle;
-    store_.append_enqueue(job);  // persisted before it can run
+    try {
+      store_.append_enqueue(job);  // persisted before it can run
+    } catch (const Error& e) {
+      // Journal failure (e.g. disk full): the job was never accepted, and
+      // the caller's thread — possibly the server's poll loop — must hear
+      // that as a reply, not an exception.  The unused ticket is not burned.
+      ++counters_.shed;
+      reply.outcome = SubmitOutcome::Shed;
+      reply.detail = std::string("job store append failed: ") + e.what();
+      return reply;
+    }
+    ++next_ticket_;
     Record record;
     record.tenant = tenant;
     record.bundle = std::move(bundle);
@@ -151,6 +162,11 @@ bool JobDaemon::wait_for(const std::string& tenant, std::uint64_t ticket,
       return again == records_.end() || svc::is_terminal(again->second.status);
     }
   }
+}
+
+void JobDaemon::quiesce() {
+  MutexLock lock(mutex_);
+  quiescing_ = true;
 }
 
 void JobDaemon::resume() {
@@ -252,6 +268,8 @@ void JobDaemon::settle_(std::uint64_t ticket, svc::JobStatus status, std::string
     record.error = std::move(error);
     record.attempts = attempts;
     record.result = std::move(result);
+    // The bundle is spent: replay reads the store, not this cache.
+    record.bundle = core::JobBundle{};
     try {
       store_.append_settle(ticket, svc::to_string(status));
       if (store_.settled_records() >= config_.compact_after_settles) store_.compact();
@@ -262,6 +280,14 @@ void JobDaemon::settle_(std::uint64_t ticket, svc::JobStatus status, std::string
     ++counters_.settled;
     --counters_.in_flight;
     info = info_locked_(ticket, record);
+    // Retention: only the newest `settled_retention` settled records stay
+    // queryable; older ones are evicted so memory tracks the backlog, not
+    // the daemon's lifetime job count.
+    settled_order_.push_back(ticket);
+    while (settled_order_.size() > config_.settled_retention) {
+      records_.erase(settled_order_.front());
+      settled_order_.pop_front();
+    }
   }
   settled_cv_.notify_all();
   {

@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -66,6 +67,12 @@ struct DaemonConfig {
   bool start_paused = false;
   /// Compact the journal once this many settle records accumulate.
   std::size_t compact_after_settles = 256;
+  /// Settled jobs kept queryable in memory (status/result).  Past the bound
+  /// the oldest settled records are evicted — their tickets then read as
+  /// unknown — so a long-running daemon's memory tracks its backlog, not its
+  /// lifetime job count.  The settle callback always sees the full snapshot
+  /// before eviction.
+  std::size_t settled_retention = 4096;
   svc::ServiceConfig service;
 };
 
@@ -114,8 +121,14 @@ class JobDaemon {
   /// Releases executors parked by DaemonConfig::start_paused (idempotent).
   void resume() QUML_EXCLUDES(mutex_);
 
-  /// Blocks until every accepted job has settled.  Call before stop() for a
-  /// graceful (SIGTERM) shutdown; new submissions keep being accepted.
+  /// Stops admitting: every later submit is SHED while queued/running work
+  /// proceeds normally.  Call before drain() so a graceful shutdown only
+  /// waits on the backlog present at signal time, not on sustained new load.
+  void quiesce() QUML_EXCLUDES(mutex_);
+
+  /// Blocks until every accepted job has settled.  Call quiesce() first and
+  /// stop() after for a graceful (SIGTERM) shutdown; without quiesce(), new
+  /// submissions keep being accepted and can extend the drain.
   void drain() QUML_EXCLUDES(mutex_);
 
   /// Stops accepting, abandons whatever is still queued (it stays in the
@@ -172,9 +185,12 @@ class JobDaemon {
   CondVar pause_cv_;
   JobStore store_ QUML_GUARDED_BY(mutex_);
   std::map<std::uint64_t, Record> records_ QUML_GUARDED_BY(mutex_);
+  /// Settle order, for retention eviction (oldest settled record first).
+  std::deque<std::uint64_t> settled_order_ QUML_GUARDED_BY(mutex_);
   std::uint64_t next_ticket_ QUML_GUARDED_BY(mutex_) = 1;
   Stats counters_ QUML_GUARDED_BY(mutex_);
   bool paused_ QUML_GUARDED_BY(mutex_) = false;
+  bool quiescing_ QUML_GUARDED_BY(mutex_) = false;
   bool stopping_ QUML_GUARDED_BY(mutex_) = false;
   /// Never nested with mutex_ (settle_ releases mutex_ before taking it).
   mutable Mutex callback_mutex_;

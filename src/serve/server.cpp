@@ -153,7 +153,19 @@ void Server::wake_() {
 }
 
 void Server::on_settle_(const JobInfo& info) {
-  const std::string payload = json::dump(result_response(info));
+  std::string payload = json::dump(result_response(info));
+  if (payload.size() > config_.limits.max_frame_bytes) {
+    // A counts payload wider than the frame limit cannot be framed; the
+    // waiter gets a ticket-bearing error instead of the daemon a crash.
+    json::Value doc = error_response(
+        "OVERSIZED_RESPONSE", "settled result exceeds the frame limit of " +
+                                  std::to_string(config_.limits.max_frame_bytes) +
+                                  " bytes; raise max_frame_bytes or lower exec.samples");
+    doc.set("op", "result");
+    doc.set("ticket", info.ticket);
+    doc.set("status", info.status);
+    payload = json::dump(doc);
+  }
   bool woke = false;
   {
     MutexLock lock(mutex_);
@@ -185,7 +197,12 @@ void Server::loop_() {
     fds.push_back({wake_read_fd_, POLLIN, 0});
     serial_of.push_back(0);
     for (const auto& [serial, session] : sessions_) {
-      short events = POLLIN;
+      short events = 0;
+      // Backpressure: a session whose outbuf sits at its cap is not read
+      // until the client drains responses; a half-closed peer is never read.
+      if (!session.peer_eof && session.outbuf.size() < config_.max_outbuf_bytes) {
+        events |= POLLIN;
+      }
       if (!session.outbuf.empty()) events |= POLLOUT;
       fds.push_back({session.fd, events, 0});
       serial_of.push_back(serial);
@@ -217,8 +234,14 @@ void Server::loop_() {
       if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
         if (!read_ready_(session)) continue;  // session erased
       }
-      if ((fds[i].revents & POLLOUT) != 0 || !session.outbuf.empty()) {
-        flush_(session);
+      // Alternate flushing and decoding: frames parked in the decoder while
+      // the outbuf sat at its cap are answered as the flushes drain it.  The
+      // decoder's input is fixed for this sweep, so the loop terminates.
+      for (;;) {
+        if (!session.outbuf.empty() && !flush_(session)) break;  // erased
+        if (!session.outbuf.empty()) break;  // kernel buffer full; POLLOUT resumes
+        if (!process_frames_(session)) break;  // erased
+        if (session.outbuf.empty()) break;     // decoder ran dry
       }
     }
     drain_deferred_();
@@ -260,21 +283,42 @@ bool Server::read_ready_(Session& session) {
     break;
   }
 
+  if (!process_frames_(session)) return false;
+
+  if (eof) {
+    // Half-close: the peer may have shut down its write side but still be
+    // reading.  Flush whatever the final sweep produced (a submit ticket, a
+    // BAD_FRAME verdict) rather than discarding it; flush_ closes the
+    // session once the outbuf drains.
+    session.peer_eof = true;
+    session.closing = true;
+    return flush_(session);
+  }
+  return true;
+}
+
+bool Server::process_frames_(Session& session) {
   if (!session.closing) {
     try {
-      while (auto payload = session.decoder.next()) handle_payload_(session, *payload);
+      // Stop at the outbuf cap: unread frames stay buffered in the decoder
+      // and are decoded once the client drains its responses.
+      while (session.outbuf.size() < config_.max_outbuf_bytes) {
+        const auto payload = session.decoder.next();
+        if (!payload) break;
+        handle_payload_(session, *payload);
+      }
     } catch (const FrameError& e) {
       // The stream is unrecoverable past a framing violation: answer once
       // (best effort) and flush-then-close.
       enqueue_response_(session, error_response("BAD_FRAME", e.what()));
       session.closing = true;
+    } catch (const Error& e) {
+      // Operational failure inside the daemon (e.g. journal I/O) must not
+      // unwind the poll thread and kill every tenant: report to this
+      // session and close it alone.
+      enqueue_response_(session, error_response("INTERNAL", e.what()));
+      session.closing = true;
     }
-  }
-
-  if (eof) {
-    // A peer that vanished mid-frame gets no reply; nothing to salvage.
-    close_session_(session);
-    return false;
   }
   if (session.closing && session.outbuf.empty()) {
     close_session_(session);
@@ -309,8 +353,27 @@ void Server::close_session_(Session& session) {
 }
 
 void Server::enqueue_response_(Session& session, const json::Value& response) {
+  enqueue_payload_(session, json::dump(response));
+}
+
+void Server::enqueue_payload_(Session& session, std::string_view payload) {
   const Framing framing = session.decoder.framing().value_or(Framing::Newline);
-  session.outbuf += encode_frame(json::dump(response), framing, config_.limits);
+  try {
+    session.outbuf += encode_frame(payload, framing, config_.limits);
+    return;
+  } catch (const FrameError&) {
+    // The response itself violates the frame limit; fall through to a
+    // bounded substitute — an exception here would kill the poll thread.
+  }
+  try {
+    session.outbuf += encode_frame(
+        json::dump(error_response("OVERSIZED_RESPONSE",
+                                  "response exceeds the frame limit of " +
+                                      std::to_string(config_.limits.max_frame_bytes) + " bytes")),
+        framing, config_.limits);
+  } catch (const FrameError&) {
+    session.closing = true;  // not even the error fits: drop the session
+  }
 }
 
 void Server::drain_deferred_() {
@@ -323,8 +386,7 @@ void Server::drain_deferred_() {
     const auto it = sessions_.find(serial);
     if (it == sessions_.end()) continue;  // waiter disconnected; drop
     Session& session = it->second;
-    const Framing framing = session.decoder.framing().value_or(Framing::Newline);
-    session.outbuf += encode_frame(payload, framing, config_.limits);
+    enqueue_payload_(session, payload);
     flush_(session);
   }
 }

@@ -51,6 +51,11 @@ struct ServerConfig {
   FrameLimits limits;
   /// Connections beyond this are accepted and immediately closed.
   std::size_t max_sessions = 1024;
+  /// Per-session response backlog bound.  A client that pipelines requests
+  /// without reading replies stops being read (POLLIN drops) once its outbuf
+  /// reaches this; decoding resumes as the client drains.  No response is
+  /// ever dropped — the cap only pauses intake.
+  std::size_t max_outbuf_bytes = 16u << 20;  // 16 MiB
 };
 
 class Server {
@@ -78,7 +83,8 @@ class Server {
     std::string tenant;
     FrameDecoder decoder;
     std::string outbuf;
-    bool closing = false;  // flush outbuf, then close
+    bool closing = false;   // flush outbuf, then close
+    bool peer_eof = false;  // read side is done; stop polling POLLIN
   };
 
   void loop_();
@@ -86,8 +92,15 @@ class Server {
   /// False when the session died and was erased.
   bool read_ready_(Session& session);
   bool flush_(Session& session);
+  /// Decodes and dispatches buffered frames until the decoder runs dry or
+  /// the outbuf reaches its cap; false when the session was erased.
+  bool process_frames_(Session& session);
   void handle_payload_(Session& session, const std::string& payload);
   void enqueue_response_(Session& session, const json::Value& response);
+  /// Frames `payload` onto the outbuf; a payload over the frame limit is
+  /// replaced by an OVERSIZED_RESPONSE error so encoding can never throw
+  /// into the poll loop.
+  void enqueue_payload_(Session& session, std::string_view payload);
   void close_session_(Session& session);
   void drain_deferred_();
   void on_settle_(const JobInfo& info);

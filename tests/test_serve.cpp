@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -345,6 +346,44 @@ TEST(FairShareQueue, CloseAbandonsQueuedTickets) {
   EXPECT_FALSE(queue.push("a", 3));
 }
 
+// --- raw-socket helpers ------------------------------------------------------
+
+int connect_raw(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  // A stuck server must fail the test, not hang the suite.
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> read_frame(int fd, FrameDecoder& decoder) {
+  char buf[4096];
+  for (;;) {
+    if (auto frame = decoder.next()) return frame;
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) return std::nullopt;
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
 // --- daemon ------------------------------------------------------------------
 
 DaemonConfig daemon_config(const std::string& store_name) {
@@ -460,6 +499,42 @@ TEST(JobDaemon, CrashRecoveryReplaysBitIdentically) {
   EXPECT_EQ(daemon.stats().settled, static_cast<std::uint64_t>(kJobs));
 }
 
+TEST(JobDaemon, QuiesceShedsNewWorkSoDrainIsBounded) {
+  JobDaemon daemon(daemon_config("daemon_quiesce.ndjson"));
+  const SubmitReply before = daemon.submit("alice", qft_job(3, 61));
+  ASSERT_EQ(before.outcome, SubmitOutcome::Accepted) << before.detail;
+  daemon.quiesce();
+  const SubmitReply after = daemon.submit("alice", qft_job(3, 62));
+  EXPECT_EQ(after.outcome, SubmitOutcome::Shed);
+  EXPECT_NE(after.detail.find("shutting down"), std::string::npos) << after.detail;
+  daemon.drain();  // bounded: waits only on the pre-quiesce backlog
+  const JobInfo info = daemon.info("alice", before.ticket);
+  ASSERT_TRUE(info.known);
+  EXPECT_EQ(info.status, "DONE") << info.error;
+  EXPECT_EQ(daemon.stats().shed, 1u);
+}
+
+TEST(JobDaemon, SettledRetentionEvictsOldestRecords) {
+  DaemonConfig config = daemon_config("daemon_retention.ndjson");
+  config.settled_retention = 2;
+  JobDaemon daemon(config);
+  std::vector<std::uint64_t> tickets;
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    const SubmitReply reply = daemon.submit("alice", qft_job(3, 70 + j));
+    ASSERT_EQ(reply.outcome, SubmitOutcome::Accepted) << reply.detail;
+    // Serialize settles so the eviction order is deterministic.
+    ASSERT_TRUE(daemon.wait_for("alice", reply.ticket, 30000ms));
+    tickets.push_back(reply.ticket);
+  }
+  // Only the newest `settled_retention` settled records stay queryable; the
+  // evicted tickets read as unknown, exactly like foreign ones.
+  EXPECT_FALSE(daemon.info("alice", tickets[0]).known);
+  EXPECT_FALSE(daemon.info("alice", tickets[1]).known);
+  ASSERT_TRUE(daemon.info("alice", tickets[2]).known);
+  ASSERT_TRUE(daemon.info("alice", tickets[3]).known);
+  EXPECT_TRUE(daemon.info("alice", tickets[3]).result.has_value());
+}
+
 // --- server + client over a unix socket --------------------------------------
 
 TEST(ServeWire, EndToEndUnixSocket) {
@@ -561,6 +636,122 @@ TEST(ServeWire, MalformedFramesCloseTheConnection) {
   // The daemon survives hostile clients; a well-formed session still works.
   Client client = Client::connect_unix(server_config.unix_path);
   EXPECT_EQ(client.ping().get_string("op", ""), "pong");
+  server.stop();
+}
+
+TEST(ServeWire, HalfCloseClientStillReceivesItsReplies) {
+  JobDaemon daemon(daemon_config("serve_halfclose.ndjson"));
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_halfclose.sock");
+  Server server(daemon, server_config);
+  server.start();
+
+  const int fd = connect_raw(server_config.unix_path);
+  ASSERT_GE(fd, 0);
+  json::Value hello = json::Value::object();
+  hello.set("op", "hello");
+  hello.set("tenant", "alice");
+  json::Value submit = json::Value::object();
+  submit.set("op", "submit");
+  submit.set("bundle", qft_job(3, 99).to_json());
+  ASSERT_TRUE(send_all(fd, encode_frame(json::dump(hello), Framing::Newline) +
+                               encode_frame(json::dump(submit), Framing::Newline)));
+  // shutdown(SHUT_WR) right after the writes: the job is accepted and
+  // persisted, so the ticket must still arrive on the open read side.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  FrameDecoder decoder;
+  const auto hello_reply = read_frame(fd, decoder);
+  ASSERT_TRUE(hello_reply.has_value());
+  EXPECT_TRUE(json::parse(*hello_reply).get_bool("ok", false)) << *hello_reply;
+  const auto submit_reply = read_frame(fd, decoder);
+  ASSERT_TRUE(submit_reply.has_value());
+  const json::Value ack = json::parse(*submit_reply);
+  EXPECT_TRUE(ack.get_bool("ok", false)) << json::dump(ack);
+  EXPECT_GT(ack.get_int("ticket", 0), 0);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServeWire, OversizedResultAnsweredWithoutKillingTheDaemon) {
+  DaemonConfig daemon_cfg = daemon_config("serve_oversized.ndjson");
+  daemon_cfg.start_paused = true;  // the result request parks before any settle
+  JobDaemon daemon(daemon_cfg);
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_oversized.sock");
+  server_config.limits.max_frame_bytes = 4096;
+  Server server(daemon, server_config);
+  server.start();
+
+  // 10 qubits x 8192 shots: ~1024 distinct counts, far past the 4 KiB frame
+  // limit once rendered, while every request stays well under it.
+  Client client = Client::connect_unix(server_config.unix_path);
+  ASSERT_TRUE(client.hello("alice").get_bool("ok", false));
+  const json::Value accepted = client.submit(qft_job(10, 7, 8192));
+  ASSERT_TRUE(accepted.get_bool("ok", false)) << json::dump(accepted);
+  const auto ticket = static_cast<std::uint64_t>(accepted.get_int("ticket", 0));
+
+  // Park a wait=true result request on a raw session, then let the job run:
+  // the settle path must substitute a ticket-bearing error for the unframable
+  // counts instead of throwing on the poll thread.
+  const int fd = connect_raw(server_config.unix_path);
+  ASSERT_GE(fd, 0);
+  json::Value hello = json::Value::object();
+  hello.set("op", "hello");
+  hello.set("tenant", "alice");
+  json::Value wait_req = json::Value::object();
+  wait_req.set("op", "result");
+  wait_req.set("ticket", ticket);
+  wait_req.set("wait", true);
+  ASSERT_TRUE(send_all(fd, encode_frame(json::dump(hello), Framing::Newline) +
+                               encode_frame(json::dump(wait_req), Framing::Newline)));
+  FrameDecoder decoder;
+  ASSERT_TRUE(read_frame(fd, decoder).has_value());  // hello ack: waiter is parked
+  daemon.resume();
+  const auto deferred = read_frame(fd, decoder);
+  ASSERT_TRUE(deferred.has_value());
+  const json::Value waited = json::parse(*deferred);
+  EXPECT_FALSE(waited.get_bool("ok", true));
+  EXPECT_EQ(waited.get_string("code", ""), "OVERSIZED_RESPONSE") << json::dump(waited);
+  EXPECT_EQ(static_cast<std::uint64_t>(waited.get_int("ticket", 0)), ticket);
+  EXPECT_EQ(waited.get_string("status", ""), "DONE");
+  ::close(fd);
+
+  // The inline (already-settled) path substitutes the same bounded error.
+  const json::Value inline_reply = client.result(ticket, /*wait=*/false);
+  EXPECT_FALSE(inline_reply.get_bool("ok", true));
+  EXPECT_EQ(inline_reply.get_string("code", ""), "OVERSIZED_RESPONSE")
+      << json::dump(inline_reply);
+  // The poll thread survived: small responses still flow on every session.
+  EXPECT_EQ(client.status(ticket).get_string("status", ""), "DONE");
+  EXPECT_EQ(client.ping().get_string("op", ""), "pong");
+  server.stop();
+}
+
+TEST(ServeWire, PipelinedBacklogIsThrottledWithoutLosingReplies) {
+  JobDaemon daemon(daemon_config("serve_backlog.ndjson"));
+  ServerConfig server_config;
+  server_config.unix_path = temp_path("serve_backlog.sock");
+  server_config.max_outbuf_bytes = 256;  // a handful of pongs
+  Server server(daemon, server_config);
+  server.start();
+
+  const int fd = connect_raw(server_config.unix_path);
+  ASSERT_GE(fd, 0);
+  constexpr int kPings = 1000;
+  std::string burst;
+  for (int i = 0; i < kPings; ++i) burst += encode_frame(R"({"op":"ping"})", Framing::Newline);
+  ASSERT_TRUE(send_all(fd, burst));
+
+  // Every ping gets its pong even though the outbuf cap repeatedly pauses
+  // decoding: parked frames resume as the client drains its responses.
+  FrameDecoder decoder;
+  for (int i = 0; i < kPings; ++i) {
+    const auto pong = read_frame(fd, decoder);
+    ASSERT_TRUE(pong.has_value()) << "stream ended after " << i << " pongs";
+    EXPECT_NE(pong->find("pong"), std::string::npos) << *pong;
+  }
+  ::close(fd);
   server.stop();
 }
 

@@ -110,7 +110,8 @@ int run_daemon(const quml::serve::DaemonConfig& daemon_config,
 
   std::printf("quml_serve: draining...\n");
   std::fflush(stdout);
-  daemon.drain();  // every accepted job settles; nothing is lost or redone
+  daemon.quiesce();  // later submits are SHED: drain waits only on the
+  daemon.drain();    // backlog present at signal time, then every job settles
   server.stop();
   const quml::serve::JobDaemon::Stats final_stats = daemon.stats();
   daemon.stop();
